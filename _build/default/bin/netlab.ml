@@ -1,0 +1,204 @@
+(* netlab: command-line driver for the user-level networking testbed.
+
+   Subcommands run individual experiments against any protocol
+   organization and network, print the paper's tables, or describe the
+   organization structures (Figures 1 and 2). *)
+
+open Cmdliner
+module World = Uln_core.World
+module Organization = Uln_core.Organization
+module E = Uln_workload.Experiments
+
+let org_conv =
+  let parse s =
+    match Organization.of_name s with
+    | Some o -> Ok o
+    | None -> Error (`Msg (Printf.sprintf "unknown organization %S" s))
+  in
+  let print ppf o = Format.pp_print_string ppf (Organization.name o) in
+  Arg.conv (parse, print)
+
+let network_conv =
+  let parse = function
+    | "ethernet" -> Ok World.Ethernet
+    | "an1" -> Ok World.An1
+    | s -> Error (`Msg (Printf.sprintf "unknown network %S (ethernet|an1)" s))
+  in
+  let print ppf n =
+    Format.pp_print_string ppf (match n with World.Ethernet -> "ethernet" | World.An1 -> "an1")
+  in
+  Arg.conv (parse, print)
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ] ~doc:"Stream simulator trace records (tcp, netio, ...) to stderr.")
+
+let with_trace enabled f =
+  if enabled then Uln_engine.Trace.set_sink (Some Uln_engine.Trace.stderr_sink);
+  f ();
+  Uln_engine.Trace.set_sink None
+
+let org_arg =
+  Arg.(
+    value
+    & opt org_conv Organization.User_library
+    & info [ "o"; "org" ] ~docv:"ORG"
+        ~doc:"Protocol organization: inkernel | server | server-msg | dedicated | userlib.")
+
+let network_arg =
+  Arg.(
+    value
+    & opt network_conv World.Ethernet
+    & info [ "n"; "network" ] ~docv:"NET" ~doc:"Network: ethernet (10 Mb/s) or an1 (100 Mb/s).")
+
+let bytes_arg =
+  Arg.(
+    value & opt int 4_000_000
+    & info [ "b"; "bytes" ] ~docv:"BYTES" ~doc:"Bytes to transfer.")
+
+let size_arg default doc =
+  Arg.(value & opt int default & info [ "s"; "size" ] ~docv:"BYTES" ~doc)
+
+let throughput_cmd =
+  let run org network bytes size trace =
+    with_trace trace (fun () ->
+        let r = Uln_workload.Bulk.measure ~total_bytes:bytes ~write_size:size ~network ~org () in
+        Printf.printf "%s, %s, %d-byte writes: %.2f Mb/s (%d bytes, %d retransmissions)\n"
+          (Organization.name org)
+          (match network with World.Ethernet -> "ethernet" | World.An1 -> "an1")
+          size r.Uln_workload.Bulk.mbps r.Uln_workload.Bulk.bytes
+          r.Uln_workload.Bulk.retransmissions)
+  in
+  Cmd.v
+    (Cmd.info "throughput" ~doc:"Bulk-transfer throughput (one Table 2 cell).")
+    Term.(
+      const run $ org_arg $ network_arg $ bytes_arg
+      $ size_arg 4096 "User packet size."
+      $ trace_arg)
+
+let latency_cmd =
+  let run org network size trace =
+    with_trace trace (fun () ->
+        let r = Uln_workload.Pingpong.measure ~size ~network ~org () in
+        Printf.printf "%s: avg rtt %.2f ms (min %.2f, max %.2f over %d exchanges)\n"
+          (Organization.name org)
+          (Uln_engine.Time.to_ms_f r.Uln_workload.Pingpong.avg_rtt)
+          (Uln_engine.Time.to_ms_f r.Uln_workload.Pingpong.min_rtt)
+          (Uln_engine.Time.to_ms_f r.Uln_workload.Pingpong.max_rtt)
+          r.Uln_workload.Pingpong.exchanges)
+  in
+  Cmd.v
+    (Cmd.info "latency" ~doc:"Request-response round trip (one Table 3 cell).")
+    Term.(
+      const run $ org_arg $ network_arg $ size_arg 512 "Payload size per direction." $ trace_arg)
+
+let setup_cmd =
+  let run org network =
+    let r = Uln_workload.Setup.measure ~network ~org () in
+    Printf.printf "%s: connection setup %.2f ms (avg of %d)\n" (Organization.name org)
+      (Uln_engine.Time.to_ms_f r.Uln_workload.Setup.avg_setup)
+      r.Uln_workload.Setup.samples
+  in
+  Cmd.v
+    (Cmd.info "setup" ~doc:"Connection setup cost (one Table 4 cell).")
+    Term.(const run $ org_arg $ network_arg)
+
+let orgs_cmd =
+  let run () = E.print_figures Format.std_formatter () in
+  Cmd.v
+    (Cmd.info "orgs" ~doc:"Describe the protocol organizations (Figures 1 and 2).")
+    Term.(const run $ const ())
+
+let table_arg =
+  Arg.(
+    required
+    & pos 0 (some (enum [ ("1", 1); ("2", 2); ("3", 3); ("4", 4); ("5", 5) ])) None
+    & info [] ~docv:"TABLE" ~doc:"Table number (1-5).")
+
+let table_cmd =
+  let run n =
+    let ppf = Format.std_formatter in
+    (match n with
+    | 1 -> E.print_table1 ppf (E.table1 ())
+    | 2 -> E.print_table2 ppf (E.table2 ())
+    | 3 -> E.print_table3 ppf (E.table3 ())
+    | 4 ->
+        E.print_table4 ppf (E.table4 ());
+        Format.fprintf ppf "@.";
+        E.print_breakdown ppf (E.setup_breakdown ())
+    | 5 -> E.print_table5 ppf (E.table5 ())
+    | _ -> assert false);
+    Format.fprintf ppf "@."
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Reproduce one of the paper's tables (paper values alongside).")
+    Term.(const run $ table_arg)
+
+let rrp_cmd =
+  let run org network size =
+    let w = World.create ~network ~org () in
+    let server = World.app w ~host:1 "rrp-server" in
+    let client = World.app w ~host:0 "rrp-client" in
+    let ms =
+      Uln_engine.Sched.block_on (World.sched w) (fun () ->
+          let _svc = server.Uln_core.Sockets.rrp_serve ~port:300 (fun req -> req) in
+          let cl = client.Uln_core.Sockets.rrp_client () in
+          let payload = Uln_buf.View.create size in
+          ignore (cl.Uln_core.Sockets.rrp_call ~dst:(World.host_ip w 1) ~dst_port:300 payload);
+          let t0 = Uln_engine.Sched.now (World.sched w) in
+          let n = 30 in
+          for _ = 1 to n do
+            ignore (cl.Uln_core.Sockets.rrp_call ~dst:(World.host_ip w 1) ~dst_port:300 payload)
+          done;
+          Uln_engine.Time.to_ms_f
+            (Uln_engine.Time.diff (Uln_engine.Sched.now (World.sched w)) t0)
+          /. float_of_int n)
+    in
+    Printf.printf "%s: rrp transaction (%d B each way): %.2f ms
+" (Organization.name org) size ms
+  in
+  Cmd.v
+    (Cmd.info "rrp"
+       ~doc:"Request-response transaction latency over the RRP transport (no handshake).")
+    Term.(const run $ org_arg $ network_arg $ size_arg 512 "Payload size per direction.")
+
+let snoop_cmd =
+  let run org network =
+    let w = World.create ~network ~org () in
+    let buf = Uln_workload.Snoop.capture (World.link w) in
+    let sched = World.sched w in
+    let server = World.app w ~host:1 "server" in
+    let client = World.app w ~host:0 "client" in
+    Uln_engine.Sched.spawn sched ~name:"server" (fun () ->
+        let l = server.Uln_core.Sockets.listen ~port:80 in
+        let conn = l.Uln_core.Sockets.accept () in
+        (match conn.Uln_core.Sockets.recv ~max:1024 with
+        | Some _ -> conn.Uln_core.Sockets.send (Uln_buf.View.of_string "response payload")
+        | None -> ());
+        conn.Uln_core.Sockets.close ());
+    Uln_engine.Sched.block_on sched (fun () ->
+        match
+          client.Uln_core.Sockets.connect ~src_port:0 ~dst:(World.host_ip w 1) ~dst_port:80
+        with
+        | Error e -> failwith e
+        | Ok conn ->
+            conn.Uln_core.Sockets.send (Uln_buf.View.of_string "request");
+            ignore (conn.Uln_core.Sockets.recv ~max:1024);
+            conn.Uln_core.Sockets.close ();
+            conn.Uln_core.Sockets.await_closed ());
+    print_string (Buffer.contents buf)
+  in
+  Cmd.v
+    (Cmd.info "snoop"
+       ~doc:
+         "Run a short request-response exchange and print every frame on the wire, decoded           (ARP, handshake, data, teardown).")
+    Term.(const run $ org_arg $ network_arg)
+
+let () =
+  let doc = "user-level network protocol testbed (SIGCOMM '93 reproduction)" in
+  let info = Cmd.info "netlab" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ throughput_cmd; latency_cmd; setup_cmd; orgs_cmd; table_cmd; snoop_cmd; rrp_cmd ]))

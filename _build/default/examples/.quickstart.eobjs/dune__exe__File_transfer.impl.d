@@ -1,0 +1,1 @@
+examples/file_transfer.ml: List Printf Uln_core Uln_workload

@@ -1,0 +1,1 @@
+examples/file_transfer.mli:

@@ -1,0 +1,1 @@
+examples/inheritance.ml: Option Printf Uln_buf Uln_core Uln_engine Uln_proto

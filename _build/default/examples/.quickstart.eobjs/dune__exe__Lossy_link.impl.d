@@ -1,0 +1,1 @@
+examples/lossy_link.ml: List Printf Uln_buf Uln_core Uln_engine Uln_net

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Option Printf Uln_buf Uln_core Uln_engine

@@ -1,0 +1,1 @@
+examples/request_response.ml: Printf Uln_addr Uln_buf Uln_engine Uln_host Uln_net Uln_proto

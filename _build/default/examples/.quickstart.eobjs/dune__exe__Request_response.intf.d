@@ -1,0 +1,1 @@
+examples/request_response.mli:

@@ -1,0 +1,1 @@
+examples/rpc_binding.ml: Printf Uln_buf Uln_core Uln_engine

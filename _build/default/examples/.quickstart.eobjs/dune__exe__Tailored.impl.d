@@ -1,0 +1,1 @@
+examples/tailored.ml: Option Printf Uln_buf Uln_core Uln_engine Uln_proto

@@ -1,0 +1,1 @@
+examples/tailored.mli:

@@ -1,0 +1,36 @@
+(* File transfer: the throughput-intensive application of the paper's
+   motivation.  Streams 4 MB host-to-host under every protocol
+   organization on both networks and prints the application-level
+   throughput — a condensed, self-contained Table 2.
+
+   Run with: dune exec examples/file_transfer.exe *)
+
+module World = Uln_core.World
+module Organization = Uln_core.Organization
+module Bulk = Uln_workload.Bulk
+
+let orgs =
+  [ Organization.In_kernel;
+    Organization.Single_server `Mapped;
+    Organization.Dedicated_servers;
+    Organization.User_library ]
+
+let networks = [ (World.Ethernet, "10 Mb/s Ethernet"); (World.An1, "100 Mb/s AN1") ]
+
+let () =
+  Printf.printf "4 MB file transfer, 4096-byte writes\n\n";
+  List.iter
+    (fun (network, net_label) ->
+      Printf.printf "%s:\n" net_label;
+      List.iter
+        (fun org ->
+          let r = Bulk.measure ~total_bytes:4_000_000 ~write_size:4096 ~network ~org () in
+          Printf.printf "  %-42s %6.2f Mb/s  (%d retransmissions)\n" (Organization.name org)
+            r.Bulk.mbps r.Bulk.retransmissions)
+        orgs;
+      print_newline ())
+    networks;
+  print_endline
+    "The user-level library keeps pace with the in-kernel stack and beats\n\
+     every server-based organization; the dedicated-servers structure pays\n\
+     for its per-packet domain crossings."

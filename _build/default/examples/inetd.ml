@@ -1,0 +1,73 @@
+(* The inetd pattern (paper §3.2): "Once a connection is established,
+   it can be passed by the application to other applications without
+   involving the registry server or the network I/O module ... a typical
+   instance occurs in UNIX-based systems where the Internet daemon
+   (inetd) hands off connection end-points to specific servers such as
+   the TELNET or FTP daemons."
+
+   A super-server accepts on two ports and hands each established
+   connection to the matching service application; the clients never
+   notice.
+
+   Run with: dune exec examples/inetd.exe *)
+
+module Sched = Uln_engine.Sched
+module View = Uln_buf.View
+module World = Uln_core.World
+module Organization = Uln_core.Organization
+module Sockets = Uln_core.Sockets
+module Protolib = Uln_core.Protolib
+module Registry = Uln_core.Registry
+
+let () =
+  let w = World.create ~network:World.Ethernet ~org:Organization.User_library () in
+  let sched = World.sched w in
+  let inetd = Option.get (World.library w ~host:1 "inetd") in
+  let echo_service = Option.get (World.library w ~host:1 "echo-daemon") in
+  let motd_service = Option.get (World.library w ~host:1 "motd-daemon") in
+  let reg = Option.get (World.registry w 1) in
+
+  (* The super-server: accepts, hands off, goes back to listening. *)
+  let spawn_acceptor port service service_name serve =
+    Sched.spawn sched ~name:"inetd" (fun () ->
+        let inetd_app = Protolib.app inetd in
+        let l = inetd_app.Sockets.listen ~port in
+        let conn = l.Sockets.accept () in
+        let before = Registry.handshakes_completed reg in
+        let conn' = Protolib.pass_connection inetd conn ~to_lib:service in
+        Printf.printf "inetd: passed port-%d connection to %s (registry involved: %s)\n" port
+          service_name
+          (if Registry.handshakes_completed reg = before then "no" else "yes");
+        serve conn')
+  in
+  spawn_acceptor 7 echo_service "echo-daemon" (fun conn ->
+      let rec loop () =
+        match conn.Sockets.recv ~max:1024 with
+        | Some v ->
+            conn.Sockets.send v;
+            loop ()
+        | None -> conn.Sockets.close ()
+      in
+      loop ());
+  spawn_acceptor 17 motd_service "motd-daemon" (fun conn ->
+      conn.Sockets.send (View.of_string "quote of the day: policy in libraries, mechanism in kernels");
+      conn.Sockets.close ());
+
+  let client = World.app w ~host:0 "client" in
+  Sched.block_on sched (fun () ->
+      (match client.Sockets.connect ~src_port:0 ~dst:(World.host_ip w 1) ~dst_port:7 with
+      | Error e -> failwith e
+      | Ok conn ->
+          conn.Sockets.send (View.of_string "echo this");
+          (match conn.Sockets.recv ~max:64 with
+          | Some v -> Printf.printf "client (echo): %S\n" (View.to_string v)
+          | None -> ());
+          conn.Sockets.close ());
+      match client.Sockets.connect ~src_port:0 ~dst:(World.host_ip w 1) ~dst_port:17 with
+      | Error e -> failwith e
+      | Ok conn -> (
+          match conn.Sockets.recv ~max:128 with
+          | Some v ->
+              Printf.printf "client (motd): %S\n" (View.to_string v);
+              conn.Sockets.close ()
+          | None -> ()))

@@ -1,0 +1,61 @@
+(* Connection inheritance (paper §3.4): when an application exits, the
+   registry server inherits its open connections — maintaining the
+   protocol-specified delay for orderly exits, and issuing a reset to
+   the remote peer on abnormal termination.
+
+   Two clients connect to the same server; one exits gracefully mid-
+   connection, the other "crashes".  The server observes a clean EOF
+   from the first and a connection reset from the second.
+
+   Run with: dune exec examples/inheritance.exe *)
+
+module Sched = Uln_engine.Sched
+module Time = Uln_engine.Time
+module View = Uln_buf.View
+module World = Uln_core.World
+module Organization = Uln_core.Organization
+module Sockets = Uln_core.Sockets
+module Registry = Uln_core.Registry
+
+let serve_one w server_app ~port outcome =
+  Sched.spawn (World.sched w) ~name:"server" (fun () ->
+      let l = server_app.Sockets.listen ~port in
+      let conn = l.Sockets.accept () in
+      (try
+         let rec drain () =
+           match conn.Sockets.recv ~max:4096 with
+           | Some _ -> drain ()
+           | None -> outcome := "clean end-of-stream (registry closed it properly)"
+         in
+         drain ()
+       with Uln_proto.Tcp.Connection_error _ ->
+         outcome := "connection reset (registry issued RST for the dead client)");
+      conn.Sockets.close ())
+
+let client_run w app ~port ~graceful =
+  Sched.spawn (World.sched w) ~name:"client" (fun () ->
+      match app.Sockets.connect ~src_port:0 ~dst:(World.host_ip w 1) ~dst_port:port with
+      | Error e -> failwith e
+      | Ok conn ->
+          conn.Sockets.send (View.of_string "some work in progress");
+          Sched.sleep (World.sched w) (Time.ms 300);
+          (* The application goes away without closing its connection. *)
+          app.Sockets.exit_app ~graceful)
+
+let () =
+  let w = World.create ~network:World.Ethernet ~org:Organization.User_library () in
+  let server_app = World.app w ~host:1 "server" in
+  let tidy = World.app w ~host:0 "tidy-client" in
+  let crashy = World.app w ~host:0 "crashy-client" in
+  let outcome1 = ref "?" and outcome2 = ref "?" in
+  serve_one w server_app ~port:81 outcome1;
+  serve_one w server_app ~port:82 outcome2;
+  client_run w tidy ~port:81 ~graceful:true;
+  client_run w crashy ~port:82 ~graceful:false;
+  Sched.run (World.sched w);
+  Printf.printf "graceful exit   -> server saw: %s\n" !outcome1;
+  Printf.printf "abnormal exit   -> server saw: %s\n" !outcome2;
+  let reg = Option.get (World.registry w 0) in
+  Printf.printf "registry inherited %d connections; ports in use afterwards: %d\n"
+    (Registry.inherited_connections reg)
+    (Registry.ports_in_use reg)

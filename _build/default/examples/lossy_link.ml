@@ -1,0 +1,72 @@
+(* Loss recovery: the full TCP machinery — retransmission timeout with
+   exponential backoff, fast retransmit on duplicate ACKs, congestion
+   window collapse and regrowth — exercised over a deliberately bad
+   Ethernet segment under the user-level library organization.
+
+   Run with: dune exec examples/lossy_link.exe *)
+
+module Sched = Uln_engine.Sched
+module Time = Uln_engine.Time
+module Rng = Uln_engine.Rng
+module View = Uln_buf.View
+module Link = Uln_net.Link
+module Fault = Uln_net.Fault
+module World = Uln_core.World
+module Organization = Uln_core.Organization
+module Sockets = Uln_core.Sockets
+module Netio = Uln_core.Netio
+
+let transfer ~drop_pct =
+  let w = World.create ~network:World.Ethernet ~org:Organization.User_library () in
+  let rng = Rng.create ~seed:(1000 + drop_pct) in
+  Link.set_fault (World.link w)
+    (Fault.create ~rng ~drop:(float_of_int drop_pct /. 100.) ~corrupt:0.01 ());
+  let sched = World.sched w in
+  let server = World.app w ~host:1 "sink" in
+  let client = World.app w ~host:0 "source" in
+  let received = ref 0 in
+  let finished_at = ref Time.zero in
+  let bytes = 409_600 in (* 100 writes of 4096 *)
+  Sched.spawn sched ~name:"sink" (fun () ->
+      let l = server.Sockets.listen ~port:5001 in
+      let conn = l.Sockets.accept () in
+      let rec drain () =
+        match conn.Sockets.recv ~max:65536 with
+        | None -> ()
+        | Some v ->
+            received := !received + View.length v;
+            drain ()
+      in
+      drain ();
+      finished_at := Sched.now sched;
+      conn.Sockets.close ());
+  let started = ref Time.zero in
+  Sched.block_on sched (fun () ->
+      started := Sched.now sched;
+      match client.Sockets.connect ~src_port:0 ~dst:(World.host_ip w 1) ~dst_port:5001 with
+      | Error e -> failwith e
+      | Ok conn ->
+          let chunk = View.create 4096 in
+          for _ = 1 to bytes / 4096 do
+            conn.Sockets.send chunk
+          done;
+          conn.Sockets.close ();
+          conn.Sockets.await_closed ());
+  let elapsed = Time.diff !finished_at !started in
+  let mbps =
+    if elapsed > 0 then float_of_int (!received * 8) /. Time.to_sec_f elapsed /. 1e6 else 0.
+  in
+  (mbps, !received = bytes)
+
+let () =
+  Printf.printf "400 KB over increasingly lossy 10 Mb/s Ethernet (user-level TCP):\n\n";
+  Printf.printf "%10s %14s %10s\n" "drop rate" "goodput Mb/s" "intact";
+  List.iter
+    (fun pct ->
+      let mbps, intact = transfer ~drop_pct:pct in
+      Printf.printf "%9d%% %14.2f %10s\n" pct mbps (if intact then "yes" else "NO"))
+    [ 0; 1; 2; 5; 10 ];
+  print_newline ();
+  print_endline
+    "Every byte arrives intact at every loss rate; goodput degrades as\n\
+     retransmission timeouts and congestion-window collapses bite."

@@ -1,0 +1,1 @@
+lib/addr/ip.ml: Format Int32 Printf String

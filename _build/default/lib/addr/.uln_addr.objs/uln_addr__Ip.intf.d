@@ -1,0 +1,1 @@
+lib/addr/ip.mli: Format

@@ -1,0 +1,1 @@
+lib/addr/mac.ml: Array Format Int List Printf String

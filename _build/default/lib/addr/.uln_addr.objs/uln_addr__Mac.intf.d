@@ -1,0 +1,1 @@
+lib/addr/mac.mli: Format

@@ -1,0 +1,34 @@
+type t = int32
+
+let any = 0l
+let broadcast = 0xffffffffl
+let of_int32 n = n
+let to_int32 t = t
+
+let make a b c d =
+  let octet name v =
+    if v < 0 || v > 255 then invalid_arg ("Ip.make: octet " ^ name ^ " out of range");
+    Int32.of_int v
+  in
+  let ( <| ) acc v = Int32.logor (Int32.shift_left acc 8) v in
+  octet "a" a <| octet "b" b <| octet "c" c <| octet "d" d
+
+let loopback = make 127 0 0 1
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+      match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c, int_of_string_opt d) with
+      | Some a, Some b, Some c, Some d -> make a b c d
+      | _ -> invalid_arg "Ip.of_string: bad octet")
+  | _ -> invalid_arg "Ip.of_string: expected dotted quad"
+
+let octet t i = Int32.to_int (Int32.logand (Int32.shift_right_logical t ((3 - i) * 8)) 0xffl)
+
+let to_string t =
+  Printf.sprintf "%d.%d.%d.%d" (octet t 0) (octet t 1) (octet t 2) (octet t 3)
+
+let is_any t = t = any
+let equal = Int32.equal
+let compare = Int32.compare
+let pp ppf t = Format.pp_print_string ppf (to_string t)

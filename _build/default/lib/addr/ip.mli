@@ -1,0 +1,30 @@
+(** IPv4 addresses. *)
+
+type t
+(** An address; structurally comparable. *)
+
+val any : t
+(** 0.0.0.0 — the wildcard used by passive opens. *)
+
+val broadcast : t
+(** 255.255.255.255 *)
+
+val loopback : t
+(** 127.0.0.1 *)
+
+val of_int32 : int32 -> t
+val to_int32 : t -> int32
+
+val make : int -> int -> int -> int -> t
+(** [make a b c d] is [a.b.c.d].
+    @raise Invalid_argument if any octet is outside [0,255]. *)
+
+val of_string : string -> t
+(** Parse dotted-quad notation.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+val is_any : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

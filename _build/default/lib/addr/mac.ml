@@ -1,0 +1,36 @@
+type t = int (* low 48 bits *)
+
+let mask = (1 lsl 48) - 1
+let broadcast = mask
+let of_int n = n land mask
+let to_int t = t
+
+let of_octets a =
+  if Array.length a <> 6 then invalid_arg "Mac.of_octets: need six octets";
+  Array.fold_left
+    (fun acc o ->
+      if o < 0 || o > 255 then invalid_arg "Mac.of_octets: octet out of range";
+      (acc lsl 8) lor o)
+    0 a
+
+let to_octets t = Array.init 6 (fun i -> (t lsr ((5 - i) * 8)) land 0xff)
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ _; _; _; _; _; _ ] as parts ->
+      let parse p =
+        match int_of_string_opt ("0x" ^ p) with
+        | Some v when v >= 0 && v <= 255 -> v
+        | _ -> invalid_arg "Mac.of_string: bad octet"
+      in
+      of_octets (Array.of_list (List.map parse parts))
+  | _ -> invalid_arg "Mac.of_string: expected six colon-separated octets"
+
+let to_string t =
+  let o = to_octets t in
+  Printf.sprintf "%02x:%02x:%02x:%02x:%02x:%02x" o.(0) o.(1) o.(2) o.(3) o.(4) o.(5)
+
+let is_broadcast t = t = broadcast
+let equal = Int.equal
+let compare = Int.compare
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,28 @@
+(** 48-bit link-layer (Ethernet/AN1 station) addresses. *)
+
+type t
+(** An address; structurally comparable. *)
+
+val broadcast : t
+(** ff:ff:ff:ff:ff:ff *)
+
+val of_int : int -> t
+(** [of_int n] uses the low 48 bits of [n]. *)
+
+val to_int : t -> int
+
+val of_octets : int array -> t
+(** From six octets, most significant first.
+    @raise Invalid_argument unless exactly six octets in [0,255]. *)
+
+val to_octets : t -> int array
+
+val of_string : string -> t
+(** Parse ["aa:bb:cc:dd:ee:ff"].
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+val is_broadcast : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/buf/bytequeue.ml: Bytes Stdlib String View

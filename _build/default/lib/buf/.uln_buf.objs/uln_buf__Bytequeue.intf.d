@@ -1,0 +1,1 @@
+lib/buf/bytequeue.mli: View

@@ -1,0 +1,1 @@
+lib/buf/mbuf.ml: Format List View

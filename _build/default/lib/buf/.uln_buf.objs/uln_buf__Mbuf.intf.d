@@ -1,0 +1,1 @@
+lib/buf/mbuf.mli: Format View

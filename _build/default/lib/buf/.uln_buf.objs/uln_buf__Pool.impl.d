@@ -1,0 +1,1 @@
+lib/buf/pool.ml: Array Bytes Queue View

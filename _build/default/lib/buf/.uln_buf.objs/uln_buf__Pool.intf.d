@@ -1,0 +1,1 @@
+lib/buf/pool.mli: View

@@ -1,0 +1,1 @@
+lib/buf/ring.ml: Array

@@ -1,0 +1,1 @@
+lib/buf/view.ml: Bytes Char Format List Stdlib String

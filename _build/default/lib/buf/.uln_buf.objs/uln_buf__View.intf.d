@@ -1,0 +1,1 @@
+lib/buf/view.mli: Format

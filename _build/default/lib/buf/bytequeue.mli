@@ -1,0 +1,35 @@
+(** Growable FIFO byte queues — the socket send/receive buffers.
+
+    Supports random-access peeking at any offset from the head, which is
+    what TCP retransmission needs: bytes stay in the send queue until
+    acknowledged, and any range [snd_una..snd_nxt) can be re-read. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** An empty queue; [capacity] is the initial allocation only (the queue
+    grows on demand). *)
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val push : t -> View.t -> unit
+(** Append the view's bytes (copies). *)
+
+val push_string : t -> string -> unit
+
+val peek : t -> off:int -> len:int -> View.t
+(** [peek t ~off ~len] is a fresh view of bytes [off, off+len) from the
+    head, without consuming them.
+    @raise View.Bounds if the range exceeds the queue. *)
+
+val drop : t -> int -> unit
+(** Discard [n] bytes from the head.
+    @raise View.Bounds if [n > length t]. *)
+
+val pop : t -> int -> View.t
+(** [pop t n] is [peek ~off:0 ~len:(min n (length t))] followed by the
+    matching [drop]. *)
+
+val clear : t -> unit

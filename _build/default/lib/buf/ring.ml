@@ -1,0 +1,47 @@
+type 'a t = {
+  slots : 'a option array;
+  mutable head : int; (* next pop *)
+  mutable tail : int; (* next push *)
+  mutable count : int;
+  mutable drops : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { slots = Array.make capacity None; head = 0; tail = 0; count = 0; drops = 0 }
+
+let capacity t = Array.length t.slots
+let length t = t.count
+let is_empty t = t.count = 0
+let is_full t = t.count = capacity t
+let drops t = t.drops
+
+let push t v =
+  if is_full t then begin
+    t.drops <- t.drops + 1;
+    false
+  end
+  else begin
+    t.slots.(t.tail) <- Some v;
+    t.tail <- (t.tail + 1) mod capacity t;
+    t.count <- t.count + 1;
+    true
+  end
+
+let pop t =
+  if t.count = 0 then None
+  else begin
+    let v = t.slots.(t.head) in
+    t.slots.(t.head) <- None;
+    t.head <- (t.head + 1) mod capacity t;
+    t.count <- t.count - 1;
+    v
+  end
+
+let peek t = if t.count = 0 then None else t.slots.(t.head)
+
+let clear t =
+  Array.fill t.slots 0 (capacity t) None;
+  t.head <- 0;
+  t.tail <- 0;
+  t.count <- 0

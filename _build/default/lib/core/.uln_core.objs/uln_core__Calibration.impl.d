@@ -1,0 +1,1 @@
+lib/core/calibration.ml: Uln_engine

@@ -1,0 +1,1 @@
+lib/core/netio.mli: Uln_engine Uln_filter Uln_host Uln_net

@@ -1,0 +1,1 @@
+lib/core/org_dedicated.ml: Calibration Sockets Uln_buf Uln_engine Uln_host Uln_net Uln_proto

@@ -1,0 +1,1 @@
+lib/core/org_dedicated.mli: Sockets Uln_addr Uln_host Uln_net Uln_proto

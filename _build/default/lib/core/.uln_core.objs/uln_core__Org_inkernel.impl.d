@@ -1,0 +1,1 @@
+lib/core/org_inkernel.ml: Calibration Sockets Uln_addr Uln_buf Uln_engine Uln_host Uln_net Uln_proto

@@ -1,0 +1,1 @@
+lib/core/org_userlib.ml: Netio Protolib Registry Uln_addr Uln_host Uln_proto

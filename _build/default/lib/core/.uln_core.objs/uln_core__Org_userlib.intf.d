@@ -1,0 +1,1 @@
+lib/core/org_userlib.mli: Netio Protolib Registry Sockets Uln_addr Uln_filter Uln_host Uln_net Uln_proto

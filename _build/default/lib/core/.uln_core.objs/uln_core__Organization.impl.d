@@ -1,0 +1,1 @@
+lib/core/organization.ml: Format List Org_single_server String

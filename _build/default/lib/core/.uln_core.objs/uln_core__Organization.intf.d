@@ -1,0 +1,1 @@
+lib/core/organization.mli: Format Org_single_server

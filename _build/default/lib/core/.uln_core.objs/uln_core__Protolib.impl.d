@@ -1,0 +1,1 @@
+lib/core/protolib.ml: Calibration List Netio Registry Sockets Uln_addr Uln_buf Uln_engine Uln_host Uln_net Uln_proto

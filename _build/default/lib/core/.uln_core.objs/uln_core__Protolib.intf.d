@@ -1,0 +1,1 @@
+lib/core/protolib.mli: Netio Registry Sockets Uln_addr Uln_host Uln_proto

@@ -1,0 +1,1 @@
+lib/core/registry.mli: Netio Uln_addr Uln_host Uln_proto

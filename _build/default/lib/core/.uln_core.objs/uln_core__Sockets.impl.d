@@ -1,0 +1,1 @@
+lib/core/sockets.ml: Uln_addr Uln_buf Uln_proto

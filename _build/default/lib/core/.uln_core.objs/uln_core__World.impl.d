@@ -1,0 +1,1 @@
+lib/core/world.ml: Array Org_dedicated Org_inkernel Org_single_server Org_userlib Organization Printf Uln_addr Uln_engine Uln_filter Uln_host Uln_net Uln_proto

@@ -1,0 +1,1 @@
+lib/core/world.mli: Netio Organization Protolib Registry Sockets Uln_addr Uln_engine Uln_filter Uln_host Uln_net Uln_proto

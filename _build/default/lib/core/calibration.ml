@@ -1,0 +1,22 @@
+module Time = Uln_engine.Time
+
+let bsd_socket_create = Time.us 1200
+let small_write_buffering = Time.us 260
+let copy_eliminate_threshold = 1024
+
+let ux_socket_op = Time.us 180
+let ux_per_segment = Time.us 700
+
+let registry_port_alloc = Time.us 1500
+let registry_channel_setup = Time.us 3200
+let registry_state_transfer = Time.us 1400
+let netio_demux_overhead = Time.us 33
+
+let userlib_rx_per_segment = Time.us 320
+let userlib_batch_overhead = Time.us 380
+let userlib_per_write = Time.us 60
+
+let bqi_setup = Time.us 500
+
+let channel_ring_slots = 64
+let channel_buffer_size = 1600

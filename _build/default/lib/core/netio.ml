@@ -1,0 +1,270 @@
+module Sched = Uln_engine.Sched
+module Time = Uln_engine.Time
+module Semaphore = Uln_engine.Semaphore
+module Stats = Uln_engine.Stats
+module View = Uln_buf.View
+module Mbuf = Uln_buf.Mbuf
+module Ring = Uln_buf.Ring
+module Machine = Uln_host.Machine
+module Cpu = Uln_host.Cpu
+module Costs = Uln_host.Costs
+module Addr_space = Uln_host.Addr_space
+module Capability = Uln_host.Capability
+module Shared_mem = Uln_host.Shared_mem
+module Nic = Uln_net.Nic
+module Frame = Uln_net.Frame
+module Demux = Uln_filter.Demux
+module Program = Uln_filter.Program
+module Template = Uln_filter.Template
+
+exception Send_rejected of string
+
+type channel = {
+  id : int;
+  mutable owner : Addr_space.t;
+  region : Shared_mem.t;
+  rx_ring : Frame.t Ring.t;
+  sem : Semaphore.t;
+  bqi : int;
+  mutable template : Template.t option;
+  mutable filters : Demux.key list;
+  mutable active : bool;
+  mutable destroyed : bool;
+  gate : unit Capability.t; (* revocation point for the whole channel *)
+}
+
+type t = {
+  machine : Machine.t;
+  nic : Nic.t;
+  demux : channel Demux.t;
+  by_bqi : (int, channel) Hashtbl.t;
+  mutable next_id : int;
+  mutable rejected : int;
+  mutable unmatched : int;
+  mutable overflows : int;
+  mutable hw_demuxed : int;
+  mutable sw_demuxed : int;
+  demux_cost : Stats.Dist.t;
+}
+
+let nic t = t.nic
+let machine t = t.machine
+let sends_rejected t = t.rejected
+let unmatched_drops t = t.unmatched
+let demux_cost_dist t = t.demux_cost
+let rx_sem ch = ch.sem
+let channel_bqi ch = ch.bqi
+
+let require_privileged caller op =
+  if not (Addr_space.is_privileged caller) then
+    raise
+      (Capability.Violation
+         (Printf.sprintf "%s: domain %s is not privileged" op (Addr_space.name caller)))
+
+(* Queue a frame into a channel's shared ring, signalling the semaphore
+   only on the empty->non-empty transition (notification batching). *)
+let deliver t ch frame =
+  let costs = t.machine.Machine.costs in
+  let was_empty = Ring.is_empty ch.rx_ring in
+  if Ring.push ch.rx_ring frame then begin
+    if was_empty then
+      Cpu.use_async t.machine.Machine.cpu costs.Costs.semaphore_signal (fun () ->
+          Semaphore.signal ch.sem)
+  end
+  else t.overflows <- t.overflows + 1
+
+let create machine nic ~mode =
+  let t =
+    { machine;
+      nic;
+      demux = Demux.create ~mode ();
+      by_bqi = Hashtbl.create 8;
+      next_id = 0;
+      rejected = 0;
+      unmatched = 0;
+      overflows = 0;
+      hw_demuxed = 0;
+      sw_demuxed = 0;
+      demux_cost = Stats.Dist.create (machine.Machine.name ^ ".demux_us") }
+  in
+  let costs = machine.Machine.costs in
+  let deliver ch frame = deliver t ch frame in
+  let rx (info : Nic.rx_info) =
+    match Hashtbl.find_opt t.by_bqi info.Nic.bqi with
+    | Some ch when info.Nic.bqi > 0 && ch.active ->
+        (* Hardware demultiplexing: only device management to charge. *)
+        t.hw_demuxed <- t.hw_demuxed + 1;
+        Stats.Dist.record t.demux_cost (Time.to_us_f costs.Costs.demux_hardware);
+        Cpu.use_async machine.Machine.cpu costs.Costs.demux_hardware (fun () ->
+            deliver ch info.Nic.frame;
+            (* The DMA buffer's bytes now live in the shared ring entry;
+               the buffer itself returns to the pool for re-provisioning. *)
+            match info.Nic.buffer with
+            | Some buf -> (
+                try Shared_mem.free ch.region t.machine.Machine.kernel buf
+                with Invalid_argument _ | Capability.Violation _ -> ())
+            | None -> ())
+    | _ ->
+        (* Software path: run the filter table over the wire bytes. *)
+        t.sw_demuxed <- t.sw_demuxed + 1;
+        let wire = Frame.to_wire info.Nic.frame in
+        let target, cycles = Demux.dispatch t.demux wire in
+        let cost =
+          Time.span_add Calibration.netio_demux_overhead
+            (Time.ns (cycles * costs.Costs.cycle_ns))
+        in
+        Stats.Dist.record t.demux_cost (Time.to_us_f cost);
+        Cpu.use_async machine.Machine.cpu
+          (Time.span_add costs.Costs.drv_rx cost)
+          (fun () ->
+            match target with
+            | Some ch when ch.active && not ch.destroyed -> deliver ch info.Nic.frame
+            | Some _ | None -> t.unmatched <- t.unmatched + 1)
+  in
+  nic.Nic.install_rx rx;
+  t
+
+let create_channel t ~caller ~owner ~use_bqi =
+  require_privileged caller "Netio.create_channel";
+  t.next_id <- t.next_id + 1;
+  let name = Printf.sprintf "%s.chan%d" t.machine.Machine.name t.next_id in
+  let region =
+    Shared_mem.create ~name ~count:Calibration.channel_ring_slots
+      ~size:(Stdlib.max Calibration.channel_buffer_size (t.nic.Nic.mtu + 100))
+  in
+  Shared_mem.map region t.machine.Machine.kernel;
+  Shared_mem.map region owner;
+  let bqi =
+    match (use_bqi, t.nic.Nic.bqi) with
+    | true, Some ops ->
+        let b = ops.Nic.alloc_ring ~capacity:Calibration.channel_ring_slots in
+        (* Stock the controller ring with the region's buffers. *)
+        let rec stock n =
+          if n > 0 then
+            match Shared_mem.alloc region t.machine.Machine.kernel with
+            | Some buf ->
+                ignore (ops.Nic.provide_buffer b buf);
+                stock (n - 1)
+            | None -> ()
+        in
+        stock Calibration.channel_ring_slots;
+        b
+    | _ -> 0
+  in
+  let ch =
+    { id = t.next_id;
+      owner;
+      region;
+      rx_ring = Ring.create ~capacity:Calibration.channel_ring_slots;
+      sem = Semaphore.create ();
+      bqi;
+      template = None;
+      filters = [];
+      active = false;
+      destroyed = false;
+      gate = Capability.mint ~tag:name () }
+  in
+  if bqi > 0 then Hashtbl.replace t.by_bqi bqi ch;
+  Uln_engine.Trace.debugf t.machine.Machine.sched "netio" "created chan%d (owner %s, bqi %d)"
+    ch.id (Addr_space.name owner) bqi;
+  ch
+
+let add_filter t ~caller ch program =
+  require_privileged caller "Netio.add_filter";
+  let k = Demux.install t.demux program ch in
+  ch.filters <- k :: ch.filters;
+  k
+
+let remove_filter t ~caller k =
+  require_privileged caller "Netio.remove_filter";
+  Demux.remove t.demux k
+
+let activate t ~caller ch ~filter ~template =
+  require_privileged caller "Netio.activate";
+  ch.template <- Some template;
+  ch.active <- true;
+  ignore (add_filter t ~caller ch filter)
+
+let reassign_owner t ~caller ch ~owner =
+  require_privileged caller "Netio.reassign_owner";
+  ignore t;
+  Shared_mem.unmap ch.region ch.owner;
+  Shared_mem.map ch.region owner;
+  ch.owner <- owner
+
+let transfer_channel t ch ~from_domain ~to_domain =
+  ignore t;
+  Capability.deref ch.gate;
+  if not (Addr_space.equal from_domain ch.owner) then
+    raise (Capability.Violation "Netio.transfer_channel: caller does not own the channel");
+  Shared_mem.unmap ch.region ch.owner;
+  Shared_mem.map ch.region to_domain;
+  ch.owner <- to_domain
+
+let destroy_channel t ~caller ch =
+  require_privileged caller "Netio.destroy_channel";
+  ch.destroyed <- true;
+  ch.active <- false;
+  Capability.revoke ch.gate;
+  List.iter (Demux.remove t.demux) ch.filters;
+  ch.filters <- [];
+  if ch.bqi > 0 then begin
+    Hashtbl.remove t.by_bqi ch.bqi;
+    match t.nic.Nic.bqi with
+    | Some ops -> ops.Nic.release_ring ch.bqi
+    | None -> ()
+  end;
+  Shared_mem.destroy ch.region
+
+let send t ch ~from_domain frame =
+  let costs = t.machine.Machine.costs in
+  Cpu.use t.machine.Machine.cpu costs.Costs.fast_trap;
+  Capability.deref ch.gate;
+  if not ch.active then raise (Capability.Violation "Netio.send: channel not activated");
+  if not (Addr_space.equal from_domain ch.owner || Addr_space.is_privileged from_domain)
+  then raise (Capability.Violation "Netio.send: channel not owned by caller");
+  match ch.template with
+  | None -> raise (Capability.Violation "Netio.send: no template")
+  | Some tpl ->
+      Cpu.use t.machine.Machine.cpu
+        (Time.ns (Template.check_cycles tpl * costs.Costs.cycle_ns));
+      let wire = Frame.to_wire frame in
+      if not (Template.matches tpl wire) then begin
+        t.rejected <- t.rejected + 1;
+        Uln_engine.Trace.infof t.machine.Machine.sched "netio"
+          "send rejected on chan%d: header does not match template" ch.id;
+        raise (Send_rejected "packet header does not match capability template")
+      end;
+      (* Stamp the peer's BQI into the link header; trusted servers may
+         pre-stamp handshake frames themselves. *)
+      let bqi =
+        if Addr_space.is_privileged from_domain && frame.Frame.bqi <> 0 then frame.Frame.bqi
+        else Template.bqi tpl
+      in
+      t.nic.Nic.send { frame with Frame.bqi }
+
+let rx_pop ch ~from_domain =
+  Shared_mem.assert_mapped ch.region from_domain;
+  Ring.pop ch.rx_ring
+
+let recycle t ch =
+  (* Hand one buffer back to the controller ring so DMA can continue. *)
+  if ch.bqi > 0 && not ch.destroyed then
+    match t.nic.Nic.bqi with
+    | Some ops ->
+        if ops.Nic.ring_depth ch.bqi < Calibration.channel_ring_slots then begin
+          match Shared_mem.alloc ch.region t.machine.Machine.kernel with
+          | Some buf -> ignore (ops.Nic.provide_buffer ch.bqi buf)
+          | None -> ()
+        end
+    | None -> ()
+
+let inject t ~caller ch frame =
+  require_privileged caller "Netio.inject";
+  (* Channels may receive forwarded traffic between creation and
+     activation (the handoff window); only destruction refuses it. *)
+  if not ch.destroyed then deliver t ch frame
+
+let ring_overflows t = t.overflows
+let hw_demuxed t = t.hw_demuxed
+let sw_demuxed t = t.sw_demuxed

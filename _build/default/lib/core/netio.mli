@@ -1,0 +1,130 @@
+(** The network I/O module (paper §3.3).
+
+    Co-located with the in-kernel device driver; one instance per
+    host-network interface.  It provides the two kernel mechanisms the
+    paper argues are sufficient for user-level protocols:
+
+    - {b secure input demultiplexing}: a filter table (software, for
+      LANCE/Ethernet) and/or the AN1 hardware BQI path, delivering each
+      packet into the shared-memory ring of exactly the authorized
+      channel, with batched semaphore notification;
+    - {b protected transmission}: sends are gated by an unforgeable
+      capability whose header template the packet must match, which
+      prevents impersonation of other connections.
+
+    Channels are created and activated only by privileged domains (the
+    registry server); data transfer afterwards involves no server. *)
+
+type t
+
+type channel
+
+exception Send_rejected of string
+(** A transmitted packet did not match the sender's header template. *)
+
+val create : Uln_host.Machine.t -> Uln_net.Nic.t -> mode:Uln_filter.Demux.mode -> t
+
+val nic : t -> Uln_net.Nic.t
+val machine : t -> Uln_host.Machine.t
+
+(* {2 Privileged operations (registry server only)} *)
+
+val create_channel :
+  t ->
+  caller:Uln_host.Addr_space.t ->
+  owner:Uln_host.Addr_space.t ->
+  use_bqi:bool ->
+  channel
+(** Allocate a channel: pinned shared region (mapped into [owner] and
+    the kernel), receive ring, notification semaphore, and — when
+    [use_bqi] on capable hardware — a controller BQI ring stocked with
+    the region's buffers.
+    @raise Capability.Violation unless [caller] is privileged. *)
+
+val channel_bqi : channel -> int
+(** The local receive BQI (0 when none): the value the peer must stamp
+    on this connection's packets, carried to it in the handshake. *)
+
+val activate :
+  t ->
+  caller:Uln_host.Addr_space.t ->
+  channel ->
+  filter:Uln_filter.Program.t ->
+  template:Uln_filter.Template.t ->
+  unit
+(** Install the input filter and the outbound template, enabling the
+    channel.  The template's [bqi] is stamped on outgoing packets.
+    @raise Capability.Violation unless [caller] is privileged. *)
+
+val add_filter :
+  t -> caller:Uln_host.Addr_space.t -> channel -> Uln_filter.Program.t ->
+  Uln_filter.Demux.key
+(** Additional input filters (the registry points handshake traffic at
+    its own channel this way). *)
+
+val remove_filter : t -> caller:Uln_host.Addr_space.t -> Uln_filter.Demux.key -> unit
+
+val reassign_owner :
+  t -> caller:Uln_host.Addr_space.t -> channel -> owner:Uln_host.Addr_space.t -> unit
+(** Move a channel to a new owning domain (remaps the shared region):
+    used when the registry pre-creates a channel at SYN time, before it
+    knows which application will accept the connection. *)
+
+val transfer_channel :
+  t -> channel -> from_domain:Uln_host.Addr_space.t -> to_domain:Uln_host.Addr_space.t -> unit
+(** Hand a channel from its current owner to another application — the
+    Mach-port semantics that let connections be passed inetd-style
+    "without involving the registry server" (paper §3.2).  Unlike
+    {!reassign_owner} this needs no privilege, only ownership.
+    @raise Capability.Violation if [from_domain] does not own the
+    channel. *)
+
+val inject : t -> caller:Uln_host.Addr_space.t -> channel -> Uln_net.Frame.t -> unit
+(** Privileged re-delivery into a channel's ring: the registry uses this
+    to forward segments that raced a connection handoff (they matched
+    its own filters before the application's filter existed). *)
+
+val destroy_channel : t -> caller:Uln_host.Addr_space.t -> channel -> unit
+(** Revoke the capability, remove filters, release the BQI ring and the
+    shared region. *)
+
+(* {2 Data path (application library, via capability)} *)
+
+val send : t -> channel -> from_domain:Uln_host.Addr_space.t -> Uln_net.Frame.t -> unit
+(** Transmit through the channel: specialized kernel entry, template
+    check, BQI stamping, device handoff.  Called from a thread.
+    @raise Send_rejected if the header does not match the template.
+    @raise Capability.Violation if the channel is destroyed, inactive,
+    or [from_domain] neither owns the channel nor is privileged. *)
+
+val rx_sem : channel -> Uln_engine.Semaphore.t
+(** Signalled (with batching) when the receive ring goes non-empty. *)
+
+val rx_pop : channel -> from_domain:Uln_host.Addr_space.t -> Uln_net.Frame.t option
+(** Drain one packet from the shared ring (no kernel crossing).
+    @raise Capability.Violation if [from_domain] has no mapping. *)
+
+val recycle : t -> channel -> unit
+(** Return a receive buffer to the channel's BQI ring (no-op for
+    software-demux channels). *)
+
+(* {2 Statistics} *)
+
+val sends_rejected : t -> int
+(** Template-check failures (impersonation attempts). *)
+
+val unmatched_drops : t -> int
+(** Input packets matching no channel. *)
+
+val ring_overflows : t -> int
+(** Packets lost to full channel rings (slow consumer). *)
+
+val demux_cost_dist : t -> Uln_engine.Stats.Dist.t
+(** Per-packet demultiplexing cost (us) actually charged — the Table 5
+    measurement point. *)
+
+val hw_demuxed : t -> int
+(** Packets delivered by the AN1 BQI hardware path. *)
+
+val sw_demuxed : t -> int
+(** Packets dispatched by the software filter table. *)

@@ -1,0 +1,162 @@
+module Sched = Uln_engine.Sched
+module Time = Uln_engine.Time
+module Mailbox = Uln_engine.Mailbox
+module View = Uln_buf.View
+module Machine = Uln_host.Machine
+module Cpu = Uln_host.Cpu
+module Costs = Uln_host.Costs
+module Nic = Uln_net.Nic
+module Frame = Uln_net.Frame
+module Mbuf = Uln_buf.Mbuf
+module Stack = Uln_proto.Stack
+module Proto_env = Uln_proto.Proto_env
+module Tcp = Uln_proto.Tcp
+
+type t = {
+  machine : Machine.t;
+  stack : Stack.t;
+  mutable ephemeral : int;
+}
+
+let stack t = t.stack
+
+(* One user-space hop: message transfer plus dispatch of the receiving
+   server. *)
+let hop machine len =
+  let c = machine.Machine.costs in
+  Cpu.use machine.Machine.cpu
+    (Time.span_add c.Costs.ipc_fixed (Time.ns (len * c.Costs.ipc_per_byte_ns)));
+  Sched.sleep machine.Machine.sched c.Costs.wakeup_latency;
+  Cpu.use machine.Machine.cpu c.Costs.context_switch
+
+let create machine (nic : Nic.t) ~ip ?tcp_params () =
+  let env = Proto_env.of_machine machine in
+  let costs = machine.Machine.costs in
+  let tx frame =
+    (* protocol server -> device server -> device *)
+    hop machine (Mbuf.length frame.Frame.payload);
+    nic.Nic.send frame
+  in
+  let stack =
+    Stack.create env ~netif:{ Stack.mtu = nic.Nic.mtu; mac = nic.Nic.mac; tx } ~ip_addr:ip
+      ?tcp_params ()
+  in
+  let rxq = Mailbox.create () in
+  nic.Nic.install_rx (fun info -> Mailbox.send rxq info.Nic.frame);
+  let rec rx_loop () =
+    let frame = Mailbox.recv rxq in
+    (* kernel -> device server *)
+    Sched.sleep machine.Machine.sched costs.Costs.wakeup_latency;
+    Cpu.use machine.Machine.cpu costs.Costs.context_switch;
+    (* device server demultiplexes in software, then forwards to the
+       protocol server. *)
+    Cpu.use machine.Machine.cpu costs.Costs.demux_software;
+    hop machine (Mbuf.length frame.Frame.payload);
+    Stack.input stack frame;
+    rx_loop ()
+  in
+  Sched.spawn machine.Machine.sched ~name:(machine.Machine.name ^ ".devserver") rx_loop;
+  { machine; stack; ephemeral = 49152 }
+
+(* Application <-> protocol-server RPC. *)
+let charge_rpc t len =
+  hop t.machine len;
+  hop t.machine 0
+
+let wrap_conn t conn =
+  let send data =
+    charge_rpc t (View.length data);
+    Tcp.write conn data
+  in
+  let recv ~max =
+    let result = Tcp.read conn ~max in
+    (match result with
+    | Some v -> charge_rpc t (View.length v)
+    | None -> charge_rpc t 0);
+    result
+  in
+  { Sockets.send;
+    recv;
+    close =
+      (fun () ->
+        charge_rpc t 8;
+        Tcp.close conn);
+    abort =
+      (fun () ->
+        charge_rpc t 8;
+        Tcp.abort conn);
+    conn_state = (fun () -> Tcp.state conn);
+    await_closed = (fun () -> Tcp.await_closed conn) }
+
+let app t ~name =
+  let connect ~src_port ~dst ~dst_port =
+    charge_rpc t 16;
+    charge_rpc t 16;
+    charge_rpc t 32;
+    Cpu.use t.machine.Machine.cpu Calibration.bsd_socket_create;
+    let src_port =
+      if src_port = 0 then begin
+        t.ephemeral <- t.ephemeral + 1;
+        t.ephemeral
+      end
+      else src_port
+    in
+    match Tcp.connect t.stack.Stack.tcp ~src_port ~dst ~dst_port with
+    | Ok conn -> Ok (wrap_conn t conn)
+    | Error e -> Error e
+  in
+  let listen ~port =
+    charge_rpc t 16;
+    let l = Tcp.listen t.stack.Stack.tcp ~port in
+    { Sockets.accept =
+        (fun () ->
+          let conn = Tcp.accept l in
+          charge_rpc t 32;
+          wrap_conn t conn) }
+  in
+  let udp_bind ~port =
+    charge_rpc t 16;
+    let ep = Uln_proto.Udp.bind t.stack.Stack.udp ~port in
+    { Sockets.sendto =
+        (fun ~dst ~dst_port data ->
+          charge_rpc t (View.length data);
+          Uln_proto.Udp.sendto t.stack.Stack.udp ~src_port:port ~dst ~dst_port data);
+      recv_from =
+        (fun () ->
+          let d = Uln_proto.Udp.recv ep in
+          charge_rpc t (View.length d.Uln_proto.Udp.data);
+          (d.Uln_proto.Udp.src, d.Uln_proto.Udp.src_port, d.Uln_proto.Udp.data));
+      udp_close =
+        (fun () ->
+          charge_rpc t 8;
+          Uln_proto.Udp.unbind t.stack.Stack.udp ep) }
+  in
+  let rrp_client () =
+    charge_rpc t 16;
+    t.ephemeral <- t.ephemeral + 1;
+    let port = t.ephemeral in
+    { Sockets.rrp_call =
+        (fun ~dst ~dst_port data ->
+          charge_rpc t (View.length data);
+          let r = Uln_proto.Rrp.call t.stack.Stack.rrp ~src_port:port ~dst ~dst_port data in
+          (match r with Ok v -> charge_rpc t (View.length v) | Error _ -> ());
+          r);
+      rrp_client_close = (fun () -> ()) }
+  in
+  let rrp_serve ~port handler =
+    charge_rpc t 16;
+    let srv =
+      Uln_proto.Rrp.serve t.stack.Stack.rrp ~port (fun req ->
+          charge_rpc t (View.length req);
+          handler req)
+    in
+    { Sockets.rrp_stop = (fun () -> Uln_proto.Rrp.stop t.stack.Stack.rrp srv) }
+  in
+  { Sockets.app_name = name;
+    app_ip = Uln_proto.Ipv4.my_ip t.stack.Stack.ip;
+    connect;
+    listen;
+    udp_bind;
+    rrp_client;
+    rrp_serve;
+    exit_app = (fun ~graceful -> ignore graceful) }

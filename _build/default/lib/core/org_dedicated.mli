@@ -1,0 +1,23 @@
+(** The dedicated-servers organization (paper §1.2, "rare case").
+
+    One user-level server per protocol stack plus separate user-level
+    server(s) for network device management.  Every packet crosses
+    kernel → device server → protocol server on input (and the reverse
+    on output), and every application operation is an RPC to the
+    protocol server — the "excessive domain-switching overheads" the
+    paper's design eliminates.  Implemented as the pessimistic baseline
+    for the crossing-count ablation. *)
+
+type t
+
+val create :
+  Uln_host.Machine.t ->
+  Uln_net.Nic.t ->
+  ip:Uln_addr.Ip.t ->
+  ?tcp_params:Uln_proto.Tcp_params.t ->
+  unit ->
+  t
+
+val app : t -> name:string -> Sockets.app
+
+val stack : t -> Uln_proto.Stack.t

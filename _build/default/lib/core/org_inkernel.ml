@@ -1,0 +1,164 @@
+(* The monolithic in-kernel organization (Ultrix 4.2A baseline).
+
+   One protocol stack lives in the kernel; applications reach it with
+   system calls.  Writes below the copy-eliminating threshold pay a
+   per-byte copy plus BSD small-mbuf chaining; larger writes use the
+   page-remap path (paper S4).  Input demultiplexing is an in-kernel
+   PCB lookup. *)
+
+module Sched = Uln_engine.Sched
+module Time = Uln_engine.Time
+module Mailbox = Uln_engine.Mailbox
+module View = Uln_buf.View
+module Ip = Uln_addr.Ip
+module Machine = Uln_host.Machine
+module Cpu = Uln_host.Cpu
+module Costs = Uln_host.Costs
+module Nic = Uln_net.Nic
+module Stack = Uln_proto.Stack
+module Proto_env = Uln_proto.Proto_env
+module Tcp = Uln_proto.Tcp
+
+type t = {
+  machine : Machine.t;
+  stack : Stack.t;
+  mutable ephemeral : int;
+}
+
+let stack t = t.stack
+
+let create machine (nic : Nic.t) ~ip ?tcp_params () =
+  let env = Proto_env.of_machine machine in
+  let stack =
+    Stack.create env
+      ~netif:{ Stack.mtu = nic.Nic.mtu; mac = nic.Nic.mac; tx = nic.Nic.send }
+      ~ip_addr:ip ?tcp_params ()
+  in
+  let rxq = Mailbox.create () in
+  nic.Nic.install_rx (fun info -> Mailbox.send rxq info.Nic.frame);
+  let costs = machine.Machine.costs in
+  let rec rx_loop () =
+    let frame = Mailbox.recv rxq in
+    (* In-kernel dispatch: protocol-control-block lookup. *)
+    Cpu.use machine.Machine.cpu costs.Costs.demux_inkernel;
+    Stack.input stack frame;
+    rx_loop ()
+  in
+  Sched.spawn machine.Machine.sched ~name:(machine.Machine.name ^ ".netisr") rx_loop;
+  { machine; stack; ephemeral = 49152 }
+
+let charge t span = Cpu.use t.machine.Machine.cpu span
+
+(* Data movement between user and kernel: bcopy for small writes (plus
+   mbuf chaining), page remap for large ones. *)
+let charge_data_crossing t len =
+  let c = t.machine.Machine.costs in
+  if len < Calibration.copy_eliminate_threshold then begin
+    charge t (Time.ns (len * c.Costs.copy_per_byte_ns));
+    charge t Calibration.small_write_buffering
+  end
+  else charge t (Time.span_scale c.Costs.vm_remap ((len + 4095) / 4096))
+
+let wrap_conn t conn =
+  let c = t.machine.Machine.costs in
+  let send data =
+    charge t (Time.span_add c.Costs.trap c.Costs.socket_layer);
+    charge_data_crossing t (View.length data);
+    Tcp.write conn data
+  in
+  let recv ~max =
+    charge t (Time.span_add c.Costs.trap c.Costs.socket_layer);
+    let was_blocked = Tcp.bytes_available conn = 0 in
+    let result = Tcp.read conn ~max in
+    (match result with
+    | Some v ->
+        if was_blocked then begin
+          (* sowakeup: the sleeping process is rescheduled. *)
+          Sched.sleep t.machine.Machine.sched c.Costs.wakeup_latency;
+          charge t c.Costs.context_switch
+        end;
+        charge_data_crossing t (View.length v)
+    | None -> ());
+    result
+  in
+  { Sockets.send;
+    recv;
+    close = (fun () -> charge t c.Costs.trap; Tcp.close conn);
+    abort = (fun () -> charge t c.Costs.trap; Tcp.abort conn);
+    conn_state = (fun () -> Tcp.state conn);
+    await_closed = (fun () -> Tcp.await_closed conn) }
+
+let app t ~name =
+  let c = t.machine.Machine.costs in
+  let connect ~src_port ~dst ~dst_port =
+    charge t (Time.span_add c.Costs.trap c.Costs.socket_layer);
+    charge t Calibration.bsd_socket_create;
+    let src_port =
+      if src_port = 0 then begin
+        t.ephemeral <- t.ephemeral + 1;
+        t.ephemeral
+      end
+      else src_port
+    in
+    match Tcp.connect t.stack.Stack.tcp ~src_port ~dst ~dst_port with
+    | Ok conn -> Ok (wrap_conn t conn)
+    | Error e -> Error e
+  in
+  let listen ~port =
+    charge t c.Costs.trap;
+    let l = Tcp.listen t.stack.Stack.tcp ~port in
+    { Sockets.accept =
+        (fun () ->
+          charge t c.Costs.trap;
+          wrap_conn t (Tcp.accept l)) }
+  in
+  let udp_bind ~port =
+    charge t c.Costs.trap;
+    let ep = Uln_proto.Udp.bind t.stack.Stack.udp ~port in
+    { Sockets.sendto =
+        (fun ~dst ~dst_port data ->
+          charge t (Time.span_add c.Costs.trap c.Costs.socket_layer);
+          charge_data_crossing t (View.length data);
+          Uln_proto.Udp.sendto t.stack.Stack.udp ~src_port:port ~dst ~dst_port data);
+      recv_from =
+        (fun () ->
+          charge t (Time.span_add c.Costs.trap c.Costs.socket_layer);
+          let d = Uln_proto.Udp.recv ep in
+          charge_data_crossing t (View.length d.Uln_proto.Udp.data);
+          (d.Uln_proto.Udp.src, d.Uln_proto.Udp.src_port, d.Uln_proto.Udp.data));
+      udp_close =
+        (fun () ->
+          charge t c.Costs.trap;
+          Uln_proto.Udp.unbind t.stack.Stack.udp ep) }
+  in
+  let rrp_client () =
+    charge t c.Costs.trap;
+    t.ephemeral <- t.ephemeral + 1;
+    let port = t.ephemeral in
+    { Sockets.rrp_call =
+        (fun ~dst ~dst_port data ->
+          charge t (Time.span_add c.Costs.trap c.Costs.socket_layer);
+          charge_data_crossing t (View.length data);
+          let r = Uln_proto.Rrp.call t.stack.Stack.rrp ~src_port:port ~dst ~dst_port data in
+          (match r with Ok v -> charge_data_crossing t (View.length v) | Error _ -> ());
+          r);
+      rrp_client_close = (fun () -> ()) }
+  in
+  let rrp_serve ~port handler =
+    charge t c.Costs.trap;
+    let srv =
+      Uln_proto.Rrp.serve t.stack.Stack.rrp ~port (fun req ->
+          (* Upcall into the application: kernel boundary both ways. *)
+          Cpu.use t.machine.Machine.cpu (Time.span_scale c.Costs.trap 2);
+          handler req)
+    in
+    { Sockets.rrp_stop = (fun () -> Uln_proto.Rrp.stop t.stack.Stack.rrp srv) }
+  in
+  { Sockets.app_name = name;
+    app_ip = Uln_proto.Ipv4.my_ip t.stack.Stack.ip;
+    connect;
+    listen;
+    udp_bind;
+    rrp_client;
+    rrp_serve;
+    exit_app = (fun ~graceful -> ignore graceful) }

@@ -1,0 +1,23 @@
+(** The monolithic in-kernel organization (the Ultrix 4.2A baseline).
+
+    The protocol stack is kernel-resident; applications cross into it
+    with traps, and data crosses by copy (writes below 1024 bytes, with
+    BSD small-mbuf chaining) or page remap (larger writes).  Because the
+    kernel outlives applications, connection state needs no inheritance
+    machinery: {!Sockets.app}'s [exit_app] is a no-op and applications
+    close connections explicitly. *)
+
+type t
+
+val create :
+  Uln_host.Machine.t ->
+  Uln_net.Nic.t ->
+  ip:Uln_addr.Ip.t ->
+  ?tcp_params:Uln_proto.Tcp_params.t ->
+  unit ->
+  t
+
+val app : t -> name:string -> Sockets.app
+
+val stack : t -> Uln_proto.Stack.t
+(** The kernel stack (for statistics). *)

@@ -1,0 +1,198 @@
+module Sched = Uln_engine.Sched
+module Time = Uln_engine.Time
+module Mailbox = Uln_engine.Mailbox
+module View = Uln_buf.View
+module Ip = Uln_addr.Ip
+module Machine = Uln_host.Machine
+module Cpu = Uln_host.Cpu
+module Costs = Uln_host.Costs
+module Nic = Uln_net.Nic
+module Frame = Uln_net.Frame
+module Stack = Uln_proto.Stack
+module Proto_env = Uln_proto.Proto_env
+module Tcp = Uln_proto.Tcp
+
+type variant = [ `Mapped | `Message ]
+
+type t = {
+  machine : Machine.t;
+  stack : Stack.t;
+  variant : variant;
+  mutable ephemeral : int;
+}
+
+let stack t = t.stack
+let variant t = t.variant
+
+(* Per-packet cost of the kernel<->server message interface in the
+   [`Message] variant. *)
+let message_driver_cost machine len =
+  let c = machine.Machine.costs in
+  Time.span_add c.Costs.ipc_fixed (Time.ns (len * c.Costs.ipc_per_byte_ns))
+
+let create machine (nic : Nic.t) ~ip ~variant ?tcp_params () =
+  let env = Proto_env.of_machine machine in
+  let costs = machine.Machine.costs in
+  let tx frame =
+    (match variant with
+    | `Mapped -> ()
+    | `Message ->
+        Cpu.use machine.Machine.cpu
+          (message_driver_cost machine (Uln_buf.Mbuf.length frame.Frame.payload)));
+    nic.Nic.send frame
+  in
+  let stack =
+    Stack.create env ~netif:{ Stack.mtu = nic.Nic.mtu; mac = nic.Nic.mac; tx } ~ip_addr:ip
+      ?tcp_params ()
+  in
+  let rxq = Mailbox.create () in
+  nic.Nic.install_rx (fun info -> Mailbox.send rxq info.Nic.frame);
+  let rec rx_loop () =
+    let frame = Mailbox.recv rxq in
+    (* Interrupt -> server thread dispatch. *)
+    Sched.sleep machine.Machine.sched costs.Costs.wakeup_latency;
+    Cpu.use machine.Machine.cpu costs.Costs.context_switch;
+    let rec burst frame =
+      (match variant with
+      | `Mapped -> ()
+      | `Message ->
+          Cpu.use machine.Machine.cpu
+            (message_driver_cost machine (Uln_buf.Mbuf.length frame.Frame.payload)));
+      Cpu.use machine.Machine.cpu
+        (Time.span_add costs.Costs.demux_inkernel Calibration.ux_per_segment);
+      Stack.input stack frame;
+      (* Batch any packets that arrived while we were processing. *)
+      match Mailbox.try_recv rxq with Some next -> burst next | None -> ()
+    in
+    burst frame;
+    rx_loop ()
+  in
+  Sched.spawn machine.Machine.sched ~name:(machine.Machine.name ^ ".ux_server") rx_loop;
+  { machine; stack; variant; ephemeral = 49152 }
+
+let charge t span = Cpu.use t.machine.Machine.cpu span
+
+(* One application->server RPC with [len] bytes of data crossing: two
+   messages, two dispatch latencies, two context switches, plus the UX
+   server's socket-layer emulation. *)
+let charge_rpc t len =
+  let c = t.machine.Machine.costs in
+  let msg = Time.span_add c.Costs.ipc_fixed (Time.ns (len * c.Costs.ipc_per_byte_ns)) in
+  charge t msg;
+  Sched.sleep t.machine.Machine.sched c.Costs.wakeup_latency;
+  charge t c.Costs.context_switch;
+  charge t Calibration.ux_socket_op;
+  (* reply leg *)
+  charge t c.Costs.ipc_fixed;
+  Sched.sleep t.machine.Machine.sched c.Costs.wakeup_latency;
+  charge t c.Costs.context_switch
+
+let charge_rpc_data_reply t len =
+  let c = t.machine.Machine.costs in
+  charge t c.Costs.ipc_fixed;
+  Sched.sleep t.machine.Machine.sched c.Costs.wakeup_latency;
+  charge t c.Costs.context_switch;
+  charge t Calibration.ux_socket_op;
+  charge t (Time.span_add c.Costs.ipc_fixed (Time.ns (len * c.Costs.ipc_per_byte_ns)));
+  Sched.sleep t.machine.Machine.sched c.Costs.wakeup_latency;
+  charge t c.Costs.context_switch
+
+let wrap_conn t conn =
+  let send data =
+    charge_rpc t (View.length data);
+    Tcp.write conn data
+  in
+  let recv ~max =
+    let result = Tcp.read conn ~max in
+    (match result with
+    | Some v -> charge_rpc_data_reply t (View.length v)
+    | None -> charge_rpc_data_reply t 0);
+    result
+  in
+  { Sockets.send;
+    recv;
+    close =
+      (fun () ->
+        charge_rpc t 8;
+        Tcp.close conn);
+    abort =
+      (fun () ->
+        charge_rpc t 8;
+        Tcp.abort conn);
+    conn_state = (fun () -> Tcp.state conn);
+    await_closed = (fun () -> Tcp.await_closed conn) }
+
+let app t ~name =
+  let connect ~src_port ~dst ~dst_port =
+    (* socket(), bind(), connect() each cross into the server. *)
+    charge_rpc t 16;
+    charge_rpc t 16;
+    charge_rpc t 32;
+    charge t Calibration.bsd_socket_create;
+    let src_port =
+      if src_port = 0 then begin
+        t.ephemeral <- t.ephemeral + 1;
+        t.ephemeral
+      end
+      else src_port
+    in
+    match Tcp.connect t.stack.Stack.tcp ~src_port ~dst ~dst_port with
+    | Ok conn -> Ok (wrap_conn t conn)
+    | Error e -> Error e
+  in
+  let listen ~port =
+    charge_rpc t 16;
+    let l = Tcp.listen t.stack.Stack.tcp ~port in
+    { Sockets.accept =
+        (fun () ->
+          let conn = Tcp.accept l in
+          charge_rpc t 32;
+          wrap_conn t conn) }
+  in
+  let udp_bind ~port =
+    charge_rpc t 16;
+    let ep = Uln_proto.Udp.bind t.stack.Stack.udp ~port in
+    { Sockets.sendto =
+        (fun ~dst ~dst_port data ->
+          charge_rpc t (View.length data);
+          Uln_proto.Udp.sendto t.stack.Stack.udp ~src_port:port ~dst ~dst_port data);
+      recv_from =
+        (fun () ->
+          let d = Uln_proto.Udp.recv ep in
+          charge_rpc_data_reply t (View.length d.Uln_proto.Udp.data);
+          (d.Uln_proto.Udp.src, d.Uln_proto.Udp.src_port, d.Uln_proto.Udp.data));
+      udp_close =
+        (fun () ->
+          charge_rpc t 8;
+          Uln_proto.Udp.unbind t.stack.Stack.udp ep) }
+  in
+  let rrp_client () =
+    charge_rpc t 16;
+    t.ephemeral <- t.ephemeral + 1;
+    let port = t.ephemeral in
+    { Sockets.rrp_call =
+        (fun ~dst ~dst_port data ->
+          charge_rpc t (View.length data);
+          let r = Uln_proto.Rrp.call t.stack.Stack.rrp ~src_port:port ~dst ~dst_port data in
+          (match r with Ok v -> charge_rpc_data_reply t (View.length v) | Error _ -> ());
+          r);
+      rrp_client_close = (fun () -> ()) }
+  in
+  let rrp_serve ~port handler =
+    charge_rpc t 16;
+    let srv =
+      Uln_proto.Rrp.serve t.stack.Stack.rrp ~port (fun req ->
+          (* Request and response each cross server<->application. *)
+          charge_rpc t (View.length req);
+          handler req)
+    in
+    { Sockets.rrp_stop = (fun () -> Uln_proto.Rrp.stop t.stack.Stack.rrp srv) }
+  in
+  { Sockets.app_name = name;
+    app_ip = Uln_proto.Ipv4.my_ip t.stack.Stack.ip;
+    connect;
+    listen;
+    udp_bind;
+    rrp_client;
+    rrp_serve;
+    exit_app = (fun ~graceful -> ignore graceful) }

@@ -1,0 +1,31 @@
+(** The single-server organization (the Mach 3.0 / UX baseline).
+
+    All protocol stacks run in one trusted user-level server; every
+    application data operation crosses two address spaces (request and
+    reply IPC), and the server's BSD-emulation layer adds per-operation
+    and per-segment overheads.  Two variants differ in how the server
+    reaches the device (paper §1.2):
+
+    - [`Mapped]: the network device is mapped into the server, which
+      accesses it directly (the faster variant, used in Table 2);
+    - [`Message]: the device driver stays in the kernel and each packet
+      crosses kernel↔server through a message interface. *)
+
+type variant = [ `Mapped | `Message ]
+
+type t
+
+val create :
+  Uln_host.Machine.t ->
+  Uln_net.Nic.t ->
+  ip:Uln_addr.Ip.t ->
+  variant:variant ->
+  ?tcp_params:Uln_proto.Tcp_params.t ->
+  unit ->
+  t
+
+val app : t -> name:string -> Sockets.app
+
+val stack : t -> Uln_proto.Stack.t
+
+val variant : t -> variant

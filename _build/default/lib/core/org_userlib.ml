@@ -1,0 +1,20 @@
+type t = {
+  machine : Uln_host.Machine.t;
+  netio : Netio.t;
+  registry : Registry.t;
+  ip : Uln_addr.Ip.t;
+  tcp_params : Uln_proto.Tcp_params.t option;
+}
+
+let create machine nic ~ip ~mode ?tcp_params () =
+  let netio = Netio.create machine nic ~mode in
+  let registry = Registry.create machine netio ~ip ?tcp_params () in
+  { machine; netio; registry; ip; tcp_params }
+
+let library t ~name =
+  Protolib.create t.machine t.netio t.registry ~name ~ip:t.ip ?tcp_params:t.tcp_params ()
+
+let app t ~name = Protolib.app (library t ~name)
+
+let netio t = t.netio
+let registry t = t.registry

@@ -1,0 +1,27 @@
+(** The paper's organization: user-level protocol libraries with a
+    registry server and an in-kernel network I/O module.
+
+    This module just assembles the three components on a host and hands
+    out per-application {!Protolib} instances. *)
+
+type t
+
+val create :
+  Uln_host.Machine.t ->
+  Uln_net.Nic.t ->
+  ip:Uln_addr.Ip.t ->
+  mode:Uln_filter.Demux.mode ->
+  ?tcp_params:Uln_proto.Tcp_params.t ->
+  unit ->
+  t
+(** [mode] selects interpreted or compiled software demultiplexing in
+    the network I/O module (the filter ablation). *)
+
+val app : t -> name:string -> Sockets.app
+(** A new application with its own address space and linked library. *)
+
+val library : t -> name:string -> Protolib.t
+(** The underlying library instance (needed for connection passing). *)
+
+val netio : t -> Netio.t
+val registry : t -> Registry.t

@@ -1,0 +1,382 @@
+module Sched = Uln_engine.Sched
+module Time = Uln_engine.Time
+module Semaphore = Uln_engine.Semaphore
+module Rng = Uln_engine.Rng
+module View = Uln_buf.View
+module Ip = Uln_addr.Ip
+module Machine = Uln_host.Machine
+module Cpu = Uln_host.Cpu
+module Costs = Uln_host.Costs
+module Addr_space = Uln_host.Addr_space
+module Ipc = Uln_host.Ipc
+module Nic = Uln_net.Nic
+module Stack = Uln_proto.Stack
+module Proto_env = Uln_proto.Proto_env
+module Tcp = Uln_proto.Tcp
+
+type lib_conn = {
+  stack : Stack.t;
+  conn : Tcp.conn;
+  channel : Netio.channel;
+  mutable released : bool;
+  mutable ops : Sockets.conn option; (* identity for connection passing *)
+}
+
+type t = {
+  machine : Machine.t;
+  netio : Netio.t;
+  registry : Registry.t;
+  name : string;
+  host_ip : Ip.t;
+  dom : Addr_space.t;
+  tcp_params : Uln_proto.Tcp_params.t option;
+  mutable conns : lib_conn list;
+}
+
+let domain t = t.dom
+let live_connections t = List.length t.conns
+
+let charge t span = Cpu.use t.machine.Machine.cpu span
+let costs t = t.machine.Machine.costs
+
+(* Connectionless endpoints answer arbitrary peers, so they learn link
+   addresses from the frames they receive ("discovering ... by examining
+   the link-level headers of incoming messages", paper SS3/SS5) instead
+   of broadcasting ARP through their templated channel. *)
+let learn_peer stack (frame : Uln_net.Frame.t) =
+  if frame.Uln_net.Frame.ethertype = Uln_net.Frame.ethertype_ip then begin
+    let payload = Uln_buf.Mbuf.flatten frame.Uln_net.Frame.payload in
+    if Uln_buf.View.length payload >= 20 then
+      Stack.add_static_arp stack
+        (Uln_addr.Ip.of_int32 (Uln_buf.View.get_uint32 payload 12))
+        frame.Uln_net.Frame.src
+  end
+
+(* Release the connection's resources with the registry once it is fully
+   closed (TIME_WAIT served locally by the library). *)
+let release t lc =
+  if not lc.released then begin
+    lc.released <- true;
+    t.conns <- List.filter (fun c -> c != lc) t.conns;
+    Ipc.call (Registry.release_port t.registry) ~size:16 (Tcp.local_port lc.conn, lc.channel)
+  end
+
+(* Build the per-connection library instance: a private engine, a
+   receive thread on the channel semaphore, and the socket operations.
+   [params] overrides the library default — the paper's "canned options"
+   customization (SS5): each connection gets its own engine, so each can
+   be tuned to its application without touching anyone else. *)
+let adopt_parts t ?params ~snapshot ~channel ~remote_mac () =
+  let m = t.machine in
+  let nic = Netio.nic t.netio in
+  let env =
+    Proto_env.create m.Machine.sched m.Machine.cpu m.Machine.costs
+      ~rng:(Rng.split m.Machine.rng) ()
+  in
+  let tx frame = Netio.send t.netio channel ~from_domain:t.dom frame in
+  let tcp_params = match params with Some p -> Some p | None -> t.tcp_params in
+  let stack =
+    Stack.create env
+      ~netif:{ Stack.mtu = nic.Nic.mtu; mac = nic.Nic.mac; tx }
+      ~ip_addr:t.host_ip ?tcp_params ()
+  in
+  Stack.add_static_arp stack snapshot.Tcp.snap_remote_ip remote_mac;
+  let conn = Tcp.import stack.Stack.tcp snapshot in
+  let lc = { stack; conn; channel; released = false; ops = None } in
+  t.conns <- lc :: t.conns;
+  (* The per-connection receive thread: waits on the channel semaphore,
+     drains the shared ring, upcalls into the engine. *)
+  let c = costs t in
+  let rec rx_loop () =
+    Semaphore.wait (Netio.rx_sem channel);
+    if not lc.released then begin
+      (* Process wakeup after the kernel's semaphore signal; paid per
+         notification, so batching amortizes it. *)
+      Sched.sleep t.machine.Machine.sched c.Costs.wakeup_latency;
+      charge t
+        (Time.span_add c.Costs.semaphore_wakeup
+           (Time.span_add c.Costs.context_switch Calibration.userlib_batch_overhead));
+      let rec drain () =
+        match Netio.rx_pop channel ~from_domain:t.dom with
+        | None -> ()
+        | Some frame ->
+            charge t
+              (Time.span_add c.Costs.user_thread_switch Calibration.userlib_rx_per_segment);
+            Stack.input stack frame;
+            Netio.recycle t.netio channel;
+            drain ()
+      in
+      (try drain () with Uln_host.Capability.Violation _ -> ());
+      rx_loop ()
+    end
+    else
+      (* The connection was handed to another library: give the wakeup
+         back so the new owner's receive thread sees it. *)
+      Semaphore.signal (Netio.rx_sem channel)
+  in
+  Sched.spawn m.Machine.sched ~name:(t.name ^ ".rx") rx_loop;
+  Tcp.on_closed conn (fun () -> release t lc);
+  let send data =
+    charge t
+      (Time.span_add c.Costs.library_call
+         (Time.span_add c.Costs.socket_layer Calibration.userlib_per_write));
+    Tcp.write conn data
+  in
+  let recv ~max =
+    charge t c.Costs.library_call;
+    Tcp.read conn ~max
+  in
+  let ops =
+    { Sockets.send;
+      recv;
+      close = (fun () -> Tcp.close conn);
+      abort = (fun () -> Tcp.abort conn);
+      conn_state = (fun () -> Tcp.state conn);
+      await_closed = (fun () -> Tcp.await_closed conn) }
+  in
+  lc.ops <- Some ops;
+  ops
+
+let adopt t ?params (grant : Registry.grant) =
+  adopt_parts t ?params ~snapshot:grant.Registry.snapshot ~channel:grant.Registry.channel
+    ~remote_mac:grant.Registry.remote_mac ()
+
+(* Pass an established connection to another application on the same
+   host, inetd-style: neither the registry server nor any privileged
+   operation is involved — the channel capability moves with the
+   connection state (paper SS3.2). *)
+let pass_connection t ops ~to_lib =
+  match List.find_opt (fun lc -> match lc.ops with Some o -> o == ops | None -> false) t.conns
+  with
+  | None -> failwith "Protolib.pass_connection: connection does not belong to this library"
+  | Some lc ->
+      Tcp.await_drained lc.conn;
+      let remote_ip, _ = Tcp.remote_addr lc.conn in
+      let remote_mac =
+        match Uln_proto.Arp.lookup lc.stack.Stack.arp remote_ip with
+        | Some mac -> mac
+        | None -> Uln_addr.Mac.broadcast
+      in
+      let snapshot = Tcp.export lc.conn in
+      lc.released <- true (* the new owner releases the port at close *);
+      t.conns <- List.filter (fun c -> c != lc) t.conns;
+      Netio.transfer_channel t.netio lc.channel ~from_domain:t.dom ~to_domain:to_lib.dom;
+      adopt_parts to_lib ~snapshot ~channel:lc.channel ~remote_mac ()
+
+let create machine netio registry ~name ~ip ?tcp_params () =
+  { machine;
+    netio;
+    registry;
+    name;
+    host_ip = ip;
+    dom = Machine.new_user_domain machine name;
+    tcp_params;
+    conns = [] }
+
+let connect ?params t ~src_port ~dst ~dst_port =
+  match
+    Ipc.call (Registry.connect_port t.registry) ~size:64
+      { Registry.c_app = t.dom; c_src_port = src_port; c_dst = dst; c_dst_port = dst_port }
+  with
+  | Error e -> Error e
+  | Ok grant -> Ok (adopt t ?params grant)
+
+let connect_tuned t ~params ~src_port ~dst ~dst_port =
+  connect ~params t ~src_port ~dst ~dst_port
+
+let listen t ~port =
+  match Ipc.call (Registry.listen_port t.registry) ~size:16 port with
+  | Error e -> failwith ("listen: " ^ e)
+  | Ok () ->
+      { Sockets.accept =
+          (fun () ->
+            match
+              Ipc.call (Registry.accept_port t.registry) ~size:32
+                { Registry.a_app = t.dom; a_port = port }
+            with
+            | Error e -> failwith ("accept: " ^ e)
+            | Ok grant -> adopt t grant) }
+
+(* Connectionless endpoints (paper SS5): the registry authorises the port
+   and builds the channel during a binding phase; datagrams then flow
+   directly between the library and the network I/O module. *)
+let udp_bind t ~port =
+  match Ipc.call (Registry.bind_udp_port t.registry) ~size:32 (t.dom, port) with
+  | Error e -> failwith ("udp_bind: " ^ e)
+  | Ok channel ->
+      let m = t.machine in
+      let nic = Netio.nic t.netio in
+      let c = costs t in
+      let env =
+        Proto_env.create m.Machine.sched m.Machine.cpu m.Machine.costs
+          ~rng:(Rng.split m.Machine.rng) ()
+      in
+      let tx frame = Netio.send t.netio channel ~from_domain:t.dom frame in
+      let stack =
+        Stack.create env
+          ~netif:{ Stack.mtu = nic.Uln_net.Nic.mtu; mac = nic.Uln_net.Nic.mac; tx }
+          ~ip_addr:t.host_ip ()
+      in
+      let ep = Uln_proto.Udp.bind stack.Stack.udp ~port in
+      let closed = ref false in
+      let rec rx_loop () =
+        Semaphore.wait (Netio.rx_sem channel);
+        if not !closed then begin
+          Sched.sleep m.Machine.sched c.Costs.wakeup_latency;
+          charge t
+            (Time.span_add c.Costs.semaphore_wakeup
+               (Time.span_add c.Costs.context_switch Calibration.userlib_batch_overhead));
+          let rec drain () =
+            match Netio.rx_pop channel ~from_domain:t.dom with
+            | None -> ()
+            | Some frame ->
+                charge t
+                  (Time.span_add c.Costs.user_thread_switch Calibration.userlib_rx_per_segment);
+                learn_peer stack frame;
+                Stack.input stack frame;
+                drain ()
+          in
+          (try drain () with Uln_host.Capability.Violation _ -> ());
+          rx_loop ()
+        end
+      in
+      Sched.spawn m.Machine.sched ~name:(t.name ^ ".udp_rx") rx_loop;
+      (* The registry owns ARP; the library asks it once per peer. *)
+      let ensure_mac dst =
+        match Uln_proto.Arp.lookup stack.Stack.arp dst with
+        | Some _ -> ()
+        | None ->
+            let mac = Ipc.call (Registry.resolve_mac_port t.registry) ~size:16 dst in
+            Stack.add_static_arp stack dst mac
+      in
+      { Sockets.sendto =
+          (fun ~dst ~dst_port data ->
+            charge t
+              (Time.span_add c.Costs.library_call
+                 (Time.span_add c.Costs.socket_layer Calibration.userlib_per_write));
+            ensure_mac dst;
+            Uln_proto.Udp.sendto stack.Stack.udp ~src_port:port ~dst ~dst_port data);
+        recv_from =
+          (fun () ->
+            charge t c.Costs.library_call;
+            let d = Uln_proto.Udp.recv ep in
+            (d.Uln_proto.Udp.src, d.Uln_proto.Udp.src_port, d.Uln_proto.Udp.data));
+        udp_close =
+          (fun () ->
+            closed := true;
+            Uln_proto.Udp.unbind stack.Stack.udp ep;
+            Ipc.call (Registry.release_udp_port t.registry) ~size:16 (port, channel)) }
+
+(* The request-response transport through the registry's binding phase:
+   software demux, source-pinning template, direct data path. *)
+let rrp_endpoint t ~is_server ~port =
+  match
+    Ipc.call (Registry.bind_rrp_port t.registry) ~size:32 (t.dom, is_server, port)
+  with
+  | Error e -> failwith ("rrp bind: " ^ e)
+  | Ok (channel, port) ->
+      let m = t.machine in
+      let nic = Netio.nic t.netio in
+      let c = costs t in
+      let env =
+        Proto_env.create m.Machine.sched m.Machine.cpu m.Machine.costs
+          ~rng:(Rng.split m.Machine.rng) ()
+      in
+      let tx frame = Netio.send t.netio channel ~from_domain:t.dom frame in
+      let stack =
+        Stack.create env
+          ~netif:{ Stack.mtu = nic.Uln_net.Nic.mtu; mac = nic.Uln_net.Nic.mac; tx }
+          ~ip_addr:t.host_ip ()
+      in
+      let closed = ref false in
+      let rec rx_loop () =
+        Semaphore.wait (Netio.rx_sem channel);
+        if not !closed then begin
+          Sched.sleep m.Machine.sched c.Costs.wakeup_latency;
+          charge t
+            (Time.span_add c.Costs.semaphore_wakeup
+               (Time.span_add c.Costs.context_switch Calibration.userlib_batch_overhead));
+          let rec drain () =
+            match Netio.rx_pop channel ~from_domain:t.dom with
+            | None -> ()
+            | Some frame ->
+                charge t
+                  (Time.span_add c.Costs.user_thread_switch Calibration.userlib_rx_per_segment);
+                learn_peer stack frame;
+                Stack.input stack frame;
+                drain ()
+          in
+          (try drain () with Uln_host.Capability.Violation _ -> ());
+          rx_loop ()
+        end
+      in
+      Sched.spawn m.Machine.sched ~name:(t.name ^ ".rrp_rx") rx_loop;
+      let ensure_mac dst =
+        match Uln_proto.Arp.lookup stack.Stack.arp dst with
+        | Some _ -> ()
+        | None ->
+            let mac = Ipc.call (Registry.resolve_mac_port t.registry) ~size:16 dst in
+            Stack.add_static_arp stack dst mac
+      in
+      let close () =
+        if not !closed then begin
+          closed := true;
+          Ipc.call (Registry.release_rrp_port t.registry) ~size:16 (port, channel)
+        end
+      in
+      (stack, port, ensure_mac, close)
+
+let rrp_client t =
+  let stack, port, ensure_mac, close = rrp_endpoint t ~is_server:false ~port:0 in
+  let c = costs t in
+  { Sockets.rrp_call =
+      (fun ~dst ~dst_port data ->
+        charge t (Time.span_add c.Costs.library_call Calibration.userlib_per_write);
+        ensure_mac dst;
+        Uln_proto.Rrp.call stack.Stack.rrp ~src_port:port ~dst ~dst_port data);
+    rrp_client_close = close }
+
+let rrp_serve t ~port handler =
+  let stack, _port, _ensure_mac, close = rrp_endpoint t ~is_server:true ~port in
+  let c = costs t in
+  let srv =
+    Uln_proto.Rrp.serve stack.Stack.rrp ~port (fun req ->
+        charge t c.Costs.library_call;
+        handler req)
+  in
+  { Sockets.rrp_stop =
+      (fun () ->
+        Uln_proto.Rrp.stop stack.Stack.rrp srv;
+        close ()) }
+
+let exit_app t ~graceful =
+  (* The registry server inherits open connections (paper §3.4):
+     maintaining the shutdown delay for orderly exits, resetting the
+     peer otherwise. *)
+  let open_conns = t.conns in
+  t.conns <- [];
+  List.iter
+    (fun lc ->
+      if not lc.released then begin
+        lc.released <- true;
+        if graceful then Tcp.await_drained lc.conn;
+        match Tcp.state lc.conn with
+        | Uln_proto.Tcp_state.Established ->
+            let snap = if graceful then Tcp.export lc.conn else Tcp.export_force lc.conn in
+            Ipc.call (Registry.inherit_conn t.registry) ~size:128 (snap, lc.channel, graceful)
+        | _ ->
+            Tcp.abort lc.conn;
+            Ipc.call (Registry.release_port t.registry) ~size:16
+              (Tcp.local_port lc.conn, lc.channel)
+      end)
+    open_conns
+
+let app t =
+  { Sockets.app_name = t.name;
+    app_ip = t.host_ip;
+    connect = (fun ~src_port ~dst ~dst_port -> connect t ~src_port ~dst ~dst_port);
+    listen = (fun ~port -> listen t ~port);
+    udp_bind = (fun ~port -> udp_bind t ~port);
+    rrp_client = (fun () -> rrp_client t);
+    rrp_serve = (fun ~port handler -> rrp_serve t ~port handler);
+    exit_app = (fun ~graceful -> exit_app t ~graceful) }

@@ -1,0 +1,56 @@
+(** The user-level protocol library (paper §3.2).
+
+    Linked into each application: the full TCP/IP stack runs in the
+    application's address space.  Connection setup goes through the
+    registry server (real IPC); data transfer afterwards involves only
+    the library and the network I/O module — packets move through the
+    connection's shared-memory ring, arrival is signalled by a
+    lightweight semaphore (batched), and transmission enters the kernel
+    through a specialized, template-checked path.
+
+    Per the paper, each connection gets its own protocol engine and
+    receive thread ("protocol control block lookups are eliminated by
+    having separate threads per connection that are upcalled"), and the
+    buffer organization eliminates byte copying at every write size. *)
+
+type t
+
+val create :
+  Uln_host.Machine.t ->
+  Netio.t ->
+  Registry.t ->
+  name:string ->
+  ip:Uln_addr.Ip.t ->
+  ?tcp_params:Uln_proto.Tcp_params.t ->
+  unit ->
+  t
+(** Instantiate the library for one application. *)
+
+val app : t -> Sockets.app
+(** The application-facing socket interface. *)
+
+val connect_tuned :
+  t ->
+  params:Uln_proto.Tcp_params.t ->
+  src_port:int ->
+  dst:Uln_addr.Ip.t ->
+  dst_port:int ->
+  (Sockets.conn, string) result
+(** Like the socket interface's [connect] but with application-chosen
+    protocol parameters for {e this connection only} — the "canned
+    options" specialization of paper §5.  Per-connection engines make
+    this trivial in the library organization; a monolithic stack shares
+    one parameter set across every user. *)
+
+val pass_connection : t -> Sockets.conn -> to_lib:t -> Sockets.conn
+(** Hand an established connection to another application on the same
+    host without involving the registry server — the inetd pattern the
+    paper gives for Mach-port-based connection passing (§3.2).  The
+    connection must be quiescent; the returned handle belongs to
+    [to_lib] and the original becomes unusable.
+    @raise Failure if the connection is not this library's or not
+    ESTABLISHED. *)
+
+val domain : t -> Uln_host.Addr_space.t
+
+val live_connections : t -> int

@@ -1,0 +1,495 @@
+module Sched = Uln_engine.Sched
+module Time = Uln_engine.Time
+module Semaphore = Uln_engine.Semaphore
+module View = Uln_buf.View
+module Mbuf = Uln_buf.Mbuf
+module Ip = Uln_addr.Ip
+module Mac = Uln_addr.Mac
+module Machine = Uln_host.Machine
+module Cpu = Uln_host.Cpu
+module Costs = Uln_host.Costs
+module Addr_space = Uln_host.Addr_space
+module Ipc = Uln_host.Ipc
+module Frame = Uln_net.Frame
+module Nic = Uln_net.Nic
+module Program = Uln_filter.Program
+module Template = Uln_filter.Template
+module Demux = Uln_filter.Demux
+module Stack = Uln_proto.Stack
+module Proto_env = Uln_proto.Proto_env
+module Tcp = Uln_proto.Tcp
+module Arp = Uln_proto.Arp
+
+type grant = { snapshot : Tcp.snapshot; channel : Netio.channel; remote_mac : Mac.t }
+
+type connect_req = {
+  c_app : Addr_space.t;
+  c_src_port : int;
+  c_dst : Ip.t;
+  c_dst_port : int;
+}
+
+type accept_req = { a_app : Addr_space.t; a_port : int }
+
+(* Per-handshake bookkeeping: which local BQI to advertise outbound, and
+   which remote BQI the peer advertised. *)
+type pending = {
+  mutable stamp_bqi : int;
+  mutable peer_bqi : int;
+  mutable pre_channel : Netio.channel option; (* passive side, created at SYN *)
+}
+
+type port_state = Listening of Tcp.listener | In_use
+
+type t = {
+  machine : Machine.t;
+  netio : Netio.t;
+  dom : Addr_space.t;
+  my_ip : Ip.t;
+  stack : Stack.t;
+  channel : Netio.channel;
+  pending : (int32 * int * int, pending) Hashtbl.t; (* remote ip, rport, lport *)
+  handoffs : (int32 * int * int, Netio.channel) Hashtbl.t;
+      (* connections handed to applications: segments that still match a
+         registry filter (handoff races) are forwarded to the owner *)
+  ports : (int, port_state) Hashtbl.t;
+  mutable ephemeral : int;
+  mutable handshakes : int;
+  mutable inherited : int;
+  connect_p : (connect_req, (grant, string) result) Ipc.t;
+  listen_p : (int, (unit, string) result) Ipc.t;
+  accept_p : (accept_req, (grant, string) result) Ipc.t;
+  release_p : (int * Netio.channel, unit) Ipc.t;
+  inherit_p : (Tcp.snapshot * Netio.channel * bool, unit) Ipc.t;
+  bind_udp_p : (Addr_space.t * int, (Netio.channel, string) result) Ipc.t;
+  release_udp_p : (int * Netio.channel, unit) Ipc.t;
+  resolve_p : (Ip.t, Mac.t) Ipc.t;
+  bind_rrp_p : (Addr_space.t * bool * int, (Netio.channel * int, string) result) Ipc.t;
+  release_rrp_p : (int * Netio.channel, unit) Ipc.t;
+  udp_ports : (int, unit) Hashtbl.t;
+  rrp_ports : (int, unit) Hashtbl.t;
+  mutable rrp_ephemeral : int;
+}
+
+let domain t = t.dom
+let ip t = t.my_ip
+let ports_in_use t = Hashtbl.length t.ports
+let handshakes_completed t = t.handshakes
+let inherited_connections t = t.inherited
+let stack t = t.stack
+let connect_port t = t.connect_p
+let listen_port t = t.listen_p
+let accept_port t = t.accept_p
+let release_port t = t.release_p
+let inherit_conn t = t.inherit_p
+let bind_udp_port t = t.bind_udp_p
+let release_udp_port t = t.release_udp_p
+let resolve_mac_port t = t.resolve_p
+let bind_rrp_port t = t.bind_rrp_p
+let release_rrp_port t = t.release_rrp_p
+
+(* Minimal TCP header inspection of an IP payload — the layering
+   violation the paper accepts for setup-time machinery. *)
+type tcp_peek = { p_src : Ip.t; p_dst : Ip.t; p_sport : int; p_dport : int; p_flags : int }
+
+let peek_tcp payload =
+  if Mbuf.length payload >= 40 then begin
+    let hdr = Mbuf.flatten (Mbuf.take payload 40) in
+    if View.get_uint8 hdr 0 = 0x45 && View.get_uint8 hdr 9 = 6 then
+      Some
+        { p_src = Ip.of_int32 (View.get_uint32 hdr 12);
+          p_dst = Ip.of_int32 (View.get_uint32 hdr 16);
+          p_sport = View.get_uint16 hdr 20;
+          p_dport = View.get_uint16 hdr 22;
+          p_flags = View.get_uint8 hdr 33 }
+    else None
+  end
+  else None
+
+let flag_syn = 2
+let flag_ack = 16
+
+let pending_key ~remote_ip ~remote_port ~local_port =
+  (Ip.to_int32 remote_ip, remote_port, local_port)
+
+let conn_filter t ~remote_ip ~remote_port ~local_port =
+  Program.tcp_conn ~src_ip:remote_ip ~dst_ip:t.my_ip ~src_port:remote_port
+    ~dst_port:local_port
+
+let conn_template t ~remote_ip ~remote_port ~local_port ~bqi =
+  Template.tcp_conn ~src_ip:t.my_ip ~dst_ip:remote_ip ~src_port:local_port
+    ~dst_port:remote_port ~bqi ()
+
+let charge t span = Cpu.use t.machine.Machine.cpu span
+
+(* The registry reaches the device with ordinary IPC, not shared memory
+   (paper §4: part of why setup is costlier than data transfer). *)
+let device_ipc_cost t =
+  let c = t.machine.Machine.costs in
+  Time.span_add c.Costs.ipc_fixed c.Costs.context_switch
+
+let rec create machine netio ~ip ?tcp_params () =
+  let dom = Machine.new_server_domain machine "tcp-registry" in
+  let nic = Netio.nic netio in
+  let channel = Netio.create_channel netio ~caller:dom ~owner:dom ~use_bqi:false in
+  Netio.activate netio ~caller:dom channel ~filter:(Program.arp ()) ~template:(Template.make []);
+  let env = Proto_env.of_machine machine in
+  let rec t =
+    lazy
+      (let tx frame =
+         let tt = Lazy.force t in
+         (* Stamp our advertised BQI into the spare link-header field on
+            handshake frames. *)
+         let frame =
+           match peek_tcp frame.Frame.payload with
+           | Some peek -> (
+               let key =
+                 pending_key ~remote_ip:peek.p_dst ~remote_port:peek.p_dport
+                   ~local_port:peek.p_sport
+               in
+               match Hashtbl.find_opt tt.pending key with
+               | Some p when p.stamp_bqi > 0 -> { frame with Frame.bqi_hint = p.stamp_bqi }
+               | _ -> frame)
+           | None -> frame
+         in
+         charge tt (device_ipc_cost tt);
+         Netio.send tt.netio tt.channel ~from_domain:tt.dom frame
+       in
+       let stack =
+         Stack.create env
+           ~netif:{ Stack.mtu = nic.Nic.mtu; mac = nic.Nic.mac; tx }
+           ~ip_addr:ip ?tcp_params ()
+       in
+       Tcp.set_rst_on_unknown stack.Stack.tcp false;
+       let costs = machine.Machine.costs in
+       { machine;
+         netio;
+         dom;
+         my_ip = ip;
+         stack;
+         channel;
+         pending = Hashtbl.create 16;
+         handoffs = Hashtbl.create 16;
+         ports = Hashtbl.create 16;
+         ephemeral = 49152;
+         handshakes = 0;
+         inherited = 0;
+         connect_p = Ipc.create machine.Machine.sched machine.Machine.cpu costs ~name:"registry.connect";
+         listen_p = Ipc.create machine.Machine.sched machine.Machine.cpu costs ~name:"registry.listen";
+         accept_p = Ipc.create machine.Machine.sched machine.Machine.cpu costs ~name:"registry.accept";
+         release_p = Ipc.create machine.Machine.sched machine.Machine.cpu costs ~name:"registry.release";
+         inherit_p = Ipc.create machine.Machine.sched machine.Machine.cpu costs ~name:"registry.inherit";
+         bind_udp_p = Ipc.create machine.Machine.sched machine.Machine.cpu costs ~name:"registry.bind_udp";
+         release_udp_p = Ipc.create machine.Machine.sched machine.Machine.cpu costs ~name:"registry.release_udp";
+         resolve_p = Ipc.create machine.Machine.sched machine.Machine.cpu costs ~name:"registry.resolve";
+         bind_rrp_p = Ipc.create machine.Machine.sched machine.Machine.cpu costs ~name:"registry.bind_rrp";
+         release_rrp_p = Ipc.create machine.Machine.sched machine.Machine.cpu costs ~name:"registry.release_rrp";
+         udp_ports = Hashtbl.create 16;
+         rrp_ports = Hashtbl.create 16;
+         rrp_ephemeral = 40000 })
+  in
+  let t = Lazy.force t in
+  (* Receive loop: handshake/ARP traffic routed to the registry channel. *)
+  let costs = machine.Machine.costs in
+  let rec rx_loop () =
+    Semaphore.wait (Netio.rx_sem channel);
+    Sched.sleep machine.Machine.sched costs.Costs.wakeup_latency;
+    Cpu.use machine.Machine.cpu costs.Costs.context_switch;
+    let rec drain () =
+      match Netio.rx_pop channel ~from_domain:dom with
+      | None -> ()
+      | Some frame ->
+          charge t (device_ipc_cost t);
+          if not (forwarded t frame) then begin
+            on_rx t frame;
+            Stack.input t.stack frame
+          end;
+          drain ()
+    in
+    drain ();
+    rx_loop ()
+  in
+  Sched.spawn machine.Machine.sched ~name:"registry.rx" rx_loop;
+  (* Belt and braces for handoff races: a segment that was already past
+     the forwarding check when the handoff registered reaches the
+     engine's unknown-connection path; reconstruct a frame and deliver
+     it to the owning channel. *)
+  Tcp.set_unknown_segment_hook t.stack.Stack.tcp (fun ~src ~dst segment ->
+      if Mbuf.length segment < 4 then false
+      else begin
+        let hdr = Mbuf.flatten (Mbuf.take segment 4) in
+        let sport = View.get_uint16 hdr 0 and dport = View.get_uint16 hdr 2 in
+        let key = pending_key ~remote_ip:src ~remote_port:sport ~local_port:dport in
+        match Hashtbl.find_opt t.handoffs key with
+        | None -> false
+        | Some ch ->
+            let ip_hdr = View.create 20 in
+            View.set_uint8 ip_hdr 0 0x45;
+            View.set_uint16 ip_hdr 2 (20 + Mbuf.length segment);
+            View.set_uint8 ip_hdr 8 64;
+            View.set_uint8 ip_hdr 9 6;
+            View.set_uint32 ip_hdr 12 (Ip.to_int32 src);
+            View.set_uint32 ip_hdr 16 (Ip.to_int32 dst);
+            View.set_uint16 ip_hdr 10 (Uln_proto.Checksum.of_view ip_hdr);
+            let frame =
+              Frame.make ~src:nic.Nic.mac ~dst:nic.Nic.mac ~ethertype:Frame.ethertype_ip
+                (Mbuf.prepend ip_hdr segment)
+            in
+            Netio.inject t.netio ~caller:t.dom ch frame;
+            true
+      end);
+  serve t;
+  t
+
+(* A segment of an already-handed-off connection (it matched a registry
+   filter in the window before the application's filter existed) is
+   re-delivered into the owning channel. *)
+and forwarded t frame =
+  if frame.Frame.ethertype <> Frame.ethertype_ip then false
+  else
+    match peek_tcp frame.Frame.payload with
+    | None -> false
+    | Some peek -> (
+        let key =
+          pending_key ~remote_ip:peek.p_src ~remote_port:peek.p_sport
+            ~local_port:peek.p_dport
+        in
+        match Hashtbl.find_opt t.handoffs key with
+        | Some ch ->
+            Netio.inject t.netio ~caller:t.dom ch frame;
+            true
+        | None -> false)
+
+(* Observe inbound handshake frames: capture the peer's advertised BQI
+   and pre-create channels for incoming SYNs on listening ports. *)
+and on_rx t frame =
+  if frame.Frame.ethertype = Frame.ethertype_ip then
+    match peek_tcp frame.Frame.payload with
+    | None -> ()
+    | Some peek -> (
+        let key =
+          pending_key ~remote_ip:peek.p_src ~remote_port:peek.p_sport
+            ~local_port:peek.p_dport
+        in
+        let is_syn_only = peek.p_flags land flag_syn <> 0 && peek.p_flags land flag_ack = 0 in
+        (match Hashtbl.find_opt t.pending key with
+        | Some p -> if frame.Frame.bqi_hint > 0 then p.peer_bqi <- frame.Frame.bqi_hint
+        | None ->
+            if is_syn_only && Hashtbl.mem t.ports peek.p_dport then begin
+              match Hashtbl.find_opt t.ports peek.p_dport with
+              | Some (Listening _) ->
+                  let use_bqi = (Netio.nic t.netio).Nic.bqi <> None in
+                  let ch =
+                    Netio.create_channel t.netio ~caller:t.dom ~owner:t.dom ~use_bqi
+                  in
+                  Hashtbl.replace t.pending key
+                    { stamp_bqi = Netio.channel_bqi ch;
+                      peer_bqi = frame.Frame.bqi_hint;
+                      pre_channel = Some ch }
+              | Some In_use | None -> ()
+            end))
+
+and resolve_mac t dst =
+  match Arp.lookup t.stack.Stack.arp dst with
+  | Some mac -> mac
+  | None ->
+      let result = ref None in
+      let resume = ref (fun () -> ()) in
+      Arp.resolve t.stack.Stack.arp dst (fun r ->
+          result := r;
+          !resume ());
+      Sched.suspend (fun wake -> resume := wake);
+      (match !result with Some m -> m | None -> Mac.broadcast)
+
+and alloc_ephemeral t =
+  let rec go n =
+    if n > 16384 then failwith "registry: out of ephemeral ports";
+    let p = t.ephemeral in
+    t.ephemeral <- (if t.ephemeral >= 65535 then 49152 else t.ephemeral + 1);
+    if Hashtbl.mem t.ports p then go (n + 1) else p
+  in
+  go 0
+
+and do_connect t (req : connect_req) =
+  charge t Calibration.registry_port_alloc;
+  let src_port = if req.c_src_port = 0 then alloc_ephemeral t else req.c_src_port in
+  if Hashtbl.mem t.ports src_port then Error (Printf.sprintf "port %d in use" src_port)
+  else begin
+    Hashtbl.replace t.ports src_port In_use;
+    let use_bqi = (Netio.nic t.netio).Nic.bqi <> None in
+    let app_ch = Netio.create_channel t.netio ~caller:t.dom ~owner:req.c_app ~use_bqi in
+    let key = pending_key ~remote_ip:req.c_dst ~remote_port:req.c_dst_port ~local_port:src_port in
+    Hashtbl.replace t.pending key
+      { stamp_bqi = Netio.channel_bqi app_ch; peer_bqi = 0; pre_channel = None };
+    (* Route this handshake's inbound segments to the registry. *)
+    let tmp_filter =
+      Netio.add_filter t.netio ~caller:t.dom t.channel
+        (conn_filter t ~remote_ip:req.c_dst ~remote_port:req.c_dst_port ~local_port:src_port)
+    in
+    let cleanup () =
+      Netio.remove_filter t.netio ~caller:t.dom tmp_filter;
+      Hashtbl.remove t.pending key;
+      Netio.destroy_channel t.netio ~caller:t.dom app_ch;
+      Hashtbl.remove t.ports src_port
+    in
+    match Tcp.connect t.stack.Stack.tcp ~src_port ~dst:req.c_dst ~dst_port:req.c_dst_port with
+    | Error e ->
+        cleanup ();
+        Error e
+    | Ok conn ->
+        let p = Hashtbl.find t.pending key in
+        finish_setup t ~conn ~app_ch ~remote_ip:req.c_dst ~remote_port:req.c_dst_port
+          ~local_port:src_port ~peer_bqi:p.peer_bqi ~tmp_filter:(Some tmp_filter) ~key
+
+  end
+
+and finish_setup t ~conn ~app_ch ~remote_ip ~remote_port ~local_port ~peer_bqi ~tmp_filter
+    ~key =
+  (* Build the user channel: shared region already exists; install the
+     connection filter and the anti-impersonation template.  The handoff
+     entry is registered first so that segments racing the transfer are
+     diverted to the application's channel rather than processed (and
+     then lost) by the registry's own engine. *)
+  Hashtbl.replace t.handoffs key app_ch;
+  charge t Calibration.registry_channel_setup;
+  if Netio.channel_bqi app_ch > 0 then charge t Calibration.bqi_setup;
+  Netio.activate t.netio ~caller:t.dom app_ch
+    ~filter:(conn_filter t ~remote_ip ~remote_port ~local_port)
+    ~template:(conn_template t ~remote_ip ~remote_port ~local_port ~bqi:peer_bqi);
+  (match tmp_filter with
+  | Some k -> Netio.remove_filter t.netio ~caller:t.dom k
+  | None -> ());
+  Hashtbl.remove t.pending key;
+  let snapshot = Tcp.export conn in
+  charge t Calibration.registry_state_transfer;
+  t.handshakes <- t.handshakes + 1;
+  Ok { snapshot; channel = app_ch; remote_mac = resolve_mac t remote_ip }
+
+and do_listen t port =
+  if Hashtbl.mem t.ports port then Error (Printf.sprintf "port %d in use" port)
+  else begin
+    charge t Calibration.registry_port_alloc;
+    let listener = Tcp.listen t.stack.Stack.tcp ~port in
+    Hashtbl.replace t.ports port (Listening listener);
+    ignore
+      (Netio.add_filter t.netio ~caller:t.dom t.channel
+         (Program.tcp_dst_port ~dst_ip:t.my_ip ~dst_port:port));
+    Ok ()
+  end
+
+and do_accept t (req : accept_req) =
+  match Hashtbl.find_opt t.ports req.a_port with
+  | Some (Listening listener) -> (
+      let conn = Tcp.accept listener in
+      let remote_ip, remote_port = Tcp.remote_addr conn in
+      let key = pending_key ~remote_ip ~remote_port ~local_port:req.a_port in
+      let p = Hashtbl.find_opt t.pending key in
+      let app_ch =
+        match p with
+        | Some { pre_channel = Some ch; _ } ->
+            Netio.reassign_owner t.netio ~caller:t.dom ch ~owner:req.a_app;
+            ch
+        | _ ->
+            let use_bqi = (Netio.nic t.netio).Nic.bqi <> None in
+            Netio.create_channel t.netio ~caller:t.dom ~owner:req.a_app ~use_bqi
+      in
+      let peer_bqi = match p with Some p -> p.peer_bqi | None -> 0 in
+      finish_setup t ~conn ~app_ch ~remote_ip ~remote_port ~local_port:req.a_port ~peer_bqi
+        ~tmp_filter:None ~key)
+  | Some In_use | None -> Error (Printf.sprintf "port %d is not listening" req.a_port)
+
+and drop_handoff t channel =
+  let stale =
+    Hashtbl.fold (fun k ch acc -> if ch == channel then k :: acc else acc) t.handoffs []
+  in
+  List.iter (Hashtbl.remove t.handoffs) stale
+
+and do_release t (port, channel) =
+  drop_handoff t channel;
+  Netio.destroy_channel t.netio ~caller:t.dom channel;
+  (match Hashtbl.find_opt t.ports port with
+  | Some In_use -> Hashtbl.remove t.ports port
+  | Some (Listening _) | None -> ())
+
+and do_inherit t (snapshot, channel, graceful) =
+  t.inherited <- t.inherited + 1;
+  drop_handoff t channel;
+  let remote_ip = snapshot.Tcp.snap_remote_ip in
+  let remote_port = snapshot.Tcp.snap_remote_port in
+  let local_port = snapshot.Tcp.snap_local_port in
+  (* Re-point the connection's packets at the registry, then drop the
+     application's channel. *)
+  ignore
+    (Netio.add_filter t.netio ~caller:t.dom t.channel
+       (conn_filter t ~remote_ip ~remote_port ~local_port));
+  Netio.destroy_channel t.netio ~caller:t.dom channel;
+  let conn = Tcp.import t.stack.Stack.tcp snapshot in
+  Tcp.on_closed conn (fun () ->
+      match Hashtbl.find_opt t.ports local_port with
+      | Some In_use -> Hashtbl.remove t.ports local_port
+      | Some (Listening _) | None -> ());
+  if graceful then Tcp.close conn
+  else begin
+    (* Abnormal termination: reset the remote peer (paper §3.4). *)
+    Tcp.abort conn
+  end
+
+and do_bind_udp t (app, port) =
+  if Hashtbl.mem t.udp_ports port then Error (Printf.sprintf "udp port %d in use" port)
+  else begin
+    charge t Calibration.registry_port_alloc;
+    Hashtbl.replace t.udp_ports port ();
+    let ch = Netio.create_channel t.netio ~caller:t.dom ~owner:app ~use_bqi:false in
+    charge t Calibration.registry_channel_setup;
+    Netio.activate t.netio ~caller:t.dom ch
+      ~filter:(Program.udp_port ~dst_ip:t.my_ip ~dst_port:port)
+      ~template:(Template.udp_bound ~src_ip:t.my_ip ~src_port:port ());
+    Ok ch
+  end
+
+and do_release_udp t (port, channel) =
+  Netio.destroy_channel t.netio ~caller:t.dom channel;
+  Hashtbl.remove t.udp_ports port
+
+and do_bind_rrp t (app, is_server, port) =
+  let port =
+    if port = 0 then begin
+      t.rrp_ephemeral <- t.rrp_ephemeral + 1;
+      t.rrp_ephemeral
+    end
+    else port
+  in
+  if Hashtbl.mem t.rrp_ports port then Error (Printf.sprintf "rrp port %d in use" port)
+  else begin
+    charge t Calibration.registry_port_alloc;
+    Hashtbl.replace t.rrp_ports port ();
+    let ch = Netio.create_channel t.netio ~caller:t.dom ~owner:app ~use_bqi:false in
+    charge t Calibration.registry_channel_setup;
+    let filter =
+      if is_server then Program.rrp_server ~dst_ip:t.my_ip ~port
+      else Program.rrp_client ~dst_ip:t.my_ip ~port
+    in
+    let template =
+      Template.rrp_endpoint ~src_ip:t.my_ip
+        ~role:(if is_server then `Server else `Client)
+        ~port ()
+    in
+    Netio.activate t.netio ~caller:t.dom ch ~filter ~template;
+    Ok (ch, port)
+  end
+
+and do_release_rrp t (port, channel) =
+  Netio.destroy_channel t.netio ~caller:t.dom channel;
+  Hashtbl.remove t.rrp_ports port
+
+and serve t =
+  Ipc.serve_concurrent t.connect_p (fun req -> (do_connect t req, 256));
+  Ipc.serve_concurrent t.listen_p (fun port -> (do_listen t port, 16));
+  Ipc.serve_concurrent t.accept_p (fun req -> (do_accept t req, 256));
+  Ipc.serve_concurrent t.release_p (fun req -> (do_release t req, 16));
+  Ipc.serve_concurrent t.inherit_p (fun req -> (do_inherit t req, 128));
+  Ipc.serve_concurrent t.bind_udp_p (fun req -> (do_bind_udp t req, 128));
+  Ipc.serve_concurrent t.release_udp_p (fun req -> (do_release_udp t req, 16));
+  Ipc.serve_concurrent t.bind_rrp_p (fun req -> (do_bind_rrp t req, 128));
+  Ipc.serve_concurrent t.release_rrp_p (fun req -> (do_release_rrp t req, 16));
+  Ipc.serve_concurrent t.resolve_p (fun ip -> (resolve_mac t ip, 16))

@@ -1,0 +1,95 @@
+(** The registry server (paper §3.4).
+
+    A trusted, privileged process — one per protocol — that owns the
+    namespace of connection end-points.  It allocates and deallocates
+    TCP ports, executes the three-way handshake on applications' behalf
+    (linking the same protocol library the applications use), sets up
+    the secure packet channels in the network I/O module (filters,
+    templates, shared regions, BQI exchange), and hands the established
+    connection's state and channel capability to the application.  It
+    is entirely off the data path afterwards.
+
+    On application exit it inherits open connections: maintaining the
+    protocol-specified delay (TIME_WAIT) for orderly shutdowns and
+    issuing a reset to the remote peer for abnormal termination. *)
+
+type t
+
+type grant = {
+  snapshot : Uln_proto.Tcp.snapshot;  (** established connection state *)
+  channel : Netio.channel;  (** activated data channel *)
+  remote_mac : Uln_addr.Mac.t;  (** pre-resolved link address *)
+}
+
+val create :
+  Uln_host.Machine.t ->
+  Netio.t ->
+  ip:Uln_addr.Ip.t ->
+  ?tcp_params:Uln_proto.Tcp_params.t ->
+  unit ->
+  t
+(** Start the registry on a host: creates its server domain, its own
+    netio channel (ARP + handshake traffic), its protocol stack and its
+    service threads. *)
+
+val domain : t -> Uln_host.Addr_space.t
+val ip : t -> Uln_addr.Ip.t
+
+(* The four service entry points, exposed as Mach-style RPC ports so
+   callers pay real IPC costs. *)
+
+type connect_req = {
+  c_app : Uln_host.Addr_space.t;
+  c_src_port : int;  (** 0 = allocate an ephemeral port *)
+  c_dst : Uln_addr.Ip.t;
+  c_dst_port : int;
+}
+
+type accept_req = { a_app : Uln_host.Addr_space.t; a_port : int }
+
+val connect_port : t -> (connect_req, (grant, string) result) Uln_host.Ipc.t
+val listen_port : t -> (int, (unit, string) result) Uln_host.Ipc.t
+val accept_port : t -> (accept_req, (grant, string) result) Uln_host.Ipc.t
+
+val release_port : t -> (int * Netio.channel, unit) Uln_host.Ipc.t
+(** Final close: the library has finished TIME_WAIT; free the port and
+    destroy the channel. *)
+
+val bind_udp_port :
+  t -> (Uln_host.Addr_space.t * int, (Netio.channel, string) result) Uln_host.Ipc.t
+(** The binding phase for connectionless protocols (paper §5): allocate
+    a UDP port, build a channel whose filter matches datagrams to it and
+    whose template pins the sender's own address/port.  Demultiplexing
+    is software-only — with no setup handshake there is no opportunity
+    to exchange BQIs, exactly the difficulty the paper notes. *)
+
+val release_udp_port : t -> (int * Netio.channel, unit) Uln_host.Ipc.t
+
+val resolve_mac_port : t -> (Uln_addr.Ip.t, Uln_addr.Mac.t) Uln_host.Ipc.t
+(** Link-address resolution service: the registry owns ARP on its host;
+    libraries query it and cache the result. *)
+
+val bind_rrp_port :
+  t ->
+  ( Uln_host.Addr_space.t * bool * int,
+    (Netio.channel * int, string) result )
+  Uln_host.Ipc.t
+(** Binding phase for the request-response transport: [(app, is_server,
+    port)] — port 0 allocates an ephemeral client port.  Returns the
+    activated channel and the port.  As with UDP, demultiplexing is
+    software-only (no handshake in which to exchange BQIs). *)
+
+val release_rrp_port : t -> (int * Netio.channel, unit) Uln_host.Ipc.t
+
+val inherit_conn :
+  t -> (Uln_proto.Tcp.snapshot * Netio.channel * bool, unit) Uln_host.Ipc.t
+(** Application exit with a live connection: [(snapshot, channel,
+    graceful)].  Graceful: the registry adopts the connection, closes it
+    properly and serves the 2MSL delay.  Abnormal: it sends RST. *)
+
+(* {2 Introspection for tests and benches} *)
+
+val ports_in_use : t -> int
+val handshakes_completed : t -> int
+val inherited_connections : t -> int
+val stack : t -> Uln_proto.Stack.t

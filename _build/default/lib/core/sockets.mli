@@ -1,0 +1,60 @@
+(** The organization-independent application interface.
+
+    Every protocol organization — in-kernel, single-server, dedicated
+    servers, user-level library — exposes the same socket-style
+    operations to applications, so workloads and benchmarks are written
+    once and run against any structure (the paper's "identical user
+    program linked against different libraries").
+
+    All operations must be called from simulated threads.  Costs differ
+    per organization: that difference {e is} the experiment. *)
+
+type conn = {
+  send : Uln_buf.View.t -> unit;  (** blocking write of the whole view *)
+  recv : max:int -> Uln_buf.View.t option;  (** [None] at end-of-stream *)
+  close : unit -> unit;  (** orderly release (FIN) *)
+  abort : unit -> unit;  (** RST *)
+  conn_state : unit -> Uln_proto.Tcp_state.t;
+  await_closed : unit -> unit;
+}
+
+type listener = { accept : unit -> conn }
+
+type udp_endpoint = {
+  sendto : dst:Uln_addr.Ip.t -> dst_port:int -> Uln_buf.View.t -> unit;
+  recv_from : unit -> Uln_addr.Ip.t * int * Uln_buf.View.t;
+      (** blocking receive: source address, source port, payload *)
+  udp_close : unit -> unit;
+}
+(** A bound connectionless endpoint — the paper's §5 case: no handshake,
+    but a binding phase still authorises the identifiers, after which
+    the data path bypasses any server. *)
+
+type rrp_client = {
+  rrp_call :
+    dst:Uln_addr.Ip.t -> dst_port:int -> Uln_buf.View.t -> (Uln_buf.View.t, string) result;
+      (** one request-response transaction (blocking; retransmits) *)
+  rrp_client_close : unit -> unit;
+}
+(** A client endpoint of the request-response transport (RRP) — the
+    paper's low-latency protocol class, living alongside TCP. *)
+
+type rrp_service = { rrp_stop : unit -> unit }
+
+type app = {
+  app_name : string;
+  app_ip : Uln_addr.Ip.t;
+  connect :
+    src_port:int -> dst:Uln_addr.Ip.t -> dst_port:int -> (conn, string) result;
+  listen : port:int -> listener;
+  udp_bind : port:int -> udp_endpoint;
+      (** claim a UDP port (raises [Failure] if taken) *)
+  rrp_client : unit -> rrp_client;
+      (** an RRP client endpoint on an ephemeral port *)
+  rrp_serve : port:int -> (Uln_buf.View.t -> Uln_buf.View.t) -> rrp_service;
+      (** answer RRP requests on a port with at-most-once semantics *)
+  exit_app : graceful:bool -> unit;
+      (** terminate the application; open connections are cleaned up by
+          whatever the organization prescribes (the registry server
+          inherits them in the user-library organization) *)
+}

@@ -1,0 +1,51 @@
+(** Experiment worlds: hosts, a network, and one protocol organization.
+
+    Builds the testbed of the paper's §4 — DECstation-class machines on
+    a 10 Mb/s Ethernet or a private 100 Mb/s AN1 segment, all running
+    the same protocol stack under the chosen organization. *)
+
+type network = Ethernet | An1
+
+type t
+
+val create :
+  ?costs:Uln_host.Costs.t ->
+  ?seed:int ->
+  ?demux_mode:Uln_filter.Demux.mode ->
+  ?tcp_params:Uln_proto.Tcp_params.t ->
+  ?num_hosts:int ->
+  ?an1_mtu:int ->
+  network:network ->
+  org:Organization.t ->
+  unit ->
+  t
+(** Defaults: calibrated R3000 costs, seed 1, interpreted filters,
+    default TCP parameters, 2 hosts.  [an1_mtu] overrides the AN1
+    driver's 1500-byte Ethernet-format encapsulation limit (the paper
+    notes the hardware allows up to 64 KB packets — an ablation). *)
+
+val sched : t -> Uln_engine.Sched.t
+val network : t -> network
+val org : t -> Organization.t
+val link : t -> Uln_net.Link.t
+val num_hosts : t -> int
+
+val host_ip : t -> int -> Uln_addr.Ip.t
+val machine : t -> int -> Uln_host.Machine.t
+val nic : t -> int -> Uln_net.Nic.t
+
+val app : t -> host:int -> string -> Sockets.app
+(** A new application on a host. *)
+
+val netio : t -> int -> Netio.t option
+(** The network I/O module (user-library organization only). *)
+
+val library : t -> host:int -> string -> Protolib.t option
+(** A fresh protocol-library instance on a host (user-library
+    organization only) — exposes {!Protolib.pass_connection} in addition
+    to the socket interface. *)
+
+val registry : t -> int -> Registry.t option
+
+val host_stack : t -> int -> Uln_proto.Stack.t option
+(** The shared kernel/server stack (monolithic organizations only). *)

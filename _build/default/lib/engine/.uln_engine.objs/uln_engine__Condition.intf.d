@@ -1,0 +1,1 @@
+lib/engine/condition.mli: Mutex

@@ -1,0 +1,1 @@
+lib/engine/sched.ml: Effect Pheap Printexc Printf Queue Stdlib Time

@@ -1,0 +1,1 @@
+lib/engine/timers.ml: Sched Time Timer_wheel

@@ -1,0 +1,1 @@
+lib/engine/timers.mli: Sched Time

@@ -1,0 +1,17 @@
+type t = { waiting : Sched.waker Queue.t }
+
+let create () = { waiting = Queue.create () }
+
+let wait t mutex =
+  Mutex.unlock mutex;
+  Sched.suspend (fun wake -> Queue.push wake t.waiting);
+  Mutex.lock mutex
+
+let signal t = if not (Queue.is_empty t.waiting) then (Queue.pop t.waiting) ()
+
+let broadcast t =
+  while not (Queue.is_empty t.waiting) do
+    (Queue.pop t.waiting) ()
+  done
+
+let waiters t = Queue.length t.waiting

@@ -1,0 +1,17 @@
+(** Condition variables over {!Mutex} (C-threads style). *)
+
+type t
+
+val create : unit -> t
+
+val wait : t -> Mutex.t -> unit
+(** Atomically release the mutex and block; re-acquires the mutex
+    before returning. *)
+
+val signal : t -> unit
+(** Wake one waiter (no-op when none). *)
+
+val broadcast : t -> unit
+(** Wake every current waiter. *)
+
+val waiters : t -> int

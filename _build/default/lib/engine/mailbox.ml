@@ -1,0 +1,16 @@
+type 'a t = { items : 'a Queue.t; ready : Semaphore.t }
+
+let create () = { items = Queue.create (); ready = Semaphore.create () }
+
+let send t v =
+  Queue.push v t.items;
+  Semaphore.signal t.ready
+
+let recv t =
+  Semaphore.wait t.ready;
+  Queue.pop t.items
+
+let try_recv t = if Semaphore.try_wait t.ready then Some (Queue.pop t.items) else None
+
+let length t = Queue.length t.items
+let is_empty t = Queue.is_empty t.items

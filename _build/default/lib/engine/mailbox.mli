@@ -1,0 +1,24 @@
+(** Unbounded typed message queues with blocking receive.
+
+    The building block for simulated IPC: producers [send] without
+    blocking; consumers [recv], blocking while the box is empty. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** A fresh empty mailbox. *)
+
+val send : 'a t -> 'a -> unit
+(** Enqueue a message, waking one blocked receiver if any. *)
+
+val recv : 'a t -> 'a
+(** Dequeue the oldest message, blocking the calling thread while the
+    mailbox is empty. *)
+
+val try_recv : 'a t -> 'a option
+(** Non-blocking receive. *)
+
+val length : 'a t -> int
+(** Messages currently queued. *)
+
+val is_empty : 'a t -> bool

@@ -1,0 +1,31 @@
+type t = { sem : Semaphore.t; mutable held : bool }
+
+let create () = { sem = Semaphore.create ~initial:1 (); held = false }
+
+let lock t =
+  Semaphore.wait t.sem;
+  t.held <- true
+
+let unlock t =
+  if not t.held then invalid_arg "Mutex.unlock: not locked";
+  t.held <- Semaphore.waiters t.sem > 0;
+  Semaphore.signal t.sem
+
+let try_lock t =
+  if Semaphore.try_wait t.sem then begin
+    t.held <- true;
+    true
+  end
+  else false
+
+let is_locked t = t.held
+
+let with_lock t f =
+  lock t;
+  match f () with
+  | v ->
+      unlock t;
+      v
+  | exception e ->
+      unlock t;
+      raise e

@@ -1,0 +1,22 @@
+(** Mutual exclusion for simulated threads (C-threads style).
+
+    Cooperative scheduling makes data races impossible between yield
+    points, but protocol code still needs critical sections that span
+    blocking operations (a connection table update around a CPU charge,
+    for instance). *)
+
+type t
+
+val create : unit -> t
+val lock : t -> unit
+(** Block until the mutex is available, then take it. *)
+
+val unlock : t -> unit
+(** Release; wakes the longest-waiting locker.
+    @raise Invalid_argument if the mutex is not held. *)
+
+val try_lock : t -> bool
+val is_locked : t -> bool
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Run under the lock, releasing on normal return or exception. *)

@@ -1,0 +1,47 @@
+(* Pairing heap specialised to integer-keyed events.
+
+   The event queue is the hottest data structure in the simulator; a
+   pairing heap gives O(1) insert and amortised O(log n) delete-min with
+   very low constants and no array resizing. *)
+
+type 'a node = { key : int; seq : int; value : 'a; mutable children : 'a node list }
+
+type 'a t = { mutable root : 'a node option; mutable size : int }
+
+let create () = { root = None; size = 0 }
+
+let size t = t.size
+let is_empty t = t.size = 0
+
+(* Ties on [key] are broken by insertion sequence so that events scheduled
+   for the same instant fire in FIFO order — determinism matters for
+   reproducible experiments. *)
+let precedes a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let meld a b =
+  if precedes a b then (a.children <- b :: a.children; a)
+  else (b.children <- a :: b.children; b)
+
+let insert t ~key ~seq value =
+  let node = { key; seq; value; children = [] } in
+  (match t.root with
+  | None -> t.root <- Some node
+  | Some r -> t.root <- Some (meld r node));
+  t.size <- t.size + 1
+
+let rec merge_pairs = function
+  | [] -> None
+  | [ x ] -> Some x
+  | a :: b :: rest -> (
+      let ab = meld a b in
+      match merge_pairs rest with None -> Some ab | Some r -> Some (meld ab r))
+
+let min_key t = match t.root with None -> None | Some r -> Some r.key
+
+let pop t =
+  match t.root with
+  | None -> None
+  | Some r ->
+      t.root <- merge_pairs r.children;
+      t.size <- t.size - 1;
+      Some (r.key, r.value)

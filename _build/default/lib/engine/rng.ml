@@ -1,0 +1,29 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = next_int64 t }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits so the OCaml int is guaranteed non-negative. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod n
+
+let float t x =
+  let bits = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bits /. 9007199254740992.0 *. x
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+let bernoulli t p = float t 1.0 < p

@@ -1,0 +1,30 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    The simulator never touches global randomness: every source of
+    nondeterminism (fault injection, initial sequence numbers, jitter)
+    draws from an explicitly seeded generator, so a run is a pure
+    function of its seed. *)
+
+type t
+
+val create : seed:int -> t
+(** Generator seeded with [seed]. *)
+
+val split : t -> t
+(** An independent generator derived from [t]'s stream (for giving each
+    component its own stream without coupling draw orders). *)
+
+val next_int64 : t -> int64
+(** Next 64 raw bits. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)].  [n] must be positive. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)

@@ -1,0 +1,23 @@
+type t = { mutable count : int; waiting : Sched.waker Queue.t }
+
+let create ?(initial = 0) () = { count = initial; waiting = Queue.create () }
+
+let count t = t.count
+let waiters t = Queue.length t.waiting
+
+let signal t =
+  if Queue.is_empty t.waiting then t.count <- t.count + 1
+  else
+    let wake = Queue.pop t.waiting in
+    wake ()
+
+let wait t =
+  if t.count > 0 then t.count <- t.count - 1
+  else Sched.suspend (fun wake -> Queue.push wake t.waiting)
+
+let try_wait t =
+  if t.count > 0 then begin
+    t.count <- t.count - 1;
+    true
+  end
+  else false

@@ -1,0 +1,26 @@
+(** Counting semaphores for simulated threads.
+
+    This is the "lightweight semaphore" of the paper's protocol library:
+    the network I/O module signals it on packet arrival and a library
+    thread waits on it.  Signals accumulate in a counter, so notification
+    batching (several packets per signal) falls out naturally. *)
+
+type t
+
+val create : ?initial:int -> unit -> t
+(** A semaphore with the given initial count (default 0). *)
+
+val count : t -> int
+(** Current count (signals not yet consumed). *)
+
+val waiters : t -> int
+(** Number of threads currently blocked in {!wait}. *)
+
+val signal : t -> unit
+(** Increment the count, waking one waiter if any. *)
+
+val wait : t -> unit
+(** Decrement the count, blocking the calling thread while it is zero. *)
+
+val try_wait : t -> bool
+(** Non-blocking wait: [true] and decrements if the count was positive. *)

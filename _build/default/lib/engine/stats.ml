@@ -1,0 +1,83 @@
+module Counter = struct
+  type t = { name : string; mutable value : int }
+
+  let create name = { name; value = 0 }
+  let name t = t.name
+  let incr t = t.value <- t.value + 1
+  let add t n = t.value <- t.value + n
+  let value t = t.value
+  let reset t = t.value <- 0
+end
+
+module Dist = struct
+  type t = {
+    name : string;
+    mutable count : int;
+    mutable sum : float;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create name =
+    { name; count = 0; sum = 0.; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity }
+
+  let name t = t.name
+
+  let record t x =
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. x;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let sum t = t.sum
+  let mean t = if t.count = 0 then 0. else t.mean
+  let stddev t = if t.count < 2 then 0. else sqrt (t.m2 /. float_of_int (t.count - 1))
+  let min t = t.min
+  let max t = t.max
+
+  let reset t =
+    t.count <- 0;
+    t.sum <- 0.;
+    t.mean <- 0.;
+    t.m2 <- 0.;
+    t.min <- infinity;
+    t.max <- neg_infinity
+end
+
+module Meter = struct
+  type t = {
+    name : string;
+    mutable total : int;
+    mutable first : Time.t option;
+    mutable last : Time.t;
+  }
+
+  let create name = { name; total = 0; first = None; last = Time.zero }
+
+  let mark t now n =
+    (match t.first with None -> t.first <- Some now | Some _ -> ());
+    t.last <- now;
+    t.total <- t.total + n
+
+  let total t = t.total
+
+  let rate_per_sec t =
+    match t.first with
+    | None -> 0.
+    | Some first ->
+        let span = Time.to_sec_f (Time.diff t.last first) in
+        if span <= 0. then 0. else float_of_int t.total /. span
+
+  let megabits_per_sec t = rate_per_sec t *. 8. /. 1e6
+
+  let reset t =
+    t.total <- 0;
+    t.first <- None;
+    t.last <- Time.zero
+end

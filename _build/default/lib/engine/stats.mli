@@ -1,0 +1,60 @@
+(** Measurement primitives: counters, distributions, rate meters.
+
+    Experiments read these to produce the paper's tables; protocol code
+    updates them on hot paths, so all operations are O(1). *)
+
+module Counter : sig
+  type t
+
+  val create : string -> t
+  val name : t -> string
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+module Dist : sig
+  (** Streaming distribution: count, sum, min, max, mean, and an
+      approximate standard deviation (Welford). *)
+
+  type t
+
+  val create : string -> t
+  val name : t -> string
+  val record : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+  (** 0. when empty. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  (** +inf when empty. *)
+
+  val max : t -> float
+  (** -inf when empty. *)
+
+  val reset : t -> unit
+end
+
+module Meter : sig
+  (** Byte/event rate over a simulated interval. *)
+
+  type t
+
+  val create : string -> t
+  val mark : t -> Time.t -> int -> unit
+  (** [mark t now n] records [n] units observed at [now]. *)
+
+  val total : t -> int
+
+  val rate_per_sec : t -> float
+  (** Units per simulated second between the first and last mark;
+      0. with fewer than two distinct instants. *)
+
+  val megabits_per_sec : t -> float
+  (** Convenience for byte meters: [8 * rate / 1e6]. *)
+
+  val reset : t -> unit
+end

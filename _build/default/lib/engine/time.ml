@@ -1,0 +1,37 @@
+type t = int
+type span = int
+
+let zero = 0
+let of_ns n = n
+let to_ns t = t
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let sec n = n * 1_000_000_000
+let of_us_f x = int_of_float (x *. 1e3 +. 0.5)
+let of_ms_f x = int_of_float (x *. 1e6 +. 0.5)
+let of_sec_f x = int_of_float (x *. 1e9 +. 0.5)
+let add t d = t + d
+let diff a b = a - b
+let span_add a b = a + b
+let span_scale d k = d * k
+let compare = Stdlib.compare
+let ( <= ) (a : t) b = Stdlib.( <= ) a b
+let ( < ) (a : t) b = Stdlib.( < ) a b
+let ( >= ) (a : t) b = Stdlib.( >= ) a b
+let ( > ) (a : t) b = Stdlib.( > ) a b
+let min (a : t) b = Stdlib.min a b
+let max (a : t) b = Stdlib.max a b
+let to_us_f d = float_of_int d /. 1e3
+let to_ms_f d = float_of_int d /. 1e6
+let to_sec_f d = float_of_int d /. 1e9
+
+let pp_adaptive ppf n =
+  let a = abs n in
+  if a < 1_000 then Format.fprintf ppf "%dns" n
+  else if a < 1_000_000 then Format.fprintf ppf "%.2fus" (to_us_f n)
+  else if a < 1_000_000_000 then Format.fprintf ppf "%.3fms" (to_ms_f n)
+  else Format.fprintf ppf "%.4fs" (to_sec_f n)
+
+let pp ppf t = pp_adaptive ppf t
+let pp_span ppf d = pp_adaptive ppf d

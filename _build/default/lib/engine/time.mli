@@ -1,0 +1,80 @@
+(** Simulated time.
+
+    Time is a count of nanoseconds since the start of the simulation,
+    represented as a native [int] (63 bits is ~292 simulated years, far
+    beyond any experiment in this repository).  A {!span} is a difference
+    between two times and shares the representation. *)
+
+type t = private int
+(** An absolute instant, in nanoseconds since simulation start. *)
+
+type span = int
+(** A duration in nanoseconds.  May be negative for differences. *)
+
+val zero : t
+(** The simulation epoch. *)
+
+val of_ns : int -> t
+(** [of_ns n] is the instant [n] nanoseconds after the epoch. *)
+
+val to_ns : t -> int
+(** [to_ns t] is [t] as a nanosecond count. *)
+
+val ns : int -> span
+(** [ns n] is a span of [n] nanoseconds. *)
+
+val us : int -> span
+(** [us n] is a span of [n] microseconds. *)
+
+val ms : int -> span
+(** [ms n] is a span of [n] milliseconds. *)
+
+val sec : int -> span
+(** [sec n] is a span of [n] seconds. *)
+
+val of_us_f : float -> span
+(** [of_us_f x] is a span of [x] microseconds, rounded to nanoseconds. *)
+
+val of_ms_f : float -> span
+(** [of_ms_f x] is a span of [x] milliseconds, rounded to nanoseconds. *)
+
+val of_sec_f : float -> span
+(** [of_sec_f x] is a span of [x] seconds, rounded to nanoseconds. *)
+
+val add : t -> span -> t
+(** [add t d] is the instant [d] after [t]. *)
+
+val diff : t -> t -> span
+(** [diff a b] is the span from [b] to [a], i.e. [a - b]. *)
+
+val span_add : span -> span -> span
+(** [span_add a b] is the sum of two durations. *)
+
+val span_scale : span -> int -> span
+(** [span_scale d k] is [d] repeated [k] times. *)
+
+val compare : t -> t -> int
+(** Total order on instants. *)
+
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val to_us_f : span -> float
+(** [to_us_f d] is [d] in microseconds. *)
+
+val to_ms_f : span -> float
+(** [to_ms_f d] is [d] in milliseconds. *)
+
+val to_sec_f : span -> float
+(** [to_sec_f d] is [d] in seconds. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-print an instant with an adaptive unit. *)
+
+val pp_span : Format.formatter -> span -> unit
+(** Pretty-print a duration with an adaptive unit. *)

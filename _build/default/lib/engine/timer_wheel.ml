@@ -1,0 +1,89 @@
+let slots_per_level = 256
+let levels = 4
+
+type timer = {
+  mutable expiry_tick : int;
+  callback : unit -> unit;
+  mutable live : bool;
+}
+
+type handle = timer
+
+type t = {
+  tick_ns : int;
+  wheel : timer list ref array array; (* [level].[slot] *)
+  mutable tick : int;
+  mutable pending : int;
+}
+
+let create ~granularity () =
+  if granularity <= 0 then invalid_arg "Timer_wheel.create: granularity must be positive";
+  { tick_ns = granularity;
+    wheel = Array.init levels (fun _ -> Array.init slots_per_level (fun _ -> ref []));
+    tick = 0;
+    pending = 0 }
+
+let granularity t = t.tick_ns
+let pending t = t.pending
+let current_tick t = t.tick
+
+(* Level [i] has slot width [slots_per_level^i] ticks and covers deltas up
+   to [slots_per_level^(i+1)] ticks. *)
+let level_width = Array.init levels (fun i -> int_of_float (float_of_int slots_per_level ** float_of_int i))
+
+let insert t timer =
+  let delta = Stdlib.max 1 (timer.expiry_tick - t.tick) in
+  let rec find_level i =
+    if i = levels - 1 || delta < level_width.(i) * slots_per_level then i else find_level (i + 1)
+  in
+  let level = find_level 0 in
+  let slot = timer.expiry_tick / level_width.(level) mod slots_per_level in
+  let cell = t.wheel.(level).(slot) in
+  cell := timer :: !cell
+
+let schedule t ~after f =
+  let delta_ticks = Stdlib.max 1 ((after + t.tick_ns - 1) / t.tick_ns) in
+  let timer = { expiry_tick = t.tick + delta_ticks; callback = f; live = true } in
+  insert t timer;
+  t.pending <- t.pending + 1;
+  timer
+
+let cancel h = h.live <- false
+
+(* Fire or reinsert everything in a cell.  Timers whose expiry is still in
+   the future cascade back in at (possibly) a lower level. *)
+let drain_cell t cell =
+  let entries = !cell in
+  cell := [];
+  let handle timer =
+    if not timer.live then t.pending <- t.pending - 1
+    else if timer.expiry_tick <= t.tick then begin
+      timer.live <- false;
+      t.pending <- t.pending - 1;
+      timer.callback ()
+    end
+    else insert t timer
+  in
+  List.iter handle (List.rev entries)
+
+let step t =
+  t.tick <- t.tick + 1;
+  let slot0 = t.tick mod slots_per_level in
+  (* When a lower wheel wraps, cascade the next slot of the wheel above. *)
+  let rec cascade level =
+    if level < levels then begin
+      let slot = t.tick / level_width.(level) mod slots_per_level in
+      drain_cell t t.wheel.(level).(slot);
+      if t.tick mod (level_width.(level) * slots_per_level) = 0 then cascade (level + 1)
+    end
+  in
+  drain_cell t t.wheel.(0).(slot0);
+  if slot0 = 0 then cascade 1
+
+let advance_to t now =
+  let target = Time.to_ns now / t.tick_ns in
+  if t.pending = 0 then t.tick <- Stdlib.max t.tick target
+  else
+    while t.tick < target do
+      if t.pending = 0 then t.tick <- target else step t
+    done

@@ -1,0 +1,27 @@
+(** Lightweight tracing for the simulator.
+
+    A single global sink keeps hot paths cheap: when tracing is off the
+    cost is one mutable load and a branch.  Components tag records with a
+    short subsystem name ("tcp", "netio", "eth", ...). *)
+
+type level = Debug | Info
+
+val set_sink : (Time.t -> level -> string -> string -> unit) option -> unit
+(** Install (or remove) the trace sink.  Arguments: simulated time,
+    level, subsystem tag, message. *)
+
+val stderr_sink : Time.t -> level -> string -> string -> unit
+(** A ready-made sink that prints ["[time] tag: msg"] to stderr. *)
+
+val enabled : unit -> bool
+(** Whether a sink is installed (cheap guard for building messages). *)
+
+val emit : Time.t -> level -> string -> string -> unit
+(** Send a record to the sink, if any. *)
+
+val debugf : Sched.t -> string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [debugf sched tag fmt ...] formats and emits at [Debug] level; the
+    message is not built when tracing is off. *)
+
+val infof : Sched.t -> string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** As {!debugf} at [Info] level. *)

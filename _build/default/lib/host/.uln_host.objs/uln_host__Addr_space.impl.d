@@ -1,0 +1,1 @@
+lib/host/addr_space.ml: Format

@@ -1,0 +1,1 @@
+lib/host/capability.ml: Printf

@@ -1,0 +1,1 @@
+lib/host/costs.ml: Format Uln_engine

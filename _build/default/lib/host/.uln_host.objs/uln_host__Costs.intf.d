@@ -1,0 +1,1 @@
+lib/host/costs.mli: Format Uln_engine

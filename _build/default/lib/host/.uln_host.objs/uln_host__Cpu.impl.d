@@ -1,0 +1,1 @@
+lib/host/cpu.ml: Uln_engine

@@ -1,0 +1,1 @@
+lib/host/cpu.mli: Uln_engine

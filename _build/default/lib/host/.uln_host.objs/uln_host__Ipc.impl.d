@@ -1,0 +1,1 @@
+lib/host/ipc.ml: Costs Cpu Uln_engine

@@ -1,0 +1,1 @@
+lib/host/ipc.mli: Costs Cpu Uln_engine

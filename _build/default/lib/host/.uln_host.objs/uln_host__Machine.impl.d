@@ -1,0 +1,1 @@
+lib/host/machine.ml: Addr_space Costs Cpu Uln_engine

@@ -1,0 +1,1 @@
+lib/host/machine.mli: Addr_space Costs Cpu Uln_engine

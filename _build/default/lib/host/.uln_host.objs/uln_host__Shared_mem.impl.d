@@ -1,0 +1,1 @@
+lib/host/shared_mem.ml: Addr_space Capability List Printf Uln_buf

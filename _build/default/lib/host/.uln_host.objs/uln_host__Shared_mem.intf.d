@@ -1,0 +1,1 @@
+lib/host/shared_mem.mli: Addr_space Uln_buf

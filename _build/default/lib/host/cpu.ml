@@ -1,0 +1,44 @@
+module Sched = Uln_engine.Sched
+module Time = Uln_engine.Time
+module Stats = Uln_engine.Stats
+
+type t = {
+  sched : Sched.t;
+  name : string;
+  mutable free_at : Time.t;
+  busy : Stats.Counter.t;
+}
+
+let create sched ~name =
+  { sched; name; free_at = Time.zero; busy = Stats.Counter.create (name ^ ".cpu_busy_ns") }
+
+let name t = t.name
+
+(* Reserve the next [span] of processor time, FIFO among requesters, and
+   return the completion instant. *)
+let reserve t span =
+  let now = Sched.now t.sched in
+  let start = Time.max now t.free_at in
+  let finish = Time.add start span in
+  t.free_at <- finish;
+  Stats.Counter.add t.busy span;
+  finish
+
+let use t span =
+  if span > 0 then begin
+    let finish = reserve t span in
+    Sched.sleep t.sched (Time.diff finish (Sched.now t.sched))
+  end
+
+let use_async t span k =
+  if span <= 0 then Sched.after t.sched 0 k
+  else begin
+    let finish = reserve t span in
+    Sched.at t.sched finish k
+  end
+
+let busy_ns t = Stats.Counter.value t.busy
+
+let utilization t now =
+  let elapsed = Time.to_ns now in
+  if elapsed <= 0 then 0. else float_of_int (busy_ns t) /. float_of_int elapsed

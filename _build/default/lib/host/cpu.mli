@@ -1,0 +1,31 @@
+(** A host's single processor, modelled as a FIFO time resource.
+
+    Work anywhere on a host — application code, protocol library,
+    servers, kernel, interrupt handlers — consumes time on the same
+    processor (the DECstation is a uniprocessor), so CPU contention
+    between sender-side and receiver-side processing arises naturally.
+
+    Two interfaces: {!use} for code running in a simulated thread
+    (blocks the thread for its CPU occupancy), and {!use_async} for
+    event-context code like interrupt handlers (schedules a continuation
+    at the instant the work completes). *)
+
+type t
+
+val create : Uln_engine.Sched.t -> name:string -> t
+
+val name : t -> string
+
+val use : t -> Uln_engine.Time.span -> unit
+(** Consume CPU from a thread: waits for the processor, occupies it for
+    the span, and returns when done.  Zero/negative spans are free. *)
+
+val use_async : t -> Uln_engine.Time.span -> (unit -> unit) -> unit
+(** Consume CPU from event context; the continuation runs when the work
+    completes. *)
+
+val busy_ns : t -> int
+(** Total CPU time consumed so far (for utilization accounting). *)
+
+val utilization : t -> Uln_engine.Time.t -> float
+(** [utilization t now] is busy time / elapsed time in [0,1]. *)

@@ -1,0 +1,32 @@
+(** Message-based RPC between domains (the Mach IPC of the model).
+
+    A port is served by one thread in the owning domain; clients [call]
+    it and block for the reply.  Costs charged per call: fixed send cost
+    plus per-byte data cost on each direction, dispatch latency, and a
+    context switch on each side — the "address space crossings on the
+    critical path" the paper's design removes from data transfer. *)
+
+type ('req, 'resp) t
+
+val create :
+  Uln_engine.Sched.t -> Cpu.t -> Costs.t -> name:string -> ('req, 'resp) t
+
+val name : ('req, 'resp) t -> string
+
+val serve : ('req, 'resp) t -> ('req -> 'resp * int) -> unit
+(** [serve port handler] spawns the server loop.  [handler req] returns
+    the response and its size in bytes (for reply transfer cost).  The
+    handler runs in the server thread and may block — blocking stalls
+    later requests on the same port. *)
+
+val serve_concurrent : ('req, 'resp) t -> ('req -> 'resp * int) -> unit
+(** Like {!serve} but each request gets its own handler thread (the
+    multithreaded-server discipline), so a blocking handler — e.g. the
+    registry's [accept] — does not stall other callers. *)
+
+val call : ('req, 'resp) t -> size:int -> 'req -> 'resp
+(** [call port ~size req] performs an RPC from the calling thread,
+    charging both directions' costs, and returns the response. *)
+
+val calls : ('req, 'resp) t -> int
+(** Number of completed calls (for crossing-count assertions). *)

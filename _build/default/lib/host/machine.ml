@@ -1,0 +1,19 @@
+type t = {
+  name : string;
+  sched : Uln_engine.Sched.t;
+  cpu : Cpu.t;
+  costs : Costs.t;
+  kernel : Addr_space.t;
+  rng : Uln_engine.Rng.t;
+}
+
+let create sched ~name ~costs ~rng =
+  { name;
+    sched;
+    cpu = Cpu.create sched ~name;
+    costs;
+    kernel = Addr_space.create Addr_space.Kernel (name ^ ".kernel");
+    rng }
+
+let new_user_domain t app = Addr_space.create Addr_space.User (t.name ^ "." ^ app)
+let new_server_domain t srv = Addr_space.create Addr_space.Server (t.name ^ "." ^ srv)

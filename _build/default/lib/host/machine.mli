@@ -1,0 +1,21 @@
+(** A workstation: one CPU, a cost model, a kernel domain and a
+    deterministic random stream.  NICs and software organizations attach
+    to a machine. *)
+
+type t = {
+  name : string;
+  sched : Uln_engine.Sched.t;
+  cpu : Cpu.t;
+  costs : Costs.t;
+  kernel : Addr_space.t;
+  rng : Uln_engine.Rng.t;
+}
+
+val create :
+  Uln_engine.Sched.t -> name:string -> costs:Costs.t -> rng:Uln_engine.Rng.t -> t
+
+val new_user_domain : t -> string -> Addr_space.t
+(** A fresh application address space on this machine. *)
+
+val new_server_domain : t -> string -> Addr_space.t
+(** A fresh trusted-server address space on this machine. *)

@@ -1,0 +1,41 @@
+module Pool = Uln_buf.Pool
+
+type t = {
+  name : string;
+  pool : Pool.t;
+  mutable mapped : Addr_space.t list;
+  mutable destroyed : bool;
+}
+
+let create ~name ~count ~size = { name; pool = Pool.create ~count ~size; mapped = []; destroyed = false }
+
+let name t = t.name
+let buffer_size t = Pool.size t.pool
+let available t = Pool.available t.pool
+let in_use t = Pool.in_use t.pool
+
+let is_mapped t dom = (not t.destroyed) && List.exists (Addr_space.equal dom) t.mapped
+
+let map t dom =
+  if t.destroyed then raise (Capability.Violation (t.name ^ ": region destroyed"));
+  if not (is_mapped t dom) then t.mapped <- dom :: t.mapped
+
+let unmap t dom = t.mapped <- List.filter (fun d -> not (Addr_space.equal d dom)) t.mapped
+
+let assert_mapped t dom =
+  if not (is_mapped t dom) then
+    raise
+      (Capability.Violation
+         (Printf.sprintf "region %s not mapped into domain %s" t.name (Addr_space.name dom)))
+
+let alloc t dom =
+  assert_mapped t dom;
+  Pool.alloc t.pool
+
+let free t dom view =
+  assert_mapped t dom;
+  Pool.free t.pool view
+
+let destroy t =
+  t.mapped <- [];
+  t.destroyed <- true

@@ -1,0 +1,38 @@
+(** Protected shared-memory regions.
+
+    The registry server and the network I/O module create one of these
+    per connection: a pinned pool of packet buffers mapped into both the
+    kernel and the owning application.  Access from an unmapped domain
+    is a protection violation — the mechanism that lets the user-level
+    library touch packet memory without being able to touch anyone
+    else's. *)
+
+type t
+
+val create : name:string -> count:int -> size:int -> t
+(** A pinned region of [count] buffers of [size] bytes. *)
+
+val name : t -> string
+val buffer_size : t -> int
+val available : t -> int
+val in_use : t -> int
+
+val map : t -> Addr_space.t -> unit
+(** Make the region accessible from a domain.  Idempotent. *)
+
+val unmap : t -> Addr_space.t -> unit
+
+val is_mapped : t -> Addr_space.t -> bool
+
+val assert_mapped : t -> Addr_space.t -> unit
+(** @raise Capability.Violation if the domain has no mapping. *)
+
+val alloc : t -> Addr_space.t -> Uln_buf.View.t option
+(** Take a buffer, checking access.  [None] when exhausted.
+    @raise Capability.Violation if the domain has no mapping. *)
+
+val free : t -> Addr_space.t -> Uln_buf.View.t -> unit
+(** Return a buffer, checking access and ownership. *)
+
+val destroy : t -> unit
+(** Unmap everyone; subsequent accesses fail. *)

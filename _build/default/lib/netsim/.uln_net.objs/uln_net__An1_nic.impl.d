@@ -1,0 +1,1 @@
+lib/netsim/an1_nic.ml: Array Frame Link Nic Printf Uln_addr Uln_buf Uln_engine Uln_host

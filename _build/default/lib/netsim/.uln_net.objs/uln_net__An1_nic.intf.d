@@ -1,0 +1,1 @@
+lib/netsim/an1_nic.mli: Link Nic Uln_addr Uln_host

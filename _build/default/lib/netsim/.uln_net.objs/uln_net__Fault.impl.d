@@ -1,0 +1,1 @@
+lib/netsim/fault.ml: Frame Uln_buf Uln_engine

@@ -1,0 +1,1 @@
+lib/netsim/fault.mli: Frame Uln_engine

@@ -1,0 +1,1 @@
+lib/netsim/frame.ml: Array Format Uln_addr Uln_buf

@@ -1,0 +1,1 @@
+lib/netsim/frame.mli: Format Uln_addr Uln_buf

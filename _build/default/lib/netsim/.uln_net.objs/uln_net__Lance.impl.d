@@ -1,0 +1,1 @@
+lib/netsim/lance.ml: Frame Link Nic Printf Uln_addr Uln_engine Uln_host

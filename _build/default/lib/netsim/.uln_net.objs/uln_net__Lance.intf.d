@@ -1,0 +1,1 @@
+lib/netsim/lance.mli: Link Nic Uln_addr Uln_host

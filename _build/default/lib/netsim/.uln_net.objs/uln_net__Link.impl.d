@@ -1,0 +1,1 @@
+lib/netsim/link.ml: Fault Frame List Queue Stdlib Uln_engine

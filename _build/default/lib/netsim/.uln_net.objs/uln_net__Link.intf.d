@@ -1,0 +1,1 @@
+lib/netsim/link.mli: Fault Frame Uln_engine

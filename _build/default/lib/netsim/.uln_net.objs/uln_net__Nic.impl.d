@@ -1,0 +1,1 @@
+lib/netsim/nic.ml: Frame Uln_addr Uln_buf

@@ -1,0 +1,1 @@
+lib/netsim/nic.mli: Frame Uln_addr Uln_buf

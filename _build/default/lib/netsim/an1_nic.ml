@@ -1,0 +1,99 @@
+module Sched = Uln_engine.Sched
+module Time = Uln_engine.Time
+module Semaphore = Uln_engine.Semaphore
+module Mac = Uln_addr.Mac
+module View = Uln_buf.View
+module Mbuf = Uln_buf.Mbuf
+module Ring = Uln_buf.Ring
+module Machine = Uln_host.Machine
+module Cpu = Uln_host.Cpu
+module Costs = Uln_host.Costs
+
+type ring_slot = Free | Active of View.t Ring.t
+
+let create (m : Machine.t) link ~mac ?(tx_buffers = 8) ?(mtu = 1500) ?(table_size = 64) () =
+  let costs = m.Machine.costs in
+  let handler : (Nic.rx_info -> unit) option ref = ref None in
+  let drops = ref 0 in
+  let tx_slots = Semaphore.create ~initial:tx_buffers () in
+  (* Slot 0 is the kernel default and is never allocatable. *)
+  let table = Array.make table_size Free in
+  let dma_latency = Time.us 5 in
+  let deliver info =
+    match !handler with
+    | None -> incr drops
+    | Some h ->
+        (* Interrupt plus the memory-system cost of the DMA'd bytes. *)
+        let bytes = Frame.payload_length info.Nic.frame in
+        let work =
+          Time.span_add costs.Costs.interrupt
+            (Time.ns (bytes * costs.Costs.dma_rx_per_byte_ns))
+        in
+        Cpu.use_async m.Machine.cpu work (fun () -> h info)
+  in
+  let receive frame =
+    let for_us = Mac.equal frame.Frame.dst mac || Mac.is_broadcast frame.Frame.dst in
+    if for_us then
+      Sched.after m.Machine.sched dma_latency (fun () ->
+          let bqi = frame.Frame.bqi in
+          let valid =
+            bqi > 0 && bqi < table_size
+            && match table.(bqi) with Active _ -> true | Free -> false
+          in
+          if not valid then deliver { Nic.frame; bqi = 0; buffer = None }
+          else
+            match table.(bqi) with
+            | Free -> assert false
+            | Active ring -> (
+                match Ring.pop ring with
+                | None ->
+                    (* Ring empty: nowhere to DMA — the controller drops. *)
+                    incr drops
+                | Some buffer ->
+                    let len = Frame.payload_length frame in
+                    if View.length buffer < len then incr drops
+                    else begin
+                      let flat = Mbuf.flatten frame.Frame.payload in
+                      View.blit flat 0 buffer 0 len;
+                      deliver { Nic.frame; bqi; buffer = Some (View.sub buffer 0 len) }
+                    end))
+  in
+  let station = Link.attach link receive in
+  let send frame =
+    Semaphore.wait tx_slots;
+    (* Descriptor write and doorbell; the DMA engine moves the bytes but
+       contends with the CPU for the memory system. *)
+    let bytes = Frame.payload_length frame in
+    Cpu.use m.Machine.cpu
+      (Time.span_add
+         (Time.span_add costs.Costs.drv_tx costs.Costs.dma_setup)
+         (Time.ns (bytes * costs.Costs.dma_tx_per_byte_ns)));
+    Link.transmit link station frame ~on_done:(fun () -> Semaphore.signal tx_slots)
+  in
+  let alloc_ring ~capacity =
+    let rec find i =
+      if i >= table_size then failwith "An1_nic: BQI table full"
+      else match table.(i) with Free -> i | Active _ -> find (i + 1)
+    in
+    let i = find 1 in
+    table.(i) <- Active (Ring.create ~capacity);
+    i
+  in
+  let release_ring i =
+    if i > 0 && i < table_size then table.(i) <- Free
+  in
+  let provide_buffer i buf =
+    if i <= 0 || i >= table_size then false
+    else match table.(i) with Free -> false | Active ring -> Ring.push ring buf
+  in
+  let ring_depth i =
+    if i <= 0 || i >= table_size then 0
+    else match table.(i) with Free -> 0 | Active ring -> Ring.length ring
+  in
+  { Nic.name = Printf.sprintf "%s.an1" m.Machine.name;
+    mac;
+    mtu;
+    send;
+    install_rx = (fun h -> handler := Some h);
+    bqi = Some { Nic.alloc_ring; release_ring; provide_buffer; ring_depth };
+    rx_drops = (fun () -> !drops) }

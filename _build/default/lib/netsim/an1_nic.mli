@@ -1,0 +1,26 @@
+(** DEC SRC AN1 (Autonet) interface model.
+
+    DMA in both directions, deeper transmit queue, and the buffer queue
+    index (BQI) mechanism: the controller keeps a table mapping non-zero
+    BQIs to rings of host buffer descriptors.  An incoming frame whose
+    link header carries a known non-zero BQI is DMA'd straight into the
+    next buffer of that ring — hardware demultiplexing, no software
+    inspection.  BQI 0 (and any unknown index) falls back to the
+    protected kernel default path.
+
+    The AN1 link layer supports packets up to 64 KB, but the paper's
+    driver encapsulates data in Ethernet-format datagrams and restricts
+    transmissions to 1500 bytes; [mtu] defaults to that and is
+    configurable for the large-packet ablation. *)
+
+val create :
+  Uln_host.Machine.t ->
+  Link.t ->
+  mac:Uln_addr.Mac.t ->
+  ?tx_buffers:int ->
+  ?mtu:int ->
+  ?table_size:int ->
+  unit ->
+  Nic.t
+(** [tx_buffers] defaults to 8, [mtu] to 1500, [table_size] (number of
+    BQI slots including 0) to 64. *)

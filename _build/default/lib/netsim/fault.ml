@@ -1,0 +1,48 @@
+module Rng = Uln_engine.Rng
+module View = Uln_buf.View
+module Mbuf = Uln_buf.Mbuf
+
+type verdict = Deliver | Drop | Duplicate | Corrupt | Reorder
+
+type t = {
+  rng : Rng.t option;
+  drop : float;
+  duplicate : float;
+  corrupt : float;
+  reorder : float;
+  mutable dropped : int;
+}
+
+let none = { rng = None; drop = 0.; duplicate = 0.; corrupt = 0.; reorder = 0.; dropped = 0 }
+
+let create ~rng ?(drop = 0.) ?(duplicate = 0.) ?(corrupt = 0.) ?(reorder = 0.) () =
+  { rng = Some rng; drop; duplicate; corrupt; reorder; dropped = 0 }
+
+let judge t =
+  match t.rng with
+  | None -> Deliver
+  | Some rng ->
+      let x = Rng.float rng 1.0 in
+      if x < t.drop then begin
+        t.dropped <- t.dropped + 1;
+        Drop
+      end
+      else if x < t.drop +. t.duplicate then Duplicate
+      else if x < t.drop +. t.duplicate +. t.corrupt then Corrupt
+      else if x < t.drop +. t.duplicate +. t.corrupt +. t.reorder then Reorder
+      else Deliver
+
+let corrupt_frame t frame =
+  match t.rng with
+  | None -> frame
+  | Some rng ->
+      let len = Mbuf.length frame.Frame.payload in
+      if len = 0 then frame
+      else begin
+        let flat = View.copy (Mbuf.flatten frame.Frame.payload) in
+        let i = Rng.int rng len in
+        View.set_uint8 flat i (View.get_uint8 flat i lxor 0xff);
+        { frame with Frame.payload = Mbuf.of_view flat }
+      end
+
+let dropped t = t.dropped

@@ -1,0 +1,37 @@
+(** Link fault injection.
+
+    A fault model decides, per frame, whether to deliver, drop,
+    duplicate, corrupt (flip one payload byte, so checksums catch it)
+    or delay-reorder.  Deterministic given the generator's seed. *)
+
+type t
+
+val none : t
+(** Perfect link. *)
+
+val create :
+  rng:Uln_engine.Rng.t ->
+  ?drop:float ->
+  ?duplicate:float ->
+  ?corrupt:float ->
+  ?reorder:float ->
+  unit ->
+  t
+(** Probabilities in [0,1]; unspecified ones default to 0. *)
+
+type verdict =
+  | Deliver
+  | Drop
+  | Duplicate  (** deliver twice *)
+  | Corrupt  (** deliver with one payload byte flipped *)
+  | Reorder  (** hold this frame; release it after the next one *)
+
+val judge : t -> verdict
+(** Decide the fate of the next frame. *)
+
+val corrupt_frame : t -> Frame.t -> Frame.t
+(** A copy of the frame with one payload byte (chosen by the fault
+    model's generator) inverted; identity for empty payloads. *)
+
+val dropped : t -> int
+(** Frames dropped so far. *)

@@ -1,0 +1,44 @@
+(** Link-level frames.
+
+    A frame carries the structured link-header fields (station
+    addresses, a protocol type, and — on AN1 — the buffer queue index)
+    plus the link payload.  {!header_bytes} materialises the 14-byte
+    on-wire header when software needs to inspect raw bytes (the packet
+    filter runs over [header ^ payload]). *)
+
+type t = {
+  src : Uln_addr.Mac.t;
+  dst : Uln_addr.Mac.t;
+  ethertype : int;  (** 0x0800 IP, 0x0806 ARP, ... *)
+  bqi : int;  (** AN1 link-header demux field; 0 elsewhere *)
+  bqi_hint : int;
+      (** the "unused field in the AN1 link header" the registry servers
+          use during connection setup to tell the remote side which BQI
+          to stamp on this connection's data packets (paper §3.4) *)
+  payload : Uln_buf.Mbuf.t;
+}
+
+val make :
+  src:Uln_addr.Mac.t ->
+  dst:Uln_addr.Mac.t ->
+  ethertype:int ->
+  ?bqi:int ->
+  ?bqi_hint:int ->
+  Uln_buf.Mbuf.t ->
+  t
+
+val payload_length : t -> int
+
+val header_size : int
+(** 14 bytes: dst(6) src(6) type(2). *)
+
+val header_bytes : t -> Uln_buf.View.t
+(** The materialised link header. *)
+
+val to_wire : t -> Uln_buf.View.t
+(** Header and payload as one contiguous view (copies). *)
+
+val ethertype_ip : int
+val ethertype_arp : int
+
+val pp : Format.formatter -> t -> unit

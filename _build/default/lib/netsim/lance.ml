@@ -1,0 +1,48 @@
+module Sched = Uln_engine.Sched
+module Time = Uln_engine.Time
+module Semaphore = Uln_engine.Semaphore
+module Mac = Uln_addr.Mac
+module Machine = Uln_host.Machine
+module Cpu = Uln_host.Cpu
+module Costs = Uln_host.Costs
+
+let create (m : Machine.t) link ~mac ?(tx_buffers = 2) () =
+  let costs = m.Machine.costs in
+  let handler : (Nic.rx_info -> unit) option ref = ref None in
+  let drops = ref 0 in
+  let tx_slots = Semaphore.create ~initial:tx_buffers () in
+  let station =
+    Link.attach link (fun frame ->
+        let for_us =
+          Mac.equal frame.Frame.dst mac || Mac.is_broadcast frame.Frame.dst
+        in
+        if for_us then begin
+          match !handler with
+          | None -> incr drops
+          | Some h ->
+              (* Interrupt entry plus the programmed-I/O copy of the whole
+                 packet from board memory to host memory. *)
+              let bytes = Frame.header_size + Frame.payload_length frame in
+              let work =
+                Time.span_add costs.Costs.interrupt
+                  (Time.ns (bytes * costs.Costs.pio_per_byte_ns))
+              in
+              Cpu.use_async m.Machine.cpu work (fun () ->
+                  h { Nic.frame; bqi = 0; buffer = None })
+        end)
+  in
+  let send frame =
+    (* Wait for a board transmit buffer, then PIO the packet into it. *)
+    Semaphore.wait tx_slots;
+    let bytes = Frame.header_size + Frame.payload_length frame in
+    Cpu.use m.Machine.cpu
+      (Time.span_add costs.Costs.drv_tx (Time.ns (bytes * costs.Costs.pio_per_byte_ns)));
+    Link.transmit link station frame ~on_done:(fun () -> Semaphore.signal tx_slots)
+  in
+  { Nic.name = Printf.sprintf "%s.lance" m.Machine.name;
+    mac;
+    mtu = 1500;
+    send;
+    install_rx = (fun h -> handler := Some h);
+    bqi = None;
+    rx_drops = (fun () -> !drops) }

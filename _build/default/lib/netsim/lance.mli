@@ -1,0 +1,13 @@
+(** DEC PMADD-AA ("LANCE") Ethernet interface model.
+
+    No DMA: the host CPU copies every byte between host memory and the
+    board's packet buffers with programmed I/O, charged on the sending
+    thread for transmit and inside the interrupt path for receive.  The
+    board has a small number of transmit buffers; when they are all
+    waiting on the wire the sender blocks — which is what paces a fast
+    sender to a 10 Mb/s segment. *)
+
+val create :
+  Uln_host.Machine.t -> Link.t -> mac:Uln_addr.Mac.t -> ?tx_buffers:int -> unit -> Nic.t
+(** Attach a LANCE to an Ethernet segment.  [tx_buffers] defaults to 2
+    (the PMADD-AA staging area is tiny). *)

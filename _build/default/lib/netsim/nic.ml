@@ -1,0 +1,18 @@
+type rx_info = { frame : Frame.t; bqi : int; buffer : Uln_buf.View.t option }
+
+type bqi_ops = {
+  alloc_ring : capacity:int -> int;
+  release_ring : int -> unit;
+  provide_buffer : int -> Uln_buf.View.t -> bool;
+  ring_depth : int -> int;
+}
+
+type t = {
+  name : string;
+  mac : Uln_addr.Mac.t;
+  mtu : int;
+  send : Frame.t -> unit;
+  install_rx : (rx_info -> unit) -> unit;
+  bqi : bqi_ops option;
+  rx_drops : unit -> int;
+}

@@ -1,0 +1,51 @@
+(** Host-network interface abstraction.
+
+    The two controllers the paper uses differ in exactly the ways that
+    matter to protocol organization:
+
+    - {b LANCE} (DEC PMADD-AA, Ethernet): no DMA — the host CPU moves
+      every byte with programmed I/O, on both transmit and receive; no
+      demultiplexing help, so input dispatch is software's problem.
+    - {b AN1}: DMA to/from host memory, and hardware demultiplexing via
+      the {e buffer queue index} (BQI): a link-header field selecting a
+      ring of host buffer descriptors; BQI 0 is the protected kernel
+      default.
+
+    Driver-level code (any organization) talks to either through this
+    one record; BQI operations are present only when the hardware has
+    them. *)
+
+type rx_info = {
+  frame : Frame.t;
+  bqi : int;  (** ring the packet was delivered to; 0 = kernel default *)
+  buffer : Uln_buf.View.t option;
+      (** the host buffer DMA'd into (AN1 non-zero BQI only) *)
+}
+
+type bqi_ops = {
+  alloc_ring : capacity:int -> int;
+      (** allocate a fresh non-zero BQI with a ring of that many buffer
+          slots; raises [Failure] when the controller table is full *)
+  release_ring : int -> unit;
+  provide_buffer : int -> Uln_buf.View.t -> bool;
+      (** give the controller a host buffer for that ring; [false] if
+          the ring is full or unknown *)
+  ring_depth : int -> int;  (** buffers currently available in a ring *)
+}
+
+type t = {
+  name : string;
+  mac : Uln_addr.Mac.t;
+  mtu : int;
+  send : Frame.t -> unit;
+      (** transmit from a thread: charges host CPU for the device work
+          (PIO bytes or DMA setup), waits for a board transmit buffer,
+          then serializes on the link asynchronously *)
+  install_rx : (rx_info -> unit) -> unit;
+      (** install the receive upcall; it runs in event context after
+          interrupt (and PIO, for LANCE) costs have elapsed *)
+  bqi : bqi_ops option;  (** hardware demultiplexing, if any *)
+  rx_drops : unit -> int;
+      (** frames dropped for want of a handler, ring buffer or board
+          buffer *)
+}

@@ -1,0 +1,1 @@
+lib/pktfilter/compile.ml: Insn List Program Uln_buf Uln_engine

@@ -1,0 +1,1 @@
+lib/pktfilter/compile.mli: Program Uln_buf Uln_engine

@@ -1,0 +1,1 @@
+lib/pktfilter/demux.ml: Compile Interp List Program Uln_buf

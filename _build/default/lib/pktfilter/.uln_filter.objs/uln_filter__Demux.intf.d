@@ -1,0 +1,1 @@
+lib/pktfilter/demux.mli: Program Uln_buf

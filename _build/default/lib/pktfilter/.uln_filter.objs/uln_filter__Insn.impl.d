@@ -1,0 +1,1 @@
+lib/pktfilter/insn.ml: Format

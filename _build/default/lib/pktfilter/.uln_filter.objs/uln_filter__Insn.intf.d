@@ -1,0 +1,1 @@
+lib/pktfilter/insn.mli: Format

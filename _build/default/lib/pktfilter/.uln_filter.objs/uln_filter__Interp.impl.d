@@ -1,0 +1,1 @@
+lib/pktfilter/interp.ml: Array Insn List Program Uln_buf Uln_engine

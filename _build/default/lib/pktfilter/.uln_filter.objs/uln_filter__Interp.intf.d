@@ -1,0 +1,1 @@
+lib/pktfilter/interp.mli: Program Uln_buf Uln_engine

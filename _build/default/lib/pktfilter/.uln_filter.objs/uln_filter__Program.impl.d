@@ -1,0 +1,1 @@
+lib/pktfilter/program.ml: Format Insn Int32 List Stdlib Uln_addr

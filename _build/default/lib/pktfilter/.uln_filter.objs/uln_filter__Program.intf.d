@@ -1,0 +1,1 @@
+lib/pktfilter/program.mli: Format Insn Uln_addr

@@ -1,0 +1,1 @@
+lib/pktfilter/template.ml: Format Int32 List Uln_addr Uln_buf

@@ -1,0 +1,1 @@
+lib/pktfilter/template.mli: Format Uln_addr Uln_buf

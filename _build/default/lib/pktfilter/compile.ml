@@ -1,0 +1,86 @@
+module View = Uln_buf.View
+
+(* Compilation target: a continuation-passing closure per instruction.
+   Each closure receives the packet, the operand stack (as a list) and
+   the next closure; Cand/Cor cut the chain early exactly like the
+   interpreter. *)
+
+type k = View.t -> int list -> bool
+
+let compile program =
+  let finish : k = fun _ stack -> match stack with v :: _ -> v <> 0 | [] -> false in
+  let compile_insn insn (next : k) : k =
+    match insn with
+    | Insn.Push_lit v -> fun pkt stack -> next pkt (v :: stack)
+    | Insn.Push_word off ->
+        fun pkt stack ->
+          if off + 2 > View.length pkt then false
+          else next pkt (View.get_uint16 pkt off :: stack)
+    | Insn.Push_byte off ->
+        fun pkt stack ->
+          if off + 1 > View.length pkt then false
+          else next pkt (View.get_uint8 pkt off :: stack)
+    | Insn.Eq -> (
+        fun pkt stack ->
+          match stack with
+          | b :: a :: rest -> next pkt ((if a = b then 1 else 0) :: rest)
+          | _ -> false)
+    | Insn.Ne -> (
+        fun pkt stack ->
+          match stack with
+          | b :: a :: rest -> next pkt ((if a <> b then 1 else 0) :: rest)
+          | _ -> false)
+    | Insn.Lt -> (
+        fun pkt stack ->
+          match stack with
+          | b :: a :: rest -> next pkt ((if a < b then 1 else 0) :: rest)
+          | _ -> false)
+    | Insn.Le -> (
+        fun pkt stack ->
+          match stack with
+          | b :: a :: rest -> next pkt ((if a <= b then 1 else 0) :: rest)
+          | _ -> false)
+    | Insn.Gt -> (
+        fun pkt stack ->
+          match stack with
+          | b :: a :: rest -> next pkt ((if a > b then 1 else 0) :: rest)
+          | _ -> false)
+    | Insn.Ge -> (
+        fun pkt stack ->
+          match stack with
+          | b :: a :: rest -> next pkt ((if a >= b then 1 else 0) :: rest)
+          | _ -> false)
+    | Insn.And -> (
+        fun pkt stack ->
+          match stack with b :: a :: rest -> next pkt ((a land b) :: rest) | _ -> false)
+    | Insn.Or -> (
+        fun pkt stack ->
+          match stack with b :: a :: rest -> next pkt ((a lor b) :: rest) | _ -> false)
+    | Insn.Xor -> (
+        fun pkt stack ->
+          match stack with b :: a :: rest -> next pkt ((a lxor b) :: rest) | _ -> false)
+    | Insn.Add -> (
+        fun pkt stack ->
+          match stack with
+          | b :: a :: rest -> next pkt ((a + b) land 0xffff :: rest)
+          | _ -> false)
+    | Insn.Sub -> (
+        fun pkt stack ->
+          match stack with
+          | b :: a :: rest -> next pkt ((a - b) land 0xffff :: rest)
+          | _ -> false)
+    | Insn.Shl n -> (
+        fun pkt stack ->
+          match stack with v :: rest -> next pkt ((v lsl n) land 0xffff :: rest) | _ -> false)
+    | Insn.Shr n -> (
+        fun pkt stack ->
+          match stack with v :: rest -> next pkt (v lsr n :: rest) | _ -> false)
+    | Insn.Cand -> (
+        fun pkt stack -> match stack with v :: rest -> v <> 0 && next pkt rest | _ -> false)
+    | Insn.Cor -> (
+        fun pkt stack -> match stack with v :: rest -> v <> 0 || next pkt rest | _ -> false)
+  in
+  let chain = List.fold_right compile_insn (Program.insns program) finish in
+  fun pkt -> chain pkt []
+
+let cost program ~cycle_ns = Uln_engine.Time.ns (Program.compiled_cycles program * cycle_ns)

@@ -1,0 +1,15 @@
+(** Compiled filters.
+
+    The paper (citing Massalin & Pu's Synthesis and anticipating
+    McCanne & Jacobson's BPF) argues demultiplexing logic should be
+    synthesised/compiled into the kernel rather than interpreted.  This
+    module "compiles" a validated program into a closure tree — the
+    OCaml analogue of run-time code generation — with a correspondingly
+    smaller simulated cost. *)
+
+val compile : Program.t -> (Uln_buf.View.t -> bool)
+(** A predicate equivalent to interpreting the program (property-tested
+    in the test suite). *)
+
+val cost : Program.t -> cycle_ns:int -> Uln_engine.Time.span
+(** Simulated per-packet cost of the compiled form. *)

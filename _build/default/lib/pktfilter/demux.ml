@@ -1,0 +1,41 @@
+type mode = Interpreted | Compiled
+
+type 'a entry = {
+  id : int;
+  program : Program.t;
+  predicate : Uln_buf.View.t -> bool;
+  cycles : int;
+  endpoint : 'a;
+}
+
+type key = int
+
+type 'a t = { mode : mode; mutable entries : 'a entry list; mutable next_id : int }
+
+let create ~mode () = { mode; entries = []; next_id = 0 }
+
+let mode t = t.mode
+
+let install t program endpoint =
+  let predicate, cycles =
+    match t.mode with
+    | Interpreted -> ((fun pkt -> Interp.run program pkt), Program.interp_cycles program)
+    | Compiled -> (Compile.compile program, Program.compiled_cycles program)
+  in
+  t.next_id <- t.next_id + 1;
+  let entry = { id = t.next_id; program; predicate; cycles; endpoint } in
+  t.entries <- entry :: t.entries;
+  entry.id
+
+let remove t key = t.entries <- List.filter (fun e -> e.id <> key) t.entries
+
+let entries t = List.length t.entries
+
+let dispatch t pkt =
+  let rec go cost = function
+    | [] -> (None, cost)
+    | e :: rest ->
+        let cost = cost + e.cycles in
+        if e.predicate pkt then (Some e.endpoint, cost) else go cost rest
+  in
+  go 0 t.entries

@@ -1,0 +1,36 @@
+(** The kernel demultiplexing table.
+
+    Maps filters to delivery endpoints.  Address demultiplexing is done
+    "as low in the stack as possible but dispatching to the highest
+    protocol layer" [Tennenhouse]: the first matching entry wins, and
+    entries are tried most-recently-installed first so connection
+    filters shadow broader protocol filters.
+
+    Entries run either interpreted or compiled (a per-table choice, the
+    subject of the filter ablation bench); the cost in simulated CPU
+    cycles of the executed filters is reported per dispatch so drivers
+    can charge it. *)
+
+type 'a t
+(** A table delivering to endpoints of type ['a]. *)
+
+type mode = Interpreted | Compiled
+
+type key
+(** Handle for removing an installed entry. *)
+
+val create : mode:mode -> unit -> 'a t
+
+val mode : 'a t -> mode
+
+val install : 'a t -> Program.t -> 'a -> key
+(** Add an entry in front of existing ones. *)
+
+val remove : 'a t -> key -> unit
+
+val entries : 'a t -> int
+
+val dispatch : 'a t -> Uln_buf.View.t -> ('a option * int)
+(** [dispatch t pkt] runs filters in order until one accepts; returns
+    the endpoint (or [None]) and the total simulated cycle cost of the
+    filters executed. *)

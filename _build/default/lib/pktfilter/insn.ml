@@ -1,0 +1,54 @@
+type t =
+  | Push_lit of int
+  | Push_word of int
+  | Push_byte of int
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+  | Xor
+  | Add
+  | Sub
+  | Shl of int
+  | Shr of int
+  | Cand
+  | Cor
+
+let stack_effect = function
+  | Push_lit _ | Push_word _ | Push_byte _ -> (0, 1)
+  | Eq | Ne | Lt | Le | Gt | Ge | And | Or | Xor | Add | Sub -> (2, 1)
+  | Shl _ | Shr _ -> (1, 1)
+  | Cand | Cor -> (1, 0)
+
+(* Dispatch + operand fetch for every instruction, plus packet-memory
+   access for loads.  These model an interpreter on a 25 MHz R3000. *)
+let cycles = function
+  | Push_lit _ -> 12
+  | Push_word _ | Push_byte _ -> 22
+  | Eq | Ne | Lt | Le | Gt | Ge | And | Or | Xor | Add | Sub -> 14
+  | Shl _ | Shr _ -> 14
+  | Cand | Cor -> 10
+
+let pp ppf = function
+  | Push_lit n -> Format.fprintf ppf "pushlit 0x%04x" n
+  | Push_word o -> Format.fprintf ppf "pushword @%d" o
+  | Push_byte o -> Format.fprintf ppf "pushbyte @%d" o
+  | Eq -> Format.pp_print_string ppf "eq"
+  | Ne -> Format.pp_print_string ppf "ne"
+  | Lt -> Format.pp_print_string ppf "lt"
+  | Le -> Format.pp_print_string ppf "le"
+  | Gt -> Format.pp_print_string ppf "gt"
+  | Ge -> Format.pp_print_string ppf "ge"
+  | And -> Format.pp_print_string ppf "and"
+  | Or -> Format.pp_print_string ppf "or"
+  | Xor -> Format.pp_print_string ppf "xor"
+  | Add -> Format.pp_print_string ppf "add"
+  | Sub -> Format.pp_print_string ppf "sub"
+  | Shl n -> Format.fprintf ppf "shl %d" n
+  | Shr n -> Format.fprintf ppf "shr %d" n
+  | Cand -> Format.pp_print_string ppf "cand"
+  | Cor -> Format.pp_print_string ppf "cor"

@@ -1,0 +1,41 @@
+(** The packet-filter instruction set.
+
+    A stack language in the style of the CMU/Stanford Packet Filter
+    [Mogul, Rashid & Accetta 1987]: operands are 16-bit words pushed
+    from literals or from the packet, combined with arithmetic,
+    comparison and boolean operators.  [Cand]/[Cor] give the
+    short-circuit early exits the BSD Packet Filter added for speed.
+
+    A packet is accepted when execution ends with a non-zero value on
+    top of the stack (or short-circuits to accept). *)
+
+type t =
+  | Push_lit of int  (** push a 16-bit literal *)
+  | Push_word of int  (** push the big-endian 16-bit word at byte offset *)
+  | Push_byte of int  (** push the byte at offset *)
+  | Eq  (** pop two, push 1 if equal else 0 *)
+  | Ne
+  | Lt  (** pop b, a; push a < b *)
+  | Le
+  | Gt
+  | Ge
+  | And  (** bitwise *)
+  | Or
+  | Xor
+  | Add
+  | Sub
+  | Shl of int
+  | Shr of int
+  | Cand  (** pop; zero -> reject the packet immediately *)
+  | Cor  (** pop; non-zero -> accept the packet immediately *)
+
+val stack_effect : t -> int * int
+(** [(pops, pushes)] of an instruction, for static validation. *)
+
+val cycles : t -> int
+(** Interpreter cost of one instruction in CPU cycles.  Packet loads are
+    the expensive ones — the filter is "memory intensive", which is the
+    paper's argument for why interpretation will not scale with CPU
+    speed. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+module View = Uln_buf.View
+
+exception Done of bool
+
+let run program pkt =
+  let len = View.length pkt in
+  let stack = Array.make 32 0 in
+  let sp = ref 0 in
+  let push v =
+    stack.(!sp) <- v land 0xffff;
+    incr sp
+  in
+  let pop () =
+    decr sp;
+    stack.(!sp)
+  in
+  let binop f =
+    let b = pop () in
+    let a = pop () in
+    push (f a b)
+  in
+  let cmp f =
+    let b = pop () in
+    let a = pop () in
+    push (if f a b then 1 else 0)
+  in
+  let step insn =
+    match insn with
+    | Insn.Push_lit v -> push v
+    | Insn.Push_word off ->
+        if off + 2 > len then raise (Done false) else push (View.get_uint16 pkt off)
+    | Insn.Push_byte off ->
+        if off + 1 > len then raise (Done false) else push (View.get_uint8 pkt off)
+    | Insn.Eq -> cmp ( = )
+    | Insn.Ne -> cmp ( <> )
+    | Insn.Lt -> cmp ( < )
+    | Insn.Le -> cmp ( <= )
+    | Insn.Gt -> cmp ( > )
+    | Insn.Ge -> cmp ( >= )
+    | Insn.And -> binop ( land )
+    | Insn.Or -> binop ( lor )
+    | Insn.Xor -> binop ( lxor )
+    | Insn.Add -> binop ( + )
+    | Insn.Sub -> binop ( - )
+    | Insn.Shl n -> push (pop () lsl n)
+    | Insn.Shr n -> push (pop () lsr n)
+    | Insn.Cand -> if pop () = 0 then raise (Done false)
+    | Insn.Cor -> if pop () <> 0 then raise (Done true)
+  in
+  try
+    List.iter step (Program.insns program);
+    pop () <> 0
+  with Done verdict -> verdict
+
+let cost program ~cycle_ns = Uln_engine.Time.ns (Program.interp_cycles program * cycle_ns)

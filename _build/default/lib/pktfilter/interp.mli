@@ -1,0 +1,12 @@
+(** The kernel-resident filter interpreter.
+
+    Runs a validated {!Program.t} over a packet's wire bytes.  Reads
+    past the end of the packet reject it (as in BPF), so short packets
+    are always safe. *)
+
+val run : Program.t -> Uln_buf.View.t -> bool
+(** [run p pkt] is [true] iff the program accepts the packet. *)
+
+val cost : Program.t -> cycle_ns:int -> Uln_engine.Time.span
+(** Worst-case interpretation time on a machine with the given cycle
+    length. *)

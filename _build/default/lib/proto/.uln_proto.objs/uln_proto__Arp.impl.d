@@ -1,0 +1,1 @@
+lib/proto/arp.ml: Array Hashtbl List Proto_env Uln_addr Uln_buf Uln_engine Uln_host Uln_net

@@ -1,0 +1,1 @@
+lib/proto/arp.mli: Proto_env Uln_addr Uln_net

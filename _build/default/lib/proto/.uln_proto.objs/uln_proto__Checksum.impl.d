@@ -1,0 +1,1 @@
+lib/proto/checksum.ml: Int32 Uln_addr Uln_buf

@@ -1,0 +1,1 @@
+lib/proto/checksum.mli: Uln_addr Uln_buf

@@ -1,0 +1,1 @@
+lib/proto/icmp.mli: Ipv4 Proto_env Uln_addr Uln_buf Uln_engine

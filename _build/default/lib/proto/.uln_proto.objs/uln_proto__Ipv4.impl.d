@@ -1,0 +1,1 @@
+lib/proto/ipv4.ml: Checksum Hashtbl List Proto_env Stdlib Uln_addr Uln_buf Uln_engine Uln_host

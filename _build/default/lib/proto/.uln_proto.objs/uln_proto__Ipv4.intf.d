@@ -1,0 +1,1 @@
+lib/proto/ipv4.mli: Proto_env Uln_addr Uln_buf

@@ -1,0 +1,1 @@
+lib/proto/proto_env.mli: Uln_engine Uln_host

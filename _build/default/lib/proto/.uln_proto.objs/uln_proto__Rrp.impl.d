@@ -1,0 +1,1 @@
+lib/proto/rrp.ml: Checksum Hashtbl Int32 Ipv4 Printf Proto_env Uln_addr Uln_buf Uln_engine Uln_host

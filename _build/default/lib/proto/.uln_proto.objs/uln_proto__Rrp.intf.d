@@ -1,0 +1,1 @@
+lib/proto/rrp.mli: Ipv4 Proto_env Uln_addr Uln_buf

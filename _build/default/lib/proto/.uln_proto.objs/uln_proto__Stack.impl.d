@@ -1,0 +1,1 @@
+lib/proto/stack.ml: Arp Icmp Ipv4 Proto_env Rrp Tcp Tcp_params Udp Uln_addr Uln_buf Uln_net

@@ -1,0 +1,1 @@
+lib/proto/stack.mli: Arp Icmp Ipv4 Proto_env Rrp Tcp Tcp_params Udp Uln_addr Uln_net

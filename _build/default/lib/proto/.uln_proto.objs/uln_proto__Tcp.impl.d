@@ -1,0 +1,1 @@
+lib/proto/tcp.ml: Float Hashtbl Ipv4 List Printf Proto_env Queue Stdlib Tcp_params Tcp_seq Tcp_state Tcp_wire Uln_addr Uln_buf Uln_engine Uln_host

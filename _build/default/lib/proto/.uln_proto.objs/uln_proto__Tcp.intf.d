@@ -1,0 +1,1 @@
+lib/proto/tcp.mli: Ipv4 Proto_env Tcp_params Tcp_seq Tcp_state Uln_addr Uln_buf Uln_engine

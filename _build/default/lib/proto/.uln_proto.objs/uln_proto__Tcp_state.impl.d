@@ -1,0 +1,1 @@
+lib/proto/tcp_state.ml: Format

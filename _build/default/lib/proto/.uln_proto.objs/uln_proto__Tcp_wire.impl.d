@@ -1,0 +1,1 @@
+lib/proto/tcp_wire.ml: Checksum Format Stdlib String Tcp_seq Uln_addr Uln_buf

@@ -1,0 +1,1 @@
+lib/proto/tcp_wire.mli: Format Tcp_seq Uln_addr Uln_buf

@@ -1,0 +1,1 @@
+lib/proto/udp.mli: Ipv4 Proto_env Uln_addr Uln_buf

@@ -1,0 +1,26 @@
+module Sched = Uln_engine.Sched
+module Time = Uln_engine.Time
+module Timers = Uln_engine.Timers
+module Rng = Uln_engine.Rng
+module Cpu = Uln_host.Cpu
+module Costs = Uln_host.Costs
+module Machine = Uln_host.Machine
+
+type t = {
+  sched : Sched.t;
+  cpu : Cpu.t;
+  costs : Costs.t;
+  timers : Timers.t;
+  rng : Rng.t;
+}
+
+let create sched cpu costs ~rng ?(timer_granularity = Time.ms 100) () =
+  { sched; cpu; costs; timers = Timers.create sched ~granularity:timer_granularity; rng }
+
+let of_machine (m : Machine.t) =
+  create m.Machine.sched m.Machine.cpu m.Machine.costs ~rng:(Rng.split m.Machine.rng) ()
+
+let charge t span = Cpu.use t.cpu span
+let charge_bytes t ~per_byte_ns bytes = Cpu.use t.cpu (Time.ns (bytes * per_byte_ns))
+let now t = Sched.now t.sched
+let spawn_handler t ~name f = Sched.spawn t.sched ~name f

@@ -1,0 +1,41 @@
+(** Execution environment for a protocol stack instance.
+
+    The same stack code runs inside the kernel (Ultrix organization), a
+    trusted server (Mach/UX organization) or an application's linked
+    library (the paper's organization).  An [env] carries everything the
+    code needs from its surroundings: the clock/scheduler, the host CPU
+    to charge, the cost model, a timer service and a random stream. *)
+
+type t = {
+  sched : Uln_engine.Sched.t;
+  cpu : Uln_host.Cpu.t;
+  costs : Uln_host.Costs.t;
+  timers : Uln_engine.Timers.t;
+  rng : Uln_engine.Rng.t;
+}
+
+val create :
+  Uln_engine.Sched.t ->
+  Uln_host.Cpu.t ->
+  Uln_host.Costs.t ->
+  rng:Uln_engine.Rng.t ->
+  ?timer_granularity:Uln_engine.Time.span ->
+  unit ->
+  t
+(** Build an environment; [timer_granularity] defaults to 100 ms (the
+    protocol timer tick). *)
+
+val of_machine : Uln_host.Machine.t -> t
+(** Environment charging the machine's CPU (kernel-resident stacks). *)
+
+val charge : t -> Uln_engine.Time.span -> unit
+(** Consume CPU from the calling thread. *)
+
+val charge_bytes : t -> per_byte_ns:int -> int -> unit
+(** Consume [bytes * per_byte_ns] of CPU. *)
+
+val now : t -> Uln_engine.Time.t
+
+val spawn_handler : t -> name:string -> (unit -> unit) -> unit
+(** Run work that may block (used by timer callbacks, which fire in
+    event context). *)

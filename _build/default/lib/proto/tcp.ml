@@ -1,0 +1,1150 @@
+module Sched = Uln_engine.Sched
+module Time = Uln_engine.Time
+module Timers = Uln_engine.Timers
+module Rng = Uln_engine.Rng
+module Mailbox = Uln_engine.Mailbox
+module View = Uln_buf.View
+module Mbuf = Uln_buf.Mbuf
+module Bytequeue = Uln_buf.Bytequeue
+module Ip = Uln_addr.Ip
+module Costs = Uln_host.Costs
+module State = Tcp_state
+
+exception Connection_error of string
+
+type snapshot = {
+  snap_local_port : int;
+  snap_remote_ip : Ip.t;
+  snap_remote_port : int;
+  snap_iss : Tcp_seq.t;
+  snap_irs : Tcp_seq.t;
+  snap_snd_una : Tcp_seq.t;
+  snap_snd_nxt : Tcp_seq.t;
+  snap_snd_wnd : int;
+  snap_rcv_nxt : Tcp_seq.t;
+  snap_mss : int;
+  snap_srtt_us : float;
+  snap_rttvar_us : float;
+  snap_rcv_pending : string;
+}
+
+type conn = {
+  engine : t;
+  local_port : int;
+  remote_ip : Ip.t;
+  remote_port : int;
+  mutable state : State.t;
+  (* send side *)
+  snd_buf : Bytequeue.t;
+  mutable iss : Tcp_seq.t;
+  mutable snd_una : Tcp_seq.t;
+  mutable snd_nxt : Tcp_seq.t;
+  mutable snd_max : Tcp_seq.t; (* highest sequence ever sent *)
+  mutable snd_wnd : int;
+  mutable snd_wl1 : Tcp_seq.t;
+  mutable snd_wl2 : Tcp_seq.t;
+  mutable fin_queued : bool;
+  mutable fin_sent : bool;
+  (* receive side *)
+  rcv_buf : Bytequeue.t;
+  mutable irs : Tcp_seq.t;
+  mutable rcv_nxt : Tcp_seq.t;
+  mutable rcv_adv : Tcp_seq.t; (* highest advertised rcv_nxt + window *)
+  mutable fin_received : bool;
+  mutable ooseg : (Tcp_seq.t * View.t) list; (* out-of-order, sorted by seq *)
+  (* congestion control *)
+  mutable cwnd : int;
+  mutable ssthresh : int;
+  mutable dupacks : int;
+  (* RTT estimation *)
+  mutable srtt_us : float;
+  mutable rttvar_us : float;
+  mutable rto : Time.span;
+  mutable backoff : int;
+  mutable rtt_timing : (Tcp_seq.t * Time.t) option;
+  (* negotiated *)
+  mutable mss : int;
+  (* timers *)
+  mutable rexmt : Timers.handle option;
+  mutable persist : Timers.handle option;
+  mutable delack : Timers.handle option;
+  mutable time_wait : Timers.handle option;
+  mutable keepalive : Timers.handle option;
+  mutable idle_since : Time.t;
+  mutable ka_probes : int;
+  mutable unacked_segs : int;
+  mutable ack_now : bool;
+  (* engine bookkeeping *)
+  mutable output_active : bool;
+  mutable output_pending : bool;
+  mutable error : string option;
+  mutable detached : bool; (* exported: no longer usable *)
+  waiters : Sched.waker Queue.t; (* readers, writers, state watchers *)
+  mutable closed_callbacks : (unit -> unit) list;
+  mutable accept_box : conn Mailbox.t option; (* queue to notify on establish *)
+}
+
+and listener = { lport : int; backlog : conn Mailbox.t }
+
+and t = {
+  env : Proto_env.t;
+  ip : Ipv4.t;
+  prm : Tcp_params.t;
+  pcbs : (int32 * int * int, conn) Hashtbl.t; (* remote ip, remote port, local port *)
+  listeners : (int, listener) Hashtbl.t;
+  mutable rst_on_unknown : bool;
+  mutable unknown_hook : (src:Ip.t -> dst:Ip.t -> Mbuf.t -> bool) option;
+  mutable segments_in : int;
+  mutable segments_out : int;
+  mutable retransmissions : int;
+  mutable rsts_out : int;
+  mutable checksum_failures : int;
+}
+
+let params t = t.prm
+let set_rst_on_unknown t v = t.rst_on_unknown <- v
+let set_unknown_segment_hook t f = t.unknown_hook <- Some f
+let segments_in t = t.segments_in
+let segments_out t = t.segments_out
+let retransmissions t = t.retransmissions
+let rsts_out t = t.rsts_out
+let checksum_failures t = t.checksum_failures
+let active_connections t = Hashtbl.length t.pcbs
+
+let state c = c.state
+let error c = c.error
+let local_port c = c.local_port
+let remote_addr c = (c.remote_ip, c.remote_port)
+let mss c = c.mss
+let srtt_us c = c.srtt_us
+let rto c = c.rto
+let cwnd c = c.cwnd
+let bytes_queued c = Bytequeue.length c.snd_buf
+let bytes_available c = Bytequeue.length c.rcv_buf
+
+let key ~remote_ip ~remote_port ~local_port = (Ip.to_int32 remote_ip, remote_port, local_port)
+let conn_key c = key ~remote_ip:c.remote_ip ~remote_port:c.remote_port ~local_port:c.local_port
+
+(* --- wakeups ------------------------------------------------------- *)
+
+let wake_all c =
+  while not (Queue.is_empty c.waiters) do
+    (Queue.pop c.waiters) ()
+  done
+
+let wait_on c = Sched.suspend (fun wake -> Queue.push wake c.waiters)
+
+let on_closed c f = c.closed_callbacks <- f :: c.closed_callbacks
+
+(* --- timers --------------------------------------------------------- *)
+
+let stop_timer slot =
+  match slot with
+  | None -> None
+  | Some h ->
+      Timers.disarm h;
+      None
+
+let charge_timer_op c = Proto_env.charge c.engine.env c.engine.env.Proto_env.costs.Costs.timer_op
+
+(* --- window computation --------------------------------------------- *)
+
+let rcv_window c =
+  let used = Bytequeue.length c.rcv_buf in
+  Stdlib.max 0 (c.engine.prm.Tcp_params.rcv_buf - used)
+
+let snd_window c = Stdlib.min c.snd_wnd c.cwnd
+
+(* --- segment emission ----------------------------------------------- *)
+
+let emit t ~src_ip ~dst_ip (seg : Tcp_wire.segment) =
+  let costs = t.env.Proto_env.costs in
+  let payload_bytes = Mbuf.length seg.Tcp_wire.payload in
+  Proto_env.charge t.env costs.Costs.tcp_output;
+  Proto_env.charge_bytes t.env ~per_byte_ns:costs.Costs.checksum_per_byte_ns
+    (payload_bytes + Tcp_wire.header_size);
+  t.segments_out <- t.segments_out + 1;
+  let m = Tcp_wire.encode ~src_ip ~dst_ip seg in
+  Ipv4.output t.ip ~proto:6 ~dst:dst_ip m
+
+let send_rst_for t ~src ~(seg : Tcp_wire.segment) =
+  if t.rst_on_unknown then begin
+    t.rsts_out <- t.rsts_out + 1;
+    let flags, seq, ack =
+      if seg.Tcp_wire.flags.Tcp_wire.ack then
+        ({ Tcp_wire.no_flags with Tcp_wire.rst = true }, seg.Tcp_wire.ack, 0)
+      else
+        ( { Tcp_wire.no_flags with Tcp_wire.rst = true; ack = true },
+          0,
+          Tcp_seq.add seg.Tcp_wire.seq (Tcp_wire.seg_len seg) )
+    in
+    emit t ~src_ip:(Ipv4.my_ip t.ip) ~dst_ip:src
+      { Tcp_wire.src_port = seg.Tcp_wire.dst_port;
+        dst_port = seg.Tcp_wire.src_port;
+        seq;
+        ack;
+        flags;
+        wnd = 0;
+        mss = None;
+        payload = Mbuf.empty }
+  end
+
+(* Send one segment of this connection.  [seq] is explicit so fast
+   retransmit can resend at snd_una without disturbing snd_nxt. *)
+let send_segment c ~seq ~flags ~payload ~with_mss =
+  let t = c.engine in
+  let wnd = rcv_window c in
+  c.rcv_adv <- Tcp_seq.max c.rcv_adv (Tcp_seq.add c.rcv_nxt (Stdlib.min wnd 0xffff));
+  c.unacked_segs <- 0;
+  c.ack_now <- false;
+  c.delack <- stop_timer c.delack;
+  emit t ~src_ip:(Ipv4.my_ip t.ip) ~dst_ip:c.remote_ip
+    { Tcp_wire.src_port = c.local_port;
+      dst_port = c.remote_port;
+      seq;
+      ack = c.rcv_nxt;
+      flags;
+      wnd = Stdlib.min wnd 0xffff;
+      mss = (if with_mss then Some c.mss else None);
+      payload }
+
+let flags_ack = { Tcp_wire.no_flags with Tcp_wire.ack = true }
+let flags_syn = { Tcp_wire.no_flags with Tcp_wire.syn = true }
+let flags_syn_ack = { Tcp_wire.no_flags with Tcp_wire.syn = true; ack = true }
+
+(* --- connection teardown -------------------------------------------- *)
+
+let remove_conn c =
+  Hashtbl.remove c.engine.pcbs (conn_key c)
+
+let destroy c reason =
+  c.rexmt <- stop_timer c.rexmt;
+  c.persist <- stop_timer c.persist;
+  c.delack <- stop_timer c.delack;
+  c.time_wait <- stop_timer c.time_wait;
+  c.keepalive <- stop_timer c.keepalive;
+  if c.state <> State.Closed then begin
+    c.state <- State.Closed;
+    c.error <- (match c.error with None -> reason | some -> some);
+    remove_conn c;
+    wake_all c;
+    List.iter (fun f -> f ()) (List.rev c.closed_callbacks)
+  end
+
+let trace c fmt =
+  Uln_engine.Trace.debugf c.engine.env.Proto_env.sched "tcp"
+    ("[:%d<->%d] " ^^ fmt) c.local_port c.remote_port
+
+let drop_with_error c msg =
+  trace c "dropped: %s" msg;
+  destroy c (Some msg)
+
+let finish_cleanly c =
+  trace c "closed";
+  destroy c None
+
+(* --- RTT estimation (Jacobson) --------------------------------------- *)
+
+let update_rtt c sample_us =
+  let prm = c.engine.prm in
+  if c.srtt_us = 0. then begin
+    c.srtt_us <- sample_us;
+    c.rttvar_us <- sample_us /. 2.
+  end
+  else begin
+    let err = sample_us -. c.srtt_us in
+    c.srtt_us <- c.srtt_us +. (err /. 8.);
+    c.rttvar_us <- c.rttvar_us +. ((Float.abs err -. c.rttvar_us) /. 4.)
+  end;
+  let rto_us = c.srtt_us +. (4. *. c.rttvar_us) in
+  let rto = Time.of_us_f rto_us in
+  c.rto <-
+    Stdlib.max prm.Tcp_params.min_rto (Stdlib.min prm.Tcp_params.max_rto rto);
+  c.backoff <- 0
+
+(* --- output engine --------------------------------------------------- *)
+
+let rec arm_rexmt c =
+  match c.rexmt with
+  | Some _ -> ()
+  | None ->
+      charge_timer_op c;
+      let delay = Time.span_scale c.rto (1 lsl Stdlib.min c.backoff 6) in
+      let delay = Stdlib.min delay c.engine.prm.Tcp_params.max_rto in
+      (* The handler runs in its own thread; by then the connection may
+         have restarted the timer (the ACK arrived between fire and
+         run).  Act only if this handle is still the current one. *)
+      let mine = ref None in
+      let h =
+        Timers.arm c.engine.env.Proto_env.timers delay (fun () ->
+            Proto_env.spawn_handler c.engine.env ~name:"tcp.rexmt" (fun () ->
+                match (c.rexmt, !mine) with
+                | Some cur, Some this when cur == this ->
+                    c.rexmt <- None;
+                    rexmt_fired c
+                | _ -> ()))
+      in
+      mine := Some h;
+      c.rexmt <- Some h
+
+and rexmt_fired c =
+  if c.state <> State.Closed && not c.detached then begin
+    let t = c.engine in
+    c.backoff <- c.backoff + 1;
+    if c.backoff > t.prm.Tcp_params.max_backoff then drop_with_error c "connection timed out"
+    else begin
+      t.retransmissions <- t.retransmissions + 1;
+      trace c "retransmission timeout (backoff %d, state %s)" c.backoff
+        (State.to_string c.state);
+      (* Karn: stop timing across retransmissions. *)
+      c.rtt_timing <- None;
+      c.dupacks <- 0;
+      (match c.state with
+      | State.Syn_sent ->
+          arm_rexmt c;
+          send_segment c ~seq:c.iss ~flags:flags_syn ~payload:Mbuf.empty ~with_mss:true
+      | State.Syn_received ->
+          arm_rexmt c;
+          send_segment c ~seq:c.iss ~flags:flags_syn_ack ~payload:Mbuf.empty ~with_mss:true
+      | _ ->
+          (* Congestion collapse response: shrink and go back to snd_una. *)
+          let flight = Stdlib.min (snd_window c) (Tcp_seq.diff c.snd_nxt c.snd_una) in
+          c.ssthresh <- Stdlib.max (2 * c.mss) (flight / 2);
+          c.cwnd <- c.mss;
+          c.snd_nxt <- c.snd_una;
+          c.fin_sent <- false;
+          output c)
+    end
+  end
+
+and output c =
+  if c.output_active then c.output_pending <- true
+  else begin
+    c.output_active <- true;
+    let continue = ref true in
+    while !continue do
+      c.output_pending <- false;
+      let sent = output_once c in
+      if not sent && not c.output_pending then continue := false
+    done;
+    c.output_active <- false
+  end
+
+(* Try to emit one segment; true if something was sent. *)
+and output_once c =
+  if c.detached || c.state = State.Closed then false
+  else begin
+    let prm = c.engine.prm in
+    let off = Tcp_seq.diff c.snd_nxt c.snd_una in
+    (* [off] counts the unacked FIN if one is in flight; data offset
+       never exceeds the buffer. *)
+    let data_off = Stdlib.min (Stdlib.max 0 off) (Bytequeue.length c.snd_buf) in
+    let avail = Bytequeue.length c.snd_buf - data_off in
+    let wnd = snd_window c in
+    let usable = Stdlib.max 0 (wnd - off) in
+    let len = Stdlib.min (Stdlib.min c.mss avail) usable in
+    let data_allowed = State.can_send_data c.state || c.fin_queued in
+    let len = if data_allowed then len else 0 in
+    let all_data_sent = data_off + len >= Bytequeue.length c.snd_buf in
+    let want_fin =
+      (* Also resend from FIN-bearing states: after a retransmit timeout
+         snd_nxt returns to snd_una with fin_sent cleared, but the state
+         has already advanced. *)
+      c.fin_queued && not c.fin_sent && all_data_sent
+      && (match c.state with
+         | State.Established | State.Close_wait | State.Syn_received | State.Fin_wait_1
+         | State.Closing | State.Last_ack ->
+             true
+         | _ -> false)
+      && usable - len > 0
+    in
+    let nagle_blocks =
+      len > 0 && len < c.mss && off > 0 && prm.Tcp_params.nagle && not want_fin
+      && avail - len = 0
+    in
+    let send_data = len > 0 && not nagle_blocks in
+    if send_data || want_fin || c.ack_now then begin
+      let payload =
+        if send_data then Mbuf.of_view (Bytequeue.peek c.snd_buf ~off:data_off ~len)
+        else Mbuf.empty
+      in
+      let len = if send_data then len else 0 in
+      let fin_now = want_fin && (send_data || len = 0) in
+      let flags =
+        { Tcp_wire.no_flags with
+          Tcp_wire.ack = true;
+          fin = fin_now;
+          psh = (send_data && data_off + len >= Bytequeue.length c.snd_buf) }
+      in
+      let seq = c.snd_nxt in
+      (* Time this segment if it is new data at the send frontier. *)
+      if send_data && c.rtt_timing = None && Tcp_seq.ge seq c.snd_max then
+        c.rtt_timing <- Some (seq, Proto_env.now c.engine.env);
+      if Tcp_seq.lt seq c.snd_max && send_data then
+        c.engine.retransmissions <- c.engine.retransmissions + 1;
+      c.snd_nxt <- Tcp_seq.add c.snd_nxt (len + if fin_now then 1 else 0);
+      c.snd_max <- Tcp_seq.max c.snd_max c.snd_nxt;
+      if fin_now then begin
+        c.fin_sent <- true;
+        c.state <-
+          (match c.state with
+          | State.Established | State.Syn_received -> State.Fin_wait_1
+          | State.Close_wait -> State.Last_ack
+          | s -> s)
+      end;
+      if send_data || fin_now then arm_rexmt c;
+      send_segment c ~seq ~flags ~payload ~with_mss:false;
+      true
+    end
+    else begin
+      (* Nothing sendable: maybe start the persist probe.  A pending FIN
+         with a closed window also needs probing or it would never go
+         out. *)
+      if
+        (Bytequeue.length c.snd_buf > 0 || (c.fin_queued && not c.fin_sent))
+        && c.snd_wnd = 0 && c.rexmt = None
+        && c.persist = None
+        && State.synchronized c.state
+      then arm_persist c;
+      false
+    end
+  end
+
+and arm_persist c =
+  charge_timer_op c;
+  let delay = Time.span_scale c.rto (1 lsl Stdlib.min c.backoff 4) in
+  c.persist <-
+    Some
+      (Timers.arm c.engine.env.Proto_env.timers delay (fun () ->
+           c.persist <- None;
+           Proto_env.spawn_handler c.engine.env ~name:"tcp.persist" (fun () ->
+               persist_fired c)))
+
+and persist_fired c =
+  if c.state <> State.Closed && not c.detached && c.snd_wnd = 0 then begin
+    if Bytequeue.length c.snd_buf > 0 then begin
+      (* Window probe: one byte at snd_una. *)
+      let payload = Mbuf.of_view (Bytequeue.peek c.snd_buf ~off:0 ~len:1) in
+      c.backoff <- Stdlib.min (c.backoff + 1) 10;
+      send_segment c ~seq:c.snd_una ~flags:flags_ack ~payload ~with_mss:false;
+      arm_persist c
+    end
+    else if c.fin_queued && not c.fin_sent then begin
+      (* Force the FIN out as the probe. *)
+      c.backoff <- Stdlib.min (c.backoff + 1) 10;
+      let seq = c.snd_nxt in
+      c.snd_nxt <- Tcp_seq.add c.snd_nxt 1;
+      c.snd_max <- Tcp_seq.max c.snd_max c.snd_nxt;
+      c.fin_sent <- true;
+      c.state <-
+        (match c.state with
+        | State.Established | State.Syn_received -> State.Fin_wait_1
+        | State.Close_wait -> State.Last_ack
+        | s -> s);
+      arm_rexmt c;
+      send_segment c ~seq
+        ~flags:{ Tcp_wire.no_flags with Tcp_wire.ack = true; fin = true }
+        ~payload:Mbuf.empty ~with_mss:false
+    end
+  end
+
+(* --- delayed ACK ------------------------------------------------------ *)
+
+let schedule_ack c =
+  c.unacked_segs <- c.unacked_segs + 1;
+  if c.unacked_segs >= c.engine.prm.Tcp_params.ack_every then c.ack_now <- true
+  else if c.delack = None then begin
+    charge_timer_op c;
+    c.delack <-
+      Some
+        (Timers.arm c.engine.env.Proto_env.timers c.engine.prm.Tcp_params.delack (fun () ->
+             c.delack <- None;
+             if c.state <> State.Closed && not c.detached then begin
+               c.ack_now <- true;
+               Proto_env.spawn_handler c.engine.env ~name:"tcp.delack" (fun () -> output c)
+             end))
+  end
+
+(* --- keepalive --------------------------------------------------------- *)
+
+(* BSD-style keepalive: once the connection has been idle for the
+   configured time, probe with a segment one byte below snd_una (the
+   peer must answer with an ACK); unanswered probes eventually drop the
+   connection. *)
+let rec arm_keepalive c =
+  match c.engine.prm.Tcp_params.keepalive with
+  | None -> ()
+  | Some idle_limit ->
+      if c.keepalive = None then begin
+        let delay =
+          if c.ka_probes = 0 then idle_limit else c.engine.prm.Tcp_params.keepalive_interval
+        in
+        c.keepalive <-
+          Some
+            (Timers.arm c.engine.env.Proto_env.timers delay (fun () ->
+                 c.keepalive <- None;
+                 Proto_env.spawn_handler c.engine.env ~name:"tcp.keepalive" (fun () ->
+                     keepalive_fired c)))
+      end
+
+and keepalive_fired c =
+  match c.engine.prm.Tcp_params.keepalive with
+  | None -> ()
+  | Some idle_limit ->
+      if c.state = State.Established || c.state = State.Close_wait then begin
+        let idle = Time.diff (Proto_env.now c.engine.env) c.idle_since in
+        if idle < idle_limit && c.ka_probes = 0 then arm_keepalive c
+        else if c.ka_probes >= c.engine.prm.Tcp_params.keepalive_probes then
+          drop_with_error c "keepalive timeout"
+        else begin
+          c.ka_probes <- c.ka_probes + 1;
+          send_segment c
+            ~seq:(Tcp_seq.add c.snd_una (-1))
+            ~flags:flags_ack ~payload:Mbuf.empty ~with_mss:false;
+          arm_keepalive c
+        end
+      end
+
+let touch_keepalive c =
+  c.idle_since <- Proto_env.now c.engine.env;
+  c.ka_probes <- 0
+
+(* --- TIME_WAIT -------------------------------------------------------- *)
+
+let enter_time_wait c =
+  trace c "entering TIME_WAIT";
+  c.state <- State.Time_wait;
+  c.rexmt <- stop_timer c.rexmt;
+  c.persist <- stop_timer c.persist;
+  if c.time_wait = None then
+    c.time_wait <-
+      Some
+        (Timers.arm c.engine.env.Proto_env.timers
+           (Time.span_scale c.engine.prm.Tcp_params.msl 2) (fun () ->
+             c.time_wait <- None;
+             (* Closed-callbacks may block (e.g. releasing the port with
+                the registry), so run them in a thread. *)
+             Proto_env.spawn_handler c.engine.env ~name:"tcp.2msl" (fun () ->
+                 finish_cleanly c)));
+  wake_all c
+
+(* --- out-of-order queue ----------------------------------------------- *)
+
+let insert_ooseg c seq data =
+  let rec ins = function
+    | [] -> [ (seq, data) ]
+    | (s, d) :: rest as l ->
+        if Tcp_seq.lt seq s then (seq, data) :: l
+        else if seq = s then l (* duplicate *)
+        else (s, d) :: ins rest
+  in
+  c.ooseg <- ins c.ooseg
+
+(* Pull any now-in-order segments into the receive buffer. *)
+let drain_ooseg c =
+  let rec go () =
+    match c.ooseg with
+    | (s, d) :: rest when Tcp_seq.le s c.rcv_nxt ->
+        let skip = Tcp_seq.diff c.rcv_nxt s in
+        let len = View.length d in
+        if skip < len then begin
+          Bytequeue.push c.rcv_buf (View.sub d skip (len - skip));
+          c.rcv_nxt <- Tcp_seq.add s len
+        end;
+        c.ooseg <- rest;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+(* --- ACK processing --------------------------------------------------- *)
+
+let process_ack c (seg : Tcp_wire.segment) =
+  let ack = seg.Tcp_wire.ack in
+  if Tcp_seq.gt ack c.snd_max then begin
+    (* Acknowledges data we never sent. *)
+    c.ack_now <- true
+  end
+  else if Tcp_seq.le ack c.snd_una then begin
+    (* Duplicate ACK. *)
+    if
+      Mbuf.length seg.Tcp_wire.payload = 0
+      && seg.Tcp_wire.wnd = c.snd_wnd
+      && Tcp_seq.gt c.snd_nxt c.snd_una
+    then begin
+      c.dupacks <- c.dupacks + 1;
+      if c.dupacks = 3 then begin
+        trace c "fast retransmit at %d" c.snd_una;
+        (* Fast retransmit + (simplified) fast recovery. *)
+        let flight = Stdlib.min (snd_window c) (Tcp_seq.diff c.snd_nxt c.snd_una) in
+        c.ssthresh <- Stdlib.max (2 * c.mss) (flight / 2);
+        let len = Stdlib.min c.mss (Bytequeue.length c.snd_buf) in
+        if len > 0 then begin
+          c.engine.retransmissions <- c.engine.retransmissions + 1;
+          c.rtt_timing <- None;
+          send_segment c ~seq:c.snd_una ~flags:flags_ack
+            ~payload:(Mbuf.of_view (Bytequeue.peek c.snd_buf ~off:0 ~len))
+            ~with_mss:false
+        end;
+        c.cwnd <- c.ssthresh + (3 * c.mss)
+      end
+      else if c.dupacks > 3 then c.cwnd <- c.cwnd + c.mss
+    end
+  end
+  else begin
+    (* New data acknowledged. *)
+    let acked = Tcp_seq.diff ack c.snd_una in
+    (* RTT sample (Karn's rule handled by clearing on retransmit). *)
+    (match c.rtt_timing with
+    | Some (tseq, started) when Tcp_seq.gt ack tseq ->
+        c.rtt_timing <- None;
+        update_rtt c (Time.to_us_f (Time.diff (Proto_env.now c.engine.env) started))
+    | _ -> ());
+    (* Congestion window growth. *)
+    if c.dupacks >= 3 then c.cwnd <- Stdlib.max c.mss c.ssthresh
+    else if c.cwnd < c.ssthresh then c.cwnd <- c.cwnd + c.mss
+    else c.cwnd <- c.cwnd + Stdlib.max 1 (c.mss * c.mss / c.cwnd);
+    c.cwnd <- Stdlib.min c.cwnd 65535;
+    c.dupacks <- 0;
+    (* Remove acknowledged bytes; the FIN consumes one unit of sequence
+       space that is not in the buffer. *)
+    let fin_acked =
+      c.fin_sent && Tcp_seq.ge ack c.snd_nxt && Tcp_seq.diff c.snd_nxt c.snd_una > 0
+      && acked > Bytequeue.length c.snd_buf
+    in
+    let data_acked = Stdlib.min (acked - (if fin_acked then 1 else 0)) (Bytequeue.length c.snd_buf) in
+    if data_acked > 0 then Bytequeue.drop c.snd_buf data_acked;
+    c.snd_una <- ack;
+    if Tcp_seq.gt c.snd_una c.snd_nxt then c.snd_nxt <- c.snd_una;
+    (* Retransmit timer: restart while data remains outstanding. *)
+    c.rexmt <- stop_timer c.rexmt;
+    c.backoff <- 0;
+    if Tcp_seq.gt c.snd_nxt c.snd_una then arm_rexmt c;
+    (* State transitions on FIN acknowledgement. *)
+    if fin_acked then begin
+      match c.state with
+      | State.Fin_wait_1 -> c.state <- State.Fin_wait_2
+      | State.Closing -> enter_time_wait c
+      | State.Last_ack -> finish_cleanly c
+      | _ -> ()
+    end;
+    wake_all c
+  end
+
+(* --- established-state input ------------------------------------------ *)
+
+let process_segment c (seg : Tcp_wire.segment) =
+  touch_keepalive c;
+  let payload_len = Mbuf.length seg.Tcp_wire.payload in
+  let seg_len = Tcp_wire.seg_len seg in
+  let win = rcv_window c in
+  let seq = seg.Tcp_wire.seq in
+  (* RFC 793 acceptability test. *)
+  let acceptable =
+    if seg_len = 0 && win = 0 then seq = c.rcv_nxt
+    else if seg_len = 0 then Tcp_seq.in_window seq ~base:c.rcv_nxt ~size:win
+    else if win = 0 then false
+    else
+      Tcp_seq.in_window seq ~base:c.rcv_nxt ~size:win
+      || Tcp_seq.in_window (Tcp_seq.add seq (seg_len - 1)) ~base:c.rcv_nxt ~size:win
+  in
+  if not acceptable then begin
+    if not seg.Tcp_wire.flags.Tcp_wire.rst then begin
+      c.ack_now <- true;
+      output c
+    end
+  end
+  else if seg.Tcp_wire.flags.Tcp_wire.rst then drop_with_error c "connection reset by peer"
+  else if seg.Tcp_wire.flags.Tcp_wire.syn && Tcp_seq.ge seq c.rcv_nxt then begin
+    (* New SYN inside the window: fatal. *)
+    c.engine.rsts_out <- c.engine.rsts_out + 1;
+    send_segment c ~seq:c.snd_nxt
+      ~flags:{ Tcp_wire.no_flags with Tcp_wire.rst = true }
+      ~payload:Mbuf.empty ~with_mss:false;
+    drop_with_error c "SYN received on synchronized connection"
+  end
+  else if not seg.Tcp_wire.flags.Tcp_wire.ack then () (* nothing further without ACK *)
+  else begin
+    (* SYN_RCVD completes here. *)
+    if c.state = State.Syn_received then begin
+      if Tcp_seq.gt seg.Tcp_wire.ack c.snd_una && Tcp_seq.le seg.Tcp_wire.ack c.snd_max
+      then begin
+        c.state <- State.Established;
+        trace c "established (passive open)";
+        arm_keepalive c;
+        (match c.accept_box with
+        | Some box ->
+            c.accept_box <- None;
+            Mailbox.send box c
+        | None -> ());
+        wake_all c
+      end
+      else begin
+        send_rst_for c.engine ~src:c.remote_ip ~seg;
+        drop_with_error c "bad ACK completing handshake"
+      end
+    end;
+    if c.state = State.Closed then ()
+    else begin
+      process_ack c seg;
+      if c.state = State.Closed then ()
+      else begin
+        (* Window update (RFC 793 ordering on wl1/wl2). *)
+        if
+          Tcp_seq.lt c.snd_wl1 seq
+          || (c.snd_wl1 = seq && Tcp_seq.le c.snd_wl2 seg.Tcp_wire.ack)
+        then begin
+          let old_wnd = c.snd_wnd in
+          c.snd_wnd <- seg.Tcp_wire.wnd;
+          c.snd_wl1 <- seq;
+          c.snd_wl2 <- seg.Tcp_wire.ack;
+          if c.snd_wnd > 0 then c.persist <- stop_timer c.persist;
+          if c.snd_wnd > old_wnd then wake_all c
+        end;
+        (* Payload. *)
+        if payload_len > 0 then begin
+          if State.can_receive_data c.state then begin
+            (* Trim any already-received prefix. *)
+            let skip = Stdlib.max 0 (Tcp_seq.diff c.rcv_nxt seq) in
+            if skip < payload_len then begin
+              let seq' = Tcp_seq.add seq skip in
+              let data = Mbuf.flatten (Mbuf.drop seg.Tcp_wire.payload skip) in
+              (* Clip to our window. *)
+              let room = Tcp_seq.diff (Tcp_seq.add c.rcv_nxt win) seq' in
+              let keep = Stdlib.min (View.length data) (Stdlib.max 0 room) in
+              if keep > 0 then begin
+                let data = View.sub data 0 keep in
+                if seq' = c.rcv_nxt then begin
+                  Bytequeue.push c.rcv_buf data;
+                  c.rcv_nxt <- Tcp_seq.add c.rcv_nxt keep;
+                  drain_ooseg c;
+                  schedule_ack c;
+                  wake_all c
+                end
+                else begin
+                  insert_ooseg c seq' data;
+                  c.ack_now <- true (* duplicate ACK for fast retransmit *)
+                end
+              end
+            end
+            else c.ack_now <- true
+          end
+          else c.ack_now <- true
+        end;
+        (* FIN: only when it lands exactly in order. *)
+        if
+          seg.Tcp_wire.flags.Tcp_wire.fin && not c.fin_received
+          && Tcp_seq.add seq payload_len = c.rcv_nxt
+          && c.ooseg = []
+        then begin
+          c.fin_received <- true;
+          c.rcv_nxt <- Tcp_seq.add c.rcv_nxt 1;
+          c.ack_now <- true;
+          (match c.state with
+          | State.Established -> c.state <- State.Close_wait
+          | State.Fin_wait_1 ->
+              (* Our FIN wasn't acked by this segment (else we'd be in
+                 FIN_WAIT_2 already): simultaneous close. *)
+              c.state <- State.Closing
+          | State.Fin_wait_2 -> enter_time_wait c
+          | _ -> ());
+          wake_all c
+        end
+        else if seg.Tcp_wire.flags.Tcp_wire.fin && c.fin_received then c.ack_now <- true;
+        output c
+      end
+    end
+  end
+
+(* --- SYN_SENT input ---------------------------------------------------- *)
+
+let process_syn_sent c (seg : Tcp_wire.segment) =
+  let f = seg.Tcp_wire.flags in
+  let ack_ok =
+    (not f.Tcp_wire.ack)
+    || (Tcp_seq.gt seg.Tcp_wire.ack c.iss && Tcp_seq.le seg.Tcp_wire.ack c.snd_max)
+  in
+  if not ack_ok then begin
+    if not f.Tcp_wire.rst then send_rst_for c.engine ~src:c.remote_ip ~seg
+  end
+  else if f.Tcp_wire.rst then begin
+    if f.Tcp_wire.ack then drop_with_error c "connection refused"
+  end
+  else if f.Tcp_wire.syn then begin
+    c.irs <- seg.Tcp_wire.seq;
+    c.rcv_nxt <- Tcp_seq.add seg.Tcp_wire.seq 1;
+    (match seg.Tcp_wire.mss with
+    | Some peer_mss -> c.mss <- Stdlib.min c.mss peer_mss
+    | None -> c.mss <- Stdlib.min c.mss c.engine.prm.Tcp_params.mss_default);
+    c.snd_wnd <- seg.Tcp_wire.wnd;
+    c.snd_wl1 <- seg.Tcp_wire.seq;
+    c.snd_wl2 <- seg.Tcp_wire.ack;
+    if f.Tcp_wire.ack then begin
+      (* Standard open: SYN-ACK received. *)
+      c.snd_una <- seg.Tcp_wire.ack;
+      c.rexmt <- stop_timer c.rexmt;
+      c.backoff <- 0;
+      c.state <- State.Established;
+      trace c "established (active open)";
+      arm_keepalive c;
+      c.ack_now <- true;
+      wake_all c;
+      output c
+    end
+    else begin
+      (* Simultaneous open. *)
+      c.state <- State.Syn_received;
+      arm_rexmt c;
+      send_segment c ~seq:c.iss ~flags:flags_syn_ack ~payload:Mbuf.empty ~with_mss:true
+    end
+  end
+
+(* --- engine input ------------------------------------------------------ *)
+
+let handle_syn_for_listener t l (seg : Tcp_wire.segment) ~src =
+  let prm = t.prm in
+  let iss = Rng.int t.env.Proto_env.rng 0x0fffffff in
+  let c =
+    { engine = t;
+      local_port = l.lport;
+      remote_ip = src;
+      remote_port = seg.Tcp_wire.src_port;
+      state = State.Syn_received;
+      snd_buf = Bytequeue.create ();
+      iss;
+      snd_una = iss;
+      snd_nxt = Tcp_seq.add iss 1;
+      snd_max = Tcp_seq.add iss 1;
+      snd_wnd = seg.Tcp_wire.wnd;
+      snd_wl1 = seg.Tcp_wire.seq;
+      snd_wl2 = 0;
+      fin_queued = false;
+      fin_sent = false;
+      rcv_buf = Bytequeue.create ();
+      irs = seg.Tcp_wire.seq;
+      rcv_nxt = Tcp_seq.add seg.Tcp_wire.seq 1;
+      rcv_adv = Tcp_seq.add seg.Tcp_wire.seq 1;
+      fin_received = false;
+      ooseg = [];
+      cwnd = prm.Tcp_params.initial_cwnd_segments * prm.Tcp_params.mss_default;
+      ssthresh = 65535;
+      dupacks = 0;
+      srtt_us = 0.;
+      rttvar_us = 0.;
+      rto = prm.Tcp_params.initial_rto;
+      backoff = 0;
+      rtt_timing = None;
+      mss = prm.Tcp_params.mss_default;
+      rexmt = None;
+      persist = None;
+      delack = None;
+      time_wait = None;
+      keepalive = None;
+      idle_since = Proto_env.now t.env;
+      ka_probes = 0;
+      unacked_segs = 0;
+      ack_now = false;
+      output_active = false;
+      output_pending = false;
+      error = None;
+      detached = false;
+      waiters = Queue.create ();
+      closed_callbacks = [];
+      accept_box = Some l.backlog }
+  in
+  let our_mss = Ipv4.mtu t.ip - Ipv4.header_size - Tcp_wire.header_size in
+  c.mss <-
+    Stdlib.min
+      (match seg.Tcp_wire.mss with Some m -> m | None -> prm.Tcp_params.mss_default)
+      our_mss;
+  c.cwnd <- prm.Tcp_params.initial_cwnd_segments * c.mss;
+  Hashtbl.replace t.pcbs (conn_key c) c;
+  arm_rexmt c;
+  send_segment c ~seq:c.iss ~flags:flags_syn_ack ~payload:Mbuf.empty ~with_mss:true
+
+let input t ~src ~dst payload =
+  let costs = t.env.Proto_env.costs in
+  Proto_env.charge t.env costs.Costs.tcp_input;
+  Proto_env.charge_bytes t.env ~per_byte_ns:costs.Costs.checksum_per_byte_ns
+    (Mbuf.length payload);
+  match Tcp_wire.decode ~src_ip:src ~dst_ip:dst payload with
+  | None -> t.checksum_failures <- t.checksum_failures + 1
+  | Some seg -> (
+      t.segments_in <- t.segments_in + 1;
+      let k =
+        key ~remote_ip:src ~remote_port:seg.Tcp_wire.src_port
+          ~local_port:seg.Tcp_wire.dst_port
+      in
+      match Hashtbl.find_opt t.pcbs k with
+      | Some c ->
+          if c.state = State.Syn_sent then process_syn_sent c seg else process_segment c seg
+      | None -> (
+          match Hashtbl.find_opt t.listeners seg.Tcp_wire.dst_port with
+          | Some l
+            when seg.Tcp_wire.flags.Tcp_wire.syn
+                 && (not seg.Tcp_wire.flags.Tcp_wire.ack)
+                 && not seg.Tcp_wire.flags.Tcp_wire.rst ->
+              handle_syn_for_listener t l seg ~src
+          | _ ->
+              let claimed =
+                match t.unknown_hook with
+                | Some hook -> hook ~src ~dst payload
+                | None -> false
+              in
+              if (not claimed) && not seg.Tcp_wire.flags.Tcp_wire.rst then
+                send_rst_for t ~src ~seg))
+
+(* --- public API --------------------------------------------------------- *)
+
+let create env ip ?(params = Tcp_params.default) () =
+  let t =
+    { env;
+      ip;
+      prm = params;
+      pcbs = Hashtbl.create 32;
+      listeners = Hashtbl.create 8;
+      rst_on_unknown = true;
+      unknown_hook = None;
+      segments_in = 0;
+      segments_out = 0;
+      retransmissions = 0;
+      rsts_out = 0;
+      checksum_failures = 0 }
+  in
+  Ipv4.set_handler ip ~proto:6 (fun ~src ~dst payload -> input t ~src ~dst payload);
+  t
+
+let fresh_conn t ~local_port ~remote_ip ~remote_port ~state ~iss =
+  { engine = t;
+    local_port;
+    remote_ip;
+    remote_port;
+    state;
+    snd_buf = Bytequeue.create ();
+    iss;
+    snd_una = iss;
+    snd_nxt = iss;
+    snd_max = iss;
+    snd_wnd = 0;
+    snd_wl1 = 0;
+    snd_wl2 = 0;
+    fin_queued = false;
+    fin_sent = false;
+    rcv_buf = Bytequeue.create ();
+    irs = 0;
+    rcv_nxt = 0;
+    rcv_adv = 0;
+    fin_received = false;
+    ooseg = [];
+    cwnd = t.prm.Tcp_params.initial_cwnd_segments * t.prm.Tcp_params.mss_default;
+    ssthresh = 65535;
+    dupacks = 0;
+    srtt_us = 0.;
+    rttvar_us = 0.;
+    rto = t.prm.Tcp_params.initial_rto;
+    backoff = 0;
+    rtt_timing = None;
+    mss = t.prm.Tcp_params.mss_default;
+    rexmt = None;
+    persist = None;
+    delack = None;
+    time_wait = None;
+    keepalive = None;
+    idle_since = Proto_env.now t.env;
+    ka_probes = 0;
+    unacked_segs = 0;
+    ack_now = false;
+    output_active = false;
+    output_pending = false;
+    error = None;
+    detached = false;
+    waiters = Queue.create ();
+    closed_callbacks = [];
+    accept_box = None }
+
+let connect t ~src_port ~dst ~dst_port =
+  let k = key ~remote_ip:dst ~remote_port:dst_port ~local_port:src_port in
+  if Hashtbl.mem t.pcbs k then Error "address in use"
+  else begin
+    let iss = Rng.int t.env.Proto_env.rng 0x0fffffff in
+    let c =
+      fresh_conn t ~local_port:src_port ~remote_ip:dst ~remote_port:dst_port
+        ~state:State.Syn_sent ~iss
+    in
+    c.mss <- Ipv4.mtu t.ip - Ipv4.header_size - Tcp_wire.header_size;
+    c.cwnd <- t.prm.Tcp_params.initial_cwnd_segments * c.mss;
+    c.snd_nxt <- Tcp_seq.add iss 1;
+    c.snd_max <- c.snd_nxt;
+    Hashtbl.replace t.pcbs k c;
+    arm_rexmt c;
+    send_segment c ~seq:iss ~flags:flags_syn ~payload:Mbuf.empty ~with_mss:true;
+    (* Block until the handshake resolves. *)
+    while c.state = State.Syn_sent || c.state = State.Syn_received do
+      wait_on c
+    done;
+    match c.state with
+    | State.Established -> Ok c
+    | _ -> Error (match c.error with Some e -> e | None -> "connection failed")
+  end
+
+let listen t ~port =
+  if Hashtbl.mem t.listeners port then failwith (Printf.sprintf "Tcp.listen: port %d in use" port);
+  let l = { lport = port; backlog = Mailbox.create () } in
+  Hashtbl.replace t.listeners port l;
+  l
+
+let accept l = Mailbox.recv l.backlog
+let close_listener t l = Hashtbl.remove t.listeners l.lport
+
+let check_alive c op =
+  if c.detached then raise (Connection_error (op ^ ": connection was handed off"));
+  match c.error with Some e -> raise (Connection_error e) | None -> ()
+
+let write c data =
+  check_alive c "write";
+  let prm = c.engine.prm in
+  let len = View.length data in
+  let sent = ref 0 in
+  while !sent < len do
+    check_alive c "write";
+    if not (State.can_send_data c.state) then
+      raise (Connection_error "write on closing connection");
+    let space = prm.Tcp_params.snd_buf - Bytequeue.length c.snd_buf in
+    if space <= 0 then wait_on c
+    else begin
+      let n = Stdlib.min space (len - !sent) in
+      Bytequeue.push c.snd_buf (View.sub data !sent n);
+      sent := !sent + n;
+      output c
+    end
+  done
+
+let maybe_window_update c =
+  (* Send a window update once the window has opened significantly
+     (2*MSS or half the buffer) beyond what was last advertised. *)
+  let avail = rcv_window c in
+  let edge = Tcp_seq.add c.rcv_nxt (Stdlib.min avail 0xffff) in
+  let opening = Tcp_seq.diff edge c.rcv_adv in
+  if opening >= 2 * c.mss || opening >= c.engine.prm.Tcp_params.rcv_buf / 2 then begin
+    c.ack_now <- true;
+    output c
+  end
+
+let read c ~max =
+  let rec go () =
+    if Bytequeue.length c.rcv_buf > 0 then begin
+      let v = Bytequeue.pop c.rcv_buf (Stdlib.max 1 max) in
+      maybe_window_update c;
+      Some v
+    end
+    else if c.fin_received then None
+    else begin
+      (match c.error with Some e -> raise (Connection_error e) | None -> ());
+      if c.detached then raise (Connection_error "read: connection was handed off");
+      if c.state = State.Closed then None
+      else begin
+        wait_on c;
+        go ()
+      end
+    end
+  in
+  go ()
+
+let close c =
+  if not c.detached then
+    match c.state with
+    | State.Closed | State.Time_wait | State.Fin_wait_1 | State.Fin_wait_2 | State.Closing
+    | State.Last_ack ->
+        ()
+    | State.Listen | State.Syn_sent -> finish_cleanly c
+    | State.Syn_received | State.Established | State.Close_wait ->
+        c.fin_queued <- true;
+        output c
+
+let abort c =
+  if (not c.detached) && c.state <> State.Closed then begin
+    if State.synchronized c.state then begin
+      c.engine.rsts_out <- c.engine.rsts_out + 1;
+      send_segment c ~seq:c.snd_nxt
+        ~flags:{ Tcp_wire.no_flags with Tcp_wire.rst = true; ack = true }
+        ~payload:Mbuf.empty ~with_mss:false
+    end;
+    drop_with_error c "connection aborted"
+  end
+
+let await_closed c =
+  while c.state <> State.Closed do
+    wait_on c
+  done
+
+(* --- handoff ------------------------------------------------------------ *)
+
+let export_common c =
+  let snap =
+    { snap_local_port = c.local_port;
+      snap_remote_ip = c.remote_ip;
+      snap_remote_port = c.remote_port;
+      snap_iss = c.iss;
+      snap_irs = c.irs;
+      snap_snd_una = c.snd_una;
+      snap_snd_nxt = c.snd_nxt;
+      snap_snd_wnd = c.snd_wnd;
+      snap_rcv_nxt = c.rcv_nxt;
+      snap_mss = c.mss;
+      snap_srtt_us = c.srtt_us;
+      snap_rttvar_us = c.rttvar_us;
+      snap_rcv_pending =
+        View.to_string (Bytequeue.peek c.rcv_buf ~off:0 ~len:(Bytequeue.length c.rcv_buf)) }
+  in
+  c.rexmt <- stop_timer c.rexmt;
+  c.persist <- stop_timer c.persist;
+  c.delack <- stop_timer c.delack;
+  c.detached <- true;
+  remove_conn c;
+  wake_all c;
+  snap
+
+let export c =
+  if c.state <> State.Established then failwith "Tcp.export: connection not ESTABLISHED";
+  if Bytequeue.length c.snd_buf > 0 then failwith "Tcp.export: unsent data in send buffer";
+  export_common c
+
+let export_force c =
+  if c.state <> State.Established then failwith "Tcp.export_force: connection not ESTABLISHED";
+  (* Unacknowledged data is lost with the application; the peer will be
+     reset, so the snapshot pretends the stream ends at snd_una. *)
+  Bytequeue.clear c.snd_buf;
+  Bytequeue.clear c.rcv_buf;
+  let snap = export_common c in
+  { snap with snap_snd_nxt = snap.snap_snd_una; snap_rcv_pending = "" }
+
+let await_drained c =
+  while
+    c.state <> State.Closed
+    && (Bytequeue.length c.snd_buf > 0 || Tcp_seq.gt c.snd_nxt c.snd_una)
+  do
+    wait_on c
+  done
+
+let import t snap =
+  let c =
+    fresh_conn t ~local_port:snap.snap_local_port ~remote_ip:snap.snap_remote_ip
+      ~remote_port:snap.snap_remote_port ~state:State.Established ~iss:snap.snap_iss
+  in
+  c.irs <- snap.snap_irs;
+  c.snd_una <- snap.snap_snd_una;
+  c.snd_nxt <- snap.snap_snd_nxt;
+  c.snd_max <- snap.snap_snd_nxt;
+  c.snd_wnd <- snap.snap_snd_wnd;
+  c.snd_wl1 <- snap.snap_rcv_nxt;
+  c.snd_wl2 <- snap.snap_snd_una;
+  c.rcv_nxt <- snap.snap_rcv_nxt;
+  c.rcv_adv <- snap.snap_rcv_nxt;
+  if snap.snap_rcv_pending <> "" then Bytequeue.push_string c.rcv_buf snap.snap_rcv_pending;
+  c.mss <- snap.snap_mss;
+  c.cwnd <- t.prm.Tcp_params.initial_cwnd_segments * c.mss;
+  c.srtt_us <- snap.snap_srtt_us;
+  c.rttvar_us <- snap.snap_rttvar_us;
+  Hashtbl.replace t.pcbs (conn_key c) c;
+  arm_keepalive c;
+  c

@@ -1,0 +1,154 @@
+(** TCP (RFC 793 / 4.3BSD flavour).
+
+    A from-scratch engine with the full data-path feature set of the
+    stack the paper borrowed from the UX server: three-way handshake,
+    sliding window with flow control, Jacobson/Karn RTT estimation and
+    exponential backoff, slow start and congestion avoidance, fast
+    retransmit, delayed ACKs, Nagle, zero-window persist probes,
+    half-close and 2MSL TIME_WAIT.
+
+    One engine instance serves one stack instance; the same engine code
+    runs in the kernel, in a server, or linked into an application.
+    {!export}/{!import} detach an established connection from one engine
+    and re-attach it to another with sequence state intact — the
+    mechanism by which the registry server performs connection setup on
+    an application's behalf and then hands the connection to the
+    application's library (paper §3.4). *)
+
+type t
+(** A TCP engine bound to one IP instance. *)
+
+type conn
+(** One connection. *)
+
+type listener
+(** A passive open. *)
+
+exception Connection_error of string
+(** Raised by {!write}/{!read} on reset, timeout or abort. *)
+
+type snapshot = {
+  snap_local_port : int;
+  snap_remote_ip : Uln_addr.Ip.t;
+  snap_remote_port : int;
+  snap_iss : Tcp_seq.t;
+  snap_irs : Tcp_seq.t;
+  snap_snd_una : Tcp_seq.t;
+  snap_snd_nxt : Tcp_seq.t;
+  snap_snd_wnd : int;
+  snap_rcv_nxt : Tcp_seq.t;
+  snap_mss : int;
+  snap_srtt_us : float;
+  snap_rttvar_us : float;
+  snap_rcv_pending : string;
+      (** bytes received (and acknowledged) by the exporting engine but
+          not yet read by any application — data that raced the handoff
+          travels with the state *)
+}
+(** Transferable state of an established connection with nothing
+    unacknowledged in flight. *)
+
+val create : Proto_env.t -> Ipv4.t -> ?params:Tcp_params.t -> unit -> t
+(** Build an engine and register it as the IP protocol-6 handler. *)
+
+val params : t -> Tcp_params.t
+
+val set_unknown_segment_hook :
+  t -> (src:Uln_addr.Ip.t -> dst:Uln_addr.Ip.t -> Uln_buf.Mbuf.t -> bool) -> unit
+(** Called with the raw transport payload when a valid segment matches
+    no connection and no listener; return [true] to claim it (suppresses
+    any RST).  The registry server uses this to re-deliver segments that
+    raced a connection handoff. *)
+
+val set_rst_on_unknown : t -> bool -> unit
+(** Whether segments for unknown connections draw an RST (default
+    [true]; the registry server's engine turns it off because packets
+    it does not know about belong to application libraries). *)
+
+(* {2 Opening and closing} *)
+
+val connect :
+  t -> src_port:int -> dst:Uln_addr.Ip.t -> dst_port:int -> (conn, string) result
+(** Active open; blocks the calling thread until ESTABLISHED or failure. *)
+
+val listen : t -> port:int -> listener
+(** Passive open.
+    @raise Failure if the port already has a listener. *)
+
+val accept : listener -> conn
+(** Block until a handshake completes on the listener. *)
+
+val close_listener : t -> listener -> unit
+
+val close : conn -> unit
+(** Orderly release: queue a FIN behind any buffered data.  Returns
+    immediately; use {!await_closed} to drain. *)
+
+val abort : conn -> unit
+(** Send RST and discard the connection. *)
+
+val await_closed : conn -> unit
+(** Block until the connection reaches CLOSED (including through
+    TIME_WAIT). *)
+
+(* {2 Data transfer} *)
+
+val write : conn -> Uln_buf.View.t -> unit
+(** Queue bytes for transmission, blocking while the send buffer is
+    full.  @raise Connection_error on a dead connection. *)
+
+val read : conn -> max:int -> Uln_buf.View.t option
+(** Receive up to [max] bytes, blocking while none are available.
+    [None] at end-of-stream (peer FIN consumed).
+    @raise Connection_error on reset/timeout. *)
+
+val bytes_queued : conn -> int
+(** Unacknowledged + unsent bytes in the send buffer. *)
+
+val bytes_available : conn -> int
+(** Bytes ready for {!read}. *)
+
+(* {2 Inspection} *)
+
+val state : conn -> Tcp_state.t
+val error : conn -> string option
+val local_port : conn -> int
+val remote_addr : conn -> Uln_addr.Ip.t * int
+val mss : conn -> int
+val srtt_us : conn -> float
+val rto : conn -> Uln_engine.Time.span
+val cwnd : conn -> int
+
+val on_closed : conn -> (unit -> unit) -> unit
+(** Callback once the connection is fully gone (port reusable). *)
+
+(* {2 Connection handoff (paper §3.4)} *)
+
+val export : conn -> snapshot
+(** Detach an ESTABLISHED connection from its engine without emitting
+    any segments; the conn becomes unusable.
+    @raise Failure unless the connection is ESTABLISHED and quiescent
+    (empty buffers). *)
+
+val import : t -> snapshot -> conn
+(** Adopt an exported connection into this engine. *)
+
+val export_force : conn -> snapshot
+(** Like {!export} but without the quiescence requirement: buffered
+    data is discarded.  For abnormal-termination inheritance, where the
+    adopting registry only needs sequence state to reset the peer.
+    @raise Failure unless the connection is ESTABLISHED. *)
+
+val await_drained : conn -> unit
+(** Block until every byte written has been sent {e and acknowledged}
+    (or the connection dies).  Graceful exit waits for this before
+    handing the connection to the registry. *)
+
+(* {2 Engine statistics} *)
+
+val segments_in : t -> int
+val segments_out : t -> int
+val retransmissions : t -> int
+val rsts_out : t -> int
+val checksum_failures : t -> int
+val active_connections : t -> int

@@ -1,0 +1,44 @@
+module Time = Uln_engine.Time
+
+type t = {
+  mss_default : int;
+  snd_buf : int;
+  rcv_buf : int;
+  nagle : bool;
+  ack_every : int;
+  delack : Time.span;
+  initial_rto : Time.span;
+  min_rto : Time.span;
+  max_rto : Time.span;
+  max_backoff : int;
+  msl : Time.span;
+  initial_cwnd_segments : int;
+  keepalive : Time.span option;
+  keepalive_interval : Time.span;
+  keepalive_probes : int;
+}
+
+let default =
+  { mss_default = 536;
+    snd_buf = 16384;
+    rcv_buf = 16384;
+    nagle = true;
+    ack_every = 2;
+    delack = Time.ms 200;
+    initial_rto = Time.sec 1;
+    min_rto = Time.ms 500;
+    max_rto = Time.sec 64;
+    max_backoff = 12;
+    msl = Time.sec 30;
+    initial_cwnd_segments = 1;
+    keepalive = None;
+    keepalive_interval = Time.sec 75;
+    keepalive_probes = 9 }
+
+let fast =
+  { default with
+    delack = Time.ms 20;
+    initial_rto = Time.ms 200;
+    min_rto = Time.ms 100;
+    max_rto = Time.sec 4;
+    msl = Time.ms 500 }

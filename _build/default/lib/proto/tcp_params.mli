@@ -1,0 +1,33 @@
+(** Tunable TCP parameters.
+
+    Defaults follow 4.3BSD behaviour scaled to the simulator (100 ms
+    protocol tick): Nagle on, delayed ACK with an ACK forced every
+    second segment, Jacobson RTT estimation with Karn's rule, 2MSL of
+    60 s. *)
+
+type t = {
+  mss_default : int;  (** assumed peer MSS when no option is seen *)
+  snd_buf : int;  (** send socket-buffer size in bytes *)
+  rcv_buf : int;  (** receive socket-buffer size in bytes *)
+  nagle : bool;
+  ack_every : int;  (** force an ACK after this many unacked segments *)
+  delack : Uln_engine.Time.span;  (** delayed-ACK timeout *)
+  initial_rto : Uln_engine.Time.span;
+  min_rto : Uln_engine.Time.span;
+  max_rto : Uln_engine.Time.span;
+  max_backoff : int;  (** retransmissions before giving up *)
+  msl : Uln_engine.Time.span;  (** one maximum segment lifetime *)
+  initial_cwnd_segments : int;
+  keepalive : Uln_engine.Time.span option;
+      (** idle time before probing the peer ([None] disables, the
+          default); after {!keepalive_probes} unanswered probes the
+          connection is dropped *)
+  keepalive_interval : Uln_engine.Time.span;  (** spacing between probes *)
+  keepalive_probes : int;
+}
+
+val default : t
+
+val fast : t
+(** Small timeouts for loss-recovery tests (keeps simulated durations
+    short); protocol behaviour is otherwise identical. *)

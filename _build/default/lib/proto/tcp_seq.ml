@@ -1,0 +1,21 @@
+type t = int
+
+let modulus = 1 lsl 32
+let mask = modulus - 1
+
+let add a n = (a + n) land mask
+
+let diff a b =
+  let d = (a - b) land mask in
+  if d >= modulus / 2 then d - modulus else d
+
+let lt a b = diff a b < 0
+let le a b = diff a b <= 0
+let gt a b = diff a b > 0
+let ge a b = diff a b >= 0
+let max a b = if ge a b then a else b
+
+let in_window x ~base ~size = size > 0 && ge x base && lt x (add base size)
+
+let to_int32 t = Int32.of_int (if t >= modulus / 2 then t - modulus else t)
+let of_int32 v = Int32.to_int v land mask

@@ -1,0 +1,26 @@
+(** 32-bit TCP sequence-number arithmetic (RFC 793 §3.3).
+
+    Sequence numbers live on a mod-2³² circle; comparisons are defined
+    by the sign of the 32-bit signed difference, so they remain correct
+    across wraparound.  Values are ints in [0, 2³²). *)
+
+type t = int
+
+val add : t -> int -> t
+(** Advance on the circle. *)
+
+val diff : t -> t -> int
+(** Signed distance [a - b] in (-2³¹, 2³¹]. *)
+
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val gt : t -> t -> bool
+val ge : t -> t -> bool
+
+val max : t -> t -> t
+
+val in_window : t -> base:t -> size:int -> bool
+(** Whether a sequence number falls in [base, base+size). *)
+
+val to_int32 : t -> int32
+val of_int32 : int32 -> t

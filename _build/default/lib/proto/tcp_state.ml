@@ -1,0 +1,46 @@
+type t =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+
+let to_string = function
+  | Closed -> "CLOSED"
+  | Listen -> "LISTEN"
+  | Syn_sent -> "SYN_SENT"
+  | Syn_received -> "SYN_RCVD"
+  | Established -> "ESTABLISHED"
+  | Fin_wait_1 -> "FIN_WAIT_1"
+  | Fin_wait_2 -> "FIN_WAIT_2"
+  | Close_wait -> "CLOSE_WAIT"
+  | Closing -> "CLOSING"
+  | Last_ack -> "LAST_ACK"
+  | Time_wait -> "TIME_WAIT"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let synchronized = function
+  | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack | Time_wait -> true
+  | Closed | Listen | Syn_sent | Syn_received -> false
+
+let can_send_data = function
+  | Established | Close_wait -> true
+  | Closed | Listen | Syn_sent | Syn_received | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack
+  | Time_wait ->
+      false
+
+let can_receive_data = function
+  | Established | Fin_wait_1 | Fin_wait_2 -> true
+  | Closed | Listen | Syn_sent | Syn_received | Close_wait | Closing | Last_ack | Time_wait ->
+      false
+
+let have_received_fin = function
+  | Close_wait | Closing | Last_ack | Time_wait -> true
+  | Closed | Listen | Syn_sent | Syn_received | Established | Fin_wait_1 | Fin_wait_2 -> false

@@ -1,0 +1,30 @@
+(** The TCP connection state machine (RFC 793). *)
+
+type t =
+  | Closed
+  | Listen
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val synchronized : t -> bool
+(** States reached after the handshake completes. *)
+
+val can_send_data : t -> bool
+(** States in which new application data may be transmitted. *)
+
+val can_receive_data : t -> bool
+(** States in which peer data is still expected. *)
+
+val have_received_fin : t -> bool
+(** States in which the peer's FIN has been consumed (reads at or past
+    it return end-of-file). *)

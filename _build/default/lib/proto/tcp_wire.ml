@@ -1,0 +1,121 @@
+module View = Uln_buf.View
+module Mbuf = Uln_buf.Mbuf
+module Ip = Uln_addr.Ip
+
+let proto = 6
+let header_size = 20
+
+type flags = { fin : bool; syn : bool; rst : bool; psh : bool; ack : bool }
+
+let no_flags = { fin = false; syn = false; rst = false; psh = false; ack = false }
+
+let pp_flags ppf f =
+  let bit c b = if b then String.make 1 c else "" in
+  Format.fprintf ppf "%s%s%s%s%s" (bit 'S' f.syn) (bit 'A' f.ack) (bit 'F' f.fin) (bit 'R' f.rst)
+    (bit 'P' f.psh)
+
+type segment = {
+  src_port : int;
+  dst_port : int;
+  seq : Tcp_seq.t;
+  ack : Tcp_seq.t;
+  flags : flags;
+  wnd : int;
+  mss : int option;
+  payload : Mbuf.t;
+}
+
+let flags_to_int f =
+  (if f.fin then 1 else 0)
+  lor (if f.syn then 2 else 0)
+  lor (if f.rst then 4 else 0)
+  lor (if f.psh then 8 else 0)
+  lor if f.ack then 16 else 0
+
+let flags_of_int v =
+  { fin = v land 1 <> 0;
+    syn = v land 2 <> 0;
+    rst = v land 4 <> 0;
+    psh = v land 8 <> 0;
+    ack = v land 16 <> 0 }
+
+let seg_len s =
+  Mbuf.length s.payload + (if s.flags.syn then 1 else 0) + if s.flags.fin then 1 else 0
+
+let encode ~src_ip ~dst_ip s =
+  let opt_len = match s.mss with None -> 0 | Some _ -> 4 in
+  let hlen = header_size + opt_len in
+  let h = View.create hlen in
+  View.set_uint16 h 0 s.src_port;
+  View.set_uint16 h 2 s.dst_port;
+  View.set_uint32 h 4 (Tcp_seq.to_int32 s.seq);
+  View.set_uint32 h 8 (Tcp_seq.to_int32 s.ack);
+  View.set_uint8 h 12 ((hlen / 4) lsl 4);
+  View.set_uint8 h 13 (flags_to_int s.flags);
+  View.set_uint16 h 14 (Stdlib.min s.wnd 0xffff);
+  View.set_uint16 h 16 0;
+  View.set_uint16 h 18 0;
+  (match s.mss with
+  | None -> ()
+  | Some mss ->
+      View.set_uint8 h 20 2;
+      View.set_uint8 h 21 4;
+      View.set_uint16 h 22 mss);
+  let m = Mbuf.prepend h s.payload in
+  let pseudo =
+    Checksum.pseudo_header ~src:src_ip ~dst:dst_ip ~proto ~len:(Mbuf.length m)
+  in
+  View.set_uint16 h 16 (Checksum.of_mbuf ~init:pseudo m);
+  m
+
+let parse_mss options =
+  (* Walk the option list looking for kind 2. *)
+  let len = View.length options in
+  let rec go i =
+    if i >= len then None
+    else
+      match View.get_uint8 options i with
+      | 0 -> None (* end of options *)
+      | 1 -> go (i + 1) (* nop *)
+      | kind ->
+          if i + 1 >= len then None
+          else
+            let olen = View.get_uint8 options (i + 1) in
+            if olen < 2 || i + olen > len then None
+            else if kind = 2 && olen = 4 then Some (View.get_uint16 options (i + 2))
+            else go (i + olen)
+  in
+  go 0
+
+let decode ~src_ip ~dst_ip m =
+  let len = Mbuf.length m in
+  if len < header_size then None
+  else begin
+    let pseudo = Checksum.pseudo_header ~src:src_ip ~dst:dst_ip ~proto ~len in
+    if Checksum.of_mbuf ~init:pseudo m <> 0 then None
+    else begin
+      let h = Mbuf.flatten (Mbuf.take m header_size) in
+      let data_off = (View.get_uint8 h 12 lsr 4) * 4 in
+      if data_off < header_size || data_off > len then None
+      else begin
+        let mss =
+          if data_off > header_size then
+            parse_mss (Mbuf.flatten (Mbuf.take (Mbuf.drop m header_size) (data_off - header_size)))
+          else None
+        in
+        Some
+          { src_port = View.get_uint16 h 0;
+            dst_port = View.get_uint16 h 2;
+            seq = Tcp_seq.of_int32 (View.get_uint32 h 4);
+            ack = Tcp_seq.of_int32 (View.get_uint32 h 8);
+            flags = flags_of_int (View.get_uint8 h 13);
+            wnd = View.get_uint16 h 14;
+            mss;
+            payload = Mbuf.drop m data_off }
+      end
+    end
+  end
+
+let pp ppf s =
+  Format.fprintf ppf "%d>%d seq=%d ack=%d %a wnd=%d len=%d" s.src_port s.dst_port s.seq s.ack
+    pp_flags s.flags s.wnd (Mbuf.length s.payload)

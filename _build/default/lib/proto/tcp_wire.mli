@@ -1,0 +1,39 @@
+(** TCP segment wire format (RFC 793 §3.1), with the MSS option. *)
+
+type flags = {
+  fin : bool;
+  syn : bool;
+  rst : bool;
+  psh : bool;
+  ack : bool;
+}
+
+val no_flags : flags
+val pp_flags : Format.formatter -> flags -> unit
+
+type segment = {
+  src_port : int;
+  dst_port : int;
+  seq : Tcp_seq.t;
+  ack : Tcp_seq.t;
+  flags : flags;
+  wnd : int;
+  mss : int option;  (** MSS option, present on SYNs *)
+  payload : Uln_buf.Mbuf.t;
+}
+
+val header_size : int
+(** 20, without options. *)
+
+val encode :
+  src_ip:Uln_addr.Ip.t -> dst_ip:Uln_addr.Ip.t -> segment -> Uln_buf.Mbuf.t
+(** Serialise with a correct checksum (pseudo-header included). *)
+
+val decode :
+  src_ip:Uln_addr.Ip.t -> dst_ip:Uln_addr.Ip.t -> Uln_buf.Mbuf.t -> segment option
+(** Parse and verify the checksum; [None] on truncation or corruption. *)
+
+val seg_len : segment -> int
+(** Sequence space the segment occupies: payload + SYN + FIN. *)
+
+val pp : Format.formatter -> segment -> unit

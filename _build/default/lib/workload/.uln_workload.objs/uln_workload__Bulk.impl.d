@@ -1,0 +1,1 @@
+lib/workload/bulk.ml: Uln_buf Uln_core Uln_engine Uln_proto

@@ -1,0 +1,1 @@
+lib/workload/bulk.mli: Uln_core Uln_engine

@@ -1,0 +1,1 @@
+lib/workload/experiments.ml: Bulk Format List Option Paper_ref Pingpong Raw_xchg Setup Uln_core Uln_engine Uln_filter Uln_host

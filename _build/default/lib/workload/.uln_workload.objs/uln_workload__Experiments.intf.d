@@ -1,0 +1,1 @@
+lib/workload/experiments.mli: Format Raw_xchg

@@ -1,0 +1,1 @@
+lib/workload/paper_ref.ml: List

@@ -1,0 +1,1 @@
+lib/workload/pingpong.ml: List Stdlib Uln_buf Uln_core Uln_engine

@@ -1,0 +1,1 @@
+lib/workload/pingpong.mli: Uln_core Uln_engine

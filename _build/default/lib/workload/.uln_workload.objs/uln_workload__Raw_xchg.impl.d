@@ -1,0 +1,1 @@
+lib/workload/raw_xchg.ml: Option Stdlib Uln_buf Uln_core Uln_engine Uln_filter Uln_host Uln_net

@@ -1,0 +1,1 @@
+lib/workload/raw_xchg.mli:

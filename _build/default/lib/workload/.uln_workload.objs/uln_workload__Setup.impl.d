@@ -1,0 +1,1 @@
+lib/workload/setup.ml: Uln_core Uln_engine Uln_host

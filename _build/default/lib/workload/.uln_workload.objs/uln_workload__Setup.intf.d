@@ -1,0 +1,1 @@
+lib/workload/setup.mli: Uln_core Uln_engine

@@ -1,0 +1,1 @@
+lib/workload/snoop.ml: Buffer Int32 Printf Stdlib String Uln_addr Uln_buf Uln_engine Uln_net

@@ -1,0 +1,1 @@
+lib/workload/snoop.mli: Buffer Uln_net

@@ -1,0 +1,28 @@
+(** Bulk-transfer workload (the paper's throughput benchmark, §4).
+
+    A sender application streams data to a receiver on another host
+    using a fixed user packet size (bytes per [send] call); throughput
+    is measured at the receiving application between its first and last
+    bytes, as in the paper ("between user-level programs running on
+    otherwise idle workstations and unloaded networks"). *)
+
+type result = {
+  mbps : float;  (** application-level goodput, megabits/second *)
+  bytes : int;
+  duration : Uln_engine.Time.span;
+  retransmissions : int;  (** sender-side (0 expected on clean links) *)
+}
+
+val run :
+  ?total_bytes:int -> write_size:int -> Uln_core.World.t -> result
+(** [run ~write_size w] streams [total_bytes] (default 4 MB) from an
+    application on host 0 to one on host 1 of a {e fresh} world. *)
+
+val measure :
+  ?total_bytes:int ->
+  write_size:int ->
+  network:Uln_core.World.network ->
+  org:Uln_core.Organization.t ->
+  unit ->
+  result
+(** Build a world and {!run} — one Table 2 cell. *)

@@ -1,0 +1,218 @@
+module Time = Uln_engine.Time
+module Stats = Uln_engine.Stats
+module Costs = Uln_host.Costs
+module World = Uln_core.World
+module Organization = Uln_core.Organization
+module Netio = Uln_core.Netio
+
+type t2_row = {
+  t2_network : string;
+  t2_system : string;
+  t2_size : int;
+  t2_mbps : float;
+  t2_paper : float option;
+}
+
+type t3_row = {
+  t3_network : string;
+  t3_system : string;
+  t3_size : int;
+  t3_rtt_ms : float;
+  t3_paper : float option;
+}
+
+type t4_row = {
+  t4_network : string;
+  t4_system : string;
+  t4_setup_ms : float;
+  t4_paper : float option;
+}
+
+type t5_row = { t5_interface : string; t5_us : float; t5_paper : float option }
+
+let net_name = function World.Ethernet -> "ethernet" | World.An1 -> "an1"
+
+let sys_name = function
+  | Organization.In_kernel -> "ultrix"
+  | Organization.Single_server `Mapped -> "mach-ux"
+  | Organization.Single_server `Message -> "mach-ux-msg"
+  | Organization.Dedicated_servers -> "dedicated"
+  | Organization.User_library -> "userlib"
+
+let systems_for network =
+  match network with
+  | World.Ethernet ->
+      [ Organization.In_kernel; Organization.Single_server `Mapped; Organization.User_library ]
+  | World.An1 -> [ Organization.In_kernel; Organization.User_library ]
+
+let extended_systems = [ Organization.Single_server `Message; Organization.Dedicated_servers ]
+
+(* --- Table 1 ---------------------------------------------------------- *)
+
+let table1 ?(quick = false) () =
+  let total_bytes = if quick then 400_000 else 4_000_000 in
+  List.map (fun s -> Raw_xchg.run ~total_bytes ~user_packet:s ()) [ 512; 1024; 2048; 4096 ]
+
+(* --- Table 2 ---------------------------------------------------------- *)
+
+let table2 ?(quick = false) ?(extended = false) () =
+  (* Quick mode still needs enough bytes to get past slow start and the
+     initial Nagle/delayed-ACK transient. *)
+  let total_bytes = if quick then 1_500_000 else 4_000_000 in
+  let sizes = [ 512; 1024; 2048; 4096 ] in
+  let cell network org size =
+    let r = Bulk.measure ~total_bytes ~write_size:size ~network ~org () in
+    { t2_network = net_name network;
+      t2_system = sys_name org;
+      t2_size = size;
+      t2_mbps = r.Bulk.mbps;
+      t2_paper = Paper_ref.lookup2 Paper_ref.table2 (net_name network) (sys_name org) size }
+  in
+  List.concat_map
+    (fun network ->
+      let orgs = systems_for network @ if extended then extended_systems else [] in
+      List.concat_map (fun org -> List.map (cell network org) sizes) orgs)
+    [ World.Ethernet; World.An1 ]
+
+(* --- Table 3 ---------------------------------------------------------- *)
+
+let table3 ?(quick = false) ?(extended = false) () =
+  let exchanges = if quick then 10 else 50 in
+  let sizes = [ 1; 512; 1460 ] in
+  let cell network org size =
+    let r = Pingpong.measure ~exchanges ~size ~network ~org () in
+    { t3_network = net_name network;
+      t3_system = sys_name org;
+      t3_size = size;
+      t3_rtt_ms = Time.to_ms_f r.Pingpong.avg_rtt;
+      t3_paper = Paper_ref.lookup2 Paper_ref.table3 (net_name network) (sys_name org) size }
+  in
+  List.concat_map
+    (fun network ->
+      let orgs = systems_for network @ if extended then extended_systems else [] in
+      List.concat_map (fun org -> List.map (cell network org) sizes) orgs)
+    [ World.Ethernet; World.An1 ]
+
+(* --- Table 4 ---------------------------------------------------------- *)
+
+let table4 ?(quick = false) () =
+  let count = if quick then 3 else 10 in
+  let cell network org =
+    let r = Setup.measure ~count ~network ~org () in
+    let paper =
+      List.fold_left
+        (fun acc (n, s, v) ->
+          if n = net_name network && s = sys_name org then Some v else acc)
+        None Paper_ref.table4
+    in
+    { t4_network = net_name network;
+      t4_system = sys_name org;
+      t4_setup_ms = Time.to_ms_f r.Setup.avg_setup;
+      t4_paper = paper }
+  in
+  [ cell World.Ethernet Organization.In_kernel;
+    cell World.An1 Organization.In_kernel;
+    cell World.Ethernet (Organization.Single_server `Mapped);
+    cell World.Ethernet Organization.User_library;
+    cell World.An1 Organization.User_library ]
+
+let setup_breakdown () =
+  let modelled = Setup.breakdown_userlib () in
+  List.map2
+    (fun (label, span) (_, paper_ms) -> (label, Time.to_ms_f span, Some paper_ms))
+    modelled Paper_ref.setup_breakdown
+
+(* --- Table 5 ---------------------------------------------------------- *)
+
+let demux_cost ~network ~mode =
+  let w = World.create ~network ~org:Organization.User_library ~demux_mode:mode () in
+  let _ = Bulk.run ~total_bytes:400_000 ~write_size:1460 w in
+  let netio = Option.get (World.netio w 1) in
+  (Stats.Dist.mean (Netio.demux_cost_dist netio), Netio.hw_demuxed netio, Netio.sw_demuxed netio)
+
+let table5 () =
+  let sw_interp, _, _ = demux_cost ~network:World.Ethernet ~mode:Uln_filter.Demux.Interpreted in
+  let sw_compiled, _, _ = demux_cost ~network:World.Ethernet ~mode:Uln_filter.Demux.Compiled in
+  (* On AN1 data packets take the hardware path: isolate its mean. *)
+  let c = Costs.r3000 in
+  let hw = Time.to_us_f c.Costs.demux_hardware in
+  [ { t5_interface = "LANCE Ethernet (software filter, interpreted)";
+      t5_us = sw_interp;
+      t5_paper = Some 52.0 };
+    { t5_interface = "AN1 (hardware BQI)"; t5_us = hw; t5_paper = Some 50.0 };
+    { t5_interface = "LANCE Ethernet (software filter, compiled) [ablation]";
+      t5_us = sw_compiled;
+      t5_paper = None } ]
+
+(* --- printing --------------------------------------------------------- *)
+
+let pp_paper ppf = function
+  | Some v -> Format.fprintf ppf "%6.1f" v
+  | None -> Format.fprintf ppf "     -"
+
+let print_table1 ppf rows =
+  Format.fprintf ppf "@[<v>Table 1: impact of the mechanisms on throughput (Ethernet)@,";
+  Format.fprintf ppf "%-12s %10s %14s %10s@," "user pkt" "Mb/s" "raw link Mb/s" "%% of raw";
+  List.iter
+    (fun (r : Raw_xchg.row) ->
+      Format.fprintf ppf "%-12d %10.2f %14.2f %9.1f%%@," r.Raw_xchg.user_packet r.Raw_xchg.mbps
+        r.Raw_xchg.saturation_mbps r.Raw_xchg.percent_of_raw)
+    rows;
+  Format.fprintf ppf "@]"
+
+let print_series ppf ~title ~value_label rows row_net row_sys row_size row_val row_paper =
+  Format.fprintf ppf "@[<v>%s@," title;
+  Format.fprintf ppf "%-10s %-14s %8s %10s %8s@," "network" "system" "size" value_label "paper";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-10s %-14s %8d %10.2f %a@," (row_net r) (row_sys r) (row_size r)
+        (row_val r) pp_paper (row_paper r))
+    rows;
+  Format.fprintf ppf "@]"
+
+let print_table2 ppf rows =
+  print_series ppf ~title:"Table 2: TCP throughput (Mb/s)" ~value_label:"Mb/s" rows
+    (fun r -> r.t2_network)
+    (fun r -> r.t2_system)
+    (fun r -> r.t2_size)
+    (fun r -> r.t2_mbps)
+    (fun r -> r.t2_paper)
+
+let print_table3 ppf rows =
+  print_series ppf ~title:"Table 3: round-trip latency (ms)" ~value_label:"rtt ms" rows
+    (fun r -> r.t3_network)
+    (fun r -> r.t3_system)
+    (fun r -> r.t3_size)
+    (fun r -> r.t3_rtt_ms)
+    (fun r -> r.t3_paper)
+
+let print_table4 ppf rows =
+  Format.fprintf ppf "@[<v>Table 4: connection setup cost (ms)@,";
+  Format.fprintf ppf "%-10s %-14s %10s %8s@," "network" "system" "setup ms" "paper";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-10s %-14s %10.2f %a@," r.t4_network r.t4_system r.t4_setup_ms
+        pp_paper r.t4_paper)
+    rows;
+  Format.fprintf ppf "@]"
+
+let print_breakdown ppf rows =
+  Format.fprintf ppf "@[<v>Setup breakdown, user-library organization (ms)@,";
+  List.iter
+    (fun (label, ms, paper) ->
+      Format.fprintf ppf "  %-64s %6.2f %a@," label ms pp_paper paper)
+    rows;
+  Format.fprintf ppf "@]"
+
+let print_table5 ppf rows =
+  Format.fprintf ppf "@[<v>Table 5: packet demultiplexing cost (us/packet)@,";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-56s %8.1f %a@," r.t5_interface r.t5_us pp_paper r.t5_paper)
+    rows;
+  Format.fprintf ppf "@]"
+
+let print_figures ppf () =
+  Format.fprintf ppf "@[<v>Figure 1: alternative organizations of protocols@,@,";
+  List.iter (fun o -> Format.fprintf ppf "%a@," Organization.describe o) Organization.all;
+  Format.fprintf ppf "@,%a@]" Organization.describe_userlib ()

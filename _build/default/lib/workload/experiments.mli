@@ -1,0 +1,60 @@
+(** Reproduction of the paper's evaluation (§4): one runner per table,
+    each returning the measured series and printing a paper-vs-measured
+    comparison.  [quick] trades sample size for speed (used by tests;
+    benches run full size). *)
+
+type t2_row = {
+  t2_network : string;  (** "ethernet" | "an1" *)
+  t2_system : string;  (** "ultrix" | "mach-ux" | "userlib" | extensions *)
+  t2_size : int;
+  t2_mbps : float;
+  t2_paper : float option;
+}
+
+type t3_row = {
+  t3_network : string;
+  t3_system : string;
+  t3_size : int;
+  t3_rtt_ms : float;
+  t3_paper : float option;
+}
+
+type t4_row = {
+  t4_network : string;
+  t4_system : string;
+  t4_setup_ms : float;
+  t4_paper : float option;
+}
+
+type t5_row = { t5_interface : string; t5_us : float; t5_paper : float option }
+
+val table1 : ?quick:bool -> unit -> Raw_xchg.row list
+(** Mechanism overhead vs raw link saturation (Ethernet). *)
+
+val table2 : ?quick:bool -> ?extended:bool -> unit -> t2_row list
+(** TCP throughput across organizations and networks.  [extended] adds
+    the organizations the paper describes but does not measure
+    (message-driver variant, dedicated servers). *)
+
+val table3 : ?quick:bool -> ?extended:bool -> unit -> t3_row list
+(** Round-trip latency. *)
+
+val table4 : ?quick:bool -> unit -> t4_row list
+(** Connection setup cost. *)
+
+val setup_breakdown : unit -> (string * float * float option) list
+(** [(component, modelled_ms, paper_ms)] for the user-library setup. *)
+
+val table5 : unit -> t5_row list
+(** Demultiplexing cost per packet: LANCE software filter vs AN1
+    hardware BQI, plus the compiled-filter ablation row. *)
+
+val print_table1 : Format.formatter -> Raw_xchg.row list -> unit
+val print_table2 : Format.formatter -> t2_row list -> unit
+val print_table3 : Format.formatter -> t3_row list -> unit
+val print_table4 : Format.formatter -> t4_row list -> unit
+val print_breakdown : Format.formatter -> (string * float * float option) list -> unit
+val print_table5 : Format.formatter -> t5_row list -> unit
+val print_figures : Format.formatter -> unit -> unit
+(** Figures 1 and 2: organization structure, derived from the
+    implementations. *)

@@ -1,0 +1,45 @@
+(* The numbers the paper reports (Tables 1-5), for side-by-side
+   comparison in bench output and EXPERIMENTS.md.  We reproduce shapes,
+   not absolute values; see DESIGN.md. *)
+
+(* Table 2: throughput in Mb/s, by (network, system, user packet size). *)
+let table2 =
+  [ ("ethernet", "ultrix", [ (512, 5.8); (1024, 7.6); (2048, 7.6); (4096, 7.6) ]);
+    ("ethernet", "mach-ux", [ (512, 2.1); (1024, 2.5); (2048, 3.2); (4096, 3.5) ]);
+    ("ethernet", "userlib", [ (512, 4.3); (1024, 4.6); (2048, 4.8); (4096, 5.0) ]);
+    ("an1", "ultrix", [ (512, 4.8); (1024, 10.2); (2048, 11.9); (4096, 11.9) ]);
+    ("an1", "userlib", [ (512, 6.7); (1024, 8.1); (2048, 9.4); (4096, 11.9) ]) ]
+
+(* Table 3: round-trip time in ms, by (network, system, payload size). *)
+let table3 =
+  [ ("ethernet", "ultrix", [ (1, 1.6); (512, 3.5); (1460, 6.2) ]);
+    ("ethernet", "mach-ux", [ (1, 7.8); (512, 10.8); (1460, 16.0) ]);
+    ("ethernet", "userlib", [ (1, 2.8); (512, 5.2); (1460, 9.9) ]);
+    ("an1", "ultrix", [ (1, 1.8); (512, 2.7); (1460, 3.2) ]);
+    ("an1", "userlib", [ (1, 2.7); (512, 3.4); (1460, 4.7) ]) ]
+
+(* Table 4: connection setup time in ms. *)
+let table4 =
+  [ ("ethernet", "ultrix", 2.6);
+    ("an1", "ultrix", 2.9);
+    ("ethernet", "mach-ux", 6.8);
+    ("ethernet", "userlib", 11.9);
+    ("an1", "userlib", 12.3) ]
+
+(* Section 4's five-way breakdown of the 11.9 ms Ethernet setup, ms. *)
+let setup_breakdown =
+  [ ("remote peer round trip", 4.6);
+    ("non-overlapped outbound processing", 1.5);
+    ("user channel setup", 3.4);
+    ("application to server and back", 0.9);
+    ("TCP state transfer", 1.4) ]
+
+(* Table 5: per-packet demultiplexing cost in microseconds. *)
+let table5 = [ ("lance software", 52.0); ("an1 hardware bqi", 50.0) ]
+
+let lookup2 table net sys size =
+  match List.assoc_opt size
+          (List.concat_map (fun (n, s, xs) -> if n = net && s = sys then xs else []) table)
+  with
+  | Some v -> Some v
+  | None -> None

@@ -1,0 +1,64 @@
+module Sched = Uln_engine.Sched
+module Time = Uln_engine.Time
+module View = Uln_buf.View
+module World = Uln_core.World
+module Sockets = Uln_core.Sockets
+
+type result = {
+  avg_rtt : Time.span;
+  min_rtt : Time.span;
+  max_rtt : Time.span;
+  exchanges : int;
+}
+
+let read_exactly conn n =
+  let got = ref 0 in
+  while !got < n do
+    match conn.Sockets.recv ~max:(n - !got) with
+    | None -> failwith "pingpong: unexpected EOF"
+    | Some v -> got := !got + View.length v
+  done
+
+let run ?(exchanges = 50) ?(warmup = 3) ~size w =
+  let sched = World.sched w in
+  let server_app = World.app w ~host:1 "echo" in
+  let client_app = World.app w ~host:0 "prober" in
+  let total = exchanges + warmup in
+  Sched.spawn sched ~name:"echo" (fun () ->
+      let l = server_app.Sockets.listen ~port:7 in
+      let conn = l.Sockets.accept () in
+      let reply = View.create size in
+      View.fill reply 'e';
+      for _ = 1 to total do
+        read_exactly conn size;
+        conn.Sockets.send reply
+      done;
+      conn.Sockets.close ());
+  let samples = ref [] in
+  Sched.block_on sched (fun () ->
+      match client_app.Sockets.connect ~src_port:0 ~dst:(World.host_ip w 1) ~dst_port:7 with
+      | Error e -> failwith ("pingpong connect: " ^ e)
+      | Ok conn ->
+          let payload = View.create size in
+          View.fill payload 'p';
+          for i = 1 to total do
+            let started = Sched.now sched in
+            conn.Sockets.send payload;
+            read_exactly conn size;
+            if i > warmup then
+              samples := Time.diff (Sched.now sched) started :: !samples
+          done;
+          conn.Sockets.close ();
+          conn.Sockets.await_closed ());
+  let samples = !samples in
+  let n = List.length samples in
+  if n = 0 then failwith "pingpong: no samples";
+  let sum = List.fold_left Time.span_add 0 samples in
+  { avg_rtt = sum / n;
+    min_rtt = List.fold_left Stdlib.min Stdlib.max_int samples;
+    max_rtt = List.fold_left Stdlib.max 0 samples;
+    exchanges = n }
+
+let measure ?exchanges ~size ~network ~org () =
+  let w = World.create ~network ~org () in
+  run ?exchanges ~size w

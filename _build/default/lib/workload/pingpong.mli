@@ -1,0 +1,25 @@
+(** Request-response workload (the paper's latency benchmark, §4).
+
+    "The first application sends data to the second, which in turn
+    sends the same amount of data back."  Reports the average round
+    trip, excluding connection setup (accounted separately in Table 4)
+    and a few warm-up exchanges. *)
+
+type result = {
+  avg_rtt : Uln_engine.Time.span;
+  min_rtt : Uln_engine.Time.span;
+  max_rtt : Uln_engine.Time.span;
+  exchanges : int;
+}
+
+val run : ?exchanges:int -> ?warmup:int -> size:int -> Uln_core.World.t -> result
+(** [run ~size w] ping-pongs [size]-byte payloads (default 50 exchanges
+    after 3 warm-ups) between hosts 0 and 1 of a fresh world. *)
+
+val measure :
+  ?exchanges:int ->
+  size:int ->
+  network:Uln_core.World.network ->
+  org:Uln_core.Organization.t ->
+  unit ->
+  result

@@ -1,0 +1,106 @@
+module Sched = Uln_engine.Sched
+module Time = Uln_engine.Time
+module Semaphore = Uln_engine.Semaphore
+module Stats = Uln_engine.Stats
+module View = Uln_buf.View
+module Mbuf = Uln_buf.Mbuf
+module Machine = Uln_host.Machine
+module Frame = Uln_net.Frame
+module Link = Uln_net.Link
+module Nic = Uln_net.Nic
+module Insn = Uln_filter.Insn
+module Program = Uln_filter.Program
+module Template = Uln_filter.Template
+module World = Uln_core.World
+module Organization = Uln_core.Organization
+module Netio = Uln_core.Netio
+module Registry = Uln_core.Registry
+
+type row = {
+  user_packet : int;
+  mbps : float;
+  saturation_mbps : float;
+  percent_of_raw : float;
+}
+
+let raw_ethertype = 0x3333
+
+let raw_filter () =
+  Program.of_insns [ Insn.Push_word 12; Insn.Push_lit raw_ethertype; Insn.Eq ]
+
+let raw_template () =
+  Template.make [ { Template.offset = 12; mask = 0xffff; value = raw_ethertype } ]
+
+let run ?(total_bytes = 4_000_000) ~user_packet () =
+  let w = World.create ~network:World.Ethernet ~org:Organization.User_library () in
+  let sched = World.sched w in
+  let netio0 = Option.get (World.netio w 0) in
+  let netio1 = Option.get (World.netio w 1) in
+  (* The registry plays its normal role: a trusted party sets the
+     channels up; data transfer then bypasses it entirely. *)
+  let reg0 = Option.get (World.registry w 0) in
+  let reg1 = Option.get (World.registry w 1) in
+  let dom0 = Machine.new_user_domain (World.machine w 0) "raw-sender" in
+  let dom1 = Machine.new_user_domain (World.machine w 1) "raw-receiver" in
+  let ch0 = Netio.create_channel netio0 ~caller:(Registry.domain reg0) ~owner:dom0 ~use_bqi:false in
+  Netio.activate netio0 ~caller:(Registry.domain reg0) ch0
+    ~filter:(Program.of_insns [ Insn.Push_word 12; Insn.Push_lit 0x3334; Insn.Eq ])
+    ~template:(raw_template ());
+  let ch1 = Netio.create_channel netio1 ~caller:(Registry.domain reg1) ~owner:dom1 ~use_bqi:false in
+  Netio.activate netio1 ~caller:(Registry.domain reg1) ch1 ~filter:(raw_filter ())
+    ~template:(raw_template ());
+  let mtu = (World.nic w 0).Nic.mtu in
+  let meter = Stats.Meter.create "raw-rx" in
+  let received = ref 0 in
+  let done_wake = ref (fun () -> ()) in
+  Sched.spawn sched ~name:"raw-receiver" (fun () ->
+      let rec loop () =
+        Semaphore.wait (Netio.rx_sem ch1);
+        let rec drain () =
+          match Netio.rx_pop ch1 ~from_domain:dom1 with
+          | None -> ()
+          | Some frame ->
+              received := !received + Frame.payload_length frame;
+              Stats.Meter.mark meter (Sched.now sched) (Frame.payload_length frame);
+              drain ()
+        in
+        drain ();
+        if !received < total_bytes then loop () else !done_wake ()
+      in
+      loop ());
+  Sched.block_on sched (fun () ->
+      let src = (World.nic w 0).Nic.mac in
+      let dst = (World.nic w 1).Nic.mac in
+      let sent = ref 0 in
+      while !sent < total_bytes do
+        (* One user packet, fragmented at the MTU like a driver would. *)
+        let remaining_user = ref (Stdlib.min user_packet (total_bytes - !sent)) in
+        while !remaining_user > 0 do
+          let this = Stdlib.min mtu !remaining_user in
+          let payload = View.create this in
+          Netio.send netio0 ch0 ~from_domain:dom0
+            (Frame.make ~src ~dst ~ethertype:raw_ethertype (Mbuf.of_view payload));
+          sent := !sent + this;
+          remaining_user := !remaining_user - this
+        done
+      done;
+      (* Wait for the receiver to account for everything. *)
+      if !received < total_bytes then Sched.suspend (fun wake -> done_wake := wake));
+  let mbps = Stats.Meter.megabits_per_sec meter in
+  (* Raw ceiling for this user packet size given the MTU split. *)
+  let saturation =
+    let link = World.link w in
+    let rec total_time remaining acc =
+      if remaining <= 0 then acc
+      else
+        let this = Stdlib.min mtu remaining in
+        total_time (remaining - this)
+          (Uln_engine.Time.span_add acc (Link.frame_time link this))
+    in
+    let t_ns = total_time user_packet 0 in
+    if t_ns > 0 then float_of_int (user_packet * 8) /. float_of_int t_ns *. 1000. else 0.
+  in
+  { user_packet;
+    mbps;
+    saturation_mbps = saturation;
+    percent_of_raw = (if saturation > 0. then mbps /. saturation *. 100. else 0.) }

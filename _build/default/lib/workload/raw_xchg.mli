@@ -1,0 +1,20 @@
+(** The mechanism micro-benchmark (Table 1).
+
+    "A micro-benchmark that used two applications to exchange data over
+    the 10 Mb/s Ethernet, without using any higher-level protocols.
+    All the standard mechanisms that we provide (including the
+    library-kernel signalling) are exercised" — shared-memory rings,
+    batched semaphore notification, capability send with template
+    matching, software demultiplexing — but no TCP/IP, no threads or
+    timers beyond the receive upcall. *)
+
+type row = {
+  user_packet : int;  (** bytes handed to the send path per operation *)
+  mbps : float;  (** measured through the mechanisms *)
+  saturation_mbps : float;  (** raw link ceiling for that frame size *)
+  percent_of_raw : float;
+}
+
+val run : ?total_bytes:int -> user_packet:int -> unit -> row
+(** One Ethernet measurement (packets above the 1500-byte MTU are sent
+    as multiple frames, as a driver would). *)

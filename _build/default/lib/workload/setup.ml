@@ -1,0 +1,59 @@
+module Sched = Uln_engine.Sched
+module Time = Uln_engine.Time
+module Costs = Uln_host.Costs
+module World = Uln_core.World
+module Sockets = Uln_core.Sockets
+module Calibration = Uln_core.Calibration
+
+type result = { avg_setup : Time.span; samples : int }
+
+let run ?(count = 10) w =
+  let sched = World.sched w in
+  let server_app = World.app w ~host:1 "acceptor" in
+  let client_app = World.app w ~host:0 "opener" in
+  Sched.spawn sched ~name:"acceptor" (fun () ->
+      let l = server_app.Sockets.listen ~port:9000 in
+      for _ = 1 to count do
+        let conn = l.Sockets.accept () in
+        (* Passive close as soon as the peer is done. *)
+        (match conn.Sockets.recv ~max:16 with Some _ -> () | None -> ());
+        conn.Sockets.close ()
+      done);
+  let total = ref 0 in
+  Sched.block_on sched (fun () ->
+      for i = 1 to count do
+        let started = Sched.now sched in
+        match
+          client_app.Sockets.connect ~src_port:(10_000 + i) ~dst:(World.host_ip w 1)
+            ~dst_port:9000
+        with
+        | Error e -> failwith ("setup connect: " ^ e)
+        | Ok conn ->
+            total := !total + Time.diff (Sched.now sched) started;
+            conn.Sockets.close ();
+            conn.Sockets.await_closed ()
+      done);
+  { avg_setup = !total / count; samples = count }
+
+let measure ?count ~network ~org () =
+  (* Keep TIME_WAIT short so serial setups do not serialise on 2MSL. *)
+  let w = World.create ~network ~org () in
+  run ?count w
+
+let breakdown_userlib () =
+  let c = Costs.r3000 in
+  let ipc_leg bytes =
+    Time.span_add c.Costs.ipc_fixed
+      (Time.span_add (Time.ns (bytes * c.Costs.ipc_per_byte_ns))
+         (Time.span_add c.Costs.wakeup_latency c.Costs.context_switch))
+  in
+  [ ( "remote peer round trip (registry<->registry, IPC device access)",
+      (* SYN out + SYN-ACK back, each crossing the registry's
+         non-shared-memory device path, plus wire time. *)
+      Time.span_scale (Time.span_add c.Costs.ipc_fixed (Time.ms 1)) 2 );
+    ("non-overlapped outbound processing (port allocation, start of setup)",
+      Calibration.registry_port_alloc);
+    ("user channel setup (region, rings, filter, template)",
+      Calibration.registry_channel_setup);
+    ("application to server and back", Time.span_add (ipc_leg 64) (ipc_leg 256));
+    ("TCP state transfer to user level", Calibration.registry_state_transfer) ]

@@ -1,0 +1,26 @@
+(** Connection-setup workload (Table 4).
+
+    Repeatedly opens a connection to a listening peer, sends nothing,
+    and closes.  The time reported is from the application's [connect]
+    call to its return ("we assumed that the passive peer was already
+    listening when the active connection was initiated"). *)
+
+type result = {
+  avg_setup : Uln_engine.Time.span;
+  samples : int;
+}
+
+val run : ?count:int -> Uln_core.World.t -> result
+
+val measure :
+  ?count:int ->
+  network:Uln_core.World.network ->
+  org:Uln_core.Organization.t ->
+  unit ->
+  result
+
+val breakdown_userlib : unit -> (string * Uln_engine.Time.span) list
+(** The modelled components of the user-library setup path, mirroring
+    the paper's five-way breakdown of its 11.9 ms (§4): remote peer
+    round trip, non-overlapped outbound processing, user channel setup,
+    application-server crossings, and TCP state transfer. *)

@@ -1,0 +1,115 @@
+module Time = Uln_engine.Time
+module View = Uln_buf.View
+module Mbuf = Uln_buf.Mbuf
+module Ip = Uln_addr.Ip
+module Mac = Uln_addr.Mac
+module Frame = Uln_net.Frame
+module Link = Uln_net.Link
+
+let tcp_flags_str v =
+  let bit mask c = if v land mask <> 0 then String.make 1 c else "" in
+  let s = bit 2 'S' ^ bit 16 'A' ^ bit 1 'F' ^ bit 4 'R' ^ bit 8 'P' in
+  if s = "" then "." else s
+
+let describe_tcp src dst seg =
+  if View.length seg < 20 then Printf.sprintf "TCP %s > %s [truncated]" src dst
+  else
+    let sport = View.get_uint16 seg 0 and dport = View.get_uint16 seg 2 in
+    let seq = View.get_uint32 seg 4 and ack = View.get_uint32 seg 8 in
+    let data_off = (View.get_uint8 seg 12 lsr 4) * 4 in
+    let flags = View.get_uint8 seg 13 in
+    let wnd = View.get_uint16 seg 14 in
+    let len = Stdlib.max 0 (View.length seg - data_off) in
+    Printf.sprintf "TCP %s:%d > %s:%d %s seq=%lu ack=%lu win=%d len=%d" src sport dst dport
+      (tcp_flags_str flags) (Int32.logand seq 0xFFFFFFFFl)
+      (Int32.logand ack 0xFFFFFFFFl)
+      wnd len
+
+let describe_udp src dst seg =
+  if View.length seg < 8 then Printf.sprintf "UDP %s > %s [truncated]" src dst
+  else
+    Printf.sprintf "UDP %s:%d > %s:%d len=%d" src (View.get_uint16 seg 0) dst
+      (View.get_uint16 seg 2)
+      (View.get_uint16 seg 4 - 8)
+
+let describe_icmp src dst seg =
+  if View.length seg < 4 then Printf.sprintf "ICMP %s > %s [truncated]" src dst
+  else
+    let typ = View.get_uint8 seg 0 and code = View.get_uint8 seg 1 in
+    let kind =
+      match typ with
+      | 0 -> "echo reply"
+      | 3 -> Printf.sprintf "destination unreachable (code %d)" code
+      | 8 -> "echo request"
+      | n -> Printf.sprintf "type %d" n
+    in
+    Printf.sprintf "ICMP %s > %s %s" src dst kind
+
+let describe_ip payload =
+  let v = Mbuf.flatten payload in
+  if View.length v < 20 then "IP [truncated]"
+  else
+    let src = Ip.to_string (Ip.of_int32 (View.get_uint32 v 12)) in
+    let dst = Ip.to_string (Ip.of_int32 (View.get_uint32 v 16)) in
+    let proto = View.get_uint8 v 9 in
+    let ihl = (View.get_uint8 v 0 land 0xf) * 4 in
+    let total = View.get_uint16 v 2 in
+    let ff = View.get_uint16 v 6 in
+    let frag =
+      if ff land 0x3fff <> 0 then
+        Printf.sprintf " frag(off=%d%s)" ((ff land 0x1fff) * 8)
+          (if ff land 0x2000 <> 0 then ",MF" else "")
+      else ""
+    in
+    if View.length v < Stdlib.min total ihl then "IP [truncated]"
+    else
+      let seg = View.sub v ihl (Stdlib.min (total - ihl) (View.length v - ihl)) in
+      let body =
+        if ff land 0x1fff <> 0 then Printf.sprintf "proto %d continuation" proto
+        else
+          match proto with
+          | 6 -> describe_tcp src dst seg
+          | 17 -> describe_udp src dst seg
+          | 1 -> describe_icmp src dst seg
+          | n -> Printf.sprintf "proto %d %s > %s len=%d" n src dst (View.length seg)
+      in
+      body ^ frag
+
+let describe_arp payload =
+  let v = Mbuf.flatten payload in
+  if View.length v < 28 then "ARP [truncated]"
+  else
+    let op = View.get_uint16 v 6 in
+    let spa = Ip.to_string (Ip.of_int32 (View.get_uint32 v 14)) in
+    let tpa = Ip.to_string (Ip.of_int32 (View.get_uint32 v 24)) in
+    match op with
+    | 1 -> Printf.sprintf "ARP who-has %s tell %s" tpa spa
+    | 2 -> Printf.sprintf "ARP %s is-at (reply to %s)" spa tpa
+    | n -> Printf.sprintf "ARP op %d" n
+
+let describe (frame : Frame.t) =
+  let link =
+    if frame.Frame.bqi <> 0 || frame.Frame.bqi_hint <> 0 then
+      Printf.sprintf " [bqi=%d hint=%d]" frame.Frame.bqi frame.Frame.bqi_hint
+    else ""
+  in
+  let body =
+    if frame.Frame.ethertype = Frame.ethertype_ip then describe_ip frame.Frame.payload
+    else if frame.Frame.ethertype = Frame.ethertype_arp then describe_arp frame.Frame.payload
+    else
+      Printf.sprintf "%s > %s ethertype 0x%04x len=%d"
+        (Mac.to_string frame.Frame.src) (Mac.to_string frame.Frame.dst) frame.Frame.ethertype
+        (Frame.payload_length frame)
+  in
+  body ^ link
+
+let attach link emit =
+  Link.set_monitor link (fun now frame ->
+      emit (Printf.sprintf "%10.3f ms  %s" (Time.to_ms_f (Time.to_ns now)) (describe frame)))
+
+let capture link =
+  let buf = Buffer.create 4096 in
+  attach link (fun line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n');
+  buf

@@ -1,0 +1,16 @@
+(** Packet snooping: a tcpdump-style decoder on the link tap.
+
+    Attach to a {!Uln_net.Link.t} and every serialized frame is decoded
+    — Ethernet/AN1 link fields, ARP, IPv4, ICMP, UDP, TCP with flags and
+    sequence numbers — into one human-readable line. *)
+
+val describe : Uln_net.Frame.t -> string
+(** One-line decode of a frame ("IP 10.0.0.1:5000 > 10.0.0.2:80 TCP SA
+    seq=... ack=... win=... len=..."). *)
+
+val attach : Uln_net.Link.t -> (string -> unit) -> unit
+(** [attach link emit] taps the link; [emit] receives a timestamped
+    decoded line per frame. *)
+
+val capture : Uln_net.Link.t -> Buffer.t
+(** Convenience: tap the link into a growing text buffer. *)

@@ -1,0 +1,1 @@
+test/test_addr.ml: Alcotest QCheck QCheck_alcotest Uln_addr

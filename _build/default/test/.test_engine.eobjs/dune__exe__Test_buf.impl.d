@@ -1,0 +1,1 @@
+test/test_buf.ml: Alcotest Char Gen List Option QCheck QCheck_alcotest Queue String Uln_buf

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Buffer Char Format List Option Printf String Uln_addr Uln_buf Uln_core Uln_engine Uln_filter Uln_host Uln_net Uln_proto

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Gen List QCheck QCheck_alcotest String Uln_engine

@@ -1,0 +1,1 @@
+test/test_ext.ml: Alcotest Buffer List Option Printf Result String Uln_addr Uln_buf Uln_core Uln_engine Uln_net Uln_proto Uln_workload

@@ -1,0 +1,1 @@
+test/test_filter.ml: Alcotest List QCheck QCheck_alcotest Uln_addr Uln_buf Uln_filter

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Frame Ip List Mbuf Nic QCheck QCheck_alcotest Sched Stack String Tcp Time Tutil Uln_engine Uln_proto View

@@ -1,0 +1,1 @@
+test/test_host.ml: Alcotest List Uln_engine Uln_host

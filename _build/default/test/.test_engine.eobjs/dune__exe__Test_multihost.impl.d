@@ -1,0 +1,1 @@
+test/test_multihost.ml: Alcotest Array Buffer Char Option Printf String Uln_buf Uln_core Uln_engine Uln_net

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest List Option Uln_addr Uln_buf Uln_engine Uln_host Uln_net

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Bytes Char Frame Gen Icmp Ip Mac Mbuf Nic Option QCheck QCheck_alcotest Sched Stack String Time Tutil Udp Uln_proto View

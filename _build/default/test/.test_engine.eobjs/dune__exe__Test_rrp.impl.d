@@ -1,0 +1,1 @@
+test/test_rrp.ml: Alcotest Fault Gen List Option Printf QCheck QCheck_alcotest Result Sched Stack String Tcp Time Tutil Uln_core Uln_engine Uln_proto View

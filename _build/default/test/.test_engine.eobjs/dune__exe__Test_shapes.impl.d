@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest Float Lazy List Printf String Uln_core Uln_workload

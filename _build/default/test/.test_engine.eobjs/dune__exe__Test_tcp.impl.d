@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Buffer Fault Hashtbl Ip List Printf QCheck QCheck_alcotest Sched Stack String Tcp Time Tutil Uln_engine Uln_proto View

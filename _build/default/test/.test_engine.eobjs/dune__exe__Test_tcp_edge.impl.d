@@ -1,0 +1,1 @@
+test/test_tcp_edge.ml: Alcotest Option Result Sched Stack String Tcp Time Tutil Uln_proto View

@@ -1,0 +1,1 @@
+test/tutil.ml: Buffer Char String Uln_addr Uln_buf Uln_engine Uln_host Uln_net Uln_proto

@@ -1,0 +1,61 @@
+module Mac = Uln_addr.Mac
+module Ip = Uln_addr.Ip
+
+let check_s = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let test_mac_round_trip () =
+  let m = Mac.of_string "52:54:00:ab:cd:ef" in
+  check_s "to_string" "52:54:00:ab:cd:ef" (Mac.to_string m);
+  check_bool "octets" true (Mac.of_octets (Mac.to_octets m) = m)
+
+let test_mac_broadcast () =
+  check_bool "broadcast" true (Mac.is_broadcast (Mac.of_string "ff:ff:ff:ff:ff:ff"));
+  check_bool "not broadcast" false (Mac.is_broadcast (Mac.of_int 1))
+
+let test_mac_bad_input () =
+  let bad s = try ignore (Mac.of_string s); false with Invalid_argument _ -> true in
+  check_bool "short" true (bad "aa:bb:cc");
+  check_bool "junk" true (bad "zz:bb:cc:dd:ee:ff")
+
+let test_ip_round_trip () =
+  let a = Ip.of_string "192.168.3.77" in
+  check_s "to_string" "192.168.3.77" (Ip.to_string a);
+  check_bool "make" true (Ip.equal a (Ip.make 192 168 3 77))
+
+let test_ip_specials () =
+  check_s "any" "0.0.0.0" (Ip.to_string Ip.any);
+  check_s "broadcast" "255.255.255.255" (Ip.to_string Ip.broadcast);
+  check_s "loopback" "127.0.0.1" (Ip.to_string Ip.loopback);
+  check_bool "is_any" true (Ip.is_any Ip.any)
+
+let test_ip_bad_input () =
+  let bad s = try ignore (Ip.of_string s); false with Invalid_argument _ -> true in
+  check_bool "octet range" true (bad "1.2.3.456");
+  check_bool "three parts" true (bad "1.2.3");
+  check_bool "junk" true (bad "a.b.c.d")
+
+let prop_ip_int32_round_trip =
+  QCheck.Test.make ~name:"ip int32 round trip" ~count:200 QCheck.int32 (fun v ->
+      Ip.to_int32 (Ip.of_int32 v) = v)
+
+let prop_mac_int_round_trip =
+  QCheck.Test.make ~name:"mac int round trip keeps 48 bits" ~count:200
+    QCheck.(0 -- max_int)
+    (fun v ->
+      let m = Mac.of_int v in
+      Mac.to_int m = v land ((1 lsl 48) - 1))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "addr"
+    [ ( "mac",
+        [ Alcotest.test_case "round trip" `Quick test_mac_round_trip;
+          Alcotest.test_case "broadcast" `Quick test_mac_broadcast;
+          Alcotest.test_case "bad input" `Quick test_mac_bad_input;
+          qc prop_mac_int_round_trip ] );
+      ( "ip",
+        [ Alcotest.test_case "round trip" `Quick test_ip_round_trip;
+          Alcotest.test_case "specials" `Quick test_ip_specials;
+          Alcotest.test_case "bad input" `Quick test_ip_bad_input;
+          qc prop_ip_int32_round_trip ] ) ]

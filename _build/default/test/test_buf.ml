@@ -1,0 +1,234 @@
+module View = Uln_buf.View
+module Mbuf = Uln_buf.Mbuf
+module Pool = Uln_buf.Pool
+module Ring = Uln_buf.Ring
+module Bytequeue = Uln_buf.Bytequeue
+
+let check = Alcotest.(check int)
+let check_s = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+(* --- view ---------------------------------------------------------- *)
+
+let test_view_accessors () =
+  let v = View.create 8 in
+  View.set_uint8 v 0 0xAB;
+  View.set_uint16 v 2 0x1234;
+  View.set_uint32 v 4 0xDEADBEEFl;
+  check "u8" 0xAB (View.get_uint8 v 0);
+  check "u16" 0x1234 (View.get_uint16 v 2);
+  Alcotest.(check int32) "u32" 0xDEADBEEFl (View.get_uint32 v 4)
+
+let test_view_big_endian () =
+  let v = View.create 4 in
+  View.set_uint16 v 0 0x0102;
+  check "hi byte first" 1 (View.get_uint8 v 0);
+  check "lo byte second" 2 (View.get_uint8 v 1)
+
+let test_view_sub_shares () =
+  let v = View.of_string "hello world" in
+  let s = View.sub v 6 5 in
+  check_s "window" "world" (View.to_string s);
+  View.set_uint8 s 0 (Char.code 'W');
+  check_s "aliased" "hello World" (View.to_string v)
+
+let test_view_bounds () =
+  let v = View.create 4 in
+  let expect_bounds f = try f (); false with View.Bounds _ -> true in
+  check_bool "sub" true (expect_bounds (fun () -> ignore (View.sub v 2 3)));
+  check_bool "get" true (expect_bounds (fun () -> ignore (View.get_uint16 v 3)));
+  check_bool "negative" true (expect_bounds (fun () -> ignore (View.sub v (-1) 2)))
+
+let test_view_concat () =
+  let v = View.concat [ View.of_string "ab"; View.of_string "cd"; View.of_string "e" ] in
+  check_s "concat" "abcde" (View.to_string v)
+
+let test_view_copy_detaches () =
+  let v = View.of_string "abc" in
+  let c = View.copy v in
+  View.set_uint8 v 0 (Char.code 'z');
+  check_s "copy unaffected" "abc" (View.to_string c)
+
+(* --- mbuf ------------------------------------------------------------ *)
+
+let test_mbuf_prepend_drop () =
+  let payload = Mbuf.of_string "payload" in
+  let hdr = View.of_string "HDR:" in
+  let pkt = Mbuf.prepend hdr payload in
+  check "len" 11 (Mbuf.length pkt);
+  check "segs" 2 (Mbuf.segment_count pkt);
+  check_s "strip header" "payload" (Mbuf.to_string (Mbuf.drop pkt 4));
+  check_s "original intact" "HDR:payload" (Mbuf.to_string pkt)
+
+let test_mbuf_split_boundaries () =
+  let pkt = Mbuf.concat (Mbuf.of_string "abc") (Mbuf.of_string "defgh") in
+  let l, r = Mbuf.split pkt 3 in
+  check_s "left" "abc" (Mbuf.to_string l);
+  check_s "right" "defgh" (Mbuf.to_string r);
+  let l2, r2 = Mbuf.split pkt 5 in
+  check_s "left mid-segment" "abcde" (Mbuf.to_string l2);
+  check_s "right mid-segment" "fgh" (Mbuf.to_string r2)
+
+let test_mbuf_get_uint8_across () =
+  let pkt = Mbuf.concat (Mbuf.of_string "ab") (Mbuf.of_string "cd") in
+  check "cross-segment byte" (Char.code 'c') (Mbuf.get_uint8 pkt 2)
+
+let test_mbuf_flatten_no_copy_single () =
+  let v = View.of_string "xyz" in
+  let pkt = Mbuf.of_view v in
+  check_bool "same storage" true (Mbuf.flatten pkt == v)
+
+let prop_mbuf_split_rejoin =
+  QCheck.Test.make ~name:"mbuf split+concat is identity" ~count:200
+    QCheck.(pair (string_of_size Gen.(0 -- 200)) small_int)
+    (fun (s, k) ->
+      let pkt = Mbuf.of_string s in
+      let n = if String.length s = 0 then 0 else k mod (String.length s + 1) in
+      let l, r = Mbuf.split pkt n in
+      Mbuf.to_string (Mbuf.concat l r) = s)
+
+let prop_mbuf_drop_take =
+  QCheck.Test.make ~name:"drop n . take m consistent with string ops" ~count:200
+    QCheck.(triple (string_of_size Gen.(1 -- 100)) small_int small_int)
+    (fun (s, a, b) ->
+      let len = String.length s in
+      let n = a mod (len + 1) in
+      let m = b mod (len - n + 1) in
+      let got = Mbuf.to_string (Mbuf.take (Mbuf.drop (Mbuf.of_string s) n) m) in
+      got = String.sub s n m)
+
+(* --- pool --------------------------------------------------------------- *)
+
+let test_pool_exhaustion () =
+  let p = Pool.create ~count:2 ~size:64 in
+  let a = Option.get (Pool.alloc p) in
+  let _b = Option.get (Pool.alloc p) in
+  check_bool "exhausted" true (Pool.alloc p = None);
+  Pool.free p a;
+  check "one free" 1 (Pool.available p)
+
+let test_pool_double_free_rejected () =
+  let p = Pool.create ~count:1 ~size:8 in
+  let a = Option.get (Pool.alloc p) in
+  Pool.free p a;
+  Alcotest.check_raises "double free" (Invalid_argument "Pool.free: double free") (fun () ->
+      Pool.free p a)
+
+let test_pool_foreign_view_rejected () =
+  let p = Pool.create ~count:1 ~size:8 in
+  Alcotest.check_raises "foreign" (Invalid_argument "Pool.free: view does not belong to this pool")
+    (fun () -> Pool.free p (View.create 8))
+
+(* --- ring ------------------------------------------------------------------ *)
+
+let test_ring_fifo () =
+  let r = Ring.create ~capacity:4 in
+  List.iter (fun i -> ignore (Ring.push r i)) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Ring.pop r);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Ring.pop r);
+  ignore (Ring.push r 4);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Ring.pop r);
+  Alcotest.(check (option int)) "pop 4" (Some 4) (Ring.pop r);
+  Alcotest.(check (option int)) "empty" None (Ring.pop r)
+
+let test_ring_overflow_drops () =
+  let r = Ring.create ~capacity:2 in
+  check_bool "1" true (Ring.push r 1);
+  check_bool "2" true (Ring.push r 2);
+  check_bool "3 rejected" false (Ring.push r 3);
+  check "drop count" 1 (Ring.drops r)
+
+let prop_ring_wraparound =
+  QCheck.Test.make ~name:"ring behaves as bounded queue" ~count:100
+    QCheck.(list (option small_int))
+    (fun ops ->
+      (* Some n = push n; None = pop.  Compare against a reference queue
+         bounded at 3. *)
+      let r = Ring.create ~capacity:3 in
+      let q = Queue.create () in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some v ->
+              let pushed = Ring.push r v in
+              let expect = Queue.length q < 3 in
+              if expect then Queue.push v q;
+              pushed = expect
+          | None -> Ring.pop r = Queue.take_opt q)
+        ops)
+
+(* --- bytequeue --------------------------------------------------------------- *)
+
+let test_bytequeue_fifo () =
+  let q = Bytequeue.create () in
+  Bytequeue.push_string q "hello ";
+  Bytequeue.push_string q "world";
+  check "len" 11 (Bytequeue.length q);
+  check_s "pop" "hello" (View.to_string (Bytequeue.pop q 5));
+  check_s "peek at offset" "wor" (View.to_string (Bytequeue.peek q ~off:1 ~len:3));
+  Bytequeue.drop q 1;
+  check_s "rest" "world" (View.to_string (Bytequeue.pop q 100))
+
+let test_bytequeue_growth () =
+  let q = Bytequeue.create ~capacity:4 () in
+  let s = String.make 10_000 'x' in
+  Bytequeue.push_string q s;
+  check "grew" 10_000 (Bytequeue.length q);
+  check_s "contents" s (View.to_string (Bytequeue.pop q 10_000))
+
+let prop_bytequeue_matches_string =
+  QCheck.Test.make ~name:"bytequeue = string concatenation" ~count:200
+    QCheck.(list (string_of_size Gen.(0 -- 50)))
+    (fun chunks ->
+      let q = Bytequeue.create ~capacity:8 () in
+      List.iter (Bytequeue.push_string q) chunks;
+      let expect = String.concat "" chunks in
+      View.to_string (Bytequeue.peek q ~off:0 ~len:(Bytequeue.length q)) = expect)
+
+let prop_bytequeue_interleaved =
+  QCheck.Test.make ~name:"interleaved push/drop tracks reference" ~count:200
+    QCheck.(list (pair (string_of_size Gen.(0 -- 20)) small_int))
+    (fun ops ->
+      let q = Bytequeue.create ~capacity:4 () in
+      let reference = ref "" in
+      List.for_all
+        (fun (s, d) ->
+          Bytequeue.push_string q s;
+          reference := !reference ^ s;
+          let n = if !reference = "" then 0 else d mod (String.length !reference + 1) in
+          Bytequeue.drop q n;
+          reference := String.sub !reference n (String.length !reference - n);
+          Bytequeue.length q = String.length !reference
+          && View.to_string (Bytequeue.peek q ~off:0 ~len:(Bytequeue.length q)) = !reference)
+        ops)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "buf"
+    [ ( "view",
+        [ Alcotest.test_case "accessors" `Quick test_view_accessors;
+          Alcotest.test_case "big endian" `Quick test_view_big_endian;
+          Alcotest.test_case "sub shares" `Quick test_view_sub_shares;
+          Alcotest.test_case "bounds" `Quick test_view_bounds;
+          Alcotest.test_case "concat" `Quick test_view_concat;
+          Alcotest.test_case "copy detaches" `Quick test_view_copy_detaches ] );
+      ( "mbuf",
+        [ Alcotest.test_case "prepend/drop" `Quick test_mbuf_prepend_drop;
+          Alcotest.test_case "split boundaries" `Quick test_mbuf_split_boundaries;
+          Alcotest.test_case "cross-segment access" `Quick test_mbuf_get_uint8_across;
+          Alcotest.test_case "flatten single" `Quick test_mbuf_flatten_no_copy_single;
+          qc prop_mbuf_split_rejoin;
+          qc prop_mbuf_drop_take ] );
+      ( "pool",
+        [ Alcotest.test_case "exhaustion" `Quick test_pool_exhaustion;
+          Alcotest.test_case "double free" `Quick test_pool_double_free_rejected;
+          Alcotest.test_case "foreign view" `Quick test_pool_foreign_view_rejected ] );
+      ( "ring",
+        [ Alcotest.test_case "fifo" `Quick test_ring_fifo;
+          Alcotest.test_case "overflow drops" `Quick test_ring_overflow_drops;
+          qc prop_ring_wraparound ] );
+      ( "bytequeue",
+        [ Alcotest.test_case "fifo" `Quick test_bytequeue_fifo;
+          Alcotest.test_case "growth" `Quick test_bytequeue_growth;
+          qc prop_bytequeue_matches_string;
+          qc prop_bytequeue_interleaved ] ) ]

@@ -1,0 +1,464 @@
+(* Integration tests of the protocol organizations: the same workload
+   runs unchanged under every structure, plus the protection properties
+   specific to the user-library organization. *)
+
+module Sched = Uln_engine.Sched
+module Time = Uln_engine.Time
+module View = Uln_buf.View
+module Mbuf = Uln_buf.Mbuf
+module Ip = Uln_addr.Ip
+module Mac = Uln_addr.Mac
+module Addr_space = Uln_host.Addr_space
+module Capability = Uln_host.Capability
+module Frame = Uln_net.Frame
+module Template = Uln_filter.Template
+module Program = Uln_filter.Program
+module Tcp_state = Uln_proto.Tcp_state
+module World = Uln_core.World
+module Organization = Uln_core.Organization
+module Sockets = Uln_core.Sockets
+module Netio = Uln_core.Netio
+module Registry = Uln_core.Registry
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let pattern n = String.init n (fun i -> Char.chr (((i * 7) + (i / 251)) land 0x7f))
+
+(* One bulk transfer: app on host 1 serves, app on host 0 sends [n]
+   bytes; returns what the server received. *)
+let run_transfer w n =
+  let data = pattern n in
+  let received = ref "" in
+  let server_app = World.app w ~host:1 "server" in
+  let client_app = World.app w ~host:0 "client" in
+  Sched.spawn (World.sched w) ~name:"server" (fun () ->
+      let l = server_app.Sockets.listen ~port:80 in
+      let conn = l.Sockets.accept () in
+      let buf = Buffer.create n in
+      let rec drain () =
+        match conn.Sockets.recv ~max:65536 with
+        | None -> ()
+        | Some v ->
+            Buffer.add_string buf (View.to_string v);
+            drain ()
+      in
+      drain ();
+      received := Buffer.contents buf;
+      conn.Sockets.close ());
+  Sched.block_on (World.sched w) (fun () ->
+      match client_app.Sockets.connect ~src_port:0 ~dst:(World.host_ip w 1) ~dst_port:80 with
+      | Error e -> failwith ("connect: " ^ e)
+      | Ok conn ->
+          conn.Sockets.send (View.of_string data);
+          conn.Sockets.close ();
+          conn.Sockets.await_closed ());
+  (data, !received)
+
+let orgs_to_test =
+  [ ("inkernel", Organization.In_kernel);
+    ("server-mapped", Organization.Single_server `Mapped);
+    ("server-message", Organization.Single_server `Message);
+    ("dedicated", Organization.Dedicated_servers);
+    ("userlib", Organization.User_library) ]
+
+let transfer_case (label, org) network net_label =
+  Alcotest.test_case (Printf.sprintf "%s over %s" label net_label) `Quick (fun () ->
+      let w = World.create ~network ~org () in
+      let data, received = run_transfer w 50_000 in
+      check (label ^ " length") (String.length data) (String.length received);
+      check_bool (label ^ " content") true (String.equal data received))
+
+(* --- user-library organization specifics ------------------------------- *)
+
+let userlib_world ?(network = World.Ethernet) () =
+  World.create ~network ~org:Organization.User_library ()
+
+let test_registry_off_data_path () =
+  (* The registry completes exactly one handshake and is not involved
+     per-segment: its stack must see only handshake-era segments. *)
+  let w = userlib_world () in
+  let _, received = run_transfer w 100_000 in
+  check "transfer worked" 100_000 (String.length received);
+  let reg = Option.get (World.registry w 0) in
+  check "one handshake" 1 (Registry.handshakes_completed reg);
+  let reg_stack = Registry.stack reg in
+  let reg_segments = Uln_proto.Tcp.segments_in reg_stack.Uln_proto.Stack.tcp in
+  (* ~69 data segments flowed; the registry saw only the SYN-ACK. *)
+  check_bool "registry bypassed on data path" true (reg_segments < 5)
+
+let test_userlib_demux_isolation_two_apps () =
+  (* Two applications on the same host, two concurrent connections:
+     each stream must arrive intact at its own application. *)
+  let w = userlib_world () in
+  let server1 = World.app w ~host:1 "srv1" in
+  let server2 = World.app w ~host:1 "srv2" in
+  let client1 = World.app w ~host:0 "cli1" in
+  let client2 = World.app w ~host:0 "cli2" in
+  let got1 = ref "" and got2 = ref "" in
+  let serve app port dst =
+    Sched.spawn (World.sched w) ~name:"srv" (fun () ->
+        let l = app.Sockets.listen ~port in
+        let c = l.Sockets.accept () in
+        let buf = Buffer.create 1024 in
+        let rec drain () =
+          match c.Sockets.recv ~max:65536 with
+          | None -> ()
+          | Some v ->
+              Buffer.add_string buf (View.to_string v);
+              drain ()
+        in
+        drain ();
+        dst := Buffer.contents buf;
+        c.Sockets.close ())
+  in
+  serve server1 81 got1;
+  serve server2 82 got2;
+  let send_from app port tag =
+    Sched.spawn (World.sched w) ~name:"cli" (fun () ->
+        match app.Sockets.connect ~src_port:0 ~dst:(World.host_ip w 1) ~dst_port:port with
+        | Error e -> failwith e
+        | Ok c ->
+            for i = 0 to 49 do
+              c.Sockets.send (View.of_string (Printf.sprintf "%s-%03d|" tag i))
+            done;
+            c.Sockets.close ())
+  in
+  send_from client1 81 "one";
+  send_from client2 82 "two";
+  Sched.run (World.sched w);
+  check "stream one complete" (50 * 8) (String.length !got1);
+  check "stream two complete" (50 * 8) (String.length !got2);
+  check_bool "stream one untainted" true (String.sub !got1 0 4 = "one-");
+  check_bool "stream two untainted" true (String.sub !got2 0 4 = "two-");
+  let netio1 = Option.get (World.netio w 1) in
+  check "no cross-delivery rejects" 0 (Netio.sends_rejected netio1)
+
+let test_channel_creation_requires_privilege () =
+  let w = userlib_world () in
+  let netio = Option.get (World.netio w 0) in
+  let intruder = Uln_host.Machine.new_user_domain (World.machine w 0) "intruder" in
+  Sched.block_on (World.sched w) (fun () ->
+      check_bool "unprivileged create rejected" true
+        (try
+           ignore (Netio.create_channel netio ~caller:intruder ~owner:intruder ~use_bqi:false);
+           false
+         with Capability.Violation _ -> true))
+
+let test_template_blocks_forged_send () =
+  (* A (privileged, for setup) channel constrained to one connection;
+     sending a packet with different ports through it must be refused
+     by the template check. *)
+  let w = userlib_world () in
+  let netio = Option.get (World.netio w 0) in
+  let reg = Option.get (World.registry w 0) in
+  let dom = Registry.domain reg in
+  Sched.block_on (World.sched w) (fun () ->
+      let ch = Netio.create_channel netio ~caller:dom ~owner:dom ~use_bqi:false in
+      let src_ip = World.host_ip w 0 and dst_ip = World.host_ip w 1 in
+      Netio.activate netio ~caller:dom ch
+        ~filter:(Program.tcp_conn ~src_ip:dst_ip ~dst_ip:src_ip ~src_port:99 ~dst_port:42)
+        ~template:(Template.tcp_conn ~src_ip ~dst_ip ~src_port:42 ~dst_port:99 ());
+      (* Forge a segment from port 5555 (impersonating another conn). *)
+      let seg =
+        Uln_proto.Tcp_wire.encode ~src_ip ~dst_ip
+          { Uln_proto.Tcp_wire.src_port = 5555;
+            dst_port = 99;
+            seq = 0;
+            ack = 0;
+            flags = Uln_proto.Tcp_wire.no_flags;
+            wnd = 0;
+            mss = None;
+            payload = Mbuf.empty }
+      in
+      let ip_hdr = View.create 20 in
+      View.set_uint8 ip_hdr 0 0x45;
+      View.set_uint16 ip_hdr 2 (20 + Mbuf.length seg);
+      View.set_uint8 ip_hdr 8 64;
+      View.set_uint8 ip_hdr 9 6;
+      View.set_uint32 ip_hdr 12 (Ip.to_int32 src_ip);
+      View.set_uint32 ip_hdr 16 (Ip.to_int32 dst_ip);
+      View.set_uint16 ip_hdr 10 (Uln_proto.Checksum.of_view ip_hdr);
+      let frame =
+        Frame.make
+          ~src:(World.nic w 0).Uln_net.Nic.mac
+          ~dst:(World.nic w 1).Uln_net.Nic.mac
+          ~ethertype:Frame.ethertype_ip
+          (Mbuf.prepend ip_hdr seg)
+      in
+      check_bool "forged send rejected" true
+        (try
+           Netio.send netio ch ~from_domain:dom frame;
+           false
+         with Netio.Send_rejected _ -> true);
+      check "reject counted" 1 (Netio.sends_rejected netio))
+
+let test_rx_pop_requires_mapping () =
+  let w = userlib_world () in
+  let netio = Option.get (World.netio w 0) in
+  let reg = Option.get (World.registry w 0) in
+  let dom = Registry.domain reg in
+  let other = Uln_host.Machine.new_user_domain (World.machine w 0) "other" in
+  Sched.block_on (World.sched w) (fun () ->
+      let ch = Netio.create_channel netio ~caller:dom ~owner:dom ~use_bqi:false in
+      check_bool "foreign rx_pop rejected" true
+        (try
+           ignore (Netio.rx_pop ch ~from_domain:other);
+           false
+         with Capability.Violation _ -> true))
+
+let test_graceful_exit_inherits_connection () =
+  (* Client app exits with the connection still ESTABLISHED; the
+     registry inherits it and closes it properly, so the server sees a
+     clean EOF, not a reset. *)
+  let w = userlib_world () in
+  let server_app = World.app w ~host:1 "server" in
+  let client_app = World.app w ~host:0 "client" in
+  let outcome = ref `Pending in
+  Sched.spawn (World.sched w) ~name:"server" (fun () ->
+      let l = server_app.Sockets.listen ~port:80 in
+      let c = l.Sockets.accept () in
+      (try
+         let rec drain () =
+           match c.Sockets.recv ~max:4096 with Some _ -> drain () | None -> outcome := `Eof
+         in
+         drain ()
+       with Uln_proto.Tcp.Connection_error _ -> outcome := `Reset);
+      c.Sockets.close ());
+  Sched.block_on (World.sched w) (fun () ->
+      match client_app.Sockets.connect ~src_port:0 ~dst:(World.host_ip w 1) ~dst_port:80 with
+      | Error e -> failwith e
+      | Ok conn ->
+          conn.Sockets.send (View.of_string "some data then vanish");
+          Sched.sleep (World.sched w) (Time.ms 200);
+          client_app.Sockets.exit_app ~graceful:true);
+  Sched.run (World.sched w);
+  check_bool "server saw clean EOF" true (!outcome = `Eof);
+  let reg = Option.get (World.registry w 0) in
+  check "registry inherited it" 1 (Registry.inherited_connections reg)
+
+let test_abnormal_exit_resets_peer () =
+  let w = userlib_world () in
+  let server_app = World.app w ~host:1 "server" in
+  let client_app = World.app w ~host:0 "client" in
+  let outcome = ref `Pending in
+  Sched.spawn (World.sched w) ~name:"server" (fun () ->
+      let l = server_app.Sockets.listen ~port:80 in
+      let c = l.Sockets.accept () in
+      try
+        let rec drain () =
+          match c.Sockets.recv ~max:4096 with Some _ -> drain () | None -> outcome := `Eof
+        in
+        drain ()
+      with Uln_proto.Tcp.Connection_error _ -> outcome := `Reset);
+  Sched.block_on (World.sched w) (fun () ->
+      match client_app.Sockets.connect ~src_port:0 ~dst:(World.host_ip w 1) ~dst_port:80 with
+      | Error e -> failwith e
+      | Ok conn ->
+          conn.Sockets.send (View.of_string "about to crash");
+          Sched.sleep (World.sched w) (Time.ms 200);
+          client_app.Sockets.exit_app ~graceful:false);
+  Sched.run (World.sched w);
+  check_bool "server saw reset" true (!outcome = `Reset)
+
+let test_ports_released_after_close () =
+  let w = userlib_world () in
+  let reg0 = Option.get (World.registry w 0) in
+  let _, received = run_transfer w 5_000 in
+  check "transferred" 5_000 (String.length received);
+  (* After TIME_WAIT expires the library releases the port. *)
+  check "client ports free" 0 (Registry.ports_in_use reg0)
+
+let test_an1_uses_hardware_demux () =
+  let w = userlib_world ~network:World.An1 () in
+  let _, received = run_transfer w 50_000 in
+  check "transfer over AN1" 50_000 (String.length received);
+  let netio1 = Option.get (World.netio w 1) in
+  check_bool "BQI path used for data" true (Netio.hw_demuxed netio1 > 20);
+  check_bool "software path only for setup-era traffic" true
+    (Netio.sw_demuxed netio1 < Netio.hw_demuxed netio1)
+
+let test_ethernet_uses_software_demux () =
+  let w = userlib_world ~network:World.Ethernet () in
+  let _, _ = run_transfer w 20_000 in
+  let netio1 = Option.get (World.netio w 1) in
+  check "no hardware path on LANCE" 0 (Netio.hw_demuxed netio1);
+  check_bool "software path used" true (Netio.sw_demuxed netio1 > 10)
+
+let test_compiled_demux_mode_works () =
+  let w =
+    World.create ~network:World.Ethernet ~org:Organization.User_library
+      ~demux_mode:Uln_filter.Demux.Compiled ()
+  in
+  let data, received = run_transfer w 30_000 in
+  check_bool "transfer with compiled filters" true (String.equal data received)
+
+let test_organization_descriptions () =
+  List.iter
+    (fun org ->
+      let s = Format.asprintf "%a" Organization.describe org in
+      check_bool (Organization.name org ^ " described") true (String.length s > 40))
+    Organization.all;
+  let fig2 = Format.asprintf "%a" Organization.describe_userlib () in
+  check_bool "figure 2" true (String.length fig2 > 200)
+
+(* --- UDP across organizations (paper SS5: connectionless binding) ------ *)
+
+let udp_roundtrip_case (label, org) =
+  Alcotest.test_case (label ^ " udp roundtrip") `Quick (fun () ->
+      let w = World.create ~network:World.Ethernet ~org () in
+      let server = World.app w ~host:1 "udp-server" in
+      let client = World.app w ~host:0 "udp-client" in
+      let got = ref "" in
+      Sched.spawn (World.sched w) ~name:"udp-server" (fun () ->
+          let ep = server.Sockets.udp_bind ~port:53 in
+          let src, src_port, data = ep.Sockets.recv_from () in
+          got := View.to_string data;
+          ep.Sockets.sendto ~dst:src ~dst_port:src_port (View.of_string "reply");
+          ep.Sockets.udp_close ());
+      let answer =
+        Sched.block_on (World.sched w) (fun () ->
+            let ep = client.Sockets.udp_bind ~port:5353 in
+            ep.Sockets.sendto ~dst:(World.host_ip w 1) ~dst_port:53 (View.of_string "query");
+            let _, _, data = ep.Sockets.recv_from () in
+            ep.Sockets.udp_close ();
+            View.to_string data)
+      in
+      Alcotest.(check string) "server got query" "query" !got;
+      Alcotest.(check string) "client got reply" "reply" answer)
+
+let test_udp_userlib_port_collision () =
+  let w = userlib_world () in
+  let a = World.app w ~host:0 "a" in
+  let b = World.app w ~host:0 "b" in
+  Sched.block_on (World.sched w) (fun () ->
+      let ep = a.Sockets.udp_bind ~port:1000 in
+      check_bool "second bind rejected" true
+        (try
+           ignore (b.Sockets.udp_bind ~port:1000);
+           false
+         with Failure _ -> true);
+      ep.Sockets.udp_close ();
+      (* After release the port is available again. *)
+      let ep2 = b.Sockets.udp_bind ~port:1000 in
+      ep2.Sockets.udp_close ())
+
+let test_udp_userlib_bypasses_registry () =
+  let w = userlib_world () in
+  let server = World.app w ~host:1 "srv" in
+  let client = World.app w ~host:0 "cli" in
+  Sched.spawn (World.sched w) ~name:"srv" (fun () ->
+      let ep = server.Sockets.udp_bind ~port:9 in
+      for _ = 1 to 20 do
+        let src, src_port, _ = ep.Sockets.recv_from () in
+        ep.Sockets.sendto ~dst:src ~dst_port:src_port (View.of_string "pong")
+      done;
+      ep.Sockets.udp_close ());
+  Sched.block_on (World.sched w) (fun () ->
+      let ep = client.Sockets.udp_bind ~port:10 in
+      for _ = 1 to 20 do
+        ep.Sockets.sendto ~dst:(World.host_ip w 1) ~dst_port:9 (View.of_string "ping");
+        ignore (ep.Sockets.recv_from ())
+      done;
+      ep.Sockets.udp_close ());
+  (* The registry saw binding traffic only, none of the 40 datagrams. *)
+  let reg = Option.get (World.registry w 1) in
+  let reg_stack = Registry.stack reg in
+  check "no datagrams at registry" 0
+    (Uln_proto.Udp.datagrams_in reg_stack.Uln_proto.Stack.udp)
+
+(* --- connection passing (inetd pattern, paper SS3.2) ------------------- *)
+
+let test_pass_connection_between_apps () =
+  let w = userlib_world () in
+  let inetd = Option.get (World.library w ~host:1 "inetd") in
+  let worker = Option.get (World.library w ~host:1 "worker") in
+  let client = World.app w ~host:0 "client" in
+  let reg1 = Option.get (World.registry w 1) in
+  Sched.spawn (World.sched w) ~name:"inetd" (fun () ->
+      let inetd_app = Uln_core.Protolib.app inetd in
+      let l = inetd_app.Sockets.listen ~port:23 in
+      let conn = l.Sockets.accept () in
+      (* Hand the accepted connection to the worker application without
+         touching the registry. *)
+      let handshakes_before = Registry.handshakes_completed reg1 in
+      let conn' = Uln_core.Protolib.pass_connection inetd conn ~to_lib:worker in
+      check "no new registry work" handshakes_before (Registry.handshakes_completed reg1);
+      check_bool "old handle unusable" true
+        (try
+           conn.Sockets.send (View.of_string "x");
+           false
+         with Uln_proto.Tcp.Connection_error _ -> true);
+      (* The worker serves the session. *)
+      (match conn'.Sockets.recv ~max:64 with
+      | Some v -> conn'.Sockets.send (View.of_string ("worker echoes: " ^ View.to_string v))
+      | None -> ());
+      conn'.Sockets.close ());
+  let reply =
+    Sched.block_on (World.sched w) (fun () ->
+        match client.Sockets.connect ~src_port:0 ~dst:(World.host_ip w 1) ~dst_port:23 with
+        | Error e -> failwith e
+        | Ok conn ->
+            (* Give the handoff a moment before sending. *)
+            Sched.sleep (World.sched w) (Time.ms 100);
+            conn.Sockets.send (View.of_string "hello");
+            let r = match conn.Sockets.recv ~max:128 with Some v -> View.to_string v | None -> "" in
+            conn.Sockets.close ();
+            conn.Sockets.await_closed ();
+            r)
+  in
+  Alcotest.(check string) "stream survives the handoff" "worker echoes: hello" reply
+
+let test_pass_connection_requires_ownership () =
+  let w = userlib_world () in
+  let lib_a = Option.get (World.library w ~host:0 "a") in
+  let lib_b = Option.get (World.library w ~host:0 "b") in
+  let server = World.app w ~host:1 "server" in
+  Sched.spawn (World.sched w) ~name:"server" (fun () ->
+      let l = server.Sockets.listen ~port:80 in
+      let c = l.Sockets.accept () in
+      (match c.Sockets.recv ~max:16 with _ -> ());
+      c.Sockets.close ());
+  Sched.block_on (World.sched w) (fun () ->
+      let a_app = Uln_core.Protolib.app lib_a in
+      match a_app.Sockets.connect ~src_port:0 ~dst:(World.host_ip w 1) ~dst_port:80 with
+      | Error e -> failwith e
+      | Ok conn ->
+          check_bool "foreign library cannot pass it" true
+            (try
+               ignore (Uln_core.Protolib.pass_connection lib_b conn ~to_lib:lib_a);
+               false
+             with Failure _ -> true);
+          conn.Sockets.close ())
+
+let () =
+  Alcotest.run "core"
+    [ ( "transfer-ethernet",
+        List.map (fun o -> transfer_case o World.Ethernet "ethernet") orgs_to_test );
+      ( "transfer-an1",
+        List.map (fun o -> transfer_case o World.An1 "an1") orgs_to_test );
+      ( "userlib",
+        [ Alcotest.test_case "registry off data path" `Quick test_registry_off_data_path;
+          Alcotest.test_case "two-app isolation" `Quick test_userlib_demux_isolation_two_apps;
+          Alcotest.test_case "ports released" `Quick test_ports_released_after_close;
+          Alcotest.test_case "an1 hardware demux" `Quick test_an1_uses_hardware_demux;
+          Alcotest.test_case "ethernet software demux" `Quick test_ethernet_uses_software_demux;
+          Alcotest.test_case "compiled filters" `Quick test_compiled_demux_mode_works ] );
+      ( "protection",
+        [ Alcotest.test_case "privileged channel creation" `Quick
+            test_channel_creation_requires_privilege;
+          Alcotest.test_case "template blocks forging" `Quick test_template_blocks_forged_send;
+          Alcotest.test_case "rx mapping required" `Quick test_rx_pop_requires_mapping ] );
+      ( "inheritance",
+        [ Alcotest.test_case "graceful exit" `Quick test_graceful_exit_inherits_connection;
+          Alcotest.test_case "abnormal exit resets" `Quick test_abnormal_exit_resets_peer ] );
+      ("udp", List.map udp_roundtrip_case orgs_to_test
+              @ [ Alcotest.test_case "userlib port collision" `Quick
+                    test_udp_userlib_port_collision;
+                  Alcotest.test_case "userlib bypasses registry" `Quick
+                    test_udp_userlib_bypasses_registry ]);
+      ( "handoff",
+        [ Alcotest.test_case "pass between apps" `Quick test_pass_connection_between_apps;
+          Alcotest.test_case "requires ownership" `Quick test_pass_connection_requires_ownership ] );
+      ( "figures",
+        [ Alcotest.test_case "descriptions" `Quick test_organization_descriptions ] ) ]

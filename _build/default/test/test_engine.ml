@@ -1,0 +1,365 @@
+module Sched = Uln_engine.Sched
+module Time = Uln_engine.Time
+module Semaphore = Uln_engine.Semaphore
+module Mailbox = Uln_engine.Mailbox
+module Timer_wheel = Uln_engine.Timer_wheel
+module Timers = Uln_engine.Timers
+module Rng = Uln_engine.Rng
+module Stats = Uln_engine.Stats
+module Pheap = Uln_engine.Pheap
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- time ----------------------------------------------------------- *)
+
+let test_time_units () =
+  check "us" 1_000 (Time.us 1);
+  check "ms" 1_000_000 (Time.ms 1);
+  check "sec" 1_000_000_000 (Time.sec 1);
+  check "add" 1_500 (Time.to_ns (Time.add (Time.of_ns 500) (Time.us 1)));
+  check "diff" (-500) (Time.diff (Time.of_ns 500) (Time.of_ns 1000));
+  Alcotest.(check (float 1e-9)) "to_ms" 1.5 (Time.to_ms_f (Time.of_us_f 1500.))
+
+let test_time_round_trip () =
+  Alcotest.(check (float 1e-6)) "us round trip" 123.456 (Time.to_us_f (Time.of_us_f 123.456))
+
+(* --- pairing heap ---------------------------------------------------- *)
+
+let test_pheap_order () =
+  let h = Pheap.create () in
+  let seq = ref 0 in
+  let insert k v =
+    incr seq;
+    Pheap.insert h ~key:k ~seq:!seq v
+  in
+  List.iter (fun k -> insert k k) [ 5; 3; 8; 1; 9; 2; 7 ];
+  let out = ref [] in
+  let rec drain () =
+    match Pheap.pop h with
+    | None -> ()
+    | Some (_, v) ->
+        out := v :: !out;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ] (List.rev !out)
+
+let test_pheap_fifo_ties () =
+  let h = Pheap.create () in
+  Pheap.insert h ~key:7 ~seq:1 "first";
+  Pheap.insert h ~key:7 ~seq:2 "second";
+  Pheap.insert h ~key:7 ~seq:3 "third";
+  let next () = match Pheap.pop h with Some (_, v) -> v | None -> "none" in
+  let p1 = next () in
+  let p2 = next () in
+  let p3 = next () in
+  Alcotest.(check (list string)) "fifo" [ "first"; "second"; "third" ] [ p1; p2; p3 ]
+
+let prop_pheap_sorts =
+  QCheck.Test.make ~name:"pheap pops in sorted order" ~count:200
+    QCheck.(list small_int)
+    (fun keys ->
+      let h = Pheap.create () in
+      List.iteri (fun i k -> Pheap.insert h ~key:k ~seq:i k) keys;
+      let rec drain acc =
+        match Pheap.pop h with None -> List.rev acc | Some (_, v) -> drain (v :: acc)
+      in
+      drain [] = List.sort compare keys)
+
+(* --- scheduler -------------------------------------------------------- *)
+
+let test_event_order () =
+  let s = Sched.create () in
+  let log = ref [] in
+  Sched.at s (Time.of_ns 300) (fun () -> log := 3 :: !log);
+  Sched.at s (Time.of_ns 100) (fun () -> log := 1 :: !log);
+  Sched.at s (Time.of_ns 200) (fun () -> log := 2 :: !log);
+  Sched.run s;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_clock_advances () =
+  let s = Sched.create () in
+  let seen = ref Time.zero in
+  Sched.after s (Time.ms 5) (fun () -> seen := Sched.now s);
+  Sched.run s;
+  check "clock" (Time.to_ns (Time.of_ns 5_000_000)) (Time.to_ns !seen)
+
+let test_thread_sleep () =
+  let s = Sched.create () in
+  let result =
+    Sched.block_on s (fun () ->
+        Sched.sleep s (Time.ms 10);
+        Time.to_ns (Sched.now s))
+  in
+  check "slept" 10_000_000 result
+
+let test_spawn_interleaving () =
+  let s = Sched.create () in
+  let log = ref [] in
+  Sched.spawn s (fun () ->
+      Sched.sleep s (Time.ms 2);
+      log := "b" :: !log);
+  Sched.spawn s (fun () ->
+      Sched.sleep s (Time.ms 1);
+      log := "a" :: !log);
+  Sched.run s;
+  Alcotest.(check (list string)) "by wakeup time" [ "a"; "b" ] (List.rev !log)
+
+let test_thread_exception_propagates () =
+  let s = Sched.create () in
+  Sched.spawn s ~name:"bad" (fun () -> failwith "boom");
+  let raised =
+    try
+      Sched.run s;
+      None
+    with Failure msg -> Some msg
+  in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  match raised with
+  | Some msg ->
+      check_bool "names thread" true (contains msg "bad");
+      check_bool "names cause" true (contains msg "boom")
+  | None -> Alcotest.fail "expected the thread failure to propagate"
+
+let test_run_until () =
+  let s = Sched.create () in
+  let fired = ref 0 in
+  Sched.at s (Time.of_ns (Time.ms 1)) (fun () -> incr fired);
+  Sched.at s (Time.of_ns (Time.ms 10)) (fun () -> incr fired);
+  Sched.run_until s (Time.of_ns (Time.ms 5));
+  check "only first" 1 !fired;
+  check "one pending" 1 (Sched.pending_events s)
+
+let test_block_on_deadlock () =
+  let s = Sched.create () in
+  let sem = Semaphore.create () in
+  Alcotest.check_raises "deadlock"
+    (Sched.Deadlock "block_on: simulation quiesced before completion") (fun () ->
+      Sched.block_on s (fun () -> Semaphore.wait sem))
+
+(* --- semaphore --------------------------------------------------------- *)
+
+let test_semaphore_counts () =
+  let s = Sched.create () in
+  let sem = Semaphore.create () in
+  Semaphore.signal sem;
+  Semaphore.signal sem;
+  let got =
+    Sched.block_on s (fun () ->
+        Semaphore.wait sem;
+        Semaphore.wait sem;
+        Semaphore.count sem)
+  in
+  check "drained" 0 got
+
+let test_semaphore_blocks_and_wakes () =
+  let s = Sched.create () in
+  let sem = Semaphore.create () in
+  let woke_at = ref Time.zero in
+  Sched.spawn s (fun () ->
+      Semaphore.wait sem;
+      woke_at := Sched.now s);
+  Sched.after s (Time.ms 3) (fun () -> Semaphore.signal sem);
+  Sched.run s;
+  check "woken at signal time" (Time.ms 3) (Time.to_ns !woke_at)
+
+let test_semaphore_fifo () =
+  let s = Sched.create () in
+  let sem = Semaphore.create () in
+  let log = ref [] in
+  Sched.spawn s (fun () ->
+      Semaphore.wait sem;
+      log := 1 :: !log);
+  Sched.spawn s (fun () ->
+      Semaphore.wait sem;
+      log := 2 :: !log);
+  Sched.after s (Time.ms 1) (fun () ->
+      Semaphore.signal sem;
+      Semaphore.signal sem);
+  Sched.run s;
+  Alcotest.(check (list int)) "fifo wakeups" [ 1; 2 ] (List.rev !log)
+
+let test_try_wait () =
+  let sem = Semaphore.create ~initial:1 () in
+  check_bool "first" true (Semaphore.try_wait sem);
+  check_bool "second" false (Semaphore.try_wait sem)
+
+(* --- mailbox ------------------------------------------------------------ *)
+
+let test_mailbox_order () =
+  let s = Sched.create () in
+  let box = Mailbox.create () in
+  Mailbox.send box 1;
+  Mailbox.send box 2;
+  let got =
+    Sched.block_on s (fun () ->
+        let first = Mailbox.recv box in
+        let second = Mailbox.recv box in
+        (first, second))
+  in
+  Alcotest.(check (pair int int)) "fifo" (1, 2) got
+
+let test_mailbox_blocking_recv () =
+  let s = Sched.create () in
+  let box = Mailbox.create () in
+  Sched.after s (Time.ms 2) (fun () -> Mailbox.send box 42);
+  let got = Sched.block_on s (fun () -> Mailbox.recv box) in
+  check "value" 42 got
+
+(* --- timer wheel --------------------------------------------------------- *)
+
+let test_wheel_fires_in_order () =
+  let w = Timer_wheel.create ~granularity:(Time.ms 1) () in
+  let log = ref [] in
+  ignore (Timer_wheel.schedule w ~after:(Time.ms 5) (fun () -> log := 5 :: !log));
+  ignore (Timer_wheel.schedule w ~after:(Time.ms 2) (fun () -> log := 2 :: !log));
+  ignore (Timer_wheel.schedule w ~after:(Time.ms 9) (fun () -> log := 9 :: !log));
+  Timer_wheel.advance_to w (Time.of_ns (Time.ms 20));
+  Alcotest.(check (list int)) "order" [ 2; 5; 9 ] (List.rev !log)
+
+let test_wheel_cancel () =
+  let w = Timer_wheel.create ~granularity:(Time.ms 1) () in
+  let fired = ref false in
+  let h = Timer_wheel.schedule w ~after:(Time.ms 3) (fun () -> fired := true) in
+  Timer_wheel.cancel h;
+  Timer_wheel.advance_to w (Time.of_ns (Time.ms 10));
+  check_bool "cancelled" false !fired
+
+let test_wheel_long_delay_cascades () =
+  (* A delay of > 256 ticks must land on a higher wheel level and still
+     fire at the right tick. *)
+  let w = Timer_wheel.create ~granularity:(Time.ms 1) () in
+  let fired_at = ref (-1) in
+  ignore
+    (Timer_wheel.schedule w ~after:(Time.ms 1000) (fun () -> fired_at := Timer_wheel.current_tick w));
+  Timer_wheel.advance_to w (Time.of_ns (Time.ms 999));
+  check "not yet" (-1) !fired_at;
+  Timer_wheel.advance_to w (Time.of_ns (Time.ms 1005));
+  check "fired at tick 1000" 1000 !fired_at
+
+let prop_wheel_never_early =
+  QCheck.Test.make ~name:"wheel never fires early, never loses timers" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 30) (1 -- 5000))
+    (fun delays ->
+      let w = Timer_wheel.create ~granularity:(Time.ms 1) () in
+      let fired = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun d ->
+          ignore
+            (Timer_wheel.schedule w ~after:(Time.ms d) (fun () ->
+                 incr fired;
+                 if Timer_wheel.current_tick w < d then ok := false)))
+        delays;
+      Timer_wheel.advance_to w (Time.of_ns (Time.ms 6000));
+      !ok && !fired = List.length delays)
+
+let test_timers_service () =
+  let s = Sched.create () in
+  let svc = Timers.create s ~granularity:(Time.ms 10) in
+  let fired_at = ref Time.zero in
+  Sched.spawn s (fun () ->
+      ignore (Timers.arm svc (Time.ms 25) (fun () -> fired_at := Sched.now s)));
+  Sched.run s;
+  (* Rounded up to tick 3 = 30 ms. *)
+  check "fired at 30ms" (Time.ms 30) (Time.to_ns !fired_at)
+
+(* --- rng ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 in
+  let b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Rng.next_int64 a = Rng.next_int64 b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:11 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    check_bool "in range" true (v >= 0 && v < 10)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:3 in
+  let b = Rng.split a in
+  check_bool "different streams" true (Rng.next_int64 a <> Rng.next_int64 b)
+
+let prop_rng_float_range =
+  QCheck.Test.make ~name:"rng float stays in range" ~count:200 QCheck.(1 -- 1000)
+    (fun seed ->
+      let r = Rng.create ~seed in
+      let v = Rng.float r 5.0 in
+      v >= 0.0 && v < 5.0)
+
+(* --- stats ------------------------------------------------------------------ *)
+
+let test_counter () =
+  let c = Stats.Counter.create "c" in
+  Stats.Counter.incr c;
+  Stats.Counter.add c 4;
+  check "value" 5 (Stats.Counter.value c);
+  Stats.Counter.reset c;
+  check "reset" 0 (Stats.Counter.value c)
+
+let test_dist () =
+  let d = Stats.Dist.create "d" in
+  List.iter (Stats.Dist.record d) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.Dist.mean d);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.Dist.min d);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats.Dist.max d);
+  check "count" 4 (Stats.Dist.count d);
+  Alcotest.(check (float 1e-6)) "stddev" 1.2909944 (Stats.Dist.stddev d)
+
+let test_meter_rate () =
+  let m = Stats.Meter.create "m" in
+  Stats.Meter.mark m Time.zero 0;
+  Stats.Meter.mark m (Time.of_ns (Time.sec 1)) 1_000_000;
+  Alcotest.(check (float 1.)) "8 Mb/s" 8.0 (Stats.Meter.megabits_per_sec m)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "engine"
+    [ ( "time",
+        [ Alcotest.test_case "units" `Quick test_time_units;
+          Alcotest.test_case "round trip" `Quick test_time_round_trip ] );
+      ( "pheap",
+        [ Alcotest.test_case "sorted pops" `Quick test_pheap_order;
+          Alcotest.test_case "fifo ties" `Quick test_pheap_fifo_ties;
+          qc prop_pheap_sorts ] );
+      ( "sched",
+        [ Alcotest.test_case "event order" `Quick test_event_order;
+          Alcotest.test_case "clock advances" `Quick test_clock_advances;
+          Alcotest.test_case "thread sleep" `Quick test_thread_sleep;
+          Alcotest.test_case "spawn interleaving" `Quick test_spawn_interleaving;
+          Alcotest.test_case "thread exception" `Quick test_thread_exception_propagates;
+          Alcotest.test_case "run_until" `Quick test_run_until;
+          Alcotest.test_case "block_on deadlock" `Quick test_block_on_deadlock ] );
+      ( "semaphore",
+        [ Alcotest.test_case "counts" `Quick test_semaphore_counts;
+          Alcotest.test_case "blocks and wakes" `Quick test_semaphore_blocks_and_wakes;
+          Alcotest.test_case "fifo" `Quick test_semaphore_fifo;
+          Alcotest.test_case "try_wait" `Quick test_try_wait ] );
+      ( "mailbox",
+        [ Alcotest.test_case "order" `Quick test_mailbox_order;
+          Alcotest.test_case "blocking recv" `Quick test_mailbox_blocking_recv ] );
+      ( "timers",
+        [ Alcotest.test_case "wheel order" `Quick test_wheel_fires_in_order;
+          Alcotest.test_case "wheel cancel" `Quick test_wheel_cancel;
+          Alcotest.test_case "wheel cascade" `Quick test_wheel_long_delay_cascades;
+          qc prop_wheel_never_early;
+          Alcotest.test_case "timer service" `Quick test_timers_service ] );
+      ( "rng",
+        [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          qc prop_rng_float_range ] );
+      ( "stats",
+        [ Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "dist" `Quick test_dist;
+          Alcotest.test_case "meter" `Quick test_meter_rate ] ) ]

@@ -1,0 +1,271 @@
+module View = Uln_buf.View
+module Ip = Uln_addr.Ip
+module Insn = Uln_filter.Insn
+module Program = Uln_filter.Program
+module Interp = Uln_filter.Interp
+module Compile = Uln_filter.Compile
+module Template = Uln_filter.Template
+module Demux = Uln_filter.Demux
+
+let check_bool = Alcotest.(check bool)
+let check = Alcotest.(check int)
+
+(* Build the wire image of an Ethernet+IP+TCP packet, enough for the
+   standard filters: we only fill the fields the filters inspect. *)
+let fake_tcp_packet ~src_ip ~dst_ip ~src_port ~dst_port =
+  let v = View.create 54 in
+  View.set_uint16 v 12 0x0800;
+  View.set_uint8 v 14 0x45;
+  View.set_uint8 v 23 6;
+  View.set_uint32 v 26 (Ip.to_int32 src_ip);
+  View.set_uint32 v 30 (Ip.to_int32 dst_ip);
+  View.set_uint16 v 34 src_port;
+  View.set_uint16 v 36 dst_port;
+  v
+
+let ip_a = Ip.of_string "10.1.0.1"
+let ip_b = Ip.of_string "10.1.0.2"
+let ip_c = Ip.of_string "10.1.0.3"
+
+(* --- program validation ------------------------------------------------ *)
+
+let test_validation_rejects_underflow () =
+  Alcotest.check_raises "underflow" (Program.Invalid "stack underflow at instruction 0")
+    (fun () -> ignore (Program.of_insns [ Insn.Eq ]))
+
+let test_validation_rejects_empty_result () =
+  let raises f = try f (); false with Program.Invalid _ -> true in
+  check_bool "no result" true (raises (fun () ->
+      ignore (Program.of_insns [ Insn.Push_lit 1; Insn.Cand ])))
+
+let test_validation_rejects_bad_literal () =
+  let raises f = try f (); false with Program.Invalid _ -> true in
+  check_bool "literal" true (raises (fun () -> ignore (Program.of_insns [ Insn.Push_lit 70000 ])))
+
+let test_validation_accepts_standard () =
+  let p = Program.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80 in
+  check_bool "has instructions" true (Program.length p > 10);
+  check_bool "max offset covers ports" true (Program.max_offset p >= 38)
+
+(* --- interpreter --------------------------------------------------------- *)
+
+let test_tcp_filter_matches_own_connection () =
+  let p = Program.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80 in
+  let pkt = fake_tcp_packet ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80 in
+  check_bool "accepts" true (Interp.run p pkt)
+
+let test_tcp_filter_rejects_other_port () =
+  let p = Program.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80 in
+  let pkt = fake_tcp_packet ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1235 ~dst_port:80 in
+  check_bool "rejects" false (Interp.run p pkt)
+
+let test_tcp_filter_rejects_other_host () =
+  let p = Program.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80 in
+  let pkt = fake_tcp_packet ~src_ip:ip_c ~dst_ip:ip_b ~src_port:1234 ~dst_port:80 in
+  check_bool "rejects" false (Interp.run p pkt)
+
+let test_short_packet_rejected () =
+  let p = Program.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80 in
+  check_bool "short" false (Interp.run p (View.create 20))
+
+let test_arp_filter () =
+  let p = Program.arp () in
+  let pkt = View.create 42 in
+  View.set_uint16 pkt 12 0x0806;
+  check_bool "arp" true (Interp.run p pkt);
+  View.set_uint16 pkt 12 0x0800;
+  check_bool "not arp" false (Interp.run p pkt)
+
+let test_arithmetic_insns () =
+  let run insns pkt = Interp.run (Program.of_insns insns) pkt in
+  let pkt = View.create 2 in
+  check_bool "add" true (run [ Insn.Push_lit 2; Insn.Push_lit 3; Insn.Add; Insn.Push_lit 5; Insn.Eq ] pkt);
+  check_bool "sub" true (run [ Insn.Push_lit 9; Insn.Push_lit 4; Insn.Sub; Insn.Push_lit 5; Insn.Eq ] pkt);
+  check_bool "shl" true (run [ Insn.Push_lit 1; Insn.Shl 4; Insn.Push_lit 16; Insn.Eq ] pkt);
+  check_bool "shr" true (run [ Insn.Push_lit 16; Insn.Shr 2; Insn.Push_lit 4; Insn.Eq ] pkt);
+  check_bool "and" true (run [ Insn.Push_lit 0xF0; Insn.Push_lit 0x3C; Insn.And; Insn.Push_lit 0x30; Insn.Eq ] pkt);
+  check_bool "or" true (run [ Insn.Push_lit 0xF0; Insn.Push_lit 0x0F; Insn.Or; Insn.Push_lit 0xFF; Insn.Eq ] pkt);
+  check_bool "lt" true (run [ Insn.Push_lit 3; Insn.Push_lit 5; Insn.Lt ] pkt);
+  check_bool "ge" false (run [ Insn.Push_lit 3; Insn.Push_lit 5; Insn.Ge ] pkt)
+
+let test_cor_short_circuit () =
+  (* Cor accepts immediately: the OOB load after it must not matter. *)
+  let p = Program.of_insns [ Insn.Push_lit 1; Insn.Cor; Insn.Push_word 1000 ] in
+  check_bool "accepted early" true (Interp.run p (View.create 4))
+
+(* --- compiled form ---------------------------------------------------------- *)
+
+let gen_insns =
+  (* Random but valid programs: track stack depth during generation. *)
+  let open QCheck.Gen in
+  let rec build depth acc n =
+    if n = 0 then
+      if depth >= 1 then return (List.rev acc)
+      else build depth acc 1
+    else
+      let pushes =
+        [ (1, map (fun v -> Insn.Push_lit (abs v mod 65536)) small_int);
+          (1, map (fun o -> Insn.Push_word (abs o mod 64)) small_int);
+          (1, map (fun o -> Insn.Push_byte (abs o mod 64)) small_int) ]
+      in
+      let binops =
+        [ Insn.Eq; Insn.Ne; Insn.Lt; Insn.Le; Insn.Gt; Insn.Ge; Insn.And; Insn.Or; Insn.Xor;
+          Insn.Add; Insn.Sub ]
+      in
+      let choices =
+        if depth >= 2 then
+          (3, map (fun i -> List.nth binops (abs i mod List.length binops)) small_int)
+          :: (1, map (fun s -> Insn.Shl (abs s mod 16)) small_int)
+          :: pushes
+        else if depth >= 1 then (1, map (fun s -> Insn.Shr (abs s mod 16)) small_int) :: pushes
+        else pushes
+      in
+      frequency choices >>= fun insn ->
+      let pops, push = Insn.stack_effect insn in
+      build (depth - pops + push) (insn :: acc) (n - 1)
+  in
+  small_int >>= fun n -> build 0 [] (1 + (abs n mod 20))
+
+let prop_compiled_equals_interpreted =
+  QCheck.Test.make ~name:"compiled filter = interpreter on random programs/packets" ~count:300
+    (QCheck.make
+       (QCheck.Gen.pair gen_insns (QCheck.Gen.string_size ~gen:QCheck.Gen.char (QCheck.Gen.( -- ) 0 80))))
+    (fun (insns, pkt_str) ->
+      match Program.of_insns insns with
+      | exception Program.Invalid _ -> QCheck.assume_fail ()
+      | p ->
+          let pkt = View.of_string pkt_str in
+          Compile.compile p pkt = Interp.run p pkt)
+
+let test_compiled_cheaper () =
+  let p = Program.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80 in
+  check_bool "compiled cost < interp cost" true
+    (Program.compiled_cycles p < Program.interp_cycles p)
+
+(* --- templates ----------------------------------------------------------------- *)
+
+let test_template_accepts_own_header () =
+  let t = Template.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80 () in
+  let pkt = fake_tcp_packet ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80 in
+  check_bool "own packet" true (Template.matches t pkt)
+
+let test_template_blocks_impersonation () =
+  let t = Template.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80 () in
+  (* Forged source port — pretending to be another connection. *)
+  let forged = fake_tcp_packet ~src_ip:ip_a ~dst_ip:ip_b ~src_port:999 ~dst_port:80 in
+  check_bool "forged port" false (Template.matches t forged);
+  (* Forged destination. *)
+  let forged2 = fake_tcp_packet ~src_ip:ip_a ~dst_ip:ip_c ~src_port:1234 ~dst_port:80 in
+  check_bool "forged dst" false (Template.matches t forged2)
+
+let test_template_short_packet () =
+  let t = Template.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80 () in
+  check_bool "short" false (Template.matches t (View.create 10))
+
+let test_template_carries_bqi () =
+  let t = Template.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1 ~dst_port:2 ~bqi:7 () in
+  check "bqi" 7 (Template.bqi t)
+
+(* --- demux table ------------------------------------------------------------------ *)
+
+let test_demux_dispatches_first_match () =
+  let d = Demux.create ~mode:Demux.Interpreted () in
+  ignore (Demux.install d (Program.ip_proto 6) "any-tcp");
+  ignore
+    (Demux.install d
+       (Program.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80)
+       "conn");
+  let pkt = fake_tcp_packet ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80 in
+  let ep, cost = Demux.dispatch d pkt in
+  Alcotest.(check (option string)) "specific entry wins (most recent first)" (Some "conn") ep;
+  check_bool "cost accounted" true (cost > 0)
+
+let test_demux_falls_through () =
+  let d = Demux.create ~mode:Demux.Compiled () in
+  ignore
+    (Demux.install d
+       (Program.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80)
+       "conn");
+  let pkt = fake_tcp_packet ~src_ip:ip_c ~dst_ip:ip_b ~src_port:5 ~dst_port:6 in
+  let ep, _ = Demux.dispatch d pkt in
+  Alcotest.(check (option string)) "no match" None ep
+
+let test_demux_remove () =
+  let d = Demux.create ~mode:Demux.Interpreted () in
+  let k = Demux.install d (Program.arp ()) "arp" in
+  check "installed" 1 (Demux.entries d);
+  Demux.remove d k;
+  check "removed" 0 (Demux.entries d)
+
+let test_demux_isolation () =
+  (* Two connections' filters: each packet reaches only its owner. *)
+  let d = Demux.create ~mode:Demux.Interpreted () in
+  ignore
+    (Demux.install d (Program.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:10 ~dst_port:20) "app1");
+  ignore
+    (Demux.install d (Program.tcp_conn ~src_ip:ip_c ~dst_ip:ip_b ~src_port:30 ~dst_port:40) "app2");
+  let p1 = fake_tcp_packet ~src_ip:ip_a ~dst_ip:ip_b ~src_port:10 ~dst_port:20 in
+  let p2 = fake_tcp_packet ~src_ip:ip_c ~dst_ip:ip_b ~src_port:30 ~dst_port:40 in
+  Alcotest.(check (option string)) "app1 gets its packet" (Some "app1") (fst (Demux.dispatch d p1));
+  Alcotest.(check (option string)) "app2 gets its packet" (Some "app2") (fst (Demux.dispatch d p2))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run ~and_exit:false "pktfilter"
+    [ ( "validation",
+        [ Alcotest.test_case "underflow" `Quick test_validation_rejects_underflow;
+          Alcotest.test_case "empty result" `Quick test_validation_rejects_empty_result;
+          Alcotest.test_case "bad literal" `Quick test_validation_rejects_bad_literal;
+          Alcotest.test_case "standard programs" `Quick test_validation_accepts_standard ] );
+      ( "interp",
+        [ Alcotest.test_case "matches own connection" `Quick test_tcp_filter_matches_own_connection;
+          Alcotest.test_case "rejects other port" `Quick test_tcp_filter_rejects_other_port;
+          Alcotest.test_case "rejects other host" `Quick test_tcp_filter_rejects_other_host;
+          Alcotest.test_case "short packet" `Quick test_short_packet_rejected;
+          Alcotest.test_case "arp" `Quick test_arp_filter;
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic_insns;
+          Alcotest.test_case "cor short-circuit" `Quick test_cor_short_circuit ] );
+      ( "compile",
+        [ qc prop_compiled_equals_interpreted;
+          Alcotest.test_case "cheaper than interp" `Quick test_compiled_cheaper ] );
+      ( "template",
+        [ Alcotest.test_case "accepts own" `Quick test_template_accepts_own_header;
+          Alcotest.test_case "blocks impersonation" `Quick test_template_blocks_impersonation;
+          Alcotest.test_case "short packet" `Quick test_template_short_packet;
+          Alcotest.test_case "carries bqi" `Quick test_template_carries_bqi ] );
+      ( "demux",
+        [ Alcotest.test_case "first match" `Quick test_demux_dispatches_first_match;
+          Alcotest.test_case "falls through" `Quick test_demux_falls_through;
+          Alcotest.test_case "remove" `Quick test_demux_remove;
+          Alcotest.test_case "isolation" `Quick test_demux_isolation ] ) ]
+
+(* --- template soundness/completeness over random tuples (appended) -------- *)
+
+let prop_template_sound_and_complete =
+  QCheck.Test.make ~name:"tcp template accepts own tuple, rejects others" ~count:300
+    QCheck.(quad (1 -- 0xffff) (1 -- 0xffff) (1 -- 0xffff) (1 -- 0xffff))
+    (fun (sp, dp, sp', dp') ->
+      QCheck.assume (sp <> sp' || dp <> dp');
+      let t = Template.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:sp ~dst_port:dp () in
+      let own = fake_tcp_packet ~src_ip:ip_a ~dst_ip:ip_b ~src_port:sp ~dst_port:dp in
+      let other = fake_tcp_packet ~src_ip:ip_a ~dst_ip:ip_b ~src_port:sp' ~dst_port:dp' in
+      Template.matches t own && not (Template.matches t other))
+
+let prop_filter_matches_only_own_tuple =
+  QCheck.Test.make ~name:"conn filter accepts own tuple, rejects others" ~count:300
+    QCheck.(quad (1 -- 0xffff) (1 -- 0xffff) (1 -- 0xffff) (1 -- 0xffff))
+    (fun (sp, dp, sp', dp') ->
+      QCheck.assume (sp <> sp' || dp <> dp');
+      let p = Program.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:sp ~dst_port:dp in
+      let own = fake_tcp_packet ~src_ip:ip_a ~dst_ip:ip_b ~src_port:sp ~dst_port:dp in
+      let other = fake_tcp_packet ~src_ip:ip_a ~dst_ip:ip_b ~src_port:sp' ~dst_port:dp' in
+      Interp.run p own
+      && (not (Interp.run p other))
+      && Compile.compile p own
+      && not (Compile.compile p other))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run ~and_exit:false "pktfilter-props"
+    [ ( "tuple-isolation",
+        [ qc prop_template_sound_and_complete; qc prop_filter_matches_only_own_tuple ] ) ]

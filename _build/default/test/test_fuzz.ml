@@ -1,0 +1,142 @@
+(* Adversarial-input fuzzing: random garbage and random well-formed
+   segments thrown at a live stack.  The engine must never raise, and an
+   established connection must keep working unless a segment was a
+   legitimate kill (an in-window RST on its exact four-tuple). *)
+
+open Tutil
+module Rng = Uln_engine.Rng
+module Tcp_wire = Uln_proto.Tcp_wire
+module Ipv4 = Uln_proto.Ipv4
+module Checksum = Uln_proto.Checksum
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Wrap a transport payload in a valid IP header addressed to [w.b]. *)
+let ip_wrap w ~proto payload =
+  let hdr = View.create 20 in
+  View.set_uint8 hdr 0 0x45;
+  View.set_uint16 hdr 2 (20 + Mbuf.length payload);
+  View.set_uint8 hdr 8 64;
+  View.set_uint8 hdr 9 proto;
+  View.set_uint32 hdr 12 (Ip.to_int32 w.a.ip);
+  View.set_uint32 hdr 16 (Ip.to_int32 w.b.ip);
+  View.set_uint16 hdr 10 (Checksum.of_view hdr);
+  Frame.make ~src:w.a.nic.Nic.mac ~dst:w.b.nic.Nic.mac ~ethertype:Frame.ethertype_ip
+    (Mbuf.prepend hdr payload)
+
+let test_random_bytes_never_crash () =
+  (* Pure garbage at every layer: random ethertypes and payload bytes. *)
+  let w = make_world () in
+  let rng = Rng.create ~seed:4242 in
+  run_to_completion w (fun () ->
+      for _ = 1 to 2_000 do
+        let len = Rng.int rng 120 in
+        let payload = View.create len in
+        for i = 0 to len - 1 do
+          View.set_uint8 payload i (Rng.int rng 256)
+        done;
+        let ethertype =
+          match Rng.int rng 3 with 0 -> 0x0800 | 1 -> 0x0806 | _ -> Rng.int rng 0x10000
+        in
+        (* Also aim random payloads at the RRP protocol number. *)
+        if Rng.bernoulli rng 0.2 then begin
+          let p = View.create (Rng.int rng 40) in
+          Stack.input w.b.stack (ip_wrap w ~proto:81 (Mbuf.of_view p))
+        end;
+        Stack.input w.b.stack
+          (Frame.make ~src:w.a.nic.Nic.mac ~dst:w.b.nic.Nic.mac ~ethertype
+             (Mbuf.of_view payload))
+      done);
+  (* Nothing to assert beyond survival; drops should be plentiful. *)
+  check_bool "ip drops counted" true (Ipv4.drops w.b.stack.Stack.ip > 0)
+
+let test_random_valid_segments_never_crash () =
+  (* Well-formed (checksummed) TCP segments with random fields, fired at
+     a host with a live listener and a live connection. *)
+  let w = make_world () in
+  let rng = Rng.create ~seed:77 in
+  let received = ref "" in
+  let data = pattern 30_000 in
+  Sched.spawn w.sched ~name:"server" (fun () ->
+      let l = Tcp.listen w.b.stack.Stack.tcp ~port:80 in
+      let conn = Tcp.accept l in
+      received := read_all conn;
+      Tcp.close conn);
+  run_to_completion w (fun () ->
+      let c =
+        match Tcp.connect w.a.stack.Stack.tcp ~src_port:5000 ~dst:w.b.ip ~dst_port:80 with
+        | Ok c -> c
+        | Error e -> failwith e
+      in
+      (* Interleave fuzz segments with the transfer. *)
+      Sched.spawn w.sched ~name:"fuzzer" (fun () ->
+          for _ = 1 to 500 do
+            let flags =
+              { Tcp_wire.fin = Rng.bool rng;
+                syn = Rng.bool rng;
+                rst = false (* an exact-tuple RST is a legitimate kill *);
+                psh = Rng.bool rng;
+                ack = Rng.bool rng }
+            in
+            let on_tuple = Rng.bernoulli rng 0.3 in
+            let seg =
+              { Tcp_wire.src_port = (if on_tuple then 5000 else Rng.int rng 0x10000);
+                dst_port = (if on_tuple then 80 else Rng.int rng 0x10000);
+                seq = Rng.int rng 0x10000000;
+                ack = Rng.int rng 0x10000000;
+                flags;
+                wnd = Rng.int rng 0x10000;
+                mss = (if Rng.bool rng then Some (Rng.int rng 0x10000) else None);
+                payload = Mbuf.of_string (String.make (Rng.int rng 64) 'f') }
+            in
+            Stack.input w.b.stack
+              (ip_wrap w ~proto:6 (Tcp_wire.encode ~src_ip:w.a.ip ~dst_ip:w.b.ip seg));
+            Sched.sleep w.sched (Time.us 500)
+          done);
+      Tcp.write c (View.of_string data);
+      Tcp.close c;
+      Tcp.await_closed c);
+  check "transfer survived the fuzz" 30_000 (String.length !received);
+  check_bool "content intact" true (String.equal data !received)
+
+let test_truncated_headers_never_crash () =
+  (* Valid IP header, transport payloads shorter than their headers. *)
+  let w = make_world () in
+  run_to_completion w (fun () ->
+      List.iter
+        (fun (proto, len) ->
+          let payload = View.create len in
+          Stack.input w.b.stack (ip_wrap w ~proto (Mbuf.of_view payload)))
+        [ (6, 0); (6, 5); (6, 19); (17, 0); (17, 7); (1, 0); (1, 3); (81, 0); (81, 13); (99, 10) ];
+      Sched.sleep w.sched (Time.ms 100))
+
+let prop_fuzz_many_seeds =
+  QCheck.Test.make ~name:"garbage frames never crash the stack (any seed)" ~count:25
+    QCheck.(1 -- 100000)
+    (fun seed ->
+      let w = make_world () in
+      let rng = Rng.create ~seed in
+      run_to_completion w (fun () ->
+          for _ = 1 to 200 do
+            let len = Rng.int rng 80 in
+            let payload = View.create len in
+            for i = 0 to len - 1 do
+              View.set_uint8 payload i (Rng.int rng 256)
+            done;
+            Stack.input w.b.stack
+              (Frame.make ~src:w.a.nic.Nic.mac ~dst:w.b.nic.Nic.mac
+                 ~ethertype:(if Rng.bool rng then 0x0800 else 0x0806)
+                 (Mbuf.of_view payload))
+          done);
+      true)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "fuzz"
+    [ ( "stack",
+        [ Alcotest.test_case "random bytes" `Quick test_random_bytes_never_crash;
+          Alcotest.test_case "random segments vs live transfer" `Quick
+            test_random_valid_segments_never_crash;
+          Alcotest.test_case "truncated headers" `Quick test_truncated_headers_never_crash;
+          qc prop_fuzz_many_seeds ] ) ]

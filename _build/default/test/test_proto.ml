@@ -1,0 +1,331 @@
+open Tutil
+module Checksum = Uln_proto.Checksum
+module Ipv4 = Uln_proto.Ipv4
+module Arp = Uln_proto.Arp
+module Tcp_wire = Uln_proto.Tcp_wire
+module Tcp_seq = Uln_proto.Tcp_seq
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_s = Alcotest.(check string)
+
+(* --- checksum ------------------------------------------------------- *)
+
+let test_checksum_known_vector () =
+  (* RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> sum 0xddf2, cksum 0x220d. *)
+  let v = View.of_string "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7" in
+  check "rfc1071" 0x220d (Checksum.of_view v)
+
+let test_checksum_odd_length () =
+  let v = View.of_string "\x01\x02\x03" in
+  (* words: 0102, 0300 -> sum 0402 -> cksum 0xfbfd *)
+  check "odd" 0xfbfd (Checksum.of_view v)
+
+let prop_checksum_detects_single_flip =
+  QCheck.Test.make ~name:"checksum catches any single byte flip" ~count:300
+    QCheck.(pair (string_of_size Gen.(2 -- 100)) (pair small_int small_int))
+    (fun (s, (pos, flip)) ->
+      let flip = 1 + (flip mod 255) in
+      let pos = pos mod String.length s in
+      let m = Mbuf.of_string s in
+      let c1 = Checksum.of_mbuf m in
+      let b = Bytes.of_string s in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor flip));
+      let c2 = Checksum.of_mbuf (Mbuf.of_view (View.of_bytes b)) in
+      c1 <> c2)
+
+let prop_checksum_segment_independent =
+  QCheck.Test.make ~name:"checksum independent of mbuf segmentation" ~count:300
+    QCheck.(pair (string_of_size Gen.(1 -- 120)) small_int)
+    (fun (s, cut) ->
+      let cut = cut mod (String.length s + 1) in
+      let whole = Checksum.of_mbuf (Mbuf.of_string s) in
+      let split =
+        Mbuf.concat
+          (Mbuf.of_string (String.sub s 0 cut))
+          (Mbuf.of_string (String.sub s cut (String.length s - cut)))
+      in
+      Checksum.of_mbuf split = whole)
+
+let test_checksum_validates_self () =
+  let s = "some packet payload with a checksum appended" in
+  let c = Checksum.of_mbuf (Mbuf.of_string s) in
+  let tail = View.create 2 in
+  View.set_uint16 tail 0 c;
+  (* Even-length payload: appending the checksum makes the total sum to
+     zero. *)
+  check_bool "self-validates" true
+    (Checksum.valid (Mbuf.append (Mbuf.of_string s) tail) || String.length s mod 2 = 1)
+
+(* --- tcp sequence arithmetic ------------------------------------------ *)
+
+let test_seq_wraparound () =
+  let near_max = 0xFFFFFFFF in
+  check "wraps" 4 (Tcp_seq.add near_max 5);
+  check_bool "lt across wrap" true (Tcp_seq.lt near_max 4);
+  check_bool "gt across wrap" true (Tcp_seq.gt 4 near_max);
+  check "diff across wrap" 5 (Tcp_seq.diff 4 near_max)
+
+let prop_seq_diff_add =
+  QCheck.Test.make ~name:"seq add/diff inverse" ~count:300
+    QCheck.(pair (0 -- 0xFFFFFF) (0 -- 100000))
+    (fun (base, n) -> Tcp_seq.diff (Tcp_seq.add base n) base = n)
+
+let test_seq_in_window () =
+  check_bool "inside" true (Tcp_seq.in_window 10 ~base:5 ~size:10);
+  check_bool "at base" true (Tcp_seq.in_window 5 ~base:5 ~size:10);
+  check_bool "past end" false (Tcp_seq.in_window 15 ~base:5 ~size:10);
+  check_bool "before" false (Tcp_seq.in_window 4 ~base:5 ~size:10);
+  check_bool "empty window" false (Tcp_seq.in_window 5 ~base:5 ~size:0);
+  check_bool "wrapping window" true
+    (Tcp_seq.in_window 2 ~base:0xFFFFFFF0 ~size:32)
+
+(* --- tcp wire format ------------------------------------------------------ *)
+
+let ip_a = Ip.of_string "10.0.0.1"
+let ip_b = Ip.of_string "10.0.0.2"
+
+let mk_seg ?(payload = "") ?(flags = Tcp_wire.no_flags) ?mss () =
+  { Tcp_wire.src_port = 4321;
+    dst_port = 80;
+    seq = 1000;
+    ack = 2000;
+    flags;
+    wnd = 8192;
+    mss;
+    payload = Mbuf.of_string payload }
+
+let test_wire_round_trip () =
+  let seg = mk_seg ~payload:"hello tcp"
+      ~flags:{ Tcp_wire.no_flags with Tcp_wire.ack = true; psh = true } () in
+  let encoded = Tcp_wire.encode ~src_ip:ip_a ~dst_ip:ip_b seg in
+  match Tcp_wire.decode ~src_ip:ip_a ~dst_ip:ip_b encoded with
+  | None -> Alcotest.fail "decode failed"
+  | Some got ->
+      check "sport" 4321 got.Tcp_wire.src_port;
+      check "dport" 80 got.Tcp_wire.dst_port;
+      check "seq" 1000 got.Tcp_wire.seq;
+      check "ack" 2000 got.Tcp_wire.ack;
+      check "wnd" 8192 got.Tcp_wire.wnd;
+      check_bool "flags" true got.Tcp_wire.flags.Tcp_wire.ack;
+      check_s "payload" "hello tcp" (Mbuf.to_string got.Tcp_wire.payload)
+
+let test_wire_mss_option () =
+  let seg = mk_seg ~flags:{ Tcp_wire.no_flags with Tcp_wire.syn = true } ~mss:1460 () in
+  let encoded = Tcp_wire.encode ~src_ip:ip_a ~dst_ip:ip_b seg in
+  match Tcp_wire.decode ~src_ip:ip_a ~dst_ip:ip_b encoded with
+  | None -> Alcotest.fail "decode failed"
+  | Some got -> Alcotest.(check (option int)) "mss" (Some 1460) got.Tcp_wire.mss
+
+let test_wire_detects_corruption () =
+  let seg = mk_seg ~payload:"payload bytes" () in
+  let encoded = Tcp_wire.encode ~src_ip:ip_a ~dst_ip:ip_b seg in
+  let flat = View.copy (Mbuf.flatten encoded) in
+  View.set_uint8 flat 25 (View.get_uint8 flat 25 lxor 0x40);
+  check_bool "corrupt rejected" true
+    (Tcp_wire.decode ~src_ip:ip_a ~dst_ip:ip_b (Mbuf.of_view flat) = None)
+
+let test_wire_wrong_pseudo_header () =
+  (* The pseudo-header binds the segment to its IP addresses: decoding
+     with different addresses must fail. *)
+  let seg = mk_seg ~payload:"x" () in
+  let encoded = Tcp_wire.encode ~src_ip:ip_a ~dst_ip:ip_b seg in
+  check_bool "wrong src" true
+    (Tcp_wire.decode ~src_ip:(Ip.of_string "10.0.0.9") ~dst_ip:ip_b encoded = None)
+
+let prop_wire_round_trip =
+  QCheck.Test.make ~name:"tcp wire round trip on random payloads" ~count:200
+    QCheck.(string_of_size Gen.(0 -- 1460))
+    (fun payload ->
+      let seg = mk_seg ~payload () in
+      match Tcp_wire.decode ~src_ip:ip_a ~dst_ip:ip_b (Tcp_wire.encode ~src_ip:ip_a ~dst_ip:ip_b seg) with
+      | None -> false
+      | Some got -> Mbuf.to_string got.Tcp_wire.payload = payload)
+
+(* --- ARP over a real link --------------------------------------------------- *)
+
+let test_arp_resolves_over_link () =
+  let w = make_world () in
+  let resolved = ref None in
+  run_to_completion w (fun () ->
+      Arp.resolve w.a.stack.Stack.arp w.b.ip (fun r -> resolved := r);
+      (* Wait for the exchange. *)
+      Sched.sleep w.sched (Time.ms 100));
+  match !resolved with
+  | Some mac -> check_bool "right mac" true (Mac.equal mac w.b.nic.Nic.mac)
+  | None -> Alcotest.fail "ARP did not resolve"
+
+let test_arp_cache_hit_is_immediate () =
+  let w = make_world () in
+  run_to_completion w (fun () ->
+      Arp.resolve w.a.stack.Stack.arp w.b.ip (fun _ -> ());
+      Sched.sleep w.sched (Time.ms 100);
+      let immediate = ref false in
+      Arp.resolve w.a.stack.Stack.arp w.b.ip (fun _ -> immediate := true);
+      check_bool "cache hit synchronous" true !immediate)
+
+let test_arp_gives_up_on_unknown_host () =
+  let w = make_world () in
+  let answer = ref (Some Mac.broadcast) in
+  run_to_completion w (fun () ->
+      Arp.resolve w.a.stack.Stack.arp (Ip.of_string "10.9.9.9") (fun r -> answer := r);
+      Sched.sleep w.sched (Time.sec 10));
+  check_bool "failed" true (!answer = None)
+
+(* --- ICMP ping --------------------------------------------------------------- *)
+
+let test_ping () =
+  let w = make_world () in
+  let rtt = ref None in
+  run_to_completion w (fun () ->
+      Icmp.ping w.a.stack.Stack.icmp ~dst:w.b.ip (fun r -> rtt := r);
+      Sched.sleep w.sched (Time.sec 1));
+  match !rtt with
+  | Some span -> check_bool "positive rtt" true (span > 0)
+  | None -> Alcotest.fail "ping timed out"
+
+let test_ping_unknown_host_times_out () =
+  let w = make_world () in
+  let outcome = ref (Some 1) in
+  run_to_completion w (fun () ->
+      Icmp.ping w.a.stack.Stack.icmp ~dst:(Ip.of_string "10.9.9.9") (fun r ->
+          outcome := Option.map (fun _ -> 1) r);
+      Sched.sleep w.sched (Time.sec 12));
+  check_bool "timed out" true (!outcome = None)
+
+(* --- UDP ------------------------------------------------------------------------ *)
+
+let test_udp_delivery () =
+  let w = make_world () in
+  let got =
+    run_to_completion w (fun () ->
+        let ep = Udp.bind w.b.stack.Stack.udp ~port:53 in
+        Udp.sendto w.a.stack.Stack.udp ~src_port:9999 ~dst:w.b.ip ~dst_port:53
+          (View.of_string "query");
+        let d = Udp.recv ep in
+        (View.to_string d.Udp.data, d.Udp.src_port))
+  in
+  Alcotest.(check (pair string int)) "datagram" ("query", 9999) got
+
+let test_udp_unbound_port_dropped () =
+  let w = make_world () in
+  run_to_completion w (fun () ->
+      Udp.sendto w.a.stack.Stack.udp ~src_port:1 ~dst:w.b.ip ~dst_port:7777
+        (View.of_string "nobody home");
+      Sched.sleep w.sched (Time.ms 100));
+  check "dropped" 1 (Udp.drops w.b.stack.Stack.udp)
+
+let test_udp_fragmentation_round_trip () =
+  (* 5000 bytes > 1500 MTU: forces IP fragmentation + reassembly. *)
+  let w = make_world () in
+  let payload = pattern 5000 in
+  let got =
+    run_to_completion w (fun () ->
+        let ep = Udp.bind w.b.stack.Stack.udp ~port:2000 in
+        Udp.sendto w.a.stack.Stack.udp ~src_port:2001 ~dst:w.b.ip ~dst_port:2000
+          (View.of_string payload);
+        let d = Udp.recv ep in
+        View.to_string d.Udp.data)
+  in
+  check "length preserved" 5000 (String.length got);
+  check_s "content preserved" payload got;
+  check_bool "fragments were sent" true (Ipv4.fragments_out w.a.stack.Stack.ip >= 4);
+  check "reassembled" 1 (Ipv4.reassembled w.b.stack.Stack.ip)
+
+let test_ip_rejects_bad_checksum () =
+  let w = make_world () in
+  (* Send a raw IP frame with a corrupted header checksum. *)
+  run_to_completion w (fun () ->
+      let hdr = View.create 20 in
+      View.set_uint8 hdr 0 0x45;
+      View.set_uint16 hdr 2 20;
+      View.set_uint16 hdr 10 0xBEEF (* wrong *);
+      View.set_uint32 hdr 12 (Ip.to_int32 w.a.ip);
+      View.set_uint32 hdr 16 (Ip.to_int32 w.b.ip);
+      w.a.nic.Nic.send
+        (Frame.make ~src:w.a.nic.Nic.mac ~dst:w.b.nic.Nic.mac ~ethertype:Frame.ethertype_ip
+           (Mbuf.of_view hdr));
+      Sched.sleep w.sched (Time.ms 50));
+  check "dropped" 1 (Ipv4.drops w.b.stack.Stack.ip)
+
+let test_ip_ignores_other_hosts () =
+  let w = make_world () in
+  (* A packet addressed to a third IP must be dropped (no gatewaying). *)
+  run_to_completion w (fun () ->
+      let hdr = View.create 20 in
+      View.set_uint8 hdr 0 0x45;
+      View.set_uint16 hdr 2 20;
+      View.set_uint32 hdr 12 (Ip.to_int32 w.a.ip);
+      View.set_uint32 hdr 16 (Ip.to_int32 (Ip.of_string "10.0.0.77"));
+      View.set_uint16 hdr 10 (Checksum.of_view hdr);
+      w.a.nic.Nic.send
+        (Frame.make ~src:w.a.nic.Nic.mac ~dst:w.b.nic.Nic.mac ~ethertype:Frame.ethertype_ip
+           (Mbuf.of_view hdr));
+      Sched.sleep w.sched (Time.ms 50));
+  check "dropped" 1 (Ipv4.drops w.b.stack.Stack.ip)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run ~and_exit:false "proto"
+    [ ( "checksum",
+        [ Alcotest.test_case "rfc1071 vector" `Quick test_checksum_known_vector;
+          Alcotest.test_case "odd length" `Quick test_checksum_odd_length;
+          Alcotest.test_case "self-validating" `Quick test_checksum_validates_self;
+          qc prop_checksum_detects_single_flip;
+          qc prop_checksum_segment_independent ] );
+      ( "tcp_seq",
+        [ Alcotest.test_case "wraparound" `Quick test_seq_wraparound;
+          Alcotest.test_case "in_window" `Quick test_seq_in_window;
+          qc prop_seq_diff_add ] );
+      ( "tcp_wire",
+        [ Alcotest.test_case "round trip" `Quick test_wire_round_trip;
+          Alcotest.test_case "mss option" `Quick test_wire_mss_option;
+          Alcotest.test_case "corruption" `Quick test_wire_detects_corruption;
+          Alcotest.test_case "pseudo header" `Quick test_wire_wrong_pseudo_header;
+          qc prop_wire_round_trip ] );
+      ( "arp",
+        [ Alcotest.test_case "resolves" `Quick test_arp_resolves_over_link;
+          Alcotest.test_case "cache hit" `Quick test_arp_cache_hit_is_immediate;
+          Alcotest.test_case "gives up" `Quick test_arp_gives_up_on_unknown_host ] );
+      ( "icmp",
+        [ Alcotest.test_case "ping" `Quick test_ping;
+          Alcotest.test_case "ping timeout" `Quick test_ping_unknown_host_times_out ] );
+      ( "udp+ip",
+        [ Alcotest.test_case "delivery" `Quick test_udp_delivery;
+          Alcotest.test_case "unbound port" `Quick test_udp_unbound_port_dropped;
+          Alcotest.test_case "fragmentation" `Quick test_udp_fragmentation_round_trip;
+          Alcotest.test_case "bad ip checksum" `Quick test_ip_rejects_bad_checksum;
+          Alcotest.test_case "no gatewaying" `Quick test_ip_ignores_other_hosts ] ) ]
+
+(* --- ICMP destination unreachable (appended suite) ----------------------- *)
+
+let test_unbound_udp_port_draws_unreachable () =
+  let w = make_world () in
+  run_to_completion w (fun () ->
+      let ep = Udp.bind w.a.stack.Stack.udp ~port:4000 in
+      Udp.sendto w.a.stack.Stack.udp ~src_port:4000 ~dst:w.b.ip ~dst_port:4321
+        (View.of_string "anyone there?");
+      Sched.sleep w.sched (Time.ms 200);
+      check "peer sent an unreachable" 1 (Icmp.unreachables_out w.b.stack.Stack.icmp);
+      check "we received it" 1 (Icmp.unreachables_in w.a.stack.Stack.icmp);
+      check "udp error recorded" 1 (Udp.errors_received w.a.stack.Stack.udp);
+      (match Udp.last_error ep with
+      | Some about -> check_bool "names the dead destination" true (Ip.equal about w.b.ip)
+      | None -> Alcotest.fail "endpoint saw no error");
+      Udp.unbind w.a.stack.Stack.udp ep)
+
+let test_bound_port_draws_no_unreachable () =
+  let w = make_world () in
+  run_to_completion w (fun () ->
+      let server = Udp.bind w.b.stack.Stack.udp ~port:4321 in
+      Udp.sendto w.a.stack.Stack.udp ~src_port:4000 ~dst:w.b.ip ~dst_port:4321
+        (View.of_string "hello");
+      ignore (Udp.recv server);
+      Sched.sleep w.sched (Time.ms 100);
+      check "no unreachable" 0 (Icmp.unreachables_out w.b.stack.Stack.icmp))
+
+let () =
+  Alcotest.run ~and_exit:false "proto-icmp-unreachable"
+    [ ( "unreachable",
+        [ Alcotest.test_case "unbound port" `Quick test_unbound_udp_port_draws_unreachable;
+          Alcotest.test_case "bound port silent" `Quick test_bound_port_draws_no_unreachable ] ) ]

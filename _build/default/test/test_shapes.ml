@@ -1,0 +1,162 @@
+(* Shape tests: the paper's qualitative performance claims, asserted
+   against quick-mode experiment runs.  These are the §4 conclusions
+   that must survive any recalibration:
+
+   - Ethernet throughput: Ultrix > user-library > Mach/UX everywhere.
+   - AN1 at 512-byte writes: the user-library implementation BEATS the
+     in-kernel one (copy elimination at every size vs >= 1024 only).
+   - Latency: Ultrix < user-library < Mach/UX on Ethernet.
+   - Setup: user-library most expensive; Ultrix cheapest; AN1 setup
+     slightly above Ethernet for the user library (BQI machinery).
+   - Demultiplexing: software filter and hardware BQI cost about the
+     same per packet; compiled filters beat interpreted ones. *)
+
+module E = Uln_workload.Experiments
+module World = Uln_core.World
+module Organization = Uln_core.Organization
+
+let check_bool = Alcotest.(check bool)
+
+let find2 rows net sys size =
+  match
+    List.find_opt
+      (fun r -> r.E.t2_network = net && r.E.t2_system = sys && r.E.t2_size = size)
+      rows
+  with
+  | Some r -> r.E.t2_mbps
+  | None -> Alcotest.fail (Printf.sprintf "missing table2 cell %s/%s/%d" net sys size)
+
+let find3 rows net sys size =
+  match
+    List.find_opt
+      (fun r -> r.E.t3_network = net && r.E.t3_system = sys && r.E.t3_size = size)
+      rows
+  with
+  | Some r -> r.E.t3_rtt_ms
+  | None -> Alcotest.fail (Printf.sprintf "missing table3 cell %s/%s/%d" net sys size)
+
+(* The experiments are deterministic, so run each table once. *)
+let t2 = lazy (E.table2 ~quick:true ())
+let t3 = lazy (E.table3 ~quick:true ())
+let t4 = lazy (E.table4 ~quick:true ())
+let t5 = lazy (E.table5 ())
+
+let test_ethernet_throughput_ordering () =
+  let rows = Lazy.force t2 in
+  List.iter
+    (fun size ->
+      let ultrix = find2 rows "ethernet" "ultrix" size in
+      let userlib = find2 rows "ethernet" "userlib" size in
+      let mach = find2 rows "ethernet" "mach-ux" size in
+      check_bool
+        (Printf.sprintf "ultrix > userlib at %d" size)
+        true (ultrix > userlib);
+      check_bool
+        (Printf.sprintf "userlib > mach-ux at %d" size)
+        true (userlib > mach))
+    [ 1024; 2048; 4096 ]
+
+let test_userlib_beats_machux_by_a_lot () =
+  (* Paper: "our implementation is 42% faster than the Mach/UX
+     implementation for the 4K packet case". *)
+  let rows = Lazy.force t2 in
+  let userlib = find2 rows "ethernet" "userlib" 4096 in
+  let mach = find2 rows "ethernet" "mach-ux" 4096 in
+  check_bool "at least 30% faster" true (userlib /. mach > 1.30)
+
+let test_an1_crossover_at_small_writes () =
+  (* Paper: "We achieve better performance than Ultrix with 512-byte
+     user packets because our implementation uses a buffer organization
+     that eliminates byte copying" at every size. *)
+  let rows = Lazy.force t2 in
+  let userlib = find2 rows "an1" "userlib" 512 in
+  let ultrix = find2 rows "an1" "ultrix" 512 in
+  check_bool "userlib wins at 512 on AN1" true (userlib > ultrix)
+
+let test_an1_ultrix_rises_steeply () =
+  (* The copy-eliminating path kicks in at 1024. *)
+  let rows = Lazy.force t2 in
+  let at_512 = find2 rows "an1" "ultrix" 512 in
+  let at_1024 = find2 rows "an1" "ultrix" 1024 in
+  check_bool "1024 much faster than 512" true (at_1024 /. at_512 > 1.25)
+
+let test_an1_gap_smaller_than_ethernet_gap () =
+  (* Paper: "on AN1, the difference is far less pronounced" — batching
+     amortizes the user-level wakeup on the fast network. *)
+  let rows = Lazy.force t2 in
+  let gap net = find2 rows net "ultrix" 4096 /. find2 rows net "userlib" 4096 in
+  check_bool "an1 gap < ethernet gap" true (gap "an1" < gap "ethernet")
+
+let test_latency_ordering () =
+  let rows = Lazy.force t3 in
+  List.iter
+    (fun size ->
+      let ultrix = find3 rows "ethernet" "ultrix" size in
+      let userlib = find3 rows "ethernet" "userlib" size in
+      let mach = find3 rows "ethernet" "mach-ux" size in
+      check_bool (Printf.sprintf "ultrix fastest at %d" size) true (ultrix < userlib);
+      check_bool (Printf.sprintf "mach slowest at %d" size) true (userlib < mach))
+    [ 1; 512; 1460 ];
+  let u_an1 = find3 rows "an1" "ultrix" 1 and l_an1 = find3 rows "an1" "userlib" 1 in
+  check_bool "an1: ultrix < userlib" true (u_an1 < l_an1)
+
+let test_setup_ordering () =
+  let rows = Lazy.force t4 in
+  let get net sys =
+    match List.find_opt (fun r -> r.E.t4_network = net && r.E.t4_system = sys) rows with
+    | Some r -> r.E.t4_setup_ms
+    | None -> Alcotest.fail "missing table4 cell"
+  in
+  let ultrix = get "ethernet" "ultrix" in
+  let mach = get "ethernet" "mach-ux" in
+  let userlib_eth = get "ethernet" "userlib" in
+  let userlib_an1 = get "an1" "userlib" in
+  check_bool "ultrix cheapest" true (ultrix < mach);
+  check_bool "userlib most expensive" true (mach < userlib_eth);
+  check_bool "AN1 setup above Ethernet (BQI machinery)" true (userlib_an1 > userlib_eth);
+  (* "a reasonable overhead if it can be amortized": within ~6x of
+     Ultrix, as in the paper (11.9 / 2.6 = 4.6). *)
+  check_bool "within 6x of Ultrix" true (userlib_eth /. ultrix < 6.0)
+
+let test_demux_costs_comparable () =
+  (* Table 5: "there is no significant difference in the timing". *)
+  let rows = Lazy.force t5 in
+  let get prefix =
+    match
+      List.find_opt
+        (fun r -> String.length r.E.t5_interface >= String.length prefix
+                  && String.sub r.E.t5_interface 0 (String.length prefix) = prefix)
+        rows
+    with
+    | Some r -> r.E.t5_us
+    | None -> Alcotest.fail ("missing table5 row " ^ prefix)
+  in
+  let sw = get "LANCE Ethernet (software filter, interpreted)" in
+  let hw = get "AN1 (hardware BQI)" in
+  let compiled = get "LANCE Ethernet (software filter, compiled)" in
+  check_bool "sw within 20% of hw" true (Float.abs (sw -. hw) /. hw < 0.2);
+  check_bool "compiled beats interpreted" true (compiled < sw)
+
+let test_mechanisms_cost_is_modest () =
+  (* Table 1: "our mechanisms introduce only very modest overhead". *)
+  let rows = E.table1 ~quick:true () in
+  List.iter
+    (fun (r : Uln_workload.Raw_xchg.row) ->
+      check_bool
+        (Printf.sprintf "at least 75%% of raw at %d" r.Uln_workload.Raw_xchg.user_packet)
+        true
+        (r.Uln_workload.Raw_xchg.percent_of_raw > 75.))
+    rows
+
+let () =
+  Alcotest.run "shapes"
+    [ ( "table2",
+        [ Alcotest.test_case "ethernet ordering" `Slow test_ethernet_throughput_ordering;
+          Alcotest.test_case "userlib vs mach-ux margin" `Slow test_userlib_beats_machux_by_a_lot;
+          Alcotest.test_case "an1 crossover at 512" `Slow test_an1_crossover_at_small_writes;
+          Alcotest.test_case "an1 ultrix rise" `Slow test_an1_ultrix_rises_steeply;
+          Alcotest.test_case "an1 gap smaller" `Slow test_an1_gap_smaller_than_ethernet_gap ] );
+      ("table3", [ Alcotest.test_case "latency ordering" `Slow test_latency_ordering ]);
+      ("table4", [ Alcotest.test_case "setup ordering" `Slow test_setup_ordering ]);
+      ("table5", [ Alcotest.test_case "demux comparable" `Quick test_demux_costs_comparable ]);
+      ("table1", [ Alcotest.test_case "modest overhead" `Slow test_mechanisms_cost_is_modest ]) ]

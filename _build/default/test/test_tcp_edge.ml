@@ -1,0 +1,202 @@
+(* Edge-case TCP behaviour: sequence wraparound, zero-window stalls,
+   simultaneous close, listener lifecycle.  These complement test_tcp.ml
+   with the conditions a long-lived production stack must survive. *)
+
+open Tutil
+module Tcp_state = Uln_proto.Tcp_state
+module Tcp_seq = Uln_proto.Tcp_seq
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let with_server w ~port f =
+  Sched.spawn w.sched ~name:"server" (fun () ->
+      let l = Tcp.listen w.b.stack.Stack.tcp ~port in
+      let conn = Tcp.accept l in
+      f conn)
+
+let connect_a w ~port =
+  match Tcp.connect w.a.stack.Stack.tcp ~src_port:5000 ~dst:w.b.ip ~dst_port:port with
+  | Ok c -> c
+  | Error e -> failwith ("connect failed: " ^ e)
+
+(* --- 32-bit sequence wraparound, end to end ----------------------------- *)
+
+let test_transfer_across_sequence_wrap () =
+  (* Establish normally, then rebase both directions' sequence numbers
+     just below 2^32 via export/import, and push enough data through to
+     wrap both.  Every comparison in the engine must survive it. *)
+  let w = make_world () in
+  let server_conn = ref None in
+  with_server w ~port:80 (fun conn -> server_conn := Some conn);
+  let n = 120_000 in
+  let data = pattern n in
+  let received = ref "" in
+  run_to_completion w (fun () ->
+      let c = connect_a w ~port:80 in
+      Sched.sleep w.sched (Time.ms 200);
+      let s = Option.get !server_conn in
+      let snap_c = Tcp.export c in
+      let snap_s = Tcp.export s in
+      let near = 0xFFFF8000 in
+      let mask = 0xFFFFFFFF in
+      let d1 = (near - snap_c.Tcp.snap_snd_una) land mask in
+      let d2 = (near + 0x4000 - snap_s.Tcp.snap_snd_una) land mask in
+      let shift snap d_snd d_rcv =
+        { snap with
+          Tcp.snap_iss = Tcp_seq.add snap.Tcp.snap_iss d_snd;
+          snap_snd_una = Tcp_seq.add snap.Tcp.snap_snd_una d_snd;
+          snap_snd_nxt = Tcp_seq.add snap.Tcp.snap_snd_nxt d_snd;
+          snap_rcv_nxt = Tcp_seq.add snap.Tcp.snap_rcv_nxt d_rcv }
+      in
+      let c2 = Tcp.import w.a.stack.Stack.tcp (shift snap_c d1 d2) in
+      let s2 = Tcp.import w.b.stack.Stack.tcp (shift snap_s d2 d1) in
+      Sched.spawn w.sched ~name:"wrap-drain" (fun () ->
+          received := read_all s2;
+          Tcp.close s2);
+      Tcp.write c2 (View.of_string data);
+      Tcp.close c2;
+      Tcp.await_closed c2);
+  check "length across wrap" n (String.length !received);
+  check_bool "content across wrap" true (String.equal data !received)
+
+(* --- zero window ---------------------------------------------------------- *)
+
+let test_full_stall_then_resume () =
+  (* The receiver reads nothing for far longer than the persist interval;
+     the sender must sit in zero-window probing, then complete. *)
+  let w = make_world () in
+  let received = ref "" in
+  with_server w ~port:80 (fun conn ->
+      Sched.sleep w.sched (Time.sec 5);
+      received := read_all conn;
+      Tcp.close conn);
+  let n = 50_000 in
+  let data = pattern n in
+  run_to_completion w (fun () ->
+      let c = connect_a w ~port:80 in
+      Tcp.write c (View.of_string data);
+      Tcp.close c;
+      Tcp.await_closed c);
+  check "delivered after stall" n (String.length !received);
+  check_bool "content" true (String.equal data !received)
+
+let test_window_goes_to_zero () =
+  let w = make_world () in
+  let observed_zero = ref false in
+  with_server w ~port:80 (fun conn ->
+      (* Never read until the probe phase is well underway. *)
+      Sched.sleep w.sched (Time.sec 4);
+      let rec drain () = match Tcp.read conn ~max:65536 with None -> () | Some _ -> drain () in
+      drain ();
+      Tcp.close conn);
+  run_to_completion w (fun () ->
+      let c = connect_a w ~port:80 in
+      (* More than the 16 KB receive buffer. *)
+      Sched.spawn w.sched ~name:"writer" (fun () ->
+          Tcp.write c (View.of_string (pattern 40_000));
+          Tcp.close c);
+      Sched.sleep w.sched (Time.sec 2);
+      observed_zero := Tcp.bytes_queued c > 0;
+      Tcp.await_closed c);
+  check_bool "sender was window-blocked mid-transfer" true !observed_zero
+
+(* --- simultaneous close ----------------------------------------------------- *)
+
+let test_simultaneous_close () =
+  let w = make_world () in
+  let server_done = ref false in
+  let server_conn = ref None in
+  with_server w ~port:80 (fun conn -> server_conn := Some conn);
+  run_to_completion w (fun () ->
+      let c = connect_a w ~port:80 in
+      Sched.sleep w.sched (Time.ms 100);
+      let s = Option.get !server_conn in
+      (* Close both ends in the same instant. *)
+      Sched.spawn w.sched ~name:"server-close" (fun () ->
+          Tcp.close s;
+          Tcp.await_closed s;
+          server_done := true);
+      Tcp.close c;
+      Tcp.await_closed c;
+      check_bool "client closed" true (Tcp.state c = Tcp_state.Closed));
+  check_bool "server closed" true !server_done
+
+(* --- listener lifecycle ------------------------------------------------------- *)
+
+let test_closed_listener_refuses () =
+  let w = make_world () in
+  let r =
+    run_to_completion w (fun () ->
+        let l = Tcp.listen w.b.stack.Stack.tcp ~port:80 in
+        Tcp.close_listener w.b.stack.Stack.tcp l;
+        Tcp.connect w.a.stack.Stack.tcp ~src_port:5000 ~dst:w.b.ip ~dst_port:80)
+  in
+  check_bool "refused after listener close" true (Result.is_error r)
+
+let test_listener_port_reusable_after_close () =
+  let w = make_world () in
+  run_to_completion w (fun () ->
+      let l = Tcp.listen w.b.stack.Stack.tcp ~port:80 in
+      Tcp.close_listener w.b.stack.Stack.tcp l;
+      (* Relisten on the same port must not raise. *)
+      let l2 = Tcp.listen w.b.stack.Stack.tcp ~port:80 in
+      Tcp.close_listener w.b.stack.Stack.tcp l2)
+
+(* --- API misuse ------------------------------------------------------------------ *)
+
+let test_write_after_close_rejected () =
+  let w = make_world () in
+  with_server w ~port:80 (fun conn ->
+      (match Tcp.read conn ~max:16 with _ -> ());
+      Tcp.close conn);
+  run_to_completion w (fun () ->
+      let c = connect_a w ~port:80 in
+      Tcp.close c;
+      check_bool "write after close raises" true
+        (try
+           Tcp.write c (View.of_string "too late");
+           false
+         with Tcp.Connection_error _ -> true);
+      Tcp.await_closed c)
+
+let test_read_after_abort_raises () =
+  let w = make_world () in
+  with_server w ~port:80 (fun conn ->
+      try ignore (Tcp.read conn ~max:16) with Tcp.Connection_error _ -> ());
+  run_to_completion w (fun () ->
+      let c = connect_a w ~port:80 in
+      Tcp.abort c;
+      check_bool "read after abort raises" true
+        (try
+           ignore (Tcp.read c ~max:16);
+           false
+         with Tcp.Connection_error _ -> true))
+
+let test_double_close_harmless () =
+  let w = make_world () in
+  with_server w ~port:80 (fun conn ->
+      (match Tcp.read conn ~max:16 with _ -> ());
+      Tcp.close conn);
+  run_to_completion w (fun () ->
+      let c = connect_a w ~port:80 in
+      Tcp.close c;
+      Tcp.close c;
+      Tcp.close c;
+      Tcp.await_closed c;
+      check_bool "closed" true (Tcp.state c = Tcp_state.Closed))
+
+let () =
+  Alcotest.run "tcp-edge"
+    [ ("wraparound", [ Alcotest.test_case "transfer across 2^32" `Quick test_transfer_across_sequence_wrap ]);
+      ( "zero-window",
+        [ Alcotest.test_case "full stall then resume" `Quick test_full_stall_then_resume;
+          Alcotest.test_case "window reaches zero" `Quick test_window_goes_to_zero ] );
+      ("close", [ Alcotest.test_case "simultaneous" `Quick test_simultaneous_close ]);
+      ( "listener",
+        [ Alcotest.test_case "closed refuses" `Quick test_closed_listener_refuses;
+          Alcotest.test_case "port reusable" `Quick test_listener_port_reusable_after_close ] );
+      ( "misuse",
+        [ Alcotest.test_case "write after close" `Quick test_write_after_close_rejected;
+          Alcotest.test_case "read after abort" `Quick test_read_after_abort_raises;
+          Alcotest.test_case "double close" `Quick test_double_close_harmless ] ) ]

@@ -1,0 +1,95 @@
+(* Shared helpers for the test suites. *)
+
+module Sched = Uln_engine.Sched
+module Time = Uln_engine.Time
+module Rng = Uln_engine.Rng
+module Mailbox = Uln_engine.Mailbox
+module View = Uln_buf.View
+module Mbuf = Uln_buf.Mbuf
+module Ip = Uln_addr.Ip
+module Mac = Uln_addr.Mac
+module Machine = Uln_host.Machine
+module Costs = Uln_host.Costs
+module Link = Uln_net.Link
+module Lance = Uln_net.Lance
+module An1_nic = Uln_net.An1_nic
+module Nic = Uln_net.Nic
+module Frame = Uln_net.Frame
+module Fault = Uln_net.Fault
+module Stack = Uln_proto.Stack
+module Proto_env = Uln_proto.Proto_env
+module Tcp = Uln_proto.Tcp
+module Tcp_params = Uln_proto.Tcp_params
+module Udp = Uln_proto.Udp
+module Icmp = Uln_proto.Icmp
+
+type node = { machine : Machine.t; nic : Nic.t; stack : Stack.t; ip : Ip.t }
+
+(* A host with one NIC and one directly-attached stack instance (no
+   protection structure: this exercises the protocol engines alone). *)
+let make_node sched link ~name ~mac_seed ~ip ~costs ~tcp_params =
+  let machine = Machine.create sched ~name ~costs ~rng:(Rng.create ~seed:(1000 + mac_seed)) in
+  let mac = Mac.of_int (0x5254000000 + mac_seed) in
+  let nic = Lance.create machine link ~mac () in
+  let env = Proto_env.of_machine machine in
+  let stack =
+    Stack.create env
+      ~netif:{ Stack.mtu = nic.Nic.mtu; mac; tx = nic.Nic.send }
+      ~ip_addr:ip ~tcp_params ()
+  in
+  let rxq = Mailbox.create () in
+  nic.Nic.install_rx (fun info -> Mailbox.send rxq info.Nic.frame);
+  let rec rx_loop () =
+    let frame = Mailbox.recv rxq in
+    Stack.input stack frame;
+    rx_loop ()
+  in
+  Sched.spawn sched ~name:(name ^ ".rx") rx_loop;
+  { machine; nic; stack; ip }
+
+type world = { sched : Sched.t; link : Link.t; a : node; b : node }
+
+let make_world ?(costs = Costs.zero) ?(tcp_params = Tcp_params.fast) ?fault () =
+  let sched = Sched.create () in
+  let link = Link.ethernet sched in
+  (match fault with None -> () | Some f -> Link.set_fault link f);
+  let a =
+    make_node sched link ~name:"alpha" ~mac_seed:1 ~ip:(Ip.of_string "10.0.0.1") ~costs
+      ~tcp_params
+  in
+  let b =
+    make_node sched link ~name:"beta" ~mac_seed:2 ~ip:(Ip.of_string "10.0.0.2") ~costs
+      ~tcp_params
+  in
+  { sched; link; a; b }
+
+let run_to_completion w f = Sched.block_on w.sched f
+
+(* Read exactly [n] bytes from a TCP connection. *)
+let read_exactly conn n =
+  let buf = Buffer.create n in
+  let rec go () =
+    if Buffer.length buf < n then
+      match Tcp.read conn ~max:(n - Buffer.length buf) with
+      | None -> failwith "unexpected EOF"
+      | Some v ->
+          Buffer.add_string buf (View.to_string v);
+          go ()
+  in
+  go ();
+  Buffer.contents buf
+
+(* Drain a connection to EOF. *)
+let read_all conn =
+  let buf = Buffer.create 256 in
+  let rec go () =
+    match Tcp.read conn ~max:65536 with
+    | None -> Buffer.contents buf
+    | Some v ->
+        Buffer.add_string buf (View.to_string v);
+        go ()
+  in
+  go ()
+
+let pattern n =
+  String.init n (fun i -> Char.chr (((i * 7) + (i / 251)) land 0x7f))
