@@ -195,10 +195,118 @@ let snoop_cmd =
          "Run a short request-response exchange and print every frame on the wire, decoded           (ARP, handshake, data, teardown).")
     Term.(const run $ org_arg $ network_arg)
 
+let filter_lint_cmd =
+  let open Uln_filter in
+  let ip_local = Uln_addr.Ip.of_string "10.0.0.1" in
+  let ip_peer = Uln_addr.Ip.of_string "10.0.0.2" in
+  let builtin_suite () =
+    [ ("tcp_conn", Program.tcp_conn ~src_ip:ip_peer ~dst_ip:ip_local ~src_port:1234 ~dst_port:80);
+      ("tcp_listen", Program.tcp_dst_port ~dst_ip:ip_local ~dst_port:80);
+      ("udp_port", Program.udp_port ~dst_ip:ip_local ~dst_port:53);
+      ("rrp_server", Program.rrp_server ~dst_ip:ip_local ~port:300);
+      ("rrp_client", Program.rrp_client ~dst_ip:ip_local ~port:301);
+      ("arp", Program.arp ());
+      ("ip_proto6", Program.ip_proto 6);
+      ("raw_xchg", Program.of_insns [ Insn.Push_word 12; Insn.Push_lit 0x3333; Insn.Eq ]) ]
+  in
+  let budget = Uln_core.Calibration.filter_cycle_budget in
+  (* One filter: verdict, certified minimum accepted length, worst-case
+     cycles before/after optimization.  Returns false on anything the
+     kernel would refuse to install. *)
+  let lint_one ~dump name p =
+    let o = Optimize.run p in
+    let before = Verify.analyze p in
+    let after = Verify.analyze o in
+    Printf.printf "%-12s %-12s min-len %-4s wcet %4d -> %4d interp, %3d -> %3d compiled\n" name
+      (Format.asprintf "%a" Verify.pp_vacuity after.Verify.vacuity)
+      (match after.Verify.min_accept_len with Some n -> string_of_int n | None -> "-")
+      before.Verify.wcet_interp after.Verify.wcet_interp before.Verify.wcet_compiled
+      after.Verify.wcet_compiled;
+    if dump then Format.printf "@[<v 2>  optimized:@ %a@]@." Program.pp o;
+    match Verify.admit ~budget o with
+    | Error e ->
+        Printf.printf "  REJECTED: %s\n" (Format.asprintf "%a" Verify.pp_error e);
+        false
+    | Ok r when r.Verify.vacuity = Verify.Always_true ->
+        Printf.printf "  REJECTED: filter accepts every packet\n";
+        false
+    | Ok _ -> true
+  in
+  let overlap_matrix suite =
+    let rec pairs = function
+      | [] -> []
+      | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+    in
+    List.fold_left
+      (fun acc ((na, a), (nb, b)) ->
+        match Verify.overlap_witness a b with
+        | None -> acc
+        | Some w ->
+            if Verify.subsumes ~general:a ~specific:b then begin
+              Printf.printf "note: %s subsumes %s (benign shadowing)\n" na nb;
+              acc
+            end
+            else if Verify.subsumes ~general:b ~specific:a then begin
+              Printf.printf "note: %s subsumes %s (benign shadowing)\n" nb na;
+              acc
+            end
+            else begin
+              Printf.printf "OVERLAP: %s and %s both accept the same %d-byte packet\n" na nb
+                (Uln_buf.View.length w);
+              acc + 1
+            end)
+      0 (pairs suite)
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let run file dump =
+    let ok =
+      match file with
+      | None ->
+          let suite = builtin_suite () in
+          let oks = List.map (fun (n, p) -> lint_one ~dump n p) suite in
+          let overlaps = overlap_matrix suite in
+          List.for_all Fun.id oks && overlaps = 0
+      | Some path -> (
+          match Program.of_string (read_file path) with
+          | Error e ->
+              Printf.printf "%s: %s\n" path e;
+              false
+          | Ok p -> lint_one ~dump:true path p)
+    in
+    if not ok then exit 1
+  in
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Filter program to lint, in the textual form $(b,Program.pp) prints (one instruction \
+             per line; optional \"N:\" index prefixes, blank and \"#\" lines ignored).  Without \
+             a file, lints the built-in standard filter suite and prints its pairwise overlap \
+             matrix.")
+  in
+  let dump_arg =
+    Arg.(value & flag & info [ "d"; "dump" ] ~doc:"Also print the optimized program listing.")
+  in
+  Cmd.v
+    (Cmd.info "filter-lint"
+       ~doc:
+         "Statically verify packet-filter programs: vacuity, minimum accepted packet length, \
+          worst-case cycle certification against the kernel's admission budget, and optimizer \
+          savings.  Exits non-zero if the kernel would refuse the filter.")
+    Term.(const run $ file_arg $ dump_arg)
+
 let () =
   let doc = "user-level network protocol testbed (SIGCOMM '93 reproduction)" in
   let info = Cmd.info "netlab" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ throughput_cmd; latency_cmd; setup_cmd; orgs_cmd; table_cmd; snoop_cmd; rrp_cmd ]))
+          [ throughput_cmd; latency_cmd; setup_cmd; orgs_cmd; table_cmd; snoop_cmd; rrp_cmd;
+            filter_lint_cmd ]))

@@ -1,1 +1,1 @@
-lib/core/netio.ml: Calibration Hashtbl List Printf Stdlib Uln_buf Uln_engine Uln_filter Uln_host Uln_net
+lib/core/netio.ml: Calibration Format Hashtbl List Printf Stdlib Uln_buf Uln_engine Uln_filter Uln_host Uln_net

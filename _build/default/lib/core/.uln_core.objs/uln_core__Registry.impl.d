@@ -1,1 +1,1 @@
-lib/core/registry.ml: Calibration Hashtbl Lazy List Netio Printf Uln_addr Uln_buf Uln_engine Uln_filter Uln_host Uln_net Uln_proto
+lib/core/registry.ml: Calibration Format Hashtbl Lazy List Netio Printf Uln_addr Uln_buf Uln_engine Uln_filter Uln_host Uln_net Uln_proto

@@ -12,6 +12,13 @@ let registry_channel_setup = Time.us 3200
 let registry_state_transfer = Time.us 1400
 let netio_demux_overhead = Time.us 33
 
+(* Admission-control ceiling on a single demux program's certified
+   worst-case cost: ~8.6x the standard TCP connection filter (476
+   interpreted cycles), so every legitimate filter fits with room for
+   richer ones, while an unbounded program cannot stall the receive
+   path of every other channel on the host. *)
+let filter_cycle_budget = 4096
+
 let userlib_rx_per_segment = Time.us 320
 let userlib_batch_overhead = Time.us 380
 let userlib_per_write = Time.us 60

@@ -58,6 +58,13 @@ val netio_demux_overhead : Uln_engine.Time.span
     itself is charged by its instruction cost.  Together these are
     Table 5's 52 us LANCE figure. *)
 
+val filter_cycle_budget : int
+(** Admission-control bound on one demux program's certified worst-case
+    cycle cost ({!Uln_filter.Verify}): filters the verifier cannot
+    bound under this are refused at install time, so no application can
+    make kernel demultiplexing arbitrarily expensive for everyone
+    else. *)
+
 val userlib_rx_per_segment : Uln_engine.Time.span
 (** Per-packet cost of the user-level receive path beyond the protocol
     code itself: the per-connection thread upcall, C-threads

@@ -16,6 +16,7 @@ module Frame = Uln_net.Frame
 module Demux = Uln_filter.Demux
 module Program = Uln_filter.Program
 module Template = Uln_filter.Template
+module Verify = Uln_filter.Verify
 
 exception Send_rejected of string
 
@@ -44,6 +45,7 @@ type t = {
   mutable overflows : int;
   mutable hw_demuxed : int;
   mutable sw_demuxed : int;
+  mutable overlap_flags : int;
   demux_cost : Stats.Dist.t;
 }
 
@@ -77,7 +79,7 @@ let create machine nic ~mode =
   let t =
     { machine;
       nic;
-      demux = Demux.create ~mode ();
+      demux = Demux.create ~mode ~budget:Calibration.filter_cycle_budget ();
       by_bqi = Hashtbl.create 8;
       next_id = 0;
       rejected = 0;
@@ -85,6 +87,7 @@ let create machine nic ~mode =
       overflows = 0;
       hw_demuxed = 0;
       sw_demuxed = 0;
+      overlap_flags = 0;
       demux_cost = Stats.Dist.create (machine.Machine.name ^ ".demux_us") }
   in
   let costs = machine.Machine.costs in
@@ -169,11 +172,35 @@ let create_channel t ~caller ~owner ~use_bqi =
     ch.id (Addr_space.name owner) bqi;
   ch
 
+(* A strict partial overlap with another channel's installed filter —
+   both would accept a common packet and neither subsumes the other —
+   is the eavesdropping/ambiguity hazard the verifier exists to catch.
+   (Overlaps on the same channel, and subsumption shadowing like a
+   connection filter under its listener, are benign and not flagged.) *)
+let filter_conflict t ch program =
+  match
+    List.filter (fun (c : channel Demux.conflict) -> c.Demux.with_endpoint != ch)
+      (Demux.conflicts t.demux program)
+  with
+  | [] -> None
+  | { Demux.witness; _ } :: _ as cs ->
+      Some
+        (Printf.sprintf "accept sets of %d installed filter(s) intersect (witness: %d-byte packet)"
+           (List.length cs) (Uln_buf.View.length witness))
+
 let add_filter t ~caller ch program =
   require_privileged caller "Netio.add_filter";
-  let k = Demux.install t.demux program ch in
-  ch.filters <- k :: ch.filters;
-  k
+  (match filter_conflict t ch program with
+  | None -> ()
+  | Some desc ->
+      t.overlap_flags <- t.overlap_flags + 1;
+      Uln_engine.Trace.infof t.machine.Machine.sched "netio" "filter overlap on chan%d: %s" ch.id
+        desc);
+  match Demux.install t.demux program ch with
+  | Ok k ->
+      ch.filters <- k :: ch.filters;
+      k
+  | Error e -> raise (Verify.Rejected e)
 
 let remove_filter t ~caller k =
   require_privileged caller "Netio.remove_filter";
@@ -181,6 +208,12 @@ let remove_filter t ~caller k =
 
 let activate t ~caller ch ~filter ~template =
   require_privileged caller "Netio.activate";
+  (match Verify.check_template ~filter template with
+  | Ok () -> ()
+  | Error te ->
+      raise
+        (Capability.Violation
+           (Format.asprintf "Netio.activate on chan%d: %a" ch.id Verify.pp_template_error te)));
   ch.template <- Some template;
   ch.active <- true;
   ignore (add_filter t ~caller ch filter)
@@ -268,3 +301,4 @@ let inject t ~caller ch frame =
 let ring_overflows t = t.overflows
 let hw_demuxed t = t.hw_demuxed
 let sw_demuxed t = t.sw_demuxed
+let overlap_flags t = t.overlap_flags

@@ -54,13 +54,30 @@ val activate :
   unit
 (** Install the input filter and the outbound template, enabling the
     channel.  The template's [bqi] is stamped on outgoing packets.
-    @raise Capability.Violation unless [caller] is privileged. *)
+    The pair is cross-checked ({!Uln_filter.Verify.check_template}):
+    a receive filter that pins the local address admits only templates
+    that pin the same address as packet source, so the send capability
+    cannot impersonate another endpoint.
+    @raise Capability.Violation unless [caller] is privileged, or if
+    the template fails the cross-check.
+    @raise Uln_filter.Verify.Rejected if the filter fails admission. *)
 
 val add_filter :
   t -> caller:Uln_host.Addr_space.t -> channel -> Uln_filter.Program.t ->
   Uln_filter.Demux.key
 (** Additional input filters (the registry points handshake traffic at
-    its own channel this way). *)
+    its own channel this way).  The program passes verifier admission
+    ({!Uln_filter.Verify}): it is optimized, certified against
+    {!Calibration.filter_cycle_budget}, and refused if vacuous or
+    over-budget.
+    @raise Uln_filter.Verify.Rejected on an admission failure. *)
+
+val filter_conflict : t -> channel -> Uln_filter.Program.t -> string option
+(** Description of a strict partial overlap between [program]'s accept
+    set and a filter installed for a {e different} channel (a concrete
+    witness packet both accept, with neither filter subsuming the
+    other) — the ambiguity/eavesdropping hazard the registry surfaces
+    as a capability-install conflict.  [None] when provably clean. *)
 
 val remove_filter : t -> caller:Uln_host.Addr_space.t -> Uln_filter.Demux.key -> unit
 
@@ -128,3 +145,7 @@ val hw_demuxed : t -> int
 
 val sw_demuxed : t -> int
 (** Packets dispatched by the software filter table. *)
+
+val overlap_flags : t -> int
+(** Installs that proceeded despite a cross-channel accept-set overlap
+    (each is also traced with its witness packet). *)

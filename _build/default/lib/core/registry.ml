@@ -15,6 +15,7 @@ module Nic = Uln_net.Nic
 module Program = Uln_filter.Program
 module Template = Uln_filter.Template
 module Demux = Uln_filter.Demux
+module Verify = Uln_filter.Verify
 module Stack = Uln_proto.Stack
 module Proto_env = Uln_proto.Proto_env
 module Tcp = Uln_proto.Tcp
@@ -121,6 +122,12 @@ let conn_template t ~remote_ip ~remote_port ~local_port ~bqi =
     ~dst_port:remote_port ~bqi ()
 
 let charge t span = Cpu.use t.machine.Machine.cpu span
+
+(* Verifier admission failures surface to applications as the typed
+   IPC error of the operation that tried to install the filter. *)
+let verifier_error e = Format.asprintf "filter rejected: %a" Verify.pp_error e
+
+let conflict_error desc = Printf.sprintf "capability install conflict: %s" desc
 
 (* The registry reaches the device with ordinary IPC, not shared memory
    (paper §4: part of why setup is costlier than data transfer). *)
@@ -322,25 +329,36 @@ and do_connect t (req : connect_req) =
     Hashtbl.replace t.pending key
       { stamp_bqi = Netio.channel_bqi app_ch; peer_bqi = 0; pre_channel = None };
     (* Route this handshake's inbound segments to the registry. *)
-    let tmp_filter =
-      Netio.add_filter t.netio ~caller:t.dom t.channel
-        (conn_filter t ~remote_ip:req.c_dst ~remote_port:req.c_dst_port ~local_port:src_port)
-    in
-    let cleanup () =
-      Netio.remove_filter t.netio ~caller:t.dom tmp_filter;
-      Hashtbl.remove t.pending key;
-      Netio.destroy_channel t.netio ~caller:t.dom app_ch;
-      Hashtbl.remove t.ports src_port
-    in
-    match Tcp.connect t.stack.Stack.tcp ~src_port ~dst:req.c_dst ~dst_port:req.c_dst_port with
+    match
+      try
+        Ok
+          (Netio.add_filter t.netio ~caller:t.dom t.channel
+             (conn_filter t ~remote_ip:req.c_dst ~remote_port:req.c_dst_port
+                ~local_port:src_port))
+      with Verify.Rejected e -> Error (verifier_error e)
+    with
     | Error e ->
-        cleanup ();
+        Hashtbl.remove t.pending key;
+        Netio.destroy_channel t.netio ~caller:t.dom app_ch;
+        Hashtbl.remove t.ports src_port;
         Error e
-    | Ok conn ->
-        let p = Hashtbl.find t.pending key in
-        finish_setup t ~conn ~app_ch ~remote_ip:req.c_dst ~remote_port:req.c_dst_port
-          ~local_port:src_port ~peer_bqi:p.peer_bqi ~tmp_filter:(Some tmp_filter) ~key
-
+    | Ok tmp_filter -> (
+        let cleanup () =
+          Netio.remove_filter t.netio ~caller:t.dom tmp_filter;
+          Hashtbl.remove t.pending key;
+          Netio.destroy_channel t.netio ~caller:t.dom app_ch;
+          Hashtbl.remove t.ports src_port
+        in
+        match
+          Tcp.connect t.stack.Stack.tcp ~src_port ~dst:req.c_dst ~dst_port:req.c_dst_port
+        with
+        | Error e ->
+            cleanup ();
+            Error e
+        | Ok conn ->
+            let p = Hashtbl.find t.pending key in
+            finish_setup t ~conn ~app_ch ~remote_ip:req.c_dst ~remote_port:req.c_dst_port
+              ~local_port:src_port ~peer_bqi:p.peer_bqi ~tmp_filter:(Some tmp_filter) ~key)
   end
 
 and finish_setup t ~conn ~app_ch ~remote_ip ~remote_port ~local_port ~peer_bqi ~tmp_filter
@@ -369,12 +387,18 @@ and do_listen t port =
   if Hashtbl.mem t.ports port then Error (Printf.sprintf "port %d in use" port)
   else begin
     charge t Calibration.registry_port_alloc;
-    let listener = Tcp.listen t.stack.Stack.tcp ~port in
-    Hashtbl.replace t.ports port (Listening listener);
-    ignore
-      (Netio.add_filter t.netio ~caller:t.dom t.channel
-         (Program.tcp_dst_port ~dst_ip:t.my_ip ~dst_port:port));
-    Ok ()
+    match
+      try
+        Ok
+          (Netio.add_filter t.netio ~caller:t.dom t.channel
+             (Program.tcp_dst_port ~dst_ip:t.my_ip ~dst_port:port))
+      with Verify.Rejected e -> Error (verifier_error e)
+    with
+    | Error e -> Error e
+    | Ok _ ->
+        let listener = Tcp.listen t.stack.Stack.tcp ~port in
+        Hashtbl.replace t.ports port (Listening listener);
+        Ok ()
   end
 
 and do_accept t (req : accept_req) =
@@ -438,13 +462,22 @@ and do_bind_udp t (app, port) =
   if Hashtbl.mem t.udp_ports port then Error (Printf.sprintf "udp port %d in use" port)
   else begin
     charge t Calibration.registry_port_alloc;
-    Hashtbl.replace t.udp_ports port ();
+    let filter = Program.udp_port ~dst_ip:t.my_ip ~dst_port:port in
     let ch = Netio.create_channel t.netio ~caller:t.dom ~owner:app ~use_bqi:false in
-    charge t Calibration.registry_channel_setup;
-    Netio.activate t.netio ~caller:t.dom ch
-      ~filter:(Program.udp_port ~dst_ip:t.my_ip ~dst_port:port)
-      ~template:(Template.udp_bound ~src_ip:t.my_ip ~src_port:port ());
-    Ok ch
+    let refuse e =
+      Netio.destroy_channel t.netio ~caller:t.dom ch;
+      Error e
+    in
+    match Netio.filter_conflict t.netio ch filter with
+    | Some desc -> refuse (conflict_error desc)
+    | None -> (
+        charge t Calibration.registry_channel_setup;
+        try
+          Netio.activate t.netio ~caller:t.dom ch ~filter
+            ~template:(Template.udp_bound ~src_ip:t.my_ip ~src_port:port ());
+          Hashtbl.replace t.udp_ports port ();
+          Ok ch
+        with Verify.Rejected e -> refuse (verifier_error e))
   end
 
 and do_release_udp t (port, channel) =
@@ -462,20 +495,29 @@ and do_bind_rrp t (app, is_server, port) =
   if Hashtbl.mem t.rrp_ports port then Error (Printf.sprintf "rrp port %d in use" port)
   else begin
     charge t Calibration.registry_port_alloc;
-    Hashtbl.replace t.rrp_ports port ();
-    let ch = Netio.create_channel t.netio ~caller:t.dom ~owner:app ~use_bqi:false in
-    charge t Calibration.registry_channel_setup;
     let filter =
       if is_server then Program.rrp_server ~dst_ip:t.my_ip ~port
       else Program.rrp_client ~dst_ip:t.my_ip ~port
     in
-    let template =
-      Template.rrp_endpoint ~src_ip:t.my_ip
-        ~role:(if is_server then `Server else `Client)
-        ~port ()
+    let ch = Netio.create_channel t.netio ~caller:t.dom ~owner:app ~use_bqi:false in
+    let refuse e =
+      Netio.destroy_channel t.netio ~caller:t.dom ch;
+      Error e
     in
-    Netio.activate t.netio ~caller:t.dom ch ~filter ~template;
-    Ok (ch, port)
+    match Netio.filter_conflict t.netio ch filter with
+    | Some desc -> refuse (conflict_error desc)
+    | None -> (
+        charge t Calibration.registry_channel_setup;
+        let template =
+          Template.rrp_endpoint ~src_ip:t.my_ip
+            ~role:(if is_server then `Server else `Client)
+            ~port ()
+        in
+        try
+          Netio.activate t.netio ~caller:t.dom ch ~filter ~template;
+          Hashtbl.replace t.rrp_ports port ();
+          Ok (ch, port)
+        with Verify.Rejected e -> refuse (verifier_error e))
   end
 
 and do_release_rrp t (port, channel) =

@@ -1,0 +1,1 @@
+lib/pktfilter/absint.ml: Hashtbl Insn List Program Stdlib

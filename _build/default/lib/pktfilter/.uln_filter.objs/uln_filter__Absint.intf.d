@@ -1,0 +1,1 @@
+lib/pktfilter/absint.mli: Insn Program

@@ -1,1 +1,1 @@
-lib/pktfilter/compile.ml: Insn List Program Uln_buf Uln_engine
+lib/pktfilter/compile.ml: Absint Insn List Program Uln_buf Uln_engine

@@ -1,1 +1,1 @@
-lib/pktfilter/demux.ml: Compile Interp List Program Uln_buf
+lib/pktfilter/demux.ml: Compile Interp List Optimize Option Program Uln_buf Verify

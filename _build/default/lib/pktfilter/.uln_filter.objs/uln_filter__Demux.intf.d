@@ -1,1 +1,1 @@
-lib/pktfilter/demux.mli: Program Uln_buf
+lib/pktfilter/demux.mli: Program Uln_buf Verify

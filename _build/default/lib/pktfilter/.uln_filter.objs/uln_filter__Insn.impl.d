@@ -1,1 +1,1 @@
-lib/pktfilter/insn.ml: Format
+lib/pktfilter/insn.ml: Format List Option String

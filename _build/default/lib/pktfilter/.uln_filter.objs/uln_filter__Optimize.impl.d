@@ -1,0 +1,1 @@
+lib/pktfilter/optimize.ml: Hashtbl Insn List Option Program Stdlib

@@ -1,0 +1,1 @@
+lib/pktfilter/optimize.mli: Insn Program

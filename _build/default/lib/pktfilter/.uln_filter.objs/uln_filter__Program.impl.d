@@ -1,1 +1,1 @@
-lib/pktfilter/program.ml: Format Insn Int32 List Stdlib Uln_addr
+lib/pktfilter/program.ml: Format Insn Int32 List Printf Stdlib String Uln_addr

@@ -1,0 +1,1 @@
+lib/pktfilter/verify.ml: Absint Format Hashtbl Interp List Stdlib Template Uln_buf

@@ -1,0 +1,1 @@
+lib/pktfilter/verify.mli: Format Program Template Uln_buf

@@ -1,0 +1,300 @@
+(* Abstract interpretation of filter programs over a 16-bit interval
+   domain, with shallow symbolic tracking of packet loads and of
+   load-vs-literal comparisons.  The program text is straight-line
+   (branches only exit), so a single forward pass visits every
+   reachable instruction and enumerates every way the program can
+   accept a packet. *)
+
+type itv = { lo : int; hi : int }
+
+let top16 = { lo = 0; hi = 0xffff }
+let byte_itv = { lo = 0; hi = 0xff }
+let const v = { lo = v; hi = v }
+let is_const i = i.lo = i.hi
+
+(* Number of bits needed to represent [n] (bits 0 = 0). *)
+let bits n =
+  let rec go b = if n lsr b = 0 then b else go (b + 1) in
+  go 0
+
+type source =
+  | Lit of int  (* statically known constant *)
+  | Load of { off : int; width : int }
+  | Test of { off : int; width : int; value : int; negated : bool }
+      (* 0/1: result of comparing the load at [off] with [value] *)
+  | Derived
+
+type cell = { itv : itv; src : source }
+
+type accept_path = {
+  ap_at : int option;  (* [Some i]: Cor at instruction i; [None]: fall-through *)
+  ap_min_len : int;  (* packet length needed to reach this exit *)
+  ap_cycles : int;  (* interpreted cycles executed up to this exit *)
+  ap_constraints : (int * int) list;  (* byte offset -> required byte value *)
+  ap_exact : bool;  (* constraints fully characterize the path condition *)
+}
+
+type result = {
+  r_always_false : bool;
+  r_always_true : bool;
+  r_min_accept_len : int option;
+  r_wcet_interp : int;
+  r_wcet_compiled : int;
+  r_max_depth : int;
+  r_accept_paths : accept_path list;
+  r_conjunctive : bool;
+      (* pure Cand-chain: accepts exactly the packets satisfying the
+         fall-through path's byte constraints (and length requirement) *)
+}
+
+(* Per-instruction cost after kernel code synthesis, mirroring
+   [Program.compiled_cycles]. *)
+let compiled_cost = function
+  | Insn.Push_word _ | Insn.Push_byte _ -> 8
+  | _ -> 3
+
+(* --- interval arithmetic (16-bit, wrapping) ---------------------------- *)
+
+let itv_add a b =
+  if a.hi + b.hi <= 0xffff then { lo = a.lo + b.lo; hi = a.hi + b.hi }
+  else if a.lo + b.lo >= 0x10000 then
+    { lo = a.lo + b.lo - 0x10000; hi = a.hi + b.hi - 0x10000 }
+  else top16
+
+let itv_sub a b =
+  let lo = a.lo - b.hi and hi = a.hi - b.lo in
+  if lo >= 0 then { lo; hi }
+  else if hi < 0 then { lo = lo + 0x10000; hi = hi + 0x10000 }
+  else top16
+
+let itv_and a b =
+  if is_const a && is_const b then const (a.lo land b.lo)
+  else { lo = 0; hi = Stdlib.min a.hi b.hi }
+
+let itv_or a b =
+  if is_const a && is_const b then const (a.lo lor b.lo)
+  else { lo = Stdlib.max a.lo b.lo; hi = (1 lsl bits (Stdlib.max a.hi b.hi)) - 1 }
+
+let itv_xor a b =
+  if is_const a && is_const b then const (a.lo lxor b.lo)
+  else { lo = 0; hi = (1 lsl bits (Stdlib.max a.hi b.hi)) - 1 }
+
+let itv_shl n a =
+  if is_const a then const ((a.lo lsl n) land 0xffff)
+  else if a.hi lsl n <= 0xffff then { lo = a.lo lsl n; hi = a.hi lsl n }
+  else top16
+
+let itv_shr n a = { lo = a.lo lsr n; hi = a.hi lsr n }
+
+let bool_itv = { lo = 0; hi = 1 }
+
+let itv_eq a b =
+  if a.hi < b.lo || b.hi < a.lo then const 0
+  else if is_const a && is_const b && a.lo = b.lo then const 1
+  else bool_itv
+
+let itv_ne a b =
+  let e = itv_eq a b in
+  if is_const e then const (1 - e.lo) else bool_itv
+
+let itv_lt a b = if a.hi < b.lo then const 1 else if a.lo >= b.hi then const 0 else bool_itv
+let itv_le a b = if a.hi <= b.lo then const 1 else if a.lo > b.hi then const 0 else bool_itv
+let itv_gt a b = if a.lo > b.hi then const 1 else if a.hi <= b.lo then const 0 else bool_itv
+let itv_ge a b = if a.lo >= b.hi then const 1 else if a.hi < b.lo then const 0 else bool_itv
+
+(* --- the forward pass -------------------------------------------------- *)
+
+(* Byte-level constraints implied by an equality test. *)
+let test_bytes ~off ~width ~value =
+  if width = 1 then [ (off, value land 0xff) ]
+  else [ (off, (value lsr 8) land 0xff); (off + 1, value land 0xff) ]
+
+let analyze program =
+  let insns = Program.insns program in
+  let stack = ref [] in
+  let depth = ref 0 and max_depth = ref 0 in
+  let push c =
+    stack := c :: !stack;
+    incr depth;
+    if !depth > !max_depth then max_depth := !depth
+  in
+  let pop () =
+    match !stack with
+    | c :: r ->
+        stack := r;
+        decr depth;
+        c
+    | [] -> invalid_arg "Absint.analyze: stack underflow (unvalidated program?)"
+  in
+  let guard = ref 0 in
+  let cycles = ref 0 and ccycles = ref 0 in
+  (* Byte constraints known to hold on the current (fall-through) path. *)
+  let known : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let exact = ref true in
+  let has_cor = ref false in
+  let reject_possible = ref false in
+  let accepts = ref [] in
+  let decided : [ `Accept | `Reject ] option ref = ref None in
+  (* Merge [bys] into [known]: [`Conflict] if some byte is already pinned
+     to a different value, [`Implied] if all were already pinned to these
+     values, [`Added] otherwise. *)
+  let constrain bys =
+    if
+      List.exists
+        (fun (o, v) -> match Hashtbl.find_opt known o with Some v' -> v' <> v | None -> false)
+        bys
+    then `Conflict
+    else if List.for_all (fun (o, _) -> Hashtbl.mem known o) bys then `Implied
+    else begin
+      List.iter (fun (o, v) -> Hashtbl.replace known o v) bys;
+      `Added
+    end
+  in
+  let record_accept at (c : cell) =
+    let extra, extra_exact =
+      if c.itv.lo >= 1 then ([], true)
+      else
+        match c.src with
+        | Test { negated = false; off; width; value } -> (test_bytes ~off ~width ~value, true)
+        | _ -> ([], false)
+    in
+    (* An accept path whose condition contradicts the constraints already
+       established is infeasible: skip it. *)
+    let conflict =
+      List.exists
+        (fun (o, v) -> match Hashtbl.find_opt known o with Some v' -> v' <> v | None -> false)
+        extra
+    in
+    if not conflict then begin
+      let bys = Hashtbl.fold (fun o v acc -> (o, v) :: acc) known [] in
+      let bys = List.sort_uniq compare (extra @ bys) in
+      accepts :=
+        { ap_at = at;
+          ap_min_len = !guard;
+          ap_cycles = !cycles;
+          ap_constraints = bys;
+          ap_exact = !exact && extra_exact }
+        :: !accepts
+    end
+  in
+  let load off width =
+    guard := Stdlib.max !guard (off + width);
+    let itv =
+      if width = 1 then
+        match Hashtbl.find_opt known off with Some v -> const v | None -> byte_itv
+      else
+        match (Hashtbl.find_opt known off, Hashtbl.find_opt known (off + 1)) with
+        | Some a, Some b -> const ((a lsl 8) lor b)
+        | _ -> top16
+    in
+    push { itv; src = Load { off; width } }
+  in
+  let binop insn itv_f =
+    let b = pop () in
+    let a = pop () in
+    let itv = itv_f a.itv b.itv in
+    let src =
+      if is_const itv then Lit itv.lo
+      else
+        match (insn, a.src, b.src) with
+        | (Insn.Eq | Insn.Ne), Load { off; width }, Lit v
+        | (Insn.Eq | Insn.Ne), Lit v, Load { off; width } ->
+            Test { off; width; value = v; negated = insn = Insn.Ne }
+        | _ -> Derived
+    in
+    push { itv; src }
+  in
+  let step i insn =
+    match !decided with
+    | Some _ -> ()
+    | None -> (
+        cycles := !cycles + Insn.cycles insn;
+        ccycles := !ccycles + compiled_cost insn;
+        match insn with
+        | Insn.Push_lit v -> push { itv = const v; src = Lit v }
+        | Insn.Push_word off -> load off 2
+        | Insn.Push_byte off -> load off 1
+        | Insn.Eq -> binop insn itv_eq
+        | Insn.Ne -> binop insn itv_ne
+        | Insn.Lt -> binop insn itv_lt
+        | Insn.Le -> binop insn itv_le
+        | Insn.Gt -> binop insn itv_gt
+        | Insn.Ge -> binop insn itv_ge
+        | Insn.And -> binop insn itv_and
+        | Insn.Or -> binop insn itv_or
+        | Insn.Xor -> binop insn itv_xor
+        | Insn.Add -> binop insn itv_add
+        | Insn.Sub -> binop insn itv_sub
+        | Insn.Shl n ->
+            let a = pop () in
+            let itv = itv_shl n a.itv in
+            push { itv; src = (if is_const itv then Lit itv.lo else Derived) }
+        | Insn.Shr n ->
+            let a = pop () in
+            let itv = itv_shr n a.itv in
+            push { itv; src = (if is_const itv then Lit itv.lo else Derived) }
+        | Insn.Cand -> (
+            let c = pop () in
+            if c.itv.hi = 0 then decided := Some `Reject
+            else if c.itv.lo >= 1 then ()
+            else
+              match c.src with
+              | Test { negated = false; off; width; value } -> (
+                  if width = 1 && value > 0xff then decided := Some `Reject
+                  else
+                    match constrain (test_bytes ~off ~width ~value) with
+                    | `Conflict -> decided := Some `Reject
+                    | `Implied -> ()
+                    | `Added -> reject_possible := true)
+              | _ ->
+                  reject_possible := true;
+                  exact := false)
+        | Insn.Cor ->
+            has_cor := true;
+            let c = pop () in
+            if c.itv.lo >= 1 then begin
+              record_accept (Some i) c;
+              decided := Some `Accept
+            end
+            else if c.itv.hi = 0 then ()
+            else begin
+              record_accept (Some i) c;
+              (* Falling through means the condition was false, which
+                 byte-equality constraints cannot express. *)
+              exact := false
+            end)
+  in
+  List.iteri step insns;
+  (match !decided with
+  | Some _ -> ()
+  | None ->
+      (* Fall-through exit: accept iff the final top-of-stack is non-zero. *)
+      let c =
+        match !stack with
+        | c :: _ -> c
+        | [] -> invalid_arg "Absint.analyze: empty stack at exit (unvalidated program?)"
+      in
+      if c.itv.hi > 0 then record_accept None c;
+      if c.itv.lo >= 1 then decided := Some `Accept
+      else if c.itv.hi = 0 then decided := Some `Reject
+      else reject_possible := true);
+  let accepts = List.rev !accepts in
+  let always_false = accepts = [] in
+  let always_true = (not !reject_possible) && !decided = Some `Accept in
+  let min_accept_len =
+    match accepts with
+    | [] -> None
+    | ap :: rest -> Some (List.fold_left (fun m a -> Stdlib.min m a.ap_min_len) ap.ap_min_len rest)
+  in
+  let conjunctive =
+    (not !has_cor) && !exact
+    && List.for_all (fun a -> a.ap_exact && a.ap_at = None) accepts
+  in
+  { r_always_false = always_false;
+    r_always_true = always_true;
+    r_min_accept_len = min_accept_len;
+    r_wcet_interp = !cycles;
+    r_wcet_compiled = !ccycles;
+    r_max_depth = !max_depth;
+    r_accept_paths = accepts;
+    r_conjunctive = conjunctive }

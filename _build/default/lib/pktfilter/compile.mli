@@ -11,5 +11,10 @@ val compile : Program.t -> (Uln_buf.View.t -> bool)
 (** A predicate equivalent to interpreting the program (property-tested
     in the test suite). *)
 
+val compile_counted : Program.t -> (Uln_buf.View.t -> bool * int)
+(** Like {!compile}, and also returns the compiled-model cycles of the
+    instructions actually executed (8 per packet load, 3 otherwise),
+    so dispatch can charge actual work rather than the worst case. *)
+
 val cost : Program.t -> cycle_ns:int -> Uln_engine.Time.span
 (** Simulated per-packet cost of the compiled form. *)

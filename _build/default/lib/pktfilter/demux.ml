@@ -2,40 +2,82 @@ type mode = Interpreted | Compiled
 
 type 'a entry = {
   id : int;
-  program : Program.t;
-  predicate : Uln_buf.View.t -> bool;
-  cycles : int;
+  program : Program.t;  (* as installed (overlap checks use this) *)
+  optimized : Program.t;  (* what actually runs *)
+  predicate : Uln_buf.View.t -> bool * int;
+  wcet : int;
+  report : Verify.report;
   endpoint : 'a;
 }
 
 type key = int
 
-type 'a t = { mode : mode; mutable entries : 'a entry list; mutable next_id : int }
+type 'a conflict = { against : key; with_endpoint : 'a; witness : Uln_buf.View.t }
 
-let create ~mode () = { mode; entries = []; next_id = 0 }
+type 'a t = {
+  mode : mode;
+  budget : int option;
+  mutable entries : 'a entry list;
+  mutable next_id : int;
+}
+
+let create ~mode ?budget () = { mode; budget; entries = []; next_id = 0 }
 
 let mode t = t.mode
+let budget t = t.budget
 
-let install t program endpoint =
-  let predicate, cycles =
-    match t.mode with
-    | Interpreted -> ((fun pkt -> Interp.run program pkt), Program.interp_cycles program)
-    | Compiled -> (Compile.compile program, Program.compiled_cycles program)
-  in
-  t.next_id <- t.next_id + 1;
-  let entry = { id = t.next_id; program; predicate; cycles; endpoint } in
-  t.entries <- entry :: t.entries;
-  entry.id
+let conflicts t program =
+  List.filter_map
+    (fun e ->
+      match Verify.overlap_witness program e.program with
+      | Some witness
+        when not
+               (Verify.subsumes ~general:program ~specific:e.program
+               || Verify.subsumes ~general:e.program ~specific:program) ->
+          Some { against = e.id; with_endpoint = e.endpoint; witness }
+      | _ -> None)
+    t.entries
+
+let install ?(optimize = true) t program endpoint =
+  let optimized = if optimize then Optimize.run program else program in
+  match Verify.admit ?budget:t.budget ~compiled:(t.mode = Compiled) optimized with
+  | Error e -> Error e
+  | Ok report ->
+      let predicate =
+        match t.mode with
+        | Interpreted -> fun pkt -> Interp.run_counted optimized pkt
+        | Compiled -> Compile.compile_counted optimized
+      in
+      let wcet =
+        match t.mode with
+        | Interpreted -> report.Verify.wcet_interp
+        | Compiled -> report.Verify.wcet_compiled
+      in
+      t.next_id <- t.next_id + 1;
+      let entry = { id = t.next_id; program; optimized; predicate; wcet; report; endpoint } in
+      t.entries <- entry :: t.entries;
+      Ok entry.id
+
+let install_exn ?optimize t program endpoint =
+  match install ?optimize t program endpoint with
+  | Ok k -> k
+  | Error e -> raise (Verify.Rejected e)
 
 let remove t key = t.entries <- List.filter (fun e -> e.id <> key) t.entries
 
 let entries t = List.length t.entries
 
+let find t key = List.find_opt (fun e -> e.id = key) t.entries
+let wcet t key = Option.map (fun e -> e.wcet) (find t key)
+let report t key = Option.map (fun e -> e.report) (find t key)
+let installed_program t key = Option.map (fun e -> e.optimized) (find t key)
+
 let dispatch t pkt =
   let rec go cost = function
     | [] -> (None, cost)
     | e :: rest ->
-        let cost = cost + e.cycles in
-        if e.predicate pkt then (Some e.endpoint, cost) else go cost rest
+        let accepted, cycles = e.predicate pkt in
+        let cost = cost + cycles in
+        if accepted then (Some e.endpoint, cost) else go cost rest
   in
   go 0 t.entries

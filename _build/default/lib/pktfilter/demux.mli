@@ -6,10 +6,17 @@
     entries are tried most-recently-installed first so connection
     filters shadow broader protocol filters.
 
+    Installation is admission-controlled: every program is optimized
+    ({!Optimize}), then statically verified ({!Verify}) — vacuous
+    (always-false) programs and, when the table carries a cycle budget,
+    programs whose worst-case cost exceeds it are rejected with a typed
+    error.  The optimized form is what runs on the hot path.
+
     Entries run either interpreted or compiled (a per-table choice, the
-    subject of the filter ablation bench); the cost in simulated CPU
-    cycles of the executed filters is reported per dispatch so drivers
-    can charge it. *)
+    subject of the filter ablation bench); each dispatch reports the
+    simulated cycles of the instructions the executed filters actually
+    ran — an entry that bails at an early [Cand] charges only that
+    prefix, not its worst case. *)
 
 type 'a t
 (** A table delivering to endpoints of type ['a]. *)
@@ -19,18 +26,50 @@ type mode = Interpreted | Compiled
 type key
 (** Handle for removing an installed entry. *)
 
-val create : mode:mode -> unit -> 'a t
+type 'a conflict = {
+  against : key;  (** the previously installed entry *)
+  with_endpoint : 'a;  (** its endpoint *)
+  witness : Uln_buf.View.t;  (** a packet both filters accept *)
+}
+
+val create : mode:mode -> ?budget:int -> unit -> 'a t
+(** [budget] is the per-program worst-case cycle bound enforced at
+    {!install} time (in the cost model of [mode]); omitted = unbounded. *)
 
 val mode : 'a t -> mode
+val budget : 'a t -> int option
 
-val install : 'a t -> Program.t -> 'a -> key
-(** Add an entry in front of existing ones. *)
+val install : ?optimize:bool -> 'a t -> Program.t -> 'a -> (key, Verify.error) result
+(** Verify, optimize (unless [optimize:false]) and add an entry in
+    front of existing ones.  Rejects always-false programs and
+    over-budget worst-case costs. *)
+
+val install_exn : ?optimize:bool -> 'a t -> Program.t -> 'a -> key
+(** Like {!install}. @raise Verify.Rejected on a verifier rejection. *)
+
+val conflicts : 'a t -> Program.t -> 'a conflict list
+(** Installed entries whose accept set provably intersects the given
+    program's on a concrete witness packet, excluding benign
+    shadowing — pairs where either filter {!Verify.subsumes} the other
+    (a connection filter under its listener, or an identical re-install
+    during connection handoff).  What remains is the
+    eavesdropping/ambiguity hazard the registry must surface. *)
 
 val remove : 'a t -> key -> unit
 
 val entries : 'a t -> int
 
+val wcet : 'a t -> key -> int option
+(** The certified worst-case dispatch cycles of an installed entry (in
+    the table's execution mode, after optimization). *)
+
+val report : 'a t -> key -> Verify.report option
+(** The full verifier report recorded at install time. *)
+
+val installed_program : 'a t -> key -> Program.t option
+(** The optimized program an entry actually runs. *)
+
 val dispatch : 'a t -> Uln_buf.View.t -> ('a option * int)
 (** [dispatch t pkt] runs filters in order until one accepts; returns
-    the endpoint (or [None]) and the total simulated cycle cost of the
-    filters executed. *)
+    the endpoint (or [None]) and the simulated cycle cost of the
+    instructions actually executed. *)

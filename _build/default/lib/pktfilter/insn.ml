@@ -33,6 +33,34 @@ let cycles = function
   | Shl _ | Shr _ -> 14
   | Cand | Cor -> 10
 
+(* Parse the [pp] form back: "pushlit 0x0800", "pushword @12",
+   "pushbyte @3", "shl 4", plain mnemonics.  Inverse of [pp] (the
+   round-trip is property-tested); accepts decimal or 0x literals. *)
+let parse s =
+  let int_of s = int_of_string_opt s in
+  match String.split_on_char ' ' (String.trim s) |> List.filter (fun t -> t <> "") with
+  | [ "pushlit"; v ] -> Option.map (fun v -> Push_lit v) (int_of v)
+  | [ "pushword"; o ] when String.length o > 1 && o.[0] = '@' ->
+      Option.map (fun o -> Push_word o) (int_of (String.sub o 1 (String.length o - 1)))
+  | [ "pushbyte"; o ] when String.length o > 1 && o.[0] = '@' ->
+      Option.map (fun o -> Push_byte o) (int_of (String.sub o 1 (String.length o - 1)))
+  | [ "eq" ] -> Some Eq
+  | [ "ne" ] -> Some Ne
+  | [ "lt" ] -> Some Lt
+  | [ "le" ] -> Some Le
+  | [ "gt" ] -> Some Gt
+  | [ "ge" ] -> Some Ge
+  | [ "and" ] -> Some And
+  | [ "or" ] -> Some Or
+  | [ "xor" ] -> Some Xor
+  | [ "add" ] -> Some Add
+  | [ "sub" ] -> Some Sub
+  | [ "shl"; n ] -> Option.map (fun n -> Shl n) (int_of n)
+  | [ "shr"; n ] -> Option.map (fun n -> Shr n) (int_of n)
+  | [ "cand" ] -> Some Cand
+  | [ "cor" ] -> Some Cor
+  | _ -> None
+
 let pp ppf = function
   | Push_lit n -> Format.fprintf ppf "pushlit 0x%04x" n
   | Push_word o -> Format.fprintf ppf "pushword @%d" o

@@ -2,10 +2,11 @@ module View = Uln_buf.View
 
 exception Done of bool
 
-let run program pkt =
+let run_counted program pkt =
   let len = View.length pkt in
   let stack = Array.make 32 0 in
   let sp = ref 0 in
+  let cycles = ref 0 in
   let push v =
     stack.(!sp) <- v land 0xffff;
     incr sp
@@ -25,6 +26,7 @@ let run program pkt =
     push (if f a b then 1 else 0)
   in
   let step insn =
+    cycles := !cycles + Insn.cycles insn;
     match insn with
     | Insn.Push_lit v -> push v
     | Insn.Push_word off ->
@@ -47,9 +49,14 @@ let run program pkt =
     | Insn.Cand -> if pop () = 0 then raise (Done false)
     | Insn.Cor -> if pop () <> 0 then raise (Done true)
   in
-  try
-    List.iter step (Program.insns program);
-    pop () <> 0
-  with Done verdict -> verdict
+  let verdict =
+    try
+      List.iter step (Program.insns program);
+      pop () <> 0
+    with Done verdict -> verdict
+  in
+  (verdict, !cycles)
+
+let run program pkt = fst (run_counted program pkt)
 
 let cost program ~cycle_ns = Uln_engine.Time.ns (Program.interp_cycles program * cycle_ns)

@@ -6,6 +6,10 @@ type t
 exception Invalid of string
 (** Raised by {!of_insns} on malformed programs. *)
 
+val max_stack : int
+(** Static bound on operand-stack depth (32): {!of_insns} rejects any
+    program that could push past it. *)
+
 val of_insns : Insn.t list -> t
 (** Validate and build: checks stack discipline (no underflow, at least
     one value live at every exit, depth bounded) and operand sanity.
@@ -61,3 +65,10 @@ val ip_proto : int -> t
 (** Match any IP packet with the given protocol number. *)
 
 val pp : Format.formatter -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse a {!pp}-printed listing (one instruction per line, optional
+    ["N:"] index prefixes, blank and ["#"] comment lines ignored) and
+    validate it — the round trip [of_string (pp p) = p] is
+    property-tested.  Lets [netlab filter-lint] read programs from
+    files. *)

@@ -1,1 +1,1 @@
-test/test_filter.ml: Alcotest List QCheck QCheck_alcotest Uln_addr Uln_buf Uln_filter
+test/test_filter.ml: Alcotest Format List Printf QCheck QCheck_alcotest Uln_addr Uln_buf Uln_filter

@@ -1,0 +1,1 @@
+test/test_lint.ml: Format List Printf Uln_addr Uln_core Uln_filter

@@ -6,6 +6,8 @@ module Interp = Uln_filter.Interp
 module Compile = Uln_filter.Compile
 module Template = Uln_filter.Template
 module Demux = Uln_filter.Demux
+module Verify = Uln_filter.Verify
+module Optimize = Uln_filter.Optimize
 
 let check_bool = Alcotest.(check bool)
 let check = Alcotest.(check int)
@@ -116,6 +118,8 @@ let gen_insns =
         if depth >= 2 then
           (3, map (fun i -> List.nth binops (abs i mod List.length binops)) small_int)
           :: (1, map (fun s -> Insn.Shl (abs s mod 16)) small_int)
+          :: (1, return Insn.Cand)
+          :: (1, return Insn.Cor)
           :: pushes
         else if depth >= 1 then (1, map (fun s -> Insn.Shr (abs s mod 16)) small_int) :: pushes
         else pushes
@@ -170,9 +174,9 @@ let test_template_carries_bqi () =
 
 let test_demux_dispatches_first_match () =
   let d = Demux.create ~mode:Demux.Interpreted () in
-  ignore (Demux.install d (Program.ip_proto 6) "any-tcp");
+  ignore (Demux.install_exn d (Program.ip_proto 6) "any-tcp");
   ignore
-    (Demux.install d
+    (Demux.install_exn d
        (Program.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80)
        "conn");
   let pkt = fake_tcp_packet ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80 in
@@ -183,7 +187,7 @@ let test_demux_dispatches_first_match () =
 let test_demux_falls_through () =
   let d = Demux.create ~mode:Demux.Compiled () in
   ignore
-    (Demux.install d
+    (Demux.install_exn d
        (Program.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80)
        "conn");
   let pkt = fake_tcp_packet ~src_ip:ip_c ~dst_ip:ip_b ~src_port:5 ~dst_port:6 in
@@ -192,7 +196,7 @@ let test_demux_falls_through () =
 
 let test_demux_remove () =
   let d = Demux.create ~mode:Demux.Interpreted () in
-  let k = Demux.install d (Program.arp ()) "arp" in
+  let k = Demux.install_exn d (Program.arp ()) "arp" in
   check "installed" 1 (Demux.entries d);
   Demux.remove d k;
   check "removed" 0 (Demux.entries d)
@@ -201,9 +205,11 @@ let test_demux_isolation () =
   (* Two connections' filters: each packet reaches only its owner. *)
   let d = Demux.create ~mode:Demux.Interpreted () in
   ignore
-    (Demux.install d (Program.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:10 ~dst_port:20) "app1");
+    (Demux.install_exn d (Program.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:10 ~dst_port:20)
+       "app1");
   ignore
-    (Demux.install d (Program.tcp_conn ~src_ip:ip_c ~dst_ip:ip_b ~src_port:30 ~dst_port:40) "app2");
+    (Demux.install_exn d (Program.tcp_conn ~src_ip:ip_c ~dst_ip:ip_b ~src_port:30 ~dst_port:40)
+       "app2");
   let p1 = fake_tcp_packet ~src_ip:ip_a ~dst_ip:ip_b ~src_port:10 ~dst_port:20 in
   let p2 = fake_tcp_packet ~src_ip:ip_c ~dst_ip:ip_b ~src_port:30 ~dst_port:40 in
   Alcotest.(check (option string)) "app1 gets its packet" (Some "app1") (fst (Demux.dispatch d p1));
@@ -264,8 +270,288 @@ let prop_filter_matches_only_own_tuple =
       && Compile.compile p own
       && not (Compile.compile p other))
 
+(* --- validator edge cases (appended) --------------------------------------- *)
+
+let raises_invalid f = try f (); false with Program.Invalid _ -> true
+
+let test_validation_depth_limit () =
+  let pushes n = List.init n (fun _ -> Insn.Push_lit 1) in
+  let collapse n = List.init (n - 1) (fun _ -> Insn.Or) in
+  (* exactly max_stack deep is legal... *)
+  ignore (Program.of_insns (pushes Program.max_stack @ collapse Program.max_stack));
+  (* ...one more is a static overflow *)
+  check_bool "33 deep rejected" true
+    (raises_invalid (fun () ->
+         ignore (Program.of_insns (pushes (Program.max_stack + 1) @ collapse (Program.max_stack + 1)))))
+
+let test_validation_cor_empty_mid () =
+  (* Cor may drain the stack mid-program as long as something is pushed
+     again before the end... *)
+  let p = Program.of_insns [ Insn.Push_lit 0; Insn.Cor; Insn.Push_lit 1 ] in
+  check_bool "falls through the cor" true (Interp.run p (View.create 0));
+  (* ...but a trailing Cor leaves no result. *)
+  check_bool "trailing cor rejected" true
+    (raises_invalid (fun () -> ignore (Program.of_insns [ Insn.Push_lit 0; Insn.Cor ])))
+
+let test_word_load_at_len_minus_1 () =
+  (* A 16-bit load whose second byte is out of bounds must reject the
+     packet — in both execution modes. *)
+  let pkt = View.create 54 in
+  View.set_uint8 pkt 52 0xff;
+  View.set_uint8 pkt 53 0xff;
+  let oob = Program.of_insns [ Insn.Push_word 53 ] in
+  check_bool "interp rejects" false (Interp.run oob pkt);
+  check_bool "compiled rejects" false (Compile.compile oob pkt);
+  let fits = Program.of_insns [ Insn.Push_word 52 ] in
+  check_bool "interp in-range" true (Interp.run fits pkt);
+  check_bool "compiled in-range" true (Compile.compile fits pkt)
+
+(* --- disassembly round-trip ------------------------------------------------- *)
+
+let test_insn_parse_forms () =
+  check_bool "hex lit" true (Insn.parse "pushlit 0x0800" = Some (Insn.Push_lit 0x800));
+  check_bool "dec lit" true (Insn.parse "pushlit 42" = Some (Insn.Push_lit 42));
+  check_bool "word" true (Insn.parse "pushword @36" = Some (Insn.Push_word 36));
+  check_bool "shift" true (Insn.parse "shl 4" = Some (Insn.Shl 4));
+  check_bool "garbage" true (Insn.parse "jmp 3" = None)
+
+let test_program_of_string_listing () =
+  let p = Program.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80 in
+  match Program.of_string (Format.asprintf "%a" Program.pp p) with
+  | Ok p' -> check_bool "same instructions" true (Program.insns p' = Program.insns p)
+  | Error e -> Alcotest.fail e
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~name:"pp/of_string round-trip on random programs" ~count:500
+    (QCheck.make gen_insns) (fun insns ->
+      match Program.of_insns insns with
+      | exception Program.Invalid _ -> QCheck.assume_fail ()
+      | p -> (
+          match Program.of_string (Format.asprintf "%a" Program.pp p) with
+          | Ok p' -> Program.insns p' = Program.insns p
+          | Error _ -> false))
+
+(* --- verifier --------------------------------------------------------------- *)
+
+let always_false_prog () = Program.of_insns [ Insn.Push_byte 0; Insn.Push_lit 300; Insn.Eq ]
+
+let expensive_prog () =
+  (* Long load/or chain: not foldable, certified cost ~4342 cycles. *)
+  let rec chain n acc =
+    if n = 0 then acc else chain (n - 1) (Insn.Push_word 0 :: Insn.Or :: acc)
+  in
+  Program.of_insns (Insn.Push_word 0 :: chain 120 [])
+
+let test_verify_always_false () =
+  let p = always_false_prog () in
+  let r = Verify.analyze p in
+  check_bool "vacuity" true (r.Verify.vacuity = Verify.Always_false);
+  match Verify.admit p with
+  | Error Verify.Vacuous_always_false -> ()
+  | _ -> Alcotest.fail "expected vacuity rejection"
+
+let test_verify_always_true () =
+  let r = Verify.analyze (Program.of_insns [ Insn.Push_lit 1 ]) in
+  check_bool "always true" true (r.Verify.vacuity = Verify.Always_true)
+
+let test_verify_min_accept_len () =
+  let p = Program.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80 in
+  let r = Verify.analyze p in
+  check_bool "satisfiable" true (r.Verify.vacuity = Verify.Satisfiable);
+  check "min accept len covers the last port word" 38
+    (match r.Verify.min_accept_len with Some n -> n | None -> -1);
+  (* the analysis bound agrees with the concrete executor: a packet one
+     byte shorter than the certified minimum cannot be accepted *)
+  let own = fake_tcp_packet ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80 in
+  check_bool "at min length accepts" true (Interp.run p (View.sub own 0 38));
+  check_bool "below min length rejects" false (Interp.run p (View.sub own 0 37))
+
+let test_verify_over_budget () =
+  let p = expensive_prog () in
+  (match Verify.admit ~budget:4096 p with
+  | Error (Verify.Over_budget { wcet; budget }) ->
+      check_bool "wcet exceeds budget" true (wcet > budget)
+  | _ -> Alcotest.fail "expected over-budget rejection");
+  let d = Demux.create ~mode:Demux.Interpreted ~budget:4096 () in
+  match Demux.install d p "ep" with
+  | Error (Verify.Over_budget _) -> check "nothing installed" 0 (Demux.entries d)
+  | _ -> Alcotest.fail "demux admitted an over-budget filter"
+
+let test_demux_rejects_always_false () =
+  let d = Demux.create ~mode:Demux.Interpreted () in
+  match Demux.install d (always_false_prog ()) "ep" with
+  | Error Verify.Vacuous_always_false -> ()
+  | _ -> Alcotest.fail "demux admitted a vacuous filter"
+
+(* --- overlap / subsumption --------------------------------------------------- *)
+
+let conj_prog tests =
+  Program.of_insns
+    (List.fold_right
+       (fun (off, v) rest -> Insn.Push_word off :: Insn.Push_lit v :: Insn.Eq :: Insn.Cand :: rest)
+       tests [ Insn.Push_lit 1 ])
+
+let test_overlap_witness () =
+  (* Both require IP ethertype; one pins the source port, the other the
+     destination port: a packet with both ports is accepted by both. *)
+  let a = conj_prog [ (12, 0x0800); (34, 99) ] in
+  let b = conj_prog [ (12, 0x0800); (36, 80) ] in
+  (match Verify.overlap_witness a b with
+  | None -> Alcotest.fail "expected an overlap witness"
+  | Some w ->
+      check_bool "a accepts the witness" true (Interp.run a w);
+      check_bool "b accepts the witness" true (Interp.run b w));
+  check_bool "neither subsumes the other" true
+    ((not (Verify.subsumes ~general:a ~specific:b))
+    && not (Verify.subsumes ~general:b ~specific:a))
+
+let test_overlap_disjoint () =
+  let a = Program.udp_port ~dst_ip:ip_b ~dst_port:80 in
+  let b = Program.udp_port ~dst_ip:ip_b ~dst_port:81 in
+  check_bool "different ports cannot overlap" true (Verify.overlap_witness a b = None)
+
+let test_subsumption_not_flagged () =
+  let listener = Program.tcp_dst_port ~dst_ip:ip_b ~dst_port:80 in
+  let conn = Program.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80 in
+  check_bool "listener subsumes its connections" true
+    (Verify.subsumes ~general:listener ~specific:conn);
+  let d = Demux.create ~mode:Demux.Interpreted () in
+  ignore (Demux.install_exn d listener "listener");
+  check_bool "benign shadowing not flagged" true (Demux.conflicts d conn = []);
+  (* a genuine partial overlap against an installed entry is flagged,
+     with a concrete packet both accept *)
+  let a = conj_prog [ (12, 0x0800); (34, 99) ] in
+  ignore (Demux.install_exn d a "odd");
+  let b = conj_prog [ (12, 0x0800); (36, 80) ] in
+  match Demux.conflicts d b with
+  | [ c ] ->
+      check_bool "witness accepted by both" true
+        (Interp.run a c.Demux.witness && Interp.run b c.Demux.witness)
+  | cs -> Alcotest.fail (Printf.sprintf "expected exactly one conflict, got %d" (List.length cs))
+
+(* --- dispatch cost accounting ------------------------------------------------- *)
+
+let test_dispatch_charges_executed_only () =
+  let d = Demux.create ~mode:Demux.Interpreted () in
+  let conn = Program.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80 in
+  let k = Demux.install_exn d conn "conn" in
+  let wcet = match Demux.wcet d k with Some w -> w | None -> -1 in
+  (* An ARP packet fails the very first ethertype test: only that
+     prefix (load+lit+eq+cand = 58 cycles) is charged, not the 400+
+     cycle worst case. *)
+  let arp_pkt = View.create 42 in
+  View.set_uint16 arp_pkt 12 0x0806;
+  let ep, cost = Demux.dispatch d arp_pkt in
+  check_bool "no match" true (ep = None);
+  check "charged only the first test" 58 cost;
+  check_bool "well under the certified worst case" true (cost < wcet);
+  (* a matching packet runs the whole optimized program: exactly the
+     certified worst case, no more *)
+  let own = fake_tcp_packet ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80 in
+  let _, full = Demux.dispatch d own in
+  check "matching packet costs the certified wcet" wcet full
+
+(* --- optimizer --------------------------------------------------------------- *)
+
+let test_optimize_folds_constants () =
+  let p =
+    Program.of_insns [ Insn.Push_lit 2; Insn.Push_lit 3; Insn.Add; Insn.Push_lit 5; Insn.Eq ]
+  in
+  check_bool "folded to a constant" true (Program.insns (Optimize.run p) = [ Insn.Push_lit 1 ])
+
+let test_optimize_dead_branch () =
+  let p = Program.of_insns [ Insn.Push_lit 0; Insn.Cand; Insn.Push_word 1000 ] in
+  check_bool "truncated after decided cand" true
+    (Program.insns (Optimize.run p) = [ Insn.Push_lit 0 ])
+
+let test_optimize_redundant_load () =
+  (* The second load of a byte pinned by an earlier passed equality
+     becomes a literal, and the re-test then folds away entirely. *)
+  let p =
+    Program.of_insns
+      [ Insn.Push_byte 23; Insn.Push_lit 6; Insn.Eq; Insn.Cand;
+        Insn.Push_byte 23; Insn.Push_lit 6; Insn.Eq ]
+  in
+  check_bool "re-test eliminated" true
+    (Program.insns (Optimize.run p) = [ Insn.Push_byte 23; Insn.Push_lit 6; Insn.Eq ])
+
+let test_optimize_reduces_standard_filters () =
+  List.iter
+    (fun (name, p) ->
+      let o = Optimize.run p in
+      check_bool (name ^ " optimized is cheaper") true
+        (Program.interp_cycles o < Program.interp_cycles p))
+    [ ("tcp_conn", Program.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80);
+      ("udp_port", Program.udp_port ~dst_ip:ip_b ~dst_port:53);
+      ("arp", Program.arp ()) ]
+
+let prop_optimizer_preserves_semantics =
+  QCheck.Test.make
+    ~name:"interp = compiled = optimized interp = optimized compiled (random programs/packets)"
+    ~count:1000
+    (QCheck.make
+       (QCheck.Gen.pair gen_insns
+          (QCheck.Gen.string_size ~gen:QCheck.Gen.char (QCheck.Gen.( -- ) 0 80))))
+    (fun (insns, pkt_str) ->
+      match Program.of_insns insns with
+      | exception Program.Invalid _ -> QCheck.assume_fail ()
+      | p ->
+          let pkt = View.of_string pkt_str in
+          let o = Optimize.run p in
+          let reference = Interp.run p pkt in
+          Compile.compile p pkt = reference
+          && Interp.run o pkt = reference
+          && Compile.compile o pkt = reference)
+
+(* --- template cross-check ------------------------------------------------------ *)
+
+let test_check_template_consistent () =
+  (* Filter receives ip_a->ip_b; the matching send capability sources
+     from ip_b.  This is exactly what the registry installs. *)
+  let filter = Program.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80 in
+  let tpl = Template.tcp_conn ~src_ip:ip_b ~dst_ip:ip_a ~src_port:80 ~dst_port:1234 () in
+  check_bool "accepted" true (Verify.check_template ~filter tpl = Ok ())
+
+let test_check_template_impersonation () =
+  let filter = Program.tcp_conn ~src_ip:ip_a ~dst_ip:ip_b ~src_port:1234 ~dst_port:80 in
+  (* Claims to send from ip_c while the receive side is bound to ip_b:
+     granting this template would let the holder impersonate ip_c. *)
+  let forged = Template.tcp_conn ~src_ip:ip_c ~dst_ip:ip_a ~src_port:80 ~dst_port:1234 () in
+  match Verify.check_template ~filter forged with
+  | Error (Verify.Impersonation_hole _) -> ()
+  | _ -> Alcotest.fail "expected an impersonation hole"
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run ~and_exit:false "pktfilter-props"
     [ ( "tuple-isolation",
-        [ qc prop_template_sound_and_complete; qc prop_filter_matches_only_own_tuple ] ) ]
+        [ qc prop_template_sound_and_complete; qc prop_filter_matches_only_own_tuple ] );
+      ( "validation-edges",
+        [ Alcotest.test_case "stack depth limit" `Quick test_validation_depth_limit;
+          Alcotest.test_case "cor empties stack mid-program" `Quick test_validation_cor_empty_mid;
+          Alcotest.test_case "word load at len-1" `Quick test_word_load_at_len_minus_1 ] );
+      ( "disasm",
+        [ Alcotest.test_case "insn parse forms" `Quick test_insn_parse_forms;
+          Alcotest.test_case "listing round-trip" `Quick test_program_of_string_listing;
+          qc prop_print_parse_roundtrip ] );
+      ( "verify",
+        [ Alcotest.test_case "always-false rejected" `Quick test_verify_always_false;
+          Alcotest.test_case "always-true detected" `Quick test_verify_always_true;
+          Alcotest.test_case "min accept length" `Quick test_verify_min_accept_len;
+          Alcotest.test_case "over-budget rejected" `Quick test_verify_over_budget;
+          Alcotest.test_case "demux rejects vacuous" `Quick test_demux_rejects_always_false ] );
+      ( "overlap",
+        [ Alcotest.test_case "partial overlap witness" `Quick test_overlap_witness;
+          Alcotest.test_case "disjoint ports" `Quick test_overlap_disjoint;
+          Alcotest.test_case "subsumption not flagged" `Quick test_subsumption_not_flagged ] );
+      ( "cost",
+        [ Alcotest.test_case "charges executed cycles" `Quick test_dispatch_charges_executed_only ] );
+      ( "optimize",
+        [ Alcotest.test_case "constant folding" `Quick test_optimize_folds_constants;
+          Alcotest.test_case "dead branch" `Quick test_optimize_dead_branch;
+          Alcotest.test_case "redundant load" `Quick test_optimize_redundant_load;
+          Alcotest.test_case "standard filters get cheaper" `Quick test_optimize_reduces_standard_filters;
+          qc prop_optimizer_preserves_semantics ] );
+      ( "template-check",
+        [ Alcotest.test_case "consistent pair" `Quick test_check_template_consistent;
+          Alcotest.test_case "impersonation hole" `Quick test_check_template_impersonation ] ) ]

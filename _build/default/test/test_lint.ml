@@ -1,0 +1,48 @@
+(* Build-time filter lint: every filter construction the tree installs
+   must pass verifier admission under the kernel's cycle budget — not
+   vacuous, worst case certified within Calibration.filter_cycle_budget
+   in both execution modes.  Runs in the default test suite and under
+   `dune build @lint`; a non-zero exit fails the build. *)
+
+module Insn = Uln_filter.Insn
+module Program = Uln_filter.Program
+module Verify = Uln_filter.Verify
+module Optimize = Uln_filter.Optimize
+
+let ip_local = Uln_addr.Ip.of_string "10.0.0.1"
+let ip_peer = Uln_addr.Ip.of_string "10.0.0.2"
+
+(* Every distinct filter shape constructed anywhere in the tree, with
+   representative parameters: the registry's install paths, the ARP
+   bootstrap filter, the raw-exchange workload's ethertype filters and
+   the protocol-wide filter the demux tests install. *)
+let suite =
+  [ ("registry.conn_filter",
+     Program.tcp_conn ~src_ip:ip_peer ~dst_ip:ip_local ~src_port:1234 ~dst_port:80);
+    ("registry.listen", Program.tcp_dst_port ~dst_ip:ip_local ~dst_port:80);
+    ("registry.bind_udp", Program.udp_port ~dst_ip:ip_local ~dst_port:53);
+    ("registry.bind_rrp_server", Program.rrp_server ~dst_ip:ip_local ~port:300);
+    ("registry.bind_rrp_client", Program.rrp_client ~dst_ip:ip_local ~port:301);
+    ("registry.arp", Program.arp ());
+    ("demux.ip_proto", Program.ip_proto 6);
+    ("raw_xchg.rx_a", Program.of_insns [ Insn.Push_word 12; Insn.Push_lit 0x3333; Insn.Eq ]);
+    ("raw_xchg.rx_b", Program.of_insns [ Insn.Push_word 12; Insn.Push_lit 0x3334; Insn.Eq ]) ]
+
+let () =
+  let budget = Uln_core.Calibration.filter_cycle_budget in
+  let check (name, p) =
+    let o = Optimize.run p in
+    let fail fmt = Format.kasprintf (fun s -> Some (name, s)) fmt in
+    match (Verify.admit ~budget o, Verify.admit ~budget ~compiled:true o) with
+    | Error e, _ | _, Error e -> fail "%a" Verify.pp_error e
+    | Ok r, Ok _ when r.Verify.vacuity <> Verify.Satisfiable ->
+        fail "%a" Verify.pp_vacuity r.Verify.vacuity
+    | Ok _, Ok _ -> None
+  in
+  match List.filter_map check suite with
+  | [] ->
+      Printf.printf "filter lint: %d in-tree filter(s) admissible under %d-cycle budget\n"
+        (List.length suite) budget
+  | failures ->
+      List.iter (fun (name, msg) -> Printf.eprintf "filter lint: %s: %s\n" name msg) failures;
+      exit 1

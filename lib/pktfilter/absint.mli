@@ -1,0 +1,64 @@
+(** Abstract interpretation of filter programs.
+
+    A single forward pass over the (straight-line) instruction stream in
+    a 16-bit constant/interval domain, with shallow symbolic tracking of
+    packet loads and load-vs-literal comparisons.  It derives, per
+    program: worst-case executed cost (interpreted and compiled), the
+    minimal packet length that can reach an accept exit, vacuity
+    (provably always-false / always-true), and — for the conjunctive
+    fragment the standard protocol filters live in — the exact byte
+    constraints characterizing each accept path, which {!Verify} uses
+    for overlap and subsumption reasoning. *)
+
+type itv = { lo : int; hi : int }
+
+type source =
+  | Lit of int  (** statically known constant *)
+  | Load of { off : int; width : int }  (** packet load *)
+  | Test of { off : int; width : int; value : int; negated : bool }
+      (** 0/1 result of comparing the load at [off] with [value];
+          [negated] for [Ne] *)
+  | Derived  (** anything else *)
+
+type cell = { itv : itv; src : source }
+
+type accept_path = {
+  ap_at : int option;
+      (** [Some i]: early accept at the [Cor] at instruction [i];
+          [None]: fall-through accept at the end of the program *)
+  ap_min_len : int;
+      (** minimal packet length that reaches this exit (every load
+          executed before it requires its word to be in bounds) *)
+  ap_cycles : int;  (** interpreted cycles executed up to this exit *)
+  ap_constraints : (int * int) list;
+      (** sorted [(byte offset, value)] constraints a packet must
+          satisfy to take this path (complete only if [ap_exact]) *)
+  ap_exact : bool;
+      (** the constraints fully characterize the path condition: a
+          packet of length [>= ap_min_len] satisfying them takes this
+          path *)
+}
+
+type result = {
+  r_always_false : bool;  (** provably accepts no packet *)
+  r_always_true : bool;
+      (** provably accepts every packet of length [>= min_accept_len] *)
+  r_min_accept_len : int option;
+      (** smallest packet length any accept exit can see; [None] when
+          no accept exit is reachable *)
+  r_wcet_interp : int;  (** worst-case executed interpreter cycles *)
+  r_wcet_compiled : int;  (** same bound under the compiled cost model *)
+  r_max_depth : int;  (** peak operand-stack depth *)
+  r_accept_paths : accept_path list;  (** in program order *)
+  r_conjunctive : bool;
+      (** pure [Cand]-chain: the program accepts exactly the packets
+          satisfying its single fall-through path's constraints *)
+}
+
+val analyze : Program.t -> result
+(** Run the abstract interpreter.  Sound but incomplete: [r_always_*]
+    and [ap_exact] are only claimed when provable in the domain. *)
+
+val compiled_cost : Insn.t -> int
+(** Per-instruction cost under the code-synthesis model (mirrors
+    {!Program.compiled_cycles}). *)

@@ -39,3 +39,8 @@ val cycles : t -> int
     speed. *)
 
 val pp : Format.formatter -> t -> unit
+
+val parse : string -> t option
+(** Parse one instruction in the {!pp} form (e.g. ["pushword @12"],
+    ["pushlit 0x0800"], ["cand"]); literals may be decimal or [0x]
+    hex.  Inverse of {!pp}. *)

@@ -7,6 +7,12 @@
 val run : Program.t -> Uln_buf.View.t -> bool
 (** [run p pkt] is [true] iff the program accepts the packet. *)
 
+val run_counted : Program.t -> Uln_buf.View.t -> bool * int
+(** Like {!run}, and also returns the cycles of the instructions
+    actually executed — an early [Cand]/[Cor] exit (or a short-packet
+    reject) charges only the work done, which is what {!Demux.dispatch}
+    bills per entry. *)
+
 val cost : Program.t -> cycle_ns:int -> Uln_engine.Time.span
 (** Worst-case interpretation time on a machine with the given cycle
     length. *)

@@ -1,0 +1,126 @@
+(* Semantics-preserving filter optimization.
+
+   Two cooperating passes run to fixpoint:
+
+   - [peephole]: constant folding of literal arithmetic, algebraic
+     identities, decided [Cand]/[Cor] elimination (with dead-code
+     truncation after an exit that always fires), and removal of a
+     terminal [Cand; Push_lit k] / [Cor; Push_lit 0] pair, whose
+     verdict equals the value they pop.
+
+   - [propagate]: redundant-load elimination.  After a passed
+     [load off == v; Cand] the bytes at [off] are known on every
+     execution that continues, so a later load of those bytes (whose
+     short-packet guard is implied by an earlier load) folds to the
+     literal, and the comparison chain it fed then evaporates in the
+     peephole pass.
+
+   Loads are never deleted outright: a [Push_word off] also rejects
+   packets shorter than [off+2], so eliminating one is only sound when
+   an earlier load already established the same length guard — which is
+   exactly the [propagate] condition. *)
+
+let fold_binop op a b =
+  let mask v = v land 0xffff in
+  let of_bool c = if c then 1 else 0 in
+  match op with
+  | Insn.Eq -> Some (of_bool (a = b))
+  | Insn.Ne -> Some (of_bool (a <> b))
+  | Insn.Lt -> Some (of_bool (a < b))
+  | Insn.Le -> Some (of_bool (a <= b))
+  | Insn.Gt -> Some (of_bool (a > b))
+  | Insn.Ge -> Some (of_bool (a >= b))
+  | Insn.And -> Some (a land b)
+  | Insn.Or -> Some (a lor b)
+  | Insn.Xor -> Some (a lxor b)
+  | Insn.Add -> Some (mask (a + b))
+  | Insn.Sub -> Some (mask (a - b))
+  | _ -> None
+
+let rec peephole = function
+  | [] -> []
+  | Insn.Push_lit a :: Insn.Push_lit b :: op :: rest when fold_binop op a b <> None ->
+      peephole (Insn.Push_lit (Option.get (fold_binop op a b)) :: rest)
+  | Insn.Push_lit a :: Insn.Shl n :: rest ->
+      peephole (Insn.Push_lit ((a lsl n) land 0xffff) :: rest)
+  | Insn.Push_lit a :: Insn.Shr n :: rest -> peephole (Insn.Push_lit (a lsr n) :: rest)
+  (* x + 0 = x - 0 = x lor 0 = x lxor 0 = x land 0xffff = x *)
+  | Insn.Push_lit 0 :: (Insn.Add | Insn.Sub | Insn.Or | Insn.Xor) :: rest -> peephole rest
+  | Insn.Push_lit 0xffff :: Insn.And :: rest -> peephole rest
+  | Insn.Shl 0 :: rest | Insn.Shr 0 :: rest -> peephole rest
+  (* Decided short-circuits.  A [Cand] on a non-zero literal never
+     fires; on zero it always rejects, making the rest dead — the
+     program becomes its prefix with a constant-false result (earlier
+     loads keep their short-packet guards, earlier [Cor]s their
+     accepts).  Dually for [Cor]. *)
+  | Insn.Push_lit v :: Insn.Cand :: rest ->
+      if v <> 0 then peephole rest else [ Insn.Push_lit 0 ]
+  | Insn.Push_lit v :: Insn.Cor :: rest ->
+      if v = 0 then peephole rest else [ Insn.Push_lit 1 ]
+  (* Terminal [v; Cand; Push_lit k<>0]: verdict is [v <> 0] — same as
+     ending on [v] itself.  Dually [v; Cor; Push_lit 0]. *)
+  | Insn.Cand :: Insn.Push_lit k :: [] when k <> 0 -> []
+  | Insn.Cor :: Insn.Push_lit 0 :: [] -> []
+  | i :: rest -> i :: peephole rest
+
+(* Redundant-load elimination via constraint propagation. *)
+let propagate insns =
+  let known : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let guard = ref 0 in
+  let subst = function
+    | Insn.Push_word off as i -> (
+        match (Hashtbl.find_opt known off, Hashtbl.find_opt known (off + 1)) with
+        | Some a, Some b when off + 2 <= !guard -> Insn.Push_lit ((a lsl 8) lor b)
+        | _ ->
+            guard := Stdlib.max !guard (off + 2);
+            i)
+    | Insn.Push_byte off as i -> (
+        match Hashtbl.find_opt known off with
+        | Some a when off + 1 <= !guard -> Insn.Push_lit a
+        | _ ->
+            guard := Stdlib.max !guard (off + 1);
+            i)
+    | i -> i
+  in
+  let learn off width v =
+    if width = 2 && v <= 0xffff then begin
+      Hashtbl.replace known off (v lsr 8);
+      Hashtbl.replace known (off + 1) (v land 0xff)
+    end
+    else if width = 1 && v <= 0xff then Hashtbl.replace known off v
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    (* A passed [load == v; Cand] pins the loaded bytes for the rest of
+       the program (both operand orders). *)
+    | (Insn.Push_word off as l) :: Insn.Push_lit v :: Insn.Eq :: Insn.Cand :: rest
+    | Insn.Push_lit v :: (Insn.Push_word off as l) :: Insn.Eq :: Insn.Cand :: rest ->
+        let l' = subst l in
+        learn off 2 v;
+        go (Insn.Cand :: Insn.Eq :: Insn.Push_lit v :: l' :: acc) rest
+    | (Insn.Push_byte off as l) :: Insn.Push_lit v :: Insn.Eq :: Insn.Cand :: rest
+    | Insn.Push_lit v :: (Insn.Push_byte off as l) :: Insn.Eq :: Insn.Cand :: rest ->
+        let l' = subst l in
+        learn off 1 v;
+        go (Insn.Cand :: Insn.Eq :: Insn.Push_lit v :: l' :: acc) rest
+    | i :: rest -> go (subst i :: acc) rest
+  in
+  go [] insns
+
+let run_insns insns =
+  let rec fix insns n =
+    if n = 0 then insns
+    else
+      let insns' = peephole (propagate insns) in
+      if insns' = insns then insns else fix insns' (n - 1)
+  in
+  fix insns 16
+
+let run program =
+  let insns = run_insns (Program.insns program) in
+  match Program.of_insns insns with
+  | p -> p
+  | exception Program.Invalid _ ->
+      (* All rewrites preserve stack discipline, so this is unreachable;
+         fall back to the input rather than reject a valid filter. *)
+      program

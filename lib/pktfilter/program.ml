@@ -119,3 +119,34 @@ let pp ppf t =
   Format.fprintf ppf "@[<v>";
   List.iteri (fun i insn -> Format.fprintf ppf "%3d: %a@ " i Insn.pp insn) t.insns;
   Format.fprintf ppf "@]"
+
+(* Parse a printed listing back into a program: one instruction per
+   line, an optional "N:" index prefix (as [pp] emits), blank lines and
+   "#" comment lines ignored. *)
+let of_string s =
+  let strip_index line =
+    match String.index_opt line ':' with
+    | Some i
+      when String.trim (String.sub line 0 i) <> ""
+           && int_of_string_opt (String.trim (String.sub line 0 i)) <> None ->
+        String.sub line (i + 1) (String.length line - i - 1)
+    | _ -> line
+  in
+  let parse_line (n, acc) line =
+    let line = String.trim (strip_index line) in
+    if line = "" || line.[0] = '#' then (n + 1, acc)
+    else
+      match acc with
+      | Error _ -> (n + 1, acc)
+      | Ok insns -> (
+          match Insn.parse line with
+          | Some i -> (n + 1, Ok (i :: insns))
+          | None -> (n + 1, Error (Printf.sprintf "line %d: cannot parse %S" n line)))
+  in
+  let _, acc = List.fold_left parse_line (1, Ok []) (String.split_on_char '\n' s) in
+  match acc with
+  | Error e -> Error e
+  | Ok insns -> (
+      match of_insns (List.rev insns) with
+      | p -> Ok p
+      | exception Invalid msg -> Error msg)
