@@ -5,8 +5,11 @@
    representative cell, and ablation benches for the design choices
    DESIGN.md calls out.
 
-   Usage: main.exe [all|table1|table2|table3|table4|table5|figures|
-                    ablations|micro] *)
+   Usage: main.exe [--json] [all|table1|table2|table3|table4|table5|
+                    figures|ablations|scale|smoke|micro]
+
+   With --json each table/scale run also writes its rows to
+   BENCH_<target>.json in the working directory. *)
 
 module Time = Uln_engine.Time
 module View = Uln_buf.View
@@ -17,31 +20,133 @@ let ppf = Format.std_formatter
 let section title =
   Format.fprintf ppf "@.=== %s ===@." title
 
+(* --- machine-readable output (hand-rolled JSON, no dependencies) ------- *)
+
+let json_enabled = ref false
+
+let jstr s = Printf.sprintf "%S" s (* ASCII field names/values only *)
+let jint = string_of_int
+
+let jfloat f =
+  if Float.is_nan f || Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" (if Float.is_nan f then 0.0 else f)
+  else Printf.sprintf "%.6g" f
+
+let jopt = function Some v -> jfloat v | None -> "null"
+
+let write_json target (rows : (string * string) list list) =
+  if !json_enabled then begin
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf (Printf.sprintf "{\n  \"target\": %s,\n  \"rows\": [" (jstr target));
+    List.iteri
+      (fun i row ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf "\n    { ";
+        List.iteri
+          (fun j (k, v) ->
+            if j > 0 then Buffer.add_string buf ", ";
+            Buffer.add_string buf (Printf.sprintf "%s: %s" (jstr k) v))
+          row;
+        Buffer.add_string buf " }")
+      rows;
+    Buffer.add_string buf "\n  ]\n}\n";
+    let file = Printf.sprintf "BENCH_%s.json" target in
+    let oc = open_out file in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Format.fprintf ppf "  (wrote %s)@." file
+  end
+
+let t2_json (rows : E.t2_row list) =
+  List.map
+    (fun (r : E.t2_row) ->
+      [ ("network", jstr r.E.t2_network);
+        ("system", jstr r.E.t2_system);
+        ("size", jint r.E.t2_size);
+        ("mbps", jfloat r.E.t2_mbps);
+        ("paper", jopt r.E.t2_paper) ])
+    rows
+
+let scale_json (rows : E.scale_row list) =
+  List.map
+    (fun (r : E.scale_row) ->
+      [ ("conns", jint r.E.sc_conns);
+        ("scan_cycles", jfloat r.E.sc_scan_cycles);
+        ("hit_cycles", jfloat r.E.sc_hit_cycles);
+        ("hits", jint r.E.sc_hits);
+        ("misses", jint r.E.sc_misses) ])
+    rows
+
 let run_table1 () =
   section "Table 1 (mechanism overhead, Ethernet)";
-  E.print_table1 ppf (E.table1 ());
+  let rows = E.table1 () in
+  E.print_table1 ppf rows;
+  write_json "table1"
+    (List.map
+       (fun (r : Uln_workload.Raw_xchg.row) ->
+         [ ("user_packet", jint r.Uln_workload.Raw_xchg.user_packet);
+           ("mbps", jfloat r.Uln_workload.Raw_xchg.mbps);
+           ("saturation_mbps", jfloat r.Uln_workload.Raw_xchg.saturation_mbps);
+           ("percent_of_raw", jfloat r.Uln_workload.Raw_xchg.percent_of_raw) ])
+       rows);
   Format.fprintf ppf "@."
 
 let run_table2 () =
   section "Table 2 (TCP throughput)";
-  E.print_table2 ppf (E.table2 ());
+  let rows = E.table2 () in
+  E.print_table2 ppf rows;
+  write_json "table2" (t2_json rows);
   Format.fprintf ppf "@."
 
 let run_table3 () =
   section "Table 3 (round-trip latency)";
-  E.print_table3 ppf (E.table3 ());
+  let rows = E.table3 () in
+  E.print_table3 ppf rows;
+  write_json "table3"
+    (List.map
+       (fun (r : E.t3_row) ->
+         [ ("network", jstr r.E.t3_network);
+           ("system", jstr r.E.t3_system);
+           ("size", jint r.E.t3_size);
+           ("rtt_ms", jfloat r.E.t3_rtt_ms);
+           ("paper", jopt r.E.t3_paper) ])
+       rows);
   Format.fprintf ppf "@."
 
 let run_table4 () =
   section "Table 4 (connection setup)";
-  E.print_table4 ppf (E.table4 ());
+  let rows = E.table4 () in
+  E.print_table4 ppf rows;
+  write_json "table4"
+    (List.map
+       (fun (r : E.t4_row) ->
+         [ ("network", jstr r.E.t4_network);
+           ("system", jstr r.E.t4_system);
+           ("setup_ms", jfloat r.E.t4_setup_ms);
+           ("paper", jopt r.E.t4_paper) ])
+       rows);
   Format.fprintf ppf "@.";
   E.print_breakdown ppf (E.setup_breakdown ());
   Format.fprintf ppf "@."
 
 let run_table5 () =
   section "Table 5 (demultiplexing cost)";
-  E.print_table5 ppf (E.table5 ());
+  let rows = E.table5 () in
+  E.print_table5 ppf rows;
+  write_json "table5"
+    (List.map
+       (fun (r : E.t5_row) ->
+         [ ("interface", jstr r.E.t5_interface);
+           ("us_per_packet", jfloat r.E.t5_us);
+           ("paper", jopt r.E.t5_paper) ])
+       rows);
+  Format.fprintf ppf "@."
+
+let run_scale ?conns () =
+  section "Connection scaling (flow-cache demux vs linear scan)";
+  let rows = E.scale ?conns () in
+  E.print_scale ppf rows;
+  write_json "scale" (scale_json rows);
   Format.fprintf ppf "@."
 
 let run_figures () =
@@ -92,11 +197,37 @@ let run_ablations () =
       let r = Uln_workload.Bulk.run ~total_bytes:4_000_000 ~write_size:4096 w in
       Format.fprintf ppf "  %-22s %6.2f Mb/s@." label r.Uln_workload.Bulk.mbps)
     [ (Uln_host.Costs.r3000, "software checksum");
-      ({ Uln_host.Costs.r3000 with Uln_host.Costs.checksum_per_byte_ns = 0 },
+      (* Checksum offload removes the summing cost from both the standalone
+         checksum pass and the fused copy+checksum pass (which degenerates to
+         a plain copy). *)
+      ({ Uln_host.Costs.r3000 with
+         Uln_host.Costs.checksum_per_byte_ns = 0;
+         copy_checksum_per_byte_ns = Uln_host.Costs.r3000.Uln_host.Costs.copy_per_byte_ns
+       },
        "hardware checksum") ];
   Format.fprintf ppf
     "  (paper: if hardware checksum alone is sufficient, the BQI scheme has@.";
   Format.fprintf ppf "   a significant performance advantage)@.";
+  Format.fprintf ppf "@.";
+  section "Ablation: data-path fast paths (Table 2 cell: userlib/ethernet/4096)";
+  let fastpath_cell ~label ?(flow_cache = false) tcp_params =
+    let w =
+      Uln_core.World.create ~network:Uln_core.World.Ethernet
+        ~org:Uln_core.Organization.User_library ~flow_cache ~tcp_params ()
+    in
+    let r = Uln_workload.Bulk.run ~total_bytes:1_500_000 ~write_size:4096 w in
+    Format.fprintf ppf "  %-40s %6.2f Mb/s@." label r.Uln_workload.Bulk.mbps
+  in
+  let d = Uln_proto.Tcp_params.default in
+  fastpath_cell ~label:"baseline (prediction + fused checksum)" d;
+  fastpath_cell ~label:"header prediction off"
+    { d with Uln_proto.Tcp_params.header_prediction = false };
+  fastpath_cell ~label:"fused copy+checksum off (two passes)"
+    { d with Uln_proto.Tcp_params.fused_checksum = false };
+  fastpath_cell ~label:"flow-cache demux on" ~flow_cache:true d;
+  Format.fprintf ppf
+    "  (each fast path is independently switchable; the slow paths are the@.";
+  Format.fprintf ppf "   differentially-tested oracles)@.";
   Format.fprintf ppf "@."
 
 let run_contention () =
@@ -359,8 +490,44 @@ let run_micro () =
         analyzed)
     tests
 
+(* A minutes-to-seconds pass over every subsystem the full benches
+   exercise: raw exchange, one TCP bulk cell (recorded as the table2
+   row), the scaling experiment at small sizes, the filter-optimizer
+   report, and one fast-path ablation point.  Wired into the runtest
+   alias so the data path is driven end to end on every test run. *)
+let run_smoke () =
+  section "Bench smoke (reduced sizes)";
+  ignore (Uln_workload.Raw_xchg.run ~total_bytes:100_000 ~user_packet:1460 ());
+  let bulk =
+    Uln_workload.Bulk.measure ~total_bytes:200_000 ~write_size:4096
+      ~network:Uln_core.World.Ethernet ~org:Uln_core.Organization.User_library ()
+  in
+  Format.fprintf ppf "  bulk userlib/ethernet/4096 (200KB): %6.2f Mb/s@."
+    bulk.Uln_workload.Bulk.mbps;
+  write_json "table2"
+    [ [ ("network", jstr "ethernet");
+        ("system", jstr "userlib");
+        ("size", jint 4096);
+        ("mbps", jfloat bulk.Uln_workload.Bulk.mbps);
+        ("paper", "null") ] ];
+  let w =
+    Uln_core.World.create ~network:Uln_core.World.Ethernet
+      ~org:Uln_core.Organization.User_library ~flow_cache:true ()
+  in
+  let r = Uln_workload.Bulk.run ~total_bytes:200_000 ~write_size:4096 w in
+  Format.fprintf ppf "  bulk with flow-cache demux on:      %6.2f Mb/s@."
+    r.Uln_workload.Bulk.mbps;
+  let rows = E.scale ~conns:[ 1; 4; 16; 64 ] () in
+  E.print_scale ppf rows;
+  write_json "scale" (scale_json rows);
+  run_filteropt ();
+  Format.fprintf ppf "@."
+
 let () =
-  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let flags, targets = List.partition (fun a -> a = "--json") args in
+  json_enabled := flags <> [];
+  let what = match targets with [] -> "all" | t :: _ -> t in
   match what with
   | "table1" -> run_table1 ()
   | "table2" -> run_table2 ()
@@ -372,6 +539,8 @@ let () =
   | "motivation" -> run_motivation ()
   | "contention" -> run_contention ()
   | "filteropt" -> run_filteropt ()
+  | "scale" -> run_scale ()
+  | "smoke" -> run_smoke ()
   | "micro" -> run_micro ()
   | "all" ->
       run_table1 ();
@@ -379,6 +548,7 @@ let () =
       run_table3 ();
       run_table4 ();
       run_table5 ();
+      run_scale ();
       run_figures ();
       run_ablations ();
       run_motivation ();
@@ -387,7 +557,7 @@ let () =
       run_micro ()
   | other ->
       Format.eprintf
-        "unknown argument %s (expected \
-         all|table1..table5|figures|ablations|motivation|contention|filteropt|micro)@."
+        "unknown argument %s (expected [--json] \
+         all|table1..table5|figures|ablations|motivation|contention|filteropt|scale|smoke|micro)@."
         other;
       exit 1

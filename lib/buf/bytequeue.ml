@@ -39,6 +39,14 @@ let peek t ~off ~len =
     raise (View.Bounds "Bytequeue.peek: range exceeds queue");
   View.of_string (Bytes.sub_string t.data (t.head + off) len)
 
+let peek_sum t ~off ~len =
+  if off < 0 || len < 0 || off + len > t.len then
+    raise (View.Bounds "Bytequeue.peek_sum: range exceeds queue");
+  let dst = View.create len in
+  let src = { View.buffer = t.data; off = t.head + off; len } in
+  let sum = View.blit_sum src 0 dst 0 len in
+  (dst, sum)
+
 let drop t n =
   if n < 0 || n > t.len then raise (View.Bounds "Bytequeue.drop: out of range");
   t.head <- t.head + n;

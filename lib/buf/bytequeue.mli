@@ -24,6 +24,13 @@ val peek : t -> off:int -> len:int -> View.t
     head, without consuming them.
     @raise View.Bounds if the range exceeds the queue. *)
 
+val peek_sum : t -> off:int -> len:int -> View.t * int
+(** Like {!peek}, but the single copying pass also computes the bytes'
+    un-complemented Internet-checksum partial sum ({!View.blit_sum}) —
+    the fused copy+checksum read TCP transmission uses on the
+    send-buffer path.
+    @raise View.Bounds if the range exceeds the queue. *)
+
 val drop : t -> int -> unit
 (** Discard [n] bytes from the head.
     @raise View.Bounds if [n > length t]. *)

@@ -52,6 +52,41 @@ let blit src soff dst doff len =
   check dst doff len "blit(dst)";
   Bytes.blit src.buffer (src.off + soff) dst.buffer (dst.off + doff) len
 
+(* One's-complement partial sum of [len] bytes at [off], big-endian
+   16-bit words, two bytes per iteration (the "word-at-a-time" loop the
+   paper's fused copy/checksum discussion assumes).  The sum is
+   un-complemented and unfolded; an odd trailing byte counts as the high
+   byte of a final zero-padded word. *)
+let sum16 t off len =
+  check t off len "sum16";
+  let b = t.buffer and base = t.off + off in
+  let acc = ref 0 in
+  let words = len / 2 in
+  for i = 0 to words - 1 do
+    acc := !acc + Bytes.get_uint16_be b (base + (2 * i))
+  done;
+  if len land 1 = 1 then acc := !acc + (Char.code (Bytes.get b (base + len - 1)) lsl 8);
+  !acc
+
+let blit_sum src soff dst doff len =
+  check src soff len "blit_sum(src)";
+  check dst doff len "blit_sum(dst)";
+  let sb = src.buffer and sbase = src.off + soff in
+  let db = dst.buffer and dbase = dst.off + doff in
+  let acc = ref 0 in
+  let words = len / 2 in
+  for i = 0 to words - 1 do
+    let w = Bytes.get_uint16_be sb (sbase + (2 * i)) in
+    Bytes.set_uint16_be db (dbase + (2 * i)) w;
+    acc := !acc + w
+  done;
+  if len land 1 = 1 then begin
+    let c = Bytes.get sb (sbase + len - 1) in
+    Bytes.set db (dbase + len - 1) c;
+    acc := !acc + (Char.code c lsl 8)
+  end;
+  !acc
+
 let blit_from_string s soff dst doff len =
   if soff < 0 || soff + len > String.length s then
     bounds_error "View.blit_from_string: source window (%d,%d)" soff len;

@@ -43,6 +43,18 @@ val set_uint32 : t -> int -> int32 -> unit
 val blit : t -> int -> t -> int -> int -> unit
 (** [blit src soff dst doff len] copies bytes between views. *)
 
+val sum16 : t -> int -> int -> int
+(** [sum16 v off len] is the un-complemented Internet-checksum partial
+    sum of bytes [off, off+len): big-endian 16-bit words read two bytes
+    at a time, an odd trailing byte padded as the high byte of a final
+    word.  Carries are not folded (finish with {!Uln_proto.Checksum}-
+    style folding). *)
+
+val blit_sum : t -> int -> t -> int -> int -> int
+(** [blit_sum src soff dst doff len] is {!blit} fused with {!sum16}: one
+    pass copies the bytes and returns their partial sum — the combined
+    copy-and-checksum primitive of the data path. *)
+
 val blit_from_string : string -> int -> t -> int -> int -> unit
 val fill : t -> char -> unit
 

@@ -75,11 +75,11 @@ let deliver t ch frame =
   end
   else t.overflows <- t.overflows + 1
 
-let create machine nic ~mode =
+let create machine nic ~mode ?(flow_cache = false) () =
   let t =
     { machine;
       nic;
-      demux = Demux.create ~mode ~budget:Calibration.filter_cycle_budget ();
+      demux = Demux.create ~mode ~budget:Calibration.filter_cycle_budget ~flow_cache ();
       by_bqi = Hashtbl.create 8;
       next_id = 0;
       rejected = 0;
@@ -302,3 +302,5 @@ let ring_overflows t = t.overflows
 let hw_demuxed t = t.hw_demuxed
 let sw_demuxed t = t.sw_demuxed
 let overlap_flags t = t.overlap_flags
+let set_flow_cache t on = Demux.set_flow_cache t.demux on
+let flow_cache_stats t = Demux.cache_stats t.demux

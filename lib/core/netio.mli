@@ -22,7 +22,15 @@ type channel
 exception Send_rejected of string
 (** A transmitted packet did not match the sender's header template. *)
 
-val create : Uln_host.Machine.t -> Uln_net.Nic.t -> mode:Uln_filter.Demux.mode -> t
+val create :
+  Uln_host.Machine.t ->
+  Uln_net.Nic.t ->
+  mode:Uln_filter.Demux.mode ->
+  ?flow_cache:bool ->
+  unit ->
+  t
+(** [flow_cache] (default [false]) enables the exact-match flow cache in
+    front of the software filter table (see {!Uln_filter.Demux}). *)
 
 val nic : t -> Uln_net.Nic.t
 val machine : t -> Uln_host.Machine.t
@@ -149,3 +157,9 @@ val sw_demuxed : t -> int
 val overlap_flags : t -> int
 (** Installs that proceeded despite a cross-channel accept-set overlap
     (each is also traced with its witness packet). *)
+
+val set_flow_cache : t -> bool -> unit
+(** Toggle the software-demux flow cache at run time (flushes it). *)
+
+val flow_cache_stats : t -> Uln_filter.Demux.cache_stats
+(** Hit/miss/install/skip/flush counters of the flow cache. *)

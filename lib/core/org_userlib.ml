@@ -6,8 +6,8 @@ type t = {
   tcp_params : Uln_proto.Tcp_params.t option;
 }
 
-let create machine nic ~ip ~mode ?tcp_params () =
-  let netio = Netio.create machine nic ~mode in
+let create machine nic ~ip ~mode ?flow_cache ?tcp_params () =
+  let netio = Netio.create machine nic ~mode ?flow_cache () in
   let registry = Registry.create machine netio ~ip ?tcp_params () in
   { machine; netio; registry; ip; tcp_params }
 

@@ -11,11 +11,13 @@ val create :
   Uln_net.Nic.t ->
   ip:Uln_addr.Ip.t ->
   mode:Uln_filter.Demux.mode ->
+  ?flow_cache:bool ->
   ?tcp_params:Uln_proto.Tcp_params.t ->
   unit ->
   t
 (** [mode] selects interpreted or compiled software demultiplexing in
-    the network I/O module (the filter ablation). *)
+    the network I/O module (the filter ablation); [flow_cache] (default
+    [false]) puts the exact-match flow cache in front of it. *)
 
 val app : t -> name:string -> Sockets.app
 (** A new application with its own address space and linked library. *)

@@ -12,6 +12,7 @@ type t = {
   ipc_per_byte_ns : int;
   copy_per_byte_ns : int;
   checksum_per_byte_ns : int;
+  copy_checksum_per_byte_ns : int;
   vm_remap : Time.span;
   pio_per_byte_ns : int;
   dma_setup : Time.span;
@@ -49,6 +50,7 @@ let r3000 =
     ipc_per_byte_ns = 120;
     copy_per_byte_ns = 45;
     checksum_per_byte_ns = 50;
+    copy_checksum_per_byte_ns = 50;
     vm_remap = Time.us 40;
     pio_per_byte_ns = 600;
     dma_setup = Time.us 15;
@@ -83,6 +85,7 @@ let zero =
     ipc_per_byte_ns = 0;
     copy_per_byte_ns = 0;
     checksum_per_byte_ns = 0;
+    copy_checksum_per_byte_ns = 0;
     vm_remap = 0;
     pio_per_byte_ns = 0;
     dma_setup = 0;
@@ -107,7 +110,8 @@ let zero =
 
 let pp ppf c =
   Format.fprintf ppf
-    "@[<v>cycle=%dns trap=%a fast_trap=%a ctx=%a ipc=%a+%dns/B copy=%dns/B cksum=%dns/B pio=%dns/B@]"
+    "@[<v>cycle=%dns trap=%a fast_trap=%a ctx=%a ipc=%a+%dns/B copy=%dns/B cksum=%dns/B \
+     copy+cksum=%dns/B pio=%dns/B@]"
     c.cycle_ns Time.pp_span c.trap Time.pp_span c.fast_trap Time.pp_span c.context_switch
     Time.pp_span c.ipc_fixed c.ipc_per_byte_ns c.copy_per_byte_ns c.checksum_per_byte_ns
-    c.pio_per_byte_ns
+    c.copy_checksum_per_byte_ns c.pio_per_byte_ns

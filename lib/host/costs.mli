@@ -34,6 +34,11 @@ type t = {
   (* --- memory --- *)
   copy_per_byte_ns : int;  (** bcopy between user and kernel *)
   checksum_per_byte_ns : int;  (** Internet checksum, software *)
+  copy_checksum_per_byte_ns : int;
+      (** a single fused copy-and-checksum pass over payload bytes (the
+          word-at-a-time loop folds the add into the move, so it costs a
+          checksum pass, not copy + checksum); the unfused ablation
+          charges [copy_per_byte_ns + checksum_per_byte_ns] instead *)
   vm_remap : Uln_engine.Time.span;
       (** page-remap used by the copy-eliminating buffer path *)
   (* --- devices --- *)

@@ -7,6 +7,11 @@ type 'a entry = {
   predicate : Uln_buf.View.t -> bool * int;
   wcet : int;
   report : Verify.report;
+  exact : ((int * int) list * int) option;
+      (* [(byte constraints, min length)] when the optimized program is
+         conjunctive-exact: it accepts exactly the packets of length
+         >= min that carry those byte values.  The flow cache's key
+         material, derived from the verifier's analysis. *)
   endpoint : 'a;
 }
 
@@ -14,17 +19,73 @@ type key = int
 
 type 'a conflict = { against : key; with_endpoint : 'a; witness : Uln_buf.View.t }
 
+(* One flow-cache "shape" per distinct constrained-offset set: a hash
+   table keyed by the packet bytes at those offsets.  Shapes are probed
+   in creation order; the soundness rule at cache-install time
+   guarantees at most one cached entry can match any packet, so probe
+   order cannot change the dispatch outcome. *)
+type 'a cached = { c_entry : 'a entry; c_min_len : int }
+
+type 'a shape = {
+  s_offs : int array;  (* sorted byte offsets *)
+  s_max : int;  (* highest offset (length guard) *)
+  s_tbl : (string, 'a cached) Hashtbl.t;
+}
+
+type cache_stats = { hits : int; misses : int; installs : int; skips : int; flushes : int }
+
 type 'a t = {
   mode : mode;
   budget : int option;
   mutable entries : 'a entry list;
   mutable next_id : int;
+  mutable flow_cache : bool;
+  mutable shapes : 'a shape list;
+  mutable c_hits : int;
+  mutable c_misses : int;
+  mutable c_installs : int;
+  mutable c_skips : int;
+  mutable c_flushes : int;
 }
 
-let create ~mode ?budget () = { mode; budget; entries = []; next_id = 0 }
+let create ~mode ?budget ?(flow_cache = false) () =
+  { mode;
+    budget;
+    entries = [];
+    next_id = 0;
+    flow_cache;
+    shapes = [];
+    c_hits = 0;
+    c_misses = 0;
+    c_installs = 0;
+    c_skips = 0;
+    c_flushes = 0 }
 
 let mode t = t.mode
 let budget t = t.budget
+let flow_cache_enabled t = t.flow_cache
+
+let cache_stats t =
+  { hits = t.c_hits;
+    misses = t.c_misses;
+    installs = t.c_installs;
+    skips = t.c_skips;
+    flushes = t.c_flushes }
+
+(* Any table mutation invalidates every cached flow: priorities may have
+   changed (a newly installed filter shadows older ones), so the
+   install-time safety proofs no longer hold. *)
+let flush_cache t =
+  if t.shapes <> [] then begin
+    t.shapes <- [];
+    t.c_flushes <- t.c_flushes + 1
+  end
+
+let set_flow_cache t on =
+  if t.flow_cache <> on then begin
+    flush_cache t;
+    t.flow_cache <- on
+  end
 
 let conflicts t program =
   List.filter_map
@@ -53,9 +114,21 @@ let install ?(optimize = true) t program endpoint =
         | Interpreted -> report.Verify.wcet_interp
         | Compiled -> report.Verify.wcet_compiled
       in
+      let exact =
+        let a = Absint.analyze optimized in
+        if a.Absint.r_conjunctive then
+          match a.Absint.r_accept_paths with
+          | [ ap ] when ap.Absint.ap_exact && ap.Absint.ap_at = None ->
+              Some (ap.Absint.ap_constraints, ap.Absint.ap_min_len)
+          | _ -> None
+        else None
+      in
       t.next_id <- t.next_id + 1;
-      let entry = { id = t.next_id; program; optimized; predicate; wcet; report; endpoint } in
+      let entry =
+        { id = t.next_id; program; optimized; predicate; wcet; report; exact; endpoint }
+      in
       t.entries <- entry :: t.entries;
+      flush_cache t;
       Ok entry.id
 
 let install_exn ?optimize t program endpoint =
@@ -63,7 +136,9 @@ let install_exn ?optimize t program endpoint =
   | Ok k -> k
   | Error e -> raise (Verify.Rejected e)
 
-let remove t key = t.entries <- List.filter (fun e -> e.id <> key) t.entries
+let remove t key =
+  t.entries <- List.filter (fun e -> e.id <> key) t.entries;
+  flush_cache t
 
 let entries t = List.length t.entries
 
@@ -72,12 +147,115 @@ let wcet t key = Option.map (fun e -> e.wcet) (find t key)
 let report t key = Option.map (fun e -> e.report) (find t key)
 let installed_program t key = Option.map (fun e -> e.optimized) (find t key)
 
-let dispatch t pkt =
+(* --- the flow cache ---------------------------------------------------- *)
+
+(* Calibrated probe cost: hashing an n-byte key and comparing it against
+   the bucket entry, modelled at 2 cycles per key byte plus a fixed
+   lookup overhead — small, and independent of the table size (that
+   independence is the point; a test asserts it). *)
+let probe_base_cycles = 16
+let probe_per_byte_cycles = 2
+let probe_cycles sh = probe_base_cycles + (probe_per_byte_cycles * Array.length sh.s_offs)
+
+let key_of_packet sh pkt =
+  String.init (Array.length sh.s_offs) (fun i ->
+      Char.chr (Uln_buf.View.get_uint8 pkt sh.s_offs.(i)))
+
+(* Probe each shape in order; the cost accumulates over the shapes
+   actually consulted. *)
+let cache_lookup t pkt =
+  let plen = Uln_buf.View.length pkt in
+  let rec go cost = function
+    | [] -> (None, cost)
+    | sh :: rest ->
+        let cost = cost + probe_cycles sh in
+        let hit =
+          if plen > sh.s_max then
+            match Hashtbl.find_opt sh.s_tbl (key_of_packet sh pkt) with
+            | Some c when plen >= c.c_min_len -> Some c.c_entry
+            | _ -> None
+          else None
+        in
+        (match hit with Some e -> (Some e, cost) | None -> go cost rest)
+  in
+  go 0 t.shapes
+
+(* A cache entry for [e] is sound only if no higher-priority (more
+   recently installed) filter could accept any packet [e] accepts:
+   otherwise a hit would steal that filter's traffic.  We require every
+   such filter [g] to be conjunctive-exact with a byte constraint that
+   contradicts one of [e]'s — then every packet matching [e]'s key is
+   provably rejected by [g].  Anything weaker (a non-conjunctive [g], or
+   no contradicting byte) skips caching; the linear scan stays correct. *)
+let shadow_safe t (e : 'a entry) ecs =
+  let rec go = function
+    | [] -> false (* e no longer installed *)
+    | g :: rest ->
+        if g.id = e.id then true
+        else begin
+          match g.exact with
+          | Some (gcs, _) ->
+              List.exists
+                (fun (o, gv) ->
+                  match List.assoc_opt o ecs with Some ev -> ev <> gv | None -> false)
+                gcs
+              && go rest
+          | None -> false
+        end
+  in
+  go t.entries
+
+let cache_insert t (e : 'a entry) =
+  match e.exact with
+  | Some (ecs, min_len) when ecs <> [] && shadow_safe t e ecs ->
+      let offs = Array.of_list (List.map fst ecs) in
+      let key = String.init (Array.length offs) (fun i -> Char.chr (snd (List.nth ecs i))) in
+      let sh =
+        match
+          List.find_opt (fun sh -> sh.s_offs = offs) t.shapes
+        with
+        | Some sh -> sh
+        | None ->
+            let sh =
+              { s_offs = offs;
+                s_max = offs.(Array.length offs - 1);
+                s_tbl = Hashtbl.create 64 }
+            in
+            t.shapes <- t.shapes @ [ sh ];
+            sh
+      in
+      (match Hashtbl.find_opt sh.s_tbl key with
+      | Some c when c.c_entry.id = e.id -> () (* already cached *)
+      | _ ->
+          Hashtbl.replace sh.s_tbl key { c_entry = e; c_min_len = min_len };
+          t.c_installs <- t.c_installs + 1)
+  | _ -> t.c_skips <- t.c_skips + 1
+
+(* --- dispatch ----------------------------------------------------------- *)
+
+let scan t pkt =
   let rec go cost = function
     | [] -> (None, cost)
     | e :: rest ->
         let accepted, cycles = e.predicate pkt in
         let cost = cost + cycles in
-        if accepted then (Some e.endpoint, cost) else go cost rest
+        if accepted then (Some e, cost) else go cost rest
   in
   go 0 t.entries
+
+let dispatch t pkt =
+  if not t.flow_cache then begin
+    let e, cost = scan t pkt in
+    (Option.map (fun e -> e.endpoint) e, cost)
+  end
+  else begin
+    match cache_lookup t pkt with
+    | Some e, cost ->
+        t.c_hits <- t.c_hits + 1;
+        (Some e.endpoint, cost)
+    | None, probe_cost ->
+        t.c_misses <- t.c_misses + 1;
+        let e, scan_cost = scan t pkt in
+        (match e with Some e -> cache_insert t e | None -> ());
+        (Option.map (fun e -> e.endpoint) e, probe_cost + scan_cost)
+  end

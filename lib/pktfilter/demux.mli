@@ -16,7 +16,24 @@
     subject of the filter ablation bench); each dispatch reports the
     simulated cycles of the instructions the executed filters actually
     ran — an entry that bails at an early [Cand] charges only that
-    prefix, not its worst case. *)
+    prefix, not its worst case.
+
+    {2 Flow cache}
+
+    With [flow_cache] enabled, the table maintains an exact-match demux
+    cache in front of the linear scan.  When a scan accepts a packet for
+    an entry whose program the verifier's analysis ({!Absint}) proved
+    conjunctive-exact — it accepts exactly the packets carrying specific
+    byte values at specific offsets — those (offset, value) pairs become
+    a hash key and subsequent packets of the flow hit the cache at a
+    small calibrated cost independent of the table size.  An entry is
+    only cached when every more-recently-installed (higher-priority)
+    filter provably rejects all packets matching the key, so a hit can
+    never steal traffic a scan would have delivered elsewhere; filters
+    too complex to prove safe are skipped and simply keep scanning.  Any
+    install or remove flushes the cache.  The cache is off by default —
+    the linear scan is the verification oracle (differentially tested)
+    and the measured baseline. *)
 
 type 'a t
 (** A table delivering to endpoints of type ['a]. *)
@@ -32,12 +49,28 @@ type 'a conflict = {
   witness : Uln_buf.View.t;  (** a packet both filters accept *)
 }
 
-val create : mode:mode -> ?budget:int -> unit -> 'a t
+type cache_stats = {
+  hits : int;  (** dispatches answered by the flow cache *)
+  misses : int;  (** dispatches that fell through to the scan *)
+  installs : int;  (** flows entered into the cache *)
+  skips : int;  (** accepts not cacheable (inexact or shadow-unsafe) *)
+  flushes : int;  (** whole-cache invalidations (install/remove) *)
+}
+
+val create : mode:mode -> ?budget:int -> ?flow_cache:bool -> unit -> 'a t
 (** [budget] is the per-program worst-case cycle bound enforced at
-    {!install} time (in the cost model of [mode]); omitted = unbounded. *)
+    {!install} time (in the cost model of [mode]); omitted = unbounded.
+    [flow_cache] (default [false]) enables the exact-match demux cache. *)
 
 val mode : 'a t -> mode
 val budget : 'a t -> int option
+
+val flow_cache_enabled : 'a t -> bool
+
+val set_flow_cache : 'a t -> bool -> unit
+(** Toggle the flow cache; any change flushes it. *)
+
+val cache_stats : 'a t -> cache_stats
 
 val install : ?optimize:bool -> 'a t -> Program.t -> 'a -> (key, Verify.error) result
 (** Verify, optimize (unless [optimize:false]) and add an entry in
@@ -70,6 +103,8 @@ val installed_program : 'a t -> key -> Program.t option
 (** The optimized program an entry actually runs. *)
 
 val dispatch : 'a t -> Uln_buf.View.t -> ('a option * int)
-(** [dispatch t pkt] runs filters in order until one accepts; returns
-    the endpoint (or [None]) and the simulated cycle cost of the
-    instructions actually executed. *)
+(** [dispatch t pkt] consults the flow cache (when enabled), then runs
+    filters in order until one accepts; returns the endpoint (or
+    [None]) and the simulated cycle cost actually incurred — the probe
+    cost on a cache hit, probe + executed filter instructions on a
+    miss.  {!cache_stats} distinguishes the two. *)

@@ -12,7 +12,19 @@ val of_mbuf : ?init:int -> Uln_buf.Mbuf.t -> int
 val partial : int -> bool -> Uln_buf.View.t -> int * bool
 (** [partial acc odd v] extends a running (un-complemented) sum; [odd]
     says whether an odd number of bytes has been consumed so far.
-    Finish with {!finish}. *)
+    Finish with {!finish}.  Word-at-a-time (two bytes per iteration via
+    {!Uln_buf.View.sum16}). *)
+
+val partial_bytes : int -> bool -> Uln_buf.View.t -> int * bool
+(** The byte-at-a-time reference implementation of {!partial} — the
+    oracle the word-at-a-time and fused paths are property-tested
+    against. *)
+
+val reference_of_view : ?init:int -> Uln_buf.View.t -> int
+(** {!of_view} computed with {!partial_bytes}. *)
+
+val reference_of_mbuf : ?init:int -> Uln_buf.Mbuf.t -> int
+(** {!of_mbuf} computed with {!partial_bytes}. *)
 
 val finish : int -> int
 (** Fold carries and complement. *)

@@ -74,6 +74,10 @@ type conn = {
   mutable ka_probes : int;
   mutable unacked_segs : int;
   mutable ack_now : bool;
+  (* header-prediction accounting *)
+  mutable fast_acks : int;
+  mutable fast_data : int;
+  mutable slow_segments : int;
   (* engine bookkeeping *)
   mutable output_active : bool;
   mutable output_pending : bool;
@@ -99,6 +103,8 @@ and t = {
   mutable retransmissions : int;
   mutable rsts_out : int;
   mutable checksum_failures : int;
+  mutable predicted_acks : int;
+  mutable predicted_data : int;
 }
 
 let params t = t.prm
@@ -110,6 +116,8 @@ let retransmissions t = t.retransmissions
 let rsts_out t = t.rsts_out
 let checksum_failures t = t.checksum_failures
 let active_connections t = Hashtbl.length t.pcbs
+let predicted_acks t = t.predicted_acks
+let predicted_data t = t.predicted_data
 
 let state c = c.state
 let error c = c.error
@@ -121,6 +129,7 @@ let rto c = c.rto
 let cwnd c = c.cwnd
 let bytes_queued c = Bytequeue.length c.snd_buf
 let bytes_available c = Bytequeue.length c.rcv_buf
+let fast_path_counts c = (c.fast_acks, c.fast_data, c.slow_segments)
 
 let key ~remote_ip ~remote_port ~local_port = (Ip.to_int32 remote_ip, remote_port, local_port)
 let conn_key c = key ~remote_ip:c.remote_ip ~remote_port:c.remote_port ~local_port:c.local_port
@@ -157,14 +166,22 @@ let snd_window c = Stdlib.min c.snd_wnd c.cwnd
 
 (* --- segment emission ----------------------------------------------- *)
 
-let emit t ~src_ip ~dst_ip (seg : Tcp_wire.segment) =
+let emit ?payload_sum t ~src_ip ~dst_ip (seg : Tcp_wire.segment) =
   let costs = t.env.Proto_env.costs in
   let payload_bytes = Mbuf.length seg.Tcp_wire.payload in
   Proto_env.charge t.env costs.Costs.tcp_output;
+  (* Payload bytes leave the send buffer through either one fused
+     copy+checksum pass or two separate passes (the ablation); the
+     header is always a checksum-only pass. *)
+  let payload_per_byte =
+    if t.prm.Tcp_params.fused_checksum then costs.Costs.copy_checksum_per_byte_ns
+    else costs.Costs.copy_per_byte_ns + costs.Costs.checksum_per_byte_ns
+  in
+  Proto_env.charge_bytes t.env ~per_byte_ns:payload_per_byte payload_bytes;
   Proto_env.charge_bytes t.env ~per_byte_ns:costs.Costs.checksum_per_byte_ns
-    (payload_bytes + Tcp_wire.header_size);
+    Tcp_wire.header_size;
   t.segments_out <- t.segments_out + 1;
-  let m = Tcp_wire.encode ~src_ip ~dst_ip seg in
+  let m = Tcp_wire.encode ?payload_sum ~src_ip ~dst_ip seg in
   Ipv4.output t.ip ~proto:6 ~dst:dst_ip m
 
 let send_rst_for t ~src ~(seg : Tcp_wire.segment) =
@@ -191,14 +208,14 @@ let send_rst_for t ~src ~(seg : Tcp_wire.segment) =
 
 (* Send one segment of this connection.  [seq] is explicit so fast
    retransmit can resend at snd_una without disturbing snd_nxt. *)
-let send_segment c ~seq ~flags ~payload ~with_mss =
+let send_segment ?payload_sum c ~seq ~flags ~payload ~with_mss =
   let t = c.engine in
   let wnd = rcv_window c in
   c.rcv_adv <- Tcp_seq.max c.rcv_adv (Tcp_seq.add c.rcv_nxt (Stdlib.min wnd 0xffff));
   c.unacked_segs <- 0;
   c.ack_now <- false;
   c.delack <- stop_timer c.delack;
-  emit t ~src_ip:(Ipv4.my_ip t.ip) ~dst_ip:c.remote_ip
+  emit ?payload_sum t ~src_ip:(Ipv4.my_ip t.ip) ~dst_ip:c.remote_ip
     { Tcp_wire.src_port = c.local_port;
       dst_port = c.remote_port;
       seq;
@@ -364,9 +381,17 @@ and output_once c =
     in
     let send_data = len > 0 && not nagle_blocks in
     if send_data || want_fin || c.ack_now then begin
-      let payload =
-        if send_data then Mbuf.of_view (Bytequeue.peek c.snd_buf ~off:data_off ~len)
-        else Mbuf.empty
+      let payload, payload_sum =
+        if send_data then
+          if prm.Tcp_params.fused_checksum then begin
+            (* One pass: copy out of the send buffer and accumulate the
+               checksum in the same loop; encode completes it from the
+               header without re-reading the payload. *)
+            let v, sum = Bytequeue.peek_sum c.snd_buf ~off:data_off ~len in
+            (Mbuf.of_view v, Some sum)
+          end
+          else (Mbuf.of_view (Bytequeue.peek c.snd_buf ~off:data_off ~len), None)
+        else (Mbuf.empty, None)
       in
       let len = if send_data then len else 0 in
       let fin_now = want_fin && (send_data || len = 0) in
@@ -393,7 +418,7 @@ and output_once c =
           | s -> s)
       end;
       if send_data || fin_now then arm_rexmt c;
-      send_segment c ~seq ~flags ~payload ~with_mss:false;
+      send_segment ?payload_sum c ~seq ~flags ~payload ~with_mss:false;
       true
     end
     else begin
@@ -631,10 +656,73 @@ let process_ack c (seg : Tcp_wire.segment) =
     wake_all c
   end
 
+(* --- header prediction (Van Jacobson fast path) ----------------------- *)
+
+(* The common case in ESTABLISHED: exactly the next expected in-order
+   segment — no flags beyond ACK(+PSH), sequence number equal to
+   rcv_nxt, no window change, in-order queue empty, and any payload
+   fitting the receive window whole.  Under these guards the general
+   input path below provably reduces to: process the ACK, take the
+   (trivially satisfied) wl1/wl2 window-update branch, append the
+   payload at rcv_nxt, and call the output engine.  Executing only that
+   skips the RFC 793 acceptability test, the flag dispatch, payload
+   trimming/clipping and the FIN logic; the slow path is kept intact as
+   the differential-testing oracle (Tcp_params.header_prediction). *)
+let try_fast_path c (seg : Tcp_wire.segment) =
+  let f = seg.Tcp_wire.flags in
+  let eligible =
+    c.engine.prm.Tcp_params.header_prediction
+    && c.state = State.Established
+    && f.Tcp_wire.ack
+    && (not f.Tcp_wire.syn)
+    && (not f.Tcp_wire.rst)
+    && (not f.Tcp_wire.fin)
+    && seg.Tcp_wire.seq = c.rcv_nxt
+    && seg.Tcp_wire.wnd = c.snd_wnd
+  in
+  if not eligible then false
+  else begin
+    let plen = Mbuf.length seg.Tcp_wire.payload in
+    if plen > 0 && not (c.ooseg = [] && plen <= rcv_window c) then false
+    else begin
+      let t = c.engine in
+      if plen = 0 then begin
+        c.fast_acks <- c.fast_acks + 1;
+        t.predicted_acks <- t.predicted_acks + 1
+      end
+      else begin
+        c.fast_data <- c.fast_data + 1;
+        t.predicted_data <- t.predicted_data + 1
+      end;
+      process_ack c seg;
+      if c.state <> State.Closed then begin
+        (* The wl1/wl2 update the slow path would make; the window value
+           itself is unchanged by the eligibility guard. *)
+        if
+          Tcp_seq.lt c.snd_wl1 seg.Tcp_wire.seq
+          || (c.snd_wl1 = seg.Tcp_wire.seq && Tcp_seq.le c.snd_wl2 seg.Tcp_wire.ack)
+        then begin
+          c.snd_wl1 <- seg.Tcp_wire.seq;
+          c.snd_wl2 <- seg.Tcp_wire.ack;
+          if c.snd_wnd > 0 then c.persist <- stop_timer c.persist
+        end;
+        if plen > 0 then begin
+          (* In-order data landing entirely inside the window: append
+             without trimming or clipping. *)
+          Bytequeue.push c.rcv_buf (Mbuf.flatten seg.Tcp_wire.payload);
+          c.rcv_nxt <- Tcp_seq.add c.rcv_nxt plen;
+          schedule_ack c;
+          wake_all c
+        end;
+        output c
+      end;
+      true
+    end
+  end
+
 (* --- established-state input ------------------------------------------ *)
 
-let process_segment c (seg : Tcp_wire.segment) =
-  touch_keepalive c;
+let process_segment_slow c (seg : Tcp_wire.segment) =
   let payload_len = Mbuf.length seg.Tcp_wire.payload in
   let seg_len = Tcp_wire.seg_len seg in
   let win = rcv_window c in
@@ -756,6 +844,14 @@ let process_segment c (seg : Tcp_wire.segment) =
     end
   end
 
+let process_segment c (seg : Tcp_wire.segment) =
+  touch_keepalive c;
+  if try_fast_path c seg then ()
+  else begin
+    c.slow_segments <- c.slow_segments + 1;
+    process_segment_slow c seg
+  end
+
 (* --- SYN_SENT input ---------------------------------------------------- *)
 
 let process_syn_sent c (seg : Tcp_wire.segment) =
@@ -844,6 +940,9 @@ let handle_syn_for_listener t l (seg : Tcp_wire.segment) ~src =
       ka_probes = 0;
       unacked_segs = 0;
       ack_now = false;
+      fast_acks = 0;
+      fast_data = 0;
+      slow_segments = 0;
       output_active = false;
       output_pending = false;
       error = None;
@@ -865,8 +964,17 @@ let handle_syn_for_listener t l (seg : Tcp_wire.segment) ~src =
 let input t ~src ~dst payload =
   let costs = t.env.Proto_env.costs in
   Proto_env.charge t.env costs.Costs.tcp_input;
-  Proto_env.charge_bytes t.env ~per_byte_ns:costs.Costs.checksum_per_byte_ns
-    (Mbuf.length payload);
+  let len = Mbuf.length payload in
+  if t.prm.Tcp_params.fused_checksum then
+    (* One pass verifies the checksum and moves the payload toward the
+       receive buffer. *)
+    Proto_env.charge_bytes t.env ~per_byte_ns:costs.Costs.copy_checksum_per_byte_ns len
+  else begin
+    (* Two passes: checksum the whole segment, then copy the payload. *)
+    Proto_env.charge_bytes t.env ~per_byte_ns:costs.Costs.checksum_per_byte_ns len;
+    Proto_env.charge_bytes t.env ~per_byte_ns:costs.Costs.copy_per_byte_ns
+      (Stdlib.max 0 (len - Tcp_wire.header_size))
+  end;
   match Tcp_wire.decode ~src_ip:src ~dst_ip:dst payload with
   | None -> t.checksum_failures <- t.checksum_failures + 1
   | Some seg -> (
@@ -909,7 +1017,9 @@ let create env ip ?(params = Tcp_params.default) () =
       segments_out = 0;
       retransmissions = 0;
       rsts_out = 0;
-      checksum_failures = 0 }
+      checksum_failures = 0;
+      predicted_acks = 0;
+      predicted_data = 0 }
   in
   Ipv4.set_handler ip ~proto:6 (fun ~src ~dst payload -> input t ~src ~dst payload);
   t
@@ -954,6 +1064,9 @@ let fresh_conn t ~local_port ~remote_ip ~remote_port ~state ~iss =
     ka_probes = 0;
     unacked_segs = 0;
     ack_now = false;
+    fast_acks = 0;
+    fast_data = 0;
+    slow_segments = 0;
     output_active = false;
     output_pending = false;
     error = None;

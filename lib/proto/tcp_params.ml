@@ -16,6 +16,8 @@ type t = {
   keepalive : Time.span option;
   keepalive_interval : Time.span;
   keepalive_probes : int;
+  header_prediction : bool;
+  fused_checksum : bool;
 }
 
 let default =
@@ -33,7 +35,9 @@ let default =
     initial_cwnd_segments = 1;
     keepalive = None;
     keepalive_interval = Time.sec 75;
-    keepalive_probes = 9 }
+    keepalive_probes = 9;
+    header_prediction = true;
+    fused_checksum = true }
 
 let fast =
   { default with

@@ -42,7 +42,7 @@ let flags_of_int v =
 let seg_len s =
   Mbuf.length s.payload + (if s.flags.syn then 1 else 0) + if s.flags.fin then 1 else 0
 
-let encode ~src_ip ~dst_ip s =
+let encode ?payload_sum ~src_ip ~dst_ip s =
   let opt_len = match s.mss with None -> 0 | Some _ -> 4 in
   let hlen = header_size + opt_len in
   let h = View.create hlen in
@@ -65,7 +65,16 @@ let encode ~src_ip ~dst_ip s =
   let pseudo =
     Checksum.pseudo_header ~src:src_ip ~dst:dst_ip ~proto ~len:(Mbuf.length m)
   in
-  View.set_uint16 h 16 (Checksum.of_mbuf ~init:pseudo m);
+  let csum =
+    match payload_sum with
+    | Some psum ->
+        (* Fused path: the payload's partial sum was computed during the
+           copy out of the send buffer; only the header (even length, so
+           word parity composes) remains to be summed. *)
+        Checksum.finish (pseudo + View.sum16 h 0 hlen + psum)
+    | None -> Checksum.of_mbuf ~init:pseudo m
+  in
+  View.set_uint16 h 16 csum;
   m
 
 let parse_mss options =

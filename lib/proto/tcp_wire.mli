@@ -26,8 +26,14 @@ val header_size : int
 (** 20, without options. *)
 
 val encode :
+  ?payload_sum:int ->
   src_ip:Uln_addr.Ip.t -> dst_ip:Uln_addr.Ip.t -> segment -> Uln_buf.Mbuf.t
-(** Serialise with a correct checksum (pseudo-header included). *)
+(** Serialise with a correct checksum (pseudo-header included).
+    [payload_sum], when given, is the payload's un-complemented partial
+    sum (word parity starting even, as from {!Uln_buf.View.blit_sum} /
+    {!Uln_buf.Bytequeue.peek_sum}): the checksum is then completed from
+    the header alone instead of re-walking the payload — the fused
+    copy+checksum transmit path. *)
 
 val decode :
   src_ip:Uln_addr.Ip.t -> dst_ip:Uln_addr.Ip.t -> Uln_buf.Mbuf.t -> segment option

@@ -30,6 +30,14 @@ type t4_row = {
 
 type t5_row = { t5_interface : string; t5_us : float; t5_paper : float option }
 
+type scale_row = {
+  sc_conns : int;
+  sc_scan_cycles : float;
+  sc_hit_cycles : float;
+  sc_hits : int;
+  sc_misses : int;
+}
+
 let net_name = function World.Ethernet -> "ethernet" | World.An1 -> "an1"
 
 let sys_name = function
@@ -124,15 +132,22 @@ let setup_breakdown () =
 
 (* --- Table 5 ---------------------------------------------------------- *)
 
-let demux_cost ~network ~mode =
-  let w = World.create ~network ~org:Organization.User_library ~demux_mode:mode () in
+let demux_cost ?(flow_cache = false) ~network ~mode () =
+  let w = World.create ~network ~org:Organization.User_library ~demux_mode:mode ~flow_cache () in
   let _ = Bulk.run ~total_bytes:400_000 ~write_size:1460 w in
   let netio = Option.get (World.netio w 1) in
   (Stats.Dist.mean (Netio.demux_cost_dist netio), Netio.hw_demuxed netio, Netio.sw_demuxed netio)
 
 let table5 () =
-  let sw_interp, _, _ = demux_cost ~network:World.Ethernet ~mode:Uln_filter.Demux.Interpreted in
-  let sw_compiled, _, _ = demux_cost ~network:World.Ethernet ~mode:Uln_filter.Demux.Compiled in
+  let sw_interp, _, _ =
+    demux_cost ~network:World.Ethernet ~mode:Uln_filter.Demux.Interpreted ()
+  in
+  let sw_compiled, _, _ =
+    demux_cost ~network:World.Ethernet ~mode:Uln_filter.Demux.Compiled ()
+  in
+  let sw_cached, _, _ =
+    demux_cost ~flow_cache:true ~network:World.Ethernet ~mode:Uln_filter.Demux.Interpreted ()
+  in
   (* On AN1 data packets take the hardware path: isolate its mean. *)
   let c = Costs.r3000 in
   let hw = Time.to_us_f c.Costs.demux_hardware in
@@ -142,7 +157,71 @@ let table5 () =
     { t5_interface = "AN1 (hardware BQI)"; t5_us = hw; t5_paper = Some 50.0 };
     { t5_interface = "LANCE Ethernet (software filter, compiled) [ablation]";
       t5_us = sw_compiled;
+      t5_paper = None };
+    { t5_interface = "LANCE Ethernet (software filter + flow cache) [ablation]";
+      t5_us = sw_cached;
       t5_paper = None } ]
+
+(* --- connection scaling (flow-cache ablation) -------------------------- *)
+
+(* Two identical filter tables, n installed connection filters each, one
+   with the flow cache: dispatch the same per-flow packets through both,
+   check the endpoints agree, and compare mean dispatch cycles.  The
+   linear scan costs O(table size); warm cache hits are flat. *)
+let scale ?(conns = [ 1; 4; 16; 64; 256; 1024 ]) () =
+  let module F = Uln_filter in
+  let module View = Uln_buf.View in
+  let module Ip = Uln_addr.Ip in
+  let src_ip = Ip.make 10 0 0 2 and dst_ip = Ip.make 10 0 0 1 in
+  let port i = 1024 + i in
+  let pkt i =
+    let v = View.create 54 in
+    View.set_uint16 v 12 0x0800;
+    View.set_uint8 v 14 0x45;
+    View.set_uint8 v 23 6;
+    View.set_uint32 v 26 (Ip.to_int32 src_ip);
+    View.set_uint32 v 30 (Ip.to_int32 dst_ip);
+    View.set_uint16 v 34 (port i);
+    View.set_uint16 v 36 80;
+    v
+  in
+  let row n =
+    let mk flow_cache =
+      let d = F.Demux.create ~mode:F.Demux.Interpreted ~flow_cache () in
+      for i = 0 to n - 1 do
+        ignore
+          (F.Demux.install_exn d
+             (F.Program.tcp_conn ~src_ip ~dst_ip ~src_port:(port i) ~dst_port:80)
+             i)
+      done;
+      d
+    in
+    let scan_tbl = mk false and cache_tbl = mk true in
+    (* Warm the cache: the first packet of each flow misses and installs. *)
+    for i = 0 to n - 1 do
+      ignore (F.Demux.dispatch cache_tbl (pkt i))
+    done;
+    let rounds = Stdlib.max 1 (1024 / n) in
+    let scan_cycles = ref 0 and hit_cycles = ref 0 and count = ref 0 in
+    for _ = 1 to rounds do
+      for i = 0 to n - 1 do
+        let p = pkt i in
+        let e_scan, c_scan = F.Demux.dispatch scan_tbl p in
+        let e_hit, c_hit = F.Demux.dispatch cache_tbl p in
+        if e_scan <> e_hit then failwith "scale: flow cache and linear scan disagree";
+        scan_cycles := !scan_cycles + c_scan;
+        hit_cycles := !hit_cycles + c_hit;
+        incr count
+      done
+    done;
+    let st = F.Demux.cache_stats cache_tbl in
+    { sc_conns = n;
+      sc_scan_cycles = float_of_int !scan_cycles /. float_of_int !count;
+      sc_hit_cycles = float_of_int !hit_cycles /. float_of_int !count;
+      sc_hits = st.F.Demux.hits;
+      sc_misses = st.F.Demux.misses }
+  in
+  List.map row conns
 
 (* --- printing --------------------------------------------------------- *)
 
@@ -211,6 +290,19 @@ let print_table5 ppf rows =
       Format.fprintf ppf "  %-56s %8.1f %a@," r.t5_interface r.t5_us pp_paper r.t5_paper)
     rows;
   Format.fprintf ppf "@]"
+
+let print_scale ppf rows =
+  Format.fprintf ppf
+    "@[<v>Connection scaling: software demux cost per packet (simulated cycles)@,";
+  Format.fprintf ppf "%-8s %14s %16s %8s %8s@," "conns" "linear scan" "flow-cache hit" "hits"
+    "misses";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-8d %14.1f %16.1f %8d %8d@," r.sc_conns r.sc_scan_cycles
+        r.sc_hit_cycles r.sc_hits r.sc_misses)
+    rows;
+  Format.fprintf ppf
+    "(scan cost grows with installed connections; warm cache hits stay flat)@,@]"
 
 let print_figures ppf () =
   Format.fprintf ppf "@[<v>Figure 1: alternative organizations of protocols@,@,";

@@ -28,6 +28,14 @@ type t4_row = {
 
 type t5_row = { t5_interface : string; t5_us : float; t5_paper : float option }
 
+type scale_row = {
+  sc_conns : int;  (** installed connection filters *)
+  sc_scan_cycles : float;  (** mean dispatch cycles, linear scan *)
+  sc_hit_cycles : float;  (** mean dispatch cycles, warm flow cache *)
+  sc_hits : int;
+  sc_misses : int;
+}
+
 val table1 : ?quick:bool -> unit -> Raw_xchg.row list
 (** Mechanism overhead vs raw link saturation (Ethernet). *)
 
@@ -47,7 +55,13 @@ val setup_breakdown : unit -> (string * float * float option) list
 
 val table5 : unit -> t5_row list
 (** Demultiplexing cost per packet: LANCE software filter vs AN1
-    hardware BQI, plus the compiled-filter ablation row. *)
+    hardware BQI, plus the compiled-filter and flow-cache ablation
+    rows. *)
+
+val scale : ?conns:int list -> unit -> scale_row list
+(** Demux cost vs number of installed connection filters, linear scan
+    against warm flow cache, the endpoints cross-checked packet by
+    packet.  Default [conns] is [1; 4; 16; 64; 256; 1024]. *)
 
 val print_table1 : Format.formatter -> Raw_xchg.row list -> unit
 val print_table2 : Format.formatter -> t2_row list -> unit
@@ -55,6 +69,7 @@ val print_table3 : Format.formatter -> t3_row list -> unit
 val print_table4 : Format.formatter -> t4_row list -> unit
 val print_breakdown : Format.formatter -> (string * float * float option) list -> unit
 val print_table5 : Format.formatter -> t5_row list -> unit
+val print_scale : Format.formatter -> scale_row list -> unit
 val print_figures : Format.formatter -> unit -> unit
 (** Figures 1 and 2: organization structure, derived from the
     implementations. *)

@@ -1,0 +1,405 @@
+(* Differential tests for the data-path fast paths: each optimisation
+   (flow-cache demux, TCP header prediction, fused copy+checksum) is
+   checked against its slow path — the linear scan, the full input state
+   machine, the byte-at-a-time checksum — over randomized inputs.  The
+   fast paths must be behaviourally invisible. *)
+
+open Tutil
+module Rng = Uln_engine.Rng
+module Bytequeue = Uln_buf.Bytequeue
+module F = Uln_filter
+module Checksum = Uln_proto.Checksum
+module Tcp_wire = Uln_proto.Tcp_wire
+module Fault = Uln_net.Fault
+module E = Uln_workload.Experiments
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let random_view rng len =
+  let v = View.create len in
+  for i = 0 to len - 1 do
+    View.set_uint8 v i (Rng.int rng 256)
+  done;
+  v
+
+(* --- fused / word-at-a-time checksum vs byte-at-a-time reference ------- *)
+
+let prop_of_view_matches_reference =
+  QCheck.Test.make ~name:"word-at-a-time of_view = byte reference (incl. odd lengths)"
+    ~count:200
+    QCheck.(1 -- 1_000_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let v = random_view rng (Rng.int rng 601) in
+      let init = Rng.int rng 0x10000 in
+      Checksum.of_view ~init v = Checksum.reference_of_view ~init v)
+
+let prop_of_mbuf_matches_reference =
+  QCheck.Test.make ~name:"of_mbuf = byte reference across odd-length segments" ~count:200
+    QCheck.(1 -- 1_000_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let nsegs = 1 + Rng.int rng 5 in
+      let m = ref Mbuf.empty in
+      for _ = 1 to nsegs do
+        m := Mbuf.append !m (random_view rng (Rng.int rng 71))
+      done;
+      Checksum.of_mbuf !m = Checksum.reference_of_mbuf !m)
+
+let prop_blit_sum =
+  QCheck.Test.make ~name:"blit_sum copies exactly and sums like the reference" ~count:200
+    QCheck.(1 -- 1_000_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let len = Rng.int rng 301 in
+      let src = random_view rng len in
+      let dst = View.create len in
+      let sum = View.blit_sum src 0 dst 0 len in
+      String.equal (View.to_string src) (View.to_string dst)
+      && Checksum.finish sum = Checksum.reference_of_view src)
+
+let prop_peek_sum =
+  QCheck.Test.make ~name:"Bytequeue.peek_sum = peek + separate sum" ~count:200
+    QCheck.(1 -- 1_000_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let q = Bytequeue.create () in
+      for _ = 1 to 1 + Rng.int rng 4 do
+        Bytequeue.push q (random_view rng (Rng.int rng 200))
+      done;
+      (* Move the head so the fused read starts mid-buffer sometimes. *)
+      Bytequeue.drop q (Rng.int rng (1 + Bytequeue.length q));
+      let avail = Bytequeue.length q in
+      let off = Rng.int rng (avail + 1) in
+      let len = Rng.int rng (avail - off + 1) in
+      let fused, sum = Bytequeue.peek_sum q ~off ~len in
+      let plain = Bytequeue.peek q ~off ~len in
+      String.equal (View.to_string fused) (View.to_string plain)
+      && Checksum.finish sum = Checksum.reference_of_view plain)
+
+let prop_encode_with_payload_sum =
+  QCheck.Test.make ~name:"Tcp_wire.encode ?payload_sum = plain encode" ~count:100
+    QCheck.(1 -- 1_000_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let payload = random_view rng (Rng.int rng 400) in
+      let seg =
+        { Tcp_wire.src_port = Rng.int rng 0x10000;
+          dst_port = Rng.int rng 0x10000;
+          seq = Rng.int rng 0x10000000;
+          ack = Rng.int rng 0x10000000;
+          flags = { Tcp_wire.no_flags with Tcp_wire.ack = true; psh = Rng.bool rng };
+          wnd = Rng.int rng 0x10000;
+          mss = (if Rng.bool rng then Some (Rng.int rng 0x10000) else None);
+          payload = Mbuf.of_view payload }
+      in
+      let src_ip = Ip.make 10 0 0 1 and dst_ip = Ip.make 10 0 0 2 in
+      let psum = View.sum16 payload 0 (View.length payload) in
+      let fused = Tcp_wire.encode ~payload_sum:psum ~src_ip ~dst_ip seg in
+      let plain = Tcp_wire.encode ~src_ip ~dst_ip seg in
+      String.equal (Mbuf.to_string fused) (Mbuf.to_string plain)
+      && Tcp_wire.decode ~src_ip ~dst_ip fused <> None)
+
+(* --- flow-cache demux vs linear scan ----------------------------------- *)
+
+let tcp_pkt ?(len = 54) ~src_ip ~dst_ip ~src_port ~dst_port () =
+  let v = View.create len in
+  if len > 13 then View.set_uint16 v 12 0x0800;
+  if len > 23 then View.set_uint8 v 23 6;
+  if len > 29 then View.set_uint32 v 26 (Ip.to_int32 src_ip);
+  if len > 33 then View.set_uint32 v 30 (Ip.to_int32 dst_ip);
+  if len > 35 then View.set_uint16 v 34 src_port;
+  if len > 37 then View.set_uint16 v 36 dst_port;
+  v
+
+let prop_cache_matches_scan =
+  (* Two tables built by the same random install/remove sequence, one
+     with the flow cache: every dispatch must name the same endpoint. *)
+  QCheck.Test.make ~name:"flow-cache dispatch = linear scan over random tables" ~count:50
+    QCheck.(1 -- 1_000_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let scan_t = F.Demux.create ~mode:F.Demux.Interpreted () in
+      let cache_t = F.Demux.create ~mode:F.Demux.Interpreted ~flow_cache:true () in
+      let ip i = Ip.make 10 0 0 (1 + (i land 0xf)) in
+      let random_prog () =
+        match Rng.int rng 6 with
+        | 0 ->
+            F.Program.tcp_conn ~src_ip:(ip (Rng.int rng 16)) ~dst_ip:(ip 0)
+              ~src_port:(1000 + Rng.int rng 8) ~dst_port:80
+        | 1 -> F.Program.tcp_dst_port ~dst_ip:(ip 0) ~dst_port:(79 + Rng.int rng 4)
+        | 2 -> F.Program.udp_port ~dst_ip:(ip 0) ~dst_port:(53 + Rng.int rng 4)
+        | 3 -> F.Program.arp ()
+        | 4 -> F.Program.ip_proto (5 + Rng.int rng 3)
+        | _ -> F.Program.rrp_server ~dst_ip:(ip 0) ~port:(300 + Rng.int rng 4)
+      in
+      let random_pkt () =
+        match Rng.int rng 5 with
+        | 0 ->
+            tcp_pkt ~src_ip:(ip (Rng.int rng 16)) ~dst_ip:(ip 0)
+              ~src_port:(1000 + Rng.int rng 8) ~dst_port:80 ()
+        | 1 ->
+            (* Random (possibly truncated) TCP-shaped packet. *)
+            tcp_pkt ~len:(Rng.int rng 60) ~src_ip:(ip (Rng.int rng 16))
+              ~dst_ip:(ip (Rng.int rng 4))
+              ~src_port:(1000 + Rng.int rng 8)
+              ~dst_port:(79 + Rng.int rng 4) ()
+        | 2 ->
+            let v = View.create 42 in
+            View.set_uint16 v 12 0x0806;
+            v
+        | 3 -> random_view rng (Rng.int rng 60)
+        | _ ->
+            let v = tcp_pkt ~src_ip:(ip 1) ~dst_ip:(ip 0) ~src_port:300 ~dst_port:300 () in
+            View.set_uint8 v 23 81;
+            View.set_uint8 v 42 0;
+            v
+      in
+      let next_ep = ref 0 in
+      let keys = ref [] in
+      let ok = ref true in
+      for _ = 1 to 250 do
+        let r = Rng.int rng 100 in
+        if r < 12 then begin
+          let p = random_prog () in
+          match (F.Demux.install scan_t p !next_ep, F.Demux.install cache_t p !next_ep) with
+          | Ok k1, Ok k2 ->
+              incr next_ep;
+              keys := (k1, k2) :: !keys
+          | Error _, Error _ -> ()
+          | _ -> ok := false
+        end
+        else if r < 18 && !keys <> [] then begin
+          let n = Rng.int rng (List.length !keys) in
+          let k1, k2 = List.nth !keys n in
+          F.Demux.remove scan_t k1;
+          F.Demux.remove cache_t k2;
+          keys := List.filteri (fun i _ -> i <> n) !keys
+        end
+        else begin
+          let pkt = random_pkt () in
+          let e1, _ = F.Demux.dispatch scan_t pkt in
+          let e2, _ = F.Demux.dispatch cache_t pkt in
+          if e1 <> e2 then ok := false
+        end
+      done;
+      let st = F.Demux.cache_stats cache_t in
+      !ok && st.F.Demux.hits + st.F.Demux.misses > 0)
+
+let test_hit_cost_flat () =
+  (* The acceptance criterion: per-packet cache-hit cycles identical at
+     4 and at 256 installed connections, while the scan cost grows. *)
+  match E.scale ~conns:[ 4; 256 ] () with
+  | [ r4; r256 ] ->
+      check_bool "hits at 4 conns" true (r4.E.sc_hits > 0);
+      check_bool "hits at 256 conns" true (r256.E.sc_hits > 0);
+      Alcotest.(check (float 0.0))
+        "equal per-packet hit cycles at 4 vs 256 conns" r4.E.sc_hit_cycles r256.E.sc_hit_cycles;
+      check_bool "scan cost grows with table size" true
+        (r256.E.sc_scan_cycles > 4.0 *. r4.E.sc_scan_cycles);
+      check_bool "warm hits beat the scan" true (r256.E.sc_hit_cycles < r4.E.sc_scan_cycles)
+  | _ -> Alcotest.fail "scale returned unexpected rows"
+
+let test_cache_invalidation () =
+  let d = F.Demux.create ~mode:F.Demux.Interpreted ~flow_cache:true () in
+  let src_ip = Ip.make 10 0 0 2 and dst_ip = Ip.make 10 0 0 1 in
+  let conn = F.Program.tcp_conn ~src_ip ~dst_ip ~src_port:1234 ~dst_port:80 in
+  let _k = F.Demux.install_exn d conn `Conn in
+  let pkt = tcp_pkt ~src_ip ~dst_ip ~src_port:1234 ~dst_port:80 () in
+  let hit_of () = (F.Demux.cache_stats d).F.Demux.hits in
+  check "first dispatch misses" 0 (hit_of ());
+  ignore (F.Demux.dispatch d pkt);
+  check "miss installs, no hit yet" 0 (hit_of ());
+  ignore (F.Demux.dispatch d pkt);
+  check "second dispatch hits" 1 (hit_of ());
+  (* An install flushes: the next dispatch misses again. *)
+  let k2 = F.Demux.install_exn d (F.Program.arp ()) `Arp in
+  ignore (F.Demux.dispatch d pkt);
+  check "flush after install" 1 (hit_of ());
+  check_bool "flush counted" true ((F.Demux.cache_stats d).F.Demux.flushes >= 1);
+  ignore (F.Demux.dispatch d pkt);
+  check "re-warmed" 2 (hit_of ());
+  (* A remove flushes too. *)
+  F.Demux.remove d k2;
+  ignore (F.Demux.dispatch d pkt);
+  check "flush after remove" 2 (hit_of ());
+  (* Turning the cache off restores pure scan dispatch. *)
+  F.Demux.set_flow_cache d false;
+  ignore (F.Demux.dispatch d pkt);
+  check "no hits with cache off" 2 (hit_of ())
+
+let test_shadowed_filter_not_cached () =
+  (* A broad listener filter installed before a connection filter: the
+     connection filter shadows it (most-recent-first), so the broad
+     filter's accepts must never enter the cache — a cached dport-only
+     key would steal the connection's packets. *)
+  let d = F.Demux.create ~mode:F.Demux.Interpreted ~flow_cache:true () in
+  let oracle = F.Demux.create ~mode:F.Demux.Interpreted () in
+  let src_ip = Ip.make 10 0 0 2 and dst_ip = Ip.make 10 0 0 1 in
+  let listen = F.Program.tcp_dst_port ~dst_ip ~dst_port:80 in
+  let conn = F.Program.tcp_conn ~src_ip ~dst_ip ~src_port:1234 ~dst_port:80 in
+  ignore (F.Demux.install_exn d listen `Listen);
+  ignore (F.Demux.install_exn d conn `Conn);
+  ignore (F.Demux.install_exn oracle listen `Listen);
+  ignore (F.Demux.install_exn oracle conn `Conn);
+  let conn_pkt = tcp_pkt ~src_ip ~dst_ip ~src_port:1234 ~dst_port:80 () in
+  let other_pkt = tcp_pkt ~src_ip ~dst_ip ~src_port:999 ~dst_port:80 () in
+  for _ = 1 to 4 do
+    List.iter
+      (fun pkt ->
+        let e1, _ = F.Demux.dispatch d pkt in
+        let e2, _ = F.Demux.dispatch oracle pkt in
+        check_bool "cache agrees with scan under shadowing" true (e1 = e2))
+      [ conn_pkt; other_pkt ]
+  done;
+  let st = F.Demux.cache_stats d in
+  check_bool "connection flow was cached" true (st.F.Demux.hits > 0);
+  check_bool "shadow-unsafe accepts were skipped" true (st.F.Demux.skips > 0)
+
+(* --- TCP header prediction vs the full state machine ------------------- *)
+
+let transfer ?fault ~params n =
+  (* One bulk transfer a->b; returns what b read plus both engines'
+     counters.  Deterministic given the fault seed. *)
+  let w = make_world ~tcp_params:params ?fault () in
+  let data = pattern n in
+  let received = ref "" in
+  Sched.spawn w.sched ~name:"server" (fun () ->
+      let l = Tcp.listen w.b.stack.Stack.tcp ~port:80 in
+      let conn = Tcp.accept l in
+      received := read_all conn;
+      Tcp.close conn);
+  run_to_completion w (fun () ->
+      match Tcp.connect w.a.stack.Stack.tcp ~src_port:5000 ~dst:w.b.ip ~dst_port:80 with
+      | Error e -> failwith e
+      | Ok c ->
+          Tcp.write c (View.of_string data);
+          Tcp.close c;
+          Tcp.await_closed c);
+  let tcp_a = w.a.stack.Stack.tcp and tcp_b = w.b.stack.Stack.tcp in
+  ( !received,
+    data,
+    Tcp.segments_out tcp_a + Tcp.segments_out tcp_b,
+    Tcp.retransmissions tcp_a + Tcp.retransmissions tcp_b,
+    Tcp.predicted_acks tcp_a + Tcp.predicted_acks tcp_b,
+    Tcp.predicted_data tcp_a + Tcp.predicted_data tcp_b,
+    Tcp.checksum_failures tcp_a + Tcp.checksum_failures tcp_b )
+
+let predicted_params on = { Tcp_params.fast with Tcp_params.header_prediction = on }
+
+let test_prediction_transparent_clean_link () =
+  let got_f, want_f, segs_f, rexmit_f, packs, pdata, _ =
+    transfer ~params:(predicted_params true) 50_000
+  in
+  let got_s, want_s, segs_s, rexmit_s, sacks, sdata, _ =
+    transfer ~params:(predicted_params false) 50_000
+  in
+  check_str "fast path delivers the data" want_f got_f;
+  check_str "slow path delivers the data" want_s got_s;
+  check "identical segment counts" segs_s segs_f;
+  check "identical retransmissions" rexmit_s rexmit_f;
+  check_bool "fast path actually taken (acks)" true (packs > 0);
+  check_bool "fast path actually taken (data)" true (pdata > 0);
+  check "slow-only run predicts nothing" 0 (sacks + sdata)
+
+let prop_prediction_equivalent_under_faults =
+  (* Random loss/reordering/duplication drives segments down the slow
+     path (out-of-order arrivals, window updates); whatever mix results,
+     the two configurations must produce byte-identical deliveries and
+     identical wire behaviour. *)
+  QCheck.Test.make ~name:"header prediction = state machine under loss/reordering" ~count:8
+    QCheck.(1 -- 1_000_000)
+    (fun seed ->
+      let mk () =
+        Fault.create ~rng:(Rng.create ~seed) ~drop:0.02 ~duplicate:0.02 ~reorder:0.08 ()
+      in
+      let got_f, want, segs_f, rexmit_f, _, _, _ =
+        transfer ~fault:(mk ()) ~params:(predicted_params true) 30_000
+      in
+      let got_s, _, segs_s, rexmit_s, packs, pdata, _ =
+        transfer ~fault:(mk ()) ~params:(predicted_params false) 30_000
+      in
+      String.equal got_f want && String.equal got_s want && segs_f = segs_s
+      && rexmit_f = rexmit_s
+      && packs + pdata = 0)
+
+let test_per_conn_fastpath_counters () =
+  let w = make_world ~tcp_params:(predicted_params true) () in
+  let server_counts = ref (0, 0, 0) in
+  Sched.spawn w.sched ~name:"server" (fun () ->
+      let l = Tcp.listen w.b.stack.Stack.tcp ~port:80 in
+      let conn = Tcp.accept l in
+      ignore (read_all conn);
+      server_counts := Tcp.fast_path_counts conn;
+      Tcp.close conn);
+  let client_counts = ref (0, 0, 0) in
+  run_to_completion w (fun () ->
+      match Tcp.connect w.a.stack.Stack.tcp ~src_port:5000 ~dst:w.b.ip ~dst_port:80 with
+      | Error e -> failwith e
+      | Ok c ->
+          Tcp.write c (View.of_string (pattern 40_000));
+          Tcp.close c;
+          Tcp.await_closed c;
+          client_counts := Tcp.fast_path_counts c);
+  let _, fdata, _ = !server_counts in
+  let facks, _, cslow = !client_counts in
+  let _, _, sslow = !server_counts in
+  check_bool "receiver fast-pathed in-order data" true (fdata > 0);
+  check_bool "sender fast-pathed pure acks" true (facks > 0);
+  (* The handshake and FIN exchange always take the slow path. *)
+  check_bool "slow path still used around the edges" true (cslow > 0 && sslow > 0)
+
+(* --- fused checksum end to end ----------------------------------------- *)
+
+let fused_params on = { Tcp_params.fast with Tcp_params.fused_checksum = on }
+
+let test_fused_checksum_transparent () =
+  let got_f, want, segs_f, _, _, _, cfail_f = transfer ~params:(fused_params true) 50_000 in
+  let got_s, _, segs_s, _, _, _, cfail_s = transfer ~params:(fused_params false) 50_000 in
+  check_str "fused delivery intact" want got_f;
+  check_str "two-pass delivery intact" want got_s;
+  check "identical segment counts" segs_s segs_f;
+  check "no checksum failures (fused)" 0 cfail_f;
+  check "no checksum failures (two-pass)" 0 cfail_s
+
+let prop_fused_checksum_survives_corruption =
+  (* With byte-flipping faults both configurations must reject the same
+     corrupted segments and still converge on the full payload. *)
+  QCheck.Test.make ~name:"fused checksum rejects corruption like the reference" ~count:6
+    QCheck.(1 -- 1_000_000)
+    (fun seed ->
+      let mk () = Fault.create ~rng:(Rng.create ~seed) ~corrupt:0.03 ~drop:0.01 () in
+      let got_f, want, _, _, _, _, cfail_f =
+        transfer ~fault:(mk ()) ~params:(fused_params true) 20_000
+      in
+      let got_s, _, _, _, _, _, cfail_s =
+        transfer ~fault:(mk ()) ~params:(fused_params false) 20_000
+      in
+      String.equal got_f want && String.equal got_s want && cfail_f = cfail_s)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "fastpath"
+    [ ( "checksum",
+        [ qc prop_of_view_matches_reference;
+          qc prop_of_mbuf_matches_reference;
+          qc prop_blit_sum;
+          qc prop_peek_sum;
+          qc prop_encode_with_payload_sum ] );
+      ( "flow-cache",
+        [ qc prop_cache_matches_scan;
+          Alcotest.test_case "hit cost flat in table size" `Quick test_hit_cost_flat;
+          Alcotest.test_case "invalidation on install/remove" `Quick test_cache_invalidation;
+          Alcotest.test_case "shadow-unsafe accepts skipped" `Quick
+            test_shadowed_filter_not_cached ] );
+      ( "header-prediction",
+        [ Alcotest.test_case "transparent on a clean link" `Quick
+            test_prediction_transparent_clean_link;
+          qc prop_prediction_equivalent_under_faults;
+          Alcotest.test_case "per-connection counters" `Quick test_per_conn_fastpath_counters ]
+      );
+      ( "fused-checksum",
+        [ Alcotest.test_case "transparent end to end" `Quick test_fused_checksum_transparent;
+          qc prop_fused_checksum_survives_corruption ] ) ]
