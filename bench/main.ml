@@ -24,15 +24,10 @@ let section title =
 
 let json_enabled = ref false
 
-let jstr s = Printf.sprintf "%S" s (* ASCII field names/values only *)
-let jint = string_of_int
-
-let jfloat f =
-  if Float.is_nan f || Float.is_integer f && Float.abs f < 1e15 then
-    Printf.sprintf "%.1f" (if Float.is_nan f then 0.0 else f)
-  else Printf.sprintf "%.6g" f
-
-let jopt = function Some v -> jfloat v | None -> "null"
+let jstr = Uln_workload.Jout.str
+let jint = Uln_workload.Jout.int
+let jfloat = Uln_workload.Jout.float
+let jopt = Uln_workload.Jout.opt
 
 let write_json target (rows : (string * string) list list) =
   if !json_enabled then begin
@@ -50,9 +45,15 @@ let write_json target (rows : (string * string) list list) =
         Buffer.add_string buf " }")
       rows;
     Buffer.add_string buf "\n  ]\n}\n";
+    let contents = Buffer.contents buf in
+    (* Regression check: never commit a BENCH file that does not parse
+       (the old NaN path serialised unparseable holes as "0.0"). *)
+    (match Uln_workload.Jout.validate contents with
+    | Ok () -> ()
+    | Error e -> failwith (Printf.sprintf "BENCH_%s.json would be malformed: %s" target e));
     let file = Printf.sprintf "BENCH_%s.json" target in
     let oc = open_out file in
-    output_string oc (Buffer.contents buf);
+    output_string oc contents;
     close_out oc;
     Format.fprintf ppf "  (wrote %s)@." file
   end
@@ -75,6 +76,17 @@ let scale_json (rows : E.scale_row list) =
         ("hit_cycles", jfloat r.E.sc_hit_cycles);
         ("hits", jint r.E.sc_hits);
         ("misses", jint r.E.sc_misses) ])
+    rows
+
+let zc_json (rows : E.zc_row list) =
+  List.map
+    (fun (r : E.zc_row) ->
+      [ ("ablation", jstr "zero-copy");
+        ("network", jstr r.E.zc_network);
+        ("size", jint r.E.zc_size);
+        ("mbps_copy", jfloat r.E.zc_mbps_copy);
+        ("mbps_zero_copy", jfloat r.E.zc_mbps_zero_copy);
+        ("gain_pct", jfloat r.E.zc_gain_pct) ])
     rows
 
 let run_table1 () =
@@ -146,7 +158,11 @@ let run_scale ?conns () =
   section "Connection scaling (flow-cache demux vs linear scan)";
   let rows = E.scale ?conns () in
   E.print_scale ppf rows;
-  write_json "scale" (scale_json rows);
+  Format.fprintf ppf "@.";
+  section "Zero-copy ablation (userlib bulk, write-size scaling)";
+  let zrows = E.zero_copy_ablation () in
+  E.print_zero_copy ppf zrows;
+  write_json "scale" (scale_json rows @ zc_json zrows);
   Format.fprintf ppf "@."
 
 let run_figures () =
@@ -504,11 +520,25 @@ let run_smoke () =
   in
   Format.fprintf ppf "  bulk userlib/ethernet/4096 (200KB): %6.2f Mb/s@."
     bulk.Uln_workload.Bulk.mbps;
+  (* The zero-copy data path, driven end to end on every test run. *)
+  let bulk_zc =
+    Uln_workload.Bulk.measure ~total_bytes:200_000 ~write_size:4096
+      ~tcp_params:
+        { Uln_proto.Tcp_params.default with Uln_proto.Tcp_params.zero_copy = true }
+      ~network:Uln_core.World.Ethernet ~org:Uln_core.Organization.User_library ()
+  in
+  Format.fprintf ppf "  bulk userlib-zc (zero-copy path):   %6.2f Mb/s@."
+    bulk_zc.Uln_workload.Bulk.mbps;
   write_json "table2"
     [ [ ("network", jstr "ethernet");
         ("system", jstr "userlib");
         ("size", jint 4096);
         ("mbps", jfloat bulk.Uln_workload.Bulk.mbps);
+        ("paper", "null") ];
+      [ ("network", jstr "ethernet");
+        ("system", jstr "userlib-zc");
+        ("size", jint 4096);
+        ("mbps", jfloat bulk_zc.Uln_workload.Bulk.mbps);
         ("paper", "null") ] ];
   let w =
     Uln_core.World.create ~network:Uln_core.World.Ethernet
@@ -519,7 +549,9 @@ let run_smoke () =
     r.Uln_workload.Bulk.mbps;
   let rows = E.scale ~conns:[ 1; 4; 16; 64 ] () in
   E.print_scale ppf rows;
-  write_json "scale" (scale_json rows);
+  let zrows = E.zero_copy_ablation ~quick:true ~sizes:[ 4096 ] () in
+  E.print_zero_copy ppf zrows;
+  write_json "scale" (scale_json rows @ zc_json zrows);
   run_filteropt ();
   Format.fprintf ppf "@."
 

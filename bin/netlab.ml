@@ -195,6 +195,122 @@ let snoop_cmd =
          "Run a short request-response exchange and print every frame on the wire, decoded           (ARP, handshake, data, teardown).")
     Term.(const run $ org_arg $ network_arg)
 
+let bufstats_cmd =
+  let module Protolib = Uln_core.Protolib in
+  let module Sockets = Uln_core.Sockets in
+  let module Sched = Uln_engine.Sched in
+  let module Time = Uln_engine.Time in
+  let module View = Uln_buf.View in
+  let run network bytes size copying =
+    let tcp_params =
+      { Uln_proto.Tcp_params.default with Uln_proto.Tcp_params.zero_copy = not copying }
+    in
+    let w = World.create ~tcp_params ~network ~org:Organization.User_library () in
+    let sched = World.sched w in
+    let source_lib =
+      match World.library w ~host:0 "source" with Some l -> l | None -> assert false
+    in
+    let sink_lib =
+      match World.library w ~host:1 "sink" with Some l -> l | None -> assert false
+    in
+    let source = Protolib.app source_lib and sink = Protolib.app sink_lib in
+    Printf.printf "bufstats: userlib %s data path, %s, %d bytes in %d-byte writes\n"
+      (if copying then "copying" else "zero-copy")
+      (match network with World.Ethernet -> "ethernet" | World.An1 -> "an1")
+      bytes size;
+    Printf.printf "%8s  %-6s  %11s  %9s  %9s  %9s  %7s  %7s\n" "t(ms)" "host" "pool use/cap"
+      "exhausted" "loaned(B)" "doorbells" "batches" "sync-fb";
+    let finished = ref false in
+    let last = ref None in
+    (* Sample both libraries' buffer accounting on a fixed simulated-time
+       cadence while the transfer runs. *)
+    Sched.spawn sched ~name:"sampler" (fun () ->
+        let rec go () =
+          if not !finished then begin
+            Sched.sleep sched (Time.ms 100);
+            let line name lib =
+              match Protolib.bufstats lib with
+              | [] -> ()
+              | s :: _ ->
+                  if s.Protolib.bs_tx_doorbells > 0 then last := Some (name, s);
+                  Printf.printf "%8.1f  %-6s  %8d/%-3d  %9d  %9d  %9d  %7d  %7d\n"
+                    (Time.to_ms_f (Time.diff (Sched.now sched) Time.zero))
+                    name s.Protolib.bs_pool_in_use s.Protolib.bs_pool_capacity
+                    s.Protolib.bs_pool_exhausted s.Protolib.bs_loaned_bytes
+                    s.Protolib.bs_tx_doorbells s.Protolib.bs_tx_batches
+                    s.Protolib.bs_tx_sync_fallbacks
+            in
+            line "source" source_lib;
+            line "sink" sink_lib;
+            go ()
+          end
+        in
+        go ());
+    let t_end = ref Time.zero in
+    Sched.spawn sched ~name:"sink" (fun () ->
+        let l = sink.Sockets.listen ~port:5001 in
+        let conn = l.Sockets.accept () in
+        let rec drain () =
+          match conn.Sockets.recv_loan ~max:65536 with
+          | None -> ()
+          | Some v ->
+              conn.Sockets.return_loan v;
+              drain ()
+        in
+        drain ();
+        (* Data is fully delivered: stop the sampler here so the
+           connection-teardown timers (TIME_WAIT runs for minutes of
+           simulated time) do not flood the output with idle samples. *)
+        t_end := Sched.now sched;
+        finished := true;
+        conn.Sockets.close ());
+    let t0 = ref Time.zero in
+    Sched.block_on sched (fun () ->
+        match source.Sockets.connect ~src_port:0 ~dst:(World.host_ip w 1) ~dst_port:5001 with
+        | Error e -> failwith ("bufstats connect: " ^ e)
+        | Ok conn ->
+            t0 := Sched.now sched;
+            let chunk = View.create size in
+            View.fill chunk 'b';
+            for _ = 1 to (bytes + size - 1) / size do
+              match conn.Sockets.alloc_tx size with
+              | Some owned ->
+                  View.fill owned 'b';
+                  conn.Sockets.send_owned owned
+              | None -> conn.Sockets.send chunk
+            done;
+            conn.Sockets.close ();
+            conn.Sockets.await_closed ());
+    (match !last with
+    | Some (name, s) when s.Protolib.bs_tx_batch_hist <> [] ->
+        Printf.printf "tx batch histogram (%s): %s\n" name
+          (String.concat " "
+             (List.map
+                (fun (sz, n) -> Printf.sprintf "%dx%d" sz n)
+                s.Protolib.bs_tx_batch_hist))
+    | _ -> ());
+    let secs = Time.to_sec_f (Time.diff !t_end !t0) in
+    if secs > 0. then
+      Printf.printf "throughput: %.2f Mb/s\n" (float_of_int bytes *. 8. /. secs /. 1e6)
+  in
+  let copying_arg =
+    Arg.(
+      value & flag
+      & info [ "copying" ]
+          ~doc:"Run the copying oracle instead of the zero-copy data path (for comparison).")
+  in
+  Cmd.v
+    (Cmd.info "bufstats"
+       ~doc:
+         "Run a user-library bulk transfer and stream its buffer accounting: transmit-pool \
+          occupancy and exhaustion, outstanding receive loans, and the doorbell-coalescing \
+          batch histogram.")
+    Term.(
+      const run $ network_arg
+      $ Arg.(value & opt int 2_000_000 & info [ "b"; "bytes" ] ~docv:"BYTES" ~doc:"Bytes to transfer.")
+      $ size_arg 4096 "User packet size."
+      $ copying_arg)
+
 let filter_lint_cmd =
   let open Uln_filter in
   let ip_local = Uln_addr.Ip.of_string "10.0.0.1" in
@@ -309,4 +425,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ throughput_cmd; latency_cmd; setup_cmd; orgs_cmd; table_cmd; snoop_cmd; rrp_cmd;
-            filter_lint_cmd ]))
+            bufstats_cmd; filter_lint_cmd ]))

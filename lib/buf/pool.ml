@@ -3,6 +3,7 @@ type t = {
   buffers : bytes array;
   free_list : int Queue.t;
   state : bool array; (* true = free *)
+  mutable exhausted : int; (* allocs that found the free list empty *)
 }
 
 let create ~count ~size =
@@ -11,7 +12,8 @@ let create ~count ~size =
     { size;
       buffers = Array.init count (fun _ -> Bytes.make size '\000');
       free_list = Queue.create ();
-      state = Array.make count true }
+      state = Array.make count true;
+      exhausted = 0 }
   in
   for i = 0 to count - 1 do
     Queue.push i t.free_list
@@ -33,9 +35,13 @@ let index_of t (v : View.t) =
 
 let owns t v = index_of t v <> None
 
+let exhausted t = t.exhausted
+
 let alloc t =
   match Queue.take_opt t.free_list with
-  | None -> None
+  | None ->
+      t.exhausted <- t.exhausted + 1;
+      None
   | Some i ->
       t.state.(i) <- false;
       Some (View.of_bytes t.buffers.(i))

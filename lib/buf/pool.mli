@@ -22,6 +22,11 @@ val available : t -> int
 
 val in_use : t -> int
 
+val exhausted : t -> int
+(** How many [alloc] calls found the pool empty (and returned [None]).
+    A rising counter is the ring-overrun signal a driver would read off
+    its NIC statistics. *)
+
 val alloc : t -> View.t option
 (** Take a buffer; [None] when the pool is exhausted.  The returned view
     covers the full buffer and its previous contents are undefined. *)

@@ -20,8 +20,15 @@ let netio_demux_overhead = Time.us 33
 let filter_cycle_budget = 4096
 
 let userlib_rx_per_segment = Time.us 320
+let userlib_rx_per_segment_zc = Time.us 85
 let userlib_batch_overhead = Time.us 380
 let userlib_per_write = Time.us 60
+
+let tx_pool_slots = 32
+let tx_pool_buffer_size = 4096
+
+let rx_poll_budget = Time.us 3000
+let rx_poll_tick = Time.us 25
 
 let bqi_setup = Time.us 500
 

@@ -70,6 +70,14 @@ val userlib_rx_per_segment : Uln_engine.Time.span
     code itself: the per-connection thread upcall, C-threads
     synchronization and shared-ring accounting. *)
 
+val userlib_rx_per_segment_zc : Uln_engine.Time.span
+(** The same per-packet receive-path cost when the connection runs the
+    zero-copy data path ({!Uln_proto.Tcp_params.t.zero_copy}): frames
+    stay in the shared ring buffers and the library hands loaned views
+    upward, so the per-segment work shrinks to descriptor accounting
+    and the upcall itself — no private-buffer staging, no socket-layer
+    enqueue of a second copy. *)
+
 val userlib_batch_overhead : Uln_engine.Time.span
 (** Per-notification cost of waking the library: scheduling, address
     space switch and thread dispatch.  On the slow Ethernet almost
@@ -92,3 +100,28 @@ val channel_ring_slots : int
 
 val channel_buffer_size : int
 (** Size of each shared packet buffer (fits a max Ethernet frame). *)
+
+val tx_pool_slots : int
+(** Buffers in a zero-copy connection's transmit loan pool: deep enough
+    to cover a full send window of outstanding segments (snd_buf /
+    mss rounds to ~11) with headroom for application pipelining. *)
+
+val tx_pool_buffer_size : int
+(** Size of each transmit loan buffer: one VM page, so a loan covers the
+    common bulk write sizes (the paper's Table 2 sweep tops out at 4 KB)
+    and a pool buffer can always be handed to the kernel by reference.
+    TCP segments the loan into MSS-sized slices via the scatter-gather
+    chain, so loans larger than one wire frame are fine. *)
+
+val rx_poll_budget : Uln_engine.Time.span
+(** How long a zero-copy receive thread spins on its (mapped) receive
+    ring after draining it before giving up and sleeping on the channel
+    semaphore again.  Sized to cover a max-length Ethernet frame's
+    serialization plus protocol turnaround (~1.2 ms + ack processing),
+    so a steady bulk stream pays the notification chain once, not per
+    segment; an idle connection burns at most this much CPU per lull. *)
+
+val rx_poll_tick : Uln_engine.Time.span
+(** Granularity of the receive-ring poll: each tick charges this much
+    CPU and re-checks the ring, so worst-case pickup latency for a
+    polled frame is one tick. *)

@@ -32,6 +32,15 @@ type channel = {
   mutable active : bool;
   mutable destroyed : bool;
   gate : unit Capability.t; (* revocation point for the whole channel *)
+  (* Batched transmit: descriptors accumulate in a shared tx ring; the
+     kernel drains every descriptor present per fast_trap, so N queued
+     segments cost one kernel boundary (doorbell coalescing). *)
+  tx_ring : Frame.t Ring.t;
+  mutable tx_kick_pending : bool; (* a drain is scheduled or running *)
+  mutable tx_doorbells : int; (* descriptors submitted via the ring *)
+  mutable tx_batches : int; (* kernel drains (fast_trap charges) *)
+  mutable tx_sync_fallbacks : int; (* ring-full synchronous sends *)
+  tx_batch_hist : (int, int) Hashtbl.t; (* batch size -> occurrences *)
 }
 
 type t = {
@@ -165,7 +174,13 @@ let create_channel t ~caller ~owner ~use_bqi =
       filters = [];
       active = false;
       destroyed = false;
-      gate = Capability.mint ~tag:name () }
+      gate = Capability.mint ~tag:name ();
+      tx_ring = Ring.create ~capacity:Calibration.channel_ring_slots;
+      tx_kick_pending = false;
+      tx_doorbells = 0;
+      tx_batches = 0;
+      tx_sync_fallbacks = 0;
+      tx_batch_hist = Hashtbl.create 8 }
   in
   if bqi > 0 then Hashtbl.replace t.by_bqi bqi ch;
   Uln_engine.Trace.debugf t.machine.Machine.sched "netio" "created chan%d (owner %s, bqi %d)"
@@ -276,9 +291,91 @@ let send t ch ~from_domain frame =
       in
       t.nic.Nic.send { frame with Frame.bqi }
 
+(* Transmit one descriptor from kernel context during a batch drain.
+   Unlike [send], failures are counted rather than raised — the
+   application thread that rang the doorbell is long gone. *)
+let transmit_one t ch frame =
+  let costs = t.machine.Machine.costs in
+  match ch.template with
+  | None -> t.rejected <- t.rejected + 1
+  | Some tpl ->
+      Cpu.use t.machine.Machine.cpu
+        (Time.ns (Template.check_cycles tpl * costs.Costs.cycle_ns));
+      let wire = Frame.to_wire frame in
+      if not (Template.matches tpl wire) then begin
+        t.rejected <- t.rejected + 1;
+        Uln_engine.Trace.infof t.machine.Machine.sched "netio"
+          "batched send rejected on chan%d: header does not match template" ch.id
+      end
+      else t.nic.Nic.send { frame with Frame.bqi = Template.bqi tpl }
+
+let rec drain_tx t ch =
+  let costs = t.machine.Machine.costs in
+  (* One kernel entry covers every descriptor present — including any
+     rung in while earlier frames of this batch were transmitting. *)
+  Cpu.use t.machine.Machine.cpu costs.Costs.fast_trap;
+  let count = ref 0 in
+  let rec pump () =
+    match Ring.pop ch.tx_ring with
+    | None -> ()
+    | Some frame ->
+        incr count;
+        if not ch.destroyed then transmit_one t ch frame;
+        pump ()
+  in
+  pump ();
+  if !count > 0 then begin
+    ch.tx_batches <- ch.tx_batches + 1;
+    Hashtbl.replace ch.tx_batch_hist !count
+      (1 + Option.value ~default:0 (Hashtbl.find_opt ch.tx_batch_hist !count))
+  end;
+  ch.tx_kick_pending <- false;
+  (* A doorbell rung between the final pop and clearing the flag would
+     otherwise be stranded. *)
+  if not (Ring.is_empty ch.tx_ring) then begin
+    ch.tx_kick_pending <- true;
+    drain_tx t ch
+  end
+
+let send_batched t ch ~from_domain frame =
+  let costs = t.machine.Machine.costs in
+  (* The user-space half: write a descriptor into the shared ring and
+     ring the doorbell.  No kernel boundary here — the fast_trap is
+     paid once per batch by the drain. *)
+  Cpu.use t.machine.Machine.cpu costs.Costs.doorbell;
+  Capability.deref ch.gate;
+  if not ch.active then
+    raise (Capability.Violation "Netio.send_batched: channel not activated");
+  if not (Addr_space.equal from_domain ch.owner || Addr_space.is_privileged from_domain)
+  then raise (Capability.Violation "Netio.send_batched: channel not owned by caller");
+  if ch.template = None then raise (Capability.Violation "Netio.send_batched: no template");
+  if Ring.push ch.tx_ring frame then begin
+    ch.tx_doorbells <- ch.tx_doorbells + 1;
+    if not ch.tx_kick_pending then begin
+      ch.tx_kick_pending <- true;
+      Sched.spawn t.machine.Machine.sched ~name:"netio.txkick" (fun () -> drain_tx t ch)
+    end
+  end
+  else begin
+    (* Descriptor ring full: degrade to the synchronous trap path. *)
+    ch.tx_sync_fallbacks <- ch.tx_sync_fallbacks + 1;
+    send t ch ~from_domain frame
+  end
+
+let tx_doorbells ch = ch.tx_doorbells
+let tx_batches ch = ch.tx_batches
+let tx_sync_fallbacks ch = ch.tx_sync_fallbacks
+
+let tx_batch_histogram ch =
+  List.sort compare (Hashtbl.fold (fun size n acc -> (size, n) :: acc) ch.tx_batch_hist [])
+
 let rx_pop ch ~from_domain =
   Shared_mem.assert_mapped ch.region from_domain;
   Ring.pop ch.rx_ring
+
+let rx_pending ch ~from_domain =
+  Shared_mem.assert_mapped ch.region from_domain;
+  not (Ring.is_empty ch.rx_ring)
 
 let recycle t ch =
   (* Hand one buffer back to the controller ring so DMA can continue. *)

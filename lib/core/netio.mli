@@ -122,11 +122,30 @@ val send : t -> channel -> from_domain:Uln_host.Addr_space.t -> Uln_net.Frame.t 
     @raise Capability.Violation if the channel is destroyed, inactive,
     or [from_domain] neither owns the channel nor is privileged. *)
 
+val send_batched :
+  t -> channel -> from_domain:Uln_host.Addr_space.t -> Uln_net.Frame.t -> unit
+(** Batched transmit: write a descriptor into the channel's shared tx
+    ring and ring the doorbell — no kernel boundary in the caller.  A
+    kernel drain (one {!Uln_host.Costs.t.fast_trap} per batch) picks up
+    every descriptor present, template-checks, stamps and transmits each
+    (doorbell coalescing: N queued segments cost one trap).  Template
+    mismatches discovered in the drain are counted in
+    {!sends_rejected}, not raised.  When the descriptor ring is full the
+    call degrades to the synchronous {!send}.
+    @raise Capability.Violation if the channel is destroyed, inactive,
+    template-less, or [from_domain] neither owns it nor is privileged. *)
+
 val rx_sem : channel -> Uln_engine.Semaphore.t
 (** Signalled (with batching) when the receive ring goes non-empty. *)
 
 val rx_pop : channel -> from_domain:Uln_host.Addr_space.t -> Uln_net.Frame.t option
 (** Drain one packet from the shared ring (no kernel crossing).
+    @raise Capability.Violation if [from_domain] has no mapping. *)
+
+val rx_pending : channel -> from_domain:Uln_host.Addr_space.t -> bool
+(** Whether the shared receive ring holds at least one frame.  Like
+    {!rx_pop} this reads mapped memory directly, so a polling receive
+    thread can check for work without any kernel crossing.
     @raise Capability.Violation if [from_domain] has no mapping. *)
 
 val recycle : t -> channel -> unit
@@ -157,6 +176,20 @@ val sw_demuxed : t -> int
 val overlap_flags : t -> int
 (** Installs that proceeded despite a cross-channel accept-set overlap
     (each is also traced with its witness packet). *)
+
+val tx_doorbells : channel -> int
+(** Descriptors submitted through the batched tx ring. *)
+
+val tx_batches : channel -> int
+(** Kernel drains of the tx ring (each cost one fast_trap). *)
+
+val tx_sync_fallbacks : channel -> int
+(** Batched sends that found the descriptor ring full and degraded to
+    the synchronous path. *)
+
+val tx_batch_histogram : channel -> (int * int) list
+(** [(batch_size, occurrences)] pairs, ascending — how well doorbell
+    coalescing amortized the kernel boundary. *)
 
 val set_flow_cache : t -> bool -> unit
 (** Toggle the software-demux flow cache at run time (flushes it). *)

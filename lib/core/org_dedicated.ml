@@ -77,6 +77,10 @@ let wrap_conn t conn =
   in
   { Sockets.send;
     recv;
+    alloc_tx = (fun _ -> None);
+    send_owned = send;
+    recv_loan = recv;
+    return_loan = (fun _ -> ());
     close =
       (fun () ->
         charge_rpc t 8;

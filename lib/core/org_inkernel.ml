@@ -83,6 +83,12 @@ let wrap_conn t conn =
   in
   { Sockets.send;
     recv;
+    (* No user-level zero-copy path through the kernel socket layer:
+       loaning falls back to the copying calls. *)
+    alloc_tx = (fun _ -> None);
+    send_owned = send;
+    recv_loan = recv;
+    return_loan = (fun _ -> ());
     close = (fun () -> charge t c.Costs.trap; Tcp.close conn);
     abort = (fun () -> charge t c.Costs.trap; Tcp.abort conn);
     conn_state = (fun () -> Tcp.state conn);

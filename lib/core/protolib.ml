@@ -10,6 +10,7 @@ module Costs = Uln_host.Costs
 module Addr_space = Uln_host.Addr_space
 module Ipc = Uln_host.Ipc
 module Nic = Uln_net.Nic
+module Shared_mem = Uln_host.Shared_mem
 module Stack = Uln_proto.Stack
 module Proto_env = Uln_proto.Proto_env
 module Tcp = Uln_proto.Tcp
@@ -18,8 +19,21 @@ type lib_conn = {
   stack : Stack.t;
   conn : Tcp.conn;
   channel : Netio.channel;
+  txpool : Shared_mem.t option; (* transmit loan pool (zero-copy only) *)
   mutable released : bool;
   mutable ops : Sockets.conn option; (* identity for connection passing *)
+}
+
+type bufstats = {
+  bs_pool_capacity : int;
+  bs_pool_available : int;
+  bs_pool_in_use : int;
+  bs_pool_exhausted : int;
+  bs_loaned_bytes : int;
+  bs_tx_doorbells : int;
+  bs_tx_batches : int;
+  bs_tx_sync_fallbacks : int;
+  bs_tx_batch_hist : (int * int) list;
 }
 
 type t = {
@@ -52,11 +66,14 @@ let learn_peer stack (frame : Uln_net.Frame.t) =
         frame.Uln_net.Frame.src
   end
 
+let drop_txpool lc = match lc.txpool with Some p -> Shared_mem.destroy p | None -> ()
+
 (* Release the connection's resources with the registry once it is fully
    closed (TIME_WAIT served locally by the library). *)
 let release t lc =
   if not lc.released then begin
     lc.released <- true;
+    drop_txpool lc;
     t.conns <- List.filter (fun c -> c != lc) t.conns;
     Ipc.call (Registry.release_port t.registry) ~size:16 (Tcp.local_port lc.conn, lc.channel)
   end
@@ -73,8 +90,17 @@ let adopt_parts t ?params ~snapshot ~channel ~remote_mac () =
     Proto_env.create m.Machine.sched m.Machine.cpu m.Machine.costs
       ~rng:(Rng.split m.Machine.rng) ()
   in
-  let tx frame = Netio.send t.netio channel ~from_domain:t.dom frame in
   let tcp_params = match params with Some p -> Some p | None -> t.tcp_params in
+  let zero_copy =
+    match tcp_params with Some p -> p.Uln_proto.Tcp_params.zero_copy | None -> false
+  in
+  (* Under zero copy, transmission goes through the channel's descriptor
+     ring: the library queues and rings the doorbell, and one kernel
+     drain picks up every descriptor present (doorbell coalescing). *)
+  let tx frame =
+    if zero_copy then Netio.send_batched t.netio channel ~from_domain:t.dom frame
+    else Netio.send t.netio channel ~from_domain:t.dom frame
+  in
   let stack =
     Stack.create env
       ~netif:{ Stack.mtu = nic.Nic.mtu; mac = nic.Nic.mac; tx }
@@ -82,7 +108,24 @@ let adopt_parts t ?params ~snapshot ~channel ~remote_mac () =
   in
   Stack.add_static_arp stack snapshot.Tcp.snap_remote_ip remote_mac;
   let conn = Tcp.import stack.Stack.tcp snapshot in
-  let lc = { stack; conn; channel; released = false; ops = None } in
+  (* The transmit loan pool is a separate pinned region, not the channel
+     region: on BQI hardware every channel buffer is committed to the
+     controller's receive ring, so loans for the send direction need
+     their own storage.  Mapped into the application and the kernel,
+     like any channel region. *)
+  let txpool =
+    if not zero_copy then None
+    else begin
+      let pool =
+        Shared_mem.create ~name:(t.name ^ ".txpool") ~count:Calibration.tx_pool_slots
+          ~size:Calibration.tx_pool_buffer_size
+      in
+      Shared_mem.map pool t.dom;
+      Shared_mem.map pool m.Machine.kernel;
+      Some pool
+    end
+  in
+  let lc = { stack; conn; channel; txpool; released = false; ops = None } in
   t.conns <- lc :: t.conns;
   (* The per-connection receive thread: waits on the channel semaphore,
      drains the shared ring, upcalls into the engine. *)
@@ -90,24 +133,64 @@ let adopt_parts t ?params ~snapshot ~channel ~remote_mac () =
   let rec rx_loop () =
     Semaphore.wait (Netio.rx_sem channel);
     if not lc.released then begin
-      (* Process wakeup after the kernel's semaphore signal; paid per
-         notification, so batching amortizes it. *)
-      Sched.sleep t.machine.Machine.sched c.Costs.wakeup_latency;
-      charge t
-        (Time.span_add c.Costs.semaphore_wakeup
-           (Time.span_add c.Costs.context_switch Calibration.userlib_batch_overhead));
-      let rec drain () =
-        match Netio.rx_pop channel ~from_domain:t.dom with
-        | None -> ()
-        | Some frame ->
-            charge t
-              (Time.span_add c.Costs.user_thread_switch Calibration.userlib_rx_per_segment);
-            Stack.input stack frame;
-            Netio.recycle t.netio channel;
-            drain ()
+      (* Frames consumed by the post-drain poll below leave their
+         empty->non-empty signal behind; under zero copy, swallow such a
+         stale wakeup without charging the notification chain for an
+         empty ring.  (The copying path never polls, so its signals
+         always find work; its accounting is untouched.) *)
+      let stale =
+        zero_copy
+        && not
+             (try Netio.rx_pending channel ~from_domain:t.dom
+              with Uln_host.Capability.Violation _ -> false)
       in
-      (try drain () with Uln_host.Capability.Violation _ -> ());
-      rx_loop ()
+      if stale then rx_loop ()
+      else begin
+        (* Process wakeup after the kernel's semaphore signal; paid per
+           notification, so batching amortizes it. *)
+        Sched.sleep t.machine.Machine.sched c.Costs.wakeup_latency;
+        charge t
+          (Time.span_add c.Costs.semaphore_wakeup
+             (Time.span_add c.Costs.context_switch Calibration.userlib_batch_overhead));
+        let handle frame =
+          charge t
+            (Time.span_add c.Costs.user_thread_switch
+               (if zero_copy then Calibration.userlib_rx_per_segment_zc
+                else Calibration.userlib_rx_per_segment));
+          Stack.input stack frame;
+          Netio.recycle t.netio channel
+        in
+        let rec drain () =
+          match Netio.rx_pop channel ~from_domain:t.dom with
+          | None -> ()
+          | Some frame ->
+              handle frame;
+              drain ()
+        in
+        (* Receive-side analogue of doorbell coalescing: once the ring
+           runs dry, spin on it (it is mapped — no kernel crossing) for a
+           bounded budget before sleeping on the semaphore again.  A
+           steady bulk stream then pays the wakeup/notification chain
+           once per lull instead of once per frame; the spin itself is
+           charged as real CPU time, tick by tick. *)
+        let rec poll spent =
+          if (not lc.released) && Time.to_us_f spent < Time.to_us_f Calibration.rx_poll_budget
+          then begin
+            charge t Calibration.rx_poll_tick;
+            match Netio.rx_pop channel ~from_domain:t.dom with
+            | None -> poll (Time.span_add spent Calibration.rx_poll_tick)
+            | Some frame ->
+                handle frame;
+                drain ();
+                poll (Time.ns 0)
+          end
+        in
+        (try
+           drain ();
+           if zero_copy then poll (Time.ns 0)
+         with Uln_host.Capability.Violation _ -> ());
+        rx_loop ()
+      end
     end
     else
       (* The connection was handed to another library: give the wakeup
@@ -116,19 +199,69 @@ let adopt_parts t ?params ~snapshot ~channel ~remote_mac () =
   in
   Sched.spawn m.Machine.sched ~name:(t.name ^ ".rx") rx_loop;
   Tcp.on_closed conn (fun () -> release t lc);
-  let send data =
+  let charge_write () =
     charge t
       (Time.span_add c.Costs.library_call
-         (Time.span_add c.Costs.socket_layer Calibration.userlib_per_write));
+         (Time.span_add c.Costs.socket_layer Calibration.userlib_per_write))
+  in
+  (* A zero-copy send from a buffer {e outside} the loan pool still has
+     to make the bytes reachable from pinned memory: small writes are
+     copied, large ones remapped page by page — the same
+     copy-eliminating threshold the in-kernel socket layer applies. *)
+  let charge_crossing len =
+    if len < Calibration.copy_eliminate_threshold then begin
+      let span = Time.ns (len * c.Costs.copy_per_byte_ns) in
+      Cpu.note_data m.Machine.cpu Cpu.Copy span;
+      Cpu.use m.Machine.cpu span
+    end
+    else charge t (Time.span_scale c.Costs.vm_remap ((len + 4095) / 4096))
+  in
+  let send data =
+    charge_write ();
+    if zero_copy then charge_crossing (View.length data);
     Tcp.write conn data
   in
   let recv ~max =
     charge t c.Costs.library_call;
     Tcp.read conn ~max
   in
+  let alloc_tx size =
+    match txpool with
+    | None -> None
+    | Some pool ->
+        charge t c.Costs.library_call;
+        if size <= 0 || size > Shared_mem.buffer_size pool then None
+        else (
+          match Shared_mem.alloc pool t.dom with
+          | None -> None
+          | Some v -> Some (View.sub v 0 size))
+  in
+  let send_owned data =
+    charge_write ();
+    match txpool with
+    | Some pool when Shared_mem.owns pool data ->
+        (* The buffer stays referenced by the retransmission queue until
+           its last byte is acknowledged; only then does it return to
+           the pool.  [is_mapped] guards teardown races: a release that
+           fires after the region is torn down is a no-op. *)
+        Tcp.write_owned conn data ~release:(fun () ->
+            if Shared_mem.is_mapped pool t.dom then Shared_mem.free pool t.dom data)
+    | _ ->
+        if zero_copy then charge_crossing (View.length data);
+        Tcp.write conn data
+  in
+  let recv_loan ~max =
+    charge t c.Costs.library_call;
+    if zero_copy then Tcp.read_loan conn ~max else Tcp.read conn ~max
+  in
+  let return_loan v = if zero_copy then Tcp.return_loan conn (View.length v) in
   let ops =
     { Sockets.send;
       recv;
+      alloc_tx;
+      send_owned;
+      recv_loan;
+      return_loan;
       close = (fun () -> Tcp.close conn);
       abort = (fun () -> Tcp.abort conn);
       conn_state = (fun () -> Tcp.state conn);
@@ -159,6 +292,7 @@ let pass_connection t ops ~to_lib =
       in
       let snapshot = Tcp.export lc.conn in
       lc.released <- true (* the new owner releases the port at close *);
+      drop_txpool lc (* drained above, so every loan is back in the pool *);
       t.conns <- List.filter (fun c -> c != lc) t.conns;
       Netio.transfer_channel t.netio lc.channel ~from_domain:t.dom ~to_domain:to_lib.dom;
       adopt_parts to_lib ~snapshot ~channel:lc.channel ~remote_mac ()
@@ -360,6 +494,7 @@ let exit_app t ~graceful =
       if not lc.released then begin
         lc.released <- true;
         if graceful then Tcp.await_drained lc.conn;
+        drop_txpool lc;
         match Tcp.state lc.conn with
         | Uln_proto.Tcp_state.Established ->
             let snap = if graceful then Tcp.export lc.conn else Tcp.export_force lc.conn in
@@ -370,6 +505,27 @@ let exit_app t ~graceful =
               (Tcp.local_port lc.conn, lc.channel)
       end)
     open_conns
+
+let bufstats t =
+  List.rev_map
+    (fun lc ->
+      let cap, avail, in_use, exh =
+        match lc.txpool with
+        | Some p ->
+            (Shared_mem.capacity p, Shared_mem.available p, Shared_mem.in_use p,
+             Shared_mem.exhausted p)
+        | None -> (0, 0, 0, 0)
+      in
+      { bs_pool_capacity = cap;
+        bs_pool_available = avail;
+        bs_pool_in_use = in_use;
+        bs_pool_exhausted = exh;
+        bs_loaned_bytes = Tcp.loaned_bytes lc.conn;
+        bs_tx_doorbells = Netio.tx_doorbells lc.channel;
+        bs_tx_batches = Netio.tx_batches lc.channel;
+        bs_tx_sync_fallbacks = Netio.tx_sync_fallbacks lc.channel;
+        bs_tx_batch_hist = Netio.tx_batch_histogram lc.channel })
+    t.conns
 
 let app t =
   { Sockets.app_name = t.name;

@@ -54,3 +54,23 @@ val pass_connection : t -> Sockets.conn -> to_lib:t -> Sockets.conn
 val domain : t -> Uln_host.Addr_space.t
 
 val live_connections : t -> int
+
+(** Buffer-management statistics of one live connection: transmit loan
+    pool occupancy, receive loans outstanding against the TCP window,
+    and the batched-transmit (doorbell coalescing) counters.  All zero
+    except [bs_loaned_bytes] when the connection does not run the
+    zero-copy data path. *)
+type bufstats = {
+  bs_pool_capacity : int;
+  bs_pool_available : int;
+  bs_pool_in_use : int;
+  bs_pool_exhausted : int;  (** transmit allocations that found the pool empty *)
+  bs_loaned_bytes : int;  (** receive bytes loaned out, held out of the window *)
+  bs_tx_doorbells : int;
+  bs_tx_batches : int;
+  bs_tx_sync_fallbacks : int;
+  bs_tx_batch_hist : (int * int) list;  (** (batch size, occurrences), ascending *)
+}
+
+val bufstats : t -> bufstats list
+(** One entry per live connection of this library. *)

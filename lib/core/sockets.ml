@@ -1,6 +1,10 @@
 type conn = {
   send : Uln_buf.View.t -> unit;
   recv : max:int -> Uln_buf.View.t option;
+  alloc_tx : int -> Uln_buf.View.t option;
+  send_owned : Uln_buf.View.t -> unit;
+  recv_loan : max:int -> Uln_buf.View.t option;
+  return_loan : Uln_buf.View.t -> unit;
   close : unit -> unit;
   abort : unit -> unit;
   conn_state : unit -> Uln_proto.Tcp_state.t;

@@ -12,6 +12,26 @@
 type conn = {
   send : Uln_buf.View.t -> unit;  (** blocking write of the whole view *)
   recv : max:int -> Uln_buf.View.t option;  (** [None] at end-of-stream *)
+  alloc_tx : int -> Uln_buf.View.t option;
+      (** zero-copy transmit: borrow a buffer of at least the given size
+          from the connection's shared pool.  [None] when the
+          organization has no zero-copy path (or the pool is exhausted);
+          the caller then falls back to [send]. *)
+  send_owned : Uln_buf.View.t -> unit;
+      (** queue a buffer obtained from [alloc_tx] by reference — no
+          copy; ownership passes to the stack, which returns the buffer
+          to the pool once the data is acknowledged.  For views not
+          allocated from the pool this behaves like [send] (charging the
+          remap/copy fallback). *)
+  recv_loan : max:int -> Uln_buf.View.t option;
+      (** zero-copy receive: the returned view is loaned; until
+          [return_loan] the bytes count against the advertised TCP
+          window (a slow application back-pressures its sender).  On
+          organizations without a zero-copy path this is [recv] (no loan
+          to return, though calling [return_loan] stays harmless). *)
+  return_loan : Uln_buf.View.t -> unit;
+      (** give back a view obtained from [recv_loan], reopening the
+          window it occupied. *)
   close : unit -> unit;  (** orderly release (FIN) *)
   abort : unit -> unit;  (** RST *)
   conn_state : unit -> Uln_proto.Tcp_state.t;

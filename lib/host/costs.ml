@@ -14,8 +14,10 @@ type t = {
   checksum_per_byte_ns : int;
   copy_checksum_per_byte_ns : int;
   vm_remap : Time.span;
+  doorbell : Time.span;
   pio_per_byte_ns : int;
   dma_setup : Time.span;
+  sg_descriptor : Time.span;
   dma_rx_per_byte_ns : int;
   dma_tx_per_byte_ns : int;
   interrupt : Time.span;
@@ -52,8 +54,10 @@ let r3000 =
     checksum_per_byte_ns = 50;
     copy_checksum_per_byte_ns = 50;
     vm_remap = Time.us 40;
+    doorbell = Time.us 2;
     pio_per_byte_ns = 600;
     dma_setup = Time.us 15;
+    sg_descriptor = Time.us 2;
     dma_rx_per_byte_ns = 300;
     dma_tx_per_byte_ns = 150;
     interrupt = Time.us 35;
@@ -87,8 +91,10 @@ let zero =
     checksum_per_byte_ns = 0;
     copy_checksum_per_byte_ns = 0;
     vm_remap = 0;
+    doorbell = 0;
     pio_per_byte_ns = 0;
     dma_setup = 0;
+    sg_descriptor = 0;
     dma_rx_per_byte_ns = 0;
     dma_tx_per_byte_ns = 0;
     interrupt = 0;

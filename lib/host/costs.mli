@@ -41,12 +41,20 @@ type t = {
           charges [copy_per_byte_ns + checksum_per_byte_ns] instead *)
   vm_remap : Uln_engine.Time.span;
       (** page-remap used by the copy-eliminating buffer path *)
+  doorbell : Uln_engine.Time.span;
+      (** writing a tx descriptor into the shared ring and ringing the
+          channel doorbell — the per-segment cost of the batched
+          descriptor path, where the [fast_trap] kernel entry is paid
+          once per batch rather than once per segment *)
   (* --- devices --- *)
   pio_per_byte_ns : int;
       (** LANCE (PMADD-AA) programmed-I/O transfer, per byte; the
           dominant Ethernet cost (the interface has no DMA) *)
   dma_setup : Uln_engine.Time.span;
       (** AN1 descriptor write + doorbell per packet *)
+  sg_descriptor : Uln_engine.Time.span;
+      (** each additional DMA descriptor of a scatter-gather transmit
+          (first fragment is covered by [dma_setup]) *)
   dma_rx_per_byte_ns : int;
       (** memory-system cost of touching DMA'd receive data (uncached
           buffers, bus contention) on the AN1 path *)

@@ -2,15 +2,30 @@ module Sched = Uln_engine.Sched
 module Time = Uln_engine.Time
 module Stats = Uln_engine.Stats
 
+type data_kind = Copy | Checksum | Copy_checksum
+
 type t = {
   sched : Sched.t;
   name : string;
   mutable free_at : Time.t;
   busy : Stats.Counter.t;
+  (* Per-category data-movement tallies: how much of the busy time went
+     to touching payload bytes, split by the kind of pass.  The
+     zero-copy acceptance test reads these to prove the hot path charges
+     checksum passes only. *)
+  mutable copy_ns : int;
+  mutable checksum_ns : int;
+  mutable copy_checksum_ns : int;
 }
 
 let create sched ~name =
-  { sched; name; free_at = Time.zero; busy = Stats.Counter.create (name ^ ".cpu_busy_ns") }
+  { sched;
+    name;
+    free_at = Time.zero;
+    busy = Stats.Counter.create (name ^ ".cpu_busy_ns");
+    copy_ns = 0;
+    checksum_ns = 0;
+    copy_checksum_ns = 0 }
 
 let name t = t.name
 
@@ -36,6 +51,17 @@ let use_async t span k =
     let finish = reserve t span in
     Sched.at t.sched finish k
   end
+
+let note_data t kind span =
+  if span > 0 then
+    match kind with
+    | Copy -> t.copy_ns <- t.copy_ns + span
+    | Checksum -> t.checksum_ns <- t.checksum_ns + span
+    | Copy_checksum -> t.copy_checksum_ns <- t.copy_checksum_ns + span
+
+let copy_ns t = t.copy_ns
+let checksum_ns t = t.checksum_ns
+let copy_checksum_ns t = t.copy_checksum_ns
 
 let busy_ns t = Stats.Counter.value t.busy
 

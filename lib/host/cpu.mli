@@ -12,6 +12,10 @@
 
 type t
 
+type data_kind = Copy | Checksum | Copy_checksum
+(** Categories of per-byte data-movement work, for the accounting that
+    proves where payload bytes were touched. *)
+
 val create : Uln_engine.Sched.t -> name:string -> t
 
 val name : t -> string
@@ -23,6 +27,20 @@ val use : t -> Uln_engine.Time.span -> unit
 val use_async : t -> Uln_engine.Time.span -> (unit -> unit) -> unit
 (** Consume CPU from event context; the continuation runs when the work
     completes. *)
+
+val note_data : t -> data_kind -> Uln_engine.Time.span -> unit
+(** Attribute [span] (already charged via {!use}/{!use_async}) to a
+    data-movement category. *)
+
+val copy_ns : t -> int
+(** Nanoseconds of plain copy passes ([copy_per_byte_ns]) so far.  With
+    the zero-copy path on, a userlib bulk transfer keeps this at 0. *)
+
+val checksum_ns : t -> int
+(** Nanoseconds of standalone checksum passes so far. *)
+
+val copy_checksum_ns : t -> int
+(** Nanoseconds of fused copy+checksum passes so far. *)
 
 val busy_ns : t -> int
 (** Total CPU time consumed so far (for utilization accounting). *)

@@ -13,6 +13,9 @@ let name t = t.name
 let buffer_size t = Pool.size t.pool
 let available t = Pool.available t.pool
 let in_use t = Pool.in_use t.pool
+let capacity t = Pool.capacity t.pool
+let exhausted t = Pool.exhausted t.pool
+let owns t view = Pool.owns t.pool view
 
 let is_mapped t dom = (not t.destroyed) && List.exists (Addr_space.equal dom) t.mapped
 

@@ -16,6 +16,15 @@ val name : t -> string
 val buffer_size : t -> int
 val available : t -> int
 val in_use : t -> int
+val capacity : t -> int
+
+val exhausted : t -> int
+(** Count of [alloc] calls that found the pool empty.  Monotonic; the
+    "ring overrun" statistic a driver exposes. *)
+
+val owns : t -> Uln_buf.View.t -> bool
+(** Whether the view's backing store belongs to this region's pool (no
+    mapping check — this is a bookkeeping query, not an access). *)
 
 val map : t -> Addr_space.t -> unit
 (** Make the region accessible from a domain.  Idempotent. *)

@@ -62,11 +62,16 @@ let create (m : Machine.t) link ~mac ?(tx_buffers = 8) ?(mtu = 1500) ?(table_siz
   let send frame =
     Semaphore.wait tx_slots;
     (* Descriptor write and doorbell; the DMA engine moves the bytes but
-       contends with the CPU for the memory system. *)
+       contends with the CPU for the memory system.  A scatter-gather
+       payload costs one extra descriptor per fragment beyond the
+       first — the gather list the controller walks. *)
     let bytes = Frame.payload_length frame in
+    let extra_frags = max 0 (Mbuf.segment_count frame.Frame.payload - 1) in
     Cpu.use m.Machine.cpu
       (Time.span_add
-         (Time.span_add costs.Costs.drv_tx costs.Costs.dma_setup)
+         (Time.span_add
+            (Time.span_add costs.Costs.drv_tx costs.Costs.dma_setup)
+            (Time.span_scale costs.Costs.sg_descriptor extra_frags))
          (Time.ns (bytes * costs.Costs.dma_tx_per_byte_ns)));
     Link.transmit link station frame ~on_done:(fun () -> Semaphore.signal tx_slots)
   in

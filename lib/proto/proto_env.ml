@@ -21,6 +21,10 @@ let of_machine (m : Machine.t) =
   create m.Machine.sched m.Machine.cpu m.Machine.costs ~rng:(Rng.split m.Machine.rng) ()
 
 let charge t span = Cpu.use t.cpu span
-let charge_bytes t ~per_byte_ns bytes = Cpu.use t.cpu (Time.ns (bytes * per_byte_ns))
+
+let charge_bytes ?kind t ~per_byte_ns bytes =
+  let span = Time.ns (bytes * per_byte_ns) in
+  (match kind with Some k -> Cpu.note_data t.cpu k span | None -> ());
+  Cpu.use t.cpu span
 let now t = Sched.now t.sched
 let spawn_handler t ~name f = Sched.spawn t.sched ~name f

@@ -31,8 +31,11 @@ val of_machine : Uln_host.Machine.t -> t
 val charge : t -> Uln_engine.Time.span -> unit
 (** Consume CPU from the calling thread. *)
 
-val charge_bytes : t -> per_byte_ns:int -> int -> unit
-(** Consume [bytes * per_byte_ns] of CPU. *)
+val charge_bytes : ?kind:Uln_host.Cpu.data_kind -> t -> per_byte_ns:int -> int -> unit
+(** Consume [bytes * per_byte_ns] of CPU.  [kind], when given, also
+    attributes the span to the CPU's per-category data-movement tally
+    (see {!Uln_host.Cpu.copy_ns}) — the accounting the zero-copy
+    acceptance test reads. *)
 
 val now : t -> Uln_engine.Time.t
 

@@ -6,11 +6,44 @@ module Mailbox = Uln_engine.Mailbox
 module View = Uln_buf.View
 module Mbuf = Uln_buf.Mbuf
 module Bytequeue = Uln_buf.Bytequeue
+module Iovec = Uln_buf.Iovec
 module Ip = Uln_addr.Ip
 module Costs = Uln_host.Costs
+module Cpu = Uln_host.Cpu
 module State = Tcp_state
 
 exception Connection_error of string
+
+(* The send queue has two representations: the classic contiguous
+   socket buffer (data is copied in on write and copied out per
+   segment), and the zero-copy iovec chain (segments re-reference the
+   application's buffers; a slot's release callback fires when its last
+   byte is acknowledged).  Which one a connection gets is fixed at
+   creation by [Tcp_params.zero_copy]. *)
+type sendq = Q of Bytequeue.t | I of Iovec.t
+
+let sendq_length = function Q q -> Bytequeue.length q | I i -> Iovec.length i
+
+(* Peek without a checksum (retransmissions, window probes): the encode
+   path will sum the payload itself. *)
+let sendq_peek sq ~off ~len =
+  match sq with
+  | Q q -> Mbuf.of_view (Bytequeue.peek q ~off ~len)
+  | I i -> Iovec.peek i ~off ~len
+
+(* Peek with the running 16-bit sum.  On the copying path this is the
+   fused copy+checksum pass; on the iovec chain it is a pure checksum
+   walk over the referenced fragments (parity-correct across odd-length
+   boundaries) — no bytes move. *)
+let sendq_peek_sum sq ~off ~len =
+  match sq with
+  | Q q ->
+      let v, sum = Bytequeue.peek_sum q ~off ~len in
+      (Mbuf.of_view v, sum)
+  | I i -> Iovec.peek_sum i ~off ~len
+
+let sendq_drop sq n = match sq with Q q -> Bytequeue.drop q n | I i -> Iovec.drop i n
+let sendq_clear = function Q q -> Bytequeue.clear q | I i -> Iovec.clear i
 
 type snapshot = {
   snap_local_port : int;
@@ -35,7 +68,7 @@ type conn = {
   remote_port : int;
   mutable state : State.t;
   (* send side *)
-  snd_buf : Bytequeue.t;
+  snd_buf : sendq;
   mutable iss : Tcp_seq.t;
   mutable snd_una : Tcp_seq.t;
   mutable snd_nxt : Tcp_seq.t;
@@ -50,6 +83,7 @@ type conn = {
   mutable irs : Tcp_seq.t;
   mutable rcv_nxt : Tcp_seq.t;
   mutable rcv_adv : Tcp_seq.t; (* highest advertised rcv_nxt + window *)
+  mutable loaned_bytes : int; (* delivered as loans, not yet returned *)
   mutable fin_received : bool;
   mutable ooseg : (Tcp_seq.t * View.t) list; (* out-of-order, sorted by seq *)
   (* congestion control *)
@@ -127,8 +161,9 @@ let mss c = c.mss
 let srtt_us c = c.srtt_us
 let rto c = c.rto
 let cwnd c = c.cwnd
-let bytes_queued c = Bytequeue.length c.snd_buf
+let bytes_queued c = sendq_length c.snd_buf
 let bytes_available c = Bytequeue.length c.rcv_buf
+let loaned_bytes c = c.loaned_bytes
 let fast_path_counts c = (c.fast_acks, c.fast_data, c.slow_segments)
 
 let key ~remote_ip ~remote_port ~local_port = (Ip.to_int32 remote_ip, remote_port, local_port)
@@ -158,8 +193,12 @@ let charge_timer_op c = Proto_env.charge c.engine.env c.engine.env.Proto_env.cos
 
 (* --- window computation --------------------------------------------- *)
 
+(* Bytes loaned out to the application still occupy receive buffering
+   (the pool buffer cannot be reused until returned), so outstanding
+   loans shrink the advertised window: a slow application throttles its
+   sender instead of starving the receive ring. *)
 let rcv_window c =
-  let used = Bytequeue.length c.rcv_buf in
+  let used = Bytequeue.length c.rcv_buf + c.loaned_bytes in
   Stdlib.max 0 (c.engine.prm.Tcp_params.rcv_buf - used)
 
 let snd_window c = Stdlib.min c.snd_wnd c.cwnd
@@ -170,16 +209,25 @@ let emit ?payload_sum t ~src_ip ~dst_ip (seg : Tcp_wire.segment) =
   let costs = t.env.Proto_env.costs in
   let payload_bytes = Mbuf.length seg.Tcp_wire.payload in
   Proto_env.charge t.env costs.Costs.tcp_output;
-  (* Payload bytes leave the send buffer through either one fused
-     copy+checksum pass or two separate passes (the ablation); the
-     header is always a checksum-only pass. *)
-  let payload_per_byte =
-    if t.prm.Tcp_params.fused_checksum then costs.Costs.copy_checksum_per_byte_ns
-    else costs.Costs.copy_per_byte_ns + costs.Costs.checksum_per_byte_ns
-  in
-  Proto_env.charge_bytes t.env ~per_byte_ns:payload_per_byte payload_bytes;
-  Proto_env.charge_bytes t.env ~per_byte_ns:costs.Costs.checksum_per_byte_ns
-    Tcp_wire.header_size;
+  (* Payload bytes leave the send buffer through one of three passes:
+     a checksum-only walk of the referenced iovec chain (zero-copy —
+     nothing moves), one fused copy+checksum pass, or two separate
+     passes (the unfused ablation).  The header is always a
+     checksum-only pass. *)
+  if t.prm.Tcp_params.zero_copy then
+    Proto_env.charge_bytes ~kind:Cpu.Checksum t.env
+      ~per_byte_ns:costs.Costs.checksum_per_byte_ns payload_bytes
+  else if t.prm.Tcp_params.fused_checksum then
+    Proto_env.charge_bytes ~kind:Cpu.Copy_checksum t.env
+      ~per_byte_ns:costs.Costs.copy_checksum_per_byte_ns payload_bytes
+  else begin
+    Proto_env.charge_bytes ~kind:Cpu.Copy t.env ~per_byte_ns:costs.Costs.copy_per_byte_ns
+      payload_bytes;
+    Proto_env.charge_bytes ~kind:Cpu.Checksum t.env
+      ~per_byte_ns:costs.Costs.checksum_per_byte_ns payload_bytes
+  end;
+  Proto_env.charge_bytes ~kind:Cpu.Checksum t.env
+    ~per_byte_ns:costs.Costs.checksum_per_byte_ns Tcp_wire.header_size;
   t.segments_out <- t.segments_out + 1;
   let m = Tcp_wire.encode ?payload_sum ~src_ip ~dst_ip seg in
   Ipv4.output t.ip ~proto:6 ~dst:dst_ip m
@@ -244,6 +292,9 @@ let destroy c reason =
     c.state <- State.Closed;
     c.error <- (match c.error with None -> reason | some -> some);
     remove_conn c;
+    (* Fire any pending zero-copy releases: buffers queued but never
+       acknowledged go back to their pool with the connection. *)
+    sendq_clear c.snd_buf;
     wake_all c;
     List.iter (fun f -> f ()) (List.rev c.closed_callbacks)
   end
@@ -355,14 +406,14 @@ and output_once c =
     let off = Tcp_seq.diff c.snd_nxt c.snd_una in
     (* [off] counts the unacked FIN if one is in flight; data offset
        never exceeds the buffer. *)
-    let data_off = Stdlib.min (Stdlib.max 0 off) (Bytequeue.length c.snd_buf) in
-    let avail = Bytequeue.length c.snd_buf - data_off in
+    let data_off = Stdlib.min (Stdlib.max 0 off) (sendq_length c.snd_buf) in
+    let avail = sendq_length c.snd_buf - data_off in
     let wnd = snd_window c in
     let usable = Stdlib.max 0 (wnd - off) in
     let len = Stdlib.min (Stdlib.min c.mss avail) usable in
     let data_allowed = State.can_send_data c.state || c.fin_queued in
     let len = if data_allowed then len else 0 in
-    let all_data_sent = data_off + len >= Bytequeue.length c.snd_buf in
+    let all_data_sent = data_off + len >= sendq_length c.snd_buf in
     let want_fin =
       (* Also resend from FIN-bearing states: after a retransmit timeout
          snd_nxt returns to snd_una with fin_sent cleared, but the state
@@ -384,13 +435,14 @@ and output_once c =
       let payload, payload_sum =
         if send_data then
           if prm.Tcp_params.fused_checksum then begin
-            (* One pass: copy out of the send buffer and accumulate the
-               checksum in the same loop; encode completes it from the
-               header without re-reading the payload. *)
-            let v, sum = Bytequeue.peek_sum c.snd_buf ~off:data_off ~len in
-            (Mbuf.of_view v, Some sum)
+            (* One pass: copy out of the send buffer (or, zero-copy,
+               walk the referenced chain) accumulating the checksum in
+               the same loop; encode completes it from the header
+               without re-reading the payload. *)
+            let m, sum = sendq_peek_sum c.snd_buf ~off:data_off ~len in
+            (m, Some sum)
           end
-          else (Mbuf.of_view (Bytequeue.peek c.snd_buf ~off:data_off ~len), None)
+          else (sendq_peek c.snd_buf ~off:data_off ~len, None)
         else (Mbuf.empty, None)
       in
       let len = if send_data then len else 0 in
@@ -399,7 +451,7 @@ and output_once c =
         { Tcp_wire.no_flags with
           Tcp_wire.ack = true;
           fin = fin_now;
-          psh = (send_data && data_off + len >= Bytequeue.length c.snd_buf) }
+          psh = (send_data && data_off + len >= sendq_length c.snd_buf) }
       in
       let seq = c.snd_nxt in
       (* Time this segment if it is new data at the send frontier. *)
@@ -426,7 +478,7 @@ and output_once c =
          with a closed window also needs probing or it would never go
          out. *)
       if
-        (Bytequeue.length c.snd_buf > 0 || (c.fin_queued && not c.fin_sent))
+        (sendq_length c.snd_buf > 0 || (c.fin_queued && not c.fin_sent))
         && c.snd_wnd = 0 && c.rexmt = None
         && c.persist = None
         && State.synchronized c.state
@@ -447,9 +499,9 @@ and arm_persist c =
 
 and persist_fired c =
   if c.state <> State.Closed && not c.detached && c.snd_wnd = 0 then begin
-    if Bytequeue.length c.snd_buf > 0 then begin
+    if sendq_length c.snd_buf > 0 then begin
       (* Window probe: one byte at snd_una. *)
-      let payload = Mbuf.of_view (Bytequeue.peek c.snd_buf ~off:0 ~len:1) in
+      let payload = sendq_peek c.snd_buf ~off:0 ~len:1 in
       c.backoff <- Stdlib.min (c.backoff + 1) 10;
       send_segment c ~seq:c.snd_una ~flags:flags_ack ~payload ~with_mss:false;
       arm_persist c
@@ -603,12 +655,12 @@ let process_ack c (seg : Tcp_wire.segment) =
         (* Fast retransmit + (simplified) fast recovery. *)
         let flight = Stdlib.min (snd_window c) (Tcp_seq.diff c.snd_nxt c.snd_una) in
         c.ssthresh <- Stdlib.max (2 * c.mss) (flight / 2);
-        let len = Stdlib.min c.mss (Bytequeue.length c.snd_buf) in
+        let len = Stdlib.min c.mss (sendq_length c.snd_buf) in
         if len > 0 then begin
           c.engine.retransmissions <- c.engine.retransmissions + 1;
           c.rtt_timing <- None;
           send_segment c ~seq:c.snd_una ~flags:flags_ack
-            ~payload:(Mbuf.of_view (Bytequeue.peek c.snd_buf ~off:0 ~len))
+            ~payload:(sendq_peek c.snd_buf ~off:0 ~len)
             ~with_mss:false
         end;
         c.cwnd <- c.ssthresh + (3 * c.mss)
@@ -635,10 +687,10 @@ let process_ack c (seg : Tcp_wire.segment) =
        space that is not in the buffer. *)
     let fin_acked =
       c.fin_sent && Tcp_seq.ge ack c.snd_nxt && Tcp_seq.diff c.snd_nxt c.snd_una > 0
-      && acked > Bytequeue.length c.snd_buf
+      && acked > sendq_length c.snd_buf
     in
-    let data_acked = Stdlib.min (acked - (if fin_acked then 1 else 0)) (Bytequeue.length c.snd_buf) in
-    if data_acked > 0 then Bytequeue.drop c.snd_buf data_acked;
+    let data_acked = Stdlib.min (acked - (if fin_acked then 1 else 0)) (sendq_length c.snd_buf) in
+    if data_acked > 0 then sendq_drop c.snd_buf data_acked;
     c.snd_una <- ack;
     if Tcp_seq.gt c.snd_una c.snd_nxt then c.snd_nxt <- c.snd_una;
     (* Retransmit timer: restart while data remains outstanding. *)
@@ -906,7 +958,7 @@ let handle_syn_for_listener t l (seg : Tcp_wire.segment) ~src =
       remote_ip = src;
       remote_port = seg.Tcp_wire.src_port;
       state = State.Syn_received;
-      snd_buf = Bytequeue.create ();
+      snd_buf = (if prm.Tcp_params.zero_copy then I (Iovec.create ()) else Q (Bytequeue.create ()));
       iss;
       snd_una = iss;
       snd_nxt = Tcp_seq.add iss 1;
@@ -920,6 +972,7 @@ let handle_syn_for_listener t l (seg : Tcp_wire.segment) ~src =
       irs = seg.Tcp_wire.seq;
       rcv_nxt = Tcp_seq.add seg.Tcp_wire.seq 1;
       rcv_adv = Tcp_seq.add seg.Tcp_wire.seq 1;
+      loaned_bytes = 0;
       fin_received = false;
       ooseg = [];
       cwnd = prm.Tcp_params.initial_cwnd_segments * prm.Tcp_params.mss_default;
@@ -965,14 +1018,21 @@ let input t ~src ~dst payload =
   let costs = t.env.Proto_env.costs in
   Proto_env.charge t.env costs.Costs.tcp_input;
   let len = Mbuf.length payload in
-  if t.prm.Tcp_params.fused_checksum then
+  if t.prm.Tcp_params.zero_copy then
+    (* The frame stays in its loaned receive buffer: one checksum-only
+       verification pass; delivery hands the application a reference. *)
+    Proto_env.charge_bytes ~kind:Cpu.Checksum t.env
+      ~per_byte_ns:costs.Costs.checksum_per_byte_ns len
+  else if t.prm.Tcp_params.fused_checksum then
     (* One pass verifies the checksum and moves the payload toward the
        receive buffer. *)
-    Proto_env.charge_bytes t.env ~per_byte_ns:costs.Costs.copy_checksum_per_byte_ns len
+    Proto_env.charge_bytes ~kind:Cpu.Copy_checksum t.env
+      ~per_byte_ns:costs.Costs.copy_checksum_per_byte_ns len
   else begin
     (* Two passes: checksum the whole segment, then copy the payload. *)
-    Proto_env.charge_bytes t.env ~per_byte_ns:costs.Costs.checksum_per_byte_ns len;
-    Proto_env.charge_bytes t.env ~per_byte_ns:costs.Costs.copy_per_byte_ns
+    Proto_env.charge_bytes ~kind:Cpu.Checksum t.env
+      ~per_byte_ns:costs.Costs.checksum_per_byte_ns len;
+    Proto_env.charge_bytes ~kind:Cpu.Copy t.env ~per_byte_ns:costs.Costs.copy_per_byte_ns
       (Stdlib.max 0 (len - Tcp_wire.header_size))
   end;
   match Tcp_wire.decode ~src_ip:src ~dst_ip:dst payload with
@@ -1030,7 +1090,7 @@ let fresh_conn t ~local_port ~remote_ip ~remote_port ~state ~iss =
     remote_ip;
     remote_port;
     state;
-    snd_buf = Bytequeue.create ();
+    snd_buf = (if t.prm.Tcp_params.zero_copy then I (Iovec.create ()) else Q (Bytequeue.create ()));
     iss;
     snd_una = iss;
     snd_nxt = iss;
@@ -1044,6 +1104,7 @@ let fresh_conn t ~local_port ~remote_ip ~remote_port ~state ~iss =
     irs = 0;
     rcv_nxt = 0;
     rcv_adv = 0;
+    loaned_bytes = 0;
     fin_received = false;
     ooseg = [];
     cwnd = t.prm.Tcp_params.initial_cwnd_segments * t.prm.Tcp_params.mss_default;
@@ -1122,15 +1183,54 @@ let write c data =
     check_alive c "write";
     if not (State.can_send_data c.state) then
       raise (Connection_error "write on closing connection");
-    let space = prm.Tcp_params.snd_buf - Bytequeue.length c.snd_buf in
+    let space = prm.Tcp_params.snd_buf - sendq_length c.snd_buf in
     if space <= 0 then wait_on c
     else begin
       let n = Stdlib.min space (len - !sent) in
-      Bytequeue.push c.snd_buf (View.sub data !sent n);
+      (match c.snd_buf with
+      | Q q -> Bytequeue.push q (View.sub data !sent n)
+      | I i ->
+          (* The caller keeps ownership of [data] and may scribble on it
+             immediately, so the chain gets a private snapshot.  The
+             cost of this copy is the caller's problem (the socket layer
+             charges the vm_remap fallback for non-pool buffers); the
+             engine itself still runs the chain checksum-only. *)
+          Iovec.push i (View.copy (View.sub data !sent n)));
       sent := !sent + n;
       output c
     end
   done
+
+(* Queue an application-owned buffer by reference: the engine reads it
+   in place for (re)transmission and fires [release] when its last byte
+   is acknowledged (or the queue is torn down).  The caller must not
+   touch the buffer until then — this is the contract of
+   [Sockets.alloc_tx]/[send_owned].  Requires a zero-copy connection. *)
+let write_owned ?release c data =
+  check_alive c "write_owned";
+  (match c.snd_buf with
+  | I _ -> ()
+  | Q _ -> raise (Connection_error "write_owned: connection is not zero-copy"));
+  let prm = c.engine.prm in
+  let len = View.length data in
+  let rec wait_for_space () =
+    check_alive c "write_owned";
+    if not (State.can_send_data c.state) then
+      raise (Connection_error "write_owned on closing connection");
+    (* The view is queued whole (its release must fire exactly once),
+       so wait until the whole length fits — or the queue is empty, so
+       an oversized view cannot deadlock. *)
+    if
+      prm.Tcp_params.snd_buf - sendq_length c.snd_buf < len
+      && sendq_length c.snd_buf > 0
+    then begin
+      wait_on c;
+      wait_for_space ()
+    end
+  in
+  wait_for_space ();
+  (match c.snd_buf with I i -> Iovec.push ?release i data | Q _ -> assert false);
+  output c
 
 let maybe_window_update c =
   (* Send a window update once the window has opened significantly
@@ -1162,6 +1262,37 @@ let read c ~max =
     end
   in
   go ()
+
+(* Loaned delivery: like [read], but the bytes remain charged against
+   the receive window until [return_loan] gives them back — the
+   buffer-loaning back-pressure.  The engine tracks loan *lengths*; the
+   identity of the loaned pool buffer is the socket layer's business.
+   The loan is taken before any window update is considered, so the
+   advertised window never transiently grows and then shrinks back. *)
+let read_loan c ~max =
+  let rec go () =
+    if Bytequeue.length c.rcv_buf > 0 then begin
+      let v = Bytequeue.pop c.rcv_buf (Stdlib.max 1 max) in
+      c.loaned_bytes <- c.loaned_bytes + View.length v;
+      Some v
+    end
+    else if c.fin_received then None
+    else begin
+      (match c.error with Some e -> raise (Connection_error e) | None -> ());
+      if c.detached then raise (Connection_error "read_loan: connection was handed off");
+      if c.state = State.Closed then None
+      else begin
+        wait_on c;
+        go ()
+      end
+    end
+  in
+  go ()
+
+let return_loan c len =
+  if len < 0 then invalid_arg "Tcp.return_loan: negative length";
+  c.loaned_bytes <- Stdlib.max 0 (c.loaned_bytes - len);
+  if c.state <> State.Closed && not c.detached then maybe_window_update c
 
 let close c =
   if not c.detached then
@@ -1219,14 +1350,14 @@ let export_common c =
 
 let export c =
   if c.state <> State.Established then failwith "Tcp.export: connection not ESTABLISHED";
-  if Bytequeue.length c.snd_buf > 0 then failwith "Tcp.export: unsent data in send buffer";
+  if sendq_length c.snd_buf > 0 then failwith "Tcp.export: unsent data in send buffer";
   export_common c
 
 let export_force c =
   if c.state <> State.Established then failwith "Tcp.export_force: connection not ESTABLISHED";
   (* Unacknowledged data is lost with the application; the peer will be
      reset, so the snapshot pretends the stream ends at snd_una. *)
-  Bytequeue.clear c.snd_buf;
+  sendq_clear c.snd_buf;
   Bytequeue.clear c.rcv_buf;
   let snap = export_common c in
   { snap with snap_snd_nxt = snap.snap_snd_una; snap_rcv_pending = "" }
@@ -1234,7 +1365,7 @@ let export_force c =
 let await_drained c =
   while
     c.state <> State.Closed
-    && (Bytequeue.length c.snd_buf > 0 || Tcp_seq.gt c.snd_nxt c.snd_una)
+    && (sendq_length c.snd_buf > 0 || Tcp_seq.gt c.snd_nxt c.snd_una)
   do
     wait_on c
   done

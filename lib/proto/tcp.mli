@@ -102,6 +102,28 @@ val read : conn -> max:int -> Uln_buf.View.t option
     [None] at end-of-stream (peer FIN consumed).
     @raise Connection_error on reset/timeout. *)
 
+val write_owned : ?release:(unit -> unit) -> conn -> Uln_buf.View.t -> unit
+(** Zero-copy write: queue the view by reference.  The engine reads it
+    in place for transmission and any retransmissions and fires
+    [release] exactly once when its last byte is acknowledged (or the
+    connection is torn down); the caller must not touch the buffer until
+    then.  Blocks while the whole view does not fit the send buffer.
+    @raise Connection_error unless the connection was created with
+    [Tcp_params.zero_copy]. *)
+
+val read_loan : conn -> max:int -> Uln_buf.View.t option
+(** Like {!read}, but the delivered bytes stay charged against the
+    receive window until {!return_loan}: outstanding loans shrink the
+    advertised window, back-pressuring the sender instead of letting a
+    slow application starve receive buffering. *)
+
+val return_loan : conn -> int -> unit
+(** Give back [len] loaned bytes; may reopen the advertised window (and
+    send the window update). *)
+
+val loaned_bytes : conn -> int
+(** Bytes currently delivered as loans and not yet returned. *)
+
 val bytes_queued : conn -> int
 (** Unacknowledged + unsent bytes in the send buffer. *)
 

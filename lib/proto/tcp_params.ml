@@ -18,6 +18,7 @@ type t = {
   keepalive_probes : int;
   header_prediction : bool;
   fused_checksum : bool;
+  zero_copy : bool;
 }
 
 let default =
@@ -37,7 +38,8 @@ let default =
     keepalive_interval = Time.sec 75;
     keepalive_probes = 9;
     header_prediction = true;
-    fused_checksum = true }
+    fused_checksum = true;
+    zero_copy = false }
 
 let fast =
   { default with

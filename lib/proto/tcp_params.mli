@@ -37,6 +37,16 @@ type t = {
           {!Uln_host.Costs.copy_checksum_per_byte_ns}) instead of
           copying then summing in two passes; [false] charges the two
           separate passes and uses the byte-at-a-time reference. *)
+  zero_copy : bool;
+      (** Zero-copy data path: the send queue is a scatter-gather chain
+          of referenced buffers ({!Uln_buf.Iovec}), payload bytes are
+          charged a single checksum-only pass (no
+          [copy_per_byte_ns]/[copy_checksum_per_byte_ns]), received data
+          can be loaned out to the application with outstanding loans
+          shrinking the advertised window, and the library submits
+          segments through batched descriptor rings.  [false] (the
+          default) keeps the copying path as the differential-testing
+          oracle. *)
 }
 
 val default : t

@@ -21,11 +21,15 @@ let run ?(total_bytes = 4_000_000) ~write_size w =
   Sched.spawn sched ~name:"sink" (fun () ->
       let l = server_app.Sockets.listen ~port:5001 in
       let conn = l.Sockets.accept () in
+      (* Consume through the loaning receive path where the organization
+         offers one (it degrades to a copying [recv] everywhere else),
+         returning each loan immediately so the window never starves. *)
       let rec drain () =
-        match conn.Sockets.recv ~max:65536 with
+        match conn.Sockets.recv_loan ~max:65536 with
         | None -> ()
         | Some v ->
             Stats.Meter.mark meter (Sched.now sched) (View.length v);
+            conn.Sockets.return_loan v;
             drain ()
       in
       drain ();
@@ -38,7 +42,14 @@ let run ?(total_bytes = 4_000_000) ~write_size w =
           View.fill chunk 'b';
           let writes = (total_bytes + write_size - 1) / write_size in
           for _ = 1 to writes do
-            conn.Sockets.send chunk
+            (* Prefer a loaned transmit buffer (zero-copy organizations);
+               fall back to the copying send when the pool is exhausted
+               or the path does not loan. *)
+            match conn.Sockets.alloc_tx write_size with
+            | Some owned ->
+                View.fill owned 'b';
+                conn.Sockets.send_owned owned
+            | None -> conn.Sockets.send chunk
           done;
           conn.Sockets.close ();
           conn.Sockets.await_closed ());
@@ -51,6 +62,6 @@ let run ?(total_bytes = 4_000_000) ~write_size w =
     duration = Time.of_sec_f (float_of_int bytes /. (Stats.Meter.rate_per_sec meter +. 1e-9));
     retransmissions = !sender_retransmits }
 
-let measure ?total_bytes ~write_size ~network ~org () =
-  let w = World.create ~network ~org () in
+let measure ?total_bytes ?tcp_params ~write_size ~network ~org () =
+  let w = World.create ?tcp_params ~network ~org () in
   run ?total_bytes ~write_size w

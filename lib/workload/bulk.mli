@@ -20,6 +20,7 @@ val run :
 
 val measure :
   ?total_bytes:int ->
+  ?tcp_params:Uln_proto.Tcp_params.t ->
   write_size:int ->
   network:Uln_core.World.network ->
   org:Uln_core.Organization.t ->

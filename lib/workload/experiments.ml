@@ -38,6 +38,14 @@ type scale_row = {
   sc_misses : int;
 }
 
+type zc_row = {
+  zc_network : string;
+  zc_size : int;
+  zc_mbps_copy : float;
+  zc_mbps_zero_copy : float;
+  zc_gain_pct : float;
+}
+
 let net_name = function World.Ethernet -> "ethernet" | World.An1 -> "an1"
 
 let sys_name = function
@@ -55,6 +63,10 @@ let systems_for network =
 
 let extended_systems = [ Organization.Single_server `Message; Organization.Dedicated_servers ]
 
+(* The zero-copy ablation runs the paper's system with the loaning data
+   path switched on; everything else about the world is identical. *)
+let zc_params = { Uln_proto.Tcp_params.default with Uln_proto.Tcp_params.zero_copy = true }
+
 (* --- Table 1 ---------------------------------------------------------- *)
 
 let table1 ?(quick = false) () =
@@ -68,18 +80,24 @@ let table2 ?(quick = false) ?(extended = false) () =
      initial Nagle/delayed-ACK transient. *)
   let total_bytes = if quick then 1_500_000 else 4_000_000 in
   let sizes = [ 512; 1024; 2048; 4096 ] in
-  let cell network org size =
-    let r = Bulk.measure ~total_bytes ~write_size:size ~network ~org () in
+  let cell ?tcp_params ?system network org size =
+    let r = Bulk.measure ~total_bytes ?tcp_params ~write_size:size ~network ~org () in
+    let system = match system with Some s -> s | None -> sys_name org in
     { t2_network = net_name network;
-      t2_system = sys_name org;
+      t2_system = system;
       t2_size = size;
       t2_mbps = r.Bulk.mbps;
-      t2_paper = Paper_ref.lookup2 Paper_ref.table2 (net_name network) (sys_name org) size }
+      t2_paper = Paper_ref.lookup2 Paper_ref.table2 (net_name network) system size }
   in
   List.concat_map
     (fun network ->
       let orgs = systems_for network @ if extended then extended_systems else [] in
-      List.concat_map (fun org -> List.map (cell network org) sizes) orgs)
+      List.concat_map (fun org -> List.map (cell network org) sizes) orgs
+      (* Zero-copy ablation of the paper's system (no paper column: the
+         measured system always copied). *)
+      @ List.map
+          (cell ~tcp_params:zc_params ~system:"userlib-zc" network Organization.User_library)
+          sizes)
     [ World.Ethernet; World.An1 ]
 
 (* --- Table 3 ---------------------------------------------------------- *)
@@ -87,18 +105,22 @@ let table2 ?(quick = false) ?(extended = false) () =
 let table3 ?(quick = false) ?(extended = false) () =
   let exchanges = if quick then 10 else 50 in
   let sizes = [ 1; 512; 1460 ] in
-  let cell network org size =
-    let r = Pingpong.measure ~exchanges ~size ~network ~org () in
+  let cell ?tcp_params ?system network org size =
+    let r = Pingpong.measure ~exchanges ?tcp_params ~size ~network ~org () in
+    let system = match system with Some s -> s | None -> sys_name org in
     { t3_network = net_name network;
-      t3_system = sys_name org;
+      t3_system = system;
       t3_size = size;
       t3_rtt_ms = Time.to_ms_f r.Pingpong.avg_rtt;
-      t3_paper = Paper_ref.lookup2 Paper_ref.table3 (net_name network) (sys_name org) size }
+      t3_paper = Paper_ref.lookup2 Paper_ref.table3 (net_name network) system size }
   in
   List.concat_map
     (fun network ->
       let orgs = systems_for network @ if extended then extended_systems else [] in
-      List.concat_map (fun org -> List.map (cell network org) sizes) orgs)
+      List.concat_map (fun org -> List.map (cell network org) sizes) orgs
+      @ List.map
+          (cell ~tcp_params:zc_params ~system:"userlib-zc" network Organization.User_library)
+          sizes)
     [ World.Ethernet; World.An1 ]
 
 (* --- Table 4 ---------------------------------------------------------- *)
@@ -223,6 +245,33 @@ let scale ?(conns = [ 1; 4; 16; 64; 256; 1024 ]) () =
   in
   List.map row conns
 
+(* --- zero-copy ablation (write-size scaling, userlib) ------------------ *)
+
+(* The loaning data path against the copying oracle, across user packet
+   sizes: same worlds, same workload, only [Tcp_params.zero_copy]
+   differs.  The gain grows with packet size as the per-byte copy work
+   eliminated dominates the fixed per-segment costs. *)
+let zero_copy_ablation ?(quick = false) ?(sizes = [ 512; 1024; 2048; 4096 ]) () =
+  let total_bytes = if quick then 400_000 else 4_000_000 in
+  List.concat_map
+    (fun network ->
+      List.map
+        (fun size ->
+          let run tcp_params =
+            (Bulk.measure ~total_bytes ~tcp_params ~write_size:size ~network
+               ~org:Organization.User_library ())
+              .Bulk.mbps
+          in
+          let copy = run Uln_proto.Tcp_params.default in
+          let zc = run zc_params in
+          { zc_network = net_name network;
+            zc_size = size;
+            zc_mbps_copy = copy;
+            zc_mbps_zero_copy = zc;
+            zc_gain_pct = (zc -. copy) /. copy *. 100.0 })
+        sizes)
+    [ World.Ethernet; World.An1 ]
+
 (* --- printing --------------------------------------------------------- *)
 
 let pp_paper ppf = function
@@ -303,6 +352,17 @@ let print_scale ppf rows =
     rows;
   Format.fprintf ppf
     "(scan cost grows with installed connections; warm cache hits stay flat)@,@]"
+
+let print_zero_copy ppf rows =
+  Format.fprintf ppf "@[<v>Zero-copy ablation: userlib bulk throughput, loaning vs copying@,";
+  Format.fprintf ppf "%-10s %8s %12s %12s %8s@," "network" "size" "copy Mb/s" "zc Mb/s" "gain";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-10s %8d %12.2f %12.2f %+7.1f%%@," r.zc_network r.zc_size
+        r.zc_mbps_copy r.zc_mbps_zero_copy r.zc_gain_pct)
+    rows;
+  Format.fprintf ppf
+    "(the loaning path touches each payload byte once — the checksum pass)@,@]"
 
 let print_figures ppf () =
   Format.fprintf ppf "@[<v>Figure 1: alternative organizations of protocols@,@,";

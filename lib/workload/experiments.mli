@@ -36,6 +36,14 @@ type scale_row = {
   sc_misses : int;
 }
 
+type zc_row = {
+  zc_network : string;
+  zc_size : int;  (** bytes per user write *)
+  zc_mbps_copy : float;  (** copying oracle *)
+  zc_mbps_zero_copy : float;  (** loaning data path *)
+  zc_gain_pct : float;
+}
+
 val table1 : ?quick:bool -> unit -> Raw_xchg.row list
 (** Mechanism overhead vs raw link saturation (Ethernet). *)
 
@@ -63,6 +71,12 @@ val scale : ?conns:int list -> unit -> scale_row list
     against warm flow cache, the endpoints cross-checked packet by
     packet.  Default [conns] is [1; 4; 16; 64; 256; 1024]. *)
 
+val zero_copy_ablation : ?quick:bool -> ?sizes:int list -> unit -> zc_row list
+(** User-library bulk throughput with the zero-copy data path
+    ({!Uln_proto.Tcp_params.t.zero_copy}) on vs off, per write size and
+    network — identical worlds otherwise, so the difference is exactly
+    the loaning/scatter-gather/doorbell machinery. *)
+
 val print_table1 : Format.formatter -> Raw_xchg.row list -> unit
 val print_table2 : Format.formatter -> t2_row list -> unit
 val print_table3 : Format.formatter -> t3_row list -> unit
@@ -70,6 +84,7 @@ val print_table4 : Format.formatter -> t4_row list -> unit
 val print_breakdown : Format.formatter -> (string * float * float option) list -> unit
 val print_table5 : Format.formatter -> t5_row list -> unit
 val print_scale : Format.formatter -> scale_row list -> unit
+val print_zero_copy : Format.formatter -> zc_row list -> unit
 val print_figures : Format.formatter -> unit -> unit
 (** Figures 1 and 2: organization structure, derived from the
     implementations. *)

@@ -1,0 +1,24 @@
+(** Minimal JSON emission and validation for the bench harness.
+
+    The benches write their measured rows to [BENCH_*.json] with no
+    external dependencies; these are the value emitters they share, plus
+    a strict validator used as a regression check that every emitted
+    file actually parses. *)
+
+val str : string -> string
+(** A JSON string literal, with the mandatory escapes. *)
+
+val int : int -> string
+
+val float : float -> string
+(** Fixed or scientific notation; NaN and the infinities emit [null] —
+    a non-finite measurement is a broken measurement and must surface
+    as a hole, not serialise as a plausible number. *)
+
+val opt : float option -> string
+(** [None] emits [null]. *)
+
+val validate : string -> (unit, string) result
+(** Check that [s] is exactly one well-formed JSON value (objects,
+    arrays, strings, numbers, [true]/[false]/[null]); [Error] carries
+    the failure and its byte offset. *)

@@ -59,6 +59,6 @@ let run ?(exchanges = 50) ?(warmup = 3) ~size w =
     max_rtt = List.fold_left Stdlib.max 0 samples;
     exchanges = n }
 
-let measure ?exchanges ~size ~network ~org () =
-  let w = World.create ~network ~org () in
+let measure ?exchanges ?tcp_params ~size ~network ~org () =
+  let w = World.create ?tcp_params ~network ~org () in
   run ?exchanges ~size w

@@ -18,6 +18,7 @@ val run : ?exchanges:int -> ?warmup:int -> size:int -> Uln_core.World.t -> resul
 
 val measure :
   ?exchanges:int ->
+  ?tcp_params:Uln_proto.Tcp_params.t ->
   size:int ->
   network:Uln_core.World.network ->
   org:Uln_core.Organization.t ->

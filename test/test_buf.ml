@@ -202,6 +202,79 @@ let prop_bytequeue_interleaved =
           && View.to_string (Bytequeue.peek q ~off:0 ~len:(Bytequeue.length q)) = !reference)
         ops)
 
+(* --- iovec --------------------------------------------------------- *)
+
+module Iovec = Uln_buf.Iovec
+
+let test_iovec_reference_semantics () =
+  (* Pushed views are chained by reference: mutating the source after the
+     push is visible through a peek — the whole point of the zero-copy
+     send queue. *)
+  let q = Iovec.create () in
+  let v = View.of_string "abcdef" in
+  Iovec.push q v;
+  View.set_uint8 v 0 (Char.code 'X');
+  check_s "no copy on push" "Xbcdef" (Mbuf.to_string (Iovec.peek q ~off:0 ~len:6))
+
+let test_iovec_release_once () =
+  let q = Iovec.create () in
+  let fired = ref 0 in
+  Iovec.push q ~release:(fun () -> incr fired) (View.of_string "0123456789");
+  Iovec.push q ~release:(fun () -> incr fired) (View.of_string "ab");
+  Iovec.drop q 4;
+  check "partial consume holds the release" 0 !fired;
+  Iovec.drop q 6;
+  check "full consume fires exactly once" 1 !fired;
+  check "second slot untouched" 2 (Iovec.length q);
+  Iovec.clear q;
+  check "clear fires the rest" 2 !fired
+
+let test_iovec_zero_length_release () =
+  let q = Iovec.create () in
+  let fired = ref 0 in
+  Iovec.push q ~release:(fun () -> incr fired) (View.create 0);
+  check "empty view releases immediately" 1 !fired;
+  check "nothing stored" 0 (Iovec.slot_count q)
+
+let prop_iovec_matches_bytequeue =
+  (* Differential against Bytequeue over a random push/peek/drop trace:
+     same bytes, same lengths, and peek_sum's composed partial sum equals
+     the checksum of the flattened range. *)
+  QCheck.Test.make ~name:"iovec = bytequeue over random push/peek/drop traces" ~count:300
+    QCheck.(1 -- 1_000_000)
+    (fun seed ->
+      let module Rng = Uln_engine.Rng in
+      let module Checksum = Uln_proto.Checksum in
+      let rng = Rng.create ~seed in
+      let iq = Iovec.create () and bq = Bytequeue.create () in
+      let ok = ref true in
+      for _ = 1 to 60 do
+        match Rng.int rng 3 with
+        | 0 ->
+            let len = Rng.int rng 97 in
+            let v = View.create len in
+            for i = 0 to len - 1 do
+              View.set_uint8 v i (Rng.int rng 256)
+            done;
+            Iovec.push iq v;
+            Bytequeue.push bq v
+        | 1 ->
+            let avail = Iovec.length iq in
+            let off = Rng.int rng (avail + 1) in
+            let len = Rng.int rng (avail - off + 1) in
+            let m, sum = Iovec.peek_sum iq ~off ~len in
+            let want = Bytequeue.peek bq ~off ~len in
+            if
+              (not (String.equal (Mbuf.to_string m) (View.to_string want)))
+              || Checksum.finish sum <> Checksum.reference_of_view want
+            then ok := false
+        | _ ->
+            let n = Rng.int rng (1 + Iovec.length iq) in
+            Iovec.drop iq n;
+            Bytequeue.drop bq n
+      done;
+      !ok && Iovec.length iq = Bytequeue.length bq)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "buf"
@@ -231,4 +304,9 @@ let () =
         [ Alcotest.test_case "fifo" `Quick test_bytequeue_fifo;
           Alcotest.test_case "growth" `Quick test_bytequeue_growth;
           qc prop_bytequeue_matches_string;
-          qc prop_bytequeue_interleaved ] ) ]
+          qc prop_bytequeue_interleaved ] );
+      ( "iovec",
+        [ Alcotest.test_case "reference semantics" `Quick test_iovec_reference_semantics;
+          Alcotest.test_case "release fires once" `Quick test_iovec_release_once;
+          Alcotest.test_case "zero-length release" `Quick test_iovec_zero_length_release;
+          qc prop_iovec_matches_bytequeue ] ) ]

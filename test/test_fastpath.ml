@@ -379,6 +379,257 @@ let prop_fused_checksum_survives_corruption =
       in
       String.equal got_f want && String.equal got_s want && cfail_f = cfail_s)
 
+(* --- zero-copy data path vs the copying oracle ------------------------- *)
+
+let zc_params = { Tcp_params.fast with Tcp_params.zero_copy = true }
+
+(* One bulk transfer a->b at the engine level, the sender handing the
+   data over in randomized odd-length fragments.  Under zero copy each
+   fragment is queued by reference ([write_owned]) with a release that
+   must fire exactly once; the receiver drains through the loaning read
+   on both configurations (it degrades to a plain pop on the copying
+   one).  Returns enough to check the paths are behaviourally
+   indistinguishable. *)
+let transfer_zc ?fault ~zero_copy ~frag_seed n =
+  let params = if zero_copy then zc_params else Tcp_params.fast in
+  let w = make_world ~tcp_params:params ?fault () in
+  let data = pattern n in
+  let received = Buffer.create n in
+  Sched.spawn w.sched ~name:"server" (fun () ->
+      let l = Tcp.listen w.b.stack.Stack.tcp ~port:80 in
+      let conn = Tcp.accept l in
+      let rec drainloop () =
+        match Tcp.read_loan conn ~max:4096 with
+        | None -> ()
+        | Some v ->
+            Buffer.add_string received (View.to_string v);
+            Tcp.return_loan conn (View.length v);
+            drainloop ()
+      in
+      drainloop ();
+      Tcp.close conn);
+  let frags = ref 0 and releases = ref 0 in
+  run_to_completion w (fun () ->
+      match Tcp.connect w.a.stack.Stack.tcp ~src_port:5000 ~dst:w.b.ip ~dst_port:80 with
+      | Error e -> failwith e
+      | Ok c ->
+          let rng = Rng.create ~seed:frag_seed in
+          let off = ref 0 in
+          while !off < n do
+            (* Odd lengths by construction half the time: the checksum
+               must compose across odd/even fragment boundaries. *)
+            let len = Stdlib.min (n - !off) (1 + Rng.int rng 1200) in
+            let v = View.of_string (String.sub data !off len) in
+            incr frags;
+            if zero_copy then Tcp.write_owned c v ~release:(fun () -> incr releases)
+            else Tcp.write c v;
+            off := !off + len
+          done;
+          Tcp.close c;
+          Tcp.await_closed c);
+  let tcp_a = w.a.stack.Stack.tcp and tcp_b = w.b.stack.Stack.tcp in
+  ( Buffer.contents received,
+    data,
+    Tcp.segments_out tcp_a + Tcp.segments_out tcp_b,
+    Tcp.retransmissions tcp_a + Tcp.retransmissions tcp_b,
+    !frags,
+    !releases )
+
+let prop_zero_copy_differential =
+  (* The acceptance bar: across randomized loss/reorder/duplication and
+     fragment mixes, the scatter-gather send queue must be a drop-in for
+     the copying one — byte-identical delivery, identical wire behaviour
+     (segment and retransmission counts), and every loaned buffer
+     released exactly once. *)
+  QCheck.Test.make ~name:"zero-copy sendq = copying sendq under loss/reorder/duplication"
+    ~count:1000
+    QCheck.(1 -- 1_000_000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let n = 2048 + Rng.int rng 4097 in
+      let frag_seed = 1 + Rng.int rng 1_000_000 in
+      let mk () =
+        Fault.create ~rng:(Rng.create ~seed) ~drop:0.02 ~duplicate:0.02 ~reorder:0.08 ()
+      in
+      let got_z, want, segs_z, rexmit_z, frags, releases =
+        transfer_zc ~fault:(mk ()) ~zero_copy:true ~frag_seed n
+      in
+      let got_c, _, segs_c, rexmit_c, _, _ =
+        transfer_zc ~fault:(mk ()) ~zero_copy:false ~frag_seed n
+      in
+      String.equal got_z want && String.equal got_c want && segs_z = segs_c
+      && rexmit_z = rexmit_c && releases = frags)
+
+let test_loan_backpressure_reopens () =
+  (* Loans held by the application keep occupying receive buffering: the
+     advertised window must close (stalling the sender) rather than let
+     the pool be overrun, and returning the loans must reopen it — the
+     transfer completes, no deadlock. *)
+  let w = make_world ~tcp_params:zc_params () in
+  let n = 3 * zc_params.Tcp_params.rcv_buf in
+  let data = pattern n in
+  let window_closed = ref false in
+  let received = Buffer.create n in
+  Sched.spawn w.sched ~name:"server" (fun () ->
+      let l = Tcp.listen w.b.stack.Stack.tcp ~port:80 in
+      let conn = Tcp.accept l in
+      (* Phase 1: hoard loans until a full receive buffer is out. *)
+      let held = ref [] in
+      while Tcp.loaned_bytes conn < zc_params.Tcp_params.rcv_buf do
+        match Tcp.read_loan conn ~max:4096 with
+        | None -> failwith "eof before the window closed"
+        | Some v -> held := v :: !held
+      done;
+      window_closed := Tcp.loaned_bytes conn >= zc_params.Tcp_params.rcv_buf;
+      (* Let the sender run into the closed window before releasing. *)
+      Sched.sleep w.sched (Time.ms 500);
+      List.iter
+        (fun v ->
+          Buffer.add_string received (View.to_string v);
+          Tcp.return_loan conn (View.length v))
+        (List.rev !held);
+      (* Phase 2: drain normally, returning immediately. *)
+      let rec drainloop () =
+        match Tcp.read_loan conn ~max:65536 with
+        | None -> ()
+        | Some v ->
+            Buffer.add_string received (View.to_string v);
+            Tcp.return_loan conn (View.length v);
+            drainloop ()
+      in
+      drainloop ();
+      Tcp.close conn);
+  run_to_completion w (fun () ->
+      match Tcp.connect w.a.stack.Stack.tcp ~src_port:5000 ~dst:w.b.ip ~dst_port:80 with
+      | Error e -> failwith e
+      | Ok c ->
+          Tcp.write c (View.of_string data);
+          Tcp.close c;
+          Tcp.await_closed c);
+  check_bool "a full receive buffer was out on loan" true !window_closed;
+  check_str "complete delivery after the window reopened" data (Buffer.contents received)
+
+(* --- zero-copy end to end through the user-level library --------------- *)
+
+module W = Uln_core.World
+module Sockets = Uln_core.Sockets
+module Machine = Uln_host.Machine
+module Cpu = Uln_host.Cpu
+
+let userlib_zc_params = { Tcp_params.default with Tcp_params.zero_copy = true }
+
+(* A patterned transfer through the full userlib organization (registry
+   handoff, channels, the socket ops) on a clean link; returns the
+   received bytes and total segments on the wire. *)
+let userlib_transfer ~zero_copy n =
+  let params = if zero_copy then userlib_zc_params else Tcp_params.default in
+  let w = W.create ~tcp_params:params ~network:W.Ethernet ~org:Uln_core.Organization.User_library () in
+  let sched = W.sched w in
+  let data = pattern n in
+  let received = Buffer.create n in
+  let server_app = W.app w ~host:1 "sink" in
+  let client_app = W.app w ~host:0 "source" in
+  Sched.spawn sched ~name:"sink" (fun () ->
+      let l = server_app.Sockets.listen ~port:7001 in
+      let conn = l.Sockets.accept () in
+      let rec drainloop () =
+        match conn.Sockets.recv_loan ~max:65536 with
+        | None -> ()
+        | Some v ->
+            Buffer.add_string received (View.to_string v);
+            conn.Sockets.return_loan v;
+            drainloop ()
+      in
+      drainloop ();
+      conn.Sockets.close ());
+  Sched.block_on sched (fun () ->
+      match client_app.Sockets.connect ~src_port:0 ~dst:(W.host_ip w 1) ~dst_port:7001 with
+      | Error e -> failwith e
+      | Ok conn ->
+          let off = ref 0 in
+          while !off < n do
+            let len = Stdlib.min (n - !off) 997 in
+            (match conn.Sockets.alloc_tx len with
+            | Some owned ->
+                View.blit_from_string data !off owned 0 len;
+                conn.Sockets.send_owned owned
+            | None -> conn.Sockets.send (View.of_string (String.sub data !off len)));
+            off := !off + len
+          done;
+          conn.Sockets.close ();
+          conn.Sockets.await_closed ());
+  let segments =
+    match (W.host_stack w 0, W.host_stack w 1) with
+    | Some s0, Some s1 ->
+        Tcp.segments_out s0.Stack.tcp + Tcp.segments_out s1.Stack.tcp
+    | _ -> -1
+  in
+  (Buffer.contents received, data, segments, w)
+
+let test_userlib_zero_copy_end_to_end () =
+  let got_z, want, segs_z, _ = userlib_transfer ~zero_copy:true 50_000 in
+  let got_c, _, segs_c, _ = userlib_transfer ~zero_copy:false 50_000 in
+  check_str "zero-copy delivery byte-identical" want got_z;
+  check_str "copying delivery byte-identical" want got_c;
+  check "identical segment counts" segs_c segs_z
+
+let test_zero_copy_charges_no_copy_bytes () =
+  (* The accounting acceptance criterion: with [zero_copy] on, a userlib
+     bulk transfer charges zero copy time on either host — every payload
+     byte is touched exactly once, by the checksum pass. *)
+  let w =
+    W.create ~tcp_params:userlib_zc_params ~network:W.Ethernet
+      ~org:Uln_core.Organization.User_library ()
+  in
+  let r = Uln_workload.Bulk.run ~total_bytes:200_000 ~write_size:4096 w in
+  check_bool "transfer completed" true (r.Uln_workload.Bulk.bytes >= 200_000);
+  for host = 0 to 1 do
+    let cpu = (W.machine w host).Machine.cpu in
+    check (Printf.sprintf "host %d: zero copy ns" host) 0 (Cpu.copy_ns cpu);
+    check (Printf.sprintf "host %d: zero fused copy+checksum ns" host) 0
+      (Cpu.copy_checksum_ns cpu);
+    check_bool
+      (Printf.sprintf "host %d: checksum pass still charged" host)
+      true
+      (Cpu.checksum_ns cpu > 0)
+  done
+
+let test_copying_oracle_still_copies () =
+  (* The differential partner: the same transfer with [zero_copy] off
+     must charge copy time — otherwise the assertion above is vacuous. *)
+  let w =
+    W.create ~tcp_params:Tcp_params.default ~network:W.Ethernet
+      ~org:Uln_core.Organization.User_library ()
+  in
+  let r = Uln_workload.Bulk.run ~total_bytes:200_000 ~write_size:4096 w in
+  check_bool "transfer completed" true (r.Uln_workload.Bulk.bytes >= 200_000);
+  let copied =
+    (Cpu.copy_ns (W.machine w 0).Machine.cpu + Cpu.copy_checksum_ns (W.machine w 0).Machine.cpu)
+    + Cpu.copy_ns (W.machine w 1).Machine.cpu
+    + Cpu.copy_checksum_ns (W.machine w 1).Machine.cpu
+  in
+  check_bool "copying path charges copy time" true (copied > 0)
+
+(* --- bench JSON emission ----------------------------------------------- *)
+
+module Jout = Uln_workload.Jout
+
+let test_jout_non_finite () =
+  check_str "nan is null" "null" (Jout.float Float.nan);
+  check_str "+inf is null" "null" (Jout.float Float.infinity);
+  check_str "-inf is null" "null" (Jout.float Float.neg_infinity);
+  check_str "integer float" "6.0" (Jout.float 6.0);
+  check_str "none is null" "null" (Jout.opt None)
+
+let test_jout_validate () =
+  check_bool "object parses" true
+    (Jout.validate "{\"a\": [1, 2.5, null, \"x\\n\"], \"b\": {}}" = Ok ());
+  check_bool "nan literal rejected" true (Jout.validate "{\"a\": nan}" <> Ok ());
+  check_bool "trailing garbage rejected" true (Jout.validate "[1] x" <> Ok ());
+  check_bool "truncated rejected" true (Jout.validate "[1, 2" <> Ok ());
+  let row = Printf.sprintf "[{\"v\": %s, \"w\": %s}]" (Jout.float Float.nan) (Jout.float 3.25) in
+  check_bool "emitted row round-trips" true (Jout.validate row = Ok ())
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "fastpath"
@@ -402,4 +653,15 @@ let () =
       );
       ( "fused-checksum",
         [ Alcotest.test_case "transparent end to end" `Quick test_fused_checksum_transparent;
-          qc prop_fused_checksum_survives_corruption ] ) ]
+          qc prop_fused_checksum_survives_corruption ] );
+      ( "zero-copy",
+        [ qc prop_zero_copy_differential;
+          Alcotest.test_case "loan back-pressure reopens" `Quick test_loan_backpressure_reopens;
+          Alcotest.test_case "userlib end to end identical" `Quick
+            test_userlib_zero_copy_end_to_end;
+          Alcotest.test_case "charges no copy bytes" `Quick test_zero_copy_charges_no_copy_bytes;
+          Alcotest.test_case "copying oracle still copies" `Quick
+            test_copying_oracle_still_copies ] );
+      ( "bench-json",
+        [ Alcotest.test_case "non-finite floats are null" `Quick test_jout_non_finite;
+          Alcotest.test_case "validator" `Quick test_jout_validate ] ) ]

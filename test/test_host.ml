@@ -104,7 +104,62 @@ let test_shared_mem_destroy () =
     (try
        Shared_mem.assert_mapped region a;
        false
+     with Capability.Violation _ -> true);
+  check_bool "alloc after destroy rejected" true
+    (try
+       ignore (Shared_mem.alloc region a);
+       false
      with Capability.Violation _ -> true)
+
+let test_shared_mem_exhaustion () =
+  (* Running the pool dry is not an error — the caller sees [None], as a
+     driver sees an empty NIC ring — but the event is counted. *)
+  let region = Shared_mem.create ~name:"r" ~count:2 ~size:64 in
+  let a = Addr_space.create Addr_space.User "a" in
+  Shared_mem.map region a;
+  let b1 = Shared_mem.alloc region a and b2 = Shared_mem.alloc region a in
+  check_bool "two allocs succeed" true (b1 <> None && b2 <> None);
+  check "no exhaustion yet" 0 (Shared_mem.exhausted region);
+  check_bool "third alloc returns None" true (Shared_mem.alloc region a = None);
+  check_bool "fourth alloc returns None" true (Shared_mem.alloc region a = None);
+  check "exhaustion counted per failed alloc" 2 (Shared_mem.exhausted region);
+  check "all in use" 2 (Shared_mem.in_use region);
+  (match b1 with Some v -> Shared_mem.free region a v | None -> ());
+  check_bool "free replenishes" true (Shared_mem.alloc region a <> None)
+
+let test_shared_mem_double_free () =
+  let region = Shared_mem.create ~name:"r" ~count:2 ~size:64 in
+  let a = Addr_space.create Addr_space.User "a" in
+  Shared_mem.map region a;
+  match Shared_mem.alloc region a with
+  | None -> Alcotest.fail "alloc failed"
+  | Some v ->
+      Shared_mem.free region a v;
+      check_bool "double free detected" true
+        (try
+           Shared_mem.free region a v;
+           false
+         with Invalid_argument _ -> true);
+      check_bool "foreign view rejected" true
+        (try
+           Shared_mem.free region a (Uln_buf.View.create 64);
+           false
+         with Invalid_argument _ -> true)
+
+let test_shared_mem_subview_free () =
+  (* The loaning socket layer hands out [View.sub] prefixes of pool
+     buffers (a loan sized to the write); freeing through the sub-view
+     must find the backing buffer. *)
+  let region = Shared_mem.create ~name:"r" ~count:1 ~size:128 in
+  let a = Addr_space.create Addr_space.User "a" in
+  Shared_mem.map region a;
+  match Shared_mem.alloc region a with
+  | None -> Alcotest.fail "alloc failed"
+  | Some v ->
+      let sub = Uln_buf.View.sub v 0 40 in
+      check_bool "pool owns the sub-view" true (Shared_mem.owns region sub);
+      Shared_mem.free region a sub;
+      check "buffer back in the pool" 1 (Shared_mem.available region)
 
 (* --- IPC -------------------------------------------------------------------------- *)
 
@@ -170,7 +225,10 @@ let () =
       ("domains", [ Alcotest.test_case "privilege" `Quick test_domain_privilege ]);
       ( "shared_mem",
         [ Alcotest.test_case "mapping enforced" `Quick test_shared_mem_mapping_enforced;
-          Alcotest.test_case "destroy" `Quick test_shared_mem_destroy ] );
+          Alcotest.test_case "destroy" `Quick test_shared_mem_destroy;
+          Alcotest.test_case "exhaustion counted" `Quick test_shared_mem_exhaustion;
+          Alcotest.test_case "double free detected" `Quick test_shared_mem_double_free;
+          Alcotest.test_case "sub-view free" `Quick test_shared_mem_subview_free ] );
       ( "ipc",
         [ Alcotest.test_case "round trip" `Quick test_ipc_round_trip;
           Alcotest.test_case "charges time" `Quick test_ipc_charges_time;
