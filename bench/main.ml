@@ -6,7 +6,7 @@
    DESIGN.md calls out.
 
    Usage: main.exe [--json] [all|table1|table2|table3|table4|table5|
-                    figures|ablations|scale|smoke|micro]
+                    figures|ablations|scale|smp|smoke|micro]
 
    With --json each table/scale run also writes its rows to
    BENCH_<target>.json in the working directory. *)
@@ -88,6 +88,64 @@ let zc_json (rows : E.zc_row list) =
         ("mbps_zero_copy", jfloat r.E.zc_mbps_zero_copy);
         ("gain_pct", jfloat r.E.zc_gain_pct) ])
     rows
+
+let smp_json (rows : Uln_workload.Smp.result list) =
+  let module S = Uln_workload.Smp in
+  List.map
+    (fun (r : S.result) ->
+      [ ("org", jstr r.S.r_org);
+        ("locking", jstr r.S.r_locking);
+        ("cpus", jint r.S.r_cpus);
+        ("pairs", jint r.S.r_pairs);
+        ("mbps", jfloat r.S.r_mbps);
+        ("cpu0_util", jfloat r.S.r_cpu0_util);
+        ("avg_util", jfloat r.S.r_avg_util);
+        ("max_util", jfloat r.S.r_max_util);
+        ("migrations", jint r.S.r_migrations);
+        ("lock_acquisitions", jint r.S.r_lock_acquisitions);
+        ("lock_contended", jint r.S.r_lock_contended);
+        ("lock_wait_ms", jfloat (float_of_int r.S.r_lock_wait_ns /. 1e6)) ])
+    rows
+
+let print_smp_row r =
+  let module S = Uln_workload.Smp in
+  Format.fprintf ppf
+    "  %-13s %-9s cpus=%d pairs=%d %8.2f Mb/s  cpu0 %3.0f%%  avg %3.0f%%  migr %6d  contended %6d (%.2f ms)@."
+    r.S.r_org r.S.r_locking r.S.r_cpus r.S.r_pairs r.S.r_mbps
+    (100. *. r.S.r_cpu0_util) (100. *. r.S.r_avg_util) r.S.r_migrations
+    r.S.r_lock_contended
+    (float_of_int r.S.r_lock_wait_ns /. 1e6)
+
+let run_smp ?(cpu_counts = [ 1; 2; 4; 8 ]) ?(pair_counts = [ 1; 2; 4; 8 ])
+    ?(bytes_per_pair = 1_000_000) () =
+  section "SMP scaling (AN1, concurrent bulk pairs, per-CPU pinning)";
+  let module S = Uln_workload.Smp in
+  let configs =
+    [ (Uln_core.Organization.User_library, `Big_lock);
+      (Uln_core.Organization.Single_server `Mapped, `Big_lock);
+      (Uln_core.Organization.In_kernel, `Big_lock);
+      (Uln_core.Organization.In_kernel, `Per_conn) ]
+  in
+  let rows =
+    List.concat_map
+      (fun (org, locking) ->
+        List.concat_map
+          (fun cpus ->
+            List.map
+              (fun pairs ->
+                let r = S.run ~bytes_per_pair ~locking ~org ~cpus ~pairs () in
+                print_smp_row r;
+                r)
+              pair_counts)
+          cpu_counts)
+      configs
+  in
+  write_json "smp" (smp_json rows);
+  Format.fprintf ppf
+    "  (userlib and per-connection-locked kernels scale with CPUs; the@.";
+  Format.fprintf ppf
+    "   single-server organization is flat - one server serializes all pairs)@.";
+  Format.fprintf ppf "@."
 
 let run_table1 () =
   section "Table 1 (mechanism overhead, Ethernet)";
@@ -251,6 +309,7 @@ let run_contention () =
   let module World = Uln_core.World in
   let module Sockets = Uln_core.Sockets in
   let module Sched = Uln_engine.Sched in
+  let rows = ref [] in
   List.iter
     (fun pairs ->
       let w =
@@ -289,8 +348,14 @@ let run_contention () =
         /. Uln_engine.Time.to_sec_f (Uln_engine.Time.to_ns !finished)
         /. 1e6
       in
+      rows :=
+        [ ("pairs", jint pairs);
+          ("bytes_per_pair", jint bytes);
+          ("aggregate_mbps", jfloat aggregate) ]
+        :: !rows;
       Format.fprintf ppf "  %d pair(s): %6.2f Mb/s aggregate@." pairs aggregate)
     [ 1; 2; 3 ];
+  write_json "contention" (List.rev !rows);
   Format.fprintf ppf
     "  (distinct sender/receiver pairs share the 10 Mb/s medium; aggregate@.";
   Format.fprintf ppf "   approaches the wire once CPU is no longer the bottleneck)@.";
@@ -552,6 +617,13 @@ let run_smoke () =
   let zrows = E.zero_copy_ablation ~quick:true ~sizes:[ 4096 ] () in
   E.print_zero_copy ppf zrows;
   write_json "scale" (scale_json rows @ zc_json zrows);
+  (* The SMP model, driven end to end: two pinned pairs on a 2-CPU host. *)
+  let smp_row =
+    Uln_workload.Smp.run ~bytes_per_pair:200_000
+      ~org:Uln_core.Organization.User_library ~cpus:2 ~pairs:2 ()
+  in
+  print_smp_row smp_row;
+  write_json "smp" (smp_json [ smp_row ]);
   run_filteropt ();
   Format.fprintf ppf "@."
 
@@ -572,6 +644,7 @@ let () =
   | "contention" -> run_contention ()
   | "filteropt" -> run_filteropt ()
   | "scale" -> run_scale ()
+  | "smp" -> run_smp ()
   | "smoke" -> run_smoke ()
   | "micro" -> run_micro ()
   | "all" ->
@@ -581,6 +654,7 @@ let () =
       run_table4 ();
       run_table5 ();
       run_scale ();
+      run_smp ();
       run_figures ();
       run_ablations ();
       run_motivation ();
@@ -590,6 +664,6 @@ let () =
   | other ->
       Format.eprintf
         "unknown argument %s (expected [--json] \
-         all|table1..table5|figures|ablations|motivation|contention|filteropt|scale|smoke|micro)@."
+         all|table1..table5|figures|ablations|motivation|contention|filteropt|scale|smp|smoke|micro)@."
         other;
       exit 1

@@ -311,6 +311,140 @@ let bufstats_cmd =
       $ size_arg 4096 "User packet size."
       $ copying_arg)
 
+let cpustats_cmd =
+  let module Sockets = Uln_core.Sockets in
+  let module Sched = Uln_engine.Sched in
+  let module Semaphore = Uln_engine.Semaphore in
+  let module Machine = Uln_host.Machine in
+  let module Cpu = Uln_host.Cpu in
+  let module View = Uln_buf.View in
+  let run org network cpus pairs bytes per_conn top =
+    let tcp_params =
+      { Uln_proto.Tcp_params.default with
+        Uln_proto.Tcp_params.snd_buf = 65535;
+        rcv_buf = 65535;
+        smp_locking = (if per_conn then `Per_conn else `Big_lock) }
+    in
+    let w = World.create ~cpus ~tcp_params ~network ~org () in
+    let sched = World.sched w in
+    let finished = Semaphore.create () in
+    let last_rx = ref Uln_engine.Time.zero in
+    Printf.printf "cpustats: %s, %s, %d CPU(s), %d pair(s), %d bytes each%s\n"
+      (Organization.name org)
+      (match network with World.Ethernet -> "ethernet" | World.An1 -> "an1")
+      cpus pairs bytes
+      (match org with
+      | Organization.In_kernel ->
+          if per_conn then ", per-connection locks" else ", big kernel lock"
+      | _ -> "");
+    for p = 0 to pairs - 1 do
+      let cpu = p mod cpus in
+      let port = 9000 + p in
+      let sink = World.app ~cpu w ~host:1 (Printf.sprintf "sink%d" p) in
+      Sched.spawn sched ~name:(Printf.sprintf "sink%d" p) (fun () ->
+          let l = sink.Sockets.listen ~port in
+          let conn = l.Sockets.accept () in
+          let rec drain () =
+            match conn.Sockets.recv ~max:65536 with
+            | Some _ ->
+                let now = Sched.now sched in
+                if Uln_engine.Time.compare now !last_rx > 0 then last_rx := now;
+                drain ()
+            | None -> ()
+          in
+          drain ();
+          conn.Sockets.close ();
+          Semaphore.signal finished);
+      let source = World.app ~cpu w ~host:0 (Printf.sprintf "source%d" p) in
+      Sched.spawn sched ~name:(Printf.sprintf "source%d" p) (fun () ->
+          match
+            source.Sockets.connect ~src_port:0 ~dst:(World.host_ip w 1) ~dst_port:port
+          with
+          | Error e -> failwith e
+          | Ok conn ->
+              let chunk = View.create 8192 in
+              View.fill chunk 'c';
+              for _ = 1 to (bytes + 8191) / 8192 do
+                conn.Sockets.send chunk
+              done;
+              conn.Sockets.close ();
+              conn.Sockets.await_closed ())
+    done;
+    Sched.block_on sched (fun () ->
+        for _ = 1 to pairs do
+          Semaphore.wait finished
+        done);
+    (* Utilization against the transfer window (last payload byte), not
+       the minutes of simulated TIME_WAIT teardown that follow. *)
+    let now = !last_rx in
+    Printf.printf "\n%-16s %10s %6s %11s %12s\n" "cpu" "busy(ms)" "util" "migrations"
+      "penalty(ms)";
+    for h = 0 to World.num_hosts w - 1 do
+      Array.iter
+        (fun c ->
+          Printf.printf "%-16s %10.2f %5.1f%% %11d %12.2f\n" (Cpu.name c)
+            (float_of_int (Cpu.busy_ns c) /. 1e6)
+            (100. *. Cpu.utilization c now)
+            (Cpu.migrations c)
+            (float_of_int (Cpu.migrate_ns c) /. 1e6))
+        (World.machine w h).Machine.cpus
+    done;
+    (match World.netio w 1 with
+    | Some n ->
+        Printf.printf "rx-ring steering migrations (host1 netio): %d\n"
+          (Uln_core.Netio.migrations n)
+    | None -> ());
+    let locks =
+      List.sort
+        (fun (a : Semaphore.stats) b ->
+          compare b.Semaphore.s_total_wait_ns a.Semaphore.s_total_wait_ns)
+        (Semaphore.registered ~sched ())
+    in
+    let contended = List.filter (fun s -> s.Semaphore.s_contended > 0) locks in
+    if contended = [] then print_string "\nno contended locks\n"
+    else begin
+      Printf.printf "\ntop contended locks (of %d named):\n" (List.length locks);
+      Printf.printf "%-28s %-10s %10s %10s %10s %9s\n" "lock" "kind" "acquis."
+        "contended" "wait(ms)" "max(ms)";
+      List.iteri
+        (fun i (s : Semaphore.stats) ->
+          if i < top then
+            Printf.printf "%-28s %-10s %10d %10d %10.2f %9.2f\n" s.Semaphore.s_name
+              s.Semaphore.s_kind s.Semaphore.s_acquisitions s.Semaphore.s_contended
+              (float_of_int s.Semaphore.s_total_wait_ns /. 1e6)
+              (float_of_int s.Semaphore.s_max_wait_ns /. 1e6))
+        contended
+    end
+  in
+  let cpus_arg =
+    Arg.(value & opt int 2 & info [ "c"; "cpus" ] ~docv:"N" ~doc:"Simulated CPUs per host.")
+  in
+  let pairs_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "p"; "pairs" ] ~docv:"N" ~doc:"Concurrent sender/sink pairs (pinned round-robin).")
+  in
+  let per_conn_arg =
+    Arg.(
+      value & flag
+      & info [ "per-conn" ]
+          ~doc:"In-kernel locking ablation: per-connection locks instead of the big kernel lock.")
+  in
+  let top_arg =
+    Arg.(value & opt int 8 & info [ "top" ] ~docv:"K" ~doc:"Contended locks to list.")
+  in
+  Cmd.v
+    (Cmd.info "cpustats"
+       ~doc:
+         "Run pinned concurrent transfers on a multiprocessor host and print per-CPU \
+          utilization, cross-CPU packet migrations, and the most contended locks.")
+    Term.(
+      const run $ org_arg $ Arg.(value & opt network_conv World.An1
+      & info [ "n"; "network" ] ~docv:"NET" ~doc:"Network: ethernet (10 Mb/s) or an1 (100 Mb/s).")
+      $ cpus_arg $ pairs_arg
+      $ Arg.(value & opt int 1_000_000 & info [ "b"; "bytes" ] ~docv:"BYTES" ~doc:"Bytes per pair.")
+      $ per_conn_arg $ top_arg)
+
 let filter_lint_cmd =
   let open Uln_filter in
   let ip_local = Uln_addr.Ip.of_string "10.0.0.1" in
@@ -425,4 +559,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ throughput_cmd; latency_cmd; setup_cmd; orgs_cmd; table_cmd; snoop_cmd; rrp_cmd;
-            bufstats_cmd; filter_lint_cmd ]))
+            bufstats_cmd; cpustats_cmd; filter_lint_cmd ]))

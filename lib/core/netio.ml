@@ -41,6 +41,12 @@ type channel = {
   mutable tx_batches : int; (* kernel drains (fast_trap charges) *)
   mutable tx_sync_fallbacks : int; (* ring-full synchronous sends *)
   tx_batch_hist : (int, int) Hashtbl.t; (* batch size -> occurrences *)
+  (* Receive flow steering: the CPU index this channel's processing is
+     pinned to, and the CPU its last packet was handled on (-1 before
+     the first).  A delivery whose home differs from [last_cpu] is a
+     migration and pays the cache-affinity penalty. *)
+  mutable affinity : int;
+  mutable last_cpu : int;
 }
 
 type t = {
@@ -55,6 +61,7 @@ type t = {
   mutable hw_demuxed : int;
   mutable sw_demuxed : int;
   mutable overlap_flags : int;
+  mutable migrations : int;
   demux_cost : Stats.Dist.t;
 }
 
@@ -65,6 +72,8 @@ let unmatched_drops t = t.unmatched
 let demux_cost_dist t = t.demux_cost
 let rx_sem ch = ch.sem
 let channel_bqi ch = ch.bqi
+let channel_affinity ch = ch.affinity
+let home_cpu t ch = Machine.cpu_at t.machine ch.affinity
 
 let require_privileged caller op =
   if not (Addr_space.is_privileged caller) then
@@ -73,14 +82,30 @@ let require_privileged caller op =
          (Printf.sprintf "%s: domain %s is not privileged" op (Addr_space.name caller)))
 
 (* Queue a frame into a channel's shared ring, signalling the semaphore
-   only on the empty->non-empty transition (notification batching). *)
+   only on the empty->non-empty transition (notification batching).
+   Delivery work lands on the channel's home CPU; if the flow last ran
+   on a different CPU this handoff pays the cache-affinity penalty
+   there.  On a 1-CPU machine home = last = the boot CPU and the charge
+   sequence is exactly the pre-SMP one. *)
 let deliver t ch frame =
   let costs = t.machine.Machine.costs in
+  let home = home_cpu t ch in
+  let migrate =
+    if ch.last_cpu >= 0 && ch.last_cpu <> Cpu.id home then begin
+      t.migrations <- t.migrations + 1;
+      Cpu.note_migration home costs.Costs.cpu_migrate_ns;
+      costs.Costs.cpu_migrate_ns
+    end
+    else 0
+  in
+  ch.last_cpu <- Cpu.id home;
   let was_empty = Ring.is_empty ch.rx_ring in
   if Ring.push ch.rx_ring frame then begin
     if was_empty then
-      Cpu.use_async t.machine.Machine.cpu costs.Costs.semaphore_signal (fun () ->
-          Semaphore.signal ch.sem)
+      Cpu.use_async home
+        (Time.span_add (Time.ns migrate) costs.Costs.semaphore_signal)
+        (fun () -> Semaphore.signal ch.sem)
+    else if migrate > 0 then Cpu.use_async home (Time.ns migrate) (fun () -> ())
   end
   else t.overflows <- t.overflows + 1
 
@@ -97,6 +122,7 @@ let create machine nic ~mode ?(flow_cache = false) () =
       hw_demuxed = 0;
       sw_demuxed = 0;
       overlap_flags = 0;
+      migrations = 0;
       demux_cost = Stats.Dist.create (machine.Machine.name ^ ".demux_us") }
   in
   let costs = machine.Machine.costs in
@@ -107,7 +133,9 @@ let create machine nic ~mode ?(flow_cache = false) () =
         (* Hardware demultiplexing: only device management to charge. *)
         t.hw_demuxed <- t.hw_demuxed + 1;
         Stats.Dist.record t.demux_cost (Time.to_us_f costs.Costs.demux_hardware);
-        Cpu.use_async machine.Machine.cpu costs.Costs.demux_hardware (fun () ->
+        (* Device management runs on the channel's home CPU — the
+           hardware (BQI) steered the interrupt there. *)
+        Cpu.use_async (home_cpu t ch) costs.Costs.demux_hardware (fun () ->
             deliver ch info.Nic.frame;
             (* The DMA buffer's bytes now live in the shared ring entry;
                the buffer itself returns to the pool for re-provisioning. *)
@@ -120,7 +148,7 @@ let create machine nic ~mode ?(flow_cache = false) () =
         (* Software path: run the filter table over the wire bytes. *)
         t.sw_demuxed <- t.sw_demuxed + 1;
         let wire = Frame.to_wire info.Nic.frame in
-        let target, cycles = Demux.dispatch t.demux wire in
+        let target, cycles = Demux.dispatch_steered t.demux wire in
         let cost =
           Time.span_add Calibration.netio_demux_overhead
             (Time.ns (cycles * costs.Costs.cycle_ns))
@@ -129,11 +157,25 @@ let create machine nic ~mode ?(flow_cache = false) () =
         Cpu.use_async machine.Machine.cpu
           (Time.span_add costs.Costs.drv_rx cost)
           (fun () ->
+            (* The filter ran on the interrupt CPU; [deliver] hands the
+               frame to the endpoint's home CPU (the recorded affinity
+               rides on the channel itself, so a re-installed endpoint
+               can never land on a stale CPU's queue). *)
             match target with
-            | Some ch when ch.active && not ch.destroyed -> deliver ch info.Nic.frame
+            | Some (ch, _affinity) when ch.active && not ch.destroyed ->
+                deliver ch info.Nic.frame
             | Some _ | None -> t.unmatched <- t.unmatched + 1)
   in
   nic.Nic.install_rx rx;
+  (* Hardware-demultiplexed frames steer their interrupt + DMA-touch
+     cost straight to the owning channel's home CPU; everything else
+     (BQI 0, unknown rings) interrupts the boot CPU. *)
+  nic.Nic.install_rx_steer (fun (info : Nic.rx_info) ->
+      if info.Nic.bqi > 0 then
+        match Hashtbl.find_opt t.by_bqi info.Nic.bqi with
+        | Some ch when ch.active -> Some (home_cpu t ch)
+        | _ -> None
+      else None);
   t
 
 let create_channel t ~caller ~owner ~use_bqi =
@@ -168,7 +210,8 @@ let create_channel t ~caller ~owner ~use_bqi =
       owner;
       region;
       rx_ring = Ring.create ~capacity:Calibration.channel_ring_slots;
-      sem = Semaphore.create ();
+      sem =
+        Semaphore.create ~name:(name ^ ".rx_sem") ~sched:t.machine.Machine.sched ();
       bqi;
       template = None;
       filters = [];
@@ -180,7 +223,9 @@ let create_channel t ~caller ~owner ~use_bqi =
       tx_doorbells = 0;
       tx_batches = 0;
       tx_sync_fallbacks = 0;
-      tx_batch_hist = Hashtbl.create 8 }
+      tx_batch_hist = Hashtbl.create 8;
+      affinity = 0;
+      last_cpu = -1 }
   in
   if bqi > 0 then Hashtbl.replace t.by_bqi bqi ch;
   Uln_engine.Trace.debugf t.machine.Machine.sched "netio" "created chan%d (owner %s, bqi %d)"
@@ -211,7 +256,7 @@ let add_filter t ~caller ch program =
       t.overlap_flags <- t.overlap_flags + 1;
       Uln_engine.Trace.infof t.machine.Machine.sched "netio" "filter overlap on chan%d: %s" ch.id
         desc);
-  match Demux.install t.demux program ch with
+  match Demux.install ~affinity:ch.affinity t.demux program ch with
   | Ok k ->
       ch.filters <- k :: ch.filters;
       k
@@ -266,7 +311,8 @@ let destroy_channel t ~caller ch =
 
 let send t ch ~from_domain frame =
   let costs = t.machine.Machine.costs in
-  Cpu.use t.machine.Machine.cpu costs.Costs.fast_trap;
+  let cpu = home_cpu t ch in
+  Cpu.use cpu costs.Costs.fast_trap;
   Capability.deref ch.gate;
   if not ch.active then raise (Capability.Violation "Netio.send: channel not activated");
   if not (Addr_space.equal from_domain ch.owner || Addr_space.is_privileged from_domain)
@@ -274,8 +320,7 @@ let send t ch ~from_domain frame =
   match ch.template with
   | None -> raise (Capability.Violation "Netio.send: no template")
   | Some tpl ->
-      Cpu.use t.machine.Machine.cpu
-        (Time.ns (Template.check_cycles tpl * costs.Costs.cycle_ns));
+      Cpu.use cpu (Time.ns (Template.check_cycles tpl * costs.Costs.cycle_ns));
       let wire = Frame.to_wire frame in
       if not (Template.matches tpl wire) then begin
         t.rejected <- t.rejected + 1;
@@ -289,6 +334,7 @@ let send t ch ~from_domain frame =
         if Addr_space.is_privileged from_domain && frame.Frame.bqi <> 0 then frame.Frame.bqi
         else Template.bqi tpl
       in
+      t.nic.Nic.set_tx_cpu (Some cpu);
       t.nic.Nic.send { frame with Frame.bqi }
 
 (* Transmit one descriptor from kernel context during a batch drain.
@@ -296,24 +342,28 @@ let send t ch ~from_domain frame =
    application thread that rang the doorbell is long gone. *)
 let transmit_one t ch frame =
   let costs = t.machine.Machine.costs in
+  let cpu = home_cpu t ch in
   match ch.template with
   | None -> t.rejected <- t.rejected + 1
   | Some tpl ->
-      Cpu.use t.machine.Machine.cpu
-        (Time.ns (Template.check_cycles tpl * costs.Costs.cycle_ns));
+      Cpu.use cpu (Time.ns (Template.check_cycles tpl * costs.Costs.cycle_ns));
       let wire = Frame.to_wire frame in
       if not (Template.matches tpl wire) then begin
         t.rejected <- t.rejected + 1;
         Uln_engine.Trace.infof t.machine.Machine.sched "netio"
           "batched send rejected on chan%d: header does not match template" ch.id
       end
-      else t.nic.Nic.send { frame with Frame.bqi = Template.bqi tpl }
+      else begin
+        t.nic.Nic.set_tx_cpu (Some cpu);
+        t.nic.Nic.send { frame with Frame.bqi = Template.bqi tpl }
+      end
 
 let rec drain_tx t ch =
   let costs = t.machine.Machine.costs in
   (* One kernel entry covers every descriptor present — including any
-     rung in while earlier frames of this batch were transmitting. *)
-  Cpu.use t.machine.Machine.cpu costs.Costs.fast_trap;
+     rung in while earlier frames of this batch were transmitting.  The
+     drain runs on the channel's home CPU (where the doorbell rang). *)
+  Cpu.use (home_cpu t ch) costs.Costs.fast_trap;
   let count = ref 0 in
   let rec pump () =
     match Ring.pop ch.tx_ring with
@@ -342,7 +392,7 @@ let send_batched t ch ~from_domain frame =
   (* The user-space half: write a descriptor into the shared ring and
      ring the doorbell.  No kernel boundary here — the fast_trap is
      paid once per batch by the drain. *)
-  Cpu.use t.machine.Machine.cpu costs.Costs.doorbell;
+  Cpu.use (home_cpu t ch) costs.Costs.doorbell;
   Capability.deref ch.gate;
   if not ch.active then
     raise (Capability.Violation "Netio.send_batched: channel not activated");
@@ -394,6 +444,19 @@ let inject t ~caller ch frame =
   (* Channels may receive forwarded traffic between creation and
      activation (the handoff window); only destruction refuses it. *)
   if not ch.destroyed then deliver t ch frame
+
+(* Re-pin a channel (its library thread moved, or the endpoint was
+   re-installed with a new affinity).  The demux entries are re-tagged —
+   which flushes the flow cache — so no dispatch after this returns can
+   name the old CPU, and the channel's own [affinity] is what [deliver]
+   consults, so queued history cannot steer stale either. *)
+let set_channel_affinity t ch cpu =
+  if ch.affinity <> cpu then begin
+    ch.affinity <- cpu;
+    List.iter (fun k -> Demux.set_affinity t.demux k cpu) ch.filters
+  end
+
+let migrations t = t.migrations
 
 let ring_overflows t = t.overflows
 let hw_demuxed t = t.hw_demuxed

@@ -53,6 +53,22 @@ val channel_bqi : channel -> int
 (** The local receive BQI (0 when none): the value the peer must stamp
     on this connection's packets, carried to it in the handshake. *)
 
+val channel_affinity : channel -> int
+(** The CPU index this channel's receive processing is pinned to
+    (default 0). *)
+
+val set_channel_affinity : t -> channel -> int -> unit
+(** Re-pin a channel: subsequent deliveries charge (and wake) on the
+    new CPU, and every demux entry of the channel is re-tagged — which
+    flushes the flow cache, so no dispatch can steer to the old CPU.
+    The first delivery after a change pays [Costs.cpu_migrate_ns] on
+    the new CPU.  A no-op when the index is unchanged, and on a 1-CPU
+    machine every index maps to the boot CPU. *)
+
+val migrations : t -> int
+(** Cross-CPU deliveries: packets whose channel's home CPU differed
+    from the CPU the flow last ran on. *)
+
 val activate :
   t ->
   caller:Uln_host.Addr_space.t ->

@@ -5,7 +5,14 @@
     BSD small-mbuf chaining) or page remap (larger writes).  Because the
     kernel outlives applications, connection state needs no inheritance
     machinery: {!Sockets.app}'s [exit_app] is a no-op and applications
-    close connections explicitly. *)
+    close connections explicitly.
+
+    On a multiprocessor machine the kernel runs one stack per CPU with
+    port-based receive steering, under the locking discipline chosen by
+    {!Uln_proto.Tcp_params.smp_locking} ([`Big_lock] serializes all
+    netisr processing; [`Per_conn] runs stacks in parallel).  A 1-CPU
+    machine takes the original single-stack, lock-free path,
+    byte-identically. *)
 
 type t
 
@@ -17,7 +24,13 @@ val create :
   unit ->
   t
 
-val app : t -> name:string -> Sockets.app
+val app : ?cpu:int -> t -> name:string -> Sockets.app
+(** [cpu] (default 0) is the CPU the application runs on: its syscall
+    charges land there and its sockets live on (and steer inbound
+    traffic to) that CPU's stack.  Ignored on a 1-CPU machine. *)
 
 val stack : t -> Uln_proto.Stack.t
-(** The kernel stack (for statistics). *)
+(** The boot CPU's kernel stack (for statistics). *)
+
+val num_stacks : t -> int
+(** Per-CPU stacks in this kernel (1 on a uniprocessor). *)

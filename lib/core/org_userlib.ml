@@ -11,10 +11,10 @@ let create machine nic ~ip ~mode ?flow_cache ?tcp_params () =
   let registry = Registry.create machine netio ~ip ?tcp_params () in
   { machine; netio; registry; ip; tcp_params }
 
-let library t ~name =
-  Protolib.create t.machine t.netio t.registry ~name ~ip:t.ip ?tcp_params:t.tcp_params ()
+let library ?cpu t ~name =
+  Protolib.create t.machine t.netio t.registry ~name ~ip:t.ip ?tcp_params:t.tcp_params ?cpu ()
 
-let app t ~name = Protolib.app (library t ~name)
+let app ?cpu t ~name = Protolib.app (library ?cpu t ~name)
 
 let netio t = t.netio
 let registry t = t.registry

@@ -19,10 +19,11 @@ val create :
     the network I/O module (the filter ablation); [flow_cache] (default
     [false]) puts the exact-match flow cache in front of it. *)
 
-val app : t -> name:string -> Sockets.app
-(** A new application with its own address space and linked library. *)
+val app : ?cpu:int -> t -> name:string -> Sockets.app
+(** A new application with its own address space and linked library.
+    [cpu] (default 0) pins the library to that CPU of the machine. *)
 
-val library : t -> name:string -> Protolib.t
+val library : ?cpu:int -> t -> name:string -> Protolib.t
 (** The underlying library instance (needed for connection passing). *)
 
 val netio : t -> Netio.t

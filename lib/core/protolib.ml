@@ -44,13 +44,20 @@ type t = {
   host_ip : Ip.t;
   dom : Addr_space.t;
   tcp_params : Uln_proto.Tcp_params.t option;
+  (* The application CPU this library is pinned to: every charge the
+     library makes (engine, socket ops, receive threads) lands on it,
+     and the channels it adopts are steered there.  Index 0 — the
+     default, and everything on a 1-CPU machine — is the boot CPU. *)
+  cpu_idx : int;
+  cpu : Uln_host.Cpu.t;
   mutable conns : lib_conn list;
 }
 
 let domain t = t.dom
 let live_connections t = List.length t.conns
+let cpu t = t.cpu
 
-let charge t span = Cpu.use t.machine.Machine.cpu span
+let charge t span = Cpu.use t.cpu span
 let costs t = t.machine.Machine.costs
 
 (* Connectionless endpoints answer arbitrary peers, so they learn link
@@ -86,8 +93,11 @@ let release t lc =
 let adopt_parts t ?params ~snapshot ~channel ~remote_mac () =
   let m = t.machine in
   let nic = Netio.nic t.netio in
+  (* Pin the channel to this library's CPU before anything else runs:
+     rx notification, send charges and the engine all move with it. *)
+  Netio.set_channel_affinity t.netio channel t.cpu_idx;
   let env =
-    Proto_env.create m.Machine.sched m.Machine.cpu m.Machine.costs
+    Proto_env.create m.Machine.sched t.cpu m.Machine.costs
       ~rng:(Rng.split m.Machine.rng) ()
   in
   let tcp_params = match params with Some p -> Some p | None -> t.tcp_params in
@@ -211,8 +221,8 @@ let adopt_parts t ?params ~snapshot ~channel ~remote_mac () =
   let charge_crossing len =
     if len < Calibration.copy_eliminate_threshold then begin
       let span = Time.ns (len * c.Costs.copy_per_byte_ns) in
-      Cpu.note_data m.Machine.cpu Cpu.Copy span;
-      Cpu.use m.Machine.cpu span
+      Cpu.note_data t.cpu Cpu.Copy span;
+      Cpu.use t.cpu span
     end
     else charge t (Time.span_scale c.Costs.vm_remap ((len + 4095) / 4096))
   in
@@ -297,7 +307,7 @@ let pass_connection t ops ~to_lib =
       Netio.transfer_channel t.netio lc.channel ~from_domain:t.dom ~to_domain:to_lib.dom;
       adopt_parts to_lib ~snapshot ~channel:lc.channel ~remote_mac ()
 
-let create machine netio registry ~name ~ip ?tcp_params () =
+let create machine netio registry ~name ~ip ?tcp_params ?(cpu = 0) () =
   { machine;
     netio;
     registry;
@@ -305,6 +315,8 @@ let create machine netio registry ~name ~ip ?tcp_params () =
     host_ip = ip;
     dom = Machine.new_user_domain machine name;
     tcp_params;
+    cpu_idx = cpu;
+    cpu = Machine.cpu_at machine cpu;
     conns = [] }
 
 let connect ?params t ~src_port ~dst ~dst_port =
@@ -341,8 +353,9 @@ let udp_bind t ~port =
       let m = t.machine in
       let nic = Netio.nic t.netio in
       let c = costs t in
+      Netio.set_channel_affinity t.netio channel t.cpu_idx;
       let env =
-        Proto_env.create m.Machine.sched m.Machine.cpu m.Machine.costs
+        Proto_env.create m.Machine.sched t.cpu m.Machine.costs
           ~rng:(Rng.split m.Machine.rng) ()
       in
       let tx frame = Netio.send t.netio channel ~from_domain:t.dom frame in
@@ -412,8 +425,9 @@ let rrp_endpoint t ~is_server ~port =
       let m = t.machine in
       let nic = Netio.nic t.netio in
       let c = costs t in
+      Netio.set_channel_affinity t.netio channel t.cpu_idx;
       let env =
-        Proto_env.create m.Machine.sched m.Machine.cpu m.Machine.costs
+        Proto_env.create m.Machine.sched t.cpu m.Machine.costs
           ~rng:(Rng.split m.Machine.rng) ()
       in
       let tx frame = Netio.send t.netio channel ~from_domain:t.dom frame in

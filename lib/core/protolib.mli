@@ -22,9 +22,13 @@ val create :
   name:string ->
   ip:Uln_addr.Ip.t ->
   ?tcp_params:Uln_proto.Tcp_params.t ->
+  ?cpu:int ->
   unit ->
   t
-(** Instantiate the library for one application. *)
+(** Instantiate the library for one application.  [cpu] (default 0)
+    pins the library — its engine charges, receive threads and the
+    channels it adopts — to that CPU of the machine; on a 1-CPU
+    machine every index is the boot CPU. *)
 
 val app : t -> Sockets.app
 (** The application-facing socket interface. *)
@@ -52,6 +56,9 @@ val pass_connection : t -> Sockets.conn -> to_lib:t -> Sockets.conn
     ESTABLISHED. *)
 
 val domain : t -> Uln_host.Addr_space.t
+
+val cpu : t -> Uln_host.Cpu.t
+(** The CPU this library is pinned to. *)
 
 val live_connections : t -> int
 

@@ -40,13 +40,13 @@ let nic t i = t.hosts.(i).h_nic
 
 let create ?(costs = Costs.r3000) ?(seed = 1) ?(demux_mode = Demux.Interpreted)
     ?(flow_cache = false) ?(tcp_params = Uln_proto.Tcp_params.default) ?(num_hosts = 2)
-    ?an1_mtu ~network ~org () =
+    ?(cpus = 1) ?an1_mtu ~network ~org () =
   let sched = Sched.create () in
   let the_link = match network with Ethernet -> Link.ethernet sched | An1 -> Link.an1 sched in
   let mk_host i =
     let name = Printf.sprintf "host%d" i in
     let machine =
-      Machine.create sched ~name ~costs ~rng:(Rng.create ~seed:(seed + (i * 7919)))
+      Machine.create ~cpus sched ~name ~costs ~rng:(Rng.create ~seed:(seed + (i * 7919)))
     in
     let mac = Mac.of_int (0x080020000000 + i + 1) in
     let h_nic =
@@ -73,18 +73,18 @@ let create ?(costs = Costs.r3000) ?(seed = 1) ?(demux_mode = Demux.Interpreted)
     hosts = Array.init num_hosts mk_host;
     tcp_params }
 
-let app t ~host name =
+let app ?cpu t ~host name =
   match t.hosts.(host).impl with
-  | K k -> Org_inkernel.app k ~name
+  | K k -> Org_inkernel.app ?cpu k ~name
   | S s -> Org_single_server.app s ~name
   | D d -> Org_dedicated.app d ~name
-  | U u -> Org_userlib.app u ~name
+  | U u -> Org_userlib.app ?cpu u ~name
 
 let netio t i = match t.hosts.(i).impl with U u -> Some (Org_userlib.netio u) | _ -> None
 
-let library t ~host name =
+let library ?cpu t ~host name =
   match t.hosts.(host).impl with
-  | U u -> Some (Org_userlib.library u ~name)
+  | U u -> Some (Org_userlib.library ?cpu u ~name)
   | K _ | S _ | D _ -> None
 
 let registry t i =

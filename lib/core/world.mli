@@ -15,13 +15,16 @@ val create :
   ?flow_cache:bool ->
   ?tcp_params:Uln_proto.Tcp_params.t ->
   ?num_hosts:int ->
+  ?cpus:int ->
   ?an1_mtu:int ->
   network:network ->
   org:Organization.t ->
   unit ->
   t
 (** Defaults: calibrated R3000 costs, seed 1, interpreted filters,
-    flow cache off, default TCP parameters, 2 hosts.  [flow_cache]
+    flow cache off, default TCP parameters, 2 hosts, 1 CPU per host.
+    [cpus] gives every host that many simulated processors (the SMP
+    model); 1 reproduces the paper's uniprocessor testbed exactly.  [flow_cache]
     enables the exact-match demux cache in the user-library
     organization's network I/O module (an ablation; ignored by the
     others).  [an1_mtu] overrides the AN1 driver's 1500-byte
@@ -38,13 +41,17 @@ val host_ip : t -> int -> Uln_addr.Ip.t
 val machine : t -> int -> Uln_host.Machine.t
 val nic : t -> int -> Uln_net.Nic.t
 
-val app : t -> host:int -> string -> Sockets.app
-(** A new application on a host. *)
+val app : ?cpu:int -> t -> host:int -> string -> Sockets.app
+(** A new application on a host.  [cpu] (default 0) pins it — and, in
+    the in-kernel and user-library organizations, its protocol
+    processing — to that CPU of the host.  The single-server and
+    dedicated-server organizations ignore it: their server processes
+    stay on the boot CPU regardless of machine size. *)
 
 val netio : t -> int -> Netio.t option
 (** The network I/O module (user-library organization only). *)
 
-val library : t -> host:int -> string -> Protolib.t option
+val library : ?cpu:int -> t -> host:int -> string -> Protolib.t option
 (** A fresh protocol-library instance on a host (user-library
     organization only) — exposes {!Protolib.pass_connection} in addition
     to the socket interface. *)

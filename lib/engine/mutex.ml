@@ -1,6 +1,9 @@
 type t = { sem : Semaphore.t; mutable held : bool }
 
-let create () = { sem = Semaphore.create ~initial:1 (); held = false }
+let create ?name ?sched () =
+  { sem = Semaphore.create ?name ?sched ~kind:"mutex" ~initial:1 (); held = false }
+
+let stats t = Semaphore.stats t.sem
 
 let lock t =
   Semaphore.wait t.sem;

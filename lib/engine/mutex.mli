@@ -7,7 +7,13 @@
 
 type t
 
-val create : unit -> t
+val create : ?name:string -> ?sched:Sched.t -> unit -> t
+(** [~name] registers the lock for {!Semaphore.registered} (with kind
+    ["mutex"]); [~sched] enables contended-wait timing. *)
+
+val stats : t -> Semaphore.stats
+(** Acquisition/contention counters of the underlying semaphore. *)
+
 val lock : t -> unit
 (** Block until the mutex is available, then take it. *)
 

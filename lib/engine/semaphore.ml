@@ -1,6 +1,47 @@
-type t = { mutable count : int; waiting : Sched.waker Queue.t }
+type stats = {
+  s_name : string;
+  s_kind : string;
+  s_acquisitions : int;
+  s_contended : int;
+  s_total_wait_ns : int;
+  s_max_wait_ns : int;
+  s_wait_us : Stats.Dist.t;
+}
 
-let create ?(initial = 0) () = { count = initial; waiting = Queue.create () }
+type t = {
+  mutable count : int;
+  waiting : Sched.waker Queue.t;
+  name : string option;
+  kind : string;
+  sched : Sched.t option;
+  mutable acquisitions : int;
+  mutable contended : int;
+  mutable total_wait_ns : int;
+  mutable max_wait_ns : int;
+  wait_us : Stats.Dist.t;
+}
+
+(* Named semaphores register themselves so tools can report the most
+   contended locks of a run without threading every lock handle through
+   the call graph.  The list is append-only; queries filter by
+   scheduler so coexisting worlds don't see each other's locks. *)
+let registry : t list ref = ref []
+
+let create ?name ?sched ?(kind = "semaphore") ?(initial = 0) () =
+  let t =
+    { count = initial;
+      waiting = Queue.create ();
+      name;
+      kind;
+      sched;
+      acquisitions = 0;
+      contended = 0;
+      total_wait_ns = 0;
+      max_wait_ns = 0;
+      wait_us = Stats.Dist.create (Option.value name ~default:"" ^ ".wait_us") }
+  in
+  if name <> None then registry := t :: !registry;
+  t
 
 let count t = t.count
 let waiters t = Queue.length t.waiting
@@ -12,12 +53,44 @@ let signal t =
     wake ()
 
 let wait t =
+  t.acquisitions <- t.acquisitions + 1;
   if t.count > 0 then t.count <- t.count - 1
-  else Sched.suspend (fun wake -> Queue.push wake t.waiting)
+  else begin
+    t.contended <- t.contended + 1;
+    match t.sched with
+    | None -> Sched.suspend (fun wake -> Queue.push wake t.waiting)
+    | Some s ->
+        let t0 = Sched.now s in
+        Sched.suspend (fun wake -> Queue.push wake t.waiting);
+        let dt = Time.diff (Sched.now s) t0 in
+        t.total_wait_ns <- t.total_wait_ns + dt;
+        if dt > t.max_wait_ns then t.max_wait_ns <- dt;
+        Stats.Dist.record t.wait_us (float_of_int dt /. 1_000.)
+  end
 
 let try_wait t =
   if t.count > 0 then begin
     t.count <- t.count - 1;
+    t.acquisitions <- t.acquisitions + 1;
     true
   end
   else false
+
+let stats t =
+  { s_name = Option.value t.name ~default:"<anon>";
+    s_kind = t.kind;
+    s_acquisitions = t.acquisitions;
+    s_contended = t.contended;
+    s_total_wait_ns = t.total_wait_ns;
+    s_max_wait_ns = t.max_wait_ns;
+    s_wait_us = t.wait_us }
+
+let same_sched sched t =
+  match sched with
+  | None -> true
+  | Some s -> ( match t.sched with Some s' -> s' == s | None -> false)
+
+let registered ?sched () = List.rev_map stats (List.filter (same_sched sched) !registry)
+
+let reset_registered ?sched () =
+  registry := List.filter (fun t -> not (same_sched sched t)) !registry

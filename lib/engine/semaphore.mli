@@ -3,12 +3,32 @@
     This is the "lightweight semaphore" of the paper's protocol library:
     the network I/O module signals it on packet arrival and a library
     thread waits on it.  Signals accumulate in a counter, so notification
-    batching (several packets per signal) falls out naturally. *)
+    batching (several packets per signal) falls out naturally.
+
+    Semaphores also carry contention accounting: every {!wait} is an
+    acquisition, a wait that blocks is a contended acquisition, and when
+    the semaphore knows its scheduler the time spent blocked is tallied
+    (total, max, and a per-lock distribution in microseconds).  Named
+    semaphores appear in a global registry so tools can rank the most
+    contended locks of a run. *)
 
 type t
 
-val create : ?initial:int -> unit -> t
-(** A semaphore with the given initial count (default 0). *)
+type stats = {
+  s_name : string;
+  s_kind : string;  (** ["semaphore"], or ["mutex"] when wrapped by {!Mutex}. *)
+  s_acquisitions : int;
+  s_contended : int;  (** Acquisitions that had to block. *)
+  s_total_wait_ns : int;
+  s_max_wait_ns : int;
+  s_wait_us : Stats.Dist.t;  (** Per-blocked-wait histogram, microseconds. *)
+}
+
+val create : ?name:string -> ?sched:Sched.t -> ?kind:string -> ?initial:int -> unit -> t
+(** A semaphore with the given initial count (default 0).  Passing
+    [~name] registers it for {!registered}; passing [~sched] enables
+    wait-time accounting (reading the clock only — no effect on the
+    simulation). *)
 
 val count : t -> int
 (** Current count (signals not yet consumed). *)
@@ -24,3 +44,14 @@ val wait : t -> unit
 
 val try_wait : t -> bool
 (** Non-blocking wait: [true] and decrements if the count was positive. *)
+
+val stats : t -> stats
+(** Contention counters so far.  Wait-time fields stay 0 unless the
+    semaphore was created with [~sched]. *)
+
+val registered : ?sched:Sched.t -> unit -> stats list
+(** Stats for every named semaphore (and mutex) created so far, in
+    creation order; [?sched] restricts to locks of one scheduler. *)
+
+val reset_registered : ?sched:Sched.t -> unit -> unit
+(** Drop registry entries (all, or those of one scheduler). *)

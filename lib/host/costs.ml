@@ -36,6 +36,7 @@ type t = {
   ip_input : Time.span;
   arp_lookup : Time.span;
   timer_op : Time.span;
+  cpu_migrate_ns : int;
 }
 
 (* Calibrated against the paper's Tables 1-5 for a 25 MHz R3000.  See
@@ -75,7 +76,8 @@ let r3000 =
     ip_output = Time.us 25;
     ip_input = Time.us 25;
     arp_lookup = Time.us 5;
-    timer_op = Time.us 8 }
+    timer_op = Time.us 8;
+    cpu_migrate_ns = 18_000 }
 
 let zero =
   { cycle_ns = 0;
@@ -112,7 +114,8 @@ let zero =
     ip_output = 0;
     ip_input = 0;
     arp_lookup = 0;
-    timer_op = 0 }
+    timer_op = 0;
+    cpu_migrate_ns = 0 }
 
 let pp ppf c =
   Format.fprintf ppf

@@ -87,6 +87,14 @@ type t = {
   ip_input : Uln_engine.Time.span;
   arp_lookup : Uln_engine.Time.span;
   timer_op : Uln_engine.Time.span;  (** arm/disarm a protocol timer *)
+  (* --- multiprocessor --- *)
+  cpu_migrate_ns : int;
+      (** cache-affinity penalty when a flow's packet is steered to a
+          different CPU than the flow last ran on: refilling the
+          connection's working set (PCB, socket buffers, headers) from
+          memory or a remote cache.  Charged once per handoff, on the
+          destination CPU.  Irrelevant (never charged) on a 1-CPU
+          machine. *)
 }
 
 val r3000 : t

@@ -7,6 +7,7 @@ type data_kind = Copy | Checksum | Copy_checksum
 type t = {
   sched : Sched.t;
   name : string;
+  id : int;
   mutable free_at : Time.t;
   busy : Stats.Counter.t;
   (* Per-category data-movement tallies: how much of the busy time went
@@ -16,18 +17,26 @@ type t = {
   mutable copy_ns : int;
   mutable checksum_ns : int;
   mutable copy_checksum_ns : int;
+  (* Cross-CPU handoffs: packets steered here while the flow last ran
+     elsewhere, and the cache-affinity penalty time charged for them. *)
+  mutable migrations : int;
+  mutable migrate_ns : int;
 }
 
-let create sched ~name =
+let create ?(id = 0) sched ~name =
   { sched;
     name;
+    id;
     free_at = Time.zero;
     busy = Stats.Counter.create (name ^ ".cpu_busy_ns");
     copy_ns = 0;
     checksum_ns = 0;
-    copy_checksum_ns = 0 }
+    copy_checksum_ns = 0;
+    migrations = 0;
+    migrate_ns = 0 }
 
 let name t = t.name
+let id t = t.id
 
 (* Reserve the next [span] of processor time, FIFO among requesters, and
    return the completion instant. *)
@@ -63,7 +72,18 @@ let copy_ns t = t.copy_ns
 let checksum_ns t = t.checksum_ns
 let copy_checksum_ns t = t.copy_checksum_ns
 
+let note_migration t span =
+  t.migrations <- t.migrations + 1;
+  if span > 0 then t.migrate_ns <- t.migrate_ns + span
+
+let migrations t = t.migrations
+let migrate_ns t = t.migrate_ns
+
 let busy_ns t = Stats.Counter.value t.busy
+
+let idle_ns t now =
+  let elapsed = Time.to_ns now in
+  if elapsed <= busy_ns t then 0 else elapsed - busy_ns t
 
 let utilization t now =
   let elapsed = Time.to_ns now in

@@ -1,9 +1,12 @@
-(** A host's single processor, modelled as a FIFO time resource.
+(** One of a host's processors, modelled as a FIFO time resource.
 
     Work anywhere on a host — application code, protocol library,
-    servers, kernel, interrupt handlers — consumes time on the same
-    processor (the DECstation is a uniprocessor), so CPU contention
-    between sender-side and receiver-side processing arises naturally.
+    servers, kernel, interrupt handlers — consumes time on the
+    processor it was steered to, so CPU contention between sender-side
+    and receiver-side processing arises naturally.  The original
+    DECstation testbed is the one-CPU special case ([Machine] defaults
+    to a single processor); an SMP machine is simply N of these under
+    the same event loop, each an independent FIFO timeline.
 
     Two interfaces: {!use} for code running in a simulated thread
     (blocks the thread for its CPU occupancy), and {!use_async} for
@@ -16,9 +19,11 @@ type data_kind = Copy | Checksum | Copy_checksum
 (** Categories of per-byte data-movement work, for the accounting that
     proves where payload bytes were touched. *)
 
-val create : Uln_engine.Sched.t -> name:string -> t
+val create : ?id:int -> Uln_engine.Sched.t -> name:string -> t
+(** [~id] is the processor's index within its machine (default 0). *)
 
 val name : t -> string
+val id : t -> int
 
 val use : t -> Uln_engine.Time.span -> unit
 (** Consume CPU from a thread: waits for the processor, occupies it for
@@ -42,8 +47,22 @@ val checksum_ns : t -> int
 val copy_checksum_ns : t -> int
 (** Nanoseconds of fused copy+checksum passes so far. *)
 
+val note_migration : t -> Uln_engine.Time.span -> unit
+(** Count one cross-CPU handoff onto this processor and attribute
+    [span] ns of cache-affinity penalty to it (the span itself is
+    charged by the caller via {!use}/{!use_async}). *)
+
+val migrations : t -> int
+(** Cross-CPU handoffs steered onto this processor so far. *)
+
+val migrate_ns : t -> int
+(** Total cache-affinity penalty time attributed to this processor. *)
+
 val busy_ns : t -> int
 (** Total CPU time consumed so far (for utilization accounting). *)
+
+val idle_ns : t -> Uln_engine.Time.t -> int
+(** [idle_ns t now] is elapsed minus busy time, clamped at 0. *)
 
 val utilization : t -> Uln_engine.Time.t -> float
 (** [utilization t now] is busy time / elapsed time in [0,1]. *)

@@ -2,18 +2,37 @@ type t = {
   name : string;
   sched : Uln_engine.Sched.t;
   cpu : Cpu.t;
+  cpus : Cpu.t array;
   costs : Costs.t;
   kernel : Addr_space.t;
   rng : Uln_engine.Rng.t;
 }
 
-let create sched ~name ~costs ~rng =
+let create ?(cpus = 1) sched ~name ~costs ~rng =
+  let n = max 1 cpus in
+  let arr =
+    Array.init n (fun i ->
+        (* CPU 0 keeps the pre-SMP name so its counters (and hence every
+           1-CPU trace) are unchanged. *)
+        let cname = if i = 0 then name else Printf.sprintf "%s.cpu%d" name i in
+        Cpu.create ~id:i sched ~name:cname)
+  in
   { name;
     sched;
-    cpu = Cpu.create sched ~name;
+    cpu = arr.(0);
+    cpus = arr;
     costs;
     kernel = Addr_space.create Addr_space.Kernel (name ^ ".kernel");
     rng }
+
+let num_cpus t = Array.length t.cpus
+
+(* Affinity indices are taken modulo the CPU count, so code written for
+   an N-CPU topology degrades to a uniprocessor untouched: every index
+   maps to the machine's only CPU. *)
+let cpu_at t i =
+  let n = Array.length t.cpus in
+  t.cpus.(((i mod n) + n) mod n)
 
 let new_user_domain t app = Addr_space.create Addr_space.User (t.name ^ "." ^ app)
 let new_server_domain t srv = Addr_space.create Addr_space.Server (t.name ^ "." ^ srv)

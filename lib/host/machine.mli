@@ -1,18 +1,37 @@
-(** A workstation: one CPU, a cost model, a kernel domain and a
+(** A workstation: one or more CPUs, a cost model, a kernel domain and a
     deterministic random stream.  NICs and software organizations attach
-    to a machine. *)
+    to a machine.
+
+    [cpu] is always [cpus.(0)] — the boot processor, where interrupts
+    are taken and where all pre-SMP code keeps running.  A machine
+    created with the default [~cpus:1] behaves byte-identically to the
+    original uniprocessor model. *)
 
 type t = {
   name : string;
   sched : Uln_engine.Sched.t;
-  cpu : Cpu.t;
+  cpu : Cpu.t;  (** the boot CPU, [cpus.(0)] *)
+  cpus : Cpu.t array;
   costs : Costs.t;
   kernel : Addr_space.t;
   rng : Uln_engine.Rng.t;
 }
 
 val create :
-  Uln_engine.Sched.t -> name:string -> costs:Costs.t -> rng:Uln_engine.Rng.t -> t
+  ?cpus:int ->
+  Uln_engine.Sched.t ->
+  name:string ->
+  costs:Costs.t ->
+  rng:Uln_engine.Rng.t ->
+  t
+(** [~cpus] (default 1, clamped to at least 1) is the number of
+    processors. *)
+
+val num_cpus : t -> int
+
+val cpu_at : t -> int -> Cpu.t
+(** [cpu_at t i] is the CPU with affinity index [i], taken modulo the
+    CPU count; on a 1-CPU machine every index is the boot CPU. *)
 
 val new_user_domain : t -> string -> Addr_space.t
 (** A fresh application address space on this machine. *)

@@ -14,6 +14,13 @@ type ring_slot = Free | Active of View.t Ring.t
 let create (m : Machine.t) link ~mac ?(tx_buffers = 8) ?(mtu = 1500) ?(table_size = 64) () =
   let costs = m.Machine.costs in
   let handler : (Nic.rx_info -> unit) option ref = ref None in
+  let steer : (Nic.rx_info -> Cpu.t option) option ref = ref None in
+  let tx_cpu_hint : Cpu.t option ref = ref None in
+  let rx_cpu info =
+    match !steer with
+    | None -> m.Machine.cpu
+    | Some f -> ( match f info with Some c -> c | None -> m.Machine.cpu)
+  in
   let drops = ref 0 in
   let tx_slots = Semaphore.create ~initial:tx_buffers () in
   (* Slot 0 is the kernel default and is never allocatable. *)
@@ -29,7 +36,7 @@ let create (m : Machine.t) link ~mac ?(tx_buffers = 8) ?(mtu = 1500) ?(table_siz
           Time.span_add costs.Costs.interrupt
             (Time.ns (bytes * costs.Costs.dma_rx_per_byte_ns))
         in
-        Cpu.use_async m.Machine.cpu work (fun () -> h info)
+        Cpu.use_async (rx_cpu info) work (fun () -> h info)
   in
   let receive frame =
     let for_us = Mac.equal frame.Frame.dst mac || Mac.is_broadcast frame.Frame.dst in
@@ -60,6 +67,15 @@ let create (m : Machine.t) link ~mac ?(tx_buffers = 8) ?(mtu = 1500) ?(table_siz
   in
   let station = Link.attach link receive in
   let send frame =
+    (* Capture the doorbell CPU before waiting: the hint is one-shot and
+       the wait may yield to another sender. *)
+    let cpu =
+      match !tx_cpu_hint with
+      | Some c ->
+          tx_cpu_hint := None;
+          c
+      | None -> m.Machine.cpu
+    in
     Semaphore.wait tx_slots;
     (* Descriptor write and doorbell; the DMA engine moves the bytes but
        contends with the CPU for the memory system.  A scatter-gather
@@ -67,7 +83,7 @@ let create (m : Machine.t) link ~mac ?(tx_buffers = 8) ?(mtu = 1500) ?(table_siz
        first — the gather list the controller walks. *)
     let bytes = Frame.payload_length frame in
     let extra_frags = max 0 (Mbuf.segment_count frame.Frame.payload - 1) in
-    Cpu.use m.Machine.cpu
+    Cpu.use cpu
       (Time.span_add
          (Time.span_add
             (Time.span_add costs.Costs.drv_tx costs.Costs.dma_setup)
@@ -100,5 +116,7 @@ let create (m : Machine.t) link ~mac ?(tx_buffers = 8) ?(mtu = 1500) ?(table_siz
     mtu;
     send;
     install_rx = (fun h -> handler := Some h);
+    install_rx_steer = (fun f -> steer := Some f);
+    set_tx_cpu = (fun c -> tx_cpu_hint := c);
     bqi = Some { Nic.alloc_ring; release_ring; provide_buffer; ring_depth };
     rx_drops = (fun () -> !drops) }

@@ -9,6 +9,13 @@ module Costs = Uln_host.Costs
 let create (m : Machine.t) link ~mac ?(tx_buffers = 2) () =
   let costs = m.Machine.costs in
   let handler : (Nic.rx_info -> unit) option ref = ref None in
+  let steer : (Nic.rx_info -> Cpu.t option) option ref = ref None in
+  let tx_cpu_hint : Cpu.t option ref = ref None in
+  let rx_cpu info =
+    match !steer with
+    | None -> m.Machine.cpu
+    | Some f -> ( match f info with Some c -> c | None -> m.Machine.cpu)
+  in
   let drops = ref 0 in
   let tx_slots = Semaphore.create ~initial:tx_buffers () in
   let station =
@@ -27,15 +34,23 @@ let create (m : Machine.t) link ~mac ?(tx_buffers = 2) () =
                 Time.span_add costs.Costs.interrupt
                   (Time.ns (bytes * costs.Costs.pio_per_byte_ns))
               in
-              Cpu.use_async m.Machine.cpu work (fun () ->
-                  h { Nic.frame; bqi = 0; buffer = None })
+              let info = { Nic.frame; bqi = 0; buffer = None } in
+              Cpu.use_async (rx_cpu info) work (fun () -> h info)
         end)
   in
   let send frame =
-    (* Wait for a board transmit buffer, then PIO the packet into it. *)
+    (* Wait for a board transmit buffer, then PIO the packet into it.
+       The PIO bytes are moved by whichever CPU rang the doorbell. *)
+    let cpu =
+      match !tx_cpu_hint with
+      | Some c ->
+          tx_cpu_hint := None;
+          c
+      | None -> m.Machine.cpu
+    in
     Semaphore.wait tx_slots;
     let bytes = Frame.header_size + Frame.payload_length frame in
-    Cpu.use m.Machine.cpu
+    Cpu.use cpu
       (Time.span_add costs.Costs.drv_tx (Time.ns (bytes * costs.Costs.pio_per_byte_ns)));
     Link.transmit link station frame ~on_done:(fun () -> Semaphore.signal tx_slots)
   in
@@ -44,5 +59,7 @@ let create (m : Machine.t) link ~mac ?(tx_buffers = 2) () =
     mtu = 1500;
     send;
     install_rx = (fun h -> handler := Some h);
+    install_rx_steer = (fun f -> steer := Some f);
+    set_tx_cpu = (fun c -> tx_cpu_hint := c);
     bqi = None;
     rx_drops = (fun () -> !drops) }

@@ -13,6 +13,8 @@ type t = {
   mtu : int;
   send : Frame.t -> unit;
   install_rx : (rx_info -> unit) -> unit;
+  install_rx_steer : (rx_info -> Uln_host.Cpu.t option) -> unit;
+  set_tx_cpu : Uln_host.Cpu.t option -> unit;
   bqi : bqi_ops option;
   rx_drops : unit -> int;
 }

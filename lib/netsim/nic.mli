@@ -44,6 +44,17 @@ type t = {
   install_rx : (rx_info -> unit) -> unit;
       (** install the receive upcall; it runs in event context after
           interrupt (and PIO, for LANCE) costs have elapsed *)
+  install_rx_steer : (rx_info -> Uln_host.Cpu.t option) -> unit;
+      (** install receive flow steering: called per frame before any
+          interrupt/byte cost is charged, it names the CPU those costs
+          (and the upcall) land on — RSS in miniature.  [None] (and no
+          installed steer) means the boot CPU.  On a 1-CPU machine
+          every answer is the boot CPU, so behavior is unchanged. *)
+  set_tx_cpu : Uln_host.Cpu.t option -> unit;
+      (** one-shot hint naming the CPU the next {!send}'s device work
+          (PIO bytes or DMA setup) is charged to — the CPU of the
+          thread that rang the doorbell.  Consumed by that send;
+          [None]/unset means the boot CPU. *)
   bqi : bqi_ops option;  (** hardware demultiplexing, if any *)
   rx_drops : unit -> int;
       (** frames dropped for want of a handler, ring buffer or board

@@ -13,6 +13,11 @@ type 'a entry = {
          >= min that carry those byte values.  The flow cache's key
          material, derived from the verifier's analysis. *)
   endpoint : 'a;
+  mutable affinity : int;
+      (* Receive flow steering: the CPU index this endpoint's traffic
+         should be processed on.  Mutable so a re-install (affinity
+         change mid-connection) updates every view of the entry,
+         including any cached flow, atomically. *)
 }
 
 type key = int
@@ -99,7 +104,7 @@ let conflicts t program =
       | _ -> None)
     t.entries
 
-let install ?(optimize = true) t program endpoint =
+let install ?(optimize = true) ?(affinity = 0) t program endpoint =
   let optimized = if optimize then Optimize.run program else program in
   match Verify.admit ?budget:t.budget ~compiled:(t.mode = Compiled) optimized with
   | Error e -> Error e
@@ -125,14 +130,15 @@ let install ?(optimize = true) t program endpoint =
       in
       t.next_id <- t.next_id + 1;
       let entry =
-        { id = t.next_id; program; optimized; predicate; wcet; report; exact; endpoint }
+        { id = t.next_id; program; optimized; predicate; wcet; report; exact; endpoint;
+          affinity }
       in
       t.entries <- entry :: t.entries;
       flush_cache t;
       Ok entry.id
 
-let install_exn ?optimize t program endpoint =
-  match install ?optimize t program endpoint with
+let install_exn ?optimize ?affinity t program endpoint =
+  match install ?optimize ?affinity t program endpoint with
   | Ok k -> k
   | Error e -> raise (Verify.Rejected e)
 
@@ -143,6 +149,21 @@ let remove t key =
 let entries t = List.length t.entries
 
 let find t key = List.find_opt (fun e -> e.id = key) t.entries
+
+let affinity t key = Option.map (fun e -> e.affinity) (find t key)
+
+(* An affinity change is semantically an endpoint re-install, so it
+   flushes the flow cache like any other table mutation: no dispatch
+   after [set_affinity] returns — cached or scanned — can steer to the
+   old CPU. *)
+let set_affinity t key cpu =
+  match find t key with
+  | None -> ()
+  | Some e ->
+      if e.affinity <> cpu then begin
+        e.affinity <- cpu;
+        flush_cache t
+      end
 let wcet t key = Option.map (fun e -> e.wcet) (find t key)
 let report t key = Option.map (fun e -> e.report) (find t key)
 let installed_program t key = Option.map (fun e -> e.optimized) (find t key)
@@ -243,19 +264,24 @@ let scan t pkt =
   in
   go 0 t.entries
 
-let dispatch t pkt =
-  if not t.flow_cache then begin
-    let e, cost = scan t pkt in
-    (Option.map (fun e -> e.endpoint) e, cost)
-  end
+let dispatch_entry t pkt =
+  if not t.flow_cache then scan t pkt
   else begin
     match cache_lookup t pkt with
     | Some e, cost ->
         t.c_hits <- t.c_hits + 1;
-        (Some e.endpoint, cost)
+        (Some e, cost)
     | None, probe_cost ->
         t.c_misses <- t.c_misses + 1;
         let e, scan_cost = scan t pkt in
         (match e with Some e -> cache_insert t e | None -> ());
-        (Option.map (fun e -> e.endpoint) e, probe_cost + scan_cost)
+        (e, probe_cost + scan_cost)
   end
+
+let dispatch t pkt =
+  let e, cost = dispatch_entry t pkt in
+  (Option.map (fun e -> e.endpoint) e, cost)
+
+let dispatch_steered t pkt =
+  let e, cost = dispatch_entry t pkt in
+  (Option.map (fun e -> (e.endpoint, e.affinity)) e, cost)

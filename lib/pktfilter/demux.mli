@@ -72,13 +72,23 @@ val set_flow_cache : 'a t -> bool -> unit
 
 val cache_stats : 'a t -> cache_stats
 
-val install : ?optimize:bool -> 'a t -> Program.t -> 'a -> (key, Verify.error) result
+val install :
+  ?optimize:bool -> ?affinity:int -> 'a t -> Program.t -> 'a -> (key, Verify.error) result
 (** Verify, optimize (unless [optimize:false]) and add an entry in
     front of existing ones.  Rejects always-false programs and
-    over-budget worst-case costs. *)
+    over-budget worst-case costs.  [affinity] (default 0) is the CPU
+    index the endpoint's traffic should be steered to. *)
 
-val install_exn : ?optimize:bool -> 'a t -> Program.t -> 'a -> key
+val install_exn : ?optimize:bool -> ?affinity:int -> 'a t -> Program.t -> 'a -> key
 (** Like {!install}. @raise Verify.Rejected on a verifier rejection. *)
+
+val affinity : 'a t -> key -> int option
+(** The CPU affinity recorded for an installed entry. *)
+
+val set_affinity : 'a t -> key -> int -> unit
+(** Change an entry's receive-steering affinity.  Semantically an
+    endpoint re-install: the flow cache is flushed, so no subsequent
+    dispatch can report the old CPU. *)
 
 val conflicts : 'a t -> Program.t -> 'a conflict list
 (** Installed entries whose accept set provably intersects the given
@@ -108,3 +118,8 @@ val dispatch : 'a t -> Uln_buf.View.t -> ('a option * int)
     [None]) and the simulated cycle cost actually incurred — the probe
     cost on a cache hit, probe + executed filter instructions on a
     miss.  {!cache_stats} distinguishes the two. *)
+
+val dispatch_steered : 'a t -> Uln_buf.View.t -> (('a * int) option * int)
+(** Like {!dispatch} but also reports the accepting entry's CPU
+    affinity, for receive flow steering.  Identical matching, cost and
+    cache accounting. *)

@@ -19,6 +19,7 @@ type t = {
   header_prediction : bool;
   fused_checksum : bool;
   zero_copy : bool;
+  smp_locking : [ `Big_lock | `Per_conn ];
 }
 
 let default =
@@ -39,7 +40,8 @@ let default =
     keepalive_probes = 9;
     header_prediction = true;
     fused_checksum = true;
-    zero_copy = false }
+    zero_copy = false;
+    smp_locking = `Big_lock }
 
 let fast =
   { default with

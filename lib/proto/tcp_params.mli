@@ -47,6 +47,15 @@ type t = {
           segments through batched descriptor rings.  [false] (the
           default) keeps the copying path as the differential-testing
           oracle. *)
+  smp_locking : [ `Big_lock | `Per_conn ];
+      (** Locking discipline of the {e in-kernel} organization on a
+          multiprocessor host: [`Big_lock] (the default, faithful to
+          contemporary BSD/Ultrix) serializes all netisr protocol
+          processing under one kernel lock regardless of CPU count;
+          [`Per_conn] gives each per-CPU stack its own lock so
+          connections steered to different CPUs proceed in parallel.
+          Irrelevant (no lock is ever taken) on a 1-CPU machine and in
+          the other organizations. *)
 }
 
 val default : t

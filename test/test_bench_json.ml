@@ -1,0 +1,18 @@
+(* Every committed BENCH_*.json must parse: the bench harness validates
+   before writing, and this guards the files actually in the tree (a
+   hand edit, merge damage, or an emitter regression fails the build). *)
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  assert (files <> []);
+  List.iter
+    (fun path ->
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Uln_workload.Jout.validate s with
+      | Ok () -> Printf.printf "%s: ok\n" (Filename.basename path)
+      | Error e ->
+          Printf.eprintf "%s: malformed JSON: %s\n" path e;
+          exit 1)
+    files
