@@ -29,28 +29,32 @@ let jint = Uln_workload.Jout.int
 let jfloat = Uln_workload.Jout.float
 let jopt = Uln_workload.Jout.opt
 
+let json_contents target (rows : (string * string) list list) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "{\n  \"target\": %s,\n  \"rows\": [" (jstr target));
+  List.iteri
+    (fun i row ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n    { ";
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf (Printf.sprintf "%s: %s" (jstr k) v))
+        row;
+      Buffer.add_string buf " }")
+    rows;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let contents = Buffer.contents buf in
+  (* Regression check: never commit a BENCH file that does not parse
+     (the old NaN path serialised unparseable holes as "0.0"). *)
+  (match Uln_workload.Jout.validate contents with
+  | Ok () -> ()
+  | Error e -> failwith (Printf.sprintf "BENCH_%s.json would be malformed: %s" target e));
+  contents
+
 let write_json target (rows : (string * string) list list) =
   if !json_enabled then begin
-    let buf = Buffer.create 1024 in
-    Buffer.add_string buf (Printf.sprintf "{\n  \"target\": %s,\n  \"rows\": [" (jstr target));
-    List.iteri
-      (fun i row ->
-        if i > 0 then Buffer.add_char buf ',';
-        Buffer.add_string buf "\n    { ";
-        List.iteri
-          (fun j (k, v) ->
-            if j > 0 then Buffer.add_string buf ", ";
-            Buffer.add_string buf (Printf.sprintf "%s: %s" (jstr k) v))
-          row;
-        Buffer.add_string buf " }")
-      rows;
-    Buffer.add_string buf "\n  ]\n}\n";
-    let contents = Buffer.contents buf in
-    (* Regression check: never commit a BENCH file that does not parse
-       (the old NaN path serialised unparseable holes as "0.0"). *)
-    (match Uln_workload.Jout.validate contents with
-    | Ok () -> ()
-    | Error e -> failwith (Printf.sprintf "BENCH_%s.json would be malformed: %s" target e));
+    let contents = json_contents target rows in
     let file = Printf.sprintf "BENCH_%s.json" target in
     let oc = open_out file in
     output_string oc contents;
@@ -66,6 +70,43 @@ let t2_json (rows : E.t2_row list) =
         ("size", jint r.E.t2_size);
         ("mbps", jfloat r.E.t2_mbps);
         ("paper", jopt r.E.t2_paper) ])
+    rows
+
+let t3_json (rows : E.t3_row list) =
+  List.map
+    (fun (r : E.t3_row) ->
+      [ ("network", jstr r.E.t3_network);
+        ("system", jstr r.E.t3_system);
+        ("size", jint r.E.t3_size);
+        ("rtt_ms", jfloat r.E.t3_rtt_ms);
+        ("paper", jopt r.E.t3_paper) ])
+    rows
+
+let t4_json (rows : E.t4_row list) =
+  List.map
+    (fun (r : E.t4_row) ->
+      [ ("network", jstr r.E.t4_network);
+        ("system", jstr r.E.t4_system);
+        ("setup_ms", jfloat r.E.t4_setup_ms);
+        ("paper", jopt r.E.t4_paper) ])
+    rows
+
+let churn_json (rows : Uln_workload.Churn.result list) =
+  List.map
+    (fun (r : Uln_workload.Churn.result) ->
+      [ ("system", jstr r.Uln_workload.Churn.r_system);
+        ("config", jstr r.Uln_workload.Churn.r_config);
+        ("pairs", jint r.Uln_workload.Churn.r_pairs);
+        ("conns", jint r.Uln_workload.Churn.r_conns);
+        ("conns_per_sec", jfloat r.Uln_workload.Churn.r_conns_per_sec);
+        ("setup_ms", jfloat r.Uln_workload.Churn.r_setup_ms);
+        ("churn_ms", jfloat r.Uln_workload.Churn.r_churn_ms);
+        ("leg_port_alloc_ms", jfloat r.Uln_workload.Churn.r_leg_port_alloc_ms);
+        ("leg_round_trip_ms", jfloat r.Uln_workload.Churn.r_leg_round_trip_ms);
+        ("leg_finish_ms", jfloat r.Uln_workload.Churn.r_leg_finish_ms);
+        ("pool_hit_rate", jfloat r.Uln_workload.Churn.r_pool_hit_rate);
+        ("lease_hit_rate", jfloat r.Uln_workload.Churn.r_lease_hit_rate);
+        ("tw_parked", jint r.Uln_workload.Churn.r_tw_parked) ])
     rows
 
 let scale_json (rows : E.scale_row list) =
@@ -172,29 +213,14 @@ let run_table3 () =
   section "Table 3 (round-trip latency)";
   let rows = E.table3 () in
   E.print_table3 ppf rows;
-  write_json "table3"
-    (List.map
-       (fun (r : E.t3_row) ->
-         [ ("network", jstr r.E.t3_network);
-           ("system", jstr r.E.t3_system);
-           ("size", jint r.E.t3_size);
-           ("rtt_ms", jfloat r.E.t3_rtt_ms);
-           ("paper", jopt r.E.t3_paper) ])
-       rows);
+  write_json "table3" (t3_json rows);
   Format.fprintf ppf "@."
 
 let run_table4 () =
   section "Table 4 (connection setup)";
   let rows = E.table4 () in
   E.print_table4 ppf rows;
-  write_json "table4"
-    (List.map
-       (fun (r : E.t4_row) ->
-         [ ("network", jstr r.E.t4_network);
-           ("system", jstr r.E.t4_system);
-           ("setup_ms", jfloat r.E.t4_setup_ms);
-           ("paper", jopt r.E.t4_paper) ])
-       rows);
+  write_json "table4" (t4_json rows);
   Format.fprintf ppf "@.";
   E.print_breakdown ppf (E.setup_breakdown ());
   Format.fprintf ppf "@."
@@ -222,6 +248,44 @@ let run_scale ?conns () =
   E.print_zero_copy ppf zrows;
   write_json "scale" (scale_json rows @ zc_json zrows);
   Format.fprintf ppf "@."
+
+let run_churn () =
+  section "Connection churn (setup fast-path ablation ladder)";
+  let rows = Uln_workload.Churn.sweep () in
+  Uln_workload.Churn.print ppf rows;
+  write_json "churn" (churn_json rows);
+  Format.fprintf ppf "@."
+
+(* Differential oracle: with every fast-path switch at its default
+   (off), the sequential setup path must regenerate the committed
+   tables byte-for-byte.  The sim is deterministic, so any drift means
+   a switch leaked into the default path. *)
+let run_diffcheck () =
+  section "Differential check (fast-path switches off vs committed tables)";
+  let read_file f =
+    let ic = open_in_bin f in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let failures = ref 0 in
+  let check target contents =
+    let file = Printf.sprintf "BENCH_%s.json" target in
+    if not (Sys.file_exists file) then
+      Format.fprintf ppf "  %-10s SKIP (no committed %s)@." target file
+    else if read_file file = contents then
+      Format.fprintf ppf "  %-10s unchanged@." target
+    else begin
+      incr failures;
+      Format.fprintf ppf "  %-10s MISMATCH vs committed %s@." target file
+    end
+  in
+  check "table2" (json_contents "table2" (t2_json (E.table2 ())));
+  check "table3" (json_contents "table3" (t3_json (E.table3 ())));
+  check "table4" (json_contents "table4" (t4_json (E.table4 ())));
+  Format.fprintf ppf "@.";
+  if !failures > 0 then exit 1
 
 let run_figures () =
   section "Figures 1 and 2 (organization structure)";
@@ -624,6 +688,20 @@ let run_smoke () =
   in
   print_smp_row smp_row;
   write_json "smp" (smp_json [ smp_row ]);
+  (* Connection churn, driven end to end: the sequential oracle and the
+     fully-enabled fast path (2 pairs x 64 connections each). *)
+  let churn_cell (config, prm) =
+    Uln_workload.Churn.run ~pairs:2 ~conns_per_pair:64 ~tcp_params:prm ~config
+      ~network:Uln_core.World.Ethernet ~org:Uln_core.Organization.User_library ()
+  in
+  let crows =
+    List.map churn_cell
+      (List.filter
+         (fun (c, _) -> c = "baseline" || c = "+lease")
+         Uln_workload.Churn.configs)
+  in
+  Uln_workload.Churn.print ppf crows;
+  write_json "churn" (churn_json crows);
   run_filteropt ();
   Format.fprintf ppf "@."
 
@@ -647,6 +725,8 @@ let () =
   | "smp" -> run_smp ()
   | "smoke" -> run_smoke ()
   | "micro" -> run_micro ()
+  | "churn" -> run_churn ()
+  | "diffcheck" -> run_diffcheck ()
   | "all" ->
       run_table1 ();
       run_table2 ();
@@ -655,6 +735,7 @@ let () =
       run_table5 ();
       run_scale ();
       run_smp ();
+      run_churn ();
       run_figures ();
       run_ablations ();
       run_motivation ();
@@ -664,6 +745,6 @@ let () =
   | other ->
       Format.eprintf
         "unknown argument %s (expected [--json] \
-         all|table1..table5|figures|ablations|motivation|contention|filteropt|scale|smp|smoke|micro)@."
+         all|table1..table5|figures|ablations|motivation|contention|filteropt|scale|smp|smoke|churn|diffcheck|micro)@."
         other;
       exit 1

@@ -445,6 +445,141 @@ let cpustats_cmd =
       $ Arg.(value & opt int 1_000_000 & info [ "b"; "bytes" ] ~docv:"BYTES" ~doc:"Bytes per pair.")
       $ per_conn_arg $ top_arg)
 
+let setupstats_cmd =
+  let module Sockets = Uln_core.Sockets in
+  let module Registry = Uln_core.Registry in
+  let module Protolib = Uln_core.Protolib in
+  let module Tcp_params = Uln_proto.Tcp_params in
+  let module Sched = Uln_engine.Sched in
+  let module Time = Uln_engine.Time in
+  let run network pairs conns sequential =
+    let tcp_params =
+      if sequential then Tcp_params.fast
+      else
+        { Tcp_params.fast with
+          Tcp_params.overlap_setup = true;
+          channel_pool = true;
+          endpoint_lease = true;
+          time_wait_wheel = true }
+    in
+    let w =
+      World.create ~network ~org:Organization.User_library ~tcp_params
+        ~num_hosts:(pairs + 1) ()
+    in
+    let sched = World.sched w in
+    for i = 0 to pairs - 1 do
+      let app = World.app w ~host:(1 + i) (Printf.sprintf "srv%d" i) in
+      Sched.spawn sched ~name:(Printf.sprintf "srv%d" i) (fun () ->
+          let l = app.Sockets.listen ~port:(9000 + i) in
+          for _ = 1 to conns do
+            let c = l.Sockets.accept () in
+            c.Sockets.close ()
+          done)
+    done;
+    let libs =
+      List.init pairs (fun i ->
+          match World.library w ~host:0 (Printf.sprintf "cli%d" i) with
+          | Some l -> l
+          | None -> assert false)
+    in
+    let lat = ref 0 in
+    Sched.block_on sched (fun () ->
+        let remaining = ref pairs in
+        let wake = ref (fun () -> ()) in
+        List.iteri
+          (fun i lib ->
+            let app = Protolib.app lib in
+            Sched.spawn sched ~name:(Printf.sprintf "cli%d" i) (fun () ->
+                for _ = 1 to conns do
+                  let t0 = Sched.now sched in
+                  match
+                    app.Sockets.connect ~src_port:0 ~dst:(World.host_ip w (1 + i))
+                      ~dst_port:(9000 + i)
+                  with
+                  | Error e -> failwith ("setupstats connect: " ^ e)
+                  | Ok c ->
+                      lat := !lat + Time.diff (Sched.now sched) t0;
+                      c.Sockets.close ()
+                done;
+                decr remaining;
+                if !remaining = 0 then !wake ()))
+          libs;
+        Sched.suspend (fun k -> wake := k));
+    let total = pairs * conns in
+    Printf.printf "setupstats: userlib, %s, %d pair(s) x %d connections%s\n"
+      (match network with World.Ethernet -> "ethernet" | World.An1 -> "an1")
+      pairs conns
+      (if sequential then ", sequential oracle (all switches off)" else "");
+    Printf.printf "mean connect latency under load: %.2f ms\n" (Time.to_ms_f (!lat / total));
+    match World.registry w 0 with
+    | None -> ()
+    | Some r ->
+        let legs = Registry.setup_legs r in
+        Printf.printf "\nregistry setup legs (host0, mean over %d registry-path connects):\n"
+          legs.Registry.sl_samples;
+        Printf.printf "  %-34s %8.2f ms\n" "dispatch + port allocation"
+          (legs.Registry.sl_port_alloc_us /. 1000.);
+        Printf.printf "  %-34s %8.2f ms\n" "SYN round trip (overlaps build)"
+          (legs.Registry.sl_round_trip_us /. 1000.);
+        Printf.printf "  %-34s %8.2f ms\n" "build join + activate + export"
+          (legs.Registry.sl_finish_us /. 1000.);
+        Printf.printf "  %-34s %8.2f ms\n" "total" (legs.Registry.sl_total_us /. 1000.);
+        let p = Registry.pool_stats r in
+        let denom = p.Registry.ps_hits + p.Registry.ps_misses in
+        Printf.printf "\nchannel pool: %d hits / %d misses (%.0f%% hit rate), %d parked now\n"
+          p.Registry.ps_hits p.Registry.ps_misses
+          (if denom = 0 then 0.
+           else 100. *. float_of_int p.Registry.ps_hits /. float_of_int denom)
+          p.Registry.ps_parked;
+        let ls = Registry.lease_stats r in
+        let leased, fallbacks, free_ports, free_chans =
+          List.fold_left
+            (fun (a, b, c, d) lib ->
+              let s = Protolib.leasestats lib in
+              ( a + s.Protolib.lst_leased_connects,
+                b + s.Protolib.lst_fallbacks,
+                c + s.Protolib.lst_free_ports,
+                d + s.Protolib.lst_free_channels ))
+            (0, 0, 0, 0) libs
+        in
+        Printf.printf
+          "leases: %d granted (%d active); %d leased connects (%.0f%% hit rate), %d fallbacks, \
+           %d idle ports, %d idle channels\n"
+          ls.Registry.ls_granted ls.Registry.ls_active leased
+          (100. *. float_of_int leased /. float_of_int total)
+          fallbacks free_ports free_chans;
+        let tw = Registry.time_wait_stats r in
+        Printf.printf
+          "time-wait wheel: %d parked now / %d capacity, %d parked total, %d evicted\n"
+          tw.Registry.tw_pending tw.Registry.tw_capacity tw.Registry.tw_parked_total
+          tw.Registry.tw_evicted
+  in
+  let pairs_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "p"; "pairs" ] ~docv:"N" ~doc:"Concurrent client/server pairs.")
+  in
+  let conns_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "c"; "conns" ] ~docv:"N" ~doc:"Connections per pair (connect then close).")
+  in
+  let sequential_arg =
+    Arg.(
+      value & flag
+      & info [ "sequential" ]
+          ~doc:
+            "Run the sequential oracle (overlap, pooling, leases and the TIME_WAIT wheel all \
+             off) instead of the fast path.")
+  in
+  Cmd.v
+    (Cmd.info "setupstats"
+       ~doc:
+         "Run a user-library connection churn and print the setup-plane accounting: per-leg \
+          setup-latency breakdown, endpoint-lease hit rate, channel-pool occupancy, and \
+          TIME_WAIT wheel population.")
+    Term.(const run $ network_arg $ pairs_arg $ conns_arg $ sequential_arg)
+
 let filter_lint_cmd =
   let open Uln_filter in
   let ip_local = Uln_addr.Ip.of_string "10.0.0.1" in
@@ -559,4 +694,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ throughput_cmd; latency_cmd; setup_cmd; orgs_cmd; table_cmd; snoop_cmd; rrp_cmd;
-            bufstats_cmd; cpustats_cmd; filter_lint_cmd ]))
+            bufstats_cmd; cpustats_cmd; setupstats_cmd; filter_lint_cmd ]))

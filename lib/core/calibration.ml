@@ -34,3 +34,19 @@ let bqi_setup = Time.us 500
 
 let channel_ring_slots = 64
 let channel_buffer_size = 1600
+
+(* Connection-churn fast path (setup plane). *)
+
+let channel_reuse_setup = Time.us 420
+let channel_pool_max = 32
+
+let lease_grant = Time.us 2600
+let lease_block_ports = 256
+let lease_channels = 4
+let lease_stamp = Time.us 160
+let lease_local_alloc = Time.us 35
+
+let time_wait_granularity = Time.ms 100
+let time_wait_capacity = 4096
+let time_wait_entry = Time.us 25
+let rst_batch_per_conn = Time.us 90

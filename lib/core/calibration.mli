@@ -95,6 +95,60 @@ val bqi_setup : Uln_engine.Time.span
     controller's BQI ring ("the machinery involved to set up the BQI
     has to be exercised", Table 4). *)
 
+val channel_reuse_setup : Uln_engine.Time.span
+(** Re-arming a parked (pooled) user channel for a new connection:
+    filter install, template stamp and ring reset.  The shared region,
+    its mappings, the semaphore and any BQI ring already exist, so this
+    replaces {!registry_channel_setup} (and {!bqi_setup}) when
+    {!Uln_proto.Tcp_params.t.channel_pool} is on. *)
+
+val channel_pool_max : int
+(** Parked channels the registry keeps per host before falling back to
+    destroying released ones (bounds pinned shared memory). *)
+
+val lease_grant : Uln_engine.Time.span
+(** Registry work to grant an endpoint lease: reserving the port block
+    and running the filter verifier once over the parameterized
+    filter/template shape (one Absint pass certifies every
+    instantiation, since only the compared constants vary). *)
+
+val lease_block_ports : int
+(** Ports per endpoint lease block. *)
+
+val lease_channels : int
+(** Channels pre-built and handed over with a lease grant — enough to
+    cover the connections in flight (including close tails) at churn
+    rate; extra demand falls back to the per-connection registry path. *)
+
+val lease_stamp : Uln_engine.Time.span
+(** Kernel cost of arming a leased channel for one connection: the
+    network I/O module instantiates the pre-verified filter/template
+    shape with the validated 4-tuple and inserts it into the demux
+    table — no verifier run, no registry IPC. *)
+
+val lease_local_alloc : Uln_engine.Time.span
+(** Library-side bookkeeping to take a port from its leased block. *)
+
+val time_wait_granularity : Uln_engine.Time.span
+(** Tick of the registry's TIME_WAIT wheel.  2MSL residues round up to
+    it; far coarser than the engines' timer granularity because nothing
+    latency-sensitive fires from this wheel. *)
+
+val time_wait_capacity : int
+(** TIME_WAIT records the registry will hold on the wheel; beyond this
+    the oldest protection is forfeited early (counted, not silent) so
+    churn cannot grow registry state without bound. *)
+
+val time_wait_entry : Uln_engine.Time.span
+(** Registry cost to park one inherited connection's 2MSL residue on
+    the wheel (record + wheel insert), replacing a live control block
+    with engine timers. *)
+
+val rst_batch_per_conn : Uln_engine.Time.span
+(** Per-connection cost of the batched abnormal-exit pass: deriving and
+    transmitting one RST from each inherited snapshot in a single sweep
+    (one IPC for the whole set, no per-connection server dispatch). *)
+
 val channel_ring_slots : int
 (** Receive-ring depth of a user channel. *)
 

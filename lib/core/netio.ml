@@ -20,6 +20,16 @@ module Verify = Uln_filter.Verify
 
 exception Send_rejected of string
 
+type lease = {
+  l_id : int;
+  l_owner : Addr_space.t;
+  l_ip : Uln_addr.Ip.t;
+  l_base : int;
+  l_count : int;
+  mutable l_revoked : bool;
+  mutable l_stamps : int; (* activations performed under this lease *)
+}
+
 type channel = {
   id : int;
   mutable owner : Addr_space.t;
@@ -31,6 +41,7 @@ type channel = {
   mutable filters : Demux.key list;
   mutable active : bool;
   mutable destroyed : bool;
+  mutable lease : lease option; (* armed through an endpoint lease *)
   gate : unit Capability.t; (* revocation point for the whole channel *)
   (* Batched transmit: descriptors accumulate in a shared tx ring; the
      kernel drains every descriptor present per fast_trap, so N queued
@@ -62,6 +73,8 @@ type t = {
   mutable sw_demuxed : int;
   mutable overlap_flags : int;
   mutable migrations : int;
+  mutable next_lease : int;
+  mutable leased_activations : int;
   demux_cost : Stats.Dist.t;
 }
 
@@ -88,6 +101,17 @@ let require_privileged caller op =
    there.  On a 1-CPU machine home = last = the boot CPU and the charge
    sequence is exactly the pre-SMP one. *)
 let deliver t ch frame =
+  (* Leased channels learn the peer's BQI from the first inbound frame
+     the remote registry marked (the spare link-header field): the
+     kernel — not the application — refreshes the template stamp, so
+     the impersonation constraints never change hands. *)
+  (match ch.lease with
+  | Some _ when frame.Frame.bqi_hint > 0 -> (
+      match ch.template with
+      | Some tpl when Template.bqi tpl = 0 ->
+          ch.template <- Some (Template.with_bqi tpl ~bqi:frame.Frame.bqi_hint)
+      | _ -> ())
+  | _ -> ());
   let costs = t.machine.Machine.costs in
   let home = home_cpu t ch in
   let migrate =
@@ -123,6 +147,8 @@ let create machine nic ~mode ?(flow_cache = false) () =
       sw_demuxed = 0;
       overlap_flags = 0;
       migrations = 0;
+      next_lease = 0;
+      leased_activations = 0;
       demux_cost = Stats.Dist.create (machine.Machine.name ^ ".demux_us") }
   in
   let costs = machine.Machine.costs in
@@ -217,6 +243,7 @@ let create_channel t ~caller ~owner ~use_bqi =
       filters = [];
       active = false;
       destroyed = false;
+      lease = None;
       gate = Capability.mint ~tag:name ();
       tx_ring = Ring.create ~capacity:Calibration.channel_ring_slots;
       tx_kick_pending = false;
@@ -248,8 +275,7 @@ let filter_conflict t ch program =
         (Printf.sprintf "accept sets of %d installed filter(s) intersect (witness: %d-byte packet)"
            (List.length cs) (Uln_buf.View.length witness))
 
-let add_filter t ~caller ch program =
-  require_privileged caller "Netio.add_filter";
+let install_filter t ch program =
   (match filter_conflict t ch program with
   | None -> ()
   | Some desc ->
@@ -261,6 +287,10 @@ let add_filter t ~caller ch program =
       ch.filters <- k :: ch.filters;
       k
   | Error e -> raise (Verify.Rejected e)
+
+let add_filter t ~caller ch program =
+  require_privileged caller "Netio.add_filter";
+  install_filter t ch program
 
 let remove_filter t ~caller k =
   require_privileged caller "Netio.remove_filter";
@@ -293,6 +323,111 @@ let transfer_channel t ch ~from_domain ~to_domain =
   Shared_mem.unmap ch.region ch.owner;
   Shared_mem.map ch.region to_domain;
   ch.owner <- to_domain
+
+(* Park a channel for recycling (the channel-pool ablation): strip its
+   filters and template and mark it inactive, but keep the shared
+   region, its mappings, the semaphore, the capability gate and any BQI
+   ring — everything whose construction dominates
+   [Calibration.registry_channel_setup].  A later [activate] (after
+   [reassign_owner] if the next connection belongs elsewhere) re-arms
+   it for [Calibration.channel_reuse_setup]. *)
+let park_channel t ~caller ch =
+  require_privileged caller "Netio.park_channel";
+  if not ch.destroyed then begin
+    ch.active <- false;
+    ch.template <- None;
+    ch.lease <- None;
+    List.iter (Demux.remove t.demux) ch.filters;
+    ch.filters <- [];
+    (* Drop any frames of the previous connection still in the ring. *)
+    let rec flush () = match Ring.pop ch.rx_ring with Some _ -> flush () | None -> () in
+    flush ()
+  end
+
+let channel_destroyed ch = ch.destroyed
+
+(* --- Endpoint leases -------------------------------------------------- *)
+
+let grant_lease t ~caller ~owner ~ip ~base_port ~count =
+  require_privileged caller "Netio.grant_lease";
+  t.next_lease <- t.next_lease + 1;
+  Uln_engine.Trace.debugf t.machine.Machine.sched "netio" "lease %d: ports %d..%d for %s"
+    t.next_lease base_port (base_port + count - 1) (Addr_space.name owner);
+  { l_id = t.next_lease;
+    l_owner = owner;
+    l_ip = ip;
+    l_base = base_port;
+    l_count = count;
+    l_revoked = false;
+    l_stamps = 0 }
+
+let revoke_lease t ~caller lease =
+  require_privileged caller "Netio.revoke_lease";
+  ignore t;
+  lease.l_revoked <- true
+
+let lease_stamps lease = lease.l_stamps
+
+(* Arm a channel for one connection under an endpoint lease.  This is
+   the unprivileged kernel entry that replaces the registry round trip:
+   the caller supplies only the 4-tuple, and the network I/O module
+   itself instantiates the pre-verified filter/template shape — the
+   application never hands in a program, so the anti-impersonation
+   check is exactly as strong as on the registry path.  The local port
+   must lie inside the leased block, and the template pins the leased
+   address as packet source. *)
+let activate_leased t ch ~from_domain ~lease ~remote_ip ~remote_port ~local_port =
+  let costs = t.machine.Machine.costs in
+  let cpu = home_cpu t ch in
+  Cpu.use cpu costs.Costs.fast_trap;
+  Capability.deref ch.gate;
+  let refuse msg = raise (Capability.Violation ("Netio.activate_leased: " ^ msg)) in
+  if ch.destroyed then refuse "channel destroyed";
+  if ch.active then refuse "channel already active";
+  if lease.l_revoked then refuse "lease revoked";
+  if not (Addr_space.equal from_domain ch.owner) then refuse "channel not owned by caller";
+  if not (Addr_space.equal from_domain lease.l_owner) then refuse "lease not owned by caller";
+  if local_port < lease.l_base || local_port >= lease.l_base + lease.l_count then
+    refuse (Printf.sprintf "port %d outside leased block" local_port);
+  Cpu.use cpu Calibration.lease_stamp;
+  let filter =
+    Program.tcp_conn ~src_ip:remote_ip ~dst_ip:lease.l_ip ~src_port:remote_port
+      ~dst_port:local_port
+  in
+  let template =
+    Template.tcp_conn ~src_ip:lease.l_ip ~dst_ip:remote_ip ~src_port:local_port
+      ~dst_port:remote_port ()
+  in
+  ch.template <- Some template;
+  ch.lease <- Some lease;
+  ch.active <- true;
+  lease.l_stamps <- lease.l_stamps + 1;
+  t.leased_activations <- t.leased_activations + 1;
+  ignore (install_filter t ch filter)
+
+(* Disarm a leased channel after its connection fully closes, returning
+   it to the library's cache: filters out, template cleared, region and
+   rings kept.  Owner-callable — the send capability itself is the
+   authorization, as with [transfer_channel]. *)
+let release_leased t ch ~from_domain =
+  let costs = t.machine.Machine.costs in
+  Cpu.use (home_cpu t ch) costs.Costs.fast_trap;
+  Capability.deref ch.gate;
+  if ch.destroyed then raise (Capability.Violation "Netio.release_leased: channel destroyed");
+  (match ch.lease with
+  | Some l when Addr_space.equal from_domain l.l_owner && Addr_space.equal from_domain ch.owner
+    ->
+      ()
+  | _ -> raise (Capability.Violation "Netio.release_leased: caller does not hold the lease"));
+  ch.active <- false;
+  ch.template <- None;
+  ch.lease <- None;
+  List.iter (Demux.remove t.demux) ch.filters;
+  ch.filters <- [];
+  let rec flush () = match Ring.pop ch.rx_ring with Some _ -> flush () | None -> () in
+  flush ()
+
+let leased_activations t = t.leased_activations
 
 let destroy_channel t ~caller ch =
   require_privileged caller "Netio.destroy_channel";
@@ -334,8 +469,17 @@ let send t ch ~from_domain frame =
         if Addr_space.is_privileged from_domain && frame.Frame.bqi <> 0 then frame.Frame.bqi
         else Template.bqi tpl
       in
+      (* A leased channel that has not yet learned its peer's BQI is
+         still in its handshake: advertise our own receive BQI in the
+         spare link-header field, as the registry does for the
+         connections it sets up. *)
+      let bqi_hint =
+        match ch.lease with
+        | Some _ when Template.bqi tpl = 0 && ch.bqi > 0 -> ch.bqi
+        | _ -> frame.Frame.bqi_hint
+      in
       t.nic.Nic.set_tx_cpu (Some cpu);
-      t.nic.Nic.send { frame with Frame.bqi }
+      t.nic.Nic.send { frame with Frame.bqi; bqi_hint }
 
 (* Transmit one descriptor from kernel context during a batch drain.
    Unlike [send], failures are counted rather than raised — the
@@ -354,8 +498,13 @@ let transmit_one t ch frame =
           "batched send rejected on chan%d: header does not match template" ch.id
       end
       else begin
+        let bqi_hint =
+          match ch.lease with
+          | Some _ when Template.bqi tpl = 0 && ch.bqi > 0 -> ch.bqi
+          | _ -> frame.Frame.bqi_hint
+        in
         t.nic.Nic.set_tx_cpu (Some cpu);
-        t.nic.Nic.send { frame with Frame.bqi = Template.bqi tpl }
+        t.nic.Nic.send { frame with Frame.bqi = Template.bqi tpl; bqi_hint }
       end
 
 let rec drain_tx t ch =

@@ -129,6 +129,77 @@ val destroy_channel : t -> caller:Uln_host.Addr_space.t -> channel -> unit
 (** Revoke the capability, remove filters, release the BQI ring and the
     shared region. *)
 
+val park_channel : t -> caller:Uln_host.Addr_space.t -> channel -> unit
+(** Strip the channel's filters and template and mark it inactive while
+    keeping the shared region, its mappings, the semaphore, the
+    capability gate and any BQI ring — the channel-pool recycling path
+    ({!Uln_proto.Tcp_params.t.channel_pool}).  Frames of the previous
+    connection still queued in the ring are dropped.  A later
+    {!activate} (after {!reassign_owner} if needed) re-arms it.
+    @raise Capability.Violation unless [caller] is privileged. *)
+
+val channel_destroyed : channel -> bool
+
+(* {2 Endpoint leases} *)
+
+type lease
+(** A block of local TCP ports whose filter/template {e shape} was
+    verified once at grant time; the owning application can then arm
+    channels for individual connections without a privileged caller
+    ({!Uln_proto.Tcp_params.t.endpoint_lease}). *)
+
+val grant_lease :
+  t ->
+  caller:Uln_host.Addr_space.t ->
+  owner:Uln_host.Addr_space.t ->
+  ip:Uln_addr.Ip.t ->
+  base_port:int ->
+  count:int ->
+  lease
+(** Register a lease (registry only): [owner] may arm channels for
+    connections whose local port lies in [base_port, base_port+count)
+    and whose source address is [ip].
+    @raise Capability.Violation unless [caller] is privileged. *)
+
+val revoke_lease : t -> caller:Uln_host.Addr_space.t -> lease -> unit
+(** Invalidate a lease; subsequent {!activate_leased} calls under it
+    are refused.  Channels already armed stay armed.
+    @raise Capability.Violation unless [caller] is privileged. *)
+
+val lease_stamps : lease -> int
+(** Activations performed under this lease. *)
+
+val activate_leased :
+  t ->
+  channel ->
+  from_domain:Uln_host.Addr_space.t ->
+  lease:lease ->
+  remote_ip:Uln_addr.Ip.t ->
+  remote_port:int ->
+  local_port:int ->
+  unit
+(** Arm [channel] for one connection under [lease] — the unprivileged
+    kernel entry that replaces the per-connection registry IPC.  The
+    kernel itself instantiates the pre-verified filter and template
+    from the validated 4-tuple (the caller never supplies a program, so
+    the anti-impersonation property is preserved), charging one
+    fast trap plus {!Calibration.lease_stamp}.  On AN1 the channel
+    advertises its receive BQI on outbound handshake frames and learns
+    the peer's stamp from the first marked inbound frame.
+    @raise Capability.Violation if the caller does not own both the
+    channel and the lease, the lease is revoked, or [local_port] falls
+    outside the leased block. *)
+
+val release_leased : t -> channel -> from_domain:Uln_host.Addr_space.t -> unit
+(** Disarm a leased channel once its connection has fully closed,
+    readying it for the next {!activate_leased}: filters out, template
+    cleared, region/rings kept, queued frames dropped.  Owner-callable.
+    @raise Capability.Violation if the caller does not hold the
+    channel's lease. *)
+
+val leased_activations : t -> int
+(** Channels armed through {!activate_leased} since creation. *)
+
 (* {2 Data path (application library, via capability)} *)
 
 val send : t -> channel -> from_domain:Uln_host.Addr_space.t -> Uln_net.Frame.t -> unit

@@ -43,6 +43,7 @@ type t = {
   locks : Mutex.t array;
   port_cpu : (int, int) Hashtbl.t;
   mutable ephemeral : int;
+  an1 : bool; (* connects pay the controller flow-slot/BQI driver setup *)
 }
 
 let stack t = t.stacks.(0)
@@ -106,7 +107,8 @@ let create machine (nic : Nic.t) ~ip ?tcp_params () =
       stacks = [| stack |];
       locks = [||];
       port_cpu = Hashtbl.create 16;
-      ephemeral = 49152 }
+      ephemeral = 49152;
+      an1 = nic.Nic.bqi <> None }
   end
   else begin
     let locking =
@@ -141,7 +143,14 @@ let create machine (nic : Nic.t) ~ip ?tcp_params () =
           Array.init n (fun i ->
               Mutex.create ~name:(Printf.sprintf "%s.stack%d.lock" mname i) ~sched ())
     in
-    let t = { machine; stacks; locks; port_cpu = Hashtbl.create 16; ephemeral = 49152 } in
+    let t =
+      { machine;
+        stacks;
+        locks;
+        port_cpu = Hashtbl.create 16;
+        ephemeral = 49152;
+        an1 = nic.Nic.bqi <> None }
+    in
     let qs = Array.init n (fun _ -> Mailbox.create ()) in
     nic.Nic.install_rx (fun info ->
         match steer t info.Nic.frame with
@@ -226,6 +235,9 @@ let app ?(cpu = 0) t ~name =
   let connect ~src_port ~dst ~dst_port =
     charge (Time.span_add c.Costs.trap c.Costs.socket_layer);
     charge Calibration.bsd_socket_create;
+    (* The AN1 driver programs a controller flow slot per connection —
+       why the paper's Ultrix setup is slower on AN1 than Ethernet. *)
+    if t.an1 then charge c.Costs.an1_driver_setup;
     let src_port =
       if src_port = 0 then begin
         t.ephemeral <- t.ephemeral + 1;

@@ -22,6 +22,20 @@ type lib_conn = {
   txpool : Shared_mem.t option; (* transmit loan pool (zero-copy only) *)
   mutable released : bool;
   mutable ops : Sockets.conn option; (* identity for connection passing *)
+  mutable retire : (unit -> unit) option;
+      (* resource return on final close; [None] = registry release IPC.
+         Leased connections return their port and channel to the
+         library-local lease instead. *)
+}
+
+(* Library-side view of an endpoint lease: the registry's grant plus
+   free lists of the ports and channels not currently on a connection.
+   A port enters the free list only when its connection has fully closed
+   (TIME_WAIT served locally), so quiet periods are respected. *)
+type lease_home = {
+  lh_grant : Registry.lease_grant;
+  mutable lh_free_ports : int list;
+  mutable lh_free_channels : Netio.channel list;
 }
 
 type bufstats = {
@@ -51,6 +65,16 @@ type t = {
   cpu_idx : int;
   cpu : Uln_host.Cpu.t;
   mutable conns : lib_conn list;
+  (* Endpoint-lease state (endpoint_lease switch). *)
+  mutable lease : lease_home option;
+  mac_cache : (Ip.t, Uln_addr.Mac.t) Hashtbl.t;
+  mutable leased_connects : int;
+  mutable lease_fallbacks : int;
+  (* TIME_WAIT residues waiting to be parked on the registry wheel
+     (time_wait_wheel switch): coalesced into one one-way message per
+     batch so the crossing amortizes at churn rate. *)
+  mutable tw_residues : (Ip.t * int * int) list;
+  mutable tw_flush_armed : bool;
 }
 
 let domain t = t.dom
@@ -59,6 +83,36 @@ let cpu t = t.cpu
 
 let charge t span = Cpu.use t.cpu span
 let costs t = t.machine.Machine.costs
+
+(* Parking a residue must not charge the engine thread mid-segment, so
+   the hook only queues; a spawned thread pays for the actual send.
+   The flush bounds how long a residue sits local — far inside the
+   slack of the FIFO port free list, whose 2MSL clock only starts at
+   the registry. *)
+let tw_park_batch = 8
+let tw_flush_after = Time.ms 20
+
+let tw_flush t =
+  match t.tw_residues with
+  | [] -> ()
+  | rs ->
+      t.tw_residues <- [];
+      ignore
+        (Ipc.post (Registry.park_time_wait_port t.registry)
+           ~size:(16 * List.length rs)
+           (List.rev rs))
+
+let tw_queue t residue =
+  t.tw_residues <- residue :: t.tw_residues;
+  if List.length t.tw_residues >= tw_park_batch then
+    Sched.spawn t.machine.Machine.sched ~name:(t.name ^ ".tw_flush") (fun () -> tw_flush t)
+  else if not t.tw_flush_armed then begin
+    t.tw_flush_armed <- true;
+    Sched.spawn t.machine.Machine.sched ~name:(t.name ^ ".tw_flush") (fun () ->
+        Sched.sleep t.machine.Machine.sched tw_flush_after;
+        t.tw_flush_armed <- false;
+        tw_flush t)
+  end
 
 (* Connectionless endpoints answer arbitrary peers, so they learn link
    addresses from the frames they receive ("discovering ... by examining
@@ -82,7 +136,11 @@ let release t lc =
     lc.released <- true;
     drop_txpool lc;
     t.conns <- List.filter (fun c -> c != lc) t.conns;
-    Ipc.call (Registry.release_port t.registry) ~size:16 (Tcp.local_port lc.conn, lc.channel)
+    match lc.retire with
+    | Some f -> f ()
+    | None ->
+        Ipc.call (Registry.release_port t.registry) ~size:16
+          (Tcp.local_port lc.conn, lc.channel)
   end
 
 (* Build the per-connection library instance: a private engine, a
@@ -90,59 +148,30 @@ let release t lc =
    [params] overrides the library default — the paper's "canned options"
    customization (SS5): each connection gets its own engine, so each can
    be tuned to its application without touching anyone else. *)
-let adopt_parts t ?params ~snapshot ~channel ~remote_mac () =
-  let m = t.machine in
-  let nic = Netio.nic t.netio in
-  (* Pin the channel to this library's CPU before anything else runs:
-     rx notification, send charges and the engine all move with it. *)
-  Netio.set_channel_affinity t.netio channel t.cpu_idx;
-  let env =
-    Proto_env.create m.Machine.sched t.cpu m.Machine.costs
-      ~rng:(Rng.split m.Machine.rng) ()
-  in
-  let tcp_params = match params with Some p -> Some p | None -> t.tcp_params in
-  let zero_copy =
-    match tcp_params with Some p -> p.Uln_proto.Tcp_params.zero_copy | None -> false
-  in
-  (* Under zero copy, transmission goes through the channel's descriptor
-     ring: the library queues and rings the doorbell, and one kernel
-     drain picks up every descriptor present (doorbell coalescing). *)
-  let tx frame =
-    if zero_copy then Netio.send_batched t.netio channel ~from_domain:t.dom frame
-    else Netio.send t.netio channel ~from_domain:t.dom frame
-  in
-  let stack =
-    Stack.create env
-      ~netif:{ Stack.mtu = nic.Nic.mtu; mac = nic.Nic.mac; tx }
-      ~ip_addr:t.host_ip ?tcp_params ()
-  in
-  Stack.add_static_arp stack snapshot.Tcp.snap_remote_ip remote_mac;
-  let conn = Tcp.import stack.Stack.tcp snapshot in
-  (* The transmit loan pool is a separate pinned region, not the channel
-     region: on BQI hardware every channel buffer is committed to the
-     controller's receive ring, so loans for the send direction need
-     their own storage.  Mapped into the application and the kernel,
-     like any channel region. *)
-  let txpool =
-    if not zero_copy then None
-    else begin
-      let pool =
-        Shared_mem.create ~name:(t.name ^ ".txpool") ~count:Calibration.tx_pool_slots
-          ~size:Calibration.tx_pool_buffer_size
-      in
-      Shared_mem.map pool t.dom;
-      Shared_mem.map pool m.Machine.kernel;
-      Some pool
-    end
-  in
-  let lc = { stack; conn; channel; txpool; released = false; ops = None } in
-  t.conns <- lc :: t.conns;
-  (* The per-connection receive thread: waits on the channel semaphore,
-     drains the shared ring, upcalls into the engine. *)
+(* The transmit loan pool is a separate pinned region, not the channel
+   region: on BQI hardware every channel buffer is committed to the
+   controller's receive ring, so loans for the send direction need
+   their own storage.  Mapped into the application and the kernel,
+   like any channel region. *)
+let make_txpool t ~zero_copy =
+  if not zero_copy then None
+  else begin
+    let pool =
+      Shared_mem.create ~name:(t.name ^ ".txpool") ~count:Calibration.tx_pool_slots
+        ~size:Calibration.tx_pool_buffer_size
+    in
+    Shared_mem.map pool t.dom;
+    Shared_mem.map pool t.machine.Machine.kernel;
+    Some pool
+  end
+
+(* The per-connection receive thread: waits on the channel semaphore,
+   drains the shared ring, upcalls into the engine. *)
+let spawn_rx t ~zero_copy ~channel ~stack ~is_released =
   let c = costs t in
   let rec rx_loop () =
     Semaphore.wait (Netio.rx_sem channel);
-    if not lc.released then begin
+    if not (is_released ()) then begin
       (* Frames consumed by the post-drain poll below leave their
          empty->non-empty signal behind; under zero copy, swallow such a
          stale wakeup without charging the notification chain for an
@@ -184,7 +213,9 @@ let adopt_parts t ?params ~snapshot ~channel ~remote_mac () =
            once per lull instead of once per frame; the spin itself is
            charged as real CPU time, tick by tick. *)
         let rec poll spent =
-          if (not lc.released) && Time.to_us_f spent < Time.to_us_f Calibration.rx_poll_budget
+          if
+            (not (is_released ()))
+            && Time.to_us_f spent < Time.to_us_f Calibration.rx_poll_budget
           then begin
             charge t Calibration.rx_poll_tick;
             match Netio.rx_pop channel ~from_domain:t.dom with
@@ -203,12 +234,16 @@ let adopt_parts t ?params ~snapshot ~channel ~remote_mac () =
       end
     end
     else
-      (* The connection was handed to another library: give the wakeup
-         back so the new owner's receive thread sees it. *)
+      (* The connection was handed to another library (or retired to the
+         lease): give the wakeup back so the next owner's receive thread
+         sees it. *)
       Semaphore.signal (Netio.rx_sem channel)
   in
-  Sched.spawn m.Machine.sched ~name:(t.name ^ ".rx") rx_loop;
-  Tcp.on_closed conn (fun () -> release t lc);
+  Sched.spawn t.machine.Machine.sched ~name:(t.name ^ ".rx") rx_loop
+
+(* The socket operations of one connection. *)
+let make_ops t ~zero_copy ~txpool ~conn =
+  let c = costs t in
   let charge_write () =
     charge t
       (Time.span_add c.Costs.library_call
@@ -265,20 +300,135 @@ let adopt_parts t ?params ~snapshot ~channel ~remote_mac () =
     if zero_copy then Tcp.read_loan conn ~max else Tcp.read conn ~max
   in
   let return_loan v = if zero_copy then Tcp.return_loan conn (View.length v) in
-  let ops =
-    { Sockets.send;
-      recv;
-      alloc_tx;
-      send_owned;
-      recv_loan;
-      return_loan;
-      close = (fun () -> Tcp.close conn);
-      abort = (fun () -> Tcp.abort conn);
-      conn_state = (fun () -> Tcp.state conn);
-      await_closed = (fun () -> Tcp.await_closed conn) }
+  { Sockets.send;
+    recv;
+    alloc_tx;
+    send_owned;
+    recv_loan;
+    return_loan;
+    close = (fun () -> Tcp.close conn);
+    abort = (fun () -> Tcp.abort conn);
+    conn_state = (fun () -> Tcp.state conn);
+    await_closed = (fun () -> Tcp.await_closed conn) }
+
+(* Build the per-connection library instance: a private engine, a
+   receive thread on the channel semaphore, and the socket operations.
+   [params] overrides the library default — the paper's "canned options"
+   customization (SS5): each connection gets its own engine, so each can
+   be tuned to its application without touching anyone else. *)
+let adopt_parts t ?params ~snapshot ~channel ~remote_mac () =
+  let m = t.machine in
+  let nic = Netio.nic t.netio in
+  (* Pin the channel to this library's CPU before anything else runs:
+     rx notification, send charges and the engine all move with it. *)
+  Netio.set_channel_affinity t.netio channel t.cpu_idx;
+  let env =
+    Proto_env.create m.Machine.sched t.cpu m.Machine.costs
+      ~rng:(Rng.split m.Machine.rng) ()
   in
+  let tcp_params = match params with Some p -> Some p | None -> t.tcp_params in
+  let zero_copy =
+    match tcp_params with Some p -> p.Uln_proto.Tcp_params.zero_copy | None -> false
+  in
+  (* Under zero copy, transmission goes through the channel's descriptor
+     ring: the library queues and rings the doorbell, and one kernel
+     drain picks up every descriptor present (doorbell coalescing). *)
+  let tx frame =
+    if zero_copy then Netio.send_batched t.netio channel ~from_domain:t.dom frame
+    else Netio.send t.netio channel ~from_domain:t.dom frame
+  in
+  let stack =
+    Stack.create env
+      ~netif:{ Stack.mtu = nic.Nic.mtu; mac = nic.Nic.mac; tx }
+      ~ip_addr:t.host_ip ?tcp_params ()
+  in
+  Stack.add_static_arp stack snapshot.Tcp.snap_remote_ip remote_mac;
+  let conn = Tcp.import stack.Stack.tcp snapshot in
+  let txpool = make_txpool t ~zero_copy in
+  let lc = { stack; conn; channel; txpool; released = false; ops = None; retire = None } in
+  t.conns <- lc :: t.conns;
+  spawn_rx t ~zero_copy ~channel ~stack ~is_released:(fun () -> lc.released);
+  Tcp.on_closed conn (fun () -> release t lc);
+  let ops = make_ops t ~zero_copy ~txpool ~conn in
   lc.ops <- Some ops;
   ops
+
+(* Leased connect (endpoint_lease switch): the library already holds a
+   port block, ready channels and the kernel-side lease, so setting up a
+   connection involves no registry IPC at all.  The channel is armed
+   with the pre-verified filter/template by an unprivileged kernel entry
+   {e before} the SYN goes out, and — unlike the registry path — the
+   library runs the three-way handshake on its own engine, so there is
+   no state export/import and no handoff window. *)
+let leased_parts t ?params ~lh ~channel ~local_port ~dst ~dst_port ~remote_mac () =
+  let m = t.machine in
+  let nic = Netio.nic t.netio in
+  Netio.set_channel_affinity t.netio channel t.cpu_idx;
+  let env =
+    Proto_env.create m.Machine.sched t.cpu m.Machine.costs
+      ~rng:(Rng.split m.Machine.rng) ()
+  in
+  let tcp_params = match params with Some p -> Some p | None -> t.tcp_params in
+  let zero_copy =
+    match tcp_params with Some p -> p.Uln_proto.Tcp_params.zero_copy | None -> false
+  in
+  let tx frame =
+    if zero_copy then Netio.send_batched t.netio channel ~from_domain:t.dom frame
+    else Netio.send t.netio channel ~from_domain:t.dom frame
+  in
+  let stack =
+    Stack.create env
+      ~netif:{ Stack.mtu = nic.Nic.mtu; mac = nic.Nic.mac; tx }
+      ~ip_addr:t.host_ip ?tcp_params ()
+  in
+  Stack.add_static_arp stack dst remote_mac;
+  (* The receive thread must exist before the handshake: the SYN-ACK
+     arrives in this channel's ring. *)
+  let released = ref false in
+  spawn_rx t ~zero_copy ~channel ~stack ~is_released:(fun () -> !released);
+  match Tcp.connect stack.Stack.tcp ~src_port:local_port ~dst ~dst_port with
+  | Error e ->
+      released := true;
+      Netio.release_leased t.netio channel ~from_domain:t.dom;
+      lh.lh_free_ports <- lh.lh_free_ports @ [ local_port ];
+      lh.lh_free_channels <- lh.lh_free_channels @ [ channel ];
+      Error e
+  | Ok conn ->
+      (* With the wheel on, the quiet period migrates to the registry:
+         the residue joins the next coalesced one-way park message and
+         the local control block finishes at once, so the lease's port
+         and channel recycle at churn rate instead of once per 2MSL. *)
+      let wheel =
+        match tcp_params with
+        | Some p -> p.Uln_proto.Tcp_params.time_wait_wheel
+        | None -> false
+      in
+      if wheel then
+        Tcp.set_time_wait_hook stack.Stack.tcp (fun c ->
+            let remote_ip, remote_port = Tcp.remote_addr c in
+            tw_queue t (remote_ip, remote_port, Tcp.local_port c);
+            true);
+      let txpool = make_txpool t ~zero_copy in
+      let lc =
+        { stack; conn; channel; txpool; released = false; ops = None; retire = None }
+      in
+      lc.retire <-
+        Some
+          (fun () ->
+            (* Fully closed: the quiet period was either served by this
+               engine or parked on the registry wheel — both port and
+               channel go back to the lease's free lists.  The free
+               lists are FIFO, so a parked tuple is not re-stamped until
+               every other leased port has cycled. *)
+            released := true;
+            Netio.release_leased t.netio channel ~from_domain:t.dom;
+            lh.lh_free_ports <- lh.lh_free_ports @ [ local_port ];
+            lh.lh_free_channels <- lh.lh_free_channels @ [ channel ]);
+      t.conns <- lc :: t.conns;
+      Tcp.on_closed conn (fun () -> release t lc);
+      let ops = make_ops t ~zero_copy ~txpool ~conn in
+      lc.ops <- Some ops;
+      Ok ops
 
 let adopt t ?params (grant : Registry.grant) =
   adopt_parts t ?params ~snapshot:grant.Registry.snapshot ~channel:grant.Registry.channel
@@ -317,15 +467,93 @@ let create machine netio registry ~name ~ip ?tcp_params ?(cpu = 0) () =
     tcp_params;
     cpu_idx = cpu;
     cpu = Machine.cpu_at machine cpu;
-    conns = [] }
+    conns = [];
+    lease = None;
+    mac_cache = Hashtbl.create 8;
+    leased_connects = 0;
+    lease_fallbacks = 0;
+    tw_residues = [];
+    tw_flush_armed = false }
 
-let connect ?params t ~src_port ~dst ~dst_port =
+let connect_via_registry ?params t ~src_port ~dst ~dst_port =
   match
     Ipc.call (Registry.connect_port t.registry) ~size:64
       { Registry.c_app = t.dom; c_src_port = src_port; c_dst = dst; c_dst_port = dst_port }
   with
   | Error e -> Error e
   | Ok grant -> Ok (adopt t ?params grant)
+
+(* One registry IPC amortized over the whole lease; the typed
+   [Out_of_ports] error surfaces as a connect failure. *)
+let ensure_lease t =
+  match t.lease with
+  | Some lh -> Ok lh
+  | None -> (
+      match Ipc.call (Registry.lease_port t.registry) ~size:64 t.dom with
+      | Error Registry.Out_of_ports -> Error "lease: out of ports"
+      | Ok g ->
+          let lh =
+            { lh_grant = g;
+              lh_free_ports = List.init g.Registry.lg_count (fun i -> g.Registry.lg_base + i);
+              lh_free_channels = g.Registry.lg_channels }
+          in
+          t.lease <- Some lh;
+          Ok lh)
+
+(* The registry owns ARP; ask once per peer and cache — repeat connects
+   to the same host pay no resolution IPC. *)
+let mac_for t dst =
+  match Hashtbl.find_opt t.mac_cache dst with
+  | Some m -> m
+  | None ->
+      let m = Ipc.call (Registry.resolve_mac_port t.registry) ~size:16 dst in
+      Hashtbl.replace t.mac_cache dst m;
+      m
+
+let connect_leased ?params t ~dst ~dst_port =
+  match ensure_lease t with
+  | Error e -> Error e
+  | Ok lh -> (
+      match (lh.lh_free_ports, lh.lh_free_channels) with
+      | [], _ -> Error "lease: out of ports"
+      | _, [] ->
+          (* Every lease channel is on a live connection: fall back to a
+             per-connection registry setup rather than block. *)
+          t.lease_fallbacks <- t.lease_fallbacks + 1;
+          connect_via_registry ?params t ~src_port:0 ~dst ~dst_port
+      | port :: more_ports, ch :: more_chs -> (
+          charge t Calibration.lease_local_alloc;
+          lh.lh_free_ports <- more_ports;
+          lh.lh_free_channels <- more_chs;
+          let undo () =
+            lh.lh_free_ports <- lh.lh_free_ports @ [ port ];
+            lh.lh_free_channels <- lh.lh_free_channels @ [ ch ]
+          in
+          match
+            try
+              Ok
+                (Netio.activate_leased t.netio ch ~from_domain:t.dom
+                   ~lease:lh.lh_grant.Registry.lg_lease ~remote_ip:dst ~remote_port:dst_port
+                   ~local_port:port)
+            with Uln_host.Capability.Violation m -> Error m
+          with
+          | Error e ->
+              undo ();
+              Error e
+          | Ok () ->
+              t.leased_connects <- t.leased_connects + 1;
+              let remote_mac = mac_for t dst in
+              leased_parts t ?params ~lh ~channel:ch ~local_port:port ~dst ~dst_port
+                ~remote_mac ()))
+
+let connect ?params t ~src_port ~dst ~dst_port =
+  let prm = match params with Some p -> Some p | None -> t.tcp_params in
+  let leased =
+    match prm with Some p -> p.Uln_proto.Tcp_params.endpoint_lease | None -> false
+  in
+  (* An explicit source port lies outside any leased block: registry path. *)
+  if leased && src_port = 0 then connect_leased ?params t ~dst ~dst_port
+  else connect_via_registry ?params t ~src_port ~dst ~dst_port
 
 let connect_tuned t ~params ~src_port ~dst ~dst_port =
   connect ~params t ~src_port ~dst ~dst_port
@@ -503,6 +731,12 @@ let exit_app t ~graceful =
      peer otherwise. *)
   let open_conns = t.conns in
   t.conns <- [];
+  let wheel =
+    match t.tcp_params with
+    | Some p -> p.Uln_proto.Tcp_params.time_wait_wheel
+    | None -> false
+  in
+  let batch = ref [] in
   List.iter
     (fun lc ->
       if not lc.released then begin
@@ -512,13 +746,40 @@ let exit_app t ~graceful =
         match Tcp.state lc.conn with
         | Uln_proto.Tcp_state.Established ->
             let snap = if graceful then Tcp.export lc.conn else Tcp.export_force lc.conn in
-            Ipc.call (Registry.inherit_conn t.registry) ~size:128 (snap, lc.channel, graceful)
-        | _ ->
+            if wheel then
+              (* One IPC for the whole set: residues park on the
+                 registry's TIME_WAIT wheel (graceful) or are retired by
+                 the batched RST sweep (abnormal). *)
+              batch := (snap, lc.channel) :: !batch
+            else
+              Ipc.call (Registry.inherit_conn t.registry) ~size:128
+                (snap, lc.channel, graceful)
+        | _ -> (
             Tcp.abort lc.conn;
-            Ipc.call (Registry.release_port t.registry) ~size:16
-              (Tcp.local_port lc.conn, lc.channel)
+            match lc.retire with
+            | Some f -> f ()
+            | None ->
+                Ipc.call (Registry.release_port t.registry) ~size:16
+                  (Tcp.local_port lc.conn, lc.channel))
       end)
-    open_conns
+    open_conns;
+  (match !batch with
+  | [] -> ()
+  | conns ->
+      Ipc.call (Registry.inherit_batch t.registry)
+        ~size:(128 * List.length conns)
+        (List.rev conns, graceful));
+  (* Residues still waiting for a coalesced park go now: the library is
+     leaving and nothing else will flush them. *)
+  tw_flush t;
+  (* Return the endpoint lease: the registry reclaims the port block and
+     the channels still in the library's hands. *)
+  match t.lease with
+  | None -> ()
+  | Some lh ->
+      t.lease <- None;
+      Ipc.call (Registry.release_lease_port t.registry) ~size:32
+        { lh.lh_grant with Registry.lg_channels = lh.lh_free_channels }
 
 let bufstats t =
   List.rev_map
@@ -540,6 +801,24 @@ let bufstats t =
         bs_tx_sync_fallbacks = Netio.tx_sync_fallbacks lc.channel;
         bs_tx_batch_hist = Netio.tx_batch_histogram lc.channel })
     t.conns
+
+type leasestats = {
+  lst_leased_connects : int;
+  lst_fallbacks : int;
+  lst_free_ports : int;
+  lst_free_channels : int;
+}
+
+let leasestats t =
+  let fp, fc =
+    match t.lease with
+    | None -> (0, 0)
+    | Some lh -> (List.length lh.lh_free_ports, List.length lh.lh_free_channels)
+  in
+  { lst_leased_connects = t.leased_connects;
+    lst_fallbacks = t.lease_fallbacks;
+    lst_free_ports = fp;
+    lst_free_channels = fc }
 
 let app t =
   { Sockets.app_name = t.name;

@@ -81,3 +81,16 @@ type bufstats = {
 
 val bufstats : t -> bufstats list
 (** One entry per live connection of this library. *)
+
+(** Endpoint-lease statistics of this library (all zero when the
+    [endpoint_lease] switch is off). *)
+type leasestats = {
+  lst_leased_connects : int;  (** connects served with no registry IPC *)
+  lst_fallbacks : int;
+      (** leased connects that fell back to the registry path (every
+          lease channel was on a live connection) *)
+  lst_free_ports : int;  (** leased ports currently idle *)
+  lst_free_channels : int;  (** lease channels currently idle *)
+}
+
+val leasestats : t -> leasestats

@@ -19,7 +19,9 @@ module Verify = Uln_filter.Verify
 module Stack = Uln_proto.Stack
 module Proto_env = Uln_proto.Proto_env
 module Tcp = Uln_proto.Tcp
+module Tcp_params = Uln_proto.Tcp_params
 module Arp = Uln_proto.Arp
+module Timers = Uln_engine.Timers
 
 type grant = { snapshot : Tcp.snapshot; channel : Netio.channel; remote_mac : Mac.t }
 
@@ -38,9 +40,41 @@ type pending = {
   mutable stamp_bqi : int;
   mutable peer_bqi : int;
   mutable pre_channel : Netio.channel option; (* passive side, created at SYN *)
+  mutable pre_reused : bool; (* pre_channel came from the recycling pool *)
+  mutable build_join : (unit -> unit) option;
+      (* overlapped channel construction in flight; call before use *)
 }
 
-type port_state = Listening of Tcp.listener | In_use
+type port_state = Listening of Tcp.listener | In_use | Leased
+
+(* One endpoint lease handed to a library: a port block plus channels
+   that live for the lease's lifetime. *)
+type lease_grant = {
+  lg_lease : Netio.lease;
+  lg_base : int;
+  lg_count : int;
+  lg_channels : Netio.channel list;
+}
+
+type lease_error = Out_of_ports
+
+(* Per-connection wall-clock legs of the most recent setups, for the
+   observability surface (netlab setupstats). *)
+type leg_totals = {
+  mutable lt_samples : int;
+  mutable lt_port_alloc_us : float;
+  mutable lt_round_trip_us : float;
+  mutable lt_finish_us : float;
+  mutable lt_total_us : float;
+}
+
+type tw_entry = {
+  e_key : int32 * int * int;
+  e_port : int;
+  e_filter : Demux.key option;
+  mutable e_done : bool;
+  mutable e_timer : Uln_engine.Timers.handle option;
+}
 
 type t = {
   machine : Machine.t;
@@ -57,11 +91,31 @@ type t = {
   mutable ephemeral : int;
   mutable handshakes : int;
   mutable inherited : int;
+  prm : Uln_proto.Tcp_params.t;
+  (* Channel recycling pool (channel_pool switch). *)
+  mutable pool : Netio.channel list;
+  mutable pool_hits : int;
+  mutable pool_misses : int;
+  (* Endpoint leases (endpoint_lease switch). *)
+  mutable leases_granted : int;
+  mutable leases_active : int;
+  (* TIME_WAIT wheel (time_wait_wheel switch). *)
+  tw_timers : Uln_engine.Timers.t;
+  tw_entries : (int32 * int * int, tw_entry) Hashtbl.t;
+  tw_order : tw_entry Queue.t;
+  inherit_filters : (int32 * int * int, Demux.key) Hashtbl.t;
+  mutable tw_parked : int;
+  mutable tw_evicted : int;
+  legs : leg_totals;
   connect_p : (connect_req, (grant, string) result) Ipc.t;
   listen_p : (int, (unit, string) result) Ipc.t;
   accept_p : (accept_req, (grant, string) result) Ipc.t;
   release_p : (int * Netio.channel, unit) Ipc.t;
   inherit_p : (Tcp.snapshot * Netio.channel * bool, unit) Ipc.t;
+  inherit_batch_p : ((Tcp.snapshot * Netio.channel) list * bool, unit) Ipc.t;
+  lease_p : (Addr_space.t, (lease_grant, lease_error) result) Ipc.t;
+  release_lease_p : (lease_grant, unit) Ipc.t;
+  park_tw_p : ((Ip.t * int * int) list, unit) Ipc.t;
   bind_udp_p : (Addr_space.t * int, (Netio.channel, string) result) Ipc.t;
   release_udp_p : (int * Netio.channel, unit) Ipc.t;
   resolve_p : (Ip.t, Mac.t) Ipc.t;
@@ -78,11 +132,54 @@ let ports_in_use t = Hashtbl.length t.ports
 let handshakes_completed t = t.handshakes
 let inherited_connections t = t.inherited
 let stack t = t.stack
+
+type pool_stats = { ps_hits : int; ps_misses : int; ps_parked : int }
+
+let pool_stats t = { ps_hits = t.pool_hits; ps_misses = t.pool_misses; ps_parked = List.length t.pool }
+
+type lease_stats = { ls_granted : int; ls_active : int }
+
+let lease_stats t = { ls_granted = t.leases_granted; ls_active = t.leases_active }
+
+type time_wait_stats = {
+  tw_pending : int;
+  tw_parked_total : int;
+  tw_evicted : int;
+  tw_capacity : int;
+}
+
+let time_wait_stats t =
+  { tw_pending = Hashtbl.length t.tw_entries;
+    tw_parked_total = t.tw_parked;
+    tw_evicted = t.tw_evicted;
+    tw_capacity = Calibration.time_wait_capacity }
+
+type setup_legs = {
+  sl_samples : int;
+  sl_port_alloc_us : float;
+  sl_round_trip_us : float;
+  sl_finish_us : float;
+  sl_total_us : float;
+}
+
+let setup_legs t =
+  let l = t.legs in
+  let n = Stdlib.max 1 l.lt_samples in
+  let avg x = x /. float_of_int n in
+  { sl_samples = l.lt_samples;
+    sl_port_alloc_us = avg l.lt_port_alloc_us;
+    sl_round_trip_us = avg l.lt_round_trip_us;
+    sl_finish_us = avg l.lt_finish_us;
+    sl_total_us = avg l.lt_total_us }
 let connect_port t = t.connect_p
 let listen_port t = t.listen_p
 let accept_port t = t.accept_p
 let release_port t = t.release_p
 let inherit_conn t = t.inherit_p
+let inherit_batch t = t.inherit_batch_p
+let lease_port t = t.lease_p
+let release_lease_port t = t.release_lease_p
+let park_time_wait_port t = t.park_tw_p
 let bind_udp_port t = t.bind_udp_p
 let release_udp_port t = t.release_udp_p
 let resolve_mac_port t = t.resolve_p
@@ -135,6 +232,152 @@ let device_ipc_cost t =
   let c = t.machine.Machine.costs in
   Time.span_add c.Costs.ipc_fixed c.Costs.context_switch
 
+(* {2 Connection-churn fast-path helpers} *)
+
+(* Channel recycling (channel_pool): a parked channel keeps its shared
+   region, mappings, semaphore, capability gate and BQI ring, so
+   re-arming it for a new connection skips the expensive mapping work. *)
+let take_channel t ~owner =
+  let use_bqi = (Netio.nic t.netio).Nic.bqi <> None in
+  if t.prm.Tcp_params.channel_pool then
+    match t.pool with
+    | ch :: rest when not (Netio.channel_destroyed ch) ->
+        t.pool <- rest;
+        t.pool_hits <- t.pool_hits + 1;
+        Netio.reassign_owner t.netio ~caller:t.dom ch ~owner;
+        (ch, true)
+    | _ ->
+        t.pool_misses <- t.pool_misses + 1;
+        (Netio.create_channel t.netio ~caller:t.dom ~owner ~use_bqi, false)
+  else (Netio.create_channel t.netio ~caller:t.dom ~owner ~use_bqi, false)
+
+let put_channel t ch =
+  if
+    t.prm.Tcp_params.channel_pool
+    && (not (Netio.channel_destroyed ch))
+    && List.length t.pool < Calibration.channel_pool_max
+  then begin
+    Netio.park_channel t.netio ~caller:t.dom ch;
+    t.pool <- ch :: t.pool
+  end
+  else Netio.destroy_channel t.netio ~caller:t.dom ch
+
+(* The per-connection channel construction charge: a recycled channel
+   pays the cheap re-arm cost; a fresh one the full setup, plus ring
+   stocking when it has a hardware BQI. *)
+let build_span ~app_ch ~reused =
+  if reused then Calibration.channel_reuse_setup
+  else
+    Time.span_add Calibration.registry_channel_setup
+      (if Netio.channel_bqi app_ch > 0 then Calibration.bqi_setup else 0)
+
+let charge_channel_build t ~app_ch ~reused = charge t (build_span ~app_ch ~reused)
+
+(* Overlapped handshake (overlap_setup): run the channel construction
+   on its own thread so the charge proceeds while the SYN round trip is
+   on the wire.  The charge goes in short slices — the construction is
+   preemptible background work, and a single multi-millisecond
+   reservation on this CPU would queue ahead of the handshake's own
+   short engine charges, delaying the very SYN (or SYN-ACK) it is meant
+   to overlap.  Returns a join: call it before touching the channel. *)
+let spawn_build t ~app_ch ~reused =
+  let built = ref false in
+  let waiter = ref None in
+  Sched.spawn t.machine.Machine.sched ~name:"registry.chan_build" (fun () ->
+      let slice = Time.us 200 in
+      let rec go remaining =
+        if remaining > 0 then begin
+          charge t (min slice remaining);
+          go (remaining - slice)
+        end
+      in
+      go (build_span ~app_ch ~reused);
+      built := true;
+      match !waiter with Some wake -> wake () | None -> ());
+  fun () -> if not !built then Sched.suspend (fun wake -> waiter := Some wake)
+
+let record_legs t ~t0 ~t1 ~t2 ~t3 =
+  let l = t.legs in
+  l.lt_samples <- l.lt_samples + 1;
+  l.lt_port_alloc_us <- l.lt_port_alloc_us +. Time.to_us_f (Time.diff t1 t0);
+  l.lt_round_trip_us <- l.lt_round_trip_us +. Time.to_us_f (Time.diff t2 t1);
+  l.lt_finish_us <- l.lt_finish_us +. Time.to_us_f (Time.diff t3 t2);
+  l.lt_total_us <- l.lt_total_us +. Time.to_us_f (Time.diff t3 t0)
+
+(* {2 TIME_WAIT wheel (time_wait_wheel)} *)
+
+let tw_expire t entry =
+  if not entry.e_done then begin
+    entry.e_done <- true;
+    (match entry.e_timer with Some h -> Timers.disarm h | None -> ());
+    (match entry.e_filter with
+    | Some k -> Netio.remove_filter t.netio ~caller:t.dom k
+    | None -> ());
+    Hashtbl.remove t.tw_entries entry.e_key;
+    match Hashtbl.find_opt t.ports entry.e_port with
+    | Some In_use -> Hashtbl.remove t.ports entry.e_port
+    | Some (Listening _ | Leased) | None -> ()
+  end
+
+(* Claim an inherited connection's 2MSL quiet period: instead of a live
+   control block ticking in the engine, the residue is one wheel entry
+   (4-tuple, port, demux filter).  Stray segments for a parked residue
+   match the kept filter, reach the registry engine's unknown-connection
+   path and are dropped silently.  Capacity is bounded: past the cap the
+   oldest residue forfeits its remaining quiet time (counted). *)
+let tw_park t ~key ~port =
+  if Hashtbl.mem t.tw_entries key then false
+  else begin
+    charge t Calibration.time_wait_entry;
+    while
+      Hashtbl.length t.tw_entries >= Calibration.time_wait_capacity
+      && not (Queue.is_empty t.tw_order)
+    do
+      let oldest = Queue.pop t.tw_order in
+      if not oldest.e_done then begin
+        t.tw_evicted <- t.tw_evicted + 1;
+        tw_expire t oldest
+      end
+    done;
+    let entry =
+      { e_key = key;
+        e_port = port;
+        e_filter = Hashtbl.find_opt t.inherit_filters key;
+        e_done = false;
+        e_timer = None }
+    in
+    Hashtbl.remove t.inherit_filters key;
+    entry.e_timer <-
+      Some
+        (Timers.arm t.tw_timers
+           (Time.span_scale t.prm.Tcp_params.msl 2)
+           (fun () -> tw_expire t entry));
+    Hashtbl.replace t.tw_entries key entry;
+    Queue.push entry t.tw_order;
+    t.tw_parked <- t.tw_parked + 1;
+    true
+  end
+
+let tw_claim t conn =
+  let remote_ip, remote_port = Tcp.remote_addr conn in
+  let local_port = Tcp.local_port conn in
+  tw_park t ~key:(pending_key ~remote_ip ~remote_port ~local_port) ~port:local_port
+
+(* A library offloads leased connections' quiet periods: each local
+   control block (and its channel) freed immediately; the registry owns
+   the 2MSL residues.  The ports stay inside the lease block, so expiry
+   touches no port state.  Libraries batch residues into one message to
+   amortize the crossing at churn rate. *)
+let do_park_tw t residues =
+  if t.prm.Tcp_params.time_wait_wheel then
+    List.iter
+      (fun (remote_ip, remote_port, local_port) ->
+        ignore
+          (tw_park t
+             ~key:(pending_key ~remote_ip ~remote_port ~local_port)
+             ~port:local_port))
+      residues
+
 let rec create machine netio ~ip ?tcp_params () =
   let dom = Machine.new_server_domain machine "tcp-registry" in
   let nic = Netio.nic netio in
@@ -181,11 +424,35 @@ let rec create machine netio ~ip ?tcp_params () =
          ephemeral = 49152;
          handshakes = 0;
          inherited = 0;
+         prm = (match tcp_params with Some p -> p | None -> Uln_proto.Tcp_params.default);
+         pool = [];
+         pool_hits = 0;
+         pool_misses = 0;
+         leases_granted = 0;
+         leases_active = 0;
+         tw_timers =
+           Uln_engine.Timers.create machine.Machine.sched
+             ~granularity:Calibration.time_wait_granularity;
+         tw_entries = Hashtbl.create 64;
+         tw_order = Queue.create ();
+         inherit_filters = Hashtbl.create 64;
+         tw_parked = 0;
+         tw_evicted = 0;
+         legs =
+           { lt_samples = 0;
+             lt_port_alloc_us = 0.;
+             lt_round_trip_us = 0.;
+             lt_finish_us = 0.;
+             lt_total_us = 0. };
          connect_p = Ipc.create machine.Machine.sched machine.Machine.cpu costs ~name:"registry.connect";
          listen_p = Ipc.create machine.Machine.sched machine.Machine.cpu costs ~name:"registry.listen";
          accept_p = Ipc.create machine.Machine.sched machine.Machine.cpu costs ~name:"registry.accept";
          release_p = Ipc.create machine.Machine.sched machine.Machine.cpu costs ~name:"registry.release";
          inherit_p = Ipc.create machine.Machine.sched machine.Machine.cpu costs ~name:"registry.inherit";
+         inherit_batch_p = Ipc.create machine.Machine.sched machine.Machine.cpu costs ~name:"registry.inherit_batch";
+         lease_p = Ipc.create machine.Machine.sched machine.Machine.cpu costs ~name:"registry.lease";
+         release_lease_p = Ipc.create machine.Machine.sched machine.Machine.cpu costs ~name:"registry.release_lease";
+         park_tw_p = Ipc.create machine.Machine.sched machine.Machine.cpu costs ~name:"registry.park_tw";
          bind_udp_p = Ipc.create machine.Machine.sched machine.Machine.cpu costs ~name:"registry.bind_udp";
          release_udp_p = Ipc.create machine.Machine.sched machine.Machine.cpu costs ~name:"registry.release_udp";
          resolve_p = Ipc.create machine.Machine.sched machine.Machine.cpu costs ~name:"registry.resolve";
@@ -245,6 +512,8 @@ let rec create machine netio ~ip ?tcp_params () =
             Netio.inject t.netio ~caller:t.dom ch frame;
             true
       end);
+  if t.prm.Tcp_params.time_wait_wheel then
+    Tcp.set_time_wait_hook t.stack.Stack.tcp (fun conn -> tw_claim t conn);
   serve t;
   t
 
@@ -285,15 +554,21 @@ and on_rx t frame =
             if is_syn_only && Hashtbl.mem t.ports peek.p_dport then begin
               match Hashtbl.find_opt t.ports peek.p_dport with
               | Some (Listening _) ->
-                  let use_bqi = (Netio.nic t.netio).Nic.bqi <> None in
-                  let ch =
-                    Netio.create_channel t.netio ~caller:t.dom ~owner:t.dom ~use_bqi
+                  let ch, reused = take_channel t ~owner:t.dom in
+                  (* Passive-side overlap: build the channel while the
+                     SYN-ACK/ACK exchange completes. *)
+                  let join =
+                    if t.prm.Tcp_params.overlap_setup then
+                      Some (spawn_build t ~app_ch:ch ~reused)
+                    else None
                   in
                   Hashtbl.replace t.pending key
                     { stamp_bqi = Netio.channel_bqi ch;
                       peer_bqi = frame.Frame.bqi_hint;
-                      pre_channel = Some ch }
-              | Some In_use | None -> ()
+                      pre_channel = Some ch;
+                      pre_reused = reused;
+                      build_join = join }
+              | Some (In_use | Leased) | None -> ()
             end))
 
 and resolve_mac t dst =
@@ -318,16 +593,21 @@ and alloc_ephemeral t =
   go 0
 
 and do_connect t (req : connect_req) =
+  let sched = t.machine.Machine.sched in
+  let t0 = Sched.now sched in
   charge t Calibration.registry_port_alloc;
   let src_port = if req.c_src_port = 0 then alloc_ephemeral t else req.c_src_port in
   if Hashtbl.mem t.ports src_port then Error (Printf.sprintf "port %d in use" src_port)
   else begin
     Hashtbl.replace t.ports src_port In_use;
-    let use_bqi = (Netio.nic t.netio).Nic.bqi <> None in
-    let app_ch = Netio.create_channel t.netio ~caller:t.dom ~owner:req.c_app ~use_bqi in
+    let app_ch, reused = take_channel t ~owner:req.c_app in
     let key = pending_key ~remote_ip:req.c_dst ~remote_port:req.c_dst_port ~local_port:src_port in
     Hashtbl.replace t.pending key
-      { stamp_bqi = Netio.channel_bqi app_ch; peer_bqi = 0; pre_channel = None };
+      { stamp_bqi = Netio.channel_bqi app_ch;
+        peer_bqi = 0;
+        pre_channel = None;
+        pre_reused = false;
+        build_join = None };
     (* Route this handshake's inbound segments to the registry. *)
     match
       try
@@ -339,38 +619,52 @@ and do_connect t (req : connect_req) =
     with
     | Error e ->
         Hashtbl.remove t.pending key;
-        Netio.destroy_channel t.netio ~caller:t.dom app_ch;
+        put_channel t app_ch;
         Hashtbl.remove t.ports src_port;
         Error e
     | Ok tmp_filter -> (
         let cleanup () =
           Netio.remove_filter t.netio ~caller:t.dom tmp_filter;
           Hashtbl.remove t.pending key;
-          Netio.destroy_channel t.netio ~caller:t.dom app_ch;
+          put_channel t app_ch;
           Hashtbl.remove t.ports src_port
         in
+        (* Overlapped handshake: the channel construction charge runs
+           while the SYN round trip is on the wire. *)
+        let join =
+          if t.prm.Tcp_params.overlap_setup then Some (spawn_build t ~app_ch ~reused)
+          else None
+        in
+        let t1 = Sched.now sched in
         match
           Tcp.connect t.stack.Stack.tcp ~src_port ~dst:req.c_dst ~dst_port:req.c_dst_port
         with
         | Error e ->
+            (match join with Some j -> j () | None -> ());
             cleanup ();
             Error e
         | Ok conn ->
+            let t2 = Sched.now sched in
+            (match join with Some j -> j () | None -> ());
             let p = Hashtbl.find t.pending key in
-            finish_setup t ~conn ~app_ch ~remote_ip:req.c_dst ~remote_port:req.c_dst_port
-              ~local_port:src_port ~peer_bqi:p.peer_bqi ~tmp_filter:(Some tmp_filter) ~key)
+            let r =
+              finish_setup t ~conn ~app_ch ~reused ~pre_charged:(Option.is_some join)
+                ~remote_ip:req.c_dst ~remote_port:req.c_dst_port ~local_port:src_port
+                ~peer_bqi:p.peer_bqi ~tmp_filter:(Some tmp_filter) ~key
+            in
+            record_legs t ~t0 ~t1 ~t2 ~t3:(Sched.now sched);
+            r)
   end
 
-and finish_setup t ~conn ~app_ch ~remote_ip ~remote_port ~local_port ~peer_bqi ~tmp_filter
-    ~key =
+and finish_setup t ~conn ~app_ch ~reused ~pre_charged ~remote_ip ~remote_port ~local_port
+    ~peer_bqi ~tmp_filter ~key =
   (* Build the user channel: shared region already exists; install the
      connection filter and the anti-impersonation template.  The handoff
      entry is registered first so that segments racing the transfer are
      diverted to the application's channel rather than processed (and
      then lost) by the registry's own engine. *)
   Hashtbl.replace t.handoffs key app_ch;
-  charge t Calibration.registry_channel_setup;
-  if Netio.channel_bqi app_ch > 0 then charge t Calibration.bqi_setup;
+  if not pre_charged then charge_channel_build t ~app_ch ~reused;
   Netio.activate t.netio ~caller:t.dom app_ch
     ~filter:(conn_filter t ~remote_ip ~remote_port ~local_port)
     ~template:(conn_template t ~remote_ip ~remote_port ~local_port ~bqi:peer_bqi);
@@ -408,19 +702,21 @@ and do_accept t (req : accept_req) =
       let remote_ip, remote_port = Tcp.remote_addr conn in
       let key = pending_key ~remote_ip ~remote_port ~local_port:req.a_port in
       let p = Hashtbl.find_opt t.pending key in
-      let app_ch =
+      let app_ch, reused, pre_charged =
         match p with
-        | Some { pre_channel = Some ch; _ } ->
+        | Some ({ pre_channel = Some ch; pre_reused; _ } as pend) ->
+            (match pend.build_join with Some j -> j () | None -> ());
             Netio.reassign_owner t.netio ~caller:t.dom ch ~owner:req.a_app;
-            ch
+            (ch, pre_reused, Option.is_some pend.build_join)
         | _ ->
-            let use_bqi = (Netio.nic t.netio).Nic.bqi <> None in
-            Netio.create_channel t.netio ~caller:t.dom ~owner:req.a_app ~use_bqi
+            let ch, reused = take_channel t ~owner:req.a_app in
+            (ch, reused, false)
       in
       let peer_bqi = match p with Some p -> p.peer_bqi | None -> 0 in
-      finish_setup t ~conn ~app_ch ~remote_ip ~remote_port ~local_port:req.a_port ~peer_bqi
-        ~tmp_filter:None ~key)
-  | Some In_use | None -> Error (Printf.sprintf "port %d is not listening" req.a_port)
+      finish_setup t ~conn ~app_ch ~reused ~pre_charged ~remote_ip ~remote_port
+        ~local_port:req.a_port ~peer_bqi ~tmp_filter:None ~key)
+  | Some (In_use | Leased) | None ->
+      Error (Printf.sprintf "port %d is not listening" req.a_port)
 
 and drop_handoff t channel =
   let stale =
@@ -430,33 +726,113 @@ and drop_handoff t channel =
 
 and do_release t (port, channel) =
   drop_handoff t channel;
-  Netio.destroy_channel t.netio ~caller:t.dom channel;
+  put_channel t channel;
   (match Hashtbl.find_opt t.ports port with
   | Some In_use -> Hashtbl.remove t.ports port
-  | Some (Listening _) | None -> ())
+  | Some (Listening _ | Leased) | None -> ())
 
 and do_inherit t (snapshot, channel, graceful) =
+  do_inherit_one t (snapshot, channel) ~graceful
+
+and do_inherit_batch t (conns, graceful) =
+  List.iter (fun cg -> do_inherit_one t cg ~graceful) conns
+
+and do_inherit_one t (snapshot, channel) ~graceful =
   t.inherited <- t.inherited + 1;
   drop_handoff t channel;
   let remote_ip = snapshot.Tcp.snap_remote_ip in
   let remote_port = snapshot.Tcp.snap_remote_port in
   let local_port = snapshot.Tcp.snap_local_port in
-  (* Re-point the connection's packets at the registry, then drop the
-     application's channel. *)
-  ignore
-    (Netio.add_filter t.netio ~caller:t.dom t.channel
-       (conn_filter t ~remote_ip ~remote_port ~local_port));
-  Netio.destroy_channel t.netio ~caller:t.dom channel;
-  let conn = Tcp.import t.stack.Stack.tcp snapshot in
-  Tcp.on_closed conn (fun () ->
-      match Hashtbl.find_opt t.ports local_port with
-      | Some In_use -> Hashtbl.remove t.ports local_port
-      | Some (Listening _) | None -> ());
-  if graceful then Tcp.close conn
-  else begin
-    (* Abnormal termination: reset the remote peer (paper §3.4). *)
+  let wheel = t.prm.Tcp_params.time_wait_wheel in
+  let key = pending_key ~remote_ip ~remote_port ~local_port in
+  if wheel && not graceful then begin
+    (* Abnormal exit with the wheel on: batched RST sweep.  No filter
+       re-point — the RST retires the remote end, and a late segment
+       simply matches no channel.  One per-connection sweep charge
+       replaces the full inherit dispatch. *)
+    charge t Calibration.rst_batch_per_conn;
+    put_channel t channel;
+    let conn = Tcp.import t.stack.Stack.tcp snapshot in
+    Tcp.on_closed conn (fun () ->
+        match Hashtbl.find_opt t.ports local_port with
+        | Some In_use -> Hashtbl.remove t.ports local_port
+        | Some (Listening _ | Leased) | None -> ());
     Tcp.abort conn
   end
+  else begin
+    (* Re-point the connection's packets at the registry, then drop the
+       application's channel. *)
+    let fkey =
+      Netio.add_filter t.netio ~caller:t.dom t.channel
+        (conn_filter t ~remote_ip ~remote_port ~local_port)
+    in
+    if wheel then Hashtbl.replace t.inherit_filters key fkey;
+    put_channel t channel;
+    let conn = Tcp.import t.stack.Stack.tcp snapshot in
+    Tcp.on_closed conn (fun () ->
+        (* When the wheel claimed the 2MSL residue the port stays held
+           until the wheel entry expires. *)
+        if not (wheel && Hashtbl.mem t.tw_entries key) then begin
+          match Hashtbl.find_opt t.ports local_port with
+          | Some In_use -> Hashtbl.remove t.ports local_port
+          | Some (Listening _ | Leased) | None -> ()
+        end);
+    if graceful then Tcp.close conn
+    else begin
+      (* Abnormal termination: reset the remote peer (paper §3.4). *)
+      Tcp.abort conn
+    end
+  end
+
+and find_lease_block t =
+  let block = Calibration.lease_block_ports in
+  let free_from base =
+    let rec go p = p >= base + block || ((not (Hashtbl.mem t.ports p)) && go (p + 1)) in
+    go base
+  in
+  let rec scan base =
+    if base + block > 65536 then None
+    else if free_from base then Some base
+    else scan (base + block)
+  in
+  scan 49152
+
+and do_lease t app =
+  (* One IPC buys a port block, the kernel-side lease (pre-verified
+     filter/template shape) and a set of ready channels. *)
+  charge t Calibration.lease_grant;
+  match find_lease_block t with
+  | None -> Error Out_of_ports
+  | Some base ->
+      let block = Calibration.lease_block_ports in
+      for p = base to base + block - 1 do
+        Hashtbl.replace t.ports p Leased
+      done;
+      let lease =
+        Netio.grant_lease t.netio ~caller:t.dom ~owner:app ~ip:t.my_ip ~base_port:base
+          ~count:block
+      in
+      let channels =
+        List.init Calibration.lease_channels (fun _ ->
+            let ch, reused = take_channel t ~owner:app in
+            charge_channel_build t ~app_ch:ch ~reused;
+            ch)
+      in
+      t.leases_granted <- t.leases_granted + 1;
+      t.leases_active <- t.leases_active + 1;
+      Ok { lg_lease = lease; lg_base = base; lg_count = block; lg_channels = channels }
+
+and do_release_lease t (g : lease_grant) =
+  Netio.revoke_lease t.netio ~caller:t.dom g.lg_lease;
+  for p = g.lg_base to g.lg_base + g.lg_count - 1 do
+    match Hashtbl.find_opt t.ports p with
+    | Some Leased -> Hashtbl.remove t.ports p
+    | Some (Listening _ | In_use) | None -> ()
+  done;
+  List.iter
+    (fun ch -> if not (Netio.channel_destroyed ch) then put_channel t ch)
+    g.lg_channels;
+  t.leases_active <- t.leases_active - 1
 
 and do_bind_udp t (app, port) =
   if Hashtbl.mem t.udp_ports port then Error (Printf.sprintf "udp port %d in use" port)
@@ -530,6 +906,10 @@ and serve t =
   Ipc.serve_concurrent t.accept_p (fun req -> (do_accept t req, 256));
   Ipc.serve_concurrent t.release_p (fun req -> (do_release t req, 16));
   Ipc.serve_concurrent t.inherit_p (fun req -> (do_inherit t req, 128));
+  Ipc.serve_concurrent t.inherit_batch_p (fun req -> (do_inherit_batch t req, 16));
+  Ipc.serve_concurrent t.lease_p (fun app -> (do_lease t app, 512));
+  Ipc.serve_concurrent t.release_lease_p (fun g -> (do_release_lease t g, 16));
+  Ipc.serve_oneway t.park_tw_p (do_park_tw t);
   Ipc.serve_concurrent t.bind_udp_p (fun req -> (do_bind_udp t req, 128));
   Ipc.serve_concurrent t.release_udp_p (fun req -> (do_release_udp t req, 16));
   Ipc.serve_concurrent t.bind_rrp_p (fun req -> (do_bind_rrp t req, 128));

@@ -87,9 +87,86 @@ val inherit_conn :
     graceful)].  Graceful: the registry adopts the connection, closes it
     properly and serves the 2MSL delay.  Abnormal: it sends RST. *)
 
+val inherit_batch :
+  t ->
+  ((Uln_proto.Tcp.snapshot * Netio.channel) list * bool, unit) Uln_host.Ipc.t
+(** All of an exiting application's connections in one IPC.  With the
+    TIME_WAIT wheel enabled, an abnormal batch becomes an RST sweep:
+    each connection pays {!Calibration.rst_batch_per_conn} (deriving and
+    sending exactly one RST) instead of a full inherit dispatch, and
+    graceful residues park on the registry's timer wheel rather than
+    living as engine control blocks. *)
+
+(* {2 Endpoint leases (endpoint_lease switch)} *)
+
+type lease_grant = {
+  lg_lease : Netio.lease;  (** kernel-side capability for local stamping *)
+  lg_base : int;  (** first port of the leased block *)
+  lg_count : int;  (** block size ({!Calibration.lease_block_ports}) *)
+  lg_channels : Netio.channel list;  (** pre-built channels, recycled per connection *)
+}
+
+type lease_error = Out_of_ports
+(** No aligned block of free ports remains — typed so libraries can fall
+    back to per-connection registry IPC (or surface the exhaustion). *)
+
+val lease_port :
+  t -> (Uln_host.Addr_space.t, (lease_grant, lease_error) result) Uln_host.Ipc.t
+(** Grant an endpoint lease: one IPC charges
+    {!Calibration.lease_grant} plus the channel builds, marks the block
+    in the port namespace, and registers the kernel lease.  Subsequent
+    connects under the lease never call the registry: the library stamps
+    the pre-verified filter/template in the kernel
+    ({!Netio.activate_leased}) and runs the handshake itself. *)
+
+val release_lease_port : t -> (lease_grant, unit) Uln_host.Ipc.t
+(** Return a lease: revokes the kernel capability, frees the port block
+    and recycles (or destroys) the lease's channels. *)
+
+val park_time_wait_port : t -> ((Uln_addr.Ip.t * int * int) list, unit) Uln_host.Ipc.t
+(** A batch of [(remote_ip, remote_port, local_port)] residues: a
+    library offloads leased connections' TIME_WAIT onto the registry's
+    wheel so the local control blocks and channels free immediately —
+    the churn analogue of connection inheritance.  One-way: libraries
+    [post] a coalesced batch and never await.  No-op when the wheel
+    switch is off. *)
+
 (* {2 Introspection for tests and benches} *)
 
 val ports_in_use : t -> int
 val handshakes_completed : t -> int
 val inherited_connections : t -> int
 val stack : t -> Uln_proto.Stack.t
+
+type pool_stats = {
+  ps_hits : int;  (** connections served by a recycled channel *)
+  ps_misses : int;  (** connections that had to build a fresh channel *)
+  ps_parked : int;  (** channels currently parked in the pool *)
+}
+
+val pool_stats : t -> pool_stats
+
+type lease_stats = { ls_granted : int; ls_active : int }
+
+val lease_stats : t -> lease_stats
+
+type time_wait_stats = {
+  tw_pending : int;  (** residues currently parked on the wheel *)
+  tw_parked_total : int;  (** residues parked since creation *)
+  tw_evicted : int;  (** residues that forfeited quiet time to the capacity cap *)
+  tw_capacity : int;  (** {!Calibration.time_wait_capacity} *)
+}
+
+val time_wait_stats : t -> time_wait_stats
+
+type setup_legs = {
+  sl_samples : int;
+  sl_port_alloc_us : float;  (** dispatch + port allocation *)
+  sl_round_trip_us : float;  (** SYN round trip (overlaps channel build) *)
+  sl_finish_us : float;  (** channel build join, activate, state export *)
+  sl_total_us : float;
+}
+
+val setup_legs : t -> setup_legs
+(** Mean wall-clock breakdown of active connects served, registry-side
+    (the [netlab setupstats] surface). *)

@@ -95,6 +95,14 @@ type t = {
           memory or a remote cache.  Charged once per handoff, on the
           destination CPU.  Irrelevant (never charged) on a 1-CPU
           machine. *)
+  (* --- AN1 specifics --- *)
+  an1_driver_setup : Uln_engine.Time.span;
+      (** Per-connection driver work at active open on AN1 in the
+          in-kernel organization: allocating a controller flow slot and
+          programming its BQI machinery.  The reason the paper's
+          Ultrix/AN1 setup (2.9 ms) exceeds Ultrix/Ethernet (2.6 ms)
+          despite the faster network.  The user-library organization
+          charges its own {!Uln_core.Calibration.bqi_setup} instead. *)
 }
 
 val r3000 : t

@@ -40,6 +40,20 @@ let serve t handler =
   in
   Sched.spawn t.sched ~name:(t.name ^ ".server") loop
 
+(* One-way messages: the server consumes the request and sends nothing
+   back, so no reply transfer is charged and the (unit) promise resolves
+   as soon as the handler finishes. *)
+let serve_oneway (t : ('req, unit) t) handler =
+  let rec loop () =
+    let req, _size, reply = Mailbox.recv t.box in
+    Sched.sleep t.sched t.costs.Costs.wakeup_latency;
+    Cpu.use t.cpu t.costs.Costs.context_switch;
+    handler req;
+    reply ();
+    loop ()
+  in
+  Sched.spawn t.sched ~name:(t.name ^ ".server") loop
+
 let serve_concurrent t handler =
   let rec loop () =
     let msg = Mailbox.recv t.box in
@@ -64,5 +78,34 @@ let call t ~size req =
   Cpu.use t.cpu t.costs.Costs.context_switch;
   Stats.Counter.incr t.completed;
   match !result with Some r -> r | None -> assert false
+
+(* Pipelined RPC: [post] pays only the request-direction transfer and
+   returns immediately; [await] blocks for (and pays the client-side
+   reception of) the reply.  Posting several requests before awaiting
+   any overlaps the server's processing of each with the client's
+   sending of the next — the send-side analogue of the overlapped
+   connection setup. *)
+
+type 'resp promise = { mutable value : 'resp option; mutable waker : (unit -> unit) option }
+
+let post t ~size req =
+  Cpu.use t.cpu (transfer_cost t size);
+  let p = { value = None; waker = None } in
+  Mailbox.send t.box
+    ( req,
+      size,
+      fun resp ->
+        p.value <- Some resp;
+        match p.waker with Some w -> w () | None -> () );
+  p
+
+let await t p =
+  (match p.value with
+  | Some _ -> ()
+  | None -> Sched.suspend (fun wake -> p.waker <- Some wake));
+  Sched.sleep t.sched t.costs.Costs.wakeup_latency;
+  Cpu.use t.cpu t.costs.Costs.context_switch;
+  Stats.Counter.incr t.completed;
+  match p.value with Some r -> r | None -> assert false
 
 let calls t = Stats.Counter.value t.completed

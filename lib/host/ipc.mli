@@ -19,6 +19,12 @@ val serve : ('req, 'resp) t -> ('req -> 'resp * int) -> unit
     handler runs in the server thread and may block — blocking stalls
     later requests on the same port. *)
 
+val serve_oneway : ('req, unit) t -> ('req -> unit) -> unit
+(** Like {!serve} for one-way messages: the handler returns nothing to
+    the client, so no reply transfer is charged.  Clients use {!post}
+    (the promise resolves when the handler finishes) and normally never
+    [await] it. *)
+
 val serve_concurrent : ('req, 'resp) t -> ('req -> 'resp * int) -> unit
 (** Like {!serve} but each request gets its own handler thread (the
     multithreaded-server discipline), so a blocking handler — e.g. the
@@ -27,6 +33,21 @@ val serve_concurrent : ('req, 'resp) t -> ('req -> 'resp * int) -> unit
 val call : ('req, 'resp) t -> size:int -> 'req -> 'resp
 (** [call port ~size req] performs an RPC from the calling thread,
     charging both directions' costs, and returns the response. *)
+
+type 'resp promise
+
+val post : ('req, 'resp) t -> size:int -> 'req -> 'resp promise
+(** Pipelined RPC, send half: charge the request-direction transfer and
+    return without blocking.  The server processes the request as
+    usual; the reply parks in the promise. *)
+
+val await : ('req, 'resp) t -> 'resp promise -> 'resp
+(** Pipelined RPC, receive half: block until the reply is available and
+    charge the client-side reception (dispatch latency + context
+    switch), exactly as the tail of {!call} does.  Posting a batch of
+    requests and then awaiting them pays the server's processing times
+    overlapped, not summed — used by the library's exit path to inherit
+    many connections in a pipeline. *)
 
 val calls : ('req, 'resp) t -> int
 (** Number of completed calls (for crossing-count assertions). *)

@@ -9,6 +9,7 @@ let make ?(bqi = 0) fields = { fields; bqi }
 
 let bqi t = t.bqi
 let fields t = t.fields
+let with_bqi t ~bqi = { t with bqi }
 
 let matches t pkt =
   let len = View.length pkt in

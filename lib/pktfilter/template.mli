@@ -21,6 +21,14 @@ val make : ?bqi:int -> field list -> t
 
 val bqi : t -> int
 
+val with_bqi : t -> bqi:int -> t
+(** The same header constraints with a different outbound BQI stamp.
+    Used when the peer's BQI is learned {e after} the template is
+    installed: a leased channel's template starts with stamp 0 and the
+    network I/O module refreshes it from the first handshake frame the
+    peer's registry marks (the constraints — the impersonation check —
+    are untouched). *)
+
 val fields : t -> field list
 
 val matches : t -> Uln_buf.View.t -> bool

@@ -132,6 +132,7 @@ and t = {
   listeners : (int, listener) Hashtbl.t;
   mutable rst_on_unknown : bool;
   mutable unknown_hook : (src:Ip.t -> dst:Ip.t -> Mbuf.t -> bool) option;
+  mutable time_wait_hook : (conn -> bool) option;
   mutable segments_in : int;
   mutable segments_out : int;
   mutable retransmissions : int;
@@ -144,6 +145,7 @@ and t = {
 let params t = t.prm
 let set_rst_on_unknown t v = t.rst_on_unknown <- v
 let set_unknown_segment_hook t f = t.unknown_hook <- Some f
+let set_time_wait_hook t f = t.time_wait_hook <- Some f
 let segments_in t = t.segments_in
 let segments_out t = t.segments_out
 let retransmissions t = t.retransmissions
@@ -593,7 +595,24 @@ let enter_time_wait c =
   c.state <- State.Time_wait;
   c.rexmt <- stop_timer c.rexmt;
   c.persist <- stop_timer c.persist;
-  if c.time_wait = None then
+  let claimed =
+    (* A claimant (the registry's TIME_WAIT wheel) takes over the 2MSL
+       residue: it holds the port and a filter for the quiet period, so
+       the engine can retire the control block immediately instead of
+       keeping it alive on a per-connection timer. *)
+    c.time_wait = None
+    && (match c.engine.time_wait_hook with Some hook -> hook c | None -> false)
+  in
+  if claimed then begin
+    (* Flush the final ACK of the peer's FIN before the control block
+       can be retired: a claimant frees the connection's resources (a
+       leased channel goes back to its cache), so anything still
+       pending when the spawned cleanup runs would be lost and the
+       peer would retransmit its FIN out of LAST_ACK forever. *)
+    if c.ack_now then output c;
+    Proto_env.spawn_handler c.engine.env ~name:"tcp.2msl" (fun () -> finish_cleanly c)
+  end
+  else if c.time_wait = None then
     c.time_wait <-
       Some
         (Timers.arm c.engine.env.Proto_env.timers
@@ -1073,6 +1092,7 @@ let create env ip ?(params = Tcp_params.default) () =
       listeners = Hashtbl.create 8;
       rst_on_unknown = true;
       unknown_hook = None;
+      time_wait_hook = None;
       segments_in = 0;
       segments_out = 0;
       retransmissions = 0;

@@ -65,6 +65,15 @@ val set_rst_on_unknown : t -> bool -> unit
     [true]; the registry server's engine turns it off because packets
     it does not know about belong to application libraries). *)
 
+val set_time_wait_hook : t -> (conn -> bool) -> unit
+(** Called when a connection enters TIME_WAIT, before the engine arms
+    its per-connection 2MSL timer.  Returning [true] claims the quiet
+    period: the engine retires the control block immediately (closed
+    callbacks fire) and the claimant is responsible for holding the
+    port and absorbing stray segments for 2MSL — the registry's
+    TIME_WAIT wheel ({!Tcp_params.t.time_wait_wheel}).  Returning
+    [false] keeps the engine's own timer, byte-identically. *)
+
 (* {2 Opening and closing} *)
 
 val connect :

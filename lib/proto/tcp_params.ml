@@ -19,6 +19,10 @@ type t = {
   header_prediction : bool;
   fused_checksum : bool;
   zero_copy : bool;
+  overlap_setup : bool;
+  channel_pool : bool;
+  endpoint_lease : bool;
+  time_wait_wheel : bool;
   smp_locking : [ `Big_lock | `Per_conn ];
 }
 
@@ -41,6 +45,10 @@ let default =
     header_prediction = true;
     fused_checksum = true;
     zero_copy = false;
+    overlap_setup = false;
+    channel_pool = false;
+    endpoint_lease = false;
+    time_wait_wheel = false;
     smp_locking = `Big_lock }
 
 let fast =

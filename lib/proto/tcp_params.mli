@@ -47,6 +47,43 @@ type t = {
           segments through batched descriptor rings.  [false] (the
           default) keeps the copying path as the differential-testing
           oracle. *)
+  overlap_setup : bool;
+      (** Overlapped connection setup: the registry pipelines the user
+          channel build (region/ring/filter work, and the BQI machinery
+          on AN1) with the remote SYN round trip instead of serializing
+          them — the paper's §4 lament that outbound setup processing is
+          "non-overlapped" with the peer's round trip.  Affects only
+          {e when} setup CPU work is charged, never what is charged or
+          any wire traffic; [false] (the default) is the sequential
+          oracle. *)
+  channel_pool : bool;
+      (** Channel recycling across connections: on final release the
+          registry parks the user channel (shared region, rings,
+          semaphore, capability, BQI ring) instead of destroying it, and
+          the next connect/accept re-arms a parked channel — paying
+          {!Uln_core.Calibration.channel_reuse_setup} for the
+          filter/template install instead of the full
+          {!Uln_core.Calibration.registry_channel_setup} region build.
+          [false] creates and destroys per connection, as the paper's
+          system does. *)
+  endpoint_lease : bool;
+      (** Endpoint leases: one registry IPC grants the library a block
+          of ports with a pre-verified parameterized filter/template
+          shape plus pre-built channels; subsequent active opens stamp
+          the template in the network I/O module locally (the kernel
+          constructs the filter from the validated 4-tuple, preserving
+          the anti-impersonation check) and run the handshake on the
+          library's own engine — no registry round trip, no TCP state
+          transfer.  [false] routes every connect through the
+          registry. *)
+  time_wait_wheel : bool;
+      (** Registry TIME_WAIT wheel: connections the registry inherits
+          park their 2MSL residue as a lightweight (4-tuple, port,
+          filter) record on a hierarchical {!Uln_engine.Timer_wheel}
+          with capacity accounting, instead of holding a full protocol
+          control block with a per-connection engine timer; abnormal
+          exits reset peers in one batched pass.  [false] keeps the
+          full-PCB inheritance path. *)
   smp_locking : [ `Big_lock | `Per_conn ];
       (** Locking discipline of the {e in-kernel} organization on a
           multiprocessor host: [`Big_lock] (the default, faithful to

@@ -28,6 +28,10 @@ type t4_row = {
 
 type t5_row = { t5_interface : string; t5_us : float; t5_paper : float option }
 
+val sys_name : Uln_core.Organization.t -> string
+(** The paper's name for an organization's host system ("ultrix",
+    "mach-ux", "userlib", ...) — the [system] column of every table. *)
+
 type scale_row = {
   sc_conns : int;  (** installed connection filters *)
   sc_scan_cycles : float;  (** mean dispatch cycles, linear scan *)
