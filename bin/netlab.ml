@@ -687,6 +687,78 @@ let filter_lint_cmd =
           savings.  Exits non-zero if the kernel would refuse the filter.")
     Term.(const run $ file_arg $ dump_arg)
 
+let proto_check_cmd =
+  let module PC = Uln_protocheck.Proto_check in
+  let module J = Uln_workload.Jout in
+  let run json seed_unhandled seed_cycle params_src bench_src root =
+    let sources =
+      match (params_src, bench_src) with
+      | Some p, Some b -> Some (p, b, root)
+      | _ -> None
+    in
+    let findings = PC.run ~seed_unhandled ~seed_cycle ?sources () in
+    if json then begin
+      let row f =
+        Printf.sprintf "{\"check\": %s, \"ok\": %s, \"detail\": %s}" (J.str f.PC.f_check)
+          (if f.PC.f_ok then "true" else "false")
+          (J.str f.PC.f_detail)
+      in
+      let doc = "[" ^ String.concat ",\n " (List.map row findings) ^ "]" in
+      (match J.validate doc with
+      | Ok () -> ()
+      | Error e -> failwith ("proto-check: emitted invalid JSON: " ^ e));
+      print_string doc;
+      print_newline ()
+    end
+    else PC.print Format.std_formatter findings;
+    if not (PC.ok findings) then exit 1
+  in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit findings as JSON.") in
+  let seed_unhandled_arg =
+    Arg.(
+      value & flag
+      & info [ "seed-unhandled" ]
+          ~doc:
+            "Inject an unhandled (state, event) pair into the FSM exhaustiveness check — \
+             verifies the lint's failure path; the run exits non-zero.")
+  in
+  let seed_cycle_arg =
+    Arg.(
+      value & flag
+      & info [ "seed-lock-cycle" ]
+          ~doc:
+            "Inject a rank-inverted lock-acquisition edge — verifies the lint's failure \
+             path; the run exits non-zero.")
+  in
+  let params_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "params" ] ~docv:"FILE"
+          ~doc:"Path to tcp_params.ml (enables the switch-coverage lint).")
+  in
+  let bench_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "bench" ] ~docv:"FILE" ~doc:"Path to the bench driver source (bench/main.ml).")
+  in
+  let root_arg =
+    Arg.(
+      value & opt string "."
+      & info [ "root" ] ~docv:"DIR" ~doc:"Directory oracle paths resolve against.")
+  in
+  Cmd.v
+    (Cmd.info "proto-check"
+       ~doc:
+         "Static analysis of the protocol engines: TCP state-machine exhaustiveness and \
+          runtime-dispatch conformance, declared lock-hierarchy rank monotonicity and \
+          acyclicity, and ablation-switch oracle/bench coverage.  Exits non-zero on any \
+          finding.")
+    Term.(
+      const run $ json_arg $ seed_unhandled_arg $ seed_cycle_arg $ params_arg $ bench_arg
+      $ root_arg)
+
 let () =
   let doc = "user-level network protocol testbed (SIGCOMM '93 reproduction)" in
   let info = Cmd.info "netlab" ~version:"1.0.0" ~doc in
@@ -694,4 +766,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ throughput_cmd; latency_cmd; setup_cmd; orgs_cmd; table_cmd; snoop_cmd; rrp_cmd;
-            bufstats_cmd; cpustats_cmd; setupstats_cmd; filter_lint_cmd ]))
+            bufstats_cmd; cpustats_cmd; setupstats_cmd; filter_lint_cmd; proto_check_cmd ]))

@@ -82,13 +82,13 @@ let () =
   (* Phase 2: with a competing TCP bulk stream a->b. *)
   Sched.spawn sched ~name:"bulk-sink" (fun () ->
       let l = Tcp.listen b.stack.Stack.tcp ~port:5001 in
-      let conn = Tcp.accept l in
+      let conn, _ = Tcp.accept l in
       let rec drain () = match Tcp.read conn ~max:65536 with None -> () | Some _ -> drain () in
       drain ());
   Sched.spawn sched ~name:"bulk-source" (fun () ->
       match Tcp.connect a.stack.Stack.tcp ~src_port:6001 ~dst:(Ip.of_string "10.0.0.2") ~dst_port:5001 with
       | Error e -> failwith e
-      | Ok conn ->
+      | Ok (conn, _) ->
           let chunk = View.create 4096 in
           for _ = 1 to 500 do
             Tcp.write conn chunk

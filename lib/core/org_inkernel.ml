@@ -51,10 +51,11 @@ let num_stacks t = Array.length t.stacks
 
 (* Serialize one netisr's input processing per the locking ablation. *)
 let with_input_lock t i f =
+  let site = "org_inkernel.with_input_lock" in
   match Array.length t.locks with
   | 0 -> f ()
-  | 1 -> Mutex.with_lock t.locks.(0) f
-  | _ -> Mutex.with_lock t.locks.(i) f
+  | 1 -> Mutex.with_lock ~site t.locks.(0) f
+  | _ -> Mutex.with_lock ~site t.locks.(i) f
 
 let cpu_of_port t port =
   match Hashtbl.find_opt t.port_cpu port with Some i -> i | None -> 0
@@ -222,6 +223,7 @@ let wrap_conn t cpu conn =
     close = (fun () -> charge c.Costs.trap; Tcp.close conn);
     abort = (fun () -> charge c.Costs.trap; Tcp.abort conn);
     conn_state = (fun () -> Tcp.state conn);
+    conn_fsm = (fun () -> Tcp.fsm conn);
     await_closed = (fun () -> Tcp.await_closed conn) }
 
 let app ?(cpu = 0) t ~name =
@@ -247,7 +249,7 @@ let app ?(cpu = 0) t ~name =
     in
     pin src_port;
     match Tcp.connect stack.Stack.tcp ~src_port ~dst ~dst_port with
-    | Ok conn -> Ok (wrap_conn t cpu conn)
+    | Ok (conn, _established) -> Ok (wrap_conn t cpu conn)
     | Error e -> Error e
   in
   let listen ~port =
@@ -257,7 +259,7 @@ let app ?(cpu = 0) t ~name =
     { Sockets.accept =
         (fun () ->
           charge c.Costs.trap;
-          wrap_conn t cpu (Tcp.accept l)) }
+          wrap_conn t cpu (fst (Tcp.accept l))) }
   in
   let udp_bind ~port =
     charge c.Costs.trap;

@@ -124,6 +124,7 @@ let wrap_conn t conn =
         charge_rpc t 8;
         Tcp.abort conn);
     conn_state = (fun () -> Tcp.state conn);
+    conn_fsm = (fun () -> Tcp.fsm conn);
     await_closed = (fun () -> Tcp.await_closed conn) }
 
 let app t ~name =
@@ -141,7 +142,7 @@ let app t ~name =
       else src_port
     in
     match Tcp.connect t.stack.Stack.tcp ~src_port ~dst ~dst_port with
-    | Ok conn -> Ok (wrap_conn t conn)
+    | Ok (conn, _established) -> Ok (wrap_conn t conn)
     | Error e -> Error e
   in
   let listen ~port =
@@ -149,7 +150,7 @@ let app t ~name =
     let l = Tcp.listen t.stack.Stack.tcp ~port in
     { Sockets.accept =
         (fun () ->
-          let conn = Tcp.accept l in
+          let conn, _established = Tcp.accept l in
           charge_rpc t 32;
           wrap_conn t conn) }
   in

@@ -309,6 +309,7 @@ let make_ops t ~zero_copy ~txpool ~conn =
     close = (fun () -> Tcp.close conn);
     abort = (fun () -> Tcp.abort conn);
     conn_state = (fun () -> Tcp.state conn);
+    conn_fsm = (fun () -> Tcp.fsm conn);
     await_closed = (fun () -> Tcp.await_closed conn) }
 
 (* Build the per-connection library instance: a private engine, a
@@ -393,7 +394,7 @@ let leased_parts t ?params ~lh ~channel ~local_port ~dst ~dst_port ~remote_mac (
       lh.lh_free_ports <- lh.lh_free_ports @ [ local_port ];
       lh.lh_free_channels <- lh.lh_free_channels @ [ channel ];
       Error e
-  | Ok conn ->
+  | Ok (conn, _established) ->
       (* With the wheel on, the quiet period migrates to the registry:
          the residue joins the next coalesced one-way park message and
          the local control block finishes at once, so the lease's port
@@ -450,7 +451,12 @@ let pass_connection t ops ~to_lib =
         | Some mac -> mac
         | None -> Uln_addr.Mac.broadcast
       in
-      let snapshot = Tcp.export lc.conn in
+      let witness =
+        match Tcp.established_witness lc.conn with
+        | Some w -> w
+        | None -> failwith "Protolib.pass_connection: connection not ESTABLISHED"
+      in
+      let snapshot = Tcp.export lc.conn ~witness in
       lc.released <- true (* the new owner releases the port at close *);
       drop_txpool lc (* drained above, so every loan is back in the pool *);
       t.conns <- List.filter (fun c -> c != lc) t.conns;
@@ -745,7 +751,11 @@ let exit_app t ~graceful =
         drop_txpool lc;
         match Tcp.state lc.conn with
         | Uln_proto.Tcp_state.Established ->
-            let snap = if graceful then Tcp.export lc.conn else Tcp.export_force lc.conn in
+            let snap =
+              match (if graceful then Tcp.established_witness lc.conn else None) with
+              | Some w -> Tcp.export lc.conn ~witness:w
+              | None -> Tcp.export_force lc.conn
+            in
             if wheel then
               (* One IPC for the whole set: residues park on the
                  registry's TIME_WAIT wheel (graceful) or are retired by

@@ -19,6 +19,7 @@ module Verify = Uln_filter.Verify
 module Stack = Uln_proto.Stack
 module Proto_env = Uln_proto.Proto_env
 module Tcp = Uln_proto.Tcp
+module Tcp_fsm = Uln_proto.Tcp_fsm
 module Tcp_params = Uln_proto.Tcp_params
 module Arp = Uln_proto.Arp
 module Timers = Uln_engine.Timers
@@ -39,6 +40,9 @@ type accept_req = { a_app : Addr_space.t; a_port : int }
 type pending = {
   mutable stamp_bqi : int;
   mutable peer_bqi : int;
+  mutable p_bqi : Tcp_fsm.bqi_permit option;
+      (* proof that this endpoint is in a handshake state; stamping or
+         learning a BQI hint is gated on holding one *)
   mutable pre_channel : Netio.channel option; (* passive side, created at SYN *)
   mutable pre_reused : bool; (* pre_channel came from the recycling pool *)
   mutable build_join : (unit -> unit) option;
@@ -398,7 +402,8 @@ let rec create machine netio ~ip ?tcp_params () =
                    ~local_port:peek.p_sport
                in
                match Hashtbl.find_opt tt.pending key with
-               | Some p when p.stamp_bqi > 0 -> { frame with Frame.bqi_hint = p.stamp_bqi }
+               | Some p when p.stamp_bqi > 0 && p.p_bqi <> None ->
+                   { frame with Frame.bqi_hint = p.stamp_bqi }
                | _ -> frame)
            | None -> frame
          in
@@ -549,11 +554,13 @@ and on_rx t frame =
         in
         let is_syn_only = peek.p_flags land flag_syn <> 0 && peek.p_flags land flag_ack = 0 in
         (match Hashtbl.find_opt t.pending key with
-        | Some p -> if frame.Frame.bqi_hint > 0 then p.peer_bqi <- frame.Frame.bqi_hint
+        | Some p ->
+            if frame.Frame.bqi_hint > 0 && p.p_bqi <> None then
+              p.peer_bqi <- frame.Frame.bqi_hint
         | None ->
             if is_syn_only && Hashtbl.mem t.ports peek.p_dport then begin
               match Hashtbl.find_opt t.ports peek.p_dport with
-              | Some (Listening _) ->
+              | Some (Listening l) ->
                   let ch, reused = take_channel t ~owner:t.dom in
                   (* Passive-side overlap: build the channel while the
                      SYN-ACK/ACK exchange completes. *)
@@ -565,6 +572,7 @@ and on_rx t frame =
                   Hashtbl.replace t.pending key
                     { stamp_bqi = Netio.channel_bqi ch;
                       peer_bqi = frame.Frame.bqi_hint;
+                      p_bqi = Some (Tcp_fsm.bqi_exchange (Tcp.listener_witness l));
                       pre_channel = Some ch;
                       pre_reused = reused;
                       build_join = join }
@@ -605,6 +613,9 @@ and do_connect t (req : connect_req) =
     Hashtbl.replace t.pending key
       { stamp_bqi = Netio.channel_bqi app_ch;
         peer_bqi = 0;
+        p_bqi = None;
+        (* no permit yet: minted from the SYN_SENT witness below, before
+           the SYN leaves — stamping stays dark until then *)
         pre_channel = None;
         pre_reused = false;
         build_join = None };
@@ -629,35 +640,47 @@ and do_connect t (req : connect_req) =
           put_channel t app_ch;
           Hashtbl.remove t.ports src_port
         in
-        (* Overlapped handshake: the channel construction charge runs
-           while the SYN round trip is on the wire. *)
-        let join =
-          if t.prm.Tcp_params.overlap_setup then Some (spawn_build t ~app_ch ~reused)
-          else None
-        in
-        let t1 = Sched.now sched in
+        (* Split open: allocate the SYN_SENT control block first so its
+           witness can mint the BQI permit before any wire activity —
+           the tx stamper refuses to decorate frames for a pending entry
+           that holds no handshake-state proof. *)
         match
-          Tcp.connect t.stack.Stack.tcp ~src_port ~dst:req.c_dst ~dst_port:req.c_dst_port
+          Tcp.connect_prepare t.stack.Stack.tcp ~src_port ~dst:req.c_dst
+            ~dst_port:req.c_dst_port
         with
         | Error e ->
-            (match join with Some j -> j () | None -> ());
             cleanup ();
             Error e
-        | Ok conn ->
-            let t2 = Sched.now sched in
-            (match join with Some j -> j () | None -> ());
-            let p = Hashtbl.find t.pending key in
-            let r =
-              finish_setup t ~conn ~app_ch ~reused ~pre_charged:(Option.is_some join)
-                ~remote_ip:req.c_dst ~remote_port:req.c_dst_port ~local_port:src_port
-                ~peer_bqi:p.peer_bqi ~tmp_filter:(Some tmp_filter) ~key
+        | Ok (conn, syn_sent) -> (
+            (Hashtbl.find t.pending key).p_bqi <- Some (Tcp_fsm.bqi_exchange syn_sent);
+            (* Overlapped handshake: the channel construction charge runs
+               while the SYN round trip is on the wire. *)
+            let join =
+              if t.prm.Tcp_params.overlap_setup then Some (spawn_build t ~app_ch ~reused)
+              else None
             in
-            record_legs t ~t0 ~t1 ~t2 ~t3:(Sched.now sched);
-            r)
+            let t1 = Sched.now sched in
+            match Tcp.connect_launch conn with
+            | Error e ->
+                (match join with Some j -> j () | None -> ());
+                cleanup ();
+                Error e
+            | Ok witness ->
+                let t2 = Sched.now sched in
+                (match join with Some j -> j () | None -> ());
+                let p = Hashtbl.find t.pending key in
+                let r =
+                  finish_setup t ~conn ~witness ~app_ch ~reused
+                    ~pre_charged:(Option.is_some join) ~remote_ip:req.c_dst
+                    ~remote_port:req.c_dst_port ~local_port:src_port ~peer_bqi:p.peer_bqi
+                    ~tmp_filter:(Some tmp_filter) ~key
+                in
+                record_legs t ~t0 ~t1 ~t2 ~t3:(Sched.now sched);
+                r))
   end
 
-and finish_setup t ~conn ~app_ch ~reused ~pre_charged ~remote_ip ~remote_port ~local_port
-    ~peer_bqi ~tmp_filter ~key =
+and finish_setup t ~conn ~witness ~app_ch ~reused ~pre_charged ~remote_ip ~remote_port
+    ~local_port ~peer_bqi ~tmp_filter ~key =
   (* Build the user channel: shared region already exists; install the
      connection filter and the anti-impersonation template.  The handoff
      entry is registered first so that segments racing the transfer are
@@ -672,7 +695,7 @@ and finish_setup t ~conn ~app_ch ~reused ~pre_charged ~remote_ip ~remote_port ~l
   | Some k -> Netio.remove_filter t.netio ~caller:t.dom k
   | None -> ());
   Hashtbl.remove t.pending key;
-  let snapshot = Tcp.export conn in
+  let snapshot = Tcp.export conn ~witness in
   charge t Calibration.registry_state_transfer;
   t.handshakes <- t.handshakes + 1;
   Ok { snapshot; channel = app_ch; remote_mac = resolve_mac t remote_ip }
@@ -698,7 +721,7 @@ and do_listen t port =
 and do_accept t (req : accept_req) =
   match Hashtbl.find_opt t.ports req.a_port with
   | Some (Listening listener) -> (
-      let conn = Tcp.accept listener in
+      let conn, witness = Tcp.accept listener in
       let remote_ip, remote_port = Tcp.remote_addr conn in
       let key = pending_key ~remote_ip ~remote_port ~local_port:req.a_port in
       let p = Hashtbl.find_opt t.pending key in
@@ -713,7 +736,7 @@ and do_accept t (req : accept_req) =
             (ch, reused, false)
       in
       let peer_bqi = match p with Some p -> p.peer_bqi | None -> 0 in
-      finish_setup t ~conn ~app_ch ~reused ~pre_charged ~remote_ip ~remote_port
+      finish_setup t ~conn ~witness ~app_ch ~reused ~pre_charged ~remote_ip ~remote_port
         ~local_port:req.a_port ~peer_bqi ~tmp_filter:None ~key)
   | Some (In_use | Leased) | None ->
       Error (Printf.sprintf "port %d is not listening" req.a_port)

@@ -8,6 +8,7 @@ type conn = {
   close : unit -> unit;
   abort : unit -> unit;
   conn_state : unit -> Uln_proto.Tcp_state.t;
+  conn_fsm : unit -> Uln_proto.Tcp_fsm.Packed.t;
   await_closed : unit -> unit;
 }
 

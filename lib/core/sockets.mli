@@ -35,6 +35,9 @@ type conn = {
   close : unit -> unit;  (** orderly release (FIN) *)
   abort : unit -> unit;  (** RST *)
   conn_state : unit -> Uln_proto.Tcp_state.t;
+  conn_fsm : unit -> Uln_proto.Tcp_fsm.Packed.t;
+      (** the connection's session-typed witness (shadow oracle); its
+          state always agrees with [conn_state] *)
   await_closed : unit -> unit;
 }
 

@@ -14,15 +14,19 @@ val create : ?name:string -> ?sched:Sched.t -> unit -> t
 val stats : t -> Semaphore.stats
 (** Acquisition/contention counters of the underlying semaphore. *)
 
-val lock : t -> unit
-(** Block until the mutex is available, then take it. *)
+val lock : ?site:string -> t -> unit
+(** Block until the mutex is available, then take it.  When the
+    {!Lock_order} sanitizer is enforcing and the mutex is named, the
+    acquire is rank-checked {e before} blocking ([~site] labels the
+    acquisition site in any violation report).
+    @raise Lock_order.Order_violation on a rank inversion. *)
 
 val unlock : t -> unit
 (** Release; wakes the longest-waiting locker.
     @raise Invalid_argument if the mutex is not held. *)
 
-val try_lock : t -> bool
+val try_lock : ?site:string -> t -> bool
 val is_locked : t -> bool
 
-val with_lock : t -> (unit -> 'a) -> 'a
+val with_lock : ?site:string -> t -> (unit -> 'a) -> 'a
 (** Run under the lock, releasing on normal return or exception. *)

@@ -8,6 +8,7 @@ type t = {
   mutable seq : int;
   runq : (unit -> unit) Queue.t;
   mutable failure : exn option;
+  mutable current : string option;
 }
 
 type _ Effect.t += Suspend : (waker -> unit) -> unit Effect.t
@@ -17,7 +18,8 @@ let create () =
     events = Pheap.create ();
     seq = 0;
     runq = Queue.create ();
-    failure = None }
+    failure = None;
+    current = None }
 
 let now t = t.clock
 let pending_events t = Pheap.size t.events
@@ -30,6 +32,18 @@ let at t when_ f =
 let after t d f = at t (Time.add t.clock d) f
 
 let suspend register = Effect.perform (Suspend register)
+
+let current_name t = t.current
+
+(* Runs [thunk] with the scheduler's current-thread label set to [name],
+   restoring the previous label on exit.  Everything is cooperative, so a
+   single mutable field suffices; continuations re-enter through here so
+   the label is accurate across suspension points (the lock-order
+   sanitizer keys its held-lock stacks on it). *)
+let run_as t name thunk =
+  let saved = t.current in
+  t.current <- Some name;
+  Fun.protect ~finally:(fun () -> t.current <- saved) thunk
 
 let spawn t ?(name = "thread") f =
   let body () =
@@ -51,13 +65,13 @@ let spawn t ?(name = "thread") f =
                     let wake () =
                       if not !fired then begin
                         fired := true;
-                        Queue.push (fun () -> continue k ()) t.runq
+                        Queue.push (fun () -> run_as t name (fun () -> continue k ())) t.runq
                       end
                     in
                     register wake)
             | _ -> None) }
   in
-  Queue.push body t.runq
+  Queue.push (fun () -> run_as t name body) t.runq
 
 let sleep t d = suspend (fun wake -> after t d wake)
 let yield t = suspend (fun wake -> Queue.push wake t.runq)

@@ -34,6 +34,12 @@ val at : t -> Time.t -> (unit -> unit) -> unit
 val after : t -> Time.span -> (unit -> unit) -> unit
 (** [after t d f] schedules [f] to run [d] from now. *)
 
+val current_name : t -> string option
+(** The [~name] of the thread currently executing, or [None] when
+    control is in the scheduler itself or in a plain [at]/[after] event.
+    Diagnostic identity only (the lock-order sanitizer keys held-lock
+    stacks on it); threads spawned with the same name share a label. *)
+
 val spawn : t -> ?name:string -> (unit -> unit) -> unit
 (** [spawn t f] creates a thread running [f].  It starts when the
     scheduler next regains control; exceptions escaping [f] abort the

@@ -67,6 +67,9 @@ type conn = {
   remote_ip : Ip.t;
   remote_port : int;
   mutable state : State.t;
+  mutable fsm : Tcp_fsm.Packed.t;
+      (* The session-typed witness; [state] is its shadow oracle,
+         asserted equal at every transition. *)
   (* send side *)
   snd_buf : sendq;
   mutable iss : Tcp_seq.t;
@@ -119,10 +122,11 @@ type conn = {
   mutable detached : bool; (* exported: no longer usable *)
   waiters : Sched.waker Queue.t; (* readers, writers, state watchers *)
   mutable closed_callbacks : (unit -> unit) list;
-  mutable accept_box : conn Mailbox.t option; (* queue to notify on establish *)
+  (* queue to notify on establish, with the witness minted at that instant *)
+  mutable accept_box : (conn * [ `Established ] Tcp_fsm.state) Mailbox.t option;
 }
 
-and listener = { lport : int; backlog : conn Mailbox.t }
+and listener = { lport : int; backlog : (conn * [ `Established ] Tcp_fsm.state) Mailbox.t }
 
 and t = {
   env : Proto_env.t;
@@ -156,6 +160,8 @@ let predicted_acks t = t.predicted_acks
 let predicted_data t = t.predicted_data
 
 let state c = c.state
+let fsm c = c.fsm
+let established_witness c = Tcp_fsm.Packed.established c.fsm
 let error c = c.error
 let local_port c = c.local_port
 let remote_addr c = (c.remote_ip, c.remote_port)
@@ -284,6 +290,15 @@ let flags_syn_ack = { Tcp_wire.no_flags with Tcp_wire.syn = true; ack = true }
 let remove_conn c =
   Hashtbl.remove c.engine.pcbs (conn_key c)
 
+(* Every state change goes through a typed witness: assert the shadow
+   oracle, apply the transition to the packed witness, and move the
+   untyped field to the witness's new shadow.  No [c.state <- ...]
+   exists outside this helper and [destroy]. *)
+let transition c tr =
+  Tcp_fsm.Packed.check_shadow c.fsm c.state;
+  c.fsm <- Tcp_fsm.Packed.apply c.fsm tr;
+  c.state <- Tcp_fsm.target tr
+
 let destroy c reason =
   c.rexmt <- stop_timer c.rexmt;
   c.persist <- stop_timer c.persist;
@@ -291,6 +306,11 @@ let destroy c reason =
   c.time_wait <- stop_timer c.time_wait;
   c.keepalive <- stop_timer c.keepalive;
   if c.state <> State.Closed then begin
+    (* Retire through the matching edge to the terminal state: clean
+       teardown (no error) takes the close/expire/fin-acked edges, an
+       errored one the abort edges. *)
+    Tcp_fsm.Packed.check_shadow c.fsm c.state;
+    c.fsm <- Tcp_fsm.Packed.retire c.fsm ~clean:(reason = None);
     c.state <- State.Closed;
     c.error <- (match c.error with None -> reason | some -> some);
     remove_conn c;
@@ -413,7 +433,11 @@ and output_once c =
     let wnd = snd_window c in
     let usable = Stdlib.max 0 (wnd - off) in
     let len = Stdlib.min (Stdlib.min c.mss avail) usable in
-    let data_allowed = State.can_send_data c.state || c.fin_queued in
+    (* New data needs a send permit from the witness (Established or
+       half-closed Close_wait); buffered data drains alongside a queued
+       FIN regardless.  proto-check pins the permit row to
+       [State.can_send_data]. *)
+    let data_allowed = Tcp_fsm.Packed.send_permit c.fsm <> None || c.fin_queued in
     let len = if data_allowed then len else 0 in
     let all_data_sent = data_off + len >= sendq_length c.snd_buf in
     let want_fin =
@@ -465,11 +489,11 @@ and output_once c =
       c.snd_max <- Tcp_seq.max c.snd_max c.snd_nxt;
       if fin_now then begin
         c.fin_sent <- true;
-        c.state <-
-          (match c.state with
-          | State.Established | State.Syn_received -> State.Fin_wait_1
-          | State.Close_wait -> State.Last_ack
-          | s -> s)
+        match c.state with
+        | State.Established -> transition c Tcp_fsm.Send_fin_established
+        | State.Syn_received -> transition c Tcp_fsm.Send_fin_syn_received
+        | State.Close_wait -> transition c Tcp_fsm.Send_fin_close_wait
+        | _ -> () (* FIN resend after a retransmit timeout: state already advanced *)
       end;
       if send_data || fin_now then arm_rexmt c;
       send_segment ?payload_sum c ~seq ~flags ~payload ~with_mss:false;
@@ -515,11 +539,11 @@ and persist_fired c =
       c.snd_nxt <- Tcp_seq.add c.snd_nxt 1;
       c.snd_max <- Tcp_seq.max c.snd_max c.snd_nxt;
       c.fin_sent <- true;
-      c.state <-
-        (match c.state with
-        | State.Established | State.Syn_received -> State.Fin_wait_1
-        | State.Close_wait -> State.Last_ack
-        | s -> s);
+      (match c.state with
+      | State.Established -> transition c Tcp_fsm.Send_fin_established
+      | State.Syn_received -> transition c Tcp_fsm.Send_fin_syn_received
+      | State.Close_wait -> transition c Tcp_fsm.Send_fin_close_wait
+      | _ -> () (* FIN resend after a retransmit timeout: state already advanced *));
       arm_rexmt c;
       send_segment c ~seq
         ~flags:{ Tcp_wire.no_flags with Tcp_wire.ack = true; fin = true }
@@ -590,9 +614,12 @@ let touch_keepalive c =
 
 (* --- TIME_WAIT -------------------------------------------------------- *)
 
+(* Callers take the witness transition into TIME_WAIT first; this only
+   arranges the 2MSL machinery. *)
 let enter_time_wait c =
   trace c "entering TIME_WAIT";
-  c.state <- State.Time_wait;
+  Tcp_fsm.Packed.check_shadow c.fsm c.state;
+  if c.state <> State.Time_wait then invalid_arg "Tcp.enter_time_wait: not in TIME_WAIT";
   c.rexmt <- stop_timer c.rexmt;
   c.persist <- stop_timer c.persist;
   let claimed =
@@ -719,9 +746,11 @@ let process_ack c (seg : Tcp_wire.segment) =
     (* State transitions on FIN acknowledgement. *)
     if fin_acked then begin
       match c.state with
-      | State.Fin_wait_1 -> c.state <- State.Fin_wait_2
-      | State.Closing -> enter_time_wait c
-      | State.Last_ack -> finish_cleanly c
+      | State.Fin_wait_1 -> transition c Tcp_fsm.Fin_acked_fin_wait_1
+      | State.Closing ->
+          transition c Tcp_fsm.Fin_acked_closing;
+          enter_time_wait c
+      | State.Last_ack -> finish_cleanly c (* retires through Fin_acked_last_ack *)
       | _ -> ()
     end;
     wake_all c
@@ -828,13 +857,20 @@ let process_segment_slow c (seg : Tcp_wire.segment) =
     if c.state = State.Syn_received then begin
       if Tcp_seq.gt seg.Tcp_wire.ack c.snd_una && Tcp_seq.le seg.Tcp_wire.ack c.snd_max
       then begin
-        c.state <- State.Established;
+        transition c Tcp_fsm.Rcv_ack_of_syn;
         trace c "established (passive open)";
         arm_keepalive c;
         (match c.accept_box with
         | Some box ->
             c.accept_box <- None;
-            Mailbox.send box c
+            (* The witness is minted at the instant of establishment and
+               travels with the connection to accept. *)
+            let w =
+              match Tcp_fsm.Packed.established c.fsm with
+              | Some w -> w
+              | None -> assert false
+            in
+            Mailbox.send box (c, w)
         | None -> ());
         wake_all c
       end
@@ -900,12 +936,14 @@ let process_segment_slow c (seg : Tcp_wire.segment) =
           c.rcv_nxt <- Tcp_seq.add c.rcv_nxt 1;
           c.ack_now <- true;
           (match c.state with
-          | State.Established -> c.state <- State.Close_wait
+          | State.Established -> transition c Tcp_fsm.Rcv_fin_established
           | State.Fin_wait_1 ->
               (* Our FIN wasn't acked by this segment (else we'd be in
                  FIN_WAIT_2 already): simultaneous close. *)
-              c.state <- State.Closing
-          | State.Fin_wait_2 -> enter_time_wait c
+              transition c Tcp_fsm.Rcv_fin_fin_wait_1
+          | State.Fin_wait_2 ->
+              transition c Tcp_fsm.Rcv_fin_fin_wait_2;
+              enter_time_wait c
           | _ -> ());
           wake_all c
         end
@@ -951,7 +989,7 @@ let process_syn_sent c (seg : Tcp_wire.segment) =
       c.snd_una <- seg.Tcp_wire.ack;
       c.rexmt <- stop_timer c.rexmt;
       c.backoff <- 0;
-      c.state <- State.Established;
+      transition c Tcp_fsm.Rcv_syn_ack;
       trace c "established (active open)";
       arm_keepalive c;
       c.ack_now <- true;
@@ -960,7 +998,7 @@ let process_syn_sent c (seg : Tcp_wire.segment) =
     end
     else begin
       (* Simultaneous open. *)
-      c.state <- State.Syn_received;
+      transition c Tcp_fsm.Simultaneous_syn;
       arm_rexmt c;
       send_segment c ~seq:c.iss ~flags:flags_syn_ack ~payload:Mbuf.empty ~with_mss:true
     end
@@ -977,6 +1015,7 @@ let handle_syn_for_listener t l (seg : Tcp_wire.segment) ~src =
       remote_ip = src;
       remote_port = seg.Tcp_wire.src_port;
       state = State.Syn_received;
+      fsm = Tcp_fsm.Packed.passive_accept ();
       snd_buf = (if prm.Tcp_params.zero_copy then I (Iovec.create ()) else Q (Bytequeue.create ()));
       iss;
       snd_una = iss;
@@ -1104,12 +1143,13 @@ let create env ip ?(params = Tcp_params.default) () =
   Ipv4.set_handler ip ~proto:6 (fun ~src ~dst payload -> input t ~src ~dst payload);
   t
 
-let fresh_conn t ~local_port ~remote_ip ~remote_port ~state ~iss =
+let fresh_conn t ~local_port ~remote_ip ~remote_port ~fsm ~iss =
   { engine = t;
     local_port;
     remote_ip;
     remote_port;
-    state;
+    state = Tcp_fsm.Packed.state fsm;
+    fsm;
     snd_buf = (if t.prm.Tcp_params.zero_copy then I (Iovec.create ()) else Q (Bytequeue.create ()));
     iss;
     snd_una = iss;
@@ -1156,36 +1196,60 @@ let fresh_conn t ~local_port ~remote_ip ~remote_port ~state ~iss =
     closed_callbacks = [];
     accept_box = None }
 
-let connect t ~src_port ~dst ~dst_port =
+(* Active open, first half: create the control block in SYN_SENT without
+   putting the SYN on the wire.  The returned witness is what setup-plane
+   code (the registry) derives its handshake-window BQI permit from
+   before launching the handshake. *)
+let connect_prepare t ~src_port ~dst ~dst_port =
   let k = key ~remote_ip:dst ~remote_port:dst_port ~local_port:src_port in
   if Hashtbl.mem t.pcbs k then Error "address in use"
   else begin
     let iss = Rng.int t.env.Proto_env.rng 0x0fffffff in
     let c =
       fresh_conn t ~local_port:src_port ~remote_ip:dst ~remote_port:dst_port
-        ~state:State.Syn_sent ~iss
+        ~fsm:(Tcp_fsm.Packed.active_open ()) ~iss
     in
     c.mss <- Ipv4.mtu t.ip - Ipv4.header_size - Tcp_wire.header_size;
     c.cwnd <- t.prm.Tcp_params.initial_cwnd_segments * c.mss;
     c.snd_nxt <- Tcp_seq.add iss 1;
     c.snd_max <- c.snd_nxt;
     Hashtbl.replace t.pcbs k c;
-    arm_rexmt c;
-    send_segment c ~seq:iss ~flags:flags_syn ~payload:Mbuf.empty ~with_mss:true;
-    (* Block until the handshake resolves. *)
-    while c.state = State.Syn_sent || c.state = State.Syn_received do
-      wait_on c
-    done;
-    match c.state with
-    | State.Established -> Ok c
-    | _ -> Error (match c.error with Some e -> e | None -> "connection failed")
+    match Tcp_fsm.Packed.syn_sent c.fsm with
+    | Some w -> Ok (c, w)
+    | None -> assert false
   end
+
+(* Active open, second half: send the SYN and block until the handshake
+   resolves, returning the establishment witness. *)
+let connect_launch c =
+  arm_rexmt c;
+  send_segment c ~seq:c.iss ~flags:flags_syn ~payload:Mbuf.empty ~with_mss:true;
+  while c.state = State.Syn_sent || c.state = State.Syn_received do
+    wait_on c
+  done;
+  match Tcp_fsm.Packed.established c.fsm with
+  | Some w -> Ok w
+  | None -> Error (match c.error with Some e -> e | None -> "connection failed")
+
+let connect t ~src_port ~dst ~dst_port =
+  match connect_prepare t ~src_port ~dst ~dst_port with
+  | Error e -> Error e
+  | Ok (c, _syn_sent) -> (
+      match connect_launch c with
+      | Ok w -> Ok (c, w)
+      | Error e -> Error e)
 
 let listen t ~port =
   if Hashtbl.mem t.listeners port then failwith (Printf.sprintf "Tcp.listen: port %d in use" port);
   let l = { lport = port; backlog = Mailbox.create () } in
   Hashtbl.replace t.listeners port l;
   l
+
+(* A fresh proof that the listener's endpoint went Closed -> Listen; the
+   BQI permit for SYN-ACKs of not-yet-accepted connections derives from
+   it. *)
+let listener_witness (_ : listener) : [ `Listen ] Tcp_fsm.state =
+  Tcp_fsm.step (Tcp_fsm.closed ()) Tcp_fsm.Passive_open
 
 let accept l = Mailbox.recv l.backlog
 let close_listener t l = Hashtbl.remove t.listeners l.lport
@@ -1201,8 +1265,13 @@ let write c data =
   let sent = ref 0 in
   while !sent < len do
     check_alive c "write";
-    if not (State.can_send_data c.state) then
-      raise (Connection_error "write on closing connection");
+    (* The runtime double of the typed send permit: data is accepted
+       only in Established or half-closed Close_wait. *)
+    if Tcp_fsm.Packed.send_permit c.fsm = None then
+      raise
+        (Connection_error
+           (if State.synchronized c.state then "write on closing connection"
+            else "write before connection established"));
     let space = prm.Tcp_params.snd_buf - sendq_length c.snd_buf in
     if space <= 0 then wait_on c
     else begin
@@ -1235,8 +1304,11 @@ let write_owned ?release c data =
   let len = View.length data in
   let rec wait_for_space () =
     check_alive c "write_owned";
-    if not (State.can_send_data c.state) then
-      raise (Connection_error "write_owned on closing connection");
+    if Tcp_fsm.Packed.send_permit c.fsm = None then
+      raise
+        (Connection_error
+           (if State.synchronized c.state then "write_owned on closing connection"
+            else "write_owned before connection established"));
     (* The view is queued whole (its release must fire exactly once),
        so wait until the whole length fits — or the queue is empty, so
        an oversized view cannot deadlock. *)
@@ -1368,7 +1440,9 @@ let export_common c =
   wake_all c;
   snap
 
-let export c =
+let export c ~witness:(_ : [ `Established ] Tcp_fsm.state) =
+  (* The witness proves the caller saw ESTABLISHED; the dynamic check
+     stays as the shadow oracle for the window between the two. *)
   if c.state <> State.Established then failwith "Tcp.export: connection not ESTABLISHED";
   if sendq_length c.snd_buf > 0 then failwith "Tcp.export: unsent data in send buffer";
   export_common c
@@ -1393,7 +1467,7 @@ let await_drained c =
 let import t snap =
   let c =
     fresh_conn t ~local_port:snap.snap_local_port ~remote_ip:snap.snap_remote_ip
-      ~remote_port:snap.snap_remote_port ~state:State.Established ~iss:snap.snap_iss
+      ~remote_port:snap.snap_remote_port ~fsm:(Tcp_fsm.Packed.import ()) ~iss:snap.snap_iss
   in
   c.irs <- snap.snap_irs;
   c.snd_una <- snap.snap_snd_una;

@@ -77,15 +77,44 @@ val set_time_wait_hook : t -> (conn -> bool) -> unit
 (* {2 Opening and closing} *)
 
 val connect :
-  t -> src_port:int -> dst:Uln_addr.Ip.t -> dst_port:int -> (conn, string) result
-(** Active open; blocks the calling thread until ESTABLISHED or failure. *)
+  t ->
+  src_port:int ->
+  dst:Uln_addr.Ip.t ->
+  dst_port:int ->
+  (conn * [ `Established ] Tcp_fsm.state, string) result
+(** Active open; blocks the calling thread until ESTABLISHED or failure.
+    On success the caller receives the ESTABLISHED witness minted when
+    the handshake completed. *)
+
+val connect_prepare :
+  t ->
+  src_port:int ->
+  dst:Uln_addr.Ip.t ->
+  dst_port:int ->
+  (conn * [ `Syn_sent ] Tcp_fsm.state, string) result
+(** First half of {!connect}: allocate the connection and take the
+    Closed -> SYN_SENT transition {e without sending the SYN}.  The
+    returned witness lets setup-plane code derive a
+    {!Tcp_fsm.bqi_permit} (hints ride on handshake segments only) and
+    register demux state before any wire activity. *)
+
+val connect_launch :
+  conn -> ([ `Established ] Tcp_fsm.state, string) result
+(** Second half: transmit the SYN and block until ESTABLISHED or
+    failure.  The conn must come from {!connect_prepare}. *)
 
 val listen : t -> port:int -> listener
 (** Passive open.
     @raise Failure if the port already has a listener. *)
 
-val accept : listener -> conn
-(** Block until a handshake completes on the listener. *)
+val listener_witness : listener -> [ `Listen ] Tcp_fsm.state
+(** A fresh LISTEN-state proof for this listener (each pending TCB the
+    listener spawns has its own FSM; this witness vouches for the
+    listener itself, e.g. to stamp BQI hints on SYN-ACKs). *)
+
+val accept : listener -> conn * [ `Established ] Tcp_fsm.state
+(** Block until a handshake completes on the listener; returns the
+    connection together with its ESTABLISHED witness. *)
 
 val close_listener : t -> listener -> unit
 
@@ -142,6 +171,17 @@ val bytes_available : conn -> int
 (* {2 Inspection} *)
 
 val state : conn -> Tcp_state.t
+
+val fsm : conn -> Tcp_fsm.Packed.t
+(** The connection's packed session witness.  Its state always agrees
+    with {!state} (the shadow oracle asserts this at every transition
+    and again in {!export}/teardown). *)
+
+val established_witness : conn -> [ `Established ] Tcp_fsm.state option
+(** A fresh ESTABLISHED proof if the connection is currently in that
+    state; [None] otherwise.  Used by handoff paths that need a witness
+    for {!export} after the fact (e.g. graceful-exit inheritance). *)
+
 val error : conn -> string option
 val local_port : conn -> int
 val remote_addr : conn -> Uln_addr.Ip.t * int
@@ -155,9 +195,11 @@ val on_closed : conn -> (unit -> unit) -> unit
 
 (* {2 Connection handoff (paper §3.4)} *)
 
-val export : conn -> snapshot
+val export : conn -> witness:[ `Established ] Tcp_fsm.state -> snapshot
 (** Detach an ESTABLISHED connection from its engine without emitting
-    any segments; the conn becomes unusable.
+    any segments; the conn becomes unusable.  The witness is the static
+    proof that the connection completed its handshake — obtained from
+    {!connect}/{!accept} or {!established_witness}.
     @raise Failure unless the connection is ESTABLISHED and quiescent
     (empty buffers). *)
 

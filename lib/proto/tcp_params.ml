@@ -58,3 +58,41 @@ let fast =
     min_rto = Time.ms 100;
     max_rto = Time.sec 4;
     msl = Time.ms 500 }
+
+(* --- the ablation-switch registry (proto-check switch lint) ----------- *)
+
+type switch = {
+  sw_field : string;
+  sw_oracle : string;
+  sw_bench_row : string;
+}
+
+let switches =
+  [ { sw_field = "header_prediction";
+      sw_oracle = "test/test_fastpath.ml:prop_prediction_equivalent_under_faults";
+      sw_bench_row = "bulk userlib/ethernet/4096" };
+    { sw_field = "fused_checksum";
+      sw_oracle = "test/test_fastpath.ml:prop_fused_checksum_survives_corruption";
+      sw_bench_row = "bulk userlib/ethernet/4096" };
+    { sw_field = "zero_copy";
+      sw_oracle = "test/test_fastpath.ml:prop_zero_copy_differential";
+      sw_bench_row = "bulk userlib-zc" };
+    { sw_field = "overlap_setup";
+      sw_oracle = "test/test_churn.ml:prop_fastpath_equivalent_under_faults";
+      sw_bench_row = "+lease" };
+    { sw_field = "channel_pool";
+      sw_oracle = "test/test_churn.ml:prop_fastpath_equivalent_under_faults";
+      sw_bench_row = "+lease" };
+    { sw_field = "endpoint_lease";
+      sw_oracle = "test/test_churn.ml:prop_fastpath_equivalent_under_faults";
+      sw_bench_row = "+lease" };
+    { sw_field = "time_wait_wheel";
+      sw_oracle = "test/test_churn.ml:prop_fastpath_equivalent_under_faults";
+      sw_bench_row = "+lease" };
+    { sw_field = "smp_locking";
+      sw_oracle = "test/test_smp.ml:prop_smp_payload_identical_under_faults";
+      sw_bench_row = "smp" } ]
+
+let policy_fields =
+  [ ("nagle", "congestion policy, not an implementation ablation: both settings are \
+               correct TCP and produce different wire traffic by design") ]

@@ -100,3 +100,25 @@ val default : t
 val fast : t
 (** Small timeouts for loss-recovery tests (keeps simulated durations
     short); protocol behaviour is otherwise identical. *)
+
+(** {2 Ablation-switch registry}
+
+    Every switch field of {!t} that ablates an implementation technique
+    (as opposed to choosing a policy) must register here with a
+    differential oracle — the [file:ident] of the qcheck property that
+    pins the on/off behavioural equivalence — and the bench-smoke row
+    that drives the switch end to end on every test run.  The
+    proto-check switch lint fails the build when a switch field has no
+    entry, or an entry's oracle or row has gone stale. *)
+
+type switch = {
+  sw_field : string;  (** record field name in {!t} *)
+  sw_oracle : string;  (** [file:ident] of the differential property *)
+  sw_bench_row : string;  (** label of the [@bench-smoke] row that exercises it *)
+}
+
+val switches : switch list
+
+val policy_fields : (string * string) list
+(** Switch-shaped fields exempt from the lint, with the reason each is a
+    policy choice rather than an ablation. *)

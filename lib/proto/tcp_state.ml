@@ -11,6 +11,19 @@ type t =
   | Last_ack
   | Time_wait
 
+let all =
+  [ Closed;
+    Listen;
+    Syn_sent;
+    Syn_received;
+    Established;
+    Fin_wait_1;
+    Fin_wait_2;
+    Close_wait;
+    Closing;
+    Last_ack;
+    Time_wait ]
+
 let to_string = function
   | Closed -> "CLOSED"
   | Listen -> "LISTEN"

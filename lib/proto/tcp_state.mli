@@ -13,6 +13,9 @@ type t =
   | Last_ack
   | Time_wait
 
+val all : t list
+(** Every state, in declaration order. *)
+
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 
@@ -20,11 +23,15 @@ val synchronized : t -> bool
 (** States reached after the handshake completes. *)
 
 val can_send_data : t -> bool
-(** States in which new application data may be transmitted. *)
+(** States in which new application data may be transmitted: Established
+    and — the half-close case — Close_wait, where the peer has FINed but
+    our send direction is still open until the application closes. *)
 
 val can_receive_data : t -> bool
-(** States in which peer data is still expected. *)
+(** States in which peer data is still expected: Established and the two
+    FIN_WAITs (we closed first; the peer may still be sending). *)
 
 val have_received_fin : t -> bool
 (** States in which the peer's FIN has been consumed (reads at or past
-    it return end-of-file). *)
+    it return end-of-file).  Includes Closing — a simultaneous close has
+    seen the peer's FIN even though our own is not yet acknowledged. *)

@@ -1,0 +1,9 @@
+(* MUST NOT COMPILE: a BQI exchange after the handshake.  Hints ride
+   only on handshake segments, so [Fsm.bqi_exchange] accepts LISTEN,
+   SYN_SENT and SYN_RCVD witnesses — not ESTABLISHED. *)
+module Fsm = Uln_proto.Tcp_fsm
+
+let () =
+  let est = Fsm.step (Fsm.step (Fsm.closed ()) Fsm.Active_open) Fsm.Rcv_syn_ack in
+  let _ : Fsm.bqi_permit = Fsm.bqi_exchange est in
+  ()

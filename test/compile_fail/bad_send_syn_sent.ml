@@ -1,0 +1,9 @@
+(* MUST NOT COMPILE: a data-send permit demanded before the handshake
+   completes.  [Fsm.send_data] accepts only ESTABLISHED or CLOSE_WAIT
+   witnesses; SYN_SENT is neither. *)
+module Fsm = Uln_proto.Tcp_fsm
+
+let () =
+  let syn_sent = Fsm.step (Fsm.closed ()) Fsm.Active_open in
+  let _ : Fsm.send_permit = Fsm.send_data syn_sent in
+  ()

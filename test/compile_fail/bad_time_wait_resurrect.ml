@@ -1,0 +1,18 @@
+(* MUST NOT COMPILE: TIME_WAIT resurrection.  Expiring the 2MSL timer
+   retires the witness to the terminal [`Gone] index, which has no
+   outgoing transitions — in particular it is not [`Closed], so a
+   retired endpoint cannot be reopened. *)
+module Fsm = Uln_proto.Tcp_fsm
+
+let () =
+  let fin_wait_1 =
+    Fsm.step
+      (Fsm.step (Fsm.step (Fsm.closed ()) Fsm.Active_open) Fsm.Rcv_syn_ack)
+      Fsm.Send_fin_established
+  in
+  let time_wait =
+    Fsm.step (Fsm.step fin_wait_1 Fsm.Fin_acked_fin_wait_1) Fsm.Rcv_fin_fin_wait_2
+  in
+  let gone = Fsm.step time_wait Fsm.Expire_2msl in
+  let _ = Fsm.step gone Fsm.Active_open in
+  ()

@@ -268,13 +268,13 @@ let transfer ?fault ~params n =
   let received = ref "" in
   Sched.spawn w.sched ~name:"server" (fun () ->
       let l = Tcp.listen w.b.stack.Stack.tcp ~port:80 in
-      let conn = Tcp.accept l in
+      let conn, _ = Tcp.accept l in
       received := read_all conn;
       Tcp.close conn);
   run_to_completion w (fun () ->
       match Tcp.connect w.a.stack.Stack.tcp ~src_port:5000 ~dst:w.b.ip ~dst_port:80 with
       | Error e -> failwith e
-      | Ok c ->
+      | Ok (c, _) ->
           Tcp.write c (View.of_string data);
           Tcp.close c;
           Tcp.await_closed c);
@@ -330,7 +330,7 @@ let test_per_conn_fastpath_counters () =
   let server_counts = ref (0, 0, 0) in
   Sched.spawn w.sched ~name:"server" (fun () ->
       let l = Tcp.listen w.b.stack.Stack.tcp ~port:80 in
-      let conn = Tcp.accept l in
+      let conn, _ = Tcp.accept l in
       ignore (read_all conn);
       server_counts := Tcp.fast_path_counts conn;
       Tcp.close conn);
@@ -338,7 +338,7 @@ let test_per_conn_fastpath_counters () =
   run_to_completion w (fun () ->
       match Tcp.connect w.a.stack.Stack.tcp ~src_port:5000 ~dst:w.b.ip ~dst_port:80 with
       | Error e -> failwith e
-      | Ok c ->
+      | Ok (c, _) ->
           Tcp.write c (View.of_string (pattern 40_000));
           Tcp.close c;
           Tcp.await_closed c;
@@ -397,7 +397,7 @@ let transfer_zc ?fault ~zero_copy ~frag_seed n =
   let received = Buffer.create n in
   Sched.spawn w.sched ~name:"server" (fun () ->
       let l = Tcp.listen w.b.stack.Stack.tcp ~port:80 in
-      let conn = Tcp.accept l in
+      let conn, _ = Tcp.accept l in
       let rec drainloop () =
         match Tcp.read_loan conn ~max:4096 with
         | None -> ()
@@ -412,7 +412,7 @@ let transfer_zc ?fault ~zero_copy ~frag_seed n =
   run_to_completion w (fun () ->
       match Tcp.connect w.a.stack.Stack.tcp ~src_port:5000 ~dst:w.b.ip ~dst_port:80 with
       | Error e -> failwith e
-      | Ok c ->
+      | Ok (c, _) ->
           let rng = Rng.create ~seed:frag_seed in
           let off = ref 0 in
           while !off < n do
@@ -472,7 +472,7 @@ let test_loan_backpressure_reopens () =
   let received = Buffer.create n in
   Sched.spawn w.sched ~name:"server" (fun () ->
       let l = Tcp.listen w.b.stack.Stack.tcp ~port:80 in
-      let conn = Tcp.accept l in
+      let conn, _ = Tcp.accept l in
       (* Phase 1: hoard loans until a full receive buffer is out. *)
       let held = ref [] in
       while Tcp.loaned_bytes conn < zc_params.Tcp_params.rcv_buf do
@@ -502,7 +502,7 @@ let test_loan_backpressure_reopens () =
   run_to_completion w (fun () ->
       match Tcp.connect w.a.stack.Stack.tcp ~src_port:5000 ~dst:w.b.ip ~dst_port:80 with
       | Error e -> failwith e
-      | Ok c ->
+      | Ok (c, _) ->
           Tcp.write c (View.of_string data);
           Tcp.close c;
           Tcp.await_closed c);

@@ -60,13 +60,13 @@ let test_random_valid_segments_never_crash () =
   let data = pattern 30_000 in
   Sched.spawn w.sched ~name:"server" (fun () ->
       let l = Tcp.listen w.b.stack.Stack.tcp ~port:80 in
-      let conn = Tcp.accept l in
+      let conn, _ = Tcp.accept l in
       received := read_all conn;
       Tcp.close conn);
   run_to_completion w (fun () ->
       let c =
         match Tcp.connect w.a.stack.Stack.tcp ~src_port:5000 ~dst:w.b.ip ~dst_port:80 with
-        | Ok c -> c
+        | Ok (c, _) -> c
         | Error e -> failwith e
       in
       (* Interleave fuzz segments with the transfer. *)

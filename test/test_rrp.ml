@@ -78,14 +78,14 @@ let test_coexists_with_tcp () =
   let rrp_ok = ref 0 in
   Sched.spawn w.sched ~name:"tcp-server" (fun () ->
       let l = Tcp.listen w.b.stack.Stack.tcp ~port:80 in
-      let conn = Tcp.accept l in
+      let conn, _ = Tcp.accept l in
       tcp_received := read_all conn;
       Tcp.close conn);
   run_to_completion w (fun () ->
       let _srv = Rrp.serve w.b.stack.Stack.rrp ~port:300 (fun req -> req) in
       let c =
         match Tcp.connect w.a.stack.Stack.tcp ~src_port:5000 ~dst:w.b.ip ~dst_port:80 with
-        | Ok c -> c
+        | Ok (c, _) -> c
         | Error e -> failwith e
       in
       Sched.spawn w.sched ~name:"bulk" (fun () ->

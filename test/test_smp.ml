@@ -127,6 +127,65 @@ let test_mutex_stats_and_registry () =
   check "registry cleared for this sched" 0
     (List.length (Semaphore.registered ~sched ()))
 
+(* --- lock-order sanitizer ----------------------------------------------- *)
+
+let test_abba_reported_not_deadlocked () =
+  (* The seeded ABBA scenario: thread [fwd] nests kernel-lock -> stack
+     lock (the declared, downhill order); thread [rev] nests them the
+     other way.  Without the sanitizer the interleaving below is a
+     deadlock — each thread blocks holding the lock the other wants.
+     With it, the inverted acquire raises {e before} blocking, naming
+     both locks and both acquisition sites. *)
+  let module LO = Uln_engine.Lock_order in
+  let sched = Sched.create () in
+  let bkl = Mutex.create ~name:"m.bkl" ~sched () in
+  let stk = Mutex.create ~name:"m.stack0.lock" ~sched () in
+  LO.set_enforce true;
+  LO.reset ();
+  let caught = ref None in
+  Sched.spawn sched ~name:"fwd" (fun () ->
+      Mutex.with_lock ~site:"fwd:outer" bkl (fun () ->
+          Sched.sleep sched (Time.ms 2);
+          Mutex.with_lock ~site:"fwd:inner" stk (fun () -> ())));
+  Sched.spawn sched ~name:"rev" (fun () ->
+      Mutex.with_lock ~site:"rev:outer" stk (fun () ->
+          Sched.sleep sched (Time.ms 1);
+          try Mutex.with_lock ~site:"rev:inner" bkl (fun () -> ())
+          with LO.Order_violation v -> caught := Some v));
+  Sched.run sched;
+  LO.set_enforce false;
+  match !caught with
+  | None -> Alcotest.fail "inverted acquisition was not reported"
+  | Some v ->
+      check_str "offending thread" "rev" v.LO.v_thread;
+      check_str "lock being acquired" "m.bkl" v.LO.v_lock;
+      check_str "acquisition site" "rev:inner" v.LO.v_site;
+      check_str "lock already held" "m.stack0.lock" v.LO.v_held;
+      check_str "held-lock site" "rev:outer" v.LO.v_held_site;
+      check_bool "held rank above acquired rank" true (v.LO.v_held_rank > v.LO.v_rank)
+
+let test_forward_order_clean () =
+  (* The same nesting in the declared order never trips the sanitizer,
+     across both threads and with reacquisition. *)
+  let module LO = Uln_engine.Lock_order in
+  let sched = Sched.create () in
+  let bkl = Mutex.create ~name:"m.bkl" ~sched () in
+  let stk = Mutex.create ~name:"m.stack1.lock" ~sched () in
+  LO.set_enforce true;
+  LO.reset ();
+  (* Distinct names: held-lock stacks are keyed on the thread label, so
+     same-named threads would share one. *)
+  for i = 1 to 2 do
+    Sched.spawn sched ~name:(Printf.sprintf "worker%d" i) (fun () ->
+        Mutex.with_lock ~site:"w:outer" bkl (fun () ->
+            Sched.sleep sched (Time.ms 1);
+            Mutex.with_lock ~site:"w:inner" stk (fun () -> ())))
+  done;
+  Sched.run sched;
+  let vs = LO.violations () in
+  LO.set_enforce false;
+  check "no violations in declared order" 0 (List.length vs)
+
 (* --- demux receive steering -------------------------------------------- *)
 
 let tcp_pkt ~src_port ~dst_port =
@@ -442,7 +501,11 @@ let () =
       ( "locks",
         [ Alcotest.test_case "semaphore stats" `Quick test_semaphore_contention_stats;
           Alcotest.test_case "try_wait" `Quick test_try_wait_counts_successes_only;
-          Alcotest.test_case "mutex stats + registry" `Quick test_mutex_stats_and_registry ] );
+          Alcotest.test_case "mutex stats + registry" `Quick test_mutex_stats_and_registry;
+          Alcotest.test_case "ABBA reported, not deadlocked" `Quick
+            test_abba_reported_not_deadlocked;
+          Alcotest.test_case "declared order stays clean" `Quick
+            test_forward_order_clean ] );
       ( "steering",
         [ Alcotest.test_case "affinity recorded" `Quick test_demux_affinity_recorded;
           Alcotest.test_case "re-pin flushes cache" `Quick test_demux_set_affinity_never_stale;

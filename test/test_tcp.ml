@@ -10,12 +10,12 @@ let check_s = Alcotest.(check string)
 let with_server w ~port f =
   Sched.spawn w.sched ~name:"server" (fun () ->
       let l = Tcp.listen w.b.stack.Stack.tcp ~port in
-      let conn = Tcp.accept l in
+      let conn, _ = Tcp.accept l in
       f conn)
 
 let connect_a w ~port =
   match Tcp.connect w.a.stack.Stack.tcp ~src_port:5000 ~dst:w.b.ip ~dst_port:port with
-  | Ok c -> c
+  | Ok (c, _) -> c
   | Error e -> failwith ("connect failed: " ^ e)
 
 (* --- handshake ---------------------------------------------------------- *)
@@ -349,7 +349,7 @@ let test_export_import_preserves_stream () =
       Tcp.close conn);
   run_to_completion w (fun () ->
       let c = connect_a w ~port:80 in
-      let snap = Tcp.export c in
+      let snap = Tcp.export c ~witness:(Option.get (Tcp.established_witness c)) in
       check_bool "old conn unusable" true
         (try
            Tcp.write c (View.of_string "x");
@@ -367,14 +367,20 @@ let test_export_requires_established () =
       (match Tcp.read conn ~max:10 with None -> () | Some _ -> ());
       Tcp.close conn);
   run_to_completion w (fun () ->
-      let c = connect_a w ~port:80 in
-      Tcp.close c;
-      Tcp.await_closed c;
-      check_bool "export after close fails" true
-        (try
-           ignore (Tcp.export c);
-           false
-         with Failure _ -> true))
+      match Tcp.connect w.a.stack.Stack.tcp ~src_port:5000 ~dst:w.b.ip ~dst_port:80 with
+      | Error e -> failwith e
+      | Ok (c, witness) ->
+          Tcp.close c;
+          Tcp.await_closed c;
+          check_bool "no fresh witness after close" true
+            (Option.is_none (Tcp.established_witness c));
+          (* The stale witness from connect time is refused by the
+             dynamic backstop: the connection is no longer ESTABLISHED. *)
+          check_bool "export after close fails" true
+            (try
+               ignore (Tcp.export c ~witness);
+               false
+             with Failure _ -> true))
 
 (* --- multiple connections ------------------------------------------------------------ *)
 
@@ -384,7 +390,7 @@ let test_concurrent_connections () =
   Sched.spawn w.sched ~name:"multi-server" (fun () ->
       let l = Tcp.listen w.b.stack.Stack.tcp ~port:80 in
       for _ = 1 to 4 do
-        let conn = Tcp.accept l in
+        let conn, _ = Tcp.accept l in
         Sched.spawn w.sched ~name:"conn-server" (fun () ->
             let data = read_all conn in
             Hashtbl.replace results data true;
@@ -397,7 +403,7 @@ let test_concurrent_connections () =
             match
               Tcp.connect w.a.stack.Stack.tcp ~src_port:(6000 + i) ~dst:w.b.ip ~dst_port:80
             with
-            | Ok c -> (i, c)
+            | Ok (c, _) -> (i, c)
             | Error e -> failwith e)
           [ 1; 2; 3; 4 ]
       in
@@ -473,11 +479,11 @@ let test_keepalive_drops_dead_peer () =
   Sched.spawn w.sched ~name:"vanishing-client" (fun () ->
       match Tcp.connect w.a.stack.Stack.tcp ~src_port:5000 ~dst:w.b.ip ~dst_port:80 with
       | Error e -> failwith e
-      | Ok c ->
+      | Ok (c, witness) ->
           (* Detach without telling anyone: the peer sees pure silence.
              Suppress RSTs for probes to the now-unknown connection. *)
           Tcp.set_rst_on_unknown w.a.stack.Stack.tcp false;
-          ignore (Tcp.export c));
+          ignore (Tcp.export c ~witness));
   Sched.run w.sched;
   match !server_err with
   | Some e -> check_bool "keepalive detected death" true (e = "keepalive timeout")

@@ -12,12 +12,12 @@ let check_bool = Alcotest.(check bool)
 let with_server w ~port f =
   Sched.spawn w.sched ~name:"server" (fun () ->
       let l = Tcp.listen w.b.stack.Stack.tcp ~port in
-      let conn = Tcp.accept l in
+      let conn, _ = Tcp.accept l in
       f conn)
 
 let connect_a w ~port =
   match Tcp.connect w.a.stack.Stack.tcp ~src_port:5000 ~dst:w.b.ip ~dst_port:port with
-  | Ok c -> c
+  | Ok (c, _) -> c
   | Error e -> failwith ("connect failed: " ^ e)
 
 (* --- 32-bit sequence wraparound, end to end ----------------------------- *)
@@ -36,8 +36,9 @@ let test_transfer_across_sequence_wrap () =
       let c = connect_a w ~port:80 in
       Sched.sleep w.sched (Time.ms 200);
       let s = Option.get !server_conn in
-      let snap_c = Tcp.export c in
-      let snap_s = Tcp.export s in
+      let ew conn = Option.get (Tcp.established_witness conn) in
+      let snap_c = Tcp.export c ~witness:(ew c) in
+      let snap_s = Tcp.export s ~witness:(ew s) in
       let near = 0xFFFF8000 in
       let mask = 0xFFFFFFFF in
       let d1 = (near - snap_c.Tcp.snap_snd_una) land mask in
