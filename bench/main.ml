@@ -91,22 +91,36 @@ let t4_json (rows : E.t4_row list) =
         ("paper", jopt r.E.t4_paper) ])
     rows
 
-let churn_json (rows : Uln_workload.Churn.result list) =
+(* Percentile summaries flattened into JSON fields ("<prefix>p50_us",
+   "<prefix>p99_us", "<prefix>p999_us"). *)
+let pfields prefix (s : Uln_workload.Percentile.summary) =
+  List.map (fun (k, v) -> (prefix ^ k, v)) (Uln_workload.Percentile.summary_fields s)
+
+let churn_row (r : Uln_workload.Churn.result) =
+  [ ("system", jstr r.Uln_workload.Churn.r_system);
+    ("config", jstr r.Uln_workload.Churn.r_config);
+    ("pairs", jint r.Uln_workload.Churn.r_pairs);
+    ("conns", jint r.Uln_workload.Churn.r_conns);
+    ("conns_per_sec", jfloat r.Uln_workload.Churn.r_conns_per_sec);
+    ("setup_ms", jfloat r.Uln_workload.Churn.r_setup_ms);
+    ("churn_ms", jfloat r.Uln_workload.Churn.r_churn_ms);
+    ("leg_port_alloc_ms", jfloat r.Uln_workload.Churn.r_leg_port_alloc_ms);
+    ("leg_round_trip_ms", jfloat r.Uln_workload.Churn.r_leg_round_trip_ms);
+    ("leg_finish_ms", jfloat r.Uln_workload.Churn.r_leg_finish_ms);
+    ("pool_hit_rate", jfloat r.Uln_workload.Churn.r_pool_hit_rate);
+    ("lease_hit_rate", jfloat r.Uln_workload.Churn.r_lease_hit_rate);
+    ("tw_parked", jint r.Uln_workload.Churn.r_tw_parked) ]
+
+let churn_json (rows : Uln_workload.Churn.result list) = List.map churn_row rows
+
+(* Populated-server churn rows carry the background-filter population and
+   the churn-phase latency percentiles on top of the flat fields. *)
+let churn_sparse_json (rows : Uln_workload.Churn.result list) =
   List.map
     (fun (r : Uln_workload.Churn.result) ->
-      [ ("system", jstr r.Uln_workload.Churn.r_system);
-        ("config", jstr r.Uln_workload.Churn.r_config);
-        ("pairs", jint r.Uln_workload.Churn.r_pairs);
-        ("conns", jint r.Uln_workload.Churn.r_conns);
-        ("conns_per_sec", jfloat r.Uln_workload.Churn.r_conns_per_sec);
-        ("setup_ms", jfloat r.Uln_workload.Churn.r_setup_ms);
-        ("churn_ms", jfloat r.Uln_workload.Churn.r_churn_ms);
-        ("leg_port_alloc_ms", jfloat r.Uln_workload.Churn.r_leg_port_alloc_ms);
-        ("leg_round_trip_ms", jfloat r.Uln_workload.Churn.r_leg_round_trip_ms);
-        ("leg_finish_ms", jfloat r.Uln_workload.Churn.r_leg_finish_ms);
-        ("pool_hit_rate", jfloat r.Uln_workload.Churn.r_pool_hit_rate);
-        ("lease_hit_rate", jfloat r.Uln_workload.Churn.r_lease_hit_rate);
-        ("tw_parked", jint r.Uln_workload.Churn.r_tw_parked) ])
+      churn_row r
+      @ [ ("population", jint r.Uln_workload.Churn.r_population) ]
+      @ pfields "churn_" r.Uln_workload.Churn.r_churn_p)
     rows
 
 let scale_json (rows : E.scale_row list) =
@@ -117,6 +131,22 @@ let scale_json (rows : E.scale_row list) =
         ("hit_cycles", jfloat r.E.sc_hit_cycles);
         ("hits", jint r.E.sc_hits);
         ("misses", jint r.E.sc_misses) ])
+    rows
+
+let sparse_json (rows : E.sparse_row list) =
+  let module P = Uln_workload.Percentile in
+  List.map
+    (fun (r : E.sparse_row) ->
+      [ ("bench", jstr "sparse-scale");
+        ("conns", jint r.E.sp_conns);
+        ("miss_p50_cycles", jfloat r.E.sp_miss_p.P.p50);
+        ("miss_p99_cycles", jfloat r.E.sp_miss_p.P.p99);
+        ("miss_p999_cycles", jfloat r.E.sp_miss_p.P.p999);
+        ("linear_cycles", jfloat r.E.sp_linear_cycles) ]
+      @ pfields "setup_" r.E.sp_setup_p
+      @ pfields "delivery_" r.E.sp_delivery_p
+      @ [ ("shards", jint r.E.sp_shards);
+          ("lock_contended", jint r.E.sp_lock_contended) ])
     rows
 
 let zc_json (rows : E.zc_row list) =
@@ -238,7 +268,7 @@ let run_table5 () =
        rows);
   Format.fprintf ppf "@."
 
-let run_scale ?conns () =
+let run_scale ?conns ?pops () =
   section "Connection scaling (flow-cache demux vs linear scan)";
   let rows = E.scale ?conns () in
   E.print_scale ppf rows;
@@ -246,14 +276,40 @@ let run_scale ?conns () =
   section "Zero-copy ablation (userlib bulk, write-size scaling)";
   let zrows = E.zero_copy_ablation () in
   E.print_zero_copy ppf zrows;
-  write_json "scale" (scale_json rows @ zc_json zrows);
+  Format.fprintf ppf "@.";
+  section "Sparse sweep: 64k-1M-connection control plane (hierarchical demux)";
+  let srows = E.scale_sparse ?pops () in
+  E.print_sparse ppf srows;
+  write_json "scale" (scale_json rows @ zc_json zrows @ sparse_json srows);
   Format.fprintf ppf "@."
+
+(* Populated-server churn: every connect crosses a demux already loaded
+   with [population] background connections, with the sharded registry
+   and the hierarchical miss path on (their defaults are the flat/linear
+   oracles the differential tests pin). *)
+let sparse_churn_rows ?(pops = [ 65536; 262144; 1048576 ]) () =
+  let prm =
+    { Uln_proto.Tcp_params.fast with
+      Uln_proto.Tcp_params.hier_demux = true;
+      shard_registry = true }
+  in
+  List.map
+    (fun population ->
+      Uln_workload.Churn.run ~pairs:1 ~conns_per_pair:128 ~cpus:4 ~population
+        ~tcp_params:prm
+        ~config:(Printf.sprintf "+shard@%dk" (population / 1024))
+        ~network:Uln_core.World.Ethernet ~org:Uln_core.Organization.User_library ())
+    pops
 
 let run_churn () =
   section "Connection churn (setup fast-path ablation ladder)";
   let rows = Uln_workload.Churn.sweep () in
   Uln_workload.Churn.print ppf rows;
-  write_json "churn" (churn_json rows);
+  Format.fprintf ppf "@.";
+  section "Populated churn: sharded registry + hierarchical demux, 64k-1M background";
+  let srows = sparse_churn_rows () in
+  Uln_workload.Churn.print ppf srows;
+  write_json "churn" (churn_json rows @ churn_sparse_json srows);
   Format.fprintf ppf "@."
 
 (* Differential oracle: with every fast-path switch at its default
@@ -680,7 +736,11 @@ let run_smoke () =
   E.print_scale ppf rows;
   let zrows = E.zero_copy_ablation ~quick:true ~sizes:[ 4096 ] () in
   E.print_zero_copy ppf zrows;
-  write_json "scale" (scale_json rows @ zc_json zrows);
+  (* The sparse control plane at 64k background connections: sharded
+     registry + hierarchical demux driven end to end on every test run. *)
+  let sprows = E.scale_sparse ~pops:[ 65536 ] () in
+  E.print_sparse ppf sprows;
+  write_json "scale" (scale_json rows @ zc_json zrows @ sparse_json sprows);
   (* The SMP model, driven end to end: two pinned pairs on a 2-CPU host. *)
   let smp_row =
     Uln_workload.Smp.run ~bytes_per_pair:200_000
@@ -701,7 +761,11 @@ let run_smoke () =
          Uln_workload.Churn.configs)
   in
   Uln_workload.Churn.print ppf crows;
-  write_json "churn" (churn_json crows);
+  (* One populated-churn cell so the sharded/hierarchical connect path
+     is exercised here too (small population — smoke stays fast). *)
+  let scrows = sparse_churn_rows ~pops:[ 4096 ] () in
+  Uln_workload.Churn.print ppf scrows;
+  write_json "churn" (churn_json crows @ churn_sparse_json scrows);
   run_filteropt ();
   Format.fprintf ppf "@."
 

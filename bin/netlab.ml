@@ -580,6 +580,139 @@ let setupstats_cmd =
           TIME_WAIT wheel population.")
     Term.(const run $ network_arg $ pairs_arg $ conns_arg $ sequential_arg)
 
+let regstats_cmd =
+  let module Sockets = Uln_core.Sockets in
+  let module Registry = Uln_core.Registry in
+  let module Protolib = Uln_core.Protolib in
+  let module Tcp_params = Uln_proto.Tcp_params in
+  let module Sched = Uln_engine.Sched in
+  let run network tenants conns max_conns cpus flat =
+    let tcp_params =
+      { Tcp_params.fast with
+        Tcp_params.shard_registry = not flat;
+        hier_demux = not flat }
+    in
+    let quota =
+      { Registry.q_max_conns = max_conns;
+        q_max_mem_bytes = Registry.default_quota.Registry.q_max_mem_bytes }
+    in
+    let w =
+      World.create ~network ~org:Organization.User_library ~tcp_params ~quota ~cpus ()
+    in
+    let sched = World.sched w in
+    (* One server principal per tenant so each side's admission is
+       independently visible; every pair holds its connections while the
+       tables print, then the run exits. *)
+    let succ = min conns max_conns in
+    for k = 0 to tenants - 1 do
+      let app = World.app w ~host:1 (Printf.sprintf "srv%d" k) in
+      Sched.spawn sched ~name:(Printf.sprintf "srv%d" k) (fun () ->
+          let l = app.Sockets.listen ~port:(6000 + k) in
+          ignore (List.init succ (fun _ -> l.Sockets.accept ())))
+    done;
+    let libs =
+      List.init tenants (fun k ->
+          match World.library w ~host:0 (Printf.sprintf "tenant%d" k) with
+          | Some l -> l
+          | None -> assert false)
+    in
+    Sched.block_on sched (fun () ->
+        let held =
+          List.mapi
+            (fun k lib ->
+              List.filter_map
+                (fun _ ->
+                  match
+                    Protolib.connect_q lib ~src_port:0 ~dst:(World.host_ip w 1)
+                      ~dst_port:(6000 + k)
+                  with
+                  | Ok c -> Some c
+                  | Error (Registry.Quota_exceeded _) -> None
+                  | Error (Registry.Refused m) -> failwith ("regstats connect: " ^ m))
+                (List.init conns Fun.id))
+            libs
+        in
+        let reg0 = Option.get (World.registry w 0) in
+        let reg1 = Option.get (World.registry w 1) in
+        let lim = Registry.quota_limits reg0 in
+        Printf.printf
+          "regstats: userlib, %d tenant(s) x %d connect(s), quota %d conns / %d bytes per \
+           principal\n"
+          tenants conns lim.Registry.q_max_conns lim.Registry.q_max_mem_bytes;
+        Printf.printf "registry: %s, %d shard(s)\n"
+          (if Registry.sharded reg0 then "sharded" else "flat")
+          (Registry.num_shards reg0);
+        let tenant_table label = function
+          | [] -> Printf.printf "\n%s: no principals admitted\n" label
+          | stats ->
+              Printf.printf "\n%s per-principal quota accounting:\n" label;
+              Printf.printf "  %-24s %8s %8s %12s %8s\n" "principal" "active" "peak"
+                "mem(bytes)" "denied";
+              List.iter
+                (fun (s : Registry.tenant_stats) ->
+                  Printf.printf "  %-24s %8d %8d %12d %8d\n" s.Registry.ts_principal
+                    s.Registry.ts_active s.Registry.ts_peak s.Registry.ts_mem_bytes
+                    s.Registry.ts_denied)
+                stats
+        in
+        (* The client side through the library surface, the server side
+           straight off its registry. *)
+        tenant_table "host0 (clients)" (Protolib.quotastats (List.hd libs));
+        tenant_table "host1 (servers)" (Registry.tenant_stats reg1);
+        let shard_table label reg =
+          Printf.printf "\n%s shards:\n" label;
+          Printf.printf "  %-6s %4s %6s %8s %8s %12s %10s\n" "shard" "cpu" "ports"
+            "pending" "tw" "acquisitions" "contended";
+          List.iter
+            (fun (s : Registry.shard_stats) ->
+              Printf.printf "  %-6d %4d %6d %8d %8d %12d %10d\n" s.Registry.ss_shard
+                s.Registry.ss_cpu s.Registry.ss_ports s.Registry.ss_pending
+                s.Registry.ss_tw_pending s.Registry.ss_lock_acquisitions
+                s.Registry.ss_lock_contended)
+            (Registry.shard_stats reg)
+        in
+        shard_table "host0" reg0;
+        shard_table "host1" reg1;
+        List.iter (List.iter (fun (c : Sockets.conn) -> c.Sockets.close ())) held)
+  in
+  let tenants_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "t"; "tenants" ] ~docv:"N" ~doc:"Client principals on host 0.")
+  in
+  let conns_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "c"; "conns" ] ~docv:"N"
+          ~doc:"Connections each tenant attempts (held while the tables print).")
+  in
+  let max_conns_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:"Per-principal connection quota (below $(b,--conns) shows typed denials).")
+  in
+  let cpus_arg =
+    Arg.(value & opt int 4 & info [ "cpus" ] ~docv:"N" ~doc:"Simulated CPUs per host.")
+  in
+  let flat_arg =
+    Arg.(
+      value & flag
+      & info [ "flat" ]
+          ~doc:
+            "Run the flat-table oracle (sharded registry and hierarchical demux off) instead \
+             of the sharded control plane.")
+  in
+  Cmd.v
+    (Cmd.info "regstats"
+       ~doc:
+         "Run a multi-tenant connection workload and print the registry control-plane \
+          accounting: per-principal quota consumption (active, peak, pinned memory, typed \
+          denials) and per-shard table population and lock contention.")
+    Term.(
+      const run $ network_arg $ tenants_arg $ conns_arg $ max_conns_arg $ cpus_arg
+      $ flat_arg)
+
 let filter_lint_cmd =
   let open Uln_filter in
   let ip_local = Uln_addr.Ip.of_string "10.0.0.1" in
@@ -766,4 +899,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ throughput_cmd; latency_cmd; setup_cmd; orgs_cmd; table_cmd; snoop_cmd; rrp_cmd;
-            bufstats_cmd; cpustats_cmd; setupstats_cmd; filter_lint_cmd; proto_check_cmd ]))
+            bufstats_cmd; cpustats_cmd; setupstats_cmd; regstats_cmd; filter_lint_cmd;
+            proto_check_cmd ]))

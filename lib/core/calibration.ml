@@ -50,3 +50,13 @@ let time_wait_granularity = Time.ms 100
 let time_wait_capacity = 4096
 let time_wait_entry = Time.us 25
 let rst_batch_per_conn = Time.us 90
+
+(* Per-tenant admission quotas (million-connection control plane). *)
+
+let tenant_max_conns = 65536
+let tenant_mem_per_conn = channel_ring_slots * channel_buffer_size
+let tenant_max_mem_bytes = tenant_max_conns * tenant_mem_per_conn
+
+(* Registry shard-routing cost: the stable 4-tuple hash plus the
+   shard-table indirection a sharded lookup pays over the flat table. *)
+let registry_shard_route = Time.us 2

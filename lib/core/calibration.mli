@@ -179,3 +179,23 @@ val rx_poll_tick : Uln_engine.Time.span
 (** Granularity of the receive-ring poll: each tick charges this much
     CPU and re-checks the ring, so worst-case pickup latency for a
     polled frame is one tick. *)
+
+val tenant_max_conns : int
+(** Default per-tenant (per-principal) ceiling on concurrently granted
+    registry connections; admission beyond it fails with the typed
+    [Quota_exceeded] error rather than exhausting shared channel
+    memory.  Overridable per registry ({!Registry.create}). *)
+
+val tenant_mem_per_conn : int
+(** Shared-region bytes the registry charges a tenant per granted
+    connection (one channel: ring slots x buffer size). *)
+
+val tenant_max_mem_bytes : int
+(** Default per-tenant shared-memory ceiling; reached exactly when the
+    connection ceiling is, unless a registry is created with custom
+    limits. *)
+
+val registry_shard_route : Uln_engine.Time.span
+(** Cost of routing one registry operation to its shard: the stable
+    4-tuple hash plus the indirection into the per-shard tables
+    (shard_registry mode only). *)

@@ -133,11 +133,11 @@ let deliver t ch frame =
   end
   else t.overflows <- t.overflows + 1
 
-let create machine nic ~mode ?(flow_cache = false) () =
+let create machine nic ~mode ?(flow_cache = false) ?(hier = false) () =
   let t =
     { machine;
       nic;
-      demux = Demux.create ~mode ~budget:Calibration.filter_cycle_budget ~flow_cache ();
+      demux = Demux.create ~mode ~budget:Calibration.filter_cycle_budget ~flow_cache ~hier ();
       by_bqi = Hashtbl.create 8;
       next_id = 0;
       rejected = 0;
@@ -291,6 +291,21 @@ let install_filter t ch program =
 let add_filter t ~caller ch program =
   require_privileged caller "Netio.add_filter";
   install_filter t ch program
+
+(* Population fast path for the sparse-scale benches: stamp a verified
+   template's constraints with another connection's bytes.  Skips the
+   overlap scan [install_filter] runs — distinct 4-tuples cannot
+   overlap, and an O(n) conflict check per entry would make a 10^6
+   population quadratic. *)
+let add_stamped_filter t ~caller ch ~template ~constraints ~min_len =
+  require_privileged caller "Netio.add_stamped_filter";
+  match
+    Demux.install_stamped ~affinity:ch.affinity t.demux ~template ~constraints ~min_len ch
+  with
+  | Ok k ->
+      ch.filters <- k :: ch.filters;
+      k
+  | Error e -> invalid_arg ("Netio.add_stamped_filter: " ^ e)
 
 let remove_filter t ~caller k =
   require_privileged caller "Netio.remove_filter";
@@ -613,3 +628,7 @@ let sw_demuxed t = t.sw_demuxed
 let overlap_flags t = t.overlap_flags
 let set_flow_cache t on = Demux.set_flow_cache t.demux on
 let flow_cache_stats t = Demux.cache_stats t.demux
+let channel_id ch = ch.id
+let set_hier t on = Demux.set_hier t.demux on
+let hier_enabled t = Demux.hier_enabled t.demux
+let demux_entries t = Demux.entries t.demux

@@ -27,10 +27,13 @@ val create :
   Uln_net.Nic.t ->
   mode:Uln_filter.Demux.mode ->
   ?flow_cache:bool ->
+  ?hier:bool ->
   unit ->
   t
 (** [flow_cache] (default [false]) enables the exact-match flow cache in
-    front of the software filter table (see {!Uln_filter.Demux}). *)
+    front of the software filter table; [hier] (default [false]) routes
+    cache misses through the hierarchical index instead of the linear
+    scan (see {!Uln_filter.Demux}). *)
 
 val nic : t -> Uln_net.Nic.t
 val machine : t -> Uln_host.Machine.t
@@ -48,6 +51,10 @@ val create_channel :
     [use_bqi] on capable hardware — a controller BQI ring stocked with
     the region's buffers.
     @raise Capability.Violation unless [caller] is privileged. *)
+
+val channel_id : channel -> int
+(** Stable per-netio channel identifier (allocation order); the
+    registry keys per-grant accounting on it. *)
 
 val channel_bqi : channel -> int
 (** The local receive BQI (0 when none): the value the peer must stamp
@@ -95,6 +102,23 @@ val add_filter :
     {!Calibration.filter_cycle_budget}, and refused if vacuous or
     over-budget.
     @raise Uln_filter.Verify.Rejected on an admission failure. *)
+
+val add_stamped_filter :
+  t ->
+  caller:Uln_host.Addr_space.t ->
+  channel ->
+  template:Uln_filter.Demux.key ->
+  constraints:(int * int) list ->
+  min_len:int ->
+  Uln_filter.Demux.key
+(** Prestamped filter install for the sparse-scale benches: derive a
+    connection filter from an already-admitted conjunctive-exact
+    [template] entry by overriding its byte constraints
+    ({!Uln_filter.Demux.install_stamped}).  Skips the per-install
+    overlap scan — distinct 4-tuples cannot overlap, and an O(n) check
+    per entry would make a 10^6-connection population quadratic.
+    @raise Capability.Violation unless [caller] is privileged.
+    @raise Invalid_argument if [template] is unknown or inexact. *)
 
 val filter_conflict : t -> channel -> Uln_filter.Program.t -> string option
 (** Description of a strict partial overlap between [program]'s accept
@@ -277,6 +301,16 @@ val tx_sync_fallbacks : channel -> int
 val tx_batch_histogram : channel -> (int * int) list
 (** [(batch_size, occurrences)] pairs, ascending — how well doorbell
     coalescing amortized the kernel boundary. *)
+
+val set_hier : t -> bool -> unit
+(** Toggle the hierarchical demux miss path; the index is always
+    maintained, so this only selects which lookup runs (the sparse
+    bench flips it to measure hierarchical vs linear on one table). *)
+
+val hier_enabled : t -> bool
+
+val demux_entries : t -> int
+(** Live entries in the software filter table (O(1)). *)
 
 val set_flow_cache : t -> bool -> unit
 (** Toggle the software-demux flow cache at run time (flushes it). *)

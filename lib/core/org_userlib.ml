@@ -6,9 +6,15 @@ type t = {
   tcp_params : Uln_proto.Tcp_params.t option;
 }
 
-let create machine nic ~ip ~mode ?flow_cache ?tcp_params () =
-  let netio = Netio.create machine nic ~mode ?flow_cache () in
-  let registry = Registry.create machine netio ~ip ?tcp_params () in
+let create machine nic ~ip ~mode ?flow_cache ?quota ?tcp_params () =
+  (* The hierarchical-demux and registry-sharding switches live in
+     tcp_params with the other ablations; thread them to the layers
+     they configure. *)
+  let hier =
+    match tcp_params with Some p -> p.Uln_proto.Tcp_params.hier_demux | None -> false
+  in
+  let netio = Netio.create machine nic ~mode ?flow_cache ~hier () in
+  let registry = Registry.create machine netio ~ip ?tcp_params ?quota () in
   { machine; netio; registry; ip; tcp_params }
 
 let library ?cpu t ~name =

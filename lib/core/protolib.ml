@@ -526,7 +526,8 @@ let connect_leased ?params t ~dst ~dst_port =
           (* Every lease channel is on a live connection: fall back to a
              per-connection registry setup rather than block. *)
           t.lease_fallbacks <- t.lease_fallbacks + 1;
-          connect_via_registry ?params t ~src_port:0 ~dst ~dst_port
+          Result.map_error Registry.error_to_string
+            (connect_via_registry ?params t ~src_port:0 ~dst ~dst_port)
       | port :: more_ports, ch :: more_chs -> (
           charge t Calibration.lease_local_alloc;
           lh.lh_free_ports <- more_ports;
@@ -552,14 +553,26 @@ let connect_leased ?params t ~dst ~dst_port =
               leased_parts t ?params ~lh ~channel:ch ~local_port:port ~dst ~dst_port
                 ~remote_mac ()))
 
-let connect ?params t ~src_port ~dst ~dst_port =
+(* Typed connect: quota denials surface as {!Registry.Quota_exceeded}
+   so multi-tenant callers can shed load and retry instead of parsing a
+   message.  The leased fast path never consults the registry per
+   connection, so its failures stay descriptive. *)
+let connect_q ?params t ~src_port ~dst ~dst_port =
   let prm = match params with Some p -> Some p | None -> t.tcp_params in
   let leased =
     match prm with Some p -> p.Uln_proto.Tcp_params.endpoint_lease | None -> false
   in
   (* An explicit source port lies outside any leased block: registry path. *)
-  if leased && src_port = 0 then connect_leased ?params t ~dst ~dst_port
+  if leased && src_port = 0 then
+    match connect_leased ?params t ~dst ~dst_port with
+    | Ok c -> Ok c
+    | Error e -> Error (Registry.Refused e)
   else connect_via_registry ?params t ~src_port ~dst ~dst_port
+
+let connect ?params t ~src_port ~dst ~dst_port =
+  match connect_q ?params t ~src_port ~dst ~dst_port with
+  | Ok c -> Ok c
+  | Error e -> Error (Registry.error_to_string e)
 
 let connect_tuned t ~params ~src_port ~dst ~dst_port =
   connect ~params t ~src_port ~dst ~dst_port
@@ -574,7 +587,7 @@ let listen t ~port =
               Ipc.call (Registry.accept_port t.registry) ~size:32
                 { Registry.a_app = t.dom; a_port = port }
             with
-            | Error e -> failwith ("accept: " ^ e)
+            | Error e -> failwith ("accept: " ^ Registry.error_to_string e)
             | Ok grant -> adopt t grant) }
 
 (* Connectionless endpoints (paper SS5): the registry authorises the port
@@ -829,6 +842,8 @@ let leasestats t =
     lst_fallbacks = t.lease_fallbacks;
     lst_free_ports = fp;
     lst_free_channels = fc }
+
+let quotastats t = Registry.tenant_stats t.registry
 
 let app t =
   { Sockets.app_name = t.name;

@@ -46,6 +46,18 @@ val connect_tuned :
     this trivial in the library organization; a monolithic stack shares
     one parameter set across every user. *)
 
+val connect_q :
+  ?params:Uln_proto.Tcp_params.t ->
+  t ->
+  src_port:int ->
+  dst:Uln_addr.Ip.t ->
+  dst_port:int ->
+  (Sockets.conn, Registry.error) result
+(** Like the socket interface's [connect] but with the registry's typed
+    error: a {!Registry.Quota_exceeded} denial is distinguishable from
+    other refusals, so multi-tenant applications can shed connections
+    and retry rather than parse a message. *)
+
 val pass_connection : t -> Sockets.conn -> to_lib:t -> Sockets.conn
 (** Hand an established connection to another application on the same
     host without involving the registry server — the inetd pattern the
@@ -94,3 +106,7 @@ type leasestats = {
 }
 
 val leasestats : t -> leasestats
+
+val quotastats : t -> Registry.tenant_stats list
+(** Per-principal quota accounting of this library's registry (the
+    [netlab regstats] surface). *)

@@ -1,6 +1,7 @@
 module Sched = Uln_engine.Sched
 module Time = Uln_engine.Time
 module Semaphore = Uln_engine.Semaphore
+module Mutex = Uln_engine.Mutex
 module View = Uln_buf.View
 module Mbuf = Uln_buf.Mbuf
 module Ip = Uln_addr.Ip
@@ -34,6 +35,38 @@ type connect_req = {
 }
 
 type accept_req = { a_app : Addr_space.t; a_port : int }
+
+(* Typed service errors.  [Quota_exceeded] is the admission-control
+   outcome a library can recover from (shed load, close connections,
+   retry); everything else stays a descriptive refusal. *)
+type quota_resource = Conns | Mem
+
+type error =
+  | Quota_exceeded of { principal : string; resource : quota_resource; used : int; limit : int }
+  | Refused of string
+
+let error_to_string = function
+  | Quota_exceeded { principal; resource; used; limit } ->
+      Printf.sprintf "quota exceeded for %s: %s %d of %d" principal
+        (match resource with Conns -> "connections" | Mem -> "channel bytes")
+        used limit
+  | Refused m -> m
+
+(* Per-tenant admission quota: ceilings on concurrently granted
+   connections and on the shared channel memory they pin. *)
+type quota = { q_max_conns : int; q_max_mem_bytes : int }
+
+let default_quota =
+  { q_max_conns = Calibration.tenant_max_conns;
+    q_max_mem_bytes = Calibration.tenant_max_mem_bytes }
+
+type tenant = {
+  tn_principal : string;
+  mutable tn_active : int;
+  mutable tn_mem_bytes : int;
+  mutable tn_peak : int;
+  mutable tn_denied : int;
+}
 
 (* Per-handshake bookkeeping: which local BQI to advertise outbound, and
    which remote BQI the peer advertised. *)
@@ -80,6 +113,30 @@ type tw_entry = {
   mutable e_timer : Uln_engine.Timers.handle option;
 }
 
+(* One registry shard: the port, pending-connection, handoff and
+   TIME_WAIT tables of the connections routed to it, the CPU its table
+   work is charged to, and a ranked lock guarding the tables.  With
+   [shard_registry] off there is exactly one shard on the boot CPU, its
+   lock is never taken and no routing cost is charged — the flat-table
+   oracle path, byte-identical to the pre-shard registry.  Cross-shard
+   deferred work (timer expiries, connection-close callbacks) arrives
+   through [sh_post], a one-way IPC port served on the shard's CPU. *)
+type shard = {
+  sh_idx : int;
+  sh_cpu : int;
+  sh_lock : Mutex.t;
+  sh_ports : (int, port_state) Hashtbl.t;
+  sh_pending : (int32 * int * int, pending) Hashtbl.t; (* remote ip, rport, lport *)
+  sh_handoffs : (int32 * int * int, Netio.channel) Hashtbl.t;
+      (* connections handed to applications: segments that still match a
+         registry filter (handoff races) are forwarded to the owner *)
+  sh_tw_entries : (int32 * int * int, tw_entry) Hashtbl.t;
+  sh_tw_order : tw_entry Queue.t;
+  sh_inherit_filters : (int32 * int * int, Demux.key) Hashtbl.t;
+  mutable sh_ephemeral : int;
+  sh_post : (unit -> unit, unit) Ipc.t option; (* Some only when sharded *)
+}
+
 type t = {
   machine : Machine.t;
   netio : Netio.t;
@@ -87,17 +144,19 @@ type t = {
   my_ip : Ip.t;
   stack : Stack.t;
   channel : Netio.channel;
-  pending : (int32 * int * int, pending) Hashtbl.t; (* remote ip, rport, lport *)
-  handoffs : (int32 * int * int, Netio.channel) Hashtbl.t;
-      (* connections handed to applications: segments that still match a
-         registry filter (handoff races) are forwarded to the owner *)
-  ports : (int, port_state) Hashtbl.t;
-  mutable ephemeral : int;
+  sharded : bool;
+  nshards : int;
+  shards : shard array;
   mutable handshakes : int;
   mutable inherited : int;
   prm : Uln_proto.Tcp_params.t;
+  (* Tenant quotas: per-principal admission accounting. *)
+  quota : quota;
+  tenants : (string, tenant) Hashtbl.t;
+  grants : (int, string) Hashtbl.t; (* channel id -> granted principal *)
   (* Channel recycling pool (channel_pool switch). *)
   mutable pool : Netio.channel list;
+  mutable pool_count : int; (* |pool|, maintained (no per-call List.length) *)
   mutable pool_hits : int;
   mutable pool_misses : int;
   (* Endpoint leases (endpoint_lease switch). *)
@@ -105,15 +164,12 @@ type t = {
   mutable leases_active : int;
   (* TIME_WAIT wheel (time_wait_wheel switch). *)
   tw_timers : Uln_engine.Timers.t;
-  tw_entries : (int32 * int * int, tw_entry) Hashtbl.t;
-  tw_order : tw_entry Queue.t;
-  inherit_filters : (int32 * int * int, Demux.key) Hashtbl.t;
   mutable tw_parked : int;
   mutable tw_evicted : int;
   legs : leg_totals;
-  connect_p : (connect_req, (grant, string) result) Ipc.t;
+  connect_p : (connect_req, (grant, error) result) Ipc.t;
   listen_p : (int, (unit, string) result) Ipc.t;
-  accept_p : (accept_req, (grant, string) result) Ipc.t;
+  accept_p : (accept_req, (grant, error) result) Ipc.t;
   release_p : (int * Netio.channel, unit) Ipc.t;
   inherit_p : (Tcp.snapshot * Netio.channel * bool, unit) Ipc.t;
   inherit_batch_p : ((Tcp.snapshot * Netio.channel) list * bool, unit) Ipc.t;
@@ -132,14 +188,58 @@ type t = {
 
 let domain t = t.dom
 let ip t = t.my_ip
-let ports_in_use t = Hashtbl.length t.ports
+
+(* {2 Shard routing}
+
+   Placement is a stable function of the connection key: every piece of
+   a connection's control state — its local port, its pending-handshake
+   record, its handoff entry, its TIME_WAIT residue — shares the local
+   port, so hashing that component of the 4-tuple (residue classes mod
+   the shard count) colocates them on one shard and keeps placement
+   deterministic across runs.  Ephemeral connects pick their shard by a
+   stable hash of the remote endpoint (spreading load), then allocate
+   the local port from that shard's residue class, preserving the
+   colocation invariant. *)
+
+let shard_of_port t p = if t.sharded then t.shards.(p mod t.nshards) else t.shards.(0)
+let shard_of_key t (_, _, local_port) = shard_of_port t local_port
+
+let conn_shard t ~dst ~dst_port =
+  if not t.sharded then t.shards.(0)
+  else
+    let h = (Int32.to_int (Ip.to_int32 dst) land 0xffffff) + (31 * dst_port) in
+    t.shards.(h mod t.nshards)
+
+let shard_cpu t sh = Machine.cpu_at t.machine sh.sh_cpu
+let charge_sh t sh span = Cpu.use (shard_cpu t sh) span
+
+(* One routed table operation: the 4-tuple hash + indirection charge and
+   the shard's ranked lock around [f].  The flat path (sharding off)
+   charges nothing and takes no lock — it IS the old code. *)
+let shard_sync ?(site = "registry.shard") t sh f =
+  if t.sharded then begin
+    charge_sh t sh Calibration.registry_shard_route;
+    Mutex.with_lock ~site sh.sh_lock f
+  end
+  else f ()
+
+(* Deferred cross-shard work (timer expiry, close callbacks): posted as
+   a one-way IPC to the shard's own CPU when sharded, direct otherwise. *)
+let shard_defer t sh f =
+  match sh.sh_post with
+  | Some p when t.sharded -> ignore (Ipc.post p ~size:16 f)
+  | _ -> f ()
+
+let ports_in_use t =
+  Array.fold_left (fun acc sh -> acc + Hashtbl.length sh.sh_ports) 0 t.shards
+
 let handshakes_completed t = t.handshakes
 let inherited_connections t = t.inherited
 let stack t = t.stack
 
 type pool_stats = { ps_hits : int; ps_misses : int; ps_parked : int }
 
-let pool_stats t = { ps_hits = t.pool_hits; ps_misses = t.pool_misses; ps_parked = List.length t.pool }
+let pool_stats t = { ps_hits = t.pool_hits; ps_misses = t.pool_misses; ps_parked = t.pool_count }
 
 type lease_stats = { ls_granted : int; ls_active : int }
 
@@ -153,7 +253,8 @@ type time_wait_stats = {
 }
 
 let time_wait_stats t =
-  { tw_pending = Hashtbl.length t.tw_entries;
+  { tw_pending =
+      Array.fold_left (fun acc sh -> acc + Hashtbl.length sh.sh_tw_entries) 0 t.shards;
     tw_parked_total = t.tw_parked;
     tw_evicted = t.tw_evicted;
     tw_capacity = Calibration.time_wait_capacity }
@@ -175,6 +276,56 @@ let setup_legs t =
     sl_round_trip_us = avg l.lt_round_trip_us;
     sl_finish_us = avg l.lt_finish_us;
     sl_total_us = avg l.lt_total_us }
+
+type tenant_stats = {
+  ts_principal : string;
+  ts_active : int;
+  ts_mem_bytes : int;
+  ts_peak : int;
+  ts_denied : int;
+}
+
+let tenant_stats t =
+  Hashtbl.fold
+    (fun _ tn acc ->
+      { ts_principal = tn.tn_principal;
+        ts_active = tn.tn_active;
+        ts_mem_bytes = tn.tn_mem_bytes;
+        ts_peak = tn.tn_peak;
+        ts_denied = tn.tn_denied }
+      :: acc)
+    t.tenants []
+  |> List.sort (fun a b -> compare a.ts_principal b.ts_principal)
+
+let quota_limits t = t.quota
+
+type shard_stats = {
+  ss_shard : int;
+  ss_cpu : int;
+  ss_ports : int;
+  ss_pending : int;
+  ss_tw_pending : int;
+  ss_lock_acquisitions : int;
+  ss_lock_contended : int;
+}
+
+let shard_stats t =
+  Array.to_list
+    (Array.map
+       (fun sh ->
+         let ls = Mutex.stats sh.sh_lock in
+         { ss_shard = sh.sh_idx;
+           ss_cpu = sh.sh_cpu;
+           ss_ports = Hashtbl.length sh.sh_ports;
+           ss_pending = Hashtbl.length sh.sh_pending;
+           ss_tw_pending = Hashtbl.length sh.sh_tw_entries;
+           ss_lock_acquisitions = ls.Semaphore.s_acquisitions;
+           ss_lock_contended = ls.Semaphore.s_contended })
+       t.shards)
+
+let sharded t = t.sharded
+let num_shards t = t.nshards
+
 let connect_port t = t.connect_p
 let listen_port t = t.listen_p
 let accept_port t = t.accept_p
@@ -189,6 +340,70 @@ let release_udp_port t = t.release_udp_p
 let resolve_mac_port t = t.resolve_p
 let bind_rrp_port t = t.bind_rrp_p
 let release_rrp_port t = t.release_rrp_p
+
+(* {2 Tenant quota accounting}
+
+   A reservation is taken before the handshake (so concurrent setups
+   cannot overshoot the ceiling) and either matures into a grant —
+   recorded against the channel so release/inheritance can find the
+   principal — or is returned on any failure path.  Leased connects
+   never reach the registry per connection; their exposure is bounded by
+   the lease block itself and accounted at lease-grant time by the
+   block's channel set. *)
+
+let tenant_of t principal =
+  match Hashtbl.find_opt t.tenants principal with
+  | Some tn -> tn
+  | None ->
+      let tn =
+        { tn_principal = principal; tn_active = 0; tn_mem_bytes = 0; tn_peak = 0; tn_denied = 0 }
+      in
+      Hashtbl.replace t.tenants principal tn;
+      tn
+
+let tenant_reserve t principal =
+  let tn = tenant_of t principal in
+  if tn.tn_active + 1 > t.quota.q_max_conns then begin
+    tn.tn_denied <- tn.tn_denied + 1;
+    Error
+      (Quota_exceeded
+         { principal; resource = Conns; used = tn.tn_active; limit = t.quota.q_max_conns })
+  end
+  else if tn.tn_mem_bytes + Calibration.tenant_mem_per_conn > t.quota.q_max_mem_bytes then begin
+    tn.tn_denied <- tn.tn_denied + 1;
+    Error
+      (Quota_exceeded
+         { principal;
+           resource = Mem;
+           used = tn.tn_mem_bytes;
+           limit = t.quota.q_max_mem_bytes })
+  end
+  else begin
+    tn.tn_active <- tn.tn_active + 1;
+    tn.tn_mem_bytes <- tn.tn_mem_bytes + Calibration.tenant_mem_per_conn;
+    tn.tn_peak <- Stdlib.max tn.tn_peak tn.tn_active;
+    Ok tn
+  end
+
+let tenant_release t principal =
+  match Hashtbl.find_opt t.tenants principal with
+  | None -> ()
+  | Some tn ->
+      tn.tn_active <- Stdlib.max 0 (tn.tn_active - 1);
+      tn.tn_mem_bytes <- Stdlib.max 0 (tn.tn_mem_bytes - Calibration.tenant_mem_per_conn)
+
+(* A reservation matures: bind it to the granted channel. *)
+let tenant_bind t principal channel =
+  Hashtbl.replace t.grants (Netio.channel_id channel) principal
+
+(* The grant ends (release or inheritance): return the quota. *)
+let tenant_drop t channel =
+  let id = Netio.channel_id channel in
+  match Hashtbl.find_opt t.grants id with
+  | None -> ()
+  | Some principal ->
+      Hashtbl.remove t.grants id;
+      tenant_release t principal
 
 (* Minimal TCP header inspection of an IP payload — the layering
    violation the paper accepts for setup-time machinery. *)
@@ -240,13 +455,16 @@ let device_ipc_cost t =
 
 (* Channel recycling (channel_pool): a parked channel keeps its shared
    region, mappings, semaphore, capability gate and BQI ring, so
-   re-arming it for a new connection skips the expensive mapping work. *)
+   re-arming it for a new connection skips the expensive mapping work.
+   The pool is a registry-global resource (not per shard): its accesses
+   happen on the serving thread and its size is a maintained counter. *)
 let take_channel t ~owner =
   let use_bqi = (Netio.nic t.netio).Nic.bqi <> None in
   if t.prm.Tcp_params.channel_pool then
     match t.pool with
     | ch :: rest when not (Netio.channel_destroyed ch) ->
         t.pool <- rest;
+        t.pool_count <- t.pool_count - 1;
         t.pool_hits <- t.pool_hits + 1;
         Netio.reassign_owner t.netio ~caller:t.dom ch ~owner;
         (ch, true)
@@ -259,10 +477,11 @@ let put_channel t ch =
   if
     t.prm.Tcp_params.channel_pool
     && (not (Netio.channel_destroyed ch))
-    && List.length t.pool < Calibration.channel_pool_max
+    && t.pool_count < Calibration.channel_pool_max
   then begin
     Netio.park_channel t.netio ~caller:t.dom ch;
-    t.pool <- ch :: t.pool
+    t.pool <- ch :: t.pool;
+    t.pool_count <- t.pool_count + 1
   end
   else Netio.destroy_channel t.netio ~caller:t.dom ch
 
@@ -310,16 +529,21 @@ let record_legs t ~t0 ~t1 ~t2 ~t3 =
 
 (* {2 TIME_WAIT wheel (time_wait_wheel)} *)
 
-let tw_expire t entry =
+(* Per-shard slice of the global parking capacity (the whole cap with
+   one shard). *)
+let tw_cap t = Stdlib.max 1 (Calibration.time_wait_capacity / t.nshards)
+
+(* Callers hold [sh]'s lock when sharded. *)
+let tw_expire_u t sh entry =
   if not entry.e_done then begin
     entry.e_done <- true;
     (match entry.e_timer with Some h -> Timers.disarm h | None -> ());
     (match entry.e_filter with
     | Some k -> Netio.remove_filter t.netio ~caller:t.dom k
     | None -> ());
-    Hashtbl.remove t.tw_entries entry.e_key;
-    match Hashtbl.find_opt t.ports entry.e_port with
-    | Some In_use -> Hashtbl.remove t.ports entry.e_port
+    Hashtbl.remove sh.sh_tw_entries entry.e_key;
+    match Hashtbl.find_opt sh.sh_ports entry.e_port with
+    | Some In_use -> Hashtbl.remove sh.sh_ports entry.e_port
     | Some (Listening _ | Leased) | None -> ()
   end
 
@@ -328,39 +552,46 @@ let tw_expire t entry =
    (4-tuple, port, demux filter).  Stray segments for a parked residue
    match the kept filter, reach the registry engine's unknown-connection
    path and are dropped silently.  Capacity is bounded: past the cap the
-   oldest residue forfeits its remaining quiet time (counted). *)
-let tw_park t ~key ~port =
-  if Hashtbl.mem t.tw_entries key then false
+   oldest residue forfeits its remaining quiet time (counted).  Callers
+   hold [sh]'s lock when sharded. *)
+let tw_park_u t sh ~key ~port =
+  if Hashtbl.mem sh.sh_tw_entries key then false
   else begin
-    charge t Calibration.time_wait_entry;
+    charge_sh t sh Calibration.time_wait_entry;
     while
-      Hashtbl.length t.tw_entries >= Calibration.time_wait_capacity
-      && not (Queue.is_empty t.tw_order)
+      Hashtbl.length sh.sh_tw_entries >= tw_cap t && not (Queue.is_empty sh.sh_tw_order)
     do
-      let oldest = Queue.pop t.tw_order in
+      let oldest = Queue.pop sh.sh_tw_order in
       if not oldest.e_done then begin
         t.tw_evicted <- t.tw_evicted + 1;
-        tw_expire t oldest
+        tw_expire_u t sh oldest
       end
     done;
     let entry =
       { e_key = key;
         e_port = port;
-        e_filter = Hashtbl.find_opt t.inherit_filters key;
+        e_filter = Hashtbl.find_opt sh.sh_inherit_filters key;
         e_done = false;
         e_timer = None }
     in
-    Hashtbl.remove t.inherit_filters key;
+    Hashtbl.remove sh.sh_inherit_filters key;
     entry.e_timer <-
       Some
         (Timers.arm t.tw_timers
            (Time.span_scale t.prm.Tcp_params.msl 2)
-           (fun () -> tw_expire t entry));
-    Hashtbl.replace t.tw_entries key entry;
-    Queue.push entry t.tw_order;
+           (fun () ->
+             (* Timer context: cross-shard, so defer to the shard. *)
+             shard_defer t sh (fun () ->
+                 shard_sync ~site:"registry.tw_expire" t sh (fun () -> tw_expire_u t sh entry))));
+    Hashtbl.replace sh.sh_tw_entries key entry;
+    Queue.push entry sh.sh_tw_order;
     t.tw_parked <- t.tw_parked + 1;
     true
   end
+
+let tw_park t ~key ~port =
+  let sh = shard_of_key t key in
+  shard_sync ~site:"registry.tw_park" t sh (fun () -> tw_park_u t sh ~key ~port)
 
 let tw_claim t conn =
   let remote_ip, remote_port = Tcp.remote_addr conn in
@@ -382,12 +613,42 @@ let do_park_tw t residues =
              ~port:local_port))
       residues
 
-let rec create machine netio ~ip ?tcp_params () =
+let make_shard machine ~sharded ~nshards i =
+  let n = nshards in
+  let base = 49152 in
+  (* first port >= base in this shard's residue class *)
+  let eph0 = base + (((i - base) mod n + n) mod n) in
+  { sh_idx = i;
+    sh_cpu = i;
+    sh_lock =
+      Mutex.create
+        ~name:(Printf.sprintf "%s.registry.shard%d.lock" machine.Machine.name i)
+        ~sched:machine.Machine.sched ();
+    sh_ports = Hashtbl.create 16;
+    sh_pending = Hashtbl.create 16;
+    sh_handoffs = Hashtbl.create 16;
+    sh_tw_entries = Hashtbl.create 64;
+    sh_tw_order = Queue.create ();
+    sh_inherit_filters = Hashtbl.create 64;
+    sh_ephemeral = eph0;
+    sh_post =
+      (if sharded then
+         Some
+           (Ipc.create machine.Machine.sched (Machine.cpu_at machine i)
+              machine.Machine.costs
+              ~name:(Printf.sprintf "registry.shard%d.post" i))
+       else None) }
+
+let rec create machine netio ~ip ?tcp_params ?(quota = default_quota) () =
   let dom = Machine.new_server_domain machine "tcp-registry" in
   let nic = Netio.nic netio in
   let channel = Netio.create_channel netio ~caller:dom ~owner:dom ~use_bqi:false in
   Netio.activate netio ~caller:dom channel ~filter:(Program.arp ()) ~template:(Template.make []);
   let env = Proto_env.of_machine machine in
+  let prm = match tcp_params with Some p -> p | None -> Uln_proto.Tcp_params.default in
+  let sharded = prm.Tcp_params.shard_registry in
+  let nshards = if sharded then Stdlib.max 1 (Machine.num_cpus machine) else 1 in
+  let shards = Array.init nshards (make_shard machine ~sharded ~nshards) in
   let rec t =
     lazy
       (let tx frame =
@@ -401,7 +662,11 @@ let rec create machine netio ~ip ?tcp_params () =
                  pending_key ~remote_ip:peek.p_dst ~remote_port:peek.p_dport
                    ~local_port:peek.p_sport
                in
-               match Hashtbl.find_opt tt.pending key with
+               let sh = shard_of_key tt key in
+               match
+                 shard_sync ~site:"registry.tx_stamp" tt sh (fun () ->
+                     Hashtbl.find_opt sh.sh_pending key)
+               with
                | Some p when p.stamp_bqi > 0 && p.p_bqi <> None ->
                    { frame with Frame.bqi_hint = p.stamp_bqi }
                | _ -> frame)
@@ -423,14 +688,17 @@ let rec create machine netio ~ip ?tcp_params () =
          my_ip = ip;
          stack;
          channel;
-         pending = Hashtbl.create 16;
-         handoffs = Hashtbl.create 16;
-         ports = Hashtbl.create 16;
-         ephemeral = 49152;
+         sharded;
+         nshards;
+         shards;
          handshakes = 0;
          inherited = 0;
-         prm = (match tcp_params with Some p -> p | None -> Uln_proto.Tcp_params.default);
+         prm;
+         quota;
+         tenants = Hashtbl.create 8;
+         grants = Hashtbl.create 64;
          pool = [];
+         pool_count = 0;
          pool_hits = 0;
          pool_misses = 0;
          leases_granted = 0;
@@ -438,9 +706,6 @@ let rec create machine netio ~ip ?tcp_params () =
          tw_timers =
            Uln_engine.Timers.create machine.Machine.sched
              ~granularity:Calibration.time_wait_granularity;
-         tw_entries = Hashtbl.create 64;
-         tw_order = Queue.create ();
-         inherit_filters = Hashtbl.create 64;
          tw_parked = 0;
          tw_evicted = 0;
          legs =
@@ -499,7 +764,11 @@ let rec create machine netio ~ip ?tcp_params () =
         let hdr = Mbuf.flatten (Mbuf.take segment 4) in
         let sport = View.get_uint16 hdr 0 and dport = View.get_uint16 hdr 2 in
         let key = pending_key ~remote_ip:src ~remote_port:sport ~local_port:dport in
-        match Hashtbl.find_opt t.handoffs key with
+        let sh = shard_of_key t key in
+        match
+          shard_sync ~site:"registry.unknown_seg" t sh (fun () ->
+              Hashtbl.find_opt sh.sh_handoffs key)
+        with
         | None -> false
         | Some ch ->
             let ip_hdr = View.create 20 in
@@ -535,7 +804,11 @@ and forwarded t frame =
           pending_key ~remote_ip:peek.p_src ~remote_port:peek.p_sport
             ~local_port:peek.p_dport
         in
-        match Hashtbl.find_opt t.handoffs key with
+        let sh = shard_of_key t key in
+        match
+          shard_sync ~site:"registry.forward" t sh (fun () ->
+              Hashtbl.find_opt sh.sh_handoffs key)
+        with
         | Some ch ->
             Netio.inject t.netio ~caller:t.dom ch frame;
             true
@@ -552,32 +825,34 @@ and on_rx t frame =
           pending_key ~remote_ip:peek.p_src ~remote_port:peek.p_sport
             ~local_port:peek.p_dport
         in
+        let sh = shard_of_key t key in
         let is_syn_only = peek.p_flags land flag_syn <> 0 && peek.p_flags land flag_ack = 0 in
-        (match Hashtbl.find_opt t.pending key with
-        | Some p ->
-            if frame.Frame.bqi_hint > 0 && p.p_bqi <> None then
-              p.peer_bqi <- frame.Frame.bqi_hint
-        | None ->
-            if is_syn_only && Hashtbl.mem t.ports peek.p_dport then begin
-              match Hashtbl.find_opt t.ports peek.p_dport with
-              | Some (Listening l) ->
-                  let ch, reused = take_channel t ~owner:t.dom in
-                  (* Passive-side overlap: build the channel while the
-                     SYN-ACK/ACK exchange completes. *)
-                  let join =
-                    if t.prm.Tcp_params.overlap_setup then
-                      Some (spawn_build t ~app_ch:ch ~reused)
-                    else None
-                  in
-                  Hashtbl.replace t.pending key
-                    { stamp_bqi = Netio.channel_bqi ch;
-                      peer_bqi = frame.Frame.bqi_hint;
-                      p_bqi = Some (Tcp_fsm.bqi_exchange (Tcp.listener_witness l));
-                      pre_channel = Some ch;
-                      pre_reused = reused;
-                      build_join = join }
-              | Some (In_use | Leased) | None -> ()
-            end))
+        shard_sync ~site:"registry.on_rx" t sh (fun () ->
+            match Hashtbl.find_opt sh.sh_pending key with
+            | Some p ->
+                if frame.Frame.bqi_hint > 0 && p.p_bqi <> None then
+                  p.peer_bqi <- frame.Frame.bqi_hint
+            | None ->
+                if is_syn_only && Hashtbl.mem sh.sh_ports peek.p_dport then begin
+                  match Hashtbl.find_opt sh.sh_ports peek.p_dport with
+                  | Some (Listening l) ->
+                      let ch, reused = take_channel t ~owner:t.dom in
+                      (* Passive-side overlap: build the channel while the
+                         SYN-ACK/ACK exchange completes. *)
+                      let join =
+                        if t.prm.Tcp_params.overlap_setup then
+                          Some (spawn_build t ~app_ch:ch ~reused)
+                        else None
+                      in
+                      Hashtbl.replace sh.sh_pending key
+                        { stamp_bqi = Netio.channel_bqi ch;
+                          peer_bqi = frame.Frame.bqi_hint;
+                          p_bqi = Some (Tcp_fsm.bqi_exchange (Tcp.listener_witness l));
+                          pre_channel = Some ch;
+                          pre_reused = reused;
+                          build_join = join }
+                  | Some (In_use | Leased) | None -> ()
+                end))
 
 and resolve_mac t dst =
   match Arp.lookup t.stack.Stack.arp dst with
@@ -591,102 +866,146 @@ and resolve_mac t dst =
       Sched.suspend (fun wake -> resume := wake);
       (match !result with Some m -> m | None -> Mac.broadcast)
 
-and alloc_ephemeral t =
+(* Allocate from [sh]'s residue class (all ports p with p mod nshards =
+   sh_idx), so the port's own routing lands back on [sh] — the
+   colocation invariant.  With one shard this is the classic 49152-65535
+   cursor.  Caller holds [sh]'s lock when sharded. *)
+and alloc_ephemeral t sh =
+  let step = t.nshards in
+  let limit = 16384 / step in
+  let base = 49152 in
+  let class_start = base + (((sh.sh_idx - base) mod step + step) mod step) in
   let rec go n =
-    if n > 16384 then failwith "registry: out of ephemeral ports";
-    let p = t.ephemeral in
-    t.ephemeral <- (if t.ephemeral >= 65535 then 49152 else t.ephemeral + 1);
-    if Hashtbl.mem t.ports p then go (n + 1) else p
+    if n > limit then failwith "registry: out of ephemeral ports";
+    let p = sh.sh_ephemeral in
+    sh.sh_ephemeral <- (if p + step > 65535 then class_start else p + step);
+    if Hashtbl.mem sh.sh_ports p then go (n + 1) else p
   in
   go 0
 
 and do_connect t (req : connect_req) =
   let sched = t.machine.Machine.sched in
   let t0 = Sched.now sched in
-  charge t Calibration.registry_port_alloc;
-  let src_port = if req.c_src_port = 0 then alloc_ephemeral t else req.c_src_port in
-  if Hashtbl.mem t.ports src_port then Error (Printf.sprintf "port %d in use" src_port)
-  else begin
-    Hashtbl.replace t.ports src_port In_use;
-    let app_ch, reused = take_channel t ~owner:req.c_app in
-    let key = pending_key ~remote_ip:req.c_dst ~remote_port:req.c_dst_port ~local_port:src_port in
-    Hashtbl.replace t.pending key
-      { stamp_bqi = Netio.channel_bqi app_ch;
-        peer_bqi = 0;
-        p_bqi = None;
-        (* no permit yet: minted from the SYN_SENT witness below, before
-           the SYN leaves — stamping stays dark until then *)
-        pre_channel = None;
-        pre_reused = false;
-        build_join = None };
-    (* Route this handshake's inbound segments to the registry. *)
-    match
-      try
-        Ok
-          (Netio.add_filter t.netio ~caller:t.dom t.channel
-             (conn_filter t ~remote_ip:req.c_dst ~remote_port:req.c_dst_port
-                ~local_port:src_port))
-      with Verify.Rejected e -> Error (verifier_error e)
-    with
-    | Error e ->
-        Hashtbl.remove t.pending key;
-        put_channel t app_ch;
-        Hashtbl.remove t.ports src_port;
-        Error e
-    | Ok tmp_filter -> (
-        let cleanup () =
-          Netio.remove_filter t.netio ~caller:t.dom tmp_filter;
-          Hashtbl.remove t.pending key;
-          put_channel t app_ch;
-          Hashtbl.remove t.ports src_port
-        in
-        (* Split open: allocate the SYN_SENT control block first so its
-           witness can mint the BQI permit before any wire activity —
-           the tx stamper refuses to decorate frames for a pending entry
-           that holds no handshake-state proof. *)
-        match
-          Tcp.connect_prepare t.stack.Stack.tcp ~src_port ~dst:req.c_dst
-            ~dst_port:req.c_dst_port
-        with
-        | Error e ->
-            cleanup ();
-            Error e
-        | Ok (conn, syn_sent) -> (
-            (Hashtbl.find t.pending key).p_bqi <- Some (Tcp_fsm.bqi_exchange syn_sent);
-            (* Overlapped handshake: the channel construction charge runs
-               while the SYN round trip is on the wire. *)
-            let join =
-              if t.prm.Tcp_params.overlap_setup then Some (spawn_build t ~app_ch ~reused)
-              else None
+  let sh =
+    if req.c_src_port <> 0 then shard_of_port t req.c_src_port
+    else conn_shard t ~dst:req.c_dst ~dst_port:req.c_dst_port
+  in
+  charge_sh t sh Calibration.registry_port_alloc;
+  let principal = Addr_space.name req.c_app in
+  match tenant_reserve t principal with
+  | Error e -> Error e
+  | Ok _ -> (
+      let unreserve () = tenant_release t principal in
+      let claim =
+        shard_sync ~site:"registry.connect" t sh (fun () ->
+            let src_port =
+              if req.c_src_port = 0 then alloc_ephemeral t sh else req.c_src_port
             in
-            let t1 = Sched.now sched in
-            match Tcp.connect_launch conn with
-            | Error e ->
-                (match join with Some j -> j () | None -> ());
-                cleanup ();
-                Error e
-            | Ok witness ->
-                let t2 = Sched.now sched in
-                (match join with Some j -> j () | None -> ());
-                let p = Hashtbl.find t.pending key in
-                let r =
-                  finish_setup t ~conn ~witness ~app_ch ~reused
-                    ~pre_charged:(Option.is_some join) ~remote_ip:req.c_dst
-                    ~remote_port:req.c_dst_port ~local_port:src_port ~peer_bqi:p.peer_bqi
-                    ~tmp_filter:(Some tmp_filter) ~key
-                in
-                record_legs t ~t0 ~t1 ~t2 ~t3:(Sched.now sched);
-                r))
-  end
+            if Hashtbl.mem sh.sh_ports src_port then
+              Error (Refused (Printf.sprintf "port %d in use" src_port))
+            else begin
+              Hashtbl.replace sh.sh_ports src_port In_use;
+              Ok src_port
+            end)
+      in
+      match claim with
+      | Error e ->
+          unreserve ();
+          Error e
+      | Ok src_port -> (
+          let app_ch, reused = take_channel t ~owner:req.c_app in
+          let key =
+            pending_key ~remote_ip:req.c_dst ~remote_port:req.c_dst_port ~local_port:src_port
+          in
+          shard_sync ~site:"registry.connect" t sh (fun () ->
+              Hashtbl.replace sh.sh_pending key
+                { stamp_bqi = Netio.channel_bqi app_ch;
+                  peer_bqi = 0;
+                  p_bqi = None;
+                  (* no permit yet: minted from the SYN_SENT witness below,
+                     before the SYN leaves — stamping stays dark until then *)
+                  pre_channel = None;
+                  pre_reused = false;
+                  build_join = None });
+          (* Route this handshake's inbound segments to the registry. *)
+          match
+            try
+              Ok
+                (Netio.add_filter t.netio ~caller:t.dom t.channel
+                   (conn_filter t ~remote_ip:req.c_dst ~remote_port:req.c_dst_port
+                      ~local_port:src_port))
+            with Verify.Rejected e -> Error (Refused (verifier_error e))
+          with
+          | Error e ->
+              shard_sync ~site:"registry.connect" t sh (fun () ->
+                  Hashtbl.remove sh.sh_pending key;
+                  Hashtbl.remove sh.sh_ports src_port);
+              put_channel t app_ch;
+              unreserve ();
+              Error e
+          | Ok tmp_filter -> (
+              let cleanup () =
+                Netio.remove_filter t.netio ~caller:t.dom tmp_filter;
+                shard_sync ~site:"registry.connect" t sh (fun () ->
+                    Hashtbl.remove sh.sh_pending key;
+                    Hashtbl.remove sh.sh_ports src_port);
+                put_channel t app_ch;
+                unreserve ()
+              in
+              (* Split open: allocate the SYN_SENT control block first so its
+                 witness can mint the BQI permit before any wire activity —
+                 the tx stamper refuses to decorate frames for a pending entry
+                 that holds no handshake-state proof. *)
+              match
+                Tcp.connect_prepare t.stack.Stack.tcp ~src_port ~dst:req.c_dst
+                  ~dst_port:req.c_dst_port
+              with
+              | Error e ->
+                  cleanup ();
+                  Error (Refused e)
+              | Ok (conn, syn_sent) -> (
+                  shard_sync ~site:"registry.connect" t sh (fun () ->
+                      (Hashtbl.find sh.sh_pending key).p_bqi <-
+                        Some (Tcp_fsm.bqi_exchange syn_sent));
+                  (* Overlapped handshake: the channel construction charge
+                     runs while the SYN round trip is on the wire. *)
+                  let join =
+                    if t.prm.Tcp_params.overlap_setup then
+                      Some (spawn_build t ~app_ch ~reused)
+                    else None
+                  in
+                  let t1 = Sched.now sched in
+                  match Tcp.connect_launch conn with
+                  | Error e ->
+                      (match join with Some j -> j () | None -> ());
+                      cleanup ();
+                      Error (Refused e)
+                  | Ok witness ->
+                      let t2 = Sched.now sched in
+                      (match join with Some j -> j () | None -> ());
+                      let p =
+                        shard_sync ~site:"registry.connect" t sh (fun () ->
+                            Hashtbl.find sh.sh_pending key)
+                      in
+                      let r =
+                        finish_setup t ~principal ~conn ~witness ~app_ch ~reused
+                          ~pre_charged:(Option.is_some join) ~remote_ip:req.c_dst
+                          ~remote_port:req.c_dst_port ~local_port:src_port
+                          ~peer_bqi:p.peer_bqi ~tmp_filter:(Some tmp_filter) ~key
+                      in
+                      record_legs t ~t0 ~t1 ~t2 ~t3:(Sched.now sched);
+                      r))))
 
-and finish_setup t ~conn ~witness ~app_ch ~reused ~pre_charged ~remote_ip ~remote_port
-    ~local_port ~peer_bqi ~tmp_filter ~key =
+and finish_setup t ~principal ~conn ~witness ~app_ch ~reused ~pre_charged ~remote_ip
+    ~remote_port ~local_port ~peer_bqi ~tmp_filter ~key =
   (* Build the user channel: shared region already exists; install the
      connection filter and the anti-impersonation template.  The handoff
      entry is registered first so that segments racing the transfer are
      diverted to the application's channel rather than processed (and
      then lost) by the registry's own engine. *)
-  Hashtbl.replace t.handoffs key app_ch;
+  let sh = shard_of_key t key in
+  shard_sync ~site:"registry.finish" t sh (fun () ->
+      Hashtbl.replace sh.sh_handoffs key app_ch);
   if not pre_charged then charge_channel_build t ~app_ch ~reused;
   Netio.activate t.netio ~caller:t.dom app_ch
     ~filter:(conn_filter t ~remote_ip ~remote_port ~local_port)
@@ -694,16 +1013,19 @@ and finish_setup t ~conn ~witness ~app_ch ~reused ~pre_charged ~remote_ip ~remot
   (match tmp_filter with
   | Some k -> Netio.remove_filter t.netio ~caller:t.dom k
   | None -> ());
-  Hashtbl.remove t.pending key;
+  shard_sync ~site:"registry.finish" t sh (fun () -> Hashtbl.remove sh.sh_pending key);
   let snapshot = Tcp.export conn ~witness in
   charge t Calibration.registry_state_transfer;
   t.handshakes <- t.handshakes + 1;
+  tenant_bind t principal app_ch;
   Ok { snapshot; channel = app_ch; remote_mac = resolve_mac t remote_ip }
 
 and do_listen t port =
-  if Hashtbl.mem t.ports port then Error (Printf.sprintf "port %d in use" port)
+  let sh = shard_of_port t port in
+  if shard_sync ~site:"registry.listen" t sh (fun () -> Hashtbl.mem sh.sh_ports port) then
+    Error (Printf.sprintf "port %d in use" port)
   else begin
-    charge t Calibration.registry_port_alloc;
+    charge_sh t sh Calibration.registry_port_alloc;
     match
       try
         Ok
@@ -714,45 +1036,79 @@ and do_listen t port =
     | Error e -> Error e
     | Ok _ ->
         let listener = Tcp.listen t.stack.Stack.tcp ~port in
-        Hashtbl.replace t.ports port (Listening listener);
+        shard_sync ~site:"registry.listen" t sh (fun () ->
+            Hashtbl.replace sh.sh_ports port (Listening listener));
         Ok ()
   end
 
 and do_accept t (req : accept_req) =
-  match Hashtbl.find_opt t.ports req.a_port with
+  let sh = shard_of_port t req.a_port in
+  match
+    shard_sync ~site:"registry.accept" t sh (fun () ->
+        Hashtbl.find_opt sh.sh_ports req.a_port)
+  with
   | Some (Listening listener) -> (
+      let principal = Addr_space.name req.a_app in
+      (* Block for a connection first, reserve after: a parked accept
+         must not pin a quota slot for a SYN that never arrives. *)
       let conn, witness = Tcp.accept listener in
       let remote_ip, remote_port = Tcp.remote_addr conn in
       let key = pending_key ~remote_ip ~remote_port ~local_port:req.a_port in
-      let p = Hashtbl.find_opt t.pending key in
-      let app_ch, reused, pre_charged =
-        match p with
-        | Some ({ pre_channel = Some ch; pre_reused; _ } as pend) ->
-            (match pend.build_join with Some j -> j () | None -> ());
-            Netio.reassign_owner t.netio ~caller:t.dom ch ~owner:req.a_app;
-            (ch, pre_reused, Option.is_some pend.build_join)
-        | _ ->
-            let ch, reused = take_channel t ~owner:req.a_app in
-            (ch, reused, false)
+      let p =
+        shard_sync ~site:"registry.accept" t sh (fun () ->
+            Hashtbl.find_opt sh.sh_pending key)
       in
-      let peer_bqi = match p with Some p -> p.peer_bqi | None -> 0 in
-      finish_setup t ~conn ~witness ~app_ch ~reused ~pre_charged ~remote_ip ~remote_port
-        ~local_port:req.a_port ~peer_bqi ~tmp_filter:None ~key)
+      match tenant_reserve t principal with
+      | Error e ->
+          (* Admission denied: reset the peer and recycle anything the
+             SYN pre-built. *)
+          shard_sync ~site:"registry.accept" t sh (fun () ->
+              Hashtbl.remove sh.sh_pending key);
+          (match p with
+          | Some ({ pre_channel = Some ch; _ } as pend) ->
+              (match pend.build_join with Some j -> j () | None -> ());
+              put_channel t ch
+          | _ -> ());
+          Tcp.abort conn;
+          Error e
+      | Ok _ ->
+          let app_ch, reused, pre_charged =
+            match p with
+            | Some ({ pre_channel = Some ch; pre_reused; _ } as pend) ->
+                (match pend.build_join with Some j -> j () | None -> ());
+                Netio.reassign_owner t.netio ~caller:t.dom ch ~owner:req.a_app;
+                (ch, pre_reused, Option.is_some pend.build_join)
+            | _ ->
+                let ch, reused = take_channel t ~owner:req.a_app in
+                (ch, reused, false)
+          in
+          let peer_bqi = match p with Some p -> p.peer_bqi | None -> 0 in
+          finish_setup t ~principal ~conn ~witness ~app_ch ~reused ~pre_charged ~remote_ip
+            ~remote_port ~local_port:req.a_port ~peer_bqi ~tmp_filter:None ~key)
   | Some (In_use | Leased) | None ->
-      Error (Printf.sprintf "port %d is not listening" req.a_port)
+      Error (Refused (Printf.sprintf "port %d is not listening" req.a_port))
 
 and drop_handoff t channel =
-  let stale =
-    Hashtbl.fold (fun k ch acc -> if ch == channel then k :: acc else acc) t.handoffs []
-  in
-  List.iter (Hashtbl.remove t.handoffs) stale
+  Array.iter
+    (fun sh ->
+      shard_sync ~site:"registry.drop_handoff" t sh (fun () ->
+          let stale =
+            Hashtbl.fold
+              (fun k ch acc -> if ch == channel then k :: acc else acc)
+              sh.sh_handoffs []
+          in
+          List.iter (Hashtbl.remove sh.sh_handoffs) stale))
+    t.shards
 
 and do_release t (port, channel) =
+  tenant_drop t channel;
   drop_handoff t channel;
   put_channel t channel;
-  (match Hashtbl.find_opt t.ports port with
-  | Some In_use -> Hashtbl.remove t.ports port
-  | Some (Listening _ | Leased) | None -> ())
+  let sh = shard_of_port t port in
+  shard_sync ~site:"registry.release" t sh (fun () ->
+      match Hashtbl.find_opt sh.sh_ports port with
+      | Some In_use -> Hashtbl.remove sh.sh_ports port
+      | Some (Listening _ | Leased) | None -> ())
 
 and do_inherit t (snapshot, channel, graceful) =
   do_inherit_one t (snapshot, channel) ~graceful
@@ -762,24 +1118,29 @@ and do_inherit_batch t (conns, graceful) =
 
 and do_inherit_one t (snapshot, channel) ~graceful =
   t.inherited <- t.inherited + 1;
+  tenant_drop t channel;
   drop_handoff t channel;
   let remote_ip = snapshot.Tcp.snap_remote_ip in
   let remote_port = snapshot.Tcp.snap_remote_port in
   let local_port = snapshot.Tcp.snap_local_port in
   let wheel = t.prm.Tcp_params.time_wait_wheel in
   let key = pending_key ~remote_ip ~remote_port ~local_port in
+  let sh = shard_of_key t key in
+  let free_port () =
+    shard_sync ~site:"registry.inherit_close" t sh (fun () ->
+        match Hashtbl.find_opt sh.sh_ports local_port with
+        | Some In_use -> Hashtbl.remove sh.sh_ports local_port
+        | Some (Listening _ | Leased) | None -> ())
+  in
   if wheel && not graceful then begin
     (* Abnormal exit with the wheel on: batched RST sweep.  No filter
        re-point — the RST retires the remote end, and a late segment
        simply matches no channel.  One per-connection sweep charge
        replaces the full inherit dispatch. *)
-    charge t Calibration.rst_batch_per_conn;
+    charge_sh t sh Calibration.rst_batch_per_conn;
     put_channel t channel;
     let conn = Tcp.import t.stack.Stack.tcp snapshot in
-    Tcp.on_closed conn (fun () ->
-        match Hashtbl.find_opt t.ports local_port with
-        | Some In_use -> Hashtbl.remove t.ports local_port
-        | Some (Listening _ | Leased) | None -> ());
+    Tcp.on_closed conn (fun () -> shard_defer t sh free_port);
     Tcp.abort conn
   end
   else begin
@@ -789,17 +1150,21 @@ and do_inherit_one t (snapshot, channel) ~graceful =
       Netio.add_filter t.netio ~caller:t.dom t.channel
         (conn_filter t ~remote_ip ~remote_port ~local_port)
     in
-    if wheel then Hashtbl.replace t.inherit_filters key fkey;
+    if wheel then
+      shard_sync ~site:"registry.inherit" t sh (fun () ->
+          Hashtbl.replace sh.sh_inherit_filters key fkey);
     put_channel t channel;
     let conn = Tcp.import t.stack.Stack.tcp snapshot in
     Tcp.on_closed conn (fun () ->
         (* When the wheel claimed the 2MSL residue the port stays held
            until the wheel entry expires. *)
-        if not (wheel && Hashtbl.mem t.tw_entries key) then begin
-          match Hashtbl.find_opt t.ports local_port with
-          | Some In_use -> Hashtbl.remove t.ports local_port
-          | Some (Listening _ | Leased) | None -> ()
-        end);
+        shard_defer t sh (fun () ->
+            if
+              not
+                (wheel
+                && shard_sync ~site:"registry.inherit_close" t sh (fun () ->
+                       Hashtbl.mem sh.sh_tw_entries key))
+            then free_port ()));
     if graceful then Tcp.close conn
     else begin
       (* Abnormal termination: reset the remote peer (paper §3.4). *)
@@ -807,10 +1172,12 @@ and do_inherit_one t (snapshot, channel) ~graceful =
     end
   end
 
+and port_taken t p = Hashtbl.mem (shard_of_port t p).sh_ports p
+
 and find_lease_block t =
   let block = Calibration.lease_block_ports in
   let free_from base =
-    let rec go p = p >= base + block || ((not (Hashtbl.mem t.ports p)) && go (p + 1)) in
+    let rec go p = p >= base + block || ((not (port_taken t p)) && go (p + 1)) in
     go base
   in
   let rec scan base =
@@ -829,7 +1196,9 @@ and do_lease t app =
   | Some base ->
       let block = Calibration.lease_block_ports in
       for p = base to base + block - 1 do
-        Hashtbl.replace t.ports p Leased
+        let sh = shard_of_port t p in
+        shard_sync ~site:"registry.lease" t sh (fun () ->
+            Hashtbl.replace sh.sh_ports p Leased)
       done;
       let lease =
         Netio.grant_lease t.netio ~caller:t.dom ~owner:app ~ip:t.my_ip ~base_port:base
@@ -848,9 +1217,11 @@ and do_lease t app =
 and do_release_lease t (g : lease_grant) =
   Netio.revoke_lease t.netio ~caller:t.dom g.lg_lease;
   for p = g.lg_base to g.lg_base + g.lg_count - 1 do
-    match Hashtbl.find_opt t.ports p with
-    | Some Leased -> Hashtbl.remove t.ports p
-    | Some (Listening _ | In_use) | None -> ()
+    let sh = shard_of_port t p in
+    shard_sync ~site:"registry.release_lease" t sh (fun () ->
+        match Hashtbl.find_opt sh.sh_ports p with
+        | Some Leased -> Hashtbl.remove sh.sh_ports p
+        | Some (Listening _ | In_use) | None -> ())
   done;
   List.iter
     (fun ch -> if not (Netio.channel_destroyed ch) then put_channel t ch)
@@ -937,4 +1308,12 @@ and serve t =
   Ipc.serve_concurrent t.release_udp_p (fun req -> (do_release_udp t req, 16));
   Ipc.serve_concurrent t.bind_rrp_p (fun req -> (do_bind_rrp t req, 128));
   Ipc.serve_concurrent t.release_rrp_p (fun req -> (do_release_rrp t req, 16));
-  Ipc.serve_concurrent t.resolve_p (fun ip -> (resolve_mac t ip, 16))
+  Ipc.serve_concurrent t.resolve_p (fun ip -> (resolve_mac t ip, 16));
+  (* Cross-shard deferred work: each shard drains its own post port on
+     its own CPU. *)
+  Array.iter
+    (fun sh ->
+      match sh.sh_post with
+      | Some p -> Ipc.serve_oneway p (fun f -> f ())
+      | None -> ())
+    t.shards

@@ -21,16 +21,48 @@ type grant = {
   remote_mac : Uln_addr.Mac.t;  (** pre-resolved link address *)
 }
 
+(** {2 Typed service errors and tenant quotas} *)
+
+type quota_resource = Conns | Mem
+
+type error =
+  | Quota_exceeded of {
+      principal : string;
+      resource : quota_resource;
+      used : int;  (** the principal's consumption at denial time *)
+      limit : int;
+    }
+      (** Admission control refused the connection: the requesting
+          address space is at its concurrent-connection or pinned
+          channel-memory ceiling.  Recoverable — shed connections and
+          retry. *)
+  | Refused of string  (** any other refusal, descriptive *)
+
+val error_to_string : error -> string
+
+type quota = {
+  q_max_conns : int;  (** concurrent granted connections per principal *)
+  q_max_mem_bytes : int;  (** channel memory pinned per principal *)
+}
+
+val default_quota : quota
+(** {!Calibration.tenant_max_conns} / {!Calibration.tenant_max_mem_bytes}
+    — high enough that single-tenant workloads never hit them. *)
+
 val create :
   Uln_host.Machine.t ->
   Netio.t ->
   ip:Uln_addr.Ip.t ->
   ?tcp_params:Uln_proto.Tcp_params.t ->
+  ?quota:quota ->
   unit ->
   t
 (** Start the registry on a host: creates its server domain, its own
     netio channel (ARP + handshake traffic), its protocol stack and its
-    service threads. *)
+    service threads.  When [tcp_params.shard_registry] is set the port,
+    pending-connection and TIME_WAIT tables are partitioned into one
+    shard per CPU (see {!shard_stats}); otherwise a single flat-table
+    shard reproduces the unsharded registry exactly. *)
 
 val domain : t -> Uln_host.Addr_space.t
 val ip : t -> Uln_addr.Ip.t
@@ -47,9 +79,9 @@ type connect_req = {
 
 type accept_req = { a_app : Uln_host.Addr_space.t; a_port : int }
 
-val connect_port : t -> (connect_req, (grant, string) result) Uln_host.Ipc.t
+val connect_port : t -> (connect_req, (grant, error) result) Uln_host.Ipc.t
 val listen_port : t -> (int, (unit, string) result) Uln_host.Ipc.t
-val accept_port : t -> (accept_req, (grant, string) result) Uln_host.Ipc.t
+val accept_port : t -> (accept_req, (grant, error) result) Uln_host.Ipc.t
 
 val release_port : t -> (int * Netio.channel, unit) Uln_host.Ipc.t
 (** Final close: the library has finished TIME_WAIT; free the port and
@@ -170,3 +202,33 @@ type setup_legs = {
 val setup_legs : t -> setup_legs
 (** Mean wall-clock breakdown of active connects served, registry-side
     (the [netlab setupstats] surface). *)
+
+type tenant_stats = {
+  ts_principal : string;
+  ts_active : int;  (** connections currently granted *)
+  ts_mem_bytes : int;  (** channel memory currently pinned *)
+  ts_peak : int;  (** high-water mark of [ts_active] *)
+  ts_denied : int;  (** admissions refused with {!Quota_exceeded} *)
+}
+
+val tenant_stats : t -> tenant_stats list
+(** Per-principal quota accounting, sorted by principal (the
+    [netlab regstats] surface). *)
+
+val quota_limits : t -> quota
+
+type shard_stats = {
+  ss_shard : int;
+  ss_cpu : int;  (** CPU index the shard's table work is charged to *)
+  ss_ports : int;
+  ss_pending : int;
+  ss_tw_pending : int;
+  ss_lock_acquisitions : int;
+  ss_lock_contended : int;  (** acquisitions that had to wait *)
+}
+
+val shard_stats : t -> shard_stats list
+(** One entry per shard (a single entry when sharding is off). *)
+
+val sharded : t -> bool
+val num_shards : t -> int

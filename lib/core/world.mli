@@ -13,6 +13,7 @@ val create :
   ?seed:int ->
   ?demux_mode:Uln_filter.Demux.mode ->
   ?flow_cache:bool ->
+  ?quota:Registry.quota ->
   ?tcp_params:Uln_proto.Tcp_params.t ->
   ?num_hosts:int ->
   ?cpus:int ->

@@ -22,6 +22,10 @@ let hierarchy =
   [ { re_pattern = "*.bkl";
       re_rank = 10;
       re_what = "per-machine big kernel lock (org_inkernel, Big_lock mode)" };
+    { re_pattern = "*.registry.shard*.lock";
+      re_rank = 15;
+      re_what = "per-shard registry table lock (shard_registry mode); \
+                 one-at-a-time discipline — never nested with a sibling shard" };
     { re_pattern = "*.stack*.lock";
       re_rank = 20;
       re_what = "per-CPU protocol stack lock (org_inkernel, Per_conn mode)" };
@@ -33,7 +37,10 @@ let hierarchy =
    "inner may be acquired while outer is held".  Kept separate from the
    rank table so proto-check can verify the two agree: every edge must
    go strictly downhill in rank and the graph must be acyclic. *)
-let declared_edges = [ ("*.bkl", "*.rx_sem"); ("*.stack*.lock", "*.rx_sem") ]
+let declared_edges =
+  [ ("*.bkl", "*.rx_sem");
+    ("*.stack*.lock", "*.rx_sem");
+    ("*.registry.shard*.lock", "*.rx_sem") ]
 
 (* Glob match with '*' = any run of characters (no other metacharacters). *)
 let glob_match pattern s =

@@ -33,7 +33,25 @@
     too complex to prove safe are skipped and simply keep scanning.  Any
     install or remove flushes the cache.  The cache is off by default —
     the linear scan is the verification oracle (differentially tested)
-    and the measured baseline. *)
+    and the measured baseline.
+
+    {2 Hierarchical miss path}
+
+    With [hier] enabled, a cache miss (or any dispatch when the cache is
+    off) consults a two-level index instead of the linear scan: entries
+    whose programs the verifier proved conjunctive-exact are grouped by
+    constrained-offset shape and hashed on their constraint bytes;
+    entries without an exactness proof stay on a small residual list and
+    run their real predicates in priority order.  The winner is the
+    highest-id acceptor across both groups — provably the entry the
+    priority scan would return, because exactness makes byte-match
+    equivalent to acceptance for every indexed entry (unlike the flow
+    cache, no shadow-safety argument is needed: all candidates are
+    considered, none skipped).  Miss cost becomes one calibrated probe
+    per shape — independent of the connection count — instead of O(n)
+    filter executions.  The index is maintained even while [hier] is
+    off, so the switch only selects the dispatch path and the linear
+    scan remains available as a differential oracle on the same table. *)
 
 type 'a t
 (** A table delivering to endpoints of type ['a]. *)
@@ -57,10 +75,12 @@ type cache_stats = {
   flushes : int;  (** whole-cache invalidations (install/remove) *)
 }
 
-val create : mode:mode -> ?budget:int -> ?flow_cache:bool -> unit -> 'a t
+val create : mode:mode -> ?budget:int -> ?flow_cache:bool -> ?hier:bool -> unit -> 'a t
 (** [budget] is the per-program worst-case cycle bound enforced at
     {!install} time (in the cost model of [mode]); omitted = unbounded.
-    [flow_cache] (default [false]) enables the exact-match demux cache. *)
+    [flow_cache] (default [false]) enables the exact-match demux cache.
+    [hier] (default [false]) routes misses through the hierarchical
+    index instead of the linear scan. *)
 
 val mode : 'a t -> mode
 val budget : 'a t -> int option
@@ -69,6 +89,14 @@ val flow_cache_enabled : 'a t -> bool
 
 val set_flow_cache : 'a t -> bool -> unit
 (** Toggle the flow cache; any change flushes it. *)
+
+val hier_enabled : 'a t -> bool
+
+val set_hier : 'a t -> bool -> unit
+(** Toggle the hierarchical miss path.  The index is always maintained,
+    so this only selects which lookup runs — flipping it between
+    dispatches on a live table is sound (and is exactly what the
+    differential tests and the sparse-scale bench do). *)
 
 val cache_stats : 'a t -> cache_stats
 
@@ -81,6 +109,26 @@ val install :
 
 val install_exn : ?optimize:bool -> ?affinity:int -> 'a t -> Program.t -> 'a -> key
 (** Like {!install}. @raise Verify.Rejected on a verifier rejection. *)
+
+val install_stamped :
+  ?affinity:int ->
+  'a t ->
+  template:key ->
+  constraints:(int * int) list ->
+  min_len:int ->
+  'a ->
+  (key, string) result
+(** Prestamped install: add an entry that accepts exactly the packets
+    of length >= [min_len] carrying the [(offset, byte)] [constraints] —
+    a connection filter derived from an already-admitted conjunctive-
+    exact [template] by overriding its byte constraints.  No verifier
+    pass runs (the template's certificate covers the stamped program:
+    identical structure, identical worst case), and the entry shares the
+    template's program and report, so populating a table with 10^5-10^6
+    connection entries is feasible.  Charged cycle costs are measured
+    once from the template's real program: its accept cost, and its
+    reject cost on a stamped near-miss packet.  Errors if [template] is
+    unknown, removed, or not conjunctive-exact. *)
 
 val affinity : 'a t -> key -> int option
 (** The CPU affinity recorded for an installed entry. *)

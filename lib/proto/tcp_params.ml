@@ -24,6 +24,8 @@ type t = {
   endpoint_lease : bool;
   time_wait_wheel : bool;
   smp_locking : [ `Big_lock | `Per_conn ];
+  hier_demux : bool;
+  shard_registry : bool;
 }
 
 let default =
@@ -49,7 +51,9 @@ let default =
     channel_pool = false;
     endpoint_lease = false;
     time_wait_wheel = false;
-    smp_locking = `Big_lock }
+    smp_locking = `Big_lock;
+    hier_demux = false;
+    shard_registry = false }
 
 let fast =
   { default with
@@ -91,7 +95,13 @@ let switches =
       sw_bench_row = "+lease" };
     { sw_field = "smp_locking";
       sw_oracle = "test/test_smp.ml:prop_smp_payload_identical_under_faults";
-      sw_bench_row = "smp" } ]
+      sw_bench_row = "smp" };
+    { sw_field = "hier_demux";
+      sw_oracle = "test/test_scale_ctl.ml:prop_hier_demux_differential";
+      sw_bench_row = "sparse-scale" };
+    { sw_field = "shard_registry";
+      sw_oracle = "test/test_scale_ctl.ml:prop_shard_flat_differential";
+      sw_bench_row = "sharded registry" } ]
 
 let policy_fields =
   [ ("nagle", "congestion policy, not an implementation ablation: both settings are \

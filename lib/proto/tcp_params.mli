@@ -93,6 +93,24 @@ type t = {
           connections steered to different CPUs proceed in parallel.
           Irrelevant (no lock is ever taken) on a 1-CPU machine and in
           the other organizations. *)
+  hier_demux : bool;
+      (** Hierarchical demultiplexing of the flow-cache miss path: the
+          network I/O module's table groups conjunctive-exact filters by
+          constrained-offset shape and hashes their constraint bytes, so
+          a miss costs a few calibrated probes independent of the
+          connection count instead of an O(n) scan of every installed
+          filter.  Matching is provably identical ({!Uln_filter.Demux});
+          [false] (the default) keeps the linear scan as the
+          differential oracle and the measured baseline. *)
+  shard_registry : bool;
+      (** Sharded registry control plane: port, pending-connection and
+          TIME_WAIT tables are partitioned across per-CPU shards keyed
+          by a stable hash of the connection 4-tuple, each shard guarded
+          by its own ranked lock, with cross-shard operations posted
+          through one-way {!Uln_host.Ipc} messages — so concurrent
+          setups on an SMP host stop serializing on one flat table.
+          [false] (the default) keeps the single flat table as the
+          differential oracle. *)
 }
 
 val default : t

@@ -21,6 +21,8 @@ type result = {
   r_pool_hit_rate : float;
   r_lease_hit_rate : float;
   r_tw_parked : int;
+  r_population : int;
+  r_churn_p : Percentile.summary;
 }
 
 let base_port = 9000
@@ -36,10 +38,14 @@ let base_port = 9000
    - paced: [paced_samples] further connects on a quiet system, Table 4
      protocol, so [r_setup_ms] is directly comparable with the paper's
      per-system setup costs. *)
-let run ?(pairs = 2) ?(conns_per_pair = 64) ?(paced_samples = 8) ?tcp_params ~config
-    ~network ~org () =
-  let w = World.create ~network ~org ?tcp_params ~num_hosts:(pairs + 1) () in
+let run ?(pairs = 2) ?(conns_per_pair = 64) ?(paced_samples = 8) ?(cpus = 1)
+    ?(population = 0) ?tcp_params ~config ~network ~org () =
+  let w = World.create ~network ~org ?tcp_params ~cpus ~num_hosts:(pairs + 1) () in
   let sched = World.sched w in
+  (* Sparse mode: the first server host already carries [population]
+     background connection filters, so every churn connect pays the
+     populated miss path (user-library organization only). *)
+  if population > 0 then Experiments.populate_background w ~host:1 population;
   for i = 0 to pairs - 1 do
     let accepts = conns_per_pair + if i = 0 then paced_samples else 0 in
     let app = World.app w ~host:(1 + i) (Printf.sprintf "churn-srv%d" i) in
@@ -61,6 +67,8 @@ let run ?(pairs = 2) ?(conns_per_pair = 64) ?(paced_samples = 8) ?tcp_params ~co
         | None -> (World.app w ~host:0 name, None))
   in
   let churn_lat = ref 0 in
+  let samples = Array.make (pairs * conns_per_pair) 0. in
+  let si = ref 0 in
   let started = ref Time.zero in
   let ended = ref Time.zero in
   let setup_lat = ref 0 in
@@ -79,7 +87,10 @@ let run ?(pairs = 2) ?(conns_per_pair = 64) ?(paced_samples = 8) ?tcp_params ~co
                 with
                 | Error e -> failwith ("churn connect: " ^ e)
                 | Ok conn ->
-                    churn_lat := !churn_lat + Time.diff (Sched.now sched) t0;
+                    let dt = Time.diff (Sched.now sched) t0 in
+                    churn_lat := !churn_lat + dt;
+                    samples.(!si) <- Time.to_us_f dt;
+                    incr si;
                     conn.Sockets.close ()
               done;
               decr remaining;
@@ -142,7 +153,9 @@ let run ?(pairs = 2) ?(conns_per_pair = 64) ?(paced_samples = 8) ?tcp_params ~co
       (let total = pool_hits + pool_misses in
        if total = 0 then 0. else float_of_int pool_hits /. float_of_int total);
     r_lease_hit_rate = float_of_int leased /. float_of_int (conns + paced_samples);
-    r_tw_parked = tw }
+    r_tw_parked = tw;
+    r_population = population;
+    r_churn_p = Percentile.summarize samples }
 
 (* The ablation ladder for the user library — cumulative, in the order
    the tentpole motivates them.  [Tcp_params.fast] is the base for every

@@ -29,12 +29,17 @@ type result = {
   r_pool_hit_rate : float;  (** all registries, 0 when pooling is off *)
   r_lease_hit_rate : float;  (** leased connects / total connects *)
   r_tw_parked : int;  (** residues parked on the client-side wheel *)
+  r_population : int;  (** background filters preloaded on host 1 *)
+  r_churn_p : Percentile.summary;
+      (** churn-phase per-connect latency percentiles, microseconds *)
 }
 
 val run :
   ?pairs:int ->
   ?conns_per_pair:int ->
   ?paced_samples:int ->
+  ?cpus:int ->
+  ?population:int ->
   ?tcp_params:Uln_proto.Tcp_params.t ->
   config:string ->
   network:Uln_core.World.network ->

@@ -245,6 +245,221 @@ let scale ?(conns = [ 1; 4; 16; 64; 256; 1024 ]) () =
   in
   List.map row conns
 
+(* --- sparse-sweep scale: the 64k-1M-connection control plane ----------- *)
+
+type sparse_row = {
+  sp_conns : int;
+  sp_miss_p : Percentile.summary;  (** hier miss-path dispatch, cycles *)
+  sp_linear_cycles : float;  (** sampled linear-scan miss, cycles *)
+  sp_setup_p : Percentile.summary;  (** live connect latency, us *)
+  sp_delivery_p : Percentile.summary;  (** live one-way delivery latency, us *)
+  sp_shards : int;
+  sp_lock_contended : int;  (** shard-lock acquisitions that waited *)
+}
+
+(* Background connection [i]'s stamped constraint bytes.  Byte 27 pins
+   the synthetic 10.77/16 source network, so live traffic (10.0.0.x)
+   can never match a background filter; bytes 28/34/35 spread the 20-bit
+   flow id. *)
+let sparse_constraints i =
+  [ (27, 77);
+    (28, (i lsr 16) land 0xff);
+    (29, 2);
+    (34, (i lsr 8) land 0xff);
+    (35, i land 0xff) ]
+
+(* Miss-path probe costs on a standalone table of [n] stamped filters:
+   the hierarchical path sampled densely enough for tail percentiles,
+   the linear scan sampled sparsely (each sample IS an O(n) walk). *)
+let sparse_probe n =
+  let module F = Uln_filter in
+  let module View = Uln_buf.View in
+  let module Ip = Uln_addr.Ip in
+  let src_ip = Ip.make 10 77 0 1 and dst_ip = Ip.make 10 0 0 1 in
+  let d = F.Demux.create ~mode:F.Demux.Interpreted ~hier:true () in
+  let tkey =
+    F.Demux.install_exn d
+      (F.Program.tcp_conn ~src_ip ~dst_ip ~src_port:9999 ~dst_port:80)
+      (-1)
+  in
+  for i = 0 to n - 1 do
+    match
+      F.Demux.install_stamped d ~template:tkey ~constraints:(sparse_constraints i)
+        ~min_len:54 i
+    with
+    | Ok _ -> ()
+    | Error e -> failwith ("sparse_probe: " ^ e)
+  done;
+  let pkt i =
+    let v = View.create 54 in
+    View.set_uint16 v 12 0x0800;
+    View.set_uint8 v 14 0x45;
+    View.set_uint8 v 23 6;
+    View.set_uint8 v 26 10;
+    View.set_uint8 v 27 77;
+    View.set_uint8 v 28 ((i lsr 16) land 0xff);
+    View.set_uint8 v 29 2;
+    View.set_uint16 v 34 (i land 0xffff);
+    View.set_uint16 v 36 80;
+    v
+  in
+  let check i = function
+    | Some j when j = i -> ()
+    | _ -> failwith "sparse_probe: lookup missed its flow"
+  in
+  let samples = Stdlib.min n 1024 in
+  let stride = Stdlib.max 1 (n / samples) in
+  let hier_cycles =
+    Array.init samples (fun k ->
+        let i = k * stride mod n in
+        let e, c = F.Demux.dispatch d (pkt i) in
+        check i e;
+        float_of_int c)
+  in
+  F.Demux.set_hier d false;
+  let lin_samples = Stdlib.max 4 ((1 lsl 22) / n) in
+  let lin_total = ref 0 in
+  for k = 0 to lin_samples - 1 do
+    let i = k * (n / lin_samples) mod n in
+    let e, c = F.Demux.dispatch d (pkt i) in
+    check i e;
+    lin_total := !lin_total + c
+  done;
+  (Percentile.summarize hier_cycles, float_of_int !lin_total /. float_of_int lin_samples)
+
+(* Pre-populate host [host]'s network I/O module with [n] background
+   connection filters, stamped from one tcp_conn template.  The
+   synthetic flows live on 10.77/16 so live traffic never matches
+   them — they only weigh down the miss path. *)
+let populate_background w ~host n =
+  let module F = Uln_filter in
+  let module Ip = Uln_addr.Ip in
+  let module Registry = Uln_core.Registry in
+  let netio = Option.get (World.netio w host) in
+  let reg = Option.get (World.registry w host) in
+  let dom = Registry.domain reg in
+  let bg_ip = Ip.make 10 77 0 1 in
+  let ch = Netio.create_channel netio ~caller:dom ~owner:dom ~use_bqi:false in
+  let tkey =
+    Netio.add_filter netio ~caller:dom ch
+      (F.Program.tcp_conn ~src_ip:bg_ip ~dst_ip:(World.host_ip w host) ~src_port:9999
+         ~dst_port:80)
+  in
+  for i = 0 to n - 1 do
+    ignore
+      (Netio.add_stamped_filter netio ~caller:dom ch ~template:tkey
+         ~constraints:(sparse_constraints i) ~min_len:54)
+  done
+
+(* Live setup/delivery latency against a server host whose demux already
+   carries [n] connections: the hierarchical miss path and the sharded
+   registry are on (the linear scan at 64k+ entries costs ~10^8 cycles
+   per packet — handshake timers would fire before the SYN cleared the
+   table), so the linear comparison comes from {!sparse_probe}. *)
+let sparse_live ?(conns = 96) ?(msgs_per_conn = 4) n =
+  let module Sched = Uln_engine.Sched in
+  let module Sockets = Uln_core.Sockets in
+  let module Registry = Uln_core.Registry in
+  let module F = Uln_filter in
+  let module View = Uln_buf.View in
+  let module Ip = Uln_addr.Ip in
+  let prm =
+    { Uln_proto.Tcp_params.fast with
+      Uln_proto.Tcp_params.hier_demux = true;
+      shard_registry = true }
+  in
+  let w =
+    World.create ~network:World.Ethernet ~org:Organization.User_library ~tcp_params:prm
+      ~cpus:4 ()
+  in
+  let sched = World.sched w in
+  let reg1 = Option.get (World.registry w 1) in
+  populate_background w ~host:1 n;
+  let port = 7000 in
+  let setup = Array.make conns 0. in
+  let delivery = Array.make (conns * msgs_per_conn) 0. in
+  let send_stamp = ref Time.zero in
+  let mi = ref 0 in
+  let srv = World.app w ~host:1 "sparse-srv" in
+  Sched.spawn sched ~name:"sparse-srv" (fun () ->
+      let l = srv.Sockets.listen ~port in
+      for _ = 1 to conns do
+        let c = l.Sockets.accept () in
+        let rec echo k =
+          if k < msgs_per_conn then
+            match c.Sockets.recv ~max:512 with
+            | None -> ()
+            | Some v ->
+                delivery.(!mi) <-
+                  Time.to_us_f (Time.diff (Sched.now sched) !send_stamp);
+                incr mi;
+                c.Sockets.send v;
+                echo (k + 1)
+        in
+        echo 0;
+        c.Sockets.close ()
+      done);
+  let cli = World.app w ~host:0 "sparse-cli" in
+  Sched.block_on sched (fun () ->
+      for c = 0 to conns - 1 do
+        let t0 = Sched.now sched in
+        match
+          cli.Sockets.connect ~src_port:0 ~dst:(World.host_ip w 1) ~dst_port:port
+        with
+        | Error e -> failwith ("sparse_live connect: " ^ e)
+        | Ok conn ->
+            setup.(c) <- Time.to_us_f (Time.diff (Sched.now sched) t0);
+            for _ = 1 to msgs_per_conn do
+              send_stamp := Sched.now sched;
+              conn.Sockets.send (View.create 256);
+              match conn.Sockets.recv ~max:512 with
+              | Some _ -> ()
+              | None -> failwith "sparse_live: early end of stream"
+            done;
+            conn.Sockets.close ()
+      done);
+  let reg0 = Option.get (World.registry w 0) in
+  let contended =
+    List.fold_left
+      (fun acc (s : Registry.shard_stats) -> acc + s.Registry.ss_lock_contended)
+      0
+      (Registry.shard_stats reg0 @ Registry.shard_stats reg1)
+  in
+  ( Percentile.summarize setup,
+    Percentile.summarize (Array.sub delivery 0 !mi),
+    Registry.num_shards reg0,
+    contended )
+
+let scale_sparse ?(pops = [ 65536; 262144; 1048576 ]) () =
+  List.map
+    (fun n ->
+      let miss_p, linear = sparse_probe n in
+      let setup_p, delivery_p, shards, contended = sparse_live n in
+      { sp_conns = n;
+        sp_miss_p = miss_p;
+        sp_linear_cycles = linear;
+        sp_setup_p = setup_p;
+        sp_delivery_p = delivery_p;
+        sp_shards = shards;
+        sp_lock_contended = contended })
+    pops
+
+let print_sparse ppf rows =
+  Format.fprintf ppf "@[<v>%8s %28s %12s %30s %30s %4s@,"
+    "conns" "miss cycles p50/p99/p999" "linear-scan"
+    "setup us p50/p99/p999" "delivery us p50/p99/p999" "shd";
+  List.iter
+    (fun r ->
+      let p (s : Percentile.summary) = Printf.sprintf "%.0f/%.0f/%.0f" s.Percentile.p50 s.p99 s.p999 in
+      let pf (s : Percentile.summary) =
+        Printf.sprintf "%.1f/%.1f/%.1f" s.Percentile.p50 s.p99 s.p999
+      in
+      Format.fprintf ppf "%8d %28s %12.0f %30s %30s %4d@," r.sp_conns
+        (p r.sp_miss_p) r.sp_linear_cycles (pf r.sp_setup_p) (pf r.sp_delivery_p)
+        r.sp_shards)
+    rows;
+  Format.fprintf ppf "@]"
+
 (* --- zero-copy ablation (write-size scaling, userlib) ------------------ *)
 
 (* The loaning data path against the copying oracle, across user packet

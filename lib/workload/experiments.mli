@@ -75,6 +75,36 @@ val scale : ?conns:int list -> unit -> scale_row list
     against warm flow cache, the endpoints cross-checked packet by
     packet.  Default [conns] is [1; 4; 16; 64; 256; 1024]. *)
 
+type sparse_row = {
+  sp_conns : int;  (** installed background connection filters *)
+  sp_miss_p : Percentile.summary;
+      (** hierarchical miss-path dispatch cost, cycles (standalone probe
+          table, sampled flows) *)
+  sp_linear_cycles : float;
+      (** mean linear-scan miss cost at the same population, cycles —
+          each sample is an O(n) walk, so sampled sparsely *)
+  sp_setup_p : Percentile.summary;  (** live connect latency, us *)
+  sp_delivery_p : Percentile.summary;
+      (** live one-way message delivery latency into the populated
+          host, us *)
+  sp_shards : int;  (** registry shards serving the live run *)
+  sp_lock_contended : int;  (** shard-lock acquisitions that waited *)
+}
+
+val populate_background : Uln_core.World.t -> host:int -> int -> unit
+(** Install [n] stamped background connection filters (synthetic
+    10.77/16 flows, never matched by live traffic) on a host's network
+    I/O module — the "million idle connections" load the sparse sweep
+    and the populated churn benches run against. *)
+
+val scale_sparse : ?pops:int list -> unit -> sparse_row list
+(** The million-connection control plane, swept sparsely: per
+    population, miss-path probe percentiles on a stamped standalone
+    table ({!sp_miss_p} vs {!sp_linear_cycles}), then live
+    setup/delivery percentiles against a server host pre-populated with
+    that many connection filters, with [hier_demux] and
+    [shard_registry] on.  Default [pops] is [65536; 262144; 1048576]. *)
+
 val zero_copy_ablation : ?quick:bool -> ?sizes:int list -> unit -> zc_row list
 (** User-library bulk throughput with the zero-copy data path
     ({!Uln_proto.Tcp_params.t.zero_copy}) on vs off, per write size and
@@ -88,6 +118,7 @@ val print_table4 : Format.formatter -> t4_row list -> unit
 val print_breakdown : Format.formatter -> (string * float * float option) list -> unit
 val print_table5 : Format.formatter -> t5_row list -> unit
 val print_scale : Format.formatter -> scale_row list -> unit
+val print_sparse : Format.formatter -> sparse_row list -> unit
 val print_zero_copy : Format.formatter -> zc_row list -> unit
 val print_figures : Format.formatter -> unit -> unit
 (** Figures 1 and 2: organization structure, derived from the

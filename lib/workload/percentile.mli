@@ -1,0 +1,24 @@
+(** Nearest-rank percentiles over latency samples.
+
+    The scale benches report tail latency (p50/p99/p999) rather than
+    means; this is the shared estimator, quickselect-based so a
+    million-sample run does not pay an O(n log n) sort per quantile.
+    Nearest-rank convention: [percentile q xs] is element
+    [ceil (q * n) - 1] of the sorted samples — the smallest sample x
+    such that at least [q * n] samples are <= x.  A qcheck test holds
+    it equal to a sort-based reference. *)
+
+val percentile : float -> float array -> float
+(** [percentile q xs] for [0 < q <= 1]; [xs] is left unmodified.
+    @raise Invalid_argument on an empty array or a [q] out of range. *)
+
+type summary = { p50 : float; p99 : float; p999 : float }
+
+val summarize : float array -> summary
+(** The three quantiles the benches report, in one pass over a private
+    copy of the samples. *)
+
+val summary_fields : summary -> (string * string) list
+(** The summary as [("p50_us", Jout.float ...)]-style field pairs,
+    ready to splice into a bench JSON row (values already emitted via
+    {!Jout}, so they parse-validate like every other field). *)

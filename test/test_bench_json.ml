@@ -1,6 +1,26 @@
 (* Every committed BENCH_*.json must parse: the bench harness validates
    before writing, and this guards the files actually in the tree (a
-   hand edit, merge damage, or an emitter regression fails the build). *)
+   hand edit, merge damage, or an emitter regression fails the build).
+   The scale and churn files additionally must carry the sparse-sweep
+   percentile fields — a regenerated file that silently dropped the
+   64k-1M rows would otherwise still parse. *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Emitted field names the sparse rows must carry, keyed by file. *)
+let required_fields = function
+  | "BENCH_scale.json" ->
+      [ "sparse-scale";
+        "miss_p50_cycles"; "miss_p99_cycles"; "miss_p999_cycles";
+        "linear_cycles";
+        "setup_p50_us"; "setup_p99_us"; "setup_p999_us";
+        "delivery_p50_us"; "delivery_p99_us"; "delivery_p999_us" ]
+  | "BENCH_churn.json" ->
+      [ "population"; "churn_p50_us"; "churn_p99_us"; "churn_p999_us" ]
+  | _ -> []
 
 let () =
   let files = List.tl (Array.to_list Sys.argv) in
@@ -10,9 +30,18 @@ let () =
       let ic = open_in_bin path in
       let s = really_input_string ic (in_channel_length ic) in
       close_in ic;
-      match Uln_workload.Jout.validate s with
-      | Ok () -> Printf.printf "%s: ok\n" (Filename.basename path)
+      (match Uln_workload.Jout.validate s with
+      | Ok () -> ()
       | Error e ->
           Printf.eprintf "%s: malformed JSON: %s\n" path e;
-          exit 1)
+          exit 1);
+      let base = Filename.basename path in
+      List.iter
+        (fun field ->
+          if not (contains s field) then begin
+            Printf.eprintf "%s: missing required field %S\n" path field;
+            exit 1
+          end)
+        (required_fields base);
+      Printf.printf "%s: ok\n" base)
     files
