@@ -301,6 +301,84 @@ let sparse_churn_rows ?(pops = [ 65536; 262144; 1048576 ]) () =
         ~network:Uln_core.World.Ethernet ~org:Uln_core.Organization.User_library ())
     pops
 
+(* --- WAN: lossy high-BDP transfers ------------------------------------- *)
+
+(* The four ablation ladders of the modern-TCP switches, plus the
+   congestion-control comparison at the same operating point.  The
+   baseline is the pre-RFC1323 engine at its 64 KB window ceiling; the
+   others raise the buffers to 1 MB and turn the switches on one ladder
+   step at a time. *)
+let wan_configs =
+  let open Uln_proto.Tcp_params in
+  (* Every rung runs on the fine 1 ms timer wheel of the [wan] preset —
+     the coarse 100 ms heartbeat turns a one-tick RTO into spurious
+     retransmissions under a WAN round trip, which would swamp the
+     window/SACK/congestion-control effects the ladder isolates.  The
+     RTO floor likewise has to clear the longest RTT plus the peer's
+     delayed ACK (here 80 + 20 ms), or every single-segment tail times
+     out spuriously. *)
+  let fast =
+    { fast with
+      timer_granularity = Time.ms 1;
+      min_rto = Time.ms 200;
+      initial_rto = Time.ms 400 }
+  in
+  let big p = { p with snd_buf = 1 lsl 20; rcv_buf = 1 lsl 20 } in
+  [ ("wan-baseline", { fast with snd_buf = 65535; rcv_buf = 65535 });
+    ("wan+wscale", big { fast with window_scale = true; timestamps = true });
+    ( "wan+wscale+sack",
+      big { fast with window_scale = true; timestamps = true; sack = true } );
+    ( "wan+sack+newreno",
+      big
+        { fast with
+          window_scale = true;
+          timestamps = true;
+          sack = true;
+          cong_control = `Newreno } );
+    ("wan+sack+cubic", wan) ]
+
+let wan_recovery (r : Uln_workload.Wan.result) =
+  if Array.length r.Uln_workload.Wan.recovery_us = 0 then
+    { Uln_workload.Percentile.p50 = 0.; p99 = 0.; p999 = 0. }
+  else Uln_workload.Percentile.summarize r.Uln_workload.Wan.recovery_us
+
+let wan_cell ?total_bytes ~delay_ms ~loss (label, prm) =
+  let r =
+    Uln_workload.Wan.measure ?total_bytes ~delay:(Time.ms delay_ms) ~loss ~params:prm ()
+  in
+  let s = wan_recovery r in
+  Format.fprintf ppf
+    "  %-17s %3dms %5.2f%%: %7.2f Mb/s  segs %6d  rexmt %5d (sack %5d)  rec p50/p99 \
+     %6.1f/%6.1f ms@."
+    label delay_ms (loss *. 100.) r.Uln_workload.Wan.goodput_mbps
+    r.Uln_workload.Wan.segments_out r.Uln_workload.Wan.retransmissions
+    r.Uln_workload.Wan.sack_rexmits
+    (s.Uln_workload.Percentile.p50 /. 1000.)
+    (s.Uln_workload.Percentile.p99 /. 1000.);
+  [ ("config", jstr label);
+    ("delay_ms", jint delay_ms);
+    ("loss", jfloat loss);
+    ("goodput_mbps", jfloat r.Uln_workload.Wan.goodput_mbps);
+    ("bytes", jint r.Uln_workload.Wan.bytes);
+    ("segments_out", jint r.Uln_workload.Wan.segments_out);
+    ("retransmissions", jint r.Uln_workload.Wan.retransmissions);
+    ("sack_rexmits", jint r.Uln_workload.Wan.sack_rexmits);
+    ("snd_scale", jint r.Uln_workload.Wan.snd_scale);
+    ("cong", jstr r.Uln_workload.Wan.cong);
+    ("recovery_samples", jint (Array.length r.Uln_workload.Wan.recovery_us)) ]
+  @ pfields "recovery_" s
+
+let run_wan () =
+  section "WAN: lossy high-BDP transfer (delay x loss x modern-TCP switches)";
+  let grid = [ (5, 0.0); (5, 0.01); (40, 0.0); (40, 0.002); (40, 0.01) ] in
+  let rows =
+    List.concat_map
+      (fun (delay_ms, loss) -> List.map (wan_cell ~delay_ms ~loss) wan_configs)
+      grid
+  in
+  write_json "wan" rows;
+  Format.fprintf ppf "@."
+
 let run_churn () =
   section "Connection churn (setup fast-path ablation ladder)";
   let rows = Uln_workload.Churn.sweep () in
@@ -632,7 +710,7 @@ let micro_tests () =
       ack = 9;
       flags = { Uln_proto.Tcp_wire.no_flags with Uln_proto.Tcp_wire.ack = true };
       wnd = 8192;
-      mss = None;
+      opts = Uln_proto.Tcp_wire.no_opts;
       payload = Uln_buf.Mbuf.of_view payload_1460 }
   in
   let encoded = Uln_proto.Tcp_wire.encode ~src_ip:ip_a ~dst_ip:ip_b seg in
@@ -766,6 +844,11 @@ let run_smoke () =
   let scrows = sparse_churn_rows ~pops:[ 4096 ] () in
   Uln_workload.Churn.print ppf scrows;
   write_json "churn" (churn_json crows @ churn_sparse_json scrows);
+  (* The modern-TCP WAN path — wscale + timestamps + SACK recovery over
+     a lossy long-delay link — driven end to end on every test run. *)
+  ignore
+    (wan_cell ~total_bytes:1_000_000 ~delay_ms:5 ~loss:0.005
+       ("wan+wscale+sack", List.assoc "wan+wscale+sack" wan_configs));
   run_filteropt ();
   Format.fprintf ppf "@."
 
@@ -790,6 +873,7 @@ let () =
   | "smoke" -> run_smoke ()
   | "micro" -> run_micro ()
   | "churn" -> run_churn ()
+  | "wan" -> run_wan ()
   | "diffcheck" -> run_diffcheck ()
   | "all" ->
       run_table1 ();
@@ -800,6 +884,7 @@ let () =
       run_scale ();
       run_smp ();
       run_churn ();
+      run_wan ();
       run_figures ();
       run_ablations ();
       run_motivation ();
@@ -809,6 +894,6 @@ let () =
   | other ->
       Format.eprintf
         "unknown argument %s (expected [--json] \
-         all|table1..table5|figures|ablations|motivation|contention|filteropt|scale|smp|smoke|churn|diffcheck|micro)@."
+         all|table1..table5|figures|ablations|motivation|contention|filteropt|scale|smp|smoke|churn|wan|diffcheck|micro)@."
         other;
       exit 1

@@ -22,10 +22,11 @@ let network_conv =
   let parse = function
     | "ethernet" -> Ok World.Ethernet
     | "an1" -> Ok World.An1
-    | s -> Error (`Msg (Printf.sprintf "unknown network %S (ethernet|an1)" s))
+    | "wan" -> Ok World.Wan
+    | s -> Error (`Msg (Printf.sprintf "unknown network %S (ethernet|an1|wan)" s))
   in
   let print ppf n =
-    Format.pp_print_string ppf (match n with World.Ethernet -> "ethernet" | World.An1 -> "an1")
+    Format.pp_print_string ppf (match n with World.Ethernet -> "ethernet" | World.An1 -> "an1" | World.Wan -> "wan")
   in
   Arg.conv (parse, print)
 
@@ -66,7 +67,7 @@ let throughput_cmd =
         let r = Uln_workload.Bulk.measure ~total_bytes:bytes ~write_size:size ~network ~org () in
         Printf.printf "%s, %s, %d-byte writes: %.2f Mb/s (%d bytes, %d retransmissions)\n"
           (Organization.name org)
-          (match network with World.Ethernet -> "ethernet" | World.An1 -> "an1")
+          (match network with World.Ethernet -> "ethernet" | World.An1 -> "an1" | World.Wan -> "wan")
           size r.Uln_workload.Bulk.mbps r.Uln_workload.Bulk.bytes
           r.Uln_workload.Bulk.retransmissions)
   in
@@ -216,7 +217,7 @@ let bufstats_cmd =
     let source = Protolib.app source_lib and sink = Protolib.app sink_lib in
     Printf.printf "bufstats: userlib %s data path, %s, %d bytes in %d-byte writes\n"
       (if copying then "copying" else "zero-copy")
-      (match network with World.Ethernet -> "ethernet" | World.An1 -> "an1")
+      (match network with World.Ethernet -> "ethernet" | World.An1 -> "an1" | World.Wan -> "wan")
       bytes size;
     Printf.printf "%8s  %-6s  %11s  %9s  %9s  %9s  %7s  %7s\n" "t(ms)" "host" "pool use/cap"
       "exhausted" "loaned(B)" "doorbells" "batches" "sync-fb";
@@ -331,7 +332,7 @@ let cpustats_cmd =
     let last_rx = ref Uln_engine.Time.zero in
     Printf.printf "cpustats: %s, %s, %d CPU(s), %d pair(s), %d bytes each%s\n"
       (Organization.name org)
-      (match network with World.Ethernet -> "ethernet" | World.An1 -> "an1")
+      (match network with World.Ethernet -> "ethernet" | World.An1 -> "an1" | World.Wan -> "wan")
       cpus pairs bytes
       (match org with
       | Organization.In_kernel ->
@@ -507,7 +508,7 @@ let setupstats_cmd =
         Sched.suspend (fun k -> wake := k));
     let total = pairs * conns in
     Printf.printf "setupstats: userlib, %s, %d pair(s) x %d connections%s\n"
-      (match network with World.Ethernet -> "ethernet" | World.An1 -> "an1")
+      (match network with World.Ethernet -> "ethernet" | World.An1 -> "an1" | World.Wan -> "wan")
       pairs conns
       (if sequential then ", sequential oracle (all switches off)" else "");
     Printf.printf "mean connect latency under load: %.2f ms\n" (Time.to_ms_f (!lat / total));
@@ -892,6 +893,111 @@ let proto_check_cmd =
       const run $ json_arg $ seed_unhandled_arg $ seed_cycle_arg $ params_arg $ bench_arg
       $ root_arg)
 
+let connstats_cmd =
+  let module Sched = Uln_engine.Sched in
+  let module Time = Uln_engine.Time in
+  let module View = Uln_buf.View in
+  let module Stack = Uln_proto.Stack in
+  let module Tcp = Uln_proto.Tcp in
+  let run network bytes preset delay_ms loss trace =
+    let tcp_params =
+      match preset with
+      | "default" -> Uln_proto.Tcp_params.default
+      | "fast" -> Uln_proto.Tcp_params.fast
+      | "wan" -> Uln_proto.Tcp_params.wan
+      | s -> failwith (Printf.sprintf "unknown preset %S (default|fast|wan)" s)
+    in
+    with_trace trace @@ fun () ->
+    let w =
+      World.create ~costs:Uln_host.Costs.zero ~tcp_params
+        ~wan_delay:(Time.ms delay_ms) ~network ~org:Organization.In_kernel ()
+    in
+    let sched = World.sched w in
+    if loss > 0. then
+      Uln_net.Link.set_fault (World.link w)
+        (Uln_net.Fault.create ~rng:(Uln_engine.Rng.create ~seed:11) ~drop:loss ());
+    let stack i =
+      match World.host_stack w i with Some s -> s | None -> assert false
+    in
+    let sink = (stack 1).Stack.tcp and source = (stack 0).Stack.tcp in
+    let sink_conn = ref None in
+    Sched.spawn sched ~name:"connstats.sink" (fun () ->
+        let l = Tcp.listen sink ~port:5001 in
+        let conn, _w = Tcp.accept l in
+        sink_conn := Some conn;
+        let rec drain () =
+          match Tcp.read conn ~max:65536 with None -> () | Some _ -> drain ()
+        in
+        drain ();
+        Tcp.close conn);
+    let client_opts = ref None in
+    Sched.block_on sched (fun () ->
+        match
+          Tcp.connect source ~src_port:4000 ~dst:(World.host_ip w 1) ~dst_port:5001
+        with
+        | Error e -> failwith ("connstats connect: " ^ e)
+        | Ok (conn, _w) ->
+            let chunk = View.create 16384 in
+            View.fill chunk 'c';
+            for _ = 1 to (bytes + 16383) / 16384 do
+              Tcp.write conn chunk
+            done;
+            Tcp.await_drained conn;
+            client_opts := Some (Tcp.conn_options conn);
+            Tcp.close conn;
+            Tcp.await_closed conn);
+    let print_conn name (o : Tcp.conn_options) =
+      Printf.printf "%s:\n" name;
+      Printf.printf "  window scaling     snd_scale=%d rcv_scale=%d\n" o.Tcp.co_snd_scale
+        o.Tcp.co_rcv_scale;
+      Printf.printf "  sack               %b\n" o.Tcp.co_sack;
+      Printf.printf "  timestamps         %b\n" o.Tcp.co_timestamps;
+      Printf.printf "  congestion control %s\n" o.Tcp.co_cong;
+      Printf.printf "  unknown options    %d\n" o.Tcp.co_unknown_opts;
+      Printf.printf "  window clamps      %d\n" o.Tcp.co_wnd_clamps;
+      Printf.printf "  sack retransmits   %d\n" o.Tcp.co_sack_rexmits;
+      Printf.printf "  recovery episodes  %d\n" (List.length o.Tcp.co_recovery_us)
+    in
+    (match !client_opts with
+    | Some o -> print_conn "client (sender)" o
+    | None -> ());
+    (match !sink_conn with
+    | Some c -> print_conn "server (receiver)" (Tcp.conn_options c)
+    | None -> ());
+    Printf.printf "engine (sender): segments_out=%d retransmissions=%d unknown_options=%d\n"
+      (Tcp.segments_out source) (Tcp.retransmissions source)
+      (Tcp.unknown_options source)
+  in
+  let preset_arg =
+    Arg.(
+      value & opt string "wan"
+      & info [ "preset" ] ~docv:"PRESET"
+          ~doc:"TCP parameter preset: default | fast | wan (RFC1323 + SACK + Cubic).")
+  in
+  let delay_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "delay" ] ~docv:"MS" ~doc:"One-way propagation delay on the wan network.")
+  in
+  let loss_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "loss" ] ~docv:"P" ~doc:"Independent per-frame drop probability.")
+  in
+  Cmd.v
+    (Cmd.info "connstats"
+       ~doc:
+         "Run one bulk transfer and print each side's negotiated TCP options (window \
+          scale, SACK, timestamps, congestion control) and per-connection counters: \
+          unknown option kinds seen, 16-bit window clamps, scoreboard retransmissions \
+          and completed loss-recovery episodes.")
+    Term.(
+      const run $ network_arg
+      $ Arg.(
+          value & opt int 2_000_000
+          & info [ "b"; "bytes" ] ~docv:"BYTES" ~doc:"Bytes to transfer.")
+      $ preset_arg $ delay_arg $ loss_arg $ trace_arg)
+
 let () =
   let doc = "user-level network protocol testbed (SIGCOMM '93 reproduction)" in
   let info = Cmd.info "netlab" ~version:"1.0.0" ~doc in
@@ -899,5 +1005,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ throughput_cmd; latency_cmd; setup_cmd; orgs_cmd; table_cmd; snoop_cmd; rrp_cmd;
-            bufstats_cmd; cpustats_cmd; setupstats_cmd; regstats_cmd; filter_lint_cmd;
-            proto_check_cmd ]))
+            bufstats_cmd; cpustats_cmd; setupstats_cmd; regstats_cmd; connstats_cmd;
+            filter_lint_cmd; proto_check_cmd ]))

@@ -30,7 +30,12 @@ let hop machine len =
   Cpu.use machine.Machine.cpu c.Costs.context_switch
 
 let create machine (nic : Nic.t) ~ip ?tcp_params () =
-  let env = Proto_env.of_machine machine in
+  let env =
+    Proto_env.of_machine
+      ?timer_granularity:
+        (Option.map (fun p -> p.Uln_proto.Tcp_params.timer_granularity) tcp_params)
+      machine
+  in
   let costs = machine.Machine.costs in
   let tx frame =
     (* protocol server -> device server -> device *)

@@ -85,10 +85,13 @@ let steer t frame =
 
 let create machine (nic : Nic.t) ~ip ?tcp_params () =
   let costs = machine.Machine.costs in
+  let tg =
+    Option.map (fun p -> p.Uln_proto.Tcp_params.timer_granularity) tcp_params
+  in
   let n = Machine.num_cpus machine in
   if n = 1 then begin
     (* The pre-SMP kernel, verbatim: one stack, one netisr, no locks. *)
-    let env = Proto_env.of_machine machine in
+    let env = Proto_env.of_machine ?timer_granularity:tg machine in
     let stack =
       Stack.create env
         ~netif:{ Stack.mtu = nic.Nic.mtu; mac = nic.Nic.mac; tx = nic.Nic.send }
@@ -121,10 +124,10 @@ let create machine (nic : Nic.t) ~ip ?tcp_params () =
     let sched = machine.Machine.sched in
     let mk_stack i =
       let env =
-        if i = 0 then Proto_env.of_machine machine
+        if i = 0 then Proto_env.of_machine ?timer_granularity:tg machine
         else
           Proto_env.create sched machine.Machine.cpus.(i) costs
-            ~rng:(Uln_engine.Rng.split machine.Machine.rng) ()
+            ~rng:(Uln_engine.Rng.split machine.Machine.rng) ?timer_granularity:tg ()
       in
       (* Transmit device work is charged to the CPU whose stack rang
          the doorbell. *)

@@ -31,7 +31,12 @@ let message_driver_cost machine len =
   Time.span_add c.Costs.ipc_fixed (Time.ns (len * c.Costs.ipc_per_byte_ns))
 
 let create machine (nic : Nic.t) ~ip ~variant ?tcp_params () =
-  let env = Proto_env.of_machine machine in
+  let env =
+    Proto_env.of_machine
+      ?timer_granularity:
+        (Option.map (fun p -> p.Uln_proto.Tcp_params.timer_granularity) tcp_params)
+      machine
+  in
   let costs = machine.Machine.costs in
   let tx frame =
     (match variant with

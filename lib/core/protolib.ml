@@ -323,11 +323,14 @@ let adopt_parts t ?params ~snapshot ~channel ~remote_mac () =
   (* Pin the channel to this library's CPU before anything else runs:
      rx notification, send charges and the engine all move with it. *)
   Netio.set_channel_affinity t.netio channel t.cpu_idx;
+  let tcp_params = match params with Some p -> Some p | None -> t.tcp_params in
   let env =
     Proto_env.create m.Machine.sched t.cpu m.Machine.costs
-      ~rng:(Rng.split m.Machine.rng) ()
+      ~rng:(Rng.split m.Machine.rng)
+      ?timer_granularity:
+        (Option.map (fun p -> p.Uln_proto.Tcp_params.timer_granularity) tcp_params)
+      ()
   in
-  let tcp_params = match params with Some p -> Some p | None -> t.tcp_params in
   let zero_copy =
     match tcp_params with Some p -> p.Uln_proto.Tcp_params.zero_copy | None -> false
   in
@@ -365,11 +368,14 @@ let leased_parts t ?params ~lh ~channel ~local_port ~dst ~dst_port ~remote_mac (
   let m = t.machine in
   let nic = Netio.nic t.netio in
   Netio.set_channel_affinity t.netio channel t.cpu_idx;
+  let tcp_params = match params with Some p -> Some p | None -> t.tcp_params in
   let env =
     Proto_env.create m.Machine.sched t.cpu m.Machine.costs
-      ~rng:(Rng.split m.Machine.rng) ()
+      ~rng:(Rng.split m.Machine.rng)
+      ?timer_granularity:
+        (Option.map (fun p -> p.Uln_proto.Tcp_params.timer_granularity) tcp_params)
+      ()
   in
-  let tcp_params = match params with Some p -> Some p | None -> t.tcp_params in
   let zero_copy =
     match tcp_params with Some p -> p.Uln_proto.Tcp_params.zero_copy | None -> false
   in

@@ -10,7 +10,7 @@ module Lance = Uln_net.Lance
 module An1_nic = Uln_net.An1_nic
 module Demux = Uln_filter.Demux
 
-type network = Ethernet | An1
+type network = Ethernet | An1 | Wan
 
 type impl =
   | K of Org_inkernel.t
@@ -40,9 +40,21 @@ let nic t i = t.hosts.(i).h_nic
 
 let create ?(costs = Costs.r3000) ?(seed = 1) ?(demux_mode = Demux.Interpreted)
     ?(flow_cache = false) ?quota ?(tcp_params = Uln_proto.Tcp_params.default)
-    ?(num_hosts = 2) ?(cpus = 1) ?an1_mtu ~network ~org () =
+    ?(num_hosts = 2) ?(cpus = 1) ?an1_mtu ?(wan_delay = Uln_engine.Time.ms 20) ~network
+    ~org () =
   let sched = Sched.create () in
-  let the_link = match network with Ethernet -> Link.ethernet sched | An1 -> Link.an1 sched in
+  let the_link =
+    match network with
+    | Ethernet -> Link.ethernet sched
+    | An1 -> Link.an1 sched
+    | Wan ->
+        (* A long-haul path abstracted as one full-duplex 100 Mb/s
+           segment with Ethernet framing and a configurable one-way
+           propagation delay: the high bandwidth-delay product
+           environment of the WAN bench. *)
+        Link.custom sched ~name:"wan" ~rate_mbps:100 ~overhead_bytes:18 ~min_payload:46
+          ~propagation:wan_delay ~duplex:true
+  in
   let mk_host i =
     let name = Printf.sprintf "host%d" i in
     let machine =
@@ -51,7 +63,7 @@ let create ?(costs = Costs.r3000) ?(seed = 1) ?(demux_mode = Demux.Interpreted)
     let mac = Mac.of_int (0x080020000000 + i + 1) in
     let h_nic =
       match network with
-      | Ethernet -> Lance.create machine the_link ~mac ()
+      | Ethernet | Wan -> Lance.create machine the_link ~mac ()
       | An1 -> An1_nic.create machine the_link ~mac ?mtu:an1_mtu ()
     in
     let ip = Ip.make 10 0 0 (i + 1) in

@@ -4,7 +4,10 @@
     a 10 Mb/s Ethernet or a private 100 Mb/s AN1 segment, all running
     the same protocol stack under the chosen organization. *)
 
-type network = Ethernet | An1
+type network = Ethernet | An1 | Wan
+(** [Wan] is a full-duplex 100 Mb/s path with Ethernet framing and a
+    long propagation delay ([wan_delay], default 20 ms one way) — the
+    high bandwidth-delay-product environment of the WAN bench. *)
 
 type t
 
@@ -18,6 +21,7 @@ val create :
   ?num_hosts:int ->
   ?cpus:int ->
   ?an1_mtu:int ->
+  ?wan_delay:Uln_engine.Time.span ->
   network:network ->
   org:Organization.t ->
   unit ->

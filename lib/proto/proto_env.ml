@@ -17,8 +17,9 @@ type t = {
 let create sched cpu costs ~rng ?(timer_granularity = Time.ms 100) () =
   { sched; cpu; costs; timers = Timers.create sched ~granularity:timer_granularity; rng }
 
-let of_machine (m : Machine.t) =
-  create m.Machine.sched m.Machine.cpu m.Machine.costs ~rng:(Rng.split m.Machine.rng) ()
+let of_machine ?timer_granularity (m : Machine.t) =
+  create m.Machine.sched m.Machine.cpu m.Machine.costs ~rng:(Rng.split m.Machine.rng)
+    ?timer_granularity ()
 
 let charge t span = Cpu.use t.cpu span
 

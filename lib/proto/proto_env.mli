@@ -25,7 +25,7 @@ val create :
 (** Build an environment; [timer_granularity] defaults to 100 ms (the
     protocol timer tick). *)
 
-val of_machine : Uln_host.Machine.t -> t
+val of_machine : ?timer_granularity:Uln_engine.Time.span -> Uln_host.Machine.t -> t
 (** Environment charging the machine's CPU (kernel-resident stacks). *)
 
 val charge : t -> Uln_engine.Time.span -> unit

@@ -89,10 +89,30 @@ type conn = {
   mutable loaned_bytes : int; (* delivered as loans, not yet returned *)
   mutable fin_received : bool;
   mutable ooseg : (Tcp_seq.t * View.t) list; (* out-of-order, sorted by seq *)
+  mutable recent_oo : Tcp_seq.t option; (* newest out-of-order arrival (SACK block 1) *)
   (* congestion control *)
-  mutable cwnd : int;
-  mutable ssthresh : int;
+  cc : Cong_control.t;
   mutable dupacks : int;
+  (* negotiated options (frozen once the handshake completes) *)
+  mutable ws_ok : bool;
+  mutable snd_scale : int; (* shift applied to windows the peer advertises *)
+  mutable rcv_scale : int; (* shift applied to windows we advertise *)
+  mutable sack_ok : bool;
+  mutable ts_ok : bool;
+  mutable ts_recent : int; (* peer's newest in-window TSval (our TSecr) *)
+  (* SACK send-side scoreboard *)
+  sb : Sack.t;
+  mutable sack_cursor : Tcp_seq.t; (* hole-retransmission cursor *)
+  mutable sack_rexmits : int;
+  (* recovery-episode accounting (loss detection -> snd_una past the
+     frontier at detection), the bench's recovery-time samples *)
+  mutable rec_start : Time.t option;
+  mutable rec_point : Tcp_seq.t;
+  mutable rec_samples_us : float list; (* newest first *)
+  (* option diagnostics *)
+  mutable unknown_opts : int;
+  mutable wnd_clamps : int;
+  mutable last_emit : Time.t;
   (* RTT estimation *)
   mutable srtt_us : float;
   mutable rttvar_us : float;
@@ -144,6 +164,7 @@ and t = {
   mutable checksum_failures : int;
   mutable predicted_acks : int;
   mutable predicted_data : int;
+  mutable unknown_options : int;
 }
 
 let params t = t.prm
@@ -158,6 +179,7 @@ let checksum_failures t = t.checksum_failures
 let active_connections t = Hashtbl.length t.pcbs
 let predicted_acks t = t.predicted_acks
 let predicted_data t = t.predicted_data
+let unknown_options t = t.unknown_options
 
 let state c = c.state
 let fsm c = c.fsm
@@ -168,11 +190,34 @@ let remote_addr c = (c.remote_ip, c.remote_port)
 let mss c = c.mss
 let srtt_us c = c.srtt_us
 let rto c = c.rto
-let cwnd c = c.cwnd
+let cwnd c = Cong_control.cwnd c.cc
 let bytes_queued c = sendq_length c.snd_buf
 let bytes_available c = Bytequeue.length c.rcv_buf
 let loaned_bytes c = c.loaned_bytes
 let fast_path_counts c = (c.fast_acks, c.fast_data, c.slow_segments)
+
+type conn_options = {
+  co_snd_scale : int;
+  co_rcv_scale : int;
+  co_sack : bool;
+  co_timestamps : bool;
+  co_cong : string;
+  co_unknown_opts : int;
+  co_wnd_clamps : int;
+  co_sack_rexmits : int;
+  co_recovery_us : float list;
+}
+
+let conn_options c =
+  { co_snd_scale = c.snd_scale;
+    co_rcv_scale = c.rcv_scale;
+    co_sack = c.sack_ok;
+    co_timestamps = c.ts_ok;
+    co_cong = Cong_control.name c.cc;
+    co_unknown_opts = c.unknown_opts;
+    co_wnd_clamps = c.wnd_clamps;
+    co_sack_rexmits = c.sack_rexmits;
+    co_recovery_us = c.rec_samples_us }
 
 let key ~remote_ip ~remote_port ~local_port = (Ip.to_int32 remote_ip, remote_port, local_port)
 let conn_key c = key ~remote_ip:c.remote_ip ~remote_port:c.remote_port ~local_port:c.local_port
@@ -209,7 +254,25 @@ let rcv_window c =
   let used = Bytequeue.length c.rcv_buf + c.loaned_bytes in
   Stdlib.max 0 (c.engine.prm.Tcp_params.rcv_buf - used)
 
-let snd_window c = Stdlib.min c.snd_wnd c.cwnd
+let snd_window c = Stdlib.min c.snd_wnd (Cong_control.cwnd c.cc)
+
+(* The window a peer's segment grants us: scaled by the negotiated
+   shift, except on SYN segments, which RFC 1323 keeps unscaled. *)
+let seg_snd_wnd c (seg : Tcp_wire.segment) =
+  if seg.Tcp_wire.flags.Tcp_wire.syn then seg.Tcp_wire.wnd
+  else seg.Tcp_wire.wnd lsl c.snd_scale
+
+(* How much of [wnd] the 16-bit field can advertise after scaling. *)
+let advertisable c wnd =
+  if c.rcv_scale > 0 then Stdlib.min (wnd lsr c.rcv_scale) 0xffff lsl c.rcv_scale
+  else Stdlib.min wnd 0xffff
+
+(* RFC 1323 timestamp clock: simulated milliseconds, mod 2^32. *)
+let ts_now_ms c =
+  int_of_float (Time.to_ms_f (Time.diff (Proto_env.now c.engine.env) Time.zero))
+  land 0xFFFFFFFF
+
+let now_us c = Time.to_us_f (Time.diff (Proto_env.now c.engine.env) Time.zero)
 
 (* --- segment emission ----------------------------------------------- *)
 
@@ -234,8 +297,15 @@ let emit ?payload_sum t ~src_ip ~dst_ip (seg : Tcp_wire.segment) =
     Proto_env.charge_bytes ~kind:Cpu.Checksum t.env
       ~per_byte_ns:costs.Costs.checksum_per_byte_ns payload_bytes
   end;
+  (* Header checksum pass.  The historical engine charged the bare
+     20-byte header even on MSS-bearing SYNs; keep that for the legacy
+     option shapes (<= 4 bytes) so the ablation baselines stay
+     bit-identical, and charge the true header length once the modern
+     options (timestamps, SACK blocks) make it grow. *)
+  let opt_len = Tcp_wire.opts_length seg.Tcp_wire.opts in
   Proto_env.charge_bytes ~kind:Cpu.Checksum t.env
-    ~per_byte_ns:costs.Costs.checksum_per_byte_ns Tcp_wire.header_size;
+    ~per_byte_ns:costs.Costs.checksum_per_byte_ns
+    (Tcp_wire.header_size + if opt_len > 4 then opt_len else 0);
   t.segments_out <- t.segments_out + 1;
   let m = Tcp_wire.encode ?payload_sum ~src_ip ~dst_ip seg in
   Ipv4.output t.ip ~proto:6 ~dst:dst_ip m
@@ -258,32 +328,180 @@ let send_rst_for t ~src ~(seg : Tcp_wire.segment) =
         ack;
         flags;
         wnd = 0;
-        mss = None;
+        opts = Tcp_wire.no_opts;
         payload = Mbuf.empty }
   end
+
+(* Smallest shift that fits the receive buffer into the 16-bit field. *)
+let scale_for buf =
+  let rec go s = if s >= 14 || buf lsr s <= 0xffff then s else go (s + 1) in
+  go 0
+
+(* The out-of-order queue as merged [left, right) sequence ranges — the
+   candidate SACK blocks. *)
+let oo_ranges c =
+  let rec merge = function
+    | (s1, e1) :: ((s2, e2) :: rest as tl) ->
+        if Tcp_seq.ge e1 s2 then merge ((s1, Tcp_seq.max e1 e2) :: rest)
+        else (s1, e1) :: merge tl
+    | l -> l
+  in
+  merge (List.map (fun (s, d) -> (s, Tcp_seq.add s (View.length d))) c.ooseg)
+
+(* Handshake-segment options.  Constructing them requires the FSM's
+   option permit: outside Listen/Syn_sent/Syn_received the witness
+   yields none and the segment carries only the classic MSS.  A SYN
+   carries our offers (from Tcp_params); a SYN-ACK echoes exactly what
+   negotiation accepted. *)
+let syn_opts c ~syn_ack =
+  match Tcp_fsm.Packed.option_permit c.fsm with
+  | None -> Tcp_wire.opts_mss c.mss
+  | Some _ ->
+      let prm = c.engine.prm in
+      if syn_ack then
+        { Tcp_wire.no_opts with
+          Tcp_wire.mss = Some c.mss;
+          wscale = (if c.ws_ok then Some c.rcv_scale else None);
+          sack_ok = c.sack_ok;
+          ts = (if c.ts_ok then Some (ts_now_ms c, c.ts_recent) else None) }
+      else
+        { Tcp_wire.no_opts with
+          Tcp_wire.mss = Some c.mss;
+          wscale =
+            (if prm.Tcp_params.window_scale then
+               Some (scale_for prm.Tcp_params.rcv_buf)
+             else None);
+          sack_ok = prm.Tcp_params.sack;
+          ts = (if prm.Tcp_params.timestamps then Some (ts_now_ms c, c.ts_recent) else None) }
+
+(* Commit to the peer's SYN/SYN-ACK offers.  Gated by the same FSM
+   permit: an option offer arriving outside the handshake states cannot
+   change a connection's negotiated state. *)
+let negotiate_options c (peer : Tcp_wire.opts) =
+  match Tcp_fsm.Packed.option_permit c.fsm with
+  | None -> ()
+  | Some _ ->
+      let prm = c.engine.prm in
+      (match peer.Tcp_wire.wscale with
+      | Some s when prm.Tcp_params.window_scale ->
+          c.ws_ok <- true;
+          c.snd_scale <- Stdlib.min s 14;
+          c.rcv_scale <- scale_for prm.Tcp_params.rcv_buf;
+          (* The 64KB cwnd clamp was an artifact of the 16-bit window;
+             with scaling in effect the send buffer is the cap. *)
+          Cong_control.set_max_cwnd c.cc (Stdlib.max prm.Tcp_params.snd_buf 65535)
+      | _ -> ());
+      if peer.Tcp_wire.sack_ok && prm.Tcp_params.sack then c.sack_ok <- true;
+      (match peer.Tcp_wire.ts with
+      | Some (tsval, _) when prm.Tcp_params.timestamps ->
+          c.ts_ok <- true;
+          c.ts_recent <- tsval
+      | _ -> ())
 
 (* Send one segment of this connection.  [seq] is explicit so fast
    retransmit can resend at snd_una without disturbing snd_nxt. *)
 let send_segment ?payload_sum c ~seq ~flags ~payload ~with_mss =
   let t = c.engine in
   let wnd = rcv_window c in
-  c.rcv_adv <- Tcp_seq.max c.rcv_adv (Tcp_seq.add c.rcv_nxt (Stdlib.min wnd 0xffff));
+  let scaled = c.rcv_scale > 0 && not flags.Tcp_wire.syn in
+  let wire_wnd =
+    if scaled then Stdlib.min (wnd lsr c.rcv_scale) 0xffff
+    else begin
+      (* Unscaled connections cannot advertise past 64KB; make the
+         clamp observable instead of silent. *)
+      if wnd > 0xffff then c.wnd_clamps <- c.wnd_clamps + 1;
+      Stdlib.min wnd 0xffff
+    end
+  in
+  let adv = if scaled then wire_wnd lsl c.rcv_scale else wire_wnd in
+  c.rcv_adv <- Tcp_seq.max c.rcv_adv (Tcp_seq.add c.rcv_nxt adv);
   c.unacked_segs <- 0;
   c.ack_now <- false;
   c.delack <- stop_timer c.delack;
+  c.last_emit <- Proto_env.now t.env;
+  let opts =
+    if with_mss then syn_opts c ~syn_ack:flags.Tcp_wire.ack
+    else begin
+      let sack =
+        if c.sack_ok && c.ooseg <> [] then
+          Sack.select_blocks ~recent:c.recent_oo ~limit:3 (oo_ranges c)
+        else []
+      in
+      let ts = if c.ts_ok then Some (ts_now_ms c, c.ts_recent) else None in
+      if sack = [] && ts = None then Tcp_wire.no_opts
+      else { Tcp_wire.no_opts with Tcp_wire.sack; ts }
+    end
+  in
   emit ?payload_sum t ~src_ip:(Ipv4.my_ip t.ip) ~dst_ip:c.remote_ip
     { Tcp_wire.src_port = c.local_port;
       dst_port = c.remote_port;
       seq;
       ack = c.rcv_nxt;
       flags;
-      wnd = Stdlib.min wnd 0xffff;
-      mss = (if with_mss then Some c.mss else None);
+      wnd = wire_wnd;
+      opts;
       payload }
 
 let flags_ack = { Tcp_wire.no_flags with Tcp_wire.ack = true }
 let flags_syn = { Tcp_wire.no_flags with Tcp_wire.syn = true }
 let flags_syn_ack = { Tcp_wire.no_flags with Tcp_wire.syn = true; ack = true }
+
+(* --- loss-recovery accounting ----------------------------------------- *)
+
+(* A recovery episode runs from loss detection (fast retransmit or RTO)
+   until the cumulative ACK passes the send frontier at detection; the
+   elapsed time is the bench's recovery-time sample. *)
+let start_recovery c =
+  if c.rec_start = None then begin
+    c.rec_start <- Some (Proto_env.now c.engine.env);
+    c.rec_point <- c.snd_max
+  end
+
+(* SACK-based hole retransmission (RFC 6675 flavour): walk the unSACKed
+   gaps below the highest SACKed edge, resending one MSS at a time while
+   the estimated pipe (bytes still in the network) is below cwnd.  The
+   cursor makes each hole eligible once per ACK event, so several
+   distinct holes can be repaired within a single RTT.  Returns true if
+   anything went out. *)
+let sack_retransmit c =
+  match Sack.highest c.sb with
+  | None -> false
+  | Some high ->
+      let upto = Tcp_seq.min high c.snd_nxt in
+      if Tcp_seq.lt c.sack_cursor c.snd_una then c.sack_cursor <- c.snd_una;
+      let sent = ref 0 in
+      let stop = ref false in
+      while not !stop do
+        let pipe =
+          Tcp_seq.diff c.snd_nxt c.snd_una - Sack.sacked_bytes c.sb + !sent
+        in
+        if pipe >= Cong_control.cwnd c.cc then stop := true
+        else
+          match Sack.next_hole c.sb ~from:c.sack_cursor ~upto with
+          | None -> stop := true
+          (* RFC 6675 IsLost: the hole only counts as lost — rather than
+             still in flight between two freshly SACKed neighbours —
+             once three segments' worth of data beyond it has been
+             SACKed.  The evidence is monotone in the hole's position,
+             so the first ineligible hole ends the walk. *)
+          | Some (l, _) when Sack.sacked_above c.sb l < 3 * c.mss -> stop := true
+          | Some (l, r) ->
+              let off = Tcp_seq.diff l c.snd_una in
+              let len = Stdlib.min c.mss (Tcp_seq.diff r l) in
+              let len = Stdlib.min len (sendq_length c.snd_buf - off) in
+              if off < 0 || len <= 0 then stop := true
+              else begin
+                c.engine.retransmissions <- c.engine.retransmissions + 1;
+                c.sack_rexmits <- c.sack_rexmits + 1;
+                c.rtt_timing <- None;
+                send_segment c ~seq:l ~flags:flags_ack
+                  ~payload:(sendq_peek c.snd_buf ~off ~len)
+                  ~with_mss:false;
+                c.sack_cursor <- Tcp_seq.add l len;
+                sent := !sent + len
+              end
+      done;
+      !sent > 0
 
 (* --- connection teardown -------------------------------------------- *)
 
@@ -399,8 +617,13 @@ and rexmt_fired c =
       | _ ->
           (* Congestion collapse response: shrink and go back to snd_una. *)
           let flight = Stdlib.min (snd_window c) (Tcp_seq.diff c.snd_nxt c.snd_una) in
-          c.ssthresh <- Stdlib.max (2 * c.mss) (flight / 2);
-          c.cwnd <- c.mss;
+          Cong_control.on_rto c.cc ~flight;
+          (* Reneging safety (RFC 2018 §8): the peer may discard data it
+             SACKed, so after a timeout the scoreboard is forgotten and
+             everything from snd_una is eligible again. *)
+          Sack.clear c.sb;
+          c.sack_cursor <- c.snd_una;
+          if Tcp_seq.gt c.snd_nxt c.snd_una then start_recovery c;
           c.snd_nxt <- c.snd_una;
           c.fin_sent <- false;
           output c)
@@ -430,6 +653,13 @@ and output_once c =
        never exceeds the buffer. *)
     let data_off = Stdlib.min (Stdlib.max 0 off) (sendq_length c.snd_buf) in
     let avail = sendq_length c.snd_buf - data_off in
+    (* Congestion-window validation: nothing in flight and no segment
+       sent for over an RTO means the ACK clock is dead — restart from
+       the initial window (no-op under the Reno oracle). *)
+    if
+      off = 0 && avail > 0
+      && Time.diff (Proto_env.now c.engine.env) c.last_emit > c.rto
+    then Cong_control.on_idle c.cc;
     let wnd = snd_window c in
     let usable = Stdlib.max 0 (wnd - off) in
     let len = Stdlib.min (Stdlib.min c.mss avail) usable in
@@ -661,7 +891,10 @@ let insert_ooseg c seq data =
         else if seq = s then l (* duplicate *)
         else (s, d) :: ins rest
   in
-  c.ooseg <- ins c.ooseg
+  c.ooseg <- ins c.ooseg;
+  (* RFC 2018 §4: the block covering the newest arrival leads the SACK
+     option on the next ACK. *)
+  c.recent_oo <- Some seq
 
 (* Pull any now-in-order segments into the receive buffer. *)
 let drain_ooseg c =
@@ -678,12 +911,36 @@ let drain_ooseg c =
         go ()
     | _ -> ()
   in
-  go ()
+  go ();
+  if c.ooseg = [] then c.recent_oo <- None
 
 (* --- ACK processing --------------------------------------------------- *)
 
+(* Retransmit at snd_una, the pre-SACK loss repair shared by fast
+   retransmit and the NewReno partial-ACK rule. *)
+let retransmit_una c =
+  let len = Stdlib.min c.mss (sendq_length c.snd_buf) in
+  if len > 0 then begin
+    c.engine.retransmissions <- c.engine.retransmissions + 1;
+    c.rtt_timing <- None;
+    send_segment c ~seq:c.snd_una ~flags:flags_ack
+      ~payload:(sendq_peek c.snd_buf ~off:0 ~len)
+      ~with_mss:false;
+    (* The head hole is now repaired-in-flight: move the scoreboard
+       cursor past it so a later (pipe-unblocked) walk does not resend
+       the same bytes within the episode. *)
+    let high = Tcp_seq.add c.snd_una len in
+    if Tcp_seq.lt c.sack_cursor high then c.sack_cursor <- high
+  end
+
 let process_ack c (seg : Tcp_wire.segment) =
   let ack = seg.Tcp_wire.ack in
+  (* Fold any SACK blocks into the scoreboard first: duplicate and
+     advancing ACKs both carry them. *)
+  if c.sack_ok && seg.Tcp_wire.opts.Tcp_wire.sack <> [] then begin
+    Sack.add c.sb ~una:c.snd_una seg.Tcp_wire.opts.Tcp_wire.sack;
+    Cong_control.on_sack c.cc
+  end;
   if Tcp_seq.gt ack c.snd_max then begin
     (* Acknowledges data we never sent. *)
     c.ack_now <- true
@@ -692,42 +949,48 @@ let process_ack c (seg : Tcp_wire.segment) =
     (* Duplicate ACK. *)
     if
       Mbuf.length seg.Tcp_wire.payload = 0
-      && seg.Tcp_wire.wnd = c.snd_wnd
+      && seg_snd_wnd c seg = c.snd_wnd
       && Tcp_seq.gt c.snd_nxt c.snd_una
     then begin
       c.dupacks <- c.dupacks + 1;
-      if c.dupacks = 3 then begin
+      let flight = Stdlib.min (snd_window c) (Tcp_seq.diff c.snd_nxt c.snd_una) in
+      let do_rexmit =
+        Cong_control.on_dupack c.cc ~count:c.dupacks ~flight ~snd_max:c.snd_max
+      in
+      if do_rexmit then begin
         trace c "fast retransmit at %d" c.snd_una;
-        (* Fast retransmit + (simplified) fast recovery. *)
-        let flight = Stdlib.min (snd_window c) (Tcp_seq.diff c.snd_nxt c.snd_una) in
-        c.ssthresh <- Stdlib.max (2 * c.mss) (flight / 2);
-        let len = Stdlib.min c.mss (sendq_length c.snd_buf) in
-        if len > 0 then begin
-          c.engine.retransmissions <- c.engine.retransmissions + 1;
-          c.rtt_timing <- None;
-          send_segment c ~seq:c.snd_una ~flags:flags_ack
-            ~payload:(sendq_peek c.snd_buf ~off:0 ~len)
-            ~with_mss:false
-        end;
-        c.cwnd <- c.ssthresh + (3 * c.mss)
+        start_recovery c;
+        (* With a scoreboard, repair the known holes pipe-limited;
+           otherwise the classic resend of the first unacked segment. *)
+        if not (c.sack_ok && sack_retransmit c) then retransmit_una c
       end
-      else if c.dupacks > 3 then c.cwnd <- c.cwnd + c.mss
+      else if c.sack_ok && c.dupacks > 3 then
+        (* Later dupacks refresh the scoreboard: keep filling holes. *)
+        ignore (sack_retransmit c)
     end
   end
   else begin
     (* New data acknowledged. *)
     let acked = Tcp_seq.diff ack c.snd_una in
-    (* RTT sample (Karn's rule handled by clearing on retransmit). *)
-    (match c.rtt_timing with
-    | Some (tseq, started) when Tcp_seq.gt ack tseq ->
+    (* RTT sample.  A timestamp echo measures every ACK (including ones
+       for retransmitted data — the echoed value is ours); without
+       timestamps, the single-timer scheme under Karn's rule. *)
+    (match seg.Tcp_wire.opts.Tcp_wire.ts with
+    | Some (_, tsecr) when c.ts_ok && tsecr <> 0 ->
         c.rtt_timing <- None;
-        update_rtt c (Time.to_us_f (Time.diff (Proto_env.now c.engine.env) started))
-    | _ -> ());
-    (* Congestion window growth. *)
-    if c.dupacks >= 3 then c.cwnd <- Stdlib.max c.mss c.ssthresh
-    else if c.cwnd < c.ssthresh then c.cwnd <- c.cwnd + c.mss
-    else c.cwnd <- c.cwnd + Stdlib.max 1 (c.mss * c.mss / c.cwnd);
-    c.cwnd <- Stdlib.min c.cwnd 65535;
+        let sample_ms = (ts_now_ms c - tsecr) land 0xFFFFFFFF in
+        if sample_ms < 0x80000000 then update_rtt c (float_of_int sample_ms *. 1000.)
+    | _ -> (
+        match c.rtt_timing with
+        | Some (tseq, started) when Tcp_seq.gt ack tseq ->
+            c.rtt_timing <- None;
+            update_rtt c (Time.to_us_f (Time.diff (Proto_env.now c.engine.env) started))
+        | _ -> ()));
+    (* Congestion window growth (and the NewReno partial-ACK verdict). *)
+    let flight = Stdlib.min (snd_window c) (Tcp_seq.diff c.snd_nxt c.snd_una) in
+    let rexmit_hole =
+      Cong_control.on_ack c.cc ~ack ~acked ~dupacks:c.dupacks ~flight ~now_us:(now_us c)
+    in
     c.dupacks <- 0;
     (* Remove acknowledged bytes; the FIN consumes one unit of sequence
        space that is not in the buffer. *)
@@ -739,10 +1002,29 @@ let process_ack c (seg : Tcp_wire.segment) =
     if data_acked > 0 then sendq_drop c.snd_buf data_acked;
     c.snd_una <- ack;
     if Tcp_seq.gt c.snd_una c.snd_nxt then c.snd_nxt <- c.snd_una;
+    Sack.forward c.sb ~una:c.snd_una;
+    (* Recovery episode ends when the ACK passes the frontier recorded
+       at loss detection.  Only then does the hole cursor rewind: each
+       hole is scoreboard-retransmitted at most once per episode (the
+       cursor is the watermark), and a retransmission that was itself
+       lost is rescued by the retransmit timer, not by resending while
+       the first repair is still in flight. *)
+    (match c.rec_start with
+    | Some t0 when Tcp_seq.ge ack c.rec_point ->
+        c.rec_samples_us <-
+          Time.to_us_f (Time.diff (Proto_env.now c.engine.env) t0) :: c.rec_samples_us;
+        c.rec_start <- None;
+        c.sack_cursor <- c.snd_una
+    | _ -> ());
     (* Retransmit timer: restart while data remains outstanding. *)
     c.rexmt <- stop_timer c.rexmt;
     c.backoff <- 0;
     if Tcp_seq.gt c.snd_nxt c.snd_una then arm_rexmt c;
+    (* NewReno partial ACK: another segment of the same loss window is
+       missing — repair it now rather than waiting for three more
+       dupacks (or the timer). *)
+    if rexmit_hole then
+      if not (c.sack_ok && sack_retransmit c) then retransmit_una c;
     (* State transitions on FIN acknowledgement. *)
     if fin_acked then begin
       match c.state with
@@ -778,7 +1060,7 @@ let try_fast_path c (seg : Tcp_wire.segment) =
     && (not f.Tcp_wire.rst)
     && (not f.Tcp_wire.fin)
     && seg.Tcp_wire.seq = c.rcv_nxt
-    && seg.Tcp_wire.wnd = c.snd_wnd
+    && seg_snd_wnd c seg = c.snd_wnd
   in
   if not eligible then false
   else begin
@@ -890,7 +1172,7 @@ let process_segment_slow c (seg : Tcp_wire.segment) =
           || (c.snd_wl1 = seq && Tcp_seq.le c.snd_wl2 seg.Tcp_wire.ack)
         then begin
           let old_wnd = c.snd_wnd in
-          c.snd_wnd <- seg.Tcp_wire.wnd;
+          c.snd_wnd <- seg_snd_wnd c seg;
           c.snd_wl1 <- seq;
           c.snd_wl2 <- seg.Tcp_wire.ack;
           if c.snd_wnd > 0 then c.persist <- stop_timer c.persist;
@@ -955,10 +1237,34 @@ let process_segment_slow c (seg : Tcp_wire.segment) =
 
 let process_segment c (seg : Tcp_wire.segment) =
   touch_keepalive c;
-  if try_fast_path c seg then ()
-  else begin
+  (* PAWS (RFC 1323 §4.2): a timestamped segment whose TSval is older
+     than the newest in-window timestamp is a stale duplicate from a
+     previous window — acknowledge and drop it before any sequence
+     processing. *)
+  let paws_reject =
+    match seg.Tcp_wire.opts.Tcp_wire.ts with
+    | Some (tsval, _) when c.ts_ok && not seg.Tcp_wire.flags.Tcp_wire.rst ->
+        Tcp_seq.diff tsval c.ts_recent < 0
+    | _ -> false
+  in
+  if paws_reject then begin
     c.slow_segments <- c.slow_segments + 1;
-    process_segment_slow c seg
+    c.ack_now <- true;
+    output c
+  end
+  else begin
+    (match seg.Tcp_wire.opts.Tcp_wire.ts with
+    | Some (tsval, _)
+      when c.ts_ok
+           && Tcp_seq.le seg.Tcp_wire.seq c.rcv_nxt
+           && Tcp_seq.diff tsval c.ts_recent >= 0 ->
+        c.ts_recent <- tsval
+    | _ -> ());
+    if try_fast_path c seg then ()
+    else begin
+      c.slow_segments <- c.slow_segments + 1;
+      process_segment_slow c seg
+    end
   end
 
 (* --- SYN_SENT input ---------------------------------------------------- *)
@@ -978,9 +1284,13 @@ let process_syn_sent c (seg : Tcp_wire.segment) =
   else if f.Tcp_wire.syn then begin
     c.irs <- seg.Tcp_wire.seq;
     c.rcv_nxt <- Tcp_seq.add seg.Tcp_wire.seq 1;
-    (match seg.Tcp_wire.mss with
+    (match seg.Tcp_wire.opts.Tcp_wire.mss with
     | Some peer_mss -> c.mss <- Stdlib.min c.mss peer_mss
     | None -> c.mss <- Stdlib.min c.mss c.engine.prm.Tcp_params.mss_default);
+    Cong_control.set_mss c.cc c.mss;
+    (* Still in SYN_SENT: the witness grants the option permit for both
+       the SYN-ACK and the simultaneous-open paths. *)
+    negotiate_options c seg.Tcp_wire.opts;
     c.snd_wnd <- seg.Tcp_wire.wnd;
     c.snd_wl1 <- seg.Tcp_wire.seq;
     c.snd_wl2 <- seg.Tcp_wire.ack;
@@ -1033,9 +1343,26 @@ let handle_syn_for_listener t l (seg : Tcp_wire.segment) ~src =
       loaned_bytes = 0;
       fin_received = false;
       ooseg = [];
-      cwnd = prm.Tcp_params.initial_cwnd_segments * prm.Tcp_params.mss_default;
-      ssthresh = 65535;
+      recent_oo = None;
+      cc =
+        Cong_control.create prm.Tcp_params.cong_control ~mss:prm.Tcp_params.mss_default
+          ~initial_segments:prm.Tcp_params.initial_cwnd_segments;
       dupacks = 0;
+      ws_ok = false;
+      snd_scale = 0;
+      rcv_scale = 0;
+      sack_ok = false;
+      ts_ok = false;
+      ts_recent = 0;
+      sb = Sack.create ();
+      sack_cursor = iss;
+      sack_rexmits = 0;
+      rec_start = None;
+      rec_point = iss;
+      rec_samples_us = [];
+      unknown_opts = 0;
+      wnd_clamps = 0;
+      last_emit = Proto_env.now t.env;
       srtt_us = 0.;
       rttvar_us = 0.;
       rto = prm.Tcp_params.initial_rto;
@@ -1065,9 +1392,12 @@ let handle_syn_for_listener t l (seg : Tcp_wire.segment) ~src =
   let our_mss = Ipv4.mtu t.ip - Ipv4.header_size - Tcp_wire.header_size in
   c.mss <-
     Stdlib.min
-      (match seg.Tcp_wire.mss with Some m -> m | None -> prm.Tcp_params.mss_default)
+      (match seg.Tcp_wire.opts.Tcp_wire.mss with
+      | Some m -> m
+      | None -> prm.Tcp_params.mss_default)
       our_mss;
-  c.cwnd <- prm.Tcp_params.initial_cwnd_segments * c.mss;
+  Cong_control.reinit c.cc ~mss:c.mss;
+  negotiate_options c seg.Tcp_wire.opts;
   Hashtbl.replace t.pcbs (conn_key c) c;
   arm_rexmt c;
   send_segment c ~seq:c.iss ~flags:flags_syn_ack ~payload:Mbuf.empty ~with_mss:true
@@ -1097,12 +1427,18 @@ let input t ~src ~dst payload =
   | None -> t.checksum_failures <- t.checksum_failures + 1
   | Some seg -> (
       t.segments_in <- t.segments_in + 1;
+      (* Unknown option kinds are skipped by the decoder but surfaced
+         here: an aggregate engine counter plus a per-connection one
+         (visible through [conn_options]). *)
+      let unknown = List.length seg.Tcp_wire.opts.Tcp_wire.unknown in
+      if unknown > 0 then t.unknown_options <- t.unknown_options + unknown;
       let k =
         key ~remote_ip:src ~remote_port:seg.Tcp_wire.src_port
           ~local_port:seg.Tcp_wire.dst_port
       in
       match Hashtbl.find_opt t.pcbs k with
       | Some c ->
+          if unknown > 0 then c.unknown_opts <- c.unknown_opts + unknown;
           if c.state = State.Syn_sent then process_syn_sent c seg else process_segment c seg
       | None -> (
           match Hashtbl.find_opt t.listeners seg.Tcp_wire.dst_port with
@@ -1138,7 +1474,8 @@ let create env ip ?(params = Tcp_params.default) () =
       rsts_out = 0;
       checksum_failures = 0;
       predicted_acks = 0;
-      predicted_data = 0 }
+      predicted_data = 0;
+      unknown_options = 0 }
   in
   Ipv4.set_handler ip ~proto:6 (fun ~src ~dst payload -> input t ~src ~dst payload);
   t
@@ -1167,9 +1504,26 @@ let fresh_conn t ~local_port ~remote_ip ~remote_port ~fsm ~iss =
     loaned_bytes = 0;
     fin_received = false;
     ooseg = [];
-    cwnd = t.prm.Tcp_params.initial_cwnd_segments * t.prm.Tcp_params.mss_default;
-    ssthresh = 65535;
+    recent_oo = None;
+    cc =
+      Cong_control.create t.prm.Tcp_params.cong_control ~mss:t.prm.Tcp_params.mss_default
+        ~initial_segments:t.prm.Tcp_params.initial_cwnd_segments;
     dupacks = 0;
+    ws_ok = false;
+    snd_scale = 0;
+    rcv_scale = 0;
+    sack_ok = false;
+    ts_ok = false;
+    ts_recent = 0;
+    sb = Sack.create ();
+    sack_cursor = iss;
+    sack_rexmits = 0;
+    rec_start = None;
+    rec_point = iss;
+    rec_samples_us = [];
+    unknown_opts = 0;
+    wnd_clamps = 0;
+    last_emit = Proto_env.now t.env;
     srtt_us = 0.;
     rttvar_us = 0.;
     rto = t.prm.Tcp_params.initial_rto;
@@ -1210,7 +1564,7 @@ let connect_prepare t ~src_port ~dst ~dst_port =
         ~fsm:(Tcp_fsm.Packed.active_open ()) ~iss
     in
     c.mss <- Ipv4.mtu t.ip - Ipv4.header_size - Tcp_wire.header_size;
-    c.cwnd <- t.prm.Tcp_params.initial_cwnd_segments * c.mss;
+    Cong_control.reinit c.cc ~mss:c.mss;
     c.snd_nxt <- Tcp_seq.add iss 1;
     c.snd_max <- c.snd_nxt;
     Hashtbl.replace t.pcbs k c;
@@ -1328,7 +1682,7 @@ let maybe_window_update c =
   (* Send a window update once the window has opened significantly
      (2*MSS or half the buffer) beyond what was last advertised. *)
   let avail = rcv_window c in
-  let edge = Tcp_seq.add c.rcv_nxt (Stdlib.min avail 0xffff) in
+  let edge = Tcp_seq.add c.rcv_nxt (advertisable c avail) in
   let opening = Tcp_seq.diff edge c.rcv_adv in
   if opening >= 2 * c.mss || opening >= c.engine.prm.Tcp_params.rcv_buf / 2 then begin
     c.ack_now <- true;
@@ -1480,7 +1834,7 @@ let import t snap =
   c.rcv_adv <- snap.snap_rcv_nxt;
   if snap.snap_rcv_pending <> "" then Bytequeue.push_string c.rcv_buf snap.snap_rcv_pending;
   c.mss <- snap.snap_mss;
-  c.cwnd <- t.prm.Tcp_params.initial_cwnd_segments * c.mss;
+  Cong_control.reinit c.cc ~mss:c.mss;
   c.srtt_us <- snap.snap_srtt_us;
   c.rttvar_us <- snap.snap_rttvar_us;
   Hashtbl.replace t.pcbs (conn_key c) c;

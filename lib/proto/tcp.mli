@@ -190,6 +190,23 @@ val srtt_us : conn -> float
 val rto : conn -> Uln_engine.Time.span
 val cwnd : conn -> int
 
+type conn_options = {
+  co_snd_scale : int;  (** shift applied to windows the peer advertises *)
+  co_rcv_scale : int;  (** shift applied to windows we advertise *)
+  co_sack : bool;  (** SACK negotiated on this connection *)
+  co_timestamps : bool;  (** RFC 1323 timestamps negotiated *)
+  co_cong : string;  (** congestion-control algorithm name *)
+  co_unknown_opts : int;  (** unknown option kinds seen on received segments *)
+  co_wnd_clamps : int;  (** advertised windows clamped to the 16-bit field *)
+  co_sack_rexmits : int;  (** retransmissions driven by the SACK scoreboard *)
+  co_recovery_us : float list;
+      (** completed loss-recovery episode durations, newest first *)
+}
+(** Negotiated-option state and loss-recovery diagnostics of one
+    connection (netlab's conn stats; the WAN bench's recovery samples). *)
+
+val conn_options : conn -> conn_options
+
 val on_closed : conn -> (unit -> unit) -> unit
 (** Callback once the connection is fully gone (port reusable). *)
 
@@ -232,6 +249,10 @@ val predicted_acks : t -> int
 
 val predicted_data : t -> int
 (** Segments taken by the fast path as in-order data. *)
+
+val unknown_options : t -> int
+(** Total unknown TCP option kinds skipped across all received
+    segments (engine-wide aggregate of [co_unknown_opts]). *)
 
 val fast_path_counts : conn -> int * int * int
 (** Per-connection [(fast acks, fast data, slow segments)]: how input

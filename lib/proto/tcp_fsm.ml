@@ -257,11 +257,17 @@ let state_of w = w.tag
 
 type send_permit = Send_permit of State.t
 type bqi_permit = Bqi_permit of State.t
+type option_permit = Option_permit of State.t
 
 let send_data (w : [< `Established | `Close_wait ] state) = Send_permit w.tag
 let bqi_exchange (w : [< `Listen | `Syn_sent | `Syn_received ] state) = Bqi_permit w.tag
+
+let negotiate_options (w : [< `Listen | `Syn_sent | `Syn_received ] state) =
+  Option_permit w.tag
+
 let send_states = [ State.Established; State.Close_wait ]
 let bqi_states = [ State.Listen; State.Syn_sent; State.Syn_received ]
+let opt_states = [ State.Listen; State.Syn_sent; State.Syn_received ]
 let recv_states = [ State.Established; State.Fin_wait_1; State.Fin_wait_2 ]
 
 (* {2 Reflection: the relation as data} *)
@@ -461,6 +467,9 @@ module Packed = struct
 
   let bqi_permit (P w) =
     if (not w.spent) && List.mem w.tag bqi_states then Some (Bqi_permit w.tag) else None
+
+  let option_permit (P w) =
+    if (not w.spent) && List.mem w.tag opt_states then Some (Option_permit w.tag) else None
 
   (* Runtime dispatch: state x event -> witness application.  This is
      the hand-written double of the declared relation; proto-check

@@ -79,6 +79,7 @@ val state_of : 's state -> State.t
 
 type send_permit
 type bqi_permit
+type option_permit
 
 val send_data : [< `Established | `Close_wait ] state -> send_permit
 (** Only an open (or half-closed, Close_wait) connection may transmit
@@ -88,8 +89,16 @@ val bqi_exchange : [< `Listen | `Syn_sent | `Syn_received ] state -> bqi_permit
 (** BQI hints ride only on handshake segments: stamping or learning one
     requires a handshake-state witness. *)
 
+val negotiate_options : [< `Listen | `Syn_sent | `Syn_received ] state -> option_permit
+(** TCP options (MSS, window scale, SACK-permitted, timestamps) are
+    negotiated only on SYN/SYN-ACK segments: committing a connection to
+    a peer's offer requires a handshake-state witness.  Once
+    established, the negotiated values are frozen — there is no permit
+    from any synchronized state. *)
+
 val send_states : State.t list
 val bqi_states : State.t list
+val opt_states : State.t list
 val recv_states : State.t list
 (** Value-level mirrors of the permit rows (and of the receive-direction
     policy); proto-check asserts they agree with {!Tcp_state}'s
@@ -182,6 +191,7 @@ module Packed : sig
   val syn_sent : t -> [ `Syn_sent ] state option
   val send_permit : t -> send_permit option
   val bqi_permit : t -> bqi_permit option
+  val option_permit : t -> option_permit option
   (** Dynamic proof queries: a fresh typed witness or permit, justified
       by the packed witness's current state. *)
 

@@ -11,6 +11,7 @@ type t = {
   min_rto : Time.span;
   max_rto : Time.span;
   max_backoff : int;
+  timer_granularity : Time.span;
   msl : Time.span;
   initial_cwnd_segments : int;
   keepalive : Time.span option;
@@ -26,6 +27,10 @@ type t = {
   smp_locking : [ `Big_lock | `Per_conn ];
   hier_demux : bool;
   shard_registry : bool;
+  window_scale : bool;
+  timestamps : bool;
+  sack : bool;
+  cong_control : [ `Reno | `Newreno | `Cubic ];
 }
 
 let default =
@@ -39,6 +44,7 @@ let default =
     min_rto = Time.ms 500;
     max_rto = Time.sec 64;
     max_backoff = 12;
+    timer_granularity = Time.ms 100;
     msl = Time.sec 30;
     initial_cwnd_segments = 1;
     keepalive = None;
@@ -53,7 +59,11 @@ let default =
     time_wait_wheel = false;
     smp_locking = `Big_lock;
     hier_demux = false;
-    shard_registry = false }
+    shard_registry = false;
+    window_scale = false;
+    timestamps = false;
+    sack = false;
+    cong_control = `Reno }
 
 let fast =
   { default with
@@ -62,6 +72,18 @@ let fast =
     min_rto = Time.ms 100;
     max_rto = Time.sec 4;
     msl = Time.ms 500 }
+
+let wan =
+  { fast with
+    snd_buf = 1 lsl 20;
+    rcv_buf = 1 lsl 20;
+    timer_granularity = Time.ms 1;
+    min_rto = Time.ms 200;
+    initial_rto = Time.ms 400;
+    window_scale = true;
+    timestamps = true;
+    sack = true;
+    cong_control = `Cubic }
 
 (* --- the ablation-switch registry (proto-check switch lint) ----------- *)
 
@@ -101,7 +123,19 @@ let switches =
       sw_bench_row = "sparse-scale" };
     { sw_field = "shard_registry";
       sw_oracle = "test/test_scale_ctl.ml:prop_shard_flat_differential";
-      sw_bench_row = "sharded registry" } ]
+      sw_bench_row = "sharded registry" };
+    { sw_field = "window_scale";
+      sw_oracle = "test/test_wan.ml:prop_wscale_differential";
+      sw_bench_row = "wan+wscale" };
+    { sw_field = "timestamps";
+      sw_oracle = "test/test_wan.ml:prop_timestamps_differential";
+      sw_bench_row = "wan+wscale" };
+    { sw_field = "sack";
+      sw_oracle = "test/test_wan.ml:prop_sack_differential";
+      sw_bench_row = "wan+wscale+sack" };
+    { sw_field = "cong_control";
+      sw_oracle = "test/test_wan.ml:prop_cong_control_differential";
+      sw_bench_row = "wan+sack+cubic" } ]
 
 let policy_fields =
   [ ("nagle", "congestion policy, not an implementation ablation: both settings are \

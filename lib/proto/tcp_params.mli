@@ -16,6 +16,15 @@ type t = {
   min_rto : Uln_engine.Time.span;
   max_rto : Uln_engine.Time.span;
   max_backoff : int;  (** retransmissions before giving up *)
+  timer_granularity : Uln_engine.Time.span;
+      (** tick of the protocol timer wheel.  The default 100 ms is the
+          BSD slow-timeout heartbeat the paper-era engine assumes; note
+          that a timer armed just before a tick boundary fires at that
+          boundary, so a timeout of [n] ticks can elapse in as little as
+          [n-1] ticks plus an instant.  High bandwidth-delay paths need
+          a fine tick (the [wan] preset uses 1 ms): with a coarse wheel
+          an RTO equal to one tick fires spuriously under a WAN round
+          trip, and RFC 1323 round-trip timing is quantized away. *)
   msl : Uln_engine.Time.span;  (** one maximum segment lifetime *)
   initial_cwnd_segments : int;
   keepalive : Uln_engine.Time.span option;
@@ -111,6 +120,35 @@ type t = {
           setups on an SMP host stop serializing on one flat table.
           [false] (the default) keeps the single flat table as the
           differential oracle. *)
+  window_scale : bool;
+      (** RFC 1323 window scaling: offer a shift count on the SYN sized
+          from [rcv_buf] and, when both sides agree, carry all
+          non-SYN windows shifted — lifting the 16-bit/64KB flight cap
+          on high bandwidth×delay paths.  [false] (the default) never
+          offers the option, never honours a peer's offer, and keeps the
+          64KB cap as the differential oracle. *)
+  timestamps : bool;
+      (** RFC 1323 timestamps: TSval/TSecr on every segment once
+          negotiated on the SYN, giving an RTT measurement on every ACK
+          (feeding the same Jacobson srtt/rttvar estimator) instead of
+          one Karn-guarded sample per window, plus PAWS sequence checks
+          on receive.  [false] (the default) keeps the single-sample
+          timer as the differential oracle. *)
+  sack : bool;
+      (** RFC 2018 selective acknowledgements: negotiated on the SYN;
+          the receiver reports up to 3 out-of-order blocks per ACK, the
+          sender keeps a reneging-safe scoreboard and during recovery
+          retransmits only unSACKed holes under pipe accounting
+          (several holes per RTT) instead of go-back-N.  [false] (the
+          default) keeps Reno fast-retransmit/timeout recovery as the
+          differential oracle. *)
+  cong_control : [ `Reno | `Newreno | `Cubic ];
+      (** Congestion-control algorithm ({!Cong_control}): [`Reno] (the
+          default) is the historical behaviour extracted verbatim;
+          [`Newreno] adds RFC 6582 partial-ACK recovery; [`Cubic] grows
+          the window as a cubic of time since the last loss, keeping
+          high-BDP pipes full.  Payload delivery is identical under
+          all three (differentially tested); only pacing differs. *)
 }
 
 val default : t
@@ -118,6 +156,11 @@ val default : t
 val fast : t
 (** Small timeouts for loss-recovery tests (keeps simulated durations
     short); protocol behaviour is otherwise identical. *)
+
+val wan : t
+(** High bandwidth×delay preset: [fast] timers with 1MB socket buffers
+    and window scaling, timestamps, SACK and Cubic enabled — the
+    configuration the [bench wan] sweep calls "+wscale+sack" rows. *)
 
 (** {2 Ablation-switch registry}
 

@@ -18,6 +18,7 @@ val gt : t -> t -> bool
 val ge : t -> t -> bool
 
 val max : t -> t -> t
+val min : t -> t -> t
 
 val in_window : t -> base:t -> size:int -> bool
 (** Whether a sequence number falls in [base, base+size). *)

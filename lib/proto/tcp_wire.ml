@@ -4,6 +4,7 @@ module Ip = Uln_addr.Ip
 
 let proto = 6
 let header_size = 20
+let max_options = 40
 
 type flags = { fin : bool; syn : bool; rst : bool; psh : bool; ack : bool }
 
@@ -14,6 +15,18 @@ let pp_flags ppf f =
   Format.fprintf ppf "%s%s%s%s%s" (bit 'S' f.syn) (bit 'A' f.ack) (bit 'F' f.fin) (bit 'R' f.rst)
     (bit 'P' f.psh)
 
+type opts = {
+  mss : int option;
+  wscale : int option;
+  sack_ok : bool;
+  sack : (Tcp_seq.t * Tcp_seq.t) list;
+  ts : (int * int) option;
+  unknown : int list;
+}
+
+let no_opts = { mss = None; wscale = None; sack_ok = false; sack = []; ts = None; unknown = [] }
+let opts_mss m = { no_opts with mss = Some m }
+
 type segment = {
   src_port : int;
   dst_port : int;
@@ -21,7 +34,7 @@ type segment = {
   ack : Tcp_seq.t;
   flags : flags;
   wnd : int;
-  mss : int option;
+  opts : opts;
   payload : Mbuf.t;
 }
 
@@ -42,8 +55,25 @@ let flags_of_int v =
 let seg_len s =
   Mbuf.length s.payload + (if s.flags.syn then 1 else 0) + if s.flags.fin then 1 else 0
 
+(* 32-bit option payloads (timestamps, SACK edges) travel through the
+   same int32 views the sequence-number fields use. *)
+let set_u32 v off x = View.set_uint32 v off (Int32.of_int (x land 0xFFFFFFFF))
+let get_u32 v off = Int32.to_int (View.get_uint32 v off) land 0xFFFFFFFF
+
+let opts_raw_length o =
+  (match o.mss with None -> 0 | Some _ -> 4)
+  + (match o.wscale with None -> 0 | Some _ -> 3)
+  + (if o.sack_ok then 2 else 0)
+  + (match o.ts with None -> 0 | Some _ -> 10)
+  + (match o.sack with [] -> 0 | l -> 2 + (8 * List.length l))
+
+let opts_length o = (opts_raw_length o + 3) land lnot 3
+
 let encode ?payload_sum ~src_ip ~dst_ip s =
-  let opt_len = match s.mss with None -> 0 | Some _ -> 4 in
+  if s.wnd < 0 || s.wnd > 0xffff then
+    invalid_arg "Tcp_wire.encode: window exceeds 16 bits (scale or clamp before encode)";
+  let opt_len = opts_length s.opts in
+  if opt_len > max_options then invalid_arg "Tcp_wire.encode: options exceed 40 bytes";
   let hlen = header_size + opt_len in
   let h = View.create hlen in
   View.set_uint16 h 0 s.src_port;
@@ -52,15 +82,53 @@ let encode ?payload_sum ~src_ip ~dst_ip s =
   View.set_uint32 h 8 (Tcp_seq.to_int32 s.ack);
   View.set_uint8 h 12 ((hlen / 4) lsl 4);
   View.set_uint8 h 13 (flags_to_int s.flags);
-  View.set_uint16 h 14 (Stdlib.min s.wnd 0xffff);
+  View.set_uint16 h 14 s.wnd;
   View.set_uint16 h 16 0;
   View.set_uint16 h 18 0;
-  (match s.mss with
+  let p = ref header_size in
+  (match s.opts.mss with
   | None -> ()
   | Some mss ->
-      View.set_uint8 h 20 2;
-      View.set_uint8 h 21 4;
-      View.set_uint16 h 22 mss);
+      View.set_uint8 h !p 2;
+      View.set_uint8 h (!p + 1) 4;
+      View.set_uint16 h (!p + 2) mss;
+      p := !p + 4);
+  (match s.opts.wscale with
+  | None -> ()
+  | Some w ->
+      View.set_uint8 h !p 3;
+      View.set_uint8 h (!p + 1) 3;
+      View.set_uint8 h (!p + 2) w;
+      p := !p + 3);
+  if s.opts.sack_ok then begin
+    View.set_uint8 h !p 4;
+    View.set_uint8 h (!p + 1) 2;
+    p := !p + 2
+  end;
+  (match s.opts.ts with
+  | None -> ()
+  | Some (tsval, tsecr) ->
+      View.set_uint8 h !p 8;
+      View.set_uint8 h (!p + 1) 10;
+      set_u32 h (!p + 2) tsval;
+      set_u32 h (!p + 6) tsecr;
+      p := !p + 10);
+  (match s.opts.sack with
+  | [] -> ()
+  | blocks ->
+      View.set_uint8 h !p 5;
+      View.set_uint8 h (!p + 1) (2 + (8 * List.length blocks));
+      p := !p + 2;
+      List.iter
+        (fun (l, r) ->
+          set_u32 h !p l;
+          set_u32 h (!p + 4) r;
+          p := !p + 8)
+        blocks);
+  while !p < hlen do
+    View.set_uint8 h !p 1;
+    incr p
+  done;
   let m = Mbuf.prepend h s.payload in
   let pseudo =
     Checksum.pseudo_header ~src:src_ip ~dst:dst_ip ~proto ~len:(Mbuf.length m)
@@ -77,24 +145,49 @@ let encode ?payload_sum ~src_ip ~dst_ip s =
   View.set_uint16 h 16 csum;
   m
 
-let parse_mss options =
-  (* Walk the option list looking for kind 2. *)
-  let len = View.length options in
-  let rec go i =
-    if i >= len then None
+(* Walk the option list, collecting the kinds we speak and recording the
+   rest in [unknown] (newest last).  Returns [Error ()] — never raises —
+   when the list is structurally broken: an option body truncated by the
+   data offset, a zero/one-byte length, or a known kind with the wrong
+   length. *)
+let parse_opts v =
+  let len = View.length v in
+  let rec go i acc =
+    if i >= len then Ok acc
     else
-      match View.get_uint8 options i with
-      | 0 -> None (* end of options *)
-      | 1 -> go (i + 1) (* nop *)
+      match View.get_uint8 v i with
+      | 0 -> Ok acc (* end of options *)
+      | 1 -> go (i + 1) acc (* nop *)
       | kind ->
-          if i + 1 >= len then None
+          if i + 1 >= len then Error ()
           else
-            let olen = View.get_uint8 options (i + 1) in
-            if olen < 2 || i + olen > len then None
-            else if kind = 2 && olen = 4 then Some (View.get_uint16 options (i + 2))
-            else go (i + olen)
+            let olen = View.get_uint8 v (i + 1) in
+            if olen < 2 || i + olen > len then Error ()
+            else begin
+              let known =
+                match kind, olen with
+                | 2, 4 -> Some { acc with mss = Some (View.get_uint16 v (i + 2)) }
+                | 3, 3 -> Some { acc with wscale = Some (View.get_uint8 v (i + 2)) }
+                | 4, 2 -> Some { acc with sack_ok = true }
+                | 5, n when n >= 10 && n <= 34 && (n - 2) mod 8 = 0 ->
+                    let nblocks = (n - 2) / 8 in
+                    let rec blocks j k =
+                      if k = 0 then []
+                      else (get_u32 v j, get_u32 v (j + 4)) :: blocks (j + 8) (k - 1)
+                    in
+                    Some { acc with sack = blocks (i + 2) nblocks }
+                | 8, 10 -> Some { acc with ts = Some (get_u32 v (i + 2), get_u32 v (i + 6)) }
+                | (2 | 3 | 4 | 5 | 8), _ -> None (* known kind, broken length *)
+                | _ -> Some { acc with unknown = kind :: acc.unknown }
+              in
+              match known with
+              | None -> Error ()
+              | Some acc -> go (i + olen) acc
+            end
   in
-  go 0
+  match go 0 no_opts with
+  | Error () -> Error ()
+  | Ok o -> Ok { o with unknown = List.rev o.unknown }
 
 let decode ~src_ip ~dst_ip m =
   let len = Mbuf.length m in
@@ -107,24 +200,43 @@ let decode ~src_ip ~dst_ip m =
       let data_off = (View.get_uint8 h 12 lsr 4) * 4 in
       if data_off < header_size || data_off > len then None
       else begin
-        let mss =
+        let opts =
           if data_off > header_size then
-            parse_mss (Mbuf.flatten (Mbuf.take (Mbuf.drop m header_size) (data_off - header_size)))
-          else None
+            parse_opts
+              (Mbuf.flatten (Mbuf.take (Mbuf.drop m header_size) (data_off - header_size)))
+          else Ok no_opts
         in
-        Some
-          { src_port = View.get_uint16 h 0;
-            dst_port = View.get_uint16 h 2;
-            seq = Tcp_seq.of_int32 (View.get_uint32 h 4);
-            ack = Tcp_seq.of_int32 (View.get_uint32 h 8);
-            flags = flags_of_int (View.get_uint8 h 13);
-            wnd = View.get_uint16 h 14;
-            mss;
-            payload = Mbuf.drop m data_off }
+        match opts with
+        | Error () -> None (* malformed option list: reject, never raise *)
+        | Ok opts ->
+            Some
+              { src_port = View.get_uint16 h 0;
+                dst_port = View.get_uint16 h 2;
+                seq = Tcp_seq.of_int32 (View.get_uint32 h 4);
+                ack = Tcp_seq.of_int32 (View.get_uint32 h 8);
+                flags = flags_of_int (View.get_uint8 h 13);
+                wnd = View.get_uint16 h 14;
+                opts;
+                payload = Mbuf.drop m data_off }
       end
     end
   end
 
+let pp_opts ppf o =
+  let f = Format.fprintf in
+  (match o.mss with None -> () | Some m -> f ppf " mss=%d" m);
+  (match o.wscale with None -> () | Some w -> f ppf " ws=%d" w);
+  if o.sack_ok then f ppf " sack-ok";
+  (match o.sack with
+  | [] -> ()
+  | l ->
+      f ppf " sack=";
+      List.iteri (fun i (a, b) -> f ppf "%s%d-%d" (if i > 0 then "," else "") a b) l);
+  (match o.ts with None -> () | Some (v, e) -> f ppf " ts=%d/%d" v e);
+  match o.unknown with
+  | [] -> ()
+  | l -> f ppf " unk=%s" (String.concat "," (List.map string_of_int l))
+
 let pp ppf s =
-  Format.fprintf ppf "%d>%d seq=%d ack=%d %a wnd=%d len=%d" s.src_port s.dst_port s.seq s.ack
-    pp_flags s.flags s.wnd (Mbuf.length s.payload)
+  Format.fprintf ppf "%d>%d seq=%d ack=%d %a wnd=%d len=%d%a" s.src_port s.dst_port s.seq s.ack
+    pp_flags s.flags s.wnd (Mbuf.length s.payload) pp_opts s.opts

@@ -121,6 +121,8 @@ let check_fsm ?(seed_unhandled = false) () =
   mirror "recv_states" Fsm.recv_states State.can_receive_data;
   mirror "bqi_states" Fsm.bqi_states (fun s ->
       (not (State.synchronized s)) && s <> State.Closed);
+  mirror "opt_states" Fsm.opt_states (fun s ->
+      (not (State.synchronized s)) && s <> State.Closed);
   List.rev !out
 
 (* --- declared lock hierarchy ------------------------------------------ *)

@@ -46,7 +46,7 @@ type zc_row = {
   zc_gain_pct : float;
 }
 
-let net_name = function World.Ethernet -> "ethernet" | World.An1 -> "an1"
+let net_name = function World.Ethernet -> "ethernet" | World.An1 -> "an1" | World.Wan -> "wan"
 
 let sys_name = function
   | Organization.In_kernel -> "ultrix"
@@ -60,6 +60,7 @@ let systems_for network =
   | World.Ethernet ->
       [ Organization.In_kernel; Organization.Single_server `Mapped; Organization.User_library ]
   | World.An1 -> [ Organization.In_kernel; Organization.User_library ]
+  | World.Wan -> [ Organization.User_library ]
 
 let extended_systems = [ Organization.Single_server `Message; Organization.Dedicated_servers ]
 

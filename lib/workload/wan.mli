@@ -1,0 +1,34 @@
+(** Lossy high bandwidth-delay-product WAN transfer.
+
+    One bulk TCP stream across {!Uln_core.World.Wan} (full-duplex
+    100 Mb/s, configurable one-way [delay]) with i.i.d. frame loss
+    [loss] injected at the link, run with zero host costs so the result
+    isolates window size, loss recovery and congestion control — the
+    workload behind [bench wan]. *)
+
+type result = {
+  goodput_mbps : float;  (** application bytes acknowledged / wall time *)
+  bytes : int;  (** bytes the sink actually received *)
+  duration_s : float;
+  segments_out : int;  (** sender engine, whole run *)
+  retransmissions : int;
+  sack_rexmits : int;  (** scoreboard-driven hole retransmissions *)
+  snd_scale : int;  (** negotiated send-window shift (0 = no scaling) *)
+  sack_negotiated : bool;
+  cong : string;  (** congestion-control algorithm name *)
+  recovery_us : float array;
+      (** durations of completed loss-recovery episodes on the sender
+          (loss detection until the cumulative ACK passes the frontier
+          recorded at detection), in order of completion *)
+}
+
+val measure :
+  ?total_bytes:int ->
+  ?write_size:int ->
+  ?seed:int ->
+  delay:Uln_engine.Time.span ->
+  loss:float ->
+  params:Uln_proto.Tcp_params.t ->
+  unit ->
+  result
+(** Defaults: 8 MB transfer in 64 KB writes, seed 7. *)

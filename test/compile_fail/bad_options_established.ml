@@ -1,0 +1,12 @@
+(* MUST NOT COMPILE: option negotiation outside the handshake.  MSS,
+   window scale, SACK-permitted and timestamps commit on SYN/SYN-ACK
+   segments only — [Fsm.negotiate_options] accepts LISTEN, SYN_SENT and
+   SYN_RCVD witnesses, so an ESTABLISHED witness cannot mint an
+   [option_permit] and the negotiated values are frozen for the life of
+   the connection. *)
+module Fsm = Uln_proto.Tcp_fsm
+
+let () =
+  let est = Fsm.step (Fsm.step (Fsm.closed ()) Fsm.Active_open) Fsm.Rcv_syn_ack in
+  let _ : Fsm.option_permit = Fsm.negotiate_options est in
+  ()

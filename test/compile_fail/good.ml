@@ -6,8 +6,10 @@ module Fsm = Uln_proto.Tcp_fsm
 let () =
   let listen = Fsm.step (Fsm.closed ()) Fsm.Passive_open in
   let syn_rcvd = Fsm.step listen Fsm.Rcv_syn in
-  (* BQI hints are a handshake affair: fine from SYN_RCVD. *)
+  (* BQI hints and option negotiation are a handshake affair: fine
+     from SYN_RCVD. *)
   let _bqi : Fsm.bqi_permit = Fsm.bqi_exchange syn_rcvd in
+  let _opt : Fsm.option_permit = Fsm.negotiate_options syn_rcvd in
   let est = Fsm.step syn_rcvd Fsm.Rcv_ack_of_syn in
   (* Data may flow once ESTABLISHED. *)
   let _send : Fsm.send_permit = Fsm.send_data est in

@@ -20,6 +20,11 @@ let required_fields = function
         "delivery_p50_us"; "delivery_p99_us"; "delivery_p999_us" ]
   | "BENCH_churn.json" ->
       [ "population"; "churn_p50_us"; "churn_p99_us"; "churn_p999_us" ]
+  | "BENCH_wan.json" ->
+      [ "config"; "delay_ms"; "loss"; "goodput_mbps";
+        "segments_out"; "retransmissions"; "sack_rexmits"; "snd_scale"; "cong";
+        "recovery_samples"; "recovery_p50_us"; "recovery_p99_us"; "recovery_p999_us";
+        "wan-baseline"; "wan+wscale"; "wan+wscale+sack"; "wan+sack+newreno"; "wan+sack+cubic" ]
   | _ -> []
 
 let () =

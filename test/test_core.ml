@@ -168,7 +168,7 @@ let test_template_blocks_forged_send () =
             ack = 0;
             flags = Uln_proto.Tcp_wire.no_flags;
             wnd = 0;
-            mss = None;
+            opts = Uln_proto.Tcp_wire.no_opts;
             payload = Mbuf.empty }
       in
       let ip_hdr = View.create 20 in

@@ -175,7 +175,7 @@ let test_snoop_decodes_tcp () =
         ack = 7;
         flags = { Uln_proto.Tcp_wire.no_flags with Uln_proto.Tcp_wire.syn = true };
         wnd = 1024;
-        mss = Some 1460;
+        opts = Uln_proto.Tcp_wire.opts_mss 1460;
         payload = Mbuf.empty }
   in
   let hdr = View.create 20 in

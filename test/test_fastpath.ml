@@ -92,7 +92,9 @@ let prop_encode_with_payload_sum =
           ack = Rng.int rng 0x10000000;
           flags = { Tcp_wire.no_flags with Tcp_wire.ack = true; psh = Rng.bool rng };
           wnd = Rng.int rng 0x10000;
-          mss = (if Rng.bool rng then Some (Rng.int rng 0x10000) else None);
+          opts =
+                  (if Rng.bool rng then Tcp_wire.opts_mss (Rng.int rng 0x10000)
+                   else Tcp_wire.no_opts);
           payload = Mbuf.of_view payload }
       in
       let src_ip = Ip.make 10 0 0 1 and dst_ip = Ip.make 10 0 0 2 in

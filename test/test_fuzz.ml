@@ -87,7 +87,9 @@ let test_random_valid_segments_never_crash () =
                 ack = Rng.int rng 0x10000000;
                 flags;
                 wnd = Rng.int rng 0x10000;
-                mss = (if Rng.bool rng then Some (Rng.int rng 0x10000) else None);
+                opts =
+                  (if Rng.bool rng then Tcp_wire.opts_mss (Rng.int rng 0x10000)
+                   else Tcp_wire.no_opts);
                 payload = Mbuf.of_string (String.make (Rng.int rng 64) 'f') }
             in
             Stack.input w.b.stack

@@ -92,7 +92,7 @@ let mk_seg ?(payload = "") ?(flags = Tcp_wire.no_flags) ?mss () =
     ack = 2000;
     flags;
     wnd = 8192;
-    mss;
+    opts = (match mss with Some m -> Tcp_wire.opts_mss m | None -> Tcp_wire.no_opts);
     payload = Mbuf.of_string payload }
 
 let test_wire_round_trip () =
@@ -115,7 +115,7 @@ let test_wire_mss_option () =
   let encoded = Tcp_wire.encode ~src_ip:ip_a ~dst_ip:ip_b seg in
   match Tcp_wire.decode ~src_ip:ip_a ~dst_ip:ip_b encoded with
   | None -> Alcotest.fail "decode failed"
-  | Some got -> Alcotest.(check (option int)) "mss" (Some 1460) got.Tcp_wire.mss
+  | Some got -> Alcotest.(check (option int)) "mss" (Some 1460) got.Tcp_wire.opts.Tcp_wire.mss
 
 let test_wire_detects_corruption () =
   let seg = mk_seg ~payload:"payload bytes" () in

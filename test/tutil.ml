@@ -31,7 +31,10 @@ let make_node sched link ~name ~mac_seed ~ip ~costs ~tcp_params =
   let machine = Machine.create sched ~name ~costs ~rng:(Rng.create ~seed:(1000 + mac_seed)) in
   let mac = Mac.of_int (0x5254000000 + mac_seed) in
   let nic = Lance.create machine link ~mac () in
-  let env = Proto_env.of_machine machine in
+  let env =
+    Proto_env.of_machine
+      ~timer_granularity:tcp_params.Tcp_params.timer_granularity machine
+  in
   let stack =
     Stack.create env
       ~netif:{ Stack.mtu = nic.Nic.mtu; mac; tx = nic.Nic.send }
