@@ -79,6 +79,9 @@ let t3_json (rows : E.t3_row list) =
         ("system", jstr r.E.t3_system);
         ("size", jint r.E.t3_size);
         ("rtt_ms", jfloat r.E.t3_rtt_ms);
+        ("p50_us", jfloat r.E.t3_rtt.Uln_workload.Percentile.p50);
+        ("p99_us", jfloat r.E.t3_rtt.Uln_workload.Percentile.p99);
+        ("p999_us", jfloat r.E.t3_rtt.Uln_workload.Percentile.p999);
         ("paper", jopt r.E.t3_paper) ])
     rows
 
@@ -337,35 +340,67 @@ let wan_configs =
           cong_control = `Newreno } );
     ("wan+sack+cubic", wan) ]
 
-let wan_recovery (r : Uln_workload.Wan.result) =
-  if Array.length r.Uln_workload.Wan.recovery_us = 0 then
-    { Uln_workload.Percentile.p50 = 0.; p99 = 0.; p999 = 0. }
-  else Uln_workload.Percentile.summarize r.Uln_workload.Wan.recovery_us
+(* Lossy cells average over several loss realizations: a 8 MB run at
+   0.2% loss sees only ~20 drops, and which segments they land on
+   swings goodput by +-20% — enough for one unlucky draw to invert the
+   ranking of two statistically equal configurations (an earlier
+   committed table had wan+wscale+sack "losing" to wan+wscale this
+   way; re-running the same cell across seeds flips the order).  The
+   recovery-time percentiles pool the samples of every realization.
+   Zero-loss cells are deterministic and run once. *)
+let wan_seeds = [ 7; 11; 23; 41; 97 ]
 
 let wan_cell ?total_bytes ~delay_ms ~loss (label, prm) =
-  let r =
-    Uln_workload.Wan.measure ?total_bytes ~delay:(Time.ms delay_ms) ~loss ~params:prm ()
+  let seeds = if loss = 0.0 then [ 7 ] else wan_seeds in
+  let rs =
+    List.map
+      (fun seed ->
+        Uln_workload.Wan.measure ?total_bytes ~seed ~delay:(Time.ms delay_ms) ~loss
+          ~params:prm ())
+      seeds
   in
-  let s = wan_recovery r in
+  let n = float_of_int (List.length rs) in
+  let mean f = List.fold_left (fun a r -> a +. f r) 0. rs /. n in
+  let sum f = List.fold_left (fun a r -> a + f r) 0 rs in
+  let goodput = mean (fun r -> r.Uln_workload.Wan.goodput_mbps) in
+  let gmin, gmax =
+    List.fold_left
+      (fun (lo, hi) r ->
+        let g = r.Uln_workload.Wan.goodput_mbps in
+        (Stdlib.min lo g, Stdlib.max hi g))
+      (infinity, neg_infinity) rs
+  in
+  let recovery =
+    Array.concat (List.map (fun r -> r.Uln_workload.Wan.recovery_us) rs)
+  in
+  let s =
+    if Array.length recovery = 0 then { Uln_workload.Percentile.p50 = 0.; p99 = 0.; p999 = 0. }
+    else Uln_workload.Percentile.summarize recovery
+  in
+  let r0 = List.hd rs in
   Format.fprintf ppf
-    "  %-17s %3dms %5.2f%%: %7.2f Mb/s  segs %6d  rexmt %5d (sack %5d)  rec p50/p99 \
-     %6.1f/%6.1f ms@."
-    label delay_ms (loss *. 100.) r.Uln_workload.Wan.goodput_mbps
-    r.Uln_workload.Wan.segments_out r.Uln_workload.Wan.retransmissions
-    r.Uln_workload.Wan.sack_rexmits
+    "  %-17s %3dms %5.2f%%: %7.2f Mb/s (%4.2f..%4.2f/%d)  segs %6d  rexmt %5d (sack %5d)  \
+     rec p50/p99 %6.1f/%6.1f ms@."
+    label delay_ms (loss *. 100.) goodput gmin gmax (List.length seeds)
+    (sum (fun r -> r.Uln_workload.Wan.segments_out))
+    (sum (fun r -> r.Uln_workload.Wan.retransmissions))
+    (sum (fun r -> r.Uln_workload.Wan.sack_rexmits))
     (s.Uln_workload.Percentile.p50 /. 1000.)
     (s.Uln_workload.Percentile.p99 /. 1000.);
   [ ("config", jstr label);
     ("delay_ms", jint delay_ms);
     ("loss", jfloat loss);
-    ("goodput_mbps", jfloat r.Uln_workload.Wan.goodput_mbps);
-    ("bytes", jint r.Uln_workload.Wan.bytes);
-    ("segments_out", jint r.Uln_workload.Wan.segments_out);
-    ("retransmissions", jint r.Uln_workload.Wan.retransmissions);
-    ("sack_rexmits", jint r.Uln_workload.Wan.sack_rexmits);
-    ("snd_scale", jint r.Uln_workload.Wan.snd_scale);
-    ("cong", jstr r.Uln_workload.Wan.cong);
-    ("recovery_samples", jint (Array.length r.Uln_workload.Wan.recovery_us)) ]
+    ("goodput_mbps", jfloat goodput);
+    ("goodput_min_mbps", jfloat gmin);
+    ("goodput_max_mbps", jfloat gmax);
+    ("seeds", jint (List.length seeds));
+    ("bytes", jint (sum (fun r -> r.Uln_workload.Wan.bytes)));
+    ("segments_out", jint (sum (fun r -> r.Uln_workload.Wan.segments_out)));
+    ("retransmissions", jint (sum (fun r -> r.Uln_workload.Wan.retransmissions)));
+    ("sack_rexmits", jint (sum (fun r -> r.Uln_workload.Wan.sack_rexmits)));
+    ("snd_scale", jint r0.Uln_workload.Wan.snd_scale);
+    ("cong", jstr r0.Uln_workload.Wan.cong);
+    ("recovery_samples", jint (Array.length recovery)) ]
   @ pfields "recovery_" s
 
 let run_wan () =
@@ -377,6 +412,109 @@ let run_wan () =
       grid
   in
   write_json "wan" rows;
+  Format.fprintf ppf "@."
+
+(* --- Open-loop RPC, incast and overload -------------------------------- *)
+
+(* The small-message fast path's two measurement configurations: the
+   interrupt-per-packet baseline (the [fast] preset — every prior
+   optimization on, coalescing off) against the [coalesced] preset
+   (rx aggregation + burst ACKs + NAPI-style interrupt suppression).
+   Both run with Nagle off, the normal setting for request/response
+   traffic (send-side batching of sub-MSS replies would hide the
+   receive-path costs under test behind the delayed-ACK clock). *)
+let rpc_configs =
+  let open Uln_proto.Tcp_params in
+  [ ("per-packet", { fast with nagle = false });
+    ("coalesced", { coalesced with nagle = false }) ]
+
+(* The scenarios run on the 100 Mb/s AN1: on the 10 Mb/s Ethernet an
+   8-way incast of 8 KB responses is link-bound (~19 rps ceiling), so
+   the per-packet notification overhead the fast path removes never
+   becomes the bottleneck. *)
+let scenario_network = Uln_core.World.An1
+
+let scenario_row ~scenario ~config (c : Uln_workload.Scenario.conf)
+    (r : Uln_workload.Scenario.result) =
+  let open Uln_workload.Scenario in
+  Format.fprintf ppf
+    "  %-14s %-10s offered %8.0f rps  delivered %8.0f rps  done %4d  expired %3d  p50/p99 \
+     %7.0f/%8.0f us  drops %d@."
+    scenario config r.offered_rps r.delivered_rps r.completed r.expired
+    r.latency.Uln_workload.Percentile.p50 r.latency.Uln_workload.Percentile.p99
+    (r.ring_drops + r.ring_overflows);
+  [ ("scenario", jstr scenario);
+    ("config", jstr config);
+    ("servers", jint c.servers);
+    ("requests", jint c.requests);
+    ("offered_rps", jfloat r.offered_rps);
+    ("delivered_rps", jfloat r.delivered_rps);
+    ("completed", jint r.completed);
+    ("expired", jint r.expired);
+    ("ring_drops", jint r.ring_drops);
+    ("ring_overflows", jint r.ring_overflows);
+    ("interrupts", jint r.interrupts);
+    ("polls", jint r.polls) ]
+  @ pfields "" r.latency
+
+(* One scenario cell: probe this configuration's saturation rate, then
+   offer 70% of it open-loop — loaded but not drowning, so the latency
+   percentiles measure the path rather than the queue. *)
+let rpc_cell ~scenario ~requests conf (config, prm) =
+  let open Uln_workload.Scenario in
+  let conf = { conf with requests } in
+  let sat = saturation ~tcp_params:prm ~network:scenario_network conf in
+  let r = measure ~tcp_params:prm ~network:scenario_network { conf with rate = 0.7 *. sat } in
+  (sat, scenario_row ~scenario ~config conf r @ [ ("saturation_rps", jfloat sat) ])
+
+let run_rpc ?(requests = 300) () =
+  section "Open-loop RPC (request/response, fan-out, heavy tails, incast)";
+  let open Uln_workload.Scenario in
+  let scenarios =
+    [ ("rpc/rr", default);
+      ( "rpc/fanout",
+        { default with
+          servers = 4;
+          resp = Mix { mice = 256; elephants = 8192; elephant_frac = 0.25 } } );
+      ("rpc/heavytail", { default with arrival = Heavy_tail 1.5 });
+      ("incast/8", incast ()) ]
+  in
+  let rows =
+    List.concat_map
+      (fun (scenario, conf) ->
+        let cells = List.map (rpc_cell ~scenario ~requests conf) rpc_configs in
+        (* Surface the headline acceptance ratio: coalesced vs
+           per-packet saturation at 8-way incast. *)
+        (match (scenario, cells) with
+        | "incast/8", [ (base, _); (coal, _) ] when base > 0. ->
+            Format.fprintf ppf "  %-14s coalesced/per-packet saturation: %.2fx@." scenario
+              (coal /. base)
+        | _ -> ());
+        List.map snd cells)
+      scenarios
+  in
+  write_json "rpc" rows;
+  Format.fprintf ppf "@."
+
+let run_overload ?(requests = 200) () =
+  section "Incast overload (offered load vs delivered, open loop)";
+  let open Uln_workload.Scenario in
+  let conf = { (incast ()) with requests } in
+  let rows =
+    List.concat_map
+      (fun (config, prm) ->
+        let sat = saturation ~tcp_params:prm ~network:scenario_network conf in
+        List.map
+          (fun mult ->
+            let r =
+              measure ~tcp_params:prm ~network:scenario_network { conf with rate = mult *. sat }
+            in
+            scenario_row ~scenario:"incast/overload" ~config conf r
+            @ [ ("saturation_rps", jfloat sat); ("multiplier", jfloat mult) ])
+          [ 0.5; 1.0; 2.0; 4.0 ])
+      rpc_configs
+  in
+  write_json "overload" rows;
   Format.fprintf ppf "@."
 
 let run_churn () =
@@ -849,6 +987,29 @@ let run_smoke () =
   ignore
     (wan_cell ~total_bytes:1_000_000 ~delay_ms:5 ~loss:0.005
        ("wan+wscale+sack", List.assoc "wan+wscale+sack" wan_configs));
+  (* The small-message fast path, driven end to end: one open-loop
+     fan-out RPC cell and one incast overload cell on the coalesced
+     configuration (rx aggregation + burst ACKs + NAPI). *)
+  (let open Uln_workload.Scenario in
+   let coalesced = List.assoc "coalesced" rpc_configs in
+   let fanout =
+     { default with
+       servers = 4;
+       requests = 60;
+       resp = Mix { mice = 256; elephants = 8192; elephant_frac = 0.25 } }
+   in
+   let r = measure ~tcp_params:coalesced ~network:scenario_network fanout in
+   write_json "rpc"
+     (scenario_row ~scenario:"rpc/fanout" ~config:"coalesced" fanout r
+     :: [] |> List.map (fun row -> row @ [ ("saturation_rps", jfloat 0.) ]));
+   let inc = { (incast ()) with requests = 40 } in
+   let sat = saturation ~tcp_params:coalesced ~network:scenario_network inc in
+   let ovr =
+     measure ~tcp_params:coalesced ~network:scenario_network { inc with rate = 4. *. sat }
+   in
+   write_json "overload"
+     [ scenario_row ~scenario:"incast/overload" ~config:"coalesced" inc ovr
+       @ [ ("saturation_rps", jfloat sat); ("multiplier", jfloat 4.) ] ]);
   run_filteropt ();
   Format.fprintf ppf "@."
 
@@ -874,6 +1035,8 @@ let () =
   | "micro" -> run_micro ()
   | "churn" -> run_churn ()
   | "wan" -> run_wan ()
+  | "rpc" -> run_rpc ()
+  | "overload" -> run_overload ()
   | "diffcheck" -> run_diffcheck ()
   | "all" ->
       run_table1 ();
@@ -885,6 +1048,8 @@ let () =
       run_smp ();
       run_churn ();
       run_wan ();
+      run_rpc ();
+      run_overload ();
       run_figures ();
       run_ablations ();
       run_motivation ();
@@ -894,6 +1059,6 @@ let () =
   | other ->
       Format.eprintf
         "unknown argument %s (expected [--json] \
-         all|table1..table5|figures|ablations|motivation|contention|filteropt|scale|smp|smoke|churn|wan|diffcheck|micro)@."
+         all|table1..table5|figures|ablations|motivation|contention|filteropt|scale|smp|smoke|churn|wan|rpc|overload|diffcheck|micro)@."
         other;
       exit 1

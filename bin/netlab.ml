@@ -312,6 +312,101 @@ let bufstats_cmd =
       $ size_arg 4096 "User packet size."
       $ copying_arg)
 
+let rxstats_cmd =
+  let module Protolib = Uln_core.Protolib in
+  let module Sockets = Uln_core.Sockets in
+  let module Sched = Uln_engine.Sched in
+  let module View = Uln_buf.View in
+  let run network bytes size per_packet =
+    let tcp_params =
+      if per_packet then Uln_proto.Tcp_params.fast else Uln_proto.Tcp_params.coalesced
+    in
+    let w = World.create ~tcp_params ~network ~org:Organization.User_library () in
+    let sched = World.sched w in
+    let sink_lib =
+      match World.library w ~host:1 "sink" with Some l -> l | None -> assert false
+    in
+    let source =
+      match World.library w ~host:0 "source" with
+      | Some l -> Protolib.app l
+      | None -> assert false
+    in
+    let sink = Protolib.app sink_lib in
+    Printf.printf "rxstats: userlib %s receive path, %s, %d bytes in %d-byte writes\n"
+      (if per_packet then "per-packet" else "coalesced")
+      (match network with World.Ethernet -> "ethernet" | World.An1 -> "an1" | World.Wan -> "wan")
+      bytes size;
+    (* Capture the receiver's statistics after the payload has drained
+       but before close detaches the connection (the GRO/ACK counters
+       are summed over connections still open). *)
+    let stats = ref None in
+    Sched.spawn sched ~name:"sink" (fun () ->
+        let l = sink.Sockets.listen ~port:5001 in
+        let conn = l.Sockets.accept () in
+        let got = ref 0 in
+        let rec drain () =
+          match conn.Sockets.recv ~max:65536 with
+          | None -> ()
+          | Some v ->
+              got := !got + View.length v;
+              drain ()
+        in
+        drain ();
+        stats := Some (Protolib.rxstats sink_lib, !got);
+        conn.Sockets.close ());
+    Sched.block_on sched (fun () ->
+        match source.Sockets.connect ~src_port:0 ~dst:(World.host_ip w 1) ~dst_port:5001 with
+        | Error e -> failwith ("rxstats connect: " ^ e)
+        | Ok conn ->
+            let chunk = View.create size in
+            View.fill chunk 'r';
+            for _ = 1 to (bytes + size - 1) / size do
+              conn.Sockets.send chunk
+            done;
+            conn.Sockets.close ();
+            conn.Sockets.await_closed ());
+    match !stats with
+    | None -> failwith "rxstats: transfer did not complete"
+    | Some (s, got) ->
+        Printf.printf "delivered:        %d bytes\n" got;
+        Printf.printf "rx wakeups:       %d (%d frames, %.2f frames/wakeup)\n" s.Protolib.rs_wakeups
+          s.Protolib.rs_frames
+          (if s.Protolib.rs_wakeups = 0 then 0.
+           else float_of_int s.Protolib.rs_frames /. float_of_int s.Protolib.rs_wakeups);
+        Printf.printf "burst histogram:  %s\n"
+          (match s.Protolib.rs_burst_hist with
+          | [] -> "(empty)"
+          | h ->
+              String.concat " "
+                (List.map (fun (sz, n) -> Printf.sprintf "%dx%d" sz n) h));
+        Printf.printf "gro:              %d segments merged into %d flushes\n"
+          s.Protolib.rs_gro_merged s.Protolib.rs_gro_flushes;
+        Printf.printf "acks elided:      %d\n" s.Protolib.rs_acks_elided;
+        Printf.printf "napi:             %d interrupts, %d polls, %d polled frames\n"
+          s.Protolib.rs_interrupts s.Protolib.rs_polls s.Protolib.rs_polled_frames;
+        Printf.printf "ring:             %d early drops, %d overflows\n" s.Protolib.rs_ring_drops
+          s.Protolib.rs_ring_overflows
+  in
+  let per_packet_arg =
+    Arg.(
+      value & flag
+      & info [ "per-packet" ]
+          ~doc:
+            "Run the interrupt-per-packet baseline instead of the coalescing fast path (for \
+             comparison).")
+  in
+  Cmd.v
+    (Cmd.info "rxstats"
+       ~doc:
+         "Run a user-library small-message transfer and print the receive-path coalescing \
+          statistics: burst-size histogram and frames per wakeup, GRO merges, ACKs elided, \
+          interrupts versus NAPI polls, and bounded-ring drops.")
+    Term.(
+      const run $ network_arg
+      $ Arg.(value & opt int 400_000 & info [ "b"; "bytes" ] ~docv:"BYTES" ~doc:"Bytes to transfer.")
+      $ size_arg 512 "User write size."
+      $ per_packet_arg)
+
 let cpustats_cmd =
   let module Sockets = Uln_core.Sockets in
   let module Sched = Uln_engine.Sched in
@@ -1005,5 +1100,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ throughput_cmd; latency_cmd; setup_cmd; orgs_cmd; table_cmd; snoop_cmd; rrp_cmd;
-            bufstats_cmd; cpustats_cmd; setupstats_cmd; regstats_cmd; connstats_cmd;
+            bufstats_cmd; rxstats_cmd; cpustats_cmd; setupstats_cmd; regstats_cmd; connstats_cmd;
             filter_lint_cmd; proto_check_cmd ]))

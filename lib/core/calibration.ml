@@ -60,3 +60,32 @@ let tenant_max_mem_bytes = tenant_max_conns * tenant_mem_per_conn
 (* Registry shard-routing cost: the stable 4-tuple hash plus the
    shard-table indirection a sharded lookup pays over the flat table. *)
 let registry_shard_route = Time.us 2
+
+(* Small-message fast path (rx/ack/wakeup coalescing). *)
+
+(* NAPI-style interrupt suppression: frames one poll slice handles
+   before yielding the CPU, and the bounded software ring beyond which
+   the device drops early instead of queueing unbounded work. *)
+let napi_budget = 64
+let napi_ring_slots = 256
+
+(* Library-side cost of handing one additional frame of an rx burst to
+   the stack: the dispatch bookkeeping without a fresh thread switch —
+   the first frame of a burst still pays the full per-segment price. *)
+let userlib_rx_gro_frame = Time.us 25
+
+(* The receive thread's poll episode (rx_coalesce): after the wakeup
+   drain the thread keeps its burst bracket open and re-checks the
+   ring every [gro_poll_interval] — sleeping between checks, so the
+   CPU is free for other connections — and re-arms the semaphore once
+   [gro_quiescent_polls] consecutive checks find nothing.  Frames a
+   check does find continue the open merge run at the cheap
+   [userlib_rx_gro_frame] price instead of buying a whole new
+   wakeup->drain entry; this is what lets merging span the gaps
+   between fan-in senders (Linux ships the same mechanism as
+   napi_defer_hard_irqs + gro_flush_timeout).  [gro_episode_budget]
+   cuts a sustained flood into bounded episodes so no bracket can
+   hold delivered data — or the ACK its flush releases — open-ended. *)
+let gro_poll_interval = Time.us 500
+let gro_quiescent_polls = 2
+let gro_episode_budget = Time.ms 20

@@ -199,3 +199,35 @@ val registry_shard_route : Uln_engine.Time.span
 (** Cost of routing one registry operation to its shard: the stable
     4-tuple hash plus the indirection into the per-shard tables
     (shard_registry mode only). *)
+
+val napi_budget : int
+(** Frames one NAPI poll slice handles before yielding the CPU
+    ({!Uln_net.Napi}); enabled when {!Uln_proto.Tcp_params.int_suppress}
+    is on. *)
+
+val napi_ring_slots : int
+(** Bounded NAPI software-ring capacity: frames beyond it are dropped
+    at the device (early drop), so overload degrades instead of
+    livelocking. *)
+
+val userlib_rx_gro_frame : Uln_engine.Time.span
+(** Library cost of handing each {e additional} frame of a receive
+    burst to the stack under rx_coalesce: dispatch bookkeeping without
+    a fresh thread switch.  The first frame of a burst pays the full
+    {!userlib_rx_per_segment} price. *)
+
+val gro_poll_interval : Uln_engine.Time.span
+(** Sleep between ring re-checks while an rx_coalesce poll episode
+    holds its burst bracket open (the library-level analogue of
+    [gro_flush_timeout]): frames found by a re-check continue the open
+    merge run at {!userlib_rx_gro_frame} instead of paying a fresh
+    wakeup->drain entry. *)
+
+val gro_quiescent_polls : int
+(** Consecutive empty re-checks after which a poll episode closes its
+    bracket (flushing the merge run) and re-arms the semaphore. *)
+
+val gro_episode_budget : Uln_engine.Time.span
+(** Upper bound on one poll episode's lifetime under sustained load:
+    the bracket is closed and reopened so a flood cannot defer
+    delivery (or the flush's ACK) indefinitely. *)

@@ -76,6 +76,10 @@ type t = {
   mutable next_lease : int;
   mutable leased_activations : int;
   demux_cost : Stats.Dist.t;
+  (* receive-burst accounting (library wakeup coalescing) *)
+  mutable rx_wakeups : int;
+  mutable rx_frames : int;
+  rx_burst_hist : (int, int) Hashtbl.t; (* burst size -> occurrences *)
 }
 
 let nic t = t.nic
@@ -133,7 +137,7 @@ let deliver t ch frame =
   end
   else t.overflows <- t.overflows + 1
 
-let create machine nic ~mode ?(flow_cache = false) ?(hier = false) () =
+let create machine nic ~mode ?(flow_cache = false) ?(hier = false) ?(napi = false) () =
   let t =
     { machine;
       nic;
@@ -149,8 +153,17 @@ let create machine nic ~mode ?(flow_cache = false) ?(hier = false) () =
       migrations = 0;
       next_lease = 0;
       leased_activations = 0;
-      demux_cost = Stats.Dist.create (machine.Machine.name ^ ".demux_us") }
+      demux_cost = Stats.Dist.create (machine.Machine.name ^ ".demux_us");
+      rx_wakeups = 0;
+      rx_frames = 0;
+      rx_burst_hist = Hashtbl.create 8 }
   in
+  (* Adaptive interrupt suppression: hand the NIC a NAPI configuration
+     so sustained load is polled with a budget instead of interrupting
+     per frame, with early drop at the bounded software ring. *)
+  if napi then
+    nic.Nic.set_napi
+      (Some { Uln_net.Napi.budget = Calibration.napi_budget; ring = Calibration.napi_ring_slots });
   let costs = machine.Machine.costs in
   let deliver ch frame = deliver t ch frame in
   let rx (info : Nic.rx_info) =
@@ -621,6 +634,23 @@ let set_channel_affinity t ch cpu =
   end
 
 let migrations t = t.migrations
+
+(* One library receive wakeup drained [n] frames from channel rings. *)
+let note_rx_burst t n =
+  if n > 0 then begin
+    t.rx_wakeups <- t.rx_wakeups + 1;
+    t.rx_frames <- t.rx_frames + n;
+    Hashtbl.replace t.rx_burst_hist n
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.rx_burst_hist n))
+  end
+
+let rx_wakeups t = t.rx_wakeups
+let rx_frames t = t.rx_frames
+
+let rx_burst_histogram t =
+  List.sort compare (Hashtbl.fold (fun size n acc -> (size, n) :: acc) t.rx_burst_hist [])
+
+let napi_stats t = t.nic.Nic.napi_stats ()
 
 let ring_overflows t = t.overflows
 let hw_demuxed t = t.hw_demuxed

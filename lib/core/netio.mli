@@ -28,12 +28,16 @@ val create :
   mode:Uln_filter.Demux.mode ->
   ?flow_cache:bool ->
   ?hier:bool ->
+  ?napi:bool ->
   unit ->
   t
 (** [flow_cache] (default [false]) enables the exact-match flow cache in
     front of the software filter table; [hier] (default [false]) routes
     cache misses through the hierarchical index instead of the linear
-    scan (see {!Uln_filter.Demux}). *)
+    scan (see {!Uln_filter.Demux}).  [napi] (default [false]) installs
+    NAPI-style interrupt suppression on the NIC
+    ({!Uln_net.Nic.t.set_napi}, budget and ring from {!Calibration}) —
+    the {!Uln_proto.Tcp_params.int_suppress} ablation. *)
 
 val nic : t -> Uln_net.Nic.t
 val machine : t -> Uln_host.Machine.t
@@ -273,6 +277,25 @@ val unmatched_drops : t -> int
 
 val ring_overflows : t -> int
 (** Packets lost to full channel rings (slow consumer). *)
+
+val note_rx_burst : t -> int -> unit
+(** Record that one library receive wakeup drained that many frames
+    from channel rings (called by the protocol library; zero is
+    ignored). *)
+
+val rx_wakeups : t -> int
+(** Receive wakeups that found at least one frame. *)
+
+val rx_frames : t -> int
+(** Frames drained across all recorded receive bursts. *)
+
+val rx_burst_histogram : t -> (int * int) list
+(** [(burst size, occurrences)] pairs, ascending — how many frames each
+    receive wakeup handled. *)
+
+val napi_stats : t -> Uln_net.Napi.stats
+(** The NIC's interrupt-suppression counters (all zero when NAPI was
+    never installed). *)
 
 val demux_cost_dist : t -> Uln_engine.Stats.Dist.t
 (** Per-packet demultiplexing cost (us) actually charged — the Table 5

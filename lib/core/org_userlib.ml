@@ -13,7 +13,10 @@ let create machine nic ~ip ~mode ?flow_cache ?quota ?tcp_params () =
   let hier =
     match tcp_params with Some p -> p.Uln_proto.Tcp_params.hier_demux | None -> false
   in
-  let netio = Netio.create machine nic ~mode ?flow_cache ~hier () in
+  let napi =
+    match tcp_params with Some p -> p.Uln_proto.Tcp_params.int_suppress | None -> false
+  in
+  let netio = Netio.create machine nic ~mode ?flow_cache ~hier ~napi () in
   let registry = Registry.create machine netio ~ip ?tcp_params ?quota () in
   { machine; netio; registry; ip; tcp_params }
 

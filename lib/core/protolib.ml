@@ -38,6 +38,20 @@ type lease_home = {
   mutable lh_free_channels : Netio.channel list;
 }
 
+(* One connection's registration with the library's coalesced receive
+   service (rx_coalesce): a poll episode sweeps {e every} channel of
+   the library, so a fan-in of single-frame-per-connection arrivals —
+   the incast/RPC pattern — pays one notification chain per burst, not
+   one per connection.  Per-connection receive threads cannot buy that
+   amortization: each response lands in its own ring and would wake
+   its own thread. *)
+type rx_entry = {
+  re_channel : Netio.channel;
+  re_stack : Stack.t;
+  re_zc : bool;
+  re_released : unit -> bool;
+}
+
 type bufstats = {
   bs_pool_capacity : int;
   bs_pool_available : int;
@@ -75,6 +89,13 @@ type t = {
      batch so the crossing amortizes at churn rate. *)
   mutable tw_residues : (Ip.t * int * int) list;
   mutable tw_flush_armed : bool;
+  (* Coalesced-receive service state (rx_coalesce): the channels the
+     episode drainer sweeps, and whether an episode is running.  At
+     most one fiber drains at a time; signals landing while it runs
+     are absorbed by the open episode (the software analogue of
+     keeping interrupts masked during a NAPI poll). *)
+  mutable rx_entries : rx_entry list;
+  mutable rx_draining : bool;
 }
 
 let domain t = t.dom
@@ -169,21 +190,127 @@ let make_txpool t ~zero_copy =
    drains the shared ring, upcalls into the engine. *)
 let spawn_rx t ~zero_copy ~channel ~stack ~is_released =
   let c = costs t in
+  let coalesce =
+    match t.tcp_params with
+    | Some p -> p.Uln_proto.Tcp_params.rx_coalesce
+    | None -> false
+  in
+  if coalesce then
+    t.rx_entries <-
+      { re_channel = channel; re_stack = stack; re_zc = zero_copy; re_released = is_released }
+      :: t.rx_entries;
+  let entry_pending e =
+    (not (e.re_released ()))
+    && (try Netio.rx_pending e.re_channel ~from_domain:t.dom
+        with Uln_host.Capability.Violation _ -> false)
+  in
+  (* Coalesced receive (rx_coalesce): one library-wide poll {e episode}
+     per notification chain.  The drainer sweeps every channel of the
+     library — the first frame of the episode pays the full per-segment
+     library price (it bought the thread switch); every further frame,
+     from {e any} connection and including ones a later re-check
+     discovers, is dispatch bookkeeping only, with the stack-side GRO
+     merge doing the rest.  Each stack's burst bracket opens at its
+     first frame and stays open for the whole episode, so merging spans
+     re-check gaps.  Between re-checks the drainer sleeps (the CPU is
+     free); after [gro_quiescent_polls] empty sweeps (or the episode
+     budget) every bracket closes, the merge runs flush, and the
+     drainer re-arms on its semaphore. *)
+  let lib_episode () =
+    let sched = t.machine.Machine.sched in
+    let rec run () =
+      t.rx_entries <- List.filter (fun e -> not (e.re_released ())) t.rx_entries;
+      let entries = t.rx_entries in
+      let total = ref 0 in
+      let opened = ref [] in
+      let pop_entry e =
+        let rec go () =
+          match Netio.rx_pop e.re_channel ~from_domain:t.dom with
+          | None -> ()
+          | Some frame ->
+              if not (List.memq e !opened) then begin
+                opened := e :: !opened;
+                Stack.begin_rx_burst e.re_stack
+              end;
+              charge t
+                (if !total = 0 then
+                   Time.span_add c.Costs.user_thread_switch
+                     (if e.re_zc then Calibration.userlib_rx_per_segment_zc
+                      else Calibration.userlib_rx_per_segment)
+                 else Calibration.userlib_rx_gro_frame);
+              incr total;
+              Stack.input e.re_stack frame;
+              Netio.recycle t.netio e.re_channel;
+              go ()
+        in
+        (* A charge yields the CPU, and a close can finish (revoking the
+           channel) during that window: treat the revoked channel as
+           drained rather than tearing the whole episode down. *)
+        if not (e.re_released ()) then
+          try go () with Uln_host.Capability.Violation _ -> ()
+      in
+      let sweep () = List.iter pop_entry entries in
+      let start = Sched.now sched in
+      Fun.protect
+        ~finally:(fun () -> List.iter (fun e -> Stack.end_rx_burst e.re_stack) !opened)
+        (fun () ->
+          sweep ();
+          let rec settle misses =
+            if
+              misses < Calibration.gro_quiescent_polls
+              && Time.to_us_f (Time.diff (Sched.now sched) start)
+                 < Time.to_us_f Calibration.gro_episode_budget
+            then begin
+              Sched.sleep sched Calibration.gro_poll_interval;
+              charge t Calibration.rx_poll_tick;
+              let before = !total in
+              sweep ();
+              if !total > before then settle 0 else settle (misses + 1)
+            end
+          in
+          settle 0);
+      if !total > 0 then Netio.note_rx_burst t.netio !total;
+      (* Budget ran out mid-flood: frames already in the rings rode
+         signals this episode consumed, so open the next episode right
+         away instead of stranding them behind the semaphores. *)
+      if List.exists entry_pending t.rx_entries then run ()
+    in
+    run ()
+  in
   let rec rx_loop () =
     Semaphore.wait (Netio.rx_sem channel);
     if not (is_released ()) then begin
-      (* Frames consumed by the post-drain poll below leave their
-         empty->non-empty signal behind; under zero copy, swallow such a
-         stale wakeup without charging the notification chain for an
-         empty ring.  (The copying path never polls, so its signals
-         always find work; its accounting is untouched.) *)
+      (* Frames consumed by the post-drain poll below (or by another
+         connection's sweep, or a still-running episode) leave their
+         empty->non-empty signal behind; swallow such a stale wakeup
+         without charging the notification chain for work already done.
+         (The plain copying path never polls, so its signals always
+         find work; its accounting is untouched.) *)
+      let own_pending () =
+        try Netio.rx_pending channel ~from_domain:t.dom
+        with Uln_host.Capability.Violation _ -> false
+      in
       let stale =
-        zero_copy
-        && not
-             (try Netio.rx_pending channel ~from_domain:t.dom
-              with Uln_host.Capability.Violation _ -> false)
+        if coalesce then t.rx_draining || not (own_pending ())
+        else zero_copy && not (own_pending ())
       in
       if stale then rx_loop ()
+      else if coalesce then begin
+        (* Become the library's drainer.  Claim the episode before the
+           wakeup latency elapses: a sibling's signal arriving during
+           the dispatch window is then absorbed by this episode instead
+           of buying a second notification chain. *)
+        t.rx_draining <- true;
+        Fun.protect
+          ~finally:(fun () -> t.rx_draining <- false)
+          (fun () ->
+            Sched.sleep t.machine.Machine.sched c.Costs.wakeup_latency;
+            charge t
+              (Time.span_add c.Costs.semaphore_wakeup
+                 (Time.span_add c.Costs.context_switch Calibration.userlib_batch_overhead));
+            lib_episode ());
+        rx_loop ()
+      end
       else begin
         (* Process wakeup after the kernel's semaphore signal; paid per
            notification, so batching amortizes it. *)
@@ -199,12 +326,12 @@ let spawn_rx t ~zero_copy ~channel ~stack ~is_released =
           Stack.input stack frame;
           Netio.recycle t.netio channel
         in
-        let rec drain () =
+        let rec drain n =
           match Netio.rx_pop channel ~from_domain:t.dom with
-          | None -> ()
+          | None -> n
           | Some frame ->
               handle frame;
-              drain ()
+              drain (n + 1)
         in
         (* Receive-side analogue of doorbell coalescing: once the ring
            runs dry, spin on it (it is mapped — no kernel crossing) for a
@@ -222,12 +349,12 @@ let spawn_rx t ~zero_copy ~channel ~stack ~is_released =
             | None -> poll (Time.span_add spent Calibration.rx_poll_tick)
             | Some frame ->
                 handle frame;
-                drain ();
+                Netio.note_rx_burst t.netio (1 + drain 0);
                 poll (Time.ns 0)
           end
         in
         (try
-           drain ();
+           Netio.note_rx_burst t.netio (drain 0);
            if zero_copy then poll (Time.ns 0)
          with Uln_host.Capability.Violation _ -> ());
         rx_loop ()
@@ -485,7 +612,9 @@ let create machine netio registry ~name ~ip ?tcp_params ?(cpu = 0) () =
     leased_connects = 0;
     lease_fallbacks = 0;
     tw_residues = [];
-    tw_flush_armed = false }
+    tw_flush_armed = false;
+    rx_entries = [];
+    rx_draining = false }
 
 let connect_via_registry ?params t ~src_port ~dst ~dst_port =
   match
@@ -830,6 +959,44 @@ let bufstats t =
         bs_tx_sync_fallbacks = Netio.tx_sync_fallbacks lc.channel;
         bs_tx_batch_hist = Netio.tx_batch_histogram lc.channel })
     t.conns
+
+type rxstats = {
+  rs_wakeups : int;
+  rs_frames : int;
+  rs_burst_hist : (int * int) list;
+  rs_gro_merged : int;
+  rs_gro_flushes : int;
+  rs_acks_elided : int;
+  rs_interrupts : int;
+  rs_polls : int;
+  rs_polled_frames : int;
+  rs_ring_drops : int;
+  rs_ring_overflows : int;
+}
+
+let rxstats t =
+  (* GRO and ACK-elision counters live on each connection's private
+     engine; sum them over the connections still open.  The wakeup and
+     NAPI counters are module-wide and survive connection close. *)
+  let gm, gf, ae =
+    List.fold_left
+      (fun (gm, gf, ae) lc ->
+        let tcp = lc.stack.Stack.tcp in
+        (gm + Tcp.gro_merged tcp, gf + Tcp.gro_flushes tcp, ae + Tcp.acks_elided tcp))
+      (0, 0, 0) t.conns
+  in
+  let napi = Netio.napi_stats t.netio in
+  { rs_wakeups = Netio.rx_wakeups t.netio;
+    rs_frames = Netio.rx_frames t.netio;
+    rs_burst_hist = Netio.rx_burst_histogram t.netio;
+    rs_gro_merged = gm;
+    rs_gro_flushes = gf;
+    rs_acks_elided = ae;
+    rs_interrupts = napi.Uln_net.Napi.interrupts;
+    rs_polls = napi.Uln_net.Napi.polls;
+    rs_polled_frames = napi.Uln_net.Napi.polled_frames;
+    rs_ring_drops = napi.Uln_net.Napi.ring_drops;
+    rs_ring_overflows = Netio.ring_overflows t.netio }
 
 type leasestats = {
   lst_leased_connects : int;

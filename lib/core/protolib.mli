@@ -94,6 +94,29 @@ type bufstats = {
 val bufstats : t -> bufstats list
 (** One entry per live connection of this library. *)
 
+(** Receive-path coalescing statistics: how frames arrived (bursts per
+    wakeup), what the stack merged (GRO runs, elided ACKs) and how the
+    NIC was driven (interrupts vs NAPI polls, early drops).  The NAPI
+    counters are zero unless [int_suppress] installed suppression; the
+    burst histogram is recorded on every organization. *)
+type rxstats = {
+  rs_wakeups : int;  (** receive wakeups that found at least one frame *)
+  rs_frames : int;  (** frames drained across those wakeups *)
+  rs_burst_hist : (int * int) list;  (** (burst size, occurrences), ascending *)
+  rs_gro_merged : int;  (** segments absorbed into merges beyond each run's first *)
+  rs_gro_flushes : int;  (** merged runs handed to the TCP input machine *)
+  rs_acks_elided : int;  (** ACKs suppressed by burst-aware delayed ACK *)
+  rs_interrupts : int;  (** interrupts taken (NAPI: one per polling episode) *)
+  rs_polls : int;  (** NAPI poll slices run *)
+  rs_polled_frames : int;  (** frames delivered by the poll loop *)
+  rs_ring_drops : int;  (** early drops at the bounded NAPI ring *)
+  rs_ring_overflows : int;  (** frames lost to full channel rings *)
+}
+
+val rxstats : t -> rxstats
+(** GRO/ACK counters are summed over connections currently open;
+    wakeup and NAPI counters are module-wide and survive close. *)
+
 (** Endpoint-lease statistics of this library (all zero when the
     [endpoint_lease] switch is off). *)
 type leasestats = {

@@ -38,6 +38,9 @@ type t = {
   timer_op : Time.span;
   cpu_migrate_ns : int;
   an1_driver_setup : Time.span;
+  gro_append : Time.span;
+  napi_poll_frame : Time.span;
+  napi_poll_sched : Time.span;
 }
 
 (* Calibrated against the paper's Tables 1-5 for a 25 MHz R3000.  See
@@ -85,7 +88,16 @@ let r3000 =
        what puts Ultrix/AN1 setup above Ultrix/Ethernet in Table 4
        (2.9 ms vs 2.6 ms in the paper) even though AN1's data path is
        faster. *)
-    an1_driver_setup = Time.us 500 }
+    an1_driver_setup = Time.us 500;
+    (* The small-message coalescing fast path.  Absorbing one more
+       in-order segment into a GRO merge touches only the TCP header
+       and the merge bookkeeping — far under the full tcp_input state
+       machine.  A polled rx frame pays descriptor+bookkeeping work
+       instead of the 35 us interrupt, and a budget-exhausted poll
+       slice pays one softirq-style reschedule. *)
+    gro_append = Time.us 15;
+    napi_poll_frame = Time.us 6;
+    napi_poll_sched = Time.us 12 }
 
 let zero =
   { cycle_ns = 0;
@@ -124,7 +136,10 @@ let zero =
     arp_lookup = 0;
     timer_op = 0;
     cpu_migrate_ns = 0;
-    an1_driver_setup = 0 }
+    an1_driver_setup = 0;
+    gro_append = 0;
+    napi_poll_frame = 0;
+    napi_poll_sched = 0 }
 
 let pp ppf c =
   Format.fprintf ppf

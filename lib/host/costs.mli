@@ -103,6 +103,21 @@ type t = {
           Ultrix/AN1 setup (2.9 ms) exceeds Ultrix/Ethernet (2.6 ms)
           despite the faster network.  The user-library organization
           charges its own {!Uln_core.Calibration.bqi_setup} instead. *)
+  (* --- small-message coalescing fast path --- *)
+  gro_append : Uln_engine.Time.span;
+      (** absorbing one more in-order segment into a GRO merge (header
+          inspection and merge bookkeeping) in place of a full
+          [tcp_input] pass — the {!Uln_proto.Tcp_params.t.rx_coalesce}
+          per-segment cost *)
+  napi_poll_frame : Uln_engine.Time.span;
+      (** per-frame receive cost in the NAPI polled mode (descriptor
+          read and driver bookkeeping, no interrupt entry/exit) — the
+          {!Uln_proto.Tcp_params.t.int_suppress} replacement for
+          [interrupt] *)
+  napi_poll_sched : Uln_engine.Time.span;
+      (** rescheduling a poll slice whose frame budget ran out (the
+          softirq-style yield that lets protocol threads run between
+          slices under sustained load) *)
 }
 
 val r3000 : t

@@ -48,6 +48,7 @@ let reserve t span =
   Stats.Counter.add t.busy span;
   finish
 
+
 let use t span =
   if span > 0 then begin
     let finish = reserve t span in

@@ -22,6 +22,11 @@ let create (m : Machine.t) link ~mac ?(tx_buffers = 8) ?(mtu = 1500) ?(table_siz
     | Some f -> ( match f info with Some c -> c | None -> m.Machine.cpu)
   in
   let drops = ref 0 in
+  let napi = Napi.create () in
+  let dma_cost (info : Nic.rx_info) =
+    let bytes = Frame.payload_length info.Nic.frame in
+    Time.ns (bytes * costs.Costs.dma_rx_per_byte_ns)
+  in
   let tx_slots = Semaphore.create ~initial:tx_buffers () in
   (* Slot 0 is the kernel default and is never allocatable. *)
   let table = Array.make table_size Free in
@@ -30,18 +35,21 @@ let create (m : Machine.t) link ~mac ?(tx_buffers = 8) ?(mtu = 1500) ?(table_siz
     match !handler with
     | None -> incr drops
     | Some h ->
-        (* Interrupt plus the memory-system cost of the DMA'd bytes. *)
-        let bytes = Frame.payload_length info.Nic.frame in
-        let work =
-          Time.span_add costs.Costs.interrupt
-            (Time.ns (bytes * costs.Costs.dma_rx_per_byte_ns))
-        in
-        Cpu.use_async (rx_cpu info) work (fun () -> h info)
+        if Napi.active napi then
+          Napi.push napi ~cpu_of:rx_cpu ~costs ~frame_cost:dma_cost ~handle:h info
+        else
+          (* Interrupt plus the memory-system cost of the DMA'd bytes. *)
+          let work = Time.span_add costs.Costs.interrupt (dma_cost info) in
+          Cpu.use_async (rx_cpu info) work (fun () -> h info)
   in
   let receive frame =
     let for_us = Mac.equal frame.Frame.dst mac || Mac.is_broadcast frame.Frame.dst in
     if for_us then
       Sched.after m.Machine.sched dma_latency (fun () ->
+          (* Early drop before any BQI ring buffer is committed: a full
+             NAPI software ring sheds load at the device. *)
+          if Napi.active napi && Napi.full napi then Napi.note_drop napi
+          else
           let bqi = frame.Frame.bqi in
           let valid =
             bqi > 0 && bqi < table_size
@@ -119,4 +127,6 @@ let create (m : Machine.t) link ~mac ?(tx_buffers = 8) ?(mtu = 1500) ?(table_siz
     install_rx_steer = (fun f -> steer := Some f);
     set_tx_cpu = (fun c -> tx_cpu_hint := c);
     bqi = Some { Nic.alloc_ring; release_ring; provide_buffer; ring_depth };
-    rx_drops = (fun () -> !drops) }
+    rx_drops = (fun () -> !drops);
+    set_napi = Napi.set napi;
+    napi_stats = (fun () -> Napi.stats napi) }

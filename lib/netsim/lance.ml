@@ -17,6 +17,11 @@ let create (m : Machine.t) link ~mac ?(tx_buffers = 2) () =
     | Some f -> ( match f info with Some c -> c | None -> m.Machine.cpu)
   in
   let drops = ref 0 in
+  let napi = Napi.create () in
+  let pio_cost (info : Nic.rx_info) =
+    let bytes = Frame.header_size + Frame.payload_length info.Nic.frame in
+    Time.ns (bytes * costs.Costs.pio_per_byte_ns)
+  in
   let tx_slots = Semaphore.create ~initial:tx_buffers () in
   let station =
     Link.attach link (fun frame ->
@@ -27,15 +32,22 @@ let create (m : Machine.t) link ~mac ?(tx_buffers = 2) () =
           match !handler with
           | None -> incr drops
           | Some h ->
-              (* Interrupt entry plus the programmed-I/O copy of the whole
-                 packet from board memory to host memory. *)
-              let bytes = Frame.header_size + Frame.payload_length frame in
-              let work =
-                Time.span_add costs.Costs.interrupt
-                  (Time.ns (bytes * costs.Costs.pio_per_byte_ns))
-              in
               let info = { Nic.frame; bqi = 0; buffer = None } in
-              Cpu.use_async (rx_cpu info) work (fun () -> h info)
+              if Napi.active napi then begin
+                (* Interrupt suppression: admit to the bounded software
+                   ring (early drop when full) and let the poll loop
+                   charge the PIO copy per frame. *)
+                if Napi.full napi then Napi.note_drop napi
+                else
+                  Napi.push napi ~cpu_of:rx_cpu ~costs ~frame_cost:pio_cost
+                    ~handle:h info
+              end
+              else begin
+                (* Interrupt entry plus the programmed-I/O copy of the
+                   whole packet from board memory to host memory. *)
+                let work = Time.span_add costs.Costs.interrupt (pio_cost info) in
+                Cpu.use_async (rx_cpu info) work (fun () -> h info)
+              end
         end)
   in
   let send frame =
@@ -62,4 +74,6 @@ let create (m : Machine.t) link ~mac ?(tx_buffers = 2) () =
     install_rx_steer = (fun f -> steer := Some f);
     set_tx_cpu = (fun c -> tx_cpu_hint := c);
     bqi = None;
-    rx_drops = (fun () -> !drops) }
+    rx_drops = (fun () -> !drops);
+    set_napi = Napi.set napi;
+    napi_stats = (fun () -> Napi.stats napi) }

@@ -1,0 +1,95 @@
+module Time = Uln_engine.Time
+module Cpu = Uln_host.Cpu
+module Costs = Uln_host.Costs
+
+type conf = { budget : int; ring : int }
+
+type stats = {
+  interrupts : int;
+  polls : int;
+  polled_frames : int;
+  ring_drops : int;
+}
+
+type 'a t = {
+  mutable conf : conf option;
+  q : 'a Queue.t;
+  mutable polling : bool;
+  mutable interrupts : int;
+  mutable polls : int;
+  mutable polled_frames : int;
+  mutable ring_drops : int;
+}
+
+let create () =
+  { conf = None;
+    q = Queue.create ();
+    polling = false;
+    interrupts = 0;
+    polls = 0;
+    polled_frames = 0;
+    ring_drops = 0 }
+
+let set t conf = t.conf <- conf
+let active t = t.conf <> None
+
+let full t =
+  match t.conf with None -> false | Some c -> Queue.length t.q >= c.ring
+
+let note_drop t = t.ring_drops <- t.ring_drops + 1
+
+let stats t =
+  { interrupts = t.interrupts;
+    polls = t.polls;
+    polled_frames = t.polled_frames;
+    ring_drops = t.ring_drops }
+
+(* One poll slice: drain up to [budget] frames, each charged
+   [napi_poll_frame] plus its device byte cost on its steered CPU.  An
+   exhausted budget reschedules a fresh slice behind whatever CPU work
+   is already queued (so protocol threads keep making progress under
+   sustained load); an empty ring re-arms the rx interrupt. *)
+let rec slice t ~cpu_of ~costs ~frame_cost ~handle =
+  t.polls <- t.polls + 1;
+  match t.conf with
+  | None ->
+      t.polling <- false;
+      drain_unconf t ~cpu_of ~frame_cost ~handle
+  | Some conf -> step t ~cpu_of ~costs ~frame_cost ~handle conf.budget
+
+and step t ~cpu_of ~costs ~frame_cost ~handle budget =
+  if Queue.is_empty t.q then t.polling <- false (* quiescent: re-arm *)
+  else if budget <= 0 then
+    let item = Queue.peek t.q in
+    Cpu.use_async (cpu_of item) costs.Costs.napi_poll_sched (fun () ->
+        slice t ~cpu_of ~costs ~frame_cost ~handle)
+  else begin
+    let item = Queue.pop t.q in
+    t.polled_frames <- t.polled_frames + 1;
+    Cpu.use_async (cpu_of item)
+      (Time.span_add costs.Costs.napi_poll_frame (frame_cost item))
+      (fun () ->
+        handle item;
+        step t ~cpu_of ~costs ~frame_cost ~handle (budget - 1))
+  end
+
+(* NAPI switched off mid-poll: deliver the backlog without further
+   bookkeeping (frames were already admitted to the ring). *)
+and drain_unconf t ~cpu_of ~frame_cost ~handle =
+  match Queue.take_opt t.q with
+  | None -> ()
+  | Some item ->
+      Cpu.use_async (cpu_of item) (frame_cost item) (fun () ->
+          handle item;
+          drain_unconf t ~cpu_of ~frame_cost ~handle)
+
+let push t ~cpu_of ~costs ~frame_cost ~handle item =
+  Queue.push item t.q;
+  if not t.polling then begin
+    t.polling <- true;
+    t.interrupts <- t.interrupts + 1;
+    (* The one interrupt that opens a polling episode; rx interrupts
+       stay disabled until the ring runs dry. *)
+    Cpu.use_async (cpu_of item) costs.Costs.interrupt (fun () ->
+        slice t ~cpu_of ~costs ~frame_cost ~handle)
+  end

@@ -1,0 +1,64 @@
+(** NAPI-style adaptive interrupt suppression for the NIC models.
+
+    Per-frame interrupts price every packet at
+    {!Uln_host.Costs.t.interrupt} before any protocol work happens, so
+    an overloaded receiver spends its whole CPU in interrupt context —
+    the classic receive livelock.  This helper gives both NIC models
+    the standard remedy: the first frame after quiescence raises one
+    interrupt, which disables further rx interrupts and starts a
+    budgeted poll loop; polled frames cost
+    {!Uln_host.Costs.t.napi_poll_frame} each, an exhausted budget
+    yields the CPU ({!Uln_host.Costs.t.napi_poll_sched}) before the
+    next slice, and an empty ring re-arms the interrupt.  The software
+    ring is bounded: frames arriving beyond [ring] are dropped at the
+    device for free — early drop, so overload degrades instead of
+    livelocking.
+
+    Enabled through {!Uln_net.Nic.t.set_napi} by the network I/O module
+    when {!Uln_proto.Tcp_params.t.int_suppress} is on; with no
+    configuration installed the NIC's per-frame interrupt path runs
+    unchanged. *)
+
+type conf = { budget : int;  (** frames per poll slice *)
+              ring : int  (** software ring capacity; beyond it, early drop *) }
+
+type stats = {
+  interrupts : int;  (** interrupts taken (one per polling episode) *)
+  polls : int;  (** poll slices run *)
+  polled_frames : int;  (** frames delivered by the poll loop *)
+  ring_drops : int;  (** frames dropped at the full software ring *)
+}
+
+type 'a t
+
+val create : unit -> 'a t
+
+val set : 'a t -> conf option -> unit
+(** Install or remove the configuration.  [None] (the initial state)
+    bypasses this module entirely. *)
+
+val active : 'a t -> bool
+
+val full : 'a t -> bool
+(** Whether the software ring is at capacity (callers early-drop
+    {e before} committing device resources to the frame). *)
+
+val note_drop : 'a t -> unit
+(** Record one early drop at the full ring. *)
+
+val push :
+  'a t ->
+  cpu_of:('a -> Uln_host.Cpu.t) ->
+  costs:Uln_host.Costs.t ->
+  frame_cost:('a -> Uln_engine.Time.span) ->
+  handle:('a -> unit) ->
+  'a ->
+  unit
+(** Admit a frame: queue it and, if interrupts are armed, take the one
+    interrupt that opens a polling episode.  [frame_cost] is the
+    device's per-frame byte-moving cost (PIO or DMA touch), charged on
+    [cpu_of] along with the poll overhead; [handle] runs in event
+    context after the charge, exactly like the interrupt path's
+    upcall. *)
+
+val stats : 'a t -> stats

@@ -17,4 +17,6 @@ type t = {
   set_tx_cpu : Uln_host.Cpu.t option -> unit;
   bqi : bqi_ops option;
   rx_drops : unit -> int;
+  set_napi : Napi.conf option -> unit;
+  napi_stats : unit -> Napi.stats;
 }

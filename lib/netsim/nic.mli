@@ -59,4 +59,12 @@ type t = {
   rx_drops : unit -> int;
       (** frames dropped for want of a handler, ring buffer or board
           buffer *)
+  set_napi : Napi.conf option -> unit;
+      (** install (or remove) NAPI-style interrupt suppression: one
+          interrupt opens a budgeted polling episode, the rx ring is
+          bounded with early drop, quiescence re-arms the interrupt
+          ({!Napi}).  [None] — the initial state — is the per-frame
+          interrupt path, unchanged. *)
+  napi_stats : unit -> Napi.stats;
+      (** interrupts vs poll slices, polled frames, early ring drops *)
 }

@@ -67,3 +67,6 @@ let input t frame =
 let unknown_frames t = t.unknown
 let add_static_arp t ip mac = Arp.add_static t.arp ip mac
 let unresolved_drops t = t.unresolved
+
+let begin_rx_burst t = Tcp.begin_burst t.tcp
+let end_rx_burst t = Tcp.end_burst t.tcp

@@ -49,3 +49,12 @@ val add_static_arp : t -> Uln_addr.Ip.t -> Uln_addr.Mac.t -> unit
 
 val unresolved_drops : t -> int
 (** Outbound packets dropped because ARP resolution failed. *)
+
+val begin_rx_burst : t -> unit
+(** Bracket a batch of {!input} calls that arrived in one receive
+    wakeup: TCP may then merge contiguous in-order segments and run its
+    input machine once per merged run ({!Tcp.begin_burst}).  A no-op
+    unless {!Tcp_params.rx_coalesce} is on. *)
+
+val end_rx_burst : t -> unit
+(** Close the bracket and flush any pending merge. *)

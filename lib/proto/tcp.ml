@@ -148,6 +148,25 @@ type conn = {
 
 and listener = { lport : int; backlog : (conn * [ `Established ] Tcp_fsm.state) Mailbox.t }
 
+(* An in-progress receive merge (rx_coalesce): contiguous in-order
+   segments from one connection, accumulated during an rx burst and
+   processed as a single large segment at flush.  Payload bytes are
+   copied out of each frame at absorb time — the frames themselves are
+   recycled by the library as soon as its input call returns. *)
+and gro_pending = {
+  g_conn : conn;
+  g_first : Tcp_wire.segment; (* metadata template: ports, starting seq *)
+  mutable g_chunks : View.t list; (* absorbed payload copies, newest first *)
+  mutable g_len : int;
+  mutable g_count : int; (* original segments represented *)
+  g_limit : int; (* merge cap fixed when the run starts *)
+  g_room : int; (* receive window at run start; never merge past it *)
+  mutable g_ack : Tcp_seq.t; (* newest (monotone) ack seen *)
+  mutable g_wnd : int; (* wire window of the newest segment *)
+  mutable g_ts : (int * int) option; (* newest timestamp pair *)
+  mutable g_psh : bool;
+}
+
 and t = {
   env : Proto_env.t;
   ip : Ipv4.t;
@@ -165,6 +184,19 @@ and t = {
   mutable predicted_acks : int;
   mutable predicted_data : int;
   mutable unknown_options : int;
+  (* receive coalescing (rx_coalesce) *)
+  mutable in_burst : int;
+      (* begin_burst/end_burst nesting depth: receive threads of
+         different connections share one engine, and an episode that
+         sleeps between ring polls overlaps its siblings' brackets *)
+  mutable gro : gro_pending option;
+  mutable gro_segs : int;
+      (* original segments represented by the segment currently inside
+         process_segment: 1 on the per-packet path, the merge count
+         while a flush is being processed — schedule_ack's multiplier *)
+  mutable gro_merged : int; (* segments absorbed beyond the first of a run *)
+  mutable gro_flushes : int; (* merged runs handed to process_segment *)
+  mutable acks_elided : int; (* ACKs burst_ack coalescing suppressed *)
 }
 
 let params t = t.prm
@@ -180,6 +212,9 @@ let active_connections t = Hashtbl.length t.pcbs
 let predicted_acks t = t.predicted_acks
 let predicted_data t = t.predicted_data
 let unknown_options t = t.unknown_options
+let gro_merged t = t.gro_merged
+let gro_flushes t = t.gro_flushes
+let acks_elided t = t.acks_elided
 
 let state c = c.state
 let fsm c = c.fsm
@@ -784,8 +819,21 @@ and persist_fired c =
 (* --- delayed ACK ------------------------------------------------------ *)
 
 let schedule_ack c =
-  c.unacked_segs <- c.unacked_segs + 1;
-  if c.unacked_segs >= c.engine.prm.Tcp_params.ack_every then c.ack_now <- true
+  (* A merged run counts as the number of original segments it carries:
+     the ACK cadence is computed over wire arrivals, not library calls.
+     Outside a flush [gro_segs] is 1 and this is the classic path. *)
+  let k = c.engine.gro_segs in
+  c.unacked_segs <- c.unacked_segs + k;
+  if c.unacked_segs >= c.engine.prm.Tcp_params.ack_every then begin
+    (* One ACK answers the whole run; per-packet arrival would have
+       acknowledged every [ack_every]th segment.  The difference is the
+       burst_ack saving (zero when the merge is cadence-capped). *)
+    if k > 1 then
+      c.engine.acks_elided <-
+        c.engine.acks_elided
+        + Stdlib.max 0 ((c.unacked_segs / c.engine.prm.Tcp_params.ack_every) - 1);
+    c.ack_now <- true
+  end
   else if c.delack = None then begin
     charge_timer_op c;
     c.delack <-
@@ -1402,6 +1450,217 @@ let handle_syn_for_listener t l (seg : Tcp_wire.segment) ~src =
   arm_rexmt c;
   send_segment c ~seq:c.iss ~flags:flags_syn_ack ~payload:Mbuf.empty ~with_mss:true
 
+(* --- receive coalescing (rx_coalesce) ---------------------------------- *)
+
+(* Merge eligibility is deliberately conservative: anything that could
+   change ACK generation, SACK/dupack behavior or option processing
+   relative to per-packet arrival flows through the ordinary path.
+   Only plain in-order data — flags within ACK|PSH, no SACK blocks, no
+   unknown options, a PAWS-fresh timestamp — may join a run; the run
+   itself is bounded by the advertised window and a monotone ack
+   field. *)
+let gro_plain c (seg : Tcp_wire.segment) =
+  let f = seg.Tcp_wire.flags in
+  let o = seg.Tcp_wire.opts in
+  c.state = State.Established
+  && f.Tcp_wire.ack
+  && (not f.Tcp_wire.syn)
+  && (not f.Tcp_wire.rst)
+  && (not f.Tcp_wire.fin)
+  && o.Tcp_wire.sack = []
+  && o.Tcp_wire.unknown = []
+  && Mbuf.length seg.Tcp_wire.payload > 0
+  && (match o.Tcp_wire.ts with
+     | Some (tsval, _) -> c.ts_ok && Tcp_seq.diff tsval c.ts_recent >= 0
+     | None -> not c.ts_ok)
+
+let gro_limit c =
+  let prm = c.engine.prm in
+  if prm.Tcp_params.burst_ack then prm.Tcp_params.gro_budget
+  else
+    (* Without burst_ack a merge may not cross an ACK boundary: the cap
+       lets one flush bump the segment count at most to the next
+       [ack_every] multiple, so the emitted ACK stream is identical to
+       per-packet arrival. *)
+    Stdlib.min prm.Tcp_params.gro_budget
+      (Stdlib.max 0 (prm.Tcp_params.ack_every - c.unacked_segs))
+
+let gro_flush t =
+  match t.gro with
+  | None -> ()
+  | Some g ->
+      t.gro <- None;
+      let c = g.g_conn in
+      t.gro_flushes <- t.gro_flushes + 1;
+      (* The run pays the input state machine once; per-frame byte
+         touching and absorb costs were charged on arrival. *)
+      Proto_env.charge t.env t.env.Proto_env.costs.Costs.tcp_input;
+      if c.state <> State.Closed && not c.detached then begin
+        let payload =
+          let v = View.create g.g_len in
+          let pos = ref 0 in
+          List.iter
+            (fun chunk ->
+              View.blit chunk 0 v !pos (View.length chunk);
+              pos := !pos + View.length chunk)
+            (List.rev g.g_chunks);
+          Mbuf.of_view v
+        in
+        let seg =
+          { g.g_first with
+            Tcp_wire.ack = g.g_ack;
+            wnd = g.g_wnd;
+            flags = { Tcp_wire.no_flags with Tcp_wire.ack = true; psh = g.g_psh };
+            opts = { Tcp_wire.no_opts with Tcp_wire.ts = g.g_ts };
+            payload }
+        in
+        t.gro_segs <- g.g_count;
+        (* ACK policy is untouched here: the flushed run flows through
+           the same delayed-ACK accounting as per-packet arrival
+           ([schedule_ack] counts its [gro_segs] wire segments), so
+           FIN and out-of-order segments still force an immediate ACK
+           and a pushed run waits out the cadence exactly as it would
+           have packet by packet.  Delaying a reply's ACK delays
+           nothing the application sees — the data is delivered at
+           flush — it only lets the ACK answer several replies at
+           once, which is the burst_ack saving. *)
+        Fun.protect
+          ~finally:(fun () -> t.gro_segs <- 1)
+          (fun () -> process_segment c seg)
+      end
+
+let gro_absorb t g (seg : Tcp_wire.segment) =
+  let costs = t.env.Proto_env.costs in
+  let seg_bytes = Mbuf.length seg.Tcp_wire.payload in
+  Proto_env.charge t.env costs.Costs.gro_append;
+  let src_v = Mbuf.flatten seg.Tcp_wire.payload in
+  let copy = View.create seg_bytes in
+  View.blit src_v 0 copy 0 seg_bytes;
+  g.g_chunks <- copy :: g.g_chunks;
+  g.g_len <- g.g_len + seg_bytes;
+  g.g_count <- g.g_count + 1;
+  g.g_ack <- seg.Tcp_wire.ack;
+  g.g_wnd <- seg.Tcp_wire.wnd;
+  (match seg.Tcp_wire.opts.Tcp_wire.ts with Some _ as ts -> g.g_ts <- ts | None -> ());
+  if seg.Tcp_wire.flags.Tcp_wire.psh then g.g_psh <- true;
+  t.gro_merged <- t.gro_merged + 1;
+  if g.g_count >= g.g_limit then gro_flush t
+
+let gro_start t c (seg : Tcp_wire.segment) =
+  let costs = t.env.Proto_env.costs in
+  let seg_bytes = Mbuf.length seg.Tcp_wire.payload in
+  Proto_env.charge t.env costs.Costs.gro_append;
+  let src_v = Mbuf.flatten seg.Tcp_wire.payload in
+  let copy = View.create seg_bytes in
+  View.blit src_v 0 copy 0 seg_bytes;
+  t.gro <-
+    Some
+      { g_conn = c;
+        g_first = seg;
+        g_chunks = [ copy ];
+        g_len = seg_bytes;
+        g_count = 1;
+        g_limit = gro_limit c;
+        g_room = rcv_window c;
+        g_ack = seg.Tcp_wire.ack;
+        g_wnd = seg.Tcp_wire.wnd;
+        g_ts = seg.Tcp_wire.opts.Tcp_wire.ts;
+        g_psh = seg.Tcp_wire.flags.Tcp_wire.psh }
+
+let input_gro t ~src ~dst payload =
+  (* The rx_coalesce burst path.  Per-frame byte-touching costs are
+     charged exactly as in [input]; the [tcp_input] state-machine
+     charge is deferred — absorbed frames pay the cheaper [gro_append]
+     and the merged run pays [tcp_input] once at flush. *)
+  let costs = t.env.Proto_env.costs in
+  let len = Mbuf.length payload in
+  if t.prm.Tcp_params.zero_copy then
+    Proto_env.charge_bytes ~kind:Cpu.Checksum t.env
+      ~per_byte_ns:costs.Costs.checksum_per_byte_ns len
+  else if t.prm.Tcp_params.fused_checksum then
+    Proto_env.charge_bytes ~kind:Cpu.Copy_checksum t.env
+      ~per_byte_ns:costs.Costs.copy_checksum_per_byte_ns len
+  else begin
+    Proto_env.charge_bytes ~kind:Cpu.Checksum t.env
+      ~per_byte_ns:costs.Costs.checksum_per_byte_ns len;
+    Proto_env.charge_bytes ~kind:Cpu.Copy t.env ~per_byte_ns:costs.Costs.copy_per_byte_ns
+      (Stdlib.max 0 (len - Tcp_wire.header_size))
+  end;
+  match Tcp_wire.decode ~src_ip:src ~dst_ip:dst payload with
+  | None ->
+      (* Corruption is still detected per frame — a merge never hides a
+         bad checksum; the pending run is unaffected. *)
+      Proto_env.charge t.env costs.Costs.tcp_input;
+      t.checksum_failures <- t.checksum_failures + 1
+  | Some seg -> (
+      t.segments_in <- t.segments_in + 1;
+      let unknown = List.length seg.Tcp_wire.opts.Tcp_wire.unknown in
+      if unknown > 0 then t.unknown_options <- t.unknown_options + unknown;
+      let k =
+        key ~remote_ip:src ~remote_port:seg.Tcp_wire.src_port
+          ~local_port:seg.Tcp_wire.dst_port
+      in
+      match Hashtbl.find_opt t.pcbs k with
+      | Some c -> (
+          if unknown > 0 then c.unknown_opts <- c.unknown_opts + unknown;
+          let seg_bytes = Mbuf.length seg.Tcp_wire.payload in
+          match t.gro with
+          | Some g
+            when g.g_conn == c
+                 && gro_plain c seg
+                 && seg.Tcp_wire.seq = Tcp_seq.add g.g_first.Tcp_wire.seq g.g_len
+                 && g.g_count < g.g_limit
+                 && g.g_len + seg_bytes <= g.g_room
+                 && Tcp_seq.ge seg.Tcp_wire.ack g.g_ack ->
+              gro_absorb t g seg
+          | pending -> (
+              (* Not a continuation: close out any run first (segments
+                 must be processed in arrival order), then either start
+                 a new run or take the ordinary per-packet path. *)
+              (match pending with Some _ -> gro_flush t | None -> ());
+              if c.state = State.Syn_sent then begin
+                Proto_env.charge t.env costs.Costs.tcp_input;
+                process_syn_sent c seg
+              end
+              else if
+                gro_plain c seg
+                && seg.Tcp_wire.seq = c.rcv_nxt
+                && c.ooseg = []
+                && seg_bytes <= rcv_window c
+                && gro_limit c >= 2
+              then gro_start t c seg
+              else begin
+                Proto_env.charge t.env costs.Costs.tcp_input;
+                process_segment c seg
+              end))
+      | None -> (
+          (* Listener / unknown traffic never coalesces; a pending run
+             (necessarily another connection) is undisturbed. *)
+          Proto_env.charge t.env costs.Costs.tcp_input;
+          match Hashtbl.find_opt t.listeners seg.Tcp_wire.dst_port with
+          | Some l
+            when seg.Tcp_wire.flags.Tcp_wire.syn
+                 && (not seg.Tcp_wire.flags.Tcp_wire.ack)
+                 && not seg.Tcp_wire.flags.Tcp_wire.rst ->
+              handle_syn_for_listener t l seg ~src
+          | _ ->
+              let claimed =
+                match t.unknown_hook with
+                | Some hook -> hook ~src ~dst payload
+                | None -> false
+              in
+              if (not claimed) && not seg.Tcp_wire.flags.Tcp_wire.rst then
+                send_rst_for t ~src ~seg))
+
+let begin_burst t = if t.prm.Tcp_params.rx_coalesce then t.in_burst <- t.in_burst + 1
+
+let end_burst t =
+  t.in_burst <- Stdlib.max 0 (t.in_burst - 1);
+  (* The closing episode's run must reach the application before its
+     thread goes back to sleep; a sibling's still-open run flushed here
+     merely restarts (cheaply) on its next frame. *)
+  gro_flush t
+
 let input t ~src ~dst payload =
   let costs = t.env.Proto_env.costs in
   Proto_env.charge t.env costs.Costs.tcp_input;
@@ -1475,9 +1734,18 @@ let create env ip ?(params = Tcp_params.default) () =
       checksum_failures = 0;
       predicted_acks = 0;
       predicted_data = 0;
-      unknown_options = 0 }
+      unknown_options = 0;
+      in_burst = 0;
+      gro = None;
+      gro_segs = 1;
+      gro_merged = 0;
+      gro_flushes = 0;
+      acks_elided = 0 }
   in
-  Ipv4.set_handler ip ~proto:6 (fun ~src ~dst payload -> input t ~src ~dst payload);
+  (* [in_burst] is only ever set when rx_coalesce is on; otherwise every
+     frame takes [input] — the per-packet path, charge order included. *)
+  Ipv4.set_handler ip ~proto:6 (fun ~src ~dst payload ->
+      if t.in_burst > 0 then input_gro t ~src ~dst payload else input t ~src ~dst payload);
   t
 
 let fresh_conn t ~local_port ~remote_ip ~remote_port ~fsm ~iss =

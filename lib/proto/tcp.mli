@@ -258,3 +258,28 @@ val fast_path_counts : conn -> int * int * int
 (** Per-connection [(fast acks, fast data, slow segments)]: how input
     segments split between the header-prediction fast path and the full
     state machine on this connection. *)
+
+(* {2 Receive coalescing (rx_coalesce)} *)
+
+val begin_burst : t -> unit
+(** Open an rx burst: until {!end_burst}, contiguous in-order data
+    segments are merged GRO-style and run through the input state
+    machine once per merged run instead of once per frame.  A no-op
+    unless {!Tcp_params.rx_coalesce} is set — with the switch off every
+    frame takes the per-packet path, charge order included.  Merging is
+    conservative: out-of-order, SACK-bearing, flag-bearing (SYN, FIN,
+    RST), PAWS-stale or window-overflowing segments always flow
+    per-packet, so dupack/SACK recovery behavior is unchanged. *)
+
+val end_burst : t -> unit
+(** Close the burst and flush any pending merge. *)
+
+val gro_merged : t -> int
+(** Segments absorbed into a merge beyond the first of each run. *)
+
+val gro_flushes : t -> int
+(** Merged runs handed to the input state machine. *)
+
+val acks_elided : t -> int
+(** ACKs the burst-aware delayed-ACK suppressed relative to per-packet
+    arrival (nonzero only with {!Tcp_params.burst_ack}). *)

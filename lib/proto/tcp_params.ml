@@ -31,6 +31,10 @@ type t = {
   timestamps : bool;
   sack : bool;
   cong_control : [ `Reno | `Newreno | `Cubic ];
+  rx_coalesce : bool;
+  burst_ack : bool;
+  int_suppress : bool;
+  gro_budget : int;
 }
 
 let default =
@@ -63,7 +67,11 @@ let default =
     window_scale = false;
     timestamps = false;
     sack = false;
-    cong_control = `Reno }
+    cong_control = `Reno;
+    rx_coalesce = false;
+    burst_ack = false;
+    int_suppress = false;
+    gro_budget = 32 }
 
 let fast =
   { default with
@@ -84,6 +92,17 @@ let wan =
     timestamps = true;
     sack = true;
     cong_control = `Cubic }
+
+(* The small-message fast path: rx burst aggregation with GRO-style
+   in-order merge, burst-aware ACKs, and NAPI-style interrupt
+   suppression at the NIC — the three coalescing ablations together.
+   The ACK cadence is stretched to match: with whole merge runs
+   counted at once, one ACK answering eight segments is the receive
+   side's contribution to keeping the fan-in's ACK traffic off both
+   CPUs (each pure ACK costs a transmit on one host and a full demux
+   and input pass on the other). *)
+let coalesced =
+  { fast with rx_coalesce = true; burst_ack = true; int_suppress = true; ack_every = 8 }
 
 (* --- the ablation-switch registry (proto-check switch lint) ----------- *)
 
@@ -135,7 +154,19 @@ let switches =
       sw_bench_row = "wan+wscale+sack" };
     { sw_field = "cong_control";
       sw_oracle = "test/test_wan.ml:prop_cong_control_differential";
-      sw_bench_row = "wan+sack+cubic" } ]
+      sw_bench_row = "wan+sack+cubic" };
+    { sw_field = "ack_every";
+      sw_oracle = "test/test_coalesce.ml:prop_ack_every_differential";
+      sw_bench_row = "rpc/fanout" };
+    { sw_field = "rx_coalesce";
+      sw_oracle = "test/test_coalesce.ml:prop_rx_coalesce_differential";
+      sw_bench_row = "rpc/fanout" };
+    { sw_field = "burst_ack";
+      sw_oracle = "test/test_coalesce.ml:prop_burst_ack_differential";
+      sw_bench_row = "rpc/fanout" };
+    { sw_field = "int_suppress";
+      sw_oracle = "test/test_coalesce.ml:prop_int_suppress_differential";
+      sw_bench_row = "incast/overload" } ]
 
 let policy_fields =
   [ ("nagle", "congestion policy, not an implementation ablation: both settings are \

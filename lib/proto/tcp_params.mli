@@ -149,6 +149,42 @@ type t = {
           the window as a cubic of time since the last loss, keeping
           high-BDP pipes full.  Payload delivery is identical under
           all three (differentially tested); only pacing differs. *)
+  rx_coalesce : bool;
+      (** Receive aggregation: the library drains its channel ring in
+          bursts and performs a GRO-style merge of consecutive in-order
+          segments of one connection before handing them to the engine,
+          so the protocol input path (and its
+          {!Uln_host.Costs.t.tcp_input} charge) runs once per burst
+          instead of once per packet.  Merging is conservative — only
+          ESTABLISHED connections, only plain ACK(+PSH) data landing
+          exactly at [rcv_nxt] with no out-of-order backlog, no SACK
+          blocks, PAWS-fresh timestamps, wholly inside the advertised
+          window — so anything unusual flows through the per-packet
+          path unchanged.  Without {!burst_ack} a merge is additionally
+          capped so the ACK stream stays identical to per-packet
+          arrival.  [false] (the default) is the per-packet oracle. *)
+  burst_ack : bool;
+      (** Burst-aware ACK coalescing: lift the {!rx_coalesce} merge cap
+          to {!gro_budget} and acknowledge once per merged burst rather
+          than every {!ack_every} segments, with an immediate ACK when
+          the burst carries PSH; FIN and out-of-order segments are never
+          merged, so their immediate-ACK behaviour (and SACK recovery)
+          is untouched.  [false] (the default) keeps the per-packet ACK
+          cadence as the differential oracle. *)
+  int_suppress : bool;
+      (** NAPI-style adaptive interrupt suppression at the NIC: the
+          first frame after quiescence raises one interrupt which
+          disables further rx interrupts and enters a budgeted poll
+          loop; the poll drains the device ring at
+          {!Uln_host.Costs.t.napi_poll_frame} per frame, yields the CPU
+          between budget slices, and re-arms interrupts when the ring
+          runs dry.  The device ring is bounded, so overload drops
+          frames early at the ring (cheaply, counted) instead of
+          livelocking the host with per-frame interrupt work.  [false]
+          (the default) charges one interrupt per frame. *)
+  gro_budget : int;
+      (** Most original segments one {!rx_coalesce} merge may absorb
+          when {!burst_ack} lifts the ACK-cadence cap (default 32). *)
 }
 
 val default : t
@@ -161,6 +197,11 @@ val wan : t
 (** High bandwidth×delay preset: [fast] timers with 1MB socket buffers
     and window scaling, timestamps, SACK and Cubic enabled — the
     configuration the [bench wan] sweep calls "+wscale+sack" rows. *)
+
+val coalesced : t
+(** Small-message preset: [fast] with {!t.rx_coalesce}, {!t.burst_ack}
+    and {!t.int_suppress} all on — the full coalescing fast path the
+    rpc/incast benches compare against the per-packet baseline. *)
 
 (** {2 Ablation-switch registry}
 

@@ -196,11 +196,14 @@ let contains hay needle =
   let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
   go 0
 
-(* The ablatable fields of Tcp_params.t, read from its source: every
-   [bool] field and every polymorphic-variant field of the record.
-   Reading the source (rather than introspecting the value) is the
-   point — a newly added switch fails the lint until it registers. *)
-let ablatable_fields params_src =
+(* The fields of Tcp_params.t, read from its source.  Every [bool]
+   field and every polymorphic-variant field is {e ablatable} — it must
+   register an oracle or a policy exemption.  Other fields (the ints
+   and spans) are tunables that {e may} register an oracle when they
+   gate behaviour worth pinning (e.g. [ack_every]).  Reading the source
+   (rather than introspecting the value) is the point — a newly added
+   switch fails the lint until it registers. *)
+let record_fields params_src =
   let src = read_file params_src in
   let start =
     match String.index_opt src '{' with
@@ -224,13 +227,18 @@ let ablatable_fields params_src =
                name <> ""
                && String.for_all (fun c -> c = '_' || (c >= 'a' && c <= 'z')) name
              in
-             if is_ident && (ty = "bool;" || (ty <> "" && ty.[0] = '[')) then Some name
+             if is_ident then
+               Some (name, ty = "bool;" || (ty <> "" && ty.[0] = '['))
              else None)
+
+let ablatable_fields params_src =
+  List.filter_map (fun (n, abl) -> if abl then Some n else None) (record_fields params_src)
 
 let check_switches ~params_src ~bench_src ~root () =
   let out = ref [] in
   let add f = out := f :: !out in
   let fields = ablatable_fields params_src in
+  let all_fields = List.map fst (record_fields params_src) in
   let bench = read_file bench_src in
   let registered f = List.exists (fun s -> s.Params.sw_field = f) Params.switches in
   let policy f = List.mem_assoc f Params.policy_fields in
@@ -246,7 +254,7 @@ let check_switches ~params_src ~bench_src ~root () =
         (fail "switch-registry"
            ("switch fields with no oracle/bench registration: " ^ String.concat ", " l)));
   (match
-     List.filter (fun s -> not (List.mem s.Params.sw_field fields)) Params.switches
+     List.filter (fun s -> not (List.mem s.Params.sw_field all_fields)) Params.switches
    with
   | [] -> ()
   | l ->

@@ -18,6 +18,7 @@ type t3_row = {
   t3_system : string;
   t3_size : int;
   t3_rtt_ms : float;
+  t3_rtt : Percentile.summary; (* p50/p99/p999 of the same exchanges, us *)
   t3_paper : float option;
 }
 
@@ -113,6 +114,7 @@ let table3 ?(quick = false) ?(extended = false) () =
       t3_system = system;
       t3_size = size;
       t3_rtt_ms = Time.to_ms_f r.Pingpong.avg_rtt;
+      t3_rtt = r.Pingpong.rtt;
       t3_paper = Paper_ref.lookup2 Paper_ref.table3 (net_name network) system size }
   in
   List.concat_map

@@ -16,6 +16,7 @@ type t3_row = {
   t3_system : string;
   t3_size : int;
   t3_rtt_ms : float;
+  t3_rtt : Percentile.summary;  (* p50/p99/p999 of the same exchanges, us *)
   t3_paper : float option;
 }
 

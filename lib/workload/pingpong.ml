@@ -9,6 +9,7 @@ type result = {
   min_rtt : Time.span;
   max_rtt : Time.span;
   exchanges : int;
+  rtt : Percentile.summary;
 }
 
 let read_exactly conn n =
@@ -57,7 +58,8 @@ let run ?(exchanges = 50) ?(warmup = 3) ~size w =
   { avg_rtt = sum / n;
     min_rtt = List.fold_left Stdlib.min Stdlib.max_int samples;
     max_rtt = List.fold_left Stdlib.max 0 samples;
-    exchanges = n }
+    exchanges = n;
+    rtt = Percentile.summarize (Array.of_list (List.map Time.to_us_f samples)) }
 
 let measure ?exchanges ?tcp_params ~size ~network ~org () =
   let w = World.create ?tcp_params ~network ~org () in

@@ -10,6 +10,7 @@ type result = {
   min_rtt : Uln_engine.Time.span;
   max_rtt : Uln_engine.Time.span;
   exchanges : int;
+  rtt : Percentile.summary;  (** p50/p99/p999 over the same samples, us *)
 }
 
 val run : ?exchanges:int -> ?warmup:int -> size:int -> Uln_core.World.t -> result

@@ -1,0 +1,298 @@
+(* Open-loop RPC scenario engine (ROADMAP item 2).
+
+   One client host fans each request out to [servers] server hosts and
+   waits for every response; requests arrive open-loop — drawn from a
+   Poisson or heavy-tailed (bounded-Pareto) arrival process that does
+   NOT slow down when the system falls behind — so offered load and
+   delivered load can diverge, which is precisely what the overload and
+   incast benches measure.  Responses follow a configurable size
+   distribution (fixed, or an elephants-and-mice mix), so a single run
+   exercises both the small-message notification path and multi-segment
+   GRO merging.
+
+   Wire protocol: a request is [req_size] bytes whose first 4 bytes
+   carry the response size the server must send back; the server echoes
+   that many bytes.  Requests pipeline freely on each connection
+   (responses return in order), so a backed-up system queues inside the
+   transport rather than in a client-side throttle. *)
+
+module Sched = Uln_engine.Sched
+module Time = Uln_engine.Time
+module Rng = Uln_engine.Rng
+module Mailbox = Uln_engine.Mailbox
+module Semaphore = Uln_engine.Semaphore
+module View = Uln_buf.View
+module World = Uln_core.World
+module Sockets = Uln_core.Sockets
+module Netio = Uln_core.Netio
+
+type arrival = Poisson | Heavy_tail of float
+
+type resp_dist =
+  | Fixed of int
+  | Mix of { mice : int; elephants : int; elephant_frac : float }
+
+type conf = {
+  servers : int;
+  requests : int;
+  rate : float;
+  arrival : arrival;
+  req_size : int;
+  resp : resp_dist;
+  grace : Time.span;
+  seed : int;
+}
+
+let default =
+  { servers = 1;
+    requests = 200;
+    rate = 500.;
+    arrival = Poisson;
+    req_size = 64;
+    resp = Fixed 256;
+    grace = Time.ms 2000;
+    seed = 11 }
+
+(* N->1 fan-in of small responses: every server answers every request
+   with a single-segment reply, so the client-side cost is pure
+   per-frame notification work — the regime the coalescing fast path
+   targets.  Run it with Nagle off: a sub-MSS reply under Nagle waits
+   on the receiver's delayed ACK, serializing every connection at one
+   response per delack period, and that artifact (a send-side policy
+   interaction) would swamp the notification costs under test.  Pass a
+   [resp_bytes] of one MSS or more to shift the workload toward bulk
+   incast (window dynamics then take over). *)
+let incast ?(servers = 8) ?(rate = 500.) ?(requests = 200) ?(resp_bytes = 256) () =
+  { default with servers; rate; requests; resp = Fixed resp_bytes }
+
+type result = {
+  offered_rps : float;
+  delivered_rps : float;
+  completed : int;
+  expired : int; (* open at the deadline — the open-loop drop count *)
+  latency : Percentile.summary; (* us, arrival -> last response byte *)
+  samples : float array; (* us; raw, for reuse by callers *)
+  ring_drops : int; (* NAPI early drops, all hosts *)
+  ring_overflows : int; (* channel-ring overflows, all hosts *)
+  interrupts : int; (* NAPI episodes, all hosts *)
+  polls : int; (* NAPI poll slices, all hosts *)
+}
+
+(* One outstanding request: completes when the last of its fan-out
+   responses has been fully read. *)
+type req = { arrive : Time.t; mutable pending : int }
+
+let read_exactly conn n =
+  let got = ref 0 in
+  (try
+     while !got < n do
+       match conn.Sockets.recv ~max:(n - !got) with
+       | None -> raise Exit
+       | Some v -> got := !got + View.length v
+     done
+   with Exit -> ());
+  !got = n
+
+let interarrival rng conf =
+  let mean_s = 1. /. conf.rate in
+  let u =
+    let x = Rng.float rng 1.0 in
+    if x <= 0. then 1e-9 else x
+  in
+  let s =
+    match conf.arrival with
+    | Poisson -> -.mean_s *. log u
+    | Heavy_tail alpha ->
+        (* Bounded Pareto with the same mean: scale x_m so the
+           unbounded mean matches, cap the tail at 100x the mean so one
+           draw cannot stall the generator for the whole run. *)
+        let xm = mean_s *. (alpha -. 1.) /. alpha in
+        Stdlib.min (xm *. (u ** (-1. /. alpha))) (100. *. mean_s)
+  in
+  Time.ns (int_of_float (s *. 1e9))
+
+let resp_size rng conf =
+  match conf.resp with
+  | Fixed n -> n
+  | Mix { mice; elephants; elephant_frac } ->
+      if Rng.bernoulli rng elephant_frac then elephants else mice
+
+let port = 9
+
+let run w conf =
+  if conf.req_size < 8 then invalid_arg "Scenario.run: req_size must be >= 8";
+  if conf.servers < 1 then invalid_arg "Scenario.run: servers must be >= 1";
+  if World.num_hosts w < conf.servers + 1 then
+    invalid_arg "Scenario.run: world too small for the server count";
+  let sched = World.sched w in
+  let rng = Rng.create ~seed:conf.seed in
+  (* Servers: echo [resp_size] bytes per fixed-size request, forever. *)
+  for s = 1 to conf.servers do
+    let app = World.app w ~host:s "rpc-server" in
+    Sched.spawn sched ~name:(Printf.sprintf "rpc-server%d" s) (fun () ->
+        let l = app.Sockets.listen ~port in
+        let conn = l.Sockets.accept () in
+        let buf = View.create conf.req_size in
+        let rec serve () =
+          let got = ref 0 in
+          let eof = ref false in
+          while (not !eof) && !got < conf.req_size do
+            match conn.Sockets.recv ~max:(conf.req_size - !got) with
+            | None -> eof := true
+            | Some v ->
+                View.blit v 0 buf !got (View.length v);
+                got := !got + View.length v
+          done;
+          if not !eof then begin
+            let rsize = Int32.to_int (View.get_uint32 buf 0) in
+            let reply = View.create rsize in
+            View.fill reply 'r';
+            conn.Sockets.send reply;
+            serve ()
+          end
+          else conn.Sockets.close ()
+        in
+        (* A connection that dies under overload (retransmission limit
+           after sustained incast drops) takes its pending requests
+           with it — they count as expired, the run itself goes on. *)
+        try serve () with _ -> ( try conn.Sockets.close () with _ -> ()))
+  done;
+  let completed = ref 0 in
+  let samples = ref [] in
+  let last_done = ref Time.zero in
+  let client = World.app w ~host:0 "rpc-client" in
+  let started = ref Time.zero in
+  let gen_done = ref Time.zero in
+  Sched.block_on sched (fun () ->
+      (* One persistent connection per server, each with a sender fiber
+         (keeps whole requests contiguous on the stream) and a reader
+         fiber (responses return in order). *)
+      let chans =
+        Array.init conf.servers (fun i ->
+            match
+              client.Sockets.connect ~src_port:0 ~dst:(World.host_ip w (i + 1)) ~dst_port:port
+            with
+            | Error e -> failwith (Printf.sprintf "scenario connect to host %d: %s" (i + 1) e)
+            | Ok conn ->
+                let mb : (req * int) option Mailbox.t = Mailbox.create () in
+                let fifo : (req * int) Queue.t = Queue.create () in
+                let sem = Semaphore.create ~sched () in
+                Sched.spawn sched ~name:(Printf.sprintf "rpc-send%d" i) (fun () ->
+                    let rec loop () =
+                      match Mailbox.recv mb with
+                      | None -> conn.Sockets.close ()
+                      | Some ((_, rsize) as job) ->
+                          let v = View.create conf.req_size in
+                          View.fill v 'q';
+                          View.set_uint32 v 0 (Int32.of_int rsize);
+                          Queue.push job fifo;
+                          Semaphore.signal sem;
+                          conn.Sockets.send v;
+                          loop ()
+                    in
+                    (* A dead connection stops this sender; its queued
+                       requests simply never complete (expired). *)
+                    try loop () with _ -> ( try conn.Sockets.close () with _ -> ()));
+                Sched.spawn sched ~name:(Printf.sprintf "rpc-read%d" i) (fun () ->
+                    let rec loop () =
+                      Semaphore.wait sem;
+                      match Queue.pop fifo with
+                      | exception Queue.Empty -> ()
+                      | r, rsize ->
+                          if read_exactly conn rsize then begin
+                            r.pending <- r.pending - 1;
+                            if r.pending = 0 then begin
+                              incr completed;
+                              last_done := Sched.now sched;
+                              samples :=
+                                Time.to_us_f (Time.diff (Sched.now sched) r.arrive)
+                                :: !samples
+                            end;
+                            loop ()
+                          end
+                    in
+                    try loop () with _ -> ());
+                mb)
+      in
+      started := Sched.now sched;
+      (* Open-loop generator: the clock, not the system, paces
+         arrivals. *)
+      for _ = 1 to conf.requests do
+        let r = { arrive = Sched.now sched; pending = conf.servers } in
+        let rsize = resp_size rng conf in
+        Array.iter (fun mb -> Mailbox.send mb (Some (r, rsize))) chans;
+        Sched.sleep sched (interarrival rng conf)
+      done;
+      gen_done := Sched.now sched;
+      (* Grace period: whatever has not completed by then is expired —
+         the open-loop analogue of a drop. *)
+      let deadline = Time.add !gen_done conf.grace in
+      let rec wait () =
+        if !completed < conf.requests && Time.compare (Sched.now sched) deadline < 0 then begin
+          Sched.sleep sched (Time.ms 1);
+          wait ()
+        end
+      in
+      wait ();
+      Array.iter (fun mb -> Mailbox.send mb None) chans);
+  let gen_span_s = Stdlib.max 1e-9 (Time.to_us_f (Time.diff !gen_done !started) /. 1e6) in
+  (* Delivered rate is measured over the {e active} span — from the
+     first arrival to the last completion, never less than the
+     generation window.  Dividing by the whole run would fold the fixed
+     grace/drain tail into the denominator and depress the delivered
+     rate of a system that in fact kept up perfectly. *)
+  let active_span_s =
+    if !completed = 0 then gen_span_s
+    else Stdlib.max gen_span_s (Time.to_us_f (Time.diff !last_done !started) /. 1e6)
+  in
+  let samples = Array.of_list !samples in
+  let latency =
+    if Array.length samples = 0 then { Percentile.p50 = 0.; p99 = 0.; p999 = 0. }
+    else Percentile.summarize samples
+  in
+  let drops = ref 0 and overflows = ref 0 and ints = ref 0 and polls = ref 0 in
+  for h = 0 to conf.servers do
+    match World.netio w h with
+    | None -> ()
+    | Some nio ->
+        let napi = Netio.napi_stats nio in
+        drops := !drops + napi.Uln_net.Napi.ring_drops;
+        ints := !ints + napi.Uln_net.Napi.interrupts;
+        polls := !polls + napi.Uln_net.Napi.polls;
+        overflows := !overflows + Netio.ring_overflows nio
+  done;
+  { offered_rps = float_of_int conf.requests /. gen_span_s;
+    delivered_rps = float_of_int !completed /. active_span_s;
+    completed = !completed;
+    expired = conf.requests - !completed;
+    latency;
+    samples;
+    ring_drops = !drops;
+    ring_overflows = !overflows;
+    interrupts = !ints;
+    polls = !polls }
+
+let measure ?tcp_params ?(org = Uln_core.Organization.User_library) ?(network = World.Ethernet)
+    conf =
+  let w =
+    World.create ?tcp_params ~seed:conf.seed ~num_hosts:(conf.servers + 1) ~network ~org ()
+  in
+  run w conf
+
+(* Saturation probe: sweep the open-loop offered rate up a geometric
+   ladder and report the best delivered rate seen — the knee of the
+   offered/delivered curve.  Blasting the whole schedule at t=0 would
+   measure recovery from one synchronized burst instead of sustainable
+   request rate; worse, an interrupt-per-packet receiver under that
+   blast livelocks on retransmission storms and reports noise rather
+   than a rate.  The sweep stops one step after delivery stops keeping
+   up with the offered load (the post-knee step can still raise
+   delivered throughput a little, so it is measured, not skipped). *)
+let saturation ?tcp_params ?org ?network conf =
+  let rec sweep rate best =
+    let r = measure ?tcp_params ?org ?network { conf with rate } in
+    let best = Stdlib.max best r.delivered_rps in
+    if r.delivered_rps < 0.7 *. r.offered_rps || rate > 1e6 then best
+    else sweep (rate *. 1.3) best
+  in
+  sweep 10. 0.

@@ -1,0 +1,89 @@
+(** Open-loop RPC scenario engine: Poisson / heavy-tailed request
+    arrivals, elephants-and-mice response mixes, request/response RPC
+    with fan-out, and N-to-1 incast — the workloads the small-message
+    fast path (rx/ack/wakeup coalescing) is measured under.
+
+    Arrivals are {e open-loop}: the generator paces by the clock and
+    does not slow down when the system backs up, so offered and
+    delivered load can diverge and the overload bench can observe the
+    gap (plus the latency cost of the internal queueing).  Requests
+    pipeline freely on each persistent per-server connection; responses
+    return in order. *)
+
+module Time = Uln_engine.Time
+module World = Uln_core.World
+
+type arrival =
+  | Poisson  (** exponential interarrivals *)
+  | Heavy_tail of float
+      (** bounded-Pareto interarrivals with this alpha (> 1), mean
+          matched to the configured rate, tail capped at 100x mean *)
+
+type resp_dist =
+  | Fixed of int
+  | Mix of { mice : int; elephants : int; elephant_frac : float }
+      (** each request independently draws the elephant size with
+          probability [elephant_frac], the mouse size otherwise *)
+
+type conf = {
+  servers : int;  (** fan-out: every request goes to all of them *)
+  requests : int;  (** open-loop arrivals to generate *)
+  rate : float;  (** offered request rate, requests/second *)
+  arrival : arrival;
+  req_size : int;  (** request bytes on the wire (>= 8) *)
+  resp : resp_dist;
+  grace : Time.span;
+      (** how long after the last arrival outstanding requests may
+          still complete; whatever remains is counted expired *)
+  seed : int;
+}
+
+val default : conf
+(** 1 server, 200 requests at 500/s Poisson, 64-byte requests, 256-byte
+    responses. *)
+
+val incast :
+  ?servers:int -> ?rate:float -> ?requests:int -> ?resp_bytes:int -> unit -> conf
+(** The N-to-1 pattern: [servers] (default 8) hosts each answer every
+    request with an 8 KB response, all converging on the one client. *)
+
+type result = {
+  offered_rps : float;  (** what the generator actually offered *)
+  delivered_rps : float;  (** completions over the whole run *)
+  completed : int;
+  expired : int;  (** requests still open at the deadline *)
+  latency : Percentile.summary;
+      (** us, request arrival to last byte of the last fan-out
+          response; zeros when nothing completed *)
+  samples : float array;  (** the raw latency samples (us) *)
+  ring_drops : int;  (** NAPI early drops summed over all hosts *)
+  ring_overflows : int;  (** channel-ring overflows, all hosts *)
+  interrupts : int;  (** NAPI interrupt episodes, all hosts *)
+  polls : int;  (** NAPI poll slices, all hosts *)
+}
+
+val run : World.t -> conf -> result
+(** Run the scenario on an existing world ([conf.servers + 1] hosts:
+    client on host 0, servers on 1..servers).
+    @raise Invalid_argument on a malformed configuration or a world
+    with too few hosts. *)
+
+val measure :
+  ?tcp_params:Uln_proto.Tcp_params.t ->
+  ?org:Uln_core.Organization.t ->
+  ?network:World.network ->
+  conf ->
+  result
+(** Build a fresh world (user-library organization and Ethernet by
+    default) and {!run} the scenario on it. *)
+
+val saturation :
+  ?tcp_params:Uln_proto.Tcp_params.t ->
+  ?org:Uln_core.Organization.t ->
+  ?network:World.network ->
+  conf ->
+  float
+(** Saturation throughput (requests/second) of this configuration:
+    every request is offered at once and the system drains at its own
+    pace.  The overload bench sweeps offered load as multiples of
+    this. *)

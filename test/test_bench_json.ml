@@ -25,6 +25,19 @@ let required_fields = function
         "segments_out"; "retransmissions"; "sack_rexmits"; "snd_scale"; "cong";
         "recovery_samples"; "recovery_p50_us"; "recovery_p99_us"; "recovery_p999_us";
         "wan-baseline"; "wan+wscale"; "wan+wscale+sack"; "wan+sack+newreno"; "wan+sack+cubic" ]
+  | "BENCH_table3.json" -> [ "rtt_ms"; "p50_us"; "p99_us"; "p999_us" ]
+  | "BENCH_rpc.json" ->
+      [ "scenario"; "config"; "servers"; "requests";
+        "offered_rps"; "delivered_rps"; "completed"; "expired";
+        "ring_drops"; "ring_overflows"; "interrupts"; "polls";
+        "p50_us"; "p99_us"; "p999_us"; "saturation_rps";
+        "per-packet"; "coalesced" ]
+  | "BENCH_overload.json" ->
+      [ "scenario"; "config"; "servers"; "requests"; "multiplier";
+        "offered_rps"; "delivered_rps"; "completed"; "expired";
+        "ring_drops"; "ring_overflows"; "interrupts"; "polls";
+        "p50_us"; "p99_us"; "p999_us"; "saturation_rps";
+        "per-packet"; "coalesced" ]
   | _ -> []
 
 let () =

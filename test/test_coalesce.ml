@@ -1,0 +1,397 @@
+(* Differential tests for the small-message coalescing fast path: rx
+   burst aggregation with the GRO-style segment merge ([rx_coalesce]),
+   the lifted ACK cadence ([ack_every]), burst-aware delayed ACK
+   ([burst_ack]), and NAPI-style interrupt suppression ([int_suppress])
+   are each checked against the interrupt-per-packet oracle.
+
+   The strict differentials run on zero-cost hosts, where a whole rx
+   batch is processed at a single simulated instant: there the merge
+   and the suppression machinery must be wire-invisible — byte-identical
+   payloads AND identical data/retransmission/ACK counts under
+   drop/dup/reorder faults.  (On calibrated hosts coalescing is a real
+   timing optimisation: ACKs leave a few hundred microseconds earlier
+   or later, which re-times sender segmentation — so the end-to-end
+   user-library checks assert payload integrity and that the machinery
+   actually engaged, not segment-for-segment equality.) *)
+
+open Tutil
+module World = Uln_core.World
+module Organization = Uln_core.Organization
+module Sockets = Uln_core.Sockets
+module Protolib = Uln_core.Protolib
+module Scenario = Uln_workload.Scenario
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* --- wire observation --------------------------------------------------- *)
+
+(* Decode every frame at serialization (the monitor hook runs before
+   fault injection, so fault-made duplicates do not pollute the
+   counts): first transmissions of data, retransmissions (a (ports,
+   seq, len) key already sent), and pure ACKs. *)
+type wire = {
+  mutable data_segs : int;
+  mutable rexmits : int;
+  mutable acks : int;
+}
+
+let observe link =
+  let wire = { data_segs = 0; rexmits = 0; acks = 0 } in
+  let seen = Hashtbl.create 997 in
+  Link.set_monitor link (fun _t fr ->
+      if fr.Frame.ethertype = Frame.ethertype_ip then begin
+        let v = Mbuf.flatten fr.Frame.payload in
+        if View.length v >= 20 && View.get_uint8 v 9 = 6 then begin
+          let ihl = (View.get_uint8 v 0 land 0xf) * 4 in
+          let total = Stdlib.min (View.get_uint16 v 2) (View.length v) in
+          if total >= ihl + 20 then begin
+            let seg = View.sub v ihl (total - ihl) in
+            let sport = View.get_uint16 seg 0 and dport = View.get_uint16 seg 2 in
+            let seq = View.get_uint32 seg 4 in
+            let doff = (View.get_uint8 seg 12 lsr 4) * 4 in
+            let flags = View.get_uint8 seg 13 in
+            let len = Stdlib.max 0 (View.length seg - doff) in
+            if len > 0 || flags land 0x03 <> 0 (* SYN/FIN consume seq space *)
+            then begin
+              let key = (sport, dport, seq, len) in
+              if Hashtbl.mem seen key then wire.rexmits <- wire.rexmits + 1
+              else Hashtbl.add seen key ();
+              if len > 0 then wire.data_segs <- wire.data_segs + 1
+            end
+            else if flags land 0x10 <> 0 then wire.acks <- wire.acks + 1
+          end
+        end
+      end);
+  wire
+
+let mk_fault seed =
+  Fault.create ~rng:(Rng.create ~seed) ~drop:0.02 ~duplicate:0.02 ~reorder:0.05 ()
+
+(* --- engine-level harness: zero-cost hosts, batched rx ------------------ *)
+
+(* A node whose rx thread lingers briefly and then hands the
+   accumulated frames to the stack as one bracketed burst — the
+   library's drain loop in miniature.  Both configurations run this
+   same loop (the bracket is a no-op with [rx_coalesce] off); with
+   [Costs.zero] the whole batch is processed at one instant, so any
+   wire difference is the merge's doing, not timing's. *)
+let make_batch_node sched link ~name ~mac_seed ~ip ~tcp_params =
+  let machine =
+    Machine.create sched ~name ~costs:Costs.zero ~rng:(Rng.create ~seed:(1000 + mac_seed))
+  in
+  let mac = Mac.of_int (0x5254000000 + mac_seed) in
+  let nic = Lance.create machine link ~mac () in
+  let env =
+    Proto_env.of_machine ~timer_granularity:tcp_params.Tcp_params.timer_granularity machine
+  in
+  let stack =
+    Stack.create env
+      ~netif:{ Stack.mtu = nic.Nic.mtu; mac; tx = nic.Nic.send }
+      ~ip_addr:ip ~tcp_params ()
+  in
+  let rxq = Mailbox.create () in
+  nic.Nic.install_rx (fun info -> Mailbox.send rxq info.Nic.frame);
+  let rec rx_loop () =
+    let first = Mailbox.recv rxq in
+    Sched.sleep sched (Time.ms 5);
+    Stack.begin_rx_burst stack;
+    Stack.input stack first;
+    let rec burst () =
+      match Mailbox.try_recv rxq with
+      | Some frame ->
+          Stack.input stack frame;
+          burst ()
+      | None -> ()
+    in
+    burst ();
+    Stack.end_rx_burst stack;
+    rx_loop ()
+  in
+  Sched.spawn sched ~name:(name ^ ".rx") rx_loop;
+  (stack, ip)
+
+(* One small-write bulk transfer alpha->beta over batched-rx nodes;
+   returns the delivered bytes, the wire counts, and the receiver
+   engine's merge counters.  Deterministic given the fault seed. *)
+let etransfer ?fault ~params n =
+  let sched = Sched.create () in
+  let link = Link.ethernet sched in
+  (match fault with Some f -> Link.set_fault link f | None -> ());
+  let wire = observe link in
+  let a_stack, _ =
+    make_batch_node sched link ~name:"alpha" ~mac_seed:1 ~ip:(Ip.of_string "10.0.0.1")
+      ~tcp_params:params
+  in
+  let b_stack, b_ip =
+    make_batch_node sched link ~name:"beta" ~mac_seed:2 ~ip:(Ip.of_string "10.0.0.2")
+      ~tcp_params:params
+  in
+  let data = pattern n in
+  let received = ref "" in
+  Sched.spawn sched ~name:"server" (fun () ->
+      let l = Tcp.listen b_stack.Stack.tcp ~port:80 in
+      let conn, _ = Tcp.accept l in
+      received := read_all conn;
+      Tcp.close conn);
+  Sched.block_on sched (fun () ->
+      match Tcp.connect a_stack.Stack.tcp ~src_port:5000 ~dst:b_ip ~dst_port:80 with
+      | Error e -> failwith e
+      | Ok (c, _) ->
+          let off = ref 0 in
+          while !off < n do
+            let len = Stdlib.min 512 (n - !off) in
+            Tcp.write c (View.of_string (String.sub data !off len));
+            off := !off + len
+          done;
+          Tcp.close c;
+          Tcp.await_closed c);
+  let b = b_stack.Stack.tcp in
+  (!received, data, wire, Tcp.gro_merged b, Tcp.gro_flushes b, Tcp.acks_elided b)
+
+(* --- user-library harness: calibrated hosts end to end ------------------ *)
+
+(* One small-write bulk transfer source->sink through the full
+   user-library organization; the sink's receive-path statistics are
+   sampled after the payload has drained but before close detaches the
+   connection. *)
+let utransfer ?fault ?costs ?(size = 512) ~params n =
+  let w =
+    World.create ?costs ~tcp_params:params ~network:World.Ethernet
+      ~org:Organization.User_library ()
+  in
+  (match fault with Some f -> Link.set_fault (World.link w) f | None -> ());
+  let wire = observe (World.link w) in
+  let sched = World.sched w in
+  let sink_lib =
+    match World.library w ~host:1 "sink" with Some l -> l | None -> assert false
+  in
+  let source =
+    match World.library w ~host:0 "source" with
+    | Some l -> Protolib.app l
+    | None -> assert false
+  in
+  let sink = Protolib.app sink_lib in
+  let received = Buffer.create n in
+  let stats = ref None in
+  Sched.spawn sched ~name:"sink" (fun () ->
+      let l = sink.Sockets.listen ~port:4000 in
+      let conn = l.Sockets.accept () in
+      let rec drain () =
+        match conn.Sockets.recv ~max:65536 with
+        | None -> ()
+        | Some v ->
+            Buffer.add_string received (View.to_string v);
+            drain ()
+      in
+      drain ();
+      stats := Some (Protolib.rxstats sink_lib);
+      conn.Sockets.close ());
+  let data = pattern n in
+  Sched.block_on sched (fun () ->
+      match source.Sockets.connect ~src_port:0 ~dst:(World.host_ip w 1) ~dst_port:4000 with
+      | Error e -> failwith ("coalesce connect: " ^ e)
+      | Ok conn ->
+          let off = ref 0 in
+          while !off < n do
+            let len = Stdlib.min size (n - !off) in
+            conn.Sockets.send (View.of_string (String.sub data !off len));
+            off := !off + len
+          done;
+          conn.Sockets.close ();
+          conn.Sockets.await_closed ());
+  (Buffer.contents received, data, wire, Option.get !stats)
+
+(* --- ack_every: the lifted cadence constant ----------------------------- *)
+
+let prop_ack_every_differential =
+  (* The lift of the hard-coded "ACK every other segment" constant:
+     every cadence still delivers the bytes under faults, and a lazier
+     cadence thins the pure-ACK stream on a clean link. *)
+  QCheck.Test.make ~name:"ack_every: delivery intact at any cadence, lazier = fewer ACKs"
+    ~count:5
+    QCheck.(1 -- 1_000_000)
+    (fun seed ->
+      let delivered k =
+        let params = { Tcp_params.fast with Tcp_params.ack_every = k } in
+        let got, want, _, _ = utransfer ~fault:(mk_fault seed) ~params 24_000 in
+        String.equal got want
+      in
+      let acks_of k =
+        let params = { Tcp_params.fast with Tcp_params.ack_every = k } in
+        let got, want, w, _ = utransfer ~params 24_000 in
+        if not (String.equal got want) then max_int else w.acks
+      in
+      List.for_all delivered [ 1; 2; 4; 8 ]
+      && acks_of 8 < acks_of 1)
+
+let test_ack_every_default_unchanged () =
+  (* ack_every = 2 is the seed behaviour: spelling it explicitly must
+     be wire-identical to the preset it was lifted from. *)
+  let got_e, want, w_e, _ =
+    utransfer ~fault:(mk_fault 7) ~params:{ Tcp_params.fast with Tcp_params.ack_every = 2 }
+      24_000
+  in
+  let got_d, _, w_d, _ = utransfer ~fault:(mk_fault 7) ~params:Tcp_params.fast 24_000 in
+  check_str "explicit cadence delivers" want got_e;
+  check_str "default cadence delivers" want got_d;
+  check "identical data segments" w_d.data_segs w_e.data_segs;
+  check "identical retransmissions" w_d.rexmits w_e.rexmits;
+  check "identical pure ACKs" w_d.acks w_e.acks
+
+(* --- rx_coalesce: burst drain + GRO merge ------------------------------- *)
+
+let rx_on = { Tcp_params.fast with Tcp_params.rx_coalesce = true }
+
+let prop_rx_coalesce_differential =
+  (* With [burst_ack] off the merge is capped at the ACK cadence, so on
+     zero-cost hosts the whole wire behaviour — data segments,
+     retransmissions, and the pure-ACK stream — must be identical to
+     the per-packet oracle under loss, duplication and reordering. *)
+  QCheck.Test.make ~name:"rx coalesce = per-packet oracle under loss/dup/reorder" ~count:8
+    QCheck.(1 -- 1_000_000)
+    (fun seed ->
+      let got_on, want, w_on, merged_on, _, elided_on =
+        etransfer ~fault:(mk_fault seed) ~params:rx_on 24_000
+      in
+      let got_off, _, w_off, merged_off, flushes_off, _ =
+        etransfer ~fault:(mk_fault seed) ~params:Tcp_params.fast 24_000
+      in
+      String.equal got_on want && String.equal got_off want
+      && w_on.data_segs = w_off.data_segs
+      && w_on.rexmits = w_off.rexmits
+      && w_on.acks = w_off.acks
+      && merged_on > 0 && elided_on = 0
+      && merged_off = 0 && flushes_off = 0)
+
+let test_gro_taken_end_to_end () =
+  (* Through the full library on calibrated hosts: delivery intact and
+     the merge engaged, without eliding any ACKs. *)
+  let got, want, _, rs = utransfer ~params:rx_on 60_000 in
+  check_str "delivery intact" want got;
+  check_bool "segments were merged" true (rs.Protolib.rs_gro_merged > 0);
+  check_bool "merged runs reached the input machine" true (rs.Protolib.rs_gro_flushes > 0);
+  check "no ACKs elided without burst_ack" 0 rs.Protolib.rs_acks_elided
+
+(* --- burst_ack: one ACK per rx burst ------------------------------------ *)
+
+let burst_on = { Tcp_params.fast with Tcp_params.rx_coalesce = true; burst_ack = true }
+
+let prop_burst_ack_differential =
+  (* Eliding ACKs is visible by design (the sender paces on fewer
+     ACKs), and once the streams diverge the same fault model lands on
+     different frames — so under faults the differential claims
+     byte-identical payloads and boundedness, not frame-for-frame
+     dominance; the strict thinning claim is the clean-link test
+     below. *)
+  QCheck.Test.make ~name:"burst ACK: delivery intact, no ACK or retransmit blowup" ~count:8
+    QCheck.(1 -- 1_000_000)
+    (fun seed ->
+      let got_on, want, w_on, merged_on, _, _ =
+        etransfer ~fault:(mk_fault seed) ~params:burst_on 24_000
+      in
+      let got_off, _, w_off, _, _, _ =
+        etransfer ~fault:(mk_fault seed) ~params:Tcp_params.fast 24_000
+      in
+      String.equal got_on want && String.equal got_off want
+      && merged_on > 0
+      && w_on.acks <= w_off.acks + 6
+      && w_on.rexmits <= w_off.rexmits + 6)
+
+let test_burst_ack_elides_clean_link () =
+  (* Deterministic thinning claim (fault-free bursts are big enough for
+     an ACK to span more than one cadence period): strictly fewer pure
+     ACKs than the oracle, accounted by the elision counter. *)
+  let got_on, want, w_on, _, _, elided = etransfer ~params:burst_on 24_000 in
+  let got_off, _, w_off, _, _, _ = etransfer ~params:Tcp_params.fast 24_000 in
+  check_str "burst-ack delivery intact" want got_on;
+  check_str "oracle delivery intact" want got_off;
+  check_bool "ACKs were elided" true (elided > 0);
+  check_bool "strictly fewer pure ACKs" true (w_on.acks < w_off.acks)
+
+let test_burst_ack_elides_end_to_end () =
+  let got, want, _, rs = utransfer ~params:burst_on 60_000 in
+  check_str "delivery intact" want got;
+  check_bool "ACKs were elided" true (rs.Protolib.rs_acks_elided > 0)
+
+
+
+(* --- int_suppress: NAPI-style interrupt suppression --------------------- *)
+
+let napi_on = { Tcp_params.fast with Tcp_params.int_suppress = true }
+
+let prop_int_suppress_differential =
+  (* Interrupt suppression only re-times notification work; on
+     zero-cost hosts even that vanishes, so the protocol must be
+     oblivious: byte-identical delivery and identical wire behaviour
+     under faults, with the poll loop actually used. *)
+  QCheck.Test.make ~name:"int suppress = interrupt-per-packet oracle under faults" ~count:6
+    QCheck.(1 -- 1_000_000)
+    (fun seed ->
+      let got_on, want, w_on, rs_on =
+        utransfer ~fault:(mk_fault seed) ~costs:Costs.zero ~params:napi_on 24_000
+      in
+      let got_off, _, w_off, rs_off =
+        utransfer ~fault:(mk_fault seed) ~costs:Costs.zero ~params:Tcp_params.fast 24_000
+      in
+      String.equal got_on want && String.equal got_off want
+      && w_on.data_segs = w_off.data_segs
+      && w_on.rexmits = w_off.rexmits
+      && w_on.acks = w_off.acks
+      && rs_on.Protolib.rs_polls > 0
+      && rs_on.Protolib.rs_ring_drops = 0
+      && rs_off.Protolib.rs_polls = 0)
+
+(* --- incast: bounded drops, no livelock --------------------------------- *)
+
+let test_incast_no_livelock () =
+  (* Offered load at 4x the measured saturation of an 8-way incast: the
+     protocol threads must keep completing requests (no receive
+     livelock), the accounting must close, and the early-drop ring must
+     shed load finitely rather than wedge. *)
+  let conf = Scenario.incast ~requests:48 () in
+  let sat = Scenario.saturation ~tcp_params:Tcp_params.coalesced conf in
+  check_bool "saturation measured" true (sat > 0.);
+  let r =
+    Scenario.measure ~tcp_params:Tcp_params.coalesced
+      { conf with Scenario.rate = 4. *. sat }
+  in
+  check_bool "progress at 4x overload" true (r.Scenario.completed > 0);
+  check "accounting closes" conf.Scenario.requests (r.Scenario.completed + r.Scenario.expired);
+  check_bool "delivered load does not collapse" true (r.Scenario.delivered_rps >= 0.5 *. sat);
+  (* Every drop is an early drop at the bounded ring, at most one per
+     offered frame — sanity, not a livelock proof. *)
+  check_bool "drops bounded" true
+    (r.Scenario.ring_drops < conf.Scenario.requests * conf.Scenario.servers * 64)
+
+let test_incast_coalescing_helps () =
+  (* The direction of the acceptance criterion (the >= 2x bar itself is
+     measured by the bench): coalescing must not lower incast
+     saturation. *)
+  let conf = Scenario.incast ~requests:32 () in
+  let sat_coal = Scenario.saturation ~tcp_params:Tcp_params.coalesced conf in
+  let sat_pp = Scenario.saturation ~tcp_params:Tcp_params.fast conf in
+  check_bool "coalesced saturation at least per-packet" true (sat_coal >= sat_pp)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "coalesce"
+    [ ( "ack-every",
+        [ qc prop_ack_every_differential;
+          Alcotest.test_case "default cadence unchanged by the lift" `Quick
+            test_ack_every_default_unchanged ] );
+      ( "rx-coalesce",
+        [ qc prop_rx_coalesce_differential;
+          Alcotest.test_case "merge engaged end to end" `Quick test_gro_taken_end_to_end ] );
+      ( "burst-ack",
+        [ qc prop_burst_ack_differential;
+          Alcotest.test_case "ACKs elided on a clean link" `Quick
+            test_burst_ack_elides_clean_link;
+          Alcotest.test_case "ACKs elided end to end" `Quick test_burst_ack_elides_end_to_end ]
+      );
+      ( "int-suppress", [ qc prop_int_suppress_differential ] );
+      ( "incast",
+        [ Alcotest.test_case "no livelock at 4x overload" `Quick test_incast_no_livelock;
+          Alcotest.test_case "coalescing does not hurt saturation" `Quick
+            test_incast_coalescing_helps ] ) ]
