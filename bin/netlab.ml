@@ -407,6 +407,123 @@ let rxstats_cmd =
       $ size_arg 512 "User write size."
       $ per_packet_arg)
 
+let txstats_cmd =
+  let module Protolib = Uln_core.Protolib in
+  let module Sockets = Uln_core.Sockets in
+  let module Sched = Uln_engine.Sched in
+  let module View = Uln_buf.View in
+  let run network bytes size per_segment =
+    let tcp_params =
+      if per_segment then
+        { Uln_proto.Tcp_params.fast with Uln_proto.Tcp_params.zero_copy = true }
+      else Uln_proto.Tcp_params.tx_fast
+    in
+    let w = World.create ~tcp_params ~network ~org:Organization.User_library () in
+    let sched = World.sched w in
+    let source_lib =
+      match World.library w ~host:0 "source" with Some l -> l | None -> assert false
+    in
+    let sink =
+      match World.library w ~host:1 "sink" with
+      | Some l -> Protolib.app l
+      | None -> assert false
+    in
+    let source = Protolib.app source_lib in
+    Printf.printf "txstats: userlib %s transmit path, %s, %d bytes in %d-byte writes\n"
+      (if per_segment then "per-segment (zero-copy baseline)" else "tx_fast")
+      (match network with World.Ethernet -> "ethernet" | World.An1 -> "an1" | World.Wan -> "wan")
+      bytes size;
+    (* Capture the sender's statistics from the sink thread once the
+       stream has fully drained (the source has sent its FIN, so every
+       data byte is ACKed, but its connection is still attached — the
+       per-engine GSO/pacer/release counters are summed over
+       connections still open). *)
+    let stats = ref None in
+    Sched.spawn sched ~name:"sink" (fun () ->
+        let l = sink.Sockets.listen ~port:5001 in
+        let conn = l.Sockets.accept () in
+        let got = ref 0 in
+        let rec drain () =
+          match conn.Sockets.recv_loan ~max:65536 with
+          | None -> ()
+          | Some v ->
+              got := !got + View.length v;
+              conn.Sockets.return_loan v;
+              drain ()
+        in
+        drain ();
+        stats := Some (Protolib.txstats source_lib, !got);
+        conn.Sockets.close ());
+    Sched.block_on sched (fun () ->
+        match source.Sockets.connect ~src_port:0 ~dst:(World.host_ip w 1) ~dst_port:5001 with
+        | Error e -> failwith ("txstats connect: " ^ e)
+        | Ok conn ->
+            let chunk = View.create size in
+            View.fill chunk 't';
+            for _ = 1 to (bytes + size - 1) / size do
+              match conn.Sockets.alloc_tx size with
+              | Some owned ->
+                  View.fill owned 't';
+                  conn.Sockets.send_owned owned
+              | None -> conn.Sockets.send chunk
+            done;
+            conn.Sockets.close ();
+            conn.Sockets.await_closed ());
+    match !stats with
+    | None -> failwith "txstats: transfer did not complete"
+    | Some (s, got) ->
+        let hist = function
+          | [] -> "(empty)"
+          | h -> String.concat " " (List.map (fun (sz, n) -> Printf.sprintf "%dx%d" sz n) h)
+        in
+        Printf.printf "delivered:        %d bytes\n" got;
+        Printf.printf "gso (stack):      %d oversized sends, %d per-segment fallbacks\n"
+          s.Protolib.ts_gso_sends s.Protolib.ts_gso_fallbacks;
+        Printf.printf "gso (nic):        %d episodes cut into %d frames (%.2f frames/episode)\n"
+          s.Protolib.ts_gso_episodes s.Protolib.ts_gso_frames
+          (if s.Protolib.ts_gso_episodes = 0 then 0.
+           else float_of_int s.Protolib.ts_gso_frames /. float_of_int s.Protolib.ts_gso_episodes);
+        Printf.printf "tx completions:   %d events reaped %d descriptors (%.2f descs/event)\n"
+          s.Protolib.ts_txc_events s.Protolib.ts_txc_descs
+          (if s.Protolib.ts_txc_events = 0 then 0.
+           else float_of_int s.Protolib.ts_txc_descs /. float_of_int s.Protolib.ts_txc_events);
+        Printf.printf "completion hist:  %s\n" (hist s.Protolib.ts_txc_batch_hist);
+        Printf.printf "releases:         %d zero-copy buffers freed in %d batches\n"
+          s.Protolib.ts_releases s.Protolib.ts_release_batches;
+        Printf.printf "pacer:            %d deferred sends, %.0f us total (%.1f us avg)\n"
+          s.Protolib.ts_pacer_waits s.Protolib.ts_pacer_wait_us
+          (if s.Protolib.ts_pacer_waits = 0 then 0.
+           else s.Protolib.ts_pacer_wait_us /. float_of_int s.Protolib.ts_pacer_waits);
+        Printf.printf "pacer wait hist:  %s\n"
+          (match s.Protolib.ts_pacer_hist with
+          | [] -> "(empty)"
+          | h ->
+              String.concat " "
+                (List.map (fun (b, n) -> Printf.sprintf "[%d-%dus]x%d" (1 lsl b) (1 lsl (b + 1)) n) h))
+  in
+  let per_segment_arg =
+    Arg.(
+      value & flag
+      & info [ "per-segment" ]
+          ~doc:
+            "Run the per-segment zero-copy baseline instead of the transmit fast path (for \
+             comparison).")
+  in
+  Cmd.v
+    (Cmd.info "txstats"
+       ~doc:
+         "Run a user-library bulk transfer and print the transmit fast-path statistics: GSO \
+          episodes and frames per episode, moderated completion events and batch sizes, \
+          zero-copy release batches, and the pacer's queue-delay histogram.")
+    Term.(
+      const run $ network_arg
+      $ Arg.(value & opt int 400_000 & info [ "b"; "bytes" ] ~docv:"BYTES" ~doc:"Bytes to transfer.")
+      (* Default to the tx-pool buffer size so alloc_tx succeeds and the
+         zero-copy release batching is visible; larger writes fall back
+         to the copying path and report zero releases. *)
+      $ size_arg Uln_core.Calibration.tx_pool_buffer_size "User write size."
+      $ per_segment_arg)
+
 let cpustats_cmd =
   let module Sockets = Uln_core.Sockets in
   let module Sched = Uln_engine.Sched in
@@ -1100,5 +1217,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ throughput_cmd; latency_cmd; setup_cmd; orgs_cmd; table_cmd; snoop_cmd; rrp_cmd;
-            bufstats_cmd; rxstats_cmd; cpustats_cmd; setupstats_cmd; regstats_cmd; connstats_cmd;
+            bufstats_cmd; rxstats_cmd; txstats_cmd; cpustats_cmd; setupstats_cmd; regstats_cmd;
+            connstats_cmd;
             filter_lint_cmd; proto_check_cmd ]))

@@ -137,7 +137,8 @@ let deliver t ch frame =
   end
   else t.overflows <- t.overflows + 1
 
-let create machine nic ~mode ?(flow_cache = false) ?(hier = false) ?(napi = false) () =
+let create machine nic ~mode ?(flow_cache = false) ?(hier = false) ?(napi = false)
+    ?(txc = false) () =
   let t =
     { machine;
       nic;
@@ -164,6 +165,11 @@ let create machine nic ~mode ?(flow_cache = false) ?(hier = false) ?(napi = fals
   if napi then
     nic.Nic.set_napi
       (Some { Uln_net.Napi.budget = Calibration.napi_budget; ring = Calibration.napi_ring_slots });
+  (* Completion moderation: reap finished transmit descriptors in
+     batches (one interrupt charge per batch) instead of per frame. *)
+  if txc then
+    nic.Nic.set_txc
+      (Some { Uln_net.Txq.budget = Calibration.txc_budget; delay = Calibration.txc_delay });
   let costs = machine.Machine.costs in
   let deliver ch frame = deliver t ch frame in
   let rx (info : Nic.rx_info) =
@@ -651,6 +657,7 @@ let rx_burst_histogram t =
   List.sort compare (Hashtbl.fold (fun size n acc -> (size, n) :: acc) t.rx_burst_hist [])
 
 let napi_stats t = t.nic.Nic.napi_stats ()
+let txq_stats t = t.nic.Nic.txq_stats ()
 
 let ring_overflows t = t.overflows
 let hw_demuxed t = t.hw_demuxed

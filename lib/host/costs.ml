@@ -41,6 +41,10 @@ type t = {
   gro_append : Time.span;
   napi_poll_frame : Time.span;
   napi_poll_sched : Time.span;
+  tx_gso_setup : Time.span;
+  tx_gso_frame : Time.span;
+  tx_complete_irq : Time.span;
+  pacer_sched : Time.span;
 }
 
 (* Calibrated against the paper's Tables 1-5 for a 25 MHz R3000.  See
@@ -97,7 +101,19 @@ let r3000 =
        slice pays one softirq-style reschedule. *)
     gro_append = Time.us 15;
     napi_poll_frame = Time.us 6;
-    napi_poll_sched = Time.us 12 }
+    napi_poll_sched = Time.us 12;
+    (* The transmit-side fast path.  A GSO episode programs the
+       controller's segmentation machinery once (descriptor template,
+       pseudo-header seed) and then pays a small per-wire-frame
+       descriptor cost instead of a full tcp_output + driver pass per
+       MSS.  A moderated tx-completion event is cheaper than the
+       general 35 us interrupt: it only reaps a known ring range.
+       Arming the pacer's release timer is one wheel insert plus the
+       rate arithmetic. *)
+    tx_gso_setup = Time.us 20;
+    tx_gso_frame = Time.us 3;
+    tx_complete_irq = Time.us 15;
+    pacer_sched = Time.us 4 }
 
 let zero =
   { cycle_ns = 0;
@@ -139,7 +155,11 @@ let zero =
     an1_driver_setup = 0;
     gro_append = 0;
     napi_poll_frame = 0;
-    napi_poll_sched = 0 }
+    napi_poll_sched = 0;
+    tx_gso_setup = 0;
+    tx_gso_frame = 0;
+    tx_complete_irq = 0;
+    pacer_sched = 0 }
 
 let pp ppf c =
   Format.fprintf ppf

@@ -118,6 +118,26 @@ type t = {
       (** rescheduling a poll slice whose frame budget ran out (the
           softirq-style yield that lets protocol threads run between
           slices under sustained load) *)
+  (* --- transmit-side fast path --- *)
+  tx_gso_setup : Uln_engine.Time.span;
+      (** programming the controller's segmentation machinery once per
+          GSO episode: the descriptor template and pseudo-header seed
+          the hardware replays for every wire frame it cuts — the
+          {!Uln_proto.Tcp_params.t.tx_gso} per-episode cost *)
+  tx_gso_frame : Uln_engine.Time.span;
+      (** per-wire-frame descriptor cost while the controller segments
+          a GSO super-frame (replaces the per-segment tcp_output +
+          driver pass the software path would pay) *)
+  tx_complete_irq : Uln_engine.Time.span;
+      (** one moderated tx-completion event: reaping a known ring range
+          of finished descriptors in a batch — cheaper than the general
+          [interrupt] entry because nothing needs demultiplexing — the
+          {!Uln_proto.Tcp_params.t.tx_complete_coalesce} per-batch
+          cost *)
+  pacer_sched : Uln_engine.Time.span;
+      (** arming the software pacer's release timer: one timer-wheel
+          insert plus the cwnd/srtt rate arithmetic — the
+          {!Uln_proto.Tcp_params.t.pacing} per-deferral cost *)
 }
 
 val r3000 : t

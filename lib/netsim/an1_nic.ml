@@ -74,6 +74,7 @@ let create (m : Machine.t) link ~mac ?(tx_buffers = 8) ?(mtu = 1500) ?(table_siz
                     end))
   in
   let station = Link.attach link receive in
+  let txq = Txq.create m.Machine.sched ~costs in
   let send frame =
     (* Capture the doorbell CPU before waiting: the hint is one-shot and
        the wait may yield to another sender. *)
@@ -91,13 +92,40 @@ let create (m : Machine.t) link ~mac ?(tx_buffers = 8) ?(mtu = 1500) ?(table_siz
        first — the gather list the controller walks. *)
     let bytes = Frame.payload_length frame in
     let extra_frags = max 0 (Mbuf.segment_count frame.Frame.payload - 1) in
-    Cpu.use cpu
-      (Time.span_add
-         (Time.span_add
-            (Time.span_add costs.Costs.drv_tx costs.Costs.dma_setup)
-            (Time.span_scale costs.Costs.sg_descriptor extra_frags))
-         (Time.ns (bytes * costs.Costs.dma_tx_per_byte_ns)));
-    Link.transmit link station frame ~on_done:(fun () -> Semaphore.signal tx_slots)
+    let base =
+      Time.span_add
+        (Time.span_add costs.Costs.drv_tx costs.Costs.dma_setup)
+        (Time.span_scale costs.Costs.sg_descriptor extra_frags)
+    in
+    let dma = Time.ns (bytes * costs.Costs.dma_tx_per_byte_ns) in
+    if frame.Frame.gso_size > 0 then begin
+      (* Segmentation offload: one descriptor and one board buffer
+         cover the whole episode — the controller cuts the wire frames
+         itself.  The host pays the episode setup plus a small
+         per-frame descriptor cost; the DMA engine still moves every
+         byte (headers once, not per frame). *)
+      let frames = Txq.split frame in
+      let n = List.length frames in
+      Txq.note_gso txq ~frames:n;
+      Cpu.use cpu
+        (Time.span_add base
+           (Time.span_add costs.Costs.tx_gso_setup
+              (Time.span_add (Time.span_scale costs.Costs.tx_gso_frame n) dma)));
+      List.iteri
+        (fun i f ->
+          let on_done =
+            if i = n - 1 then fun () ->
+              Txq.complete txq ~cpu (fun () -> Semaphore.signal tx_slots)
+            else fun () -> ()
+          in
+          Link.transmit link station f ~on_done)
+        frames
+    end
+    else begin
+      Cpu.use cpu (Time.span_add base dma);
+      Link.transmit link station frame ~on_done:(fun () ->
+          Txq.complete txq ~cpu (fun () -> Semaphore.signal tx_slots))
+    end
   in
   let alloc_ring ~capacity =
     let rec find i =
@@ -129,4 +157,6 @@ let create (m : Machine.t) link ~mac ?(tx_buffers = 8) ?(mtu = 1500) ?(table_siz
     bqi = Some { Nic.alloc_ring; release_ring; provide_buffer; ring_depth };
     rx_drops = (fun () -> !drops);
     set_napi = Napi.set napi;
-    napi_stats = (fun () -> Napi.stats napi) }
+    napi_stats = (fun () -> Napi.stats napi);
+    set_txc = Txq.set txq;
+    txq_stats = (fun () -> Txq.stats txq) }

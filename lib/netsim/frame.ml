@@ -8,11 +8,12 @@ type t = {
   ethertype : int;
   bqi : int;
   bqi_hint : int;
+  gso_size : int;
   payload : Mbuf.t;
 }
 
-let make ~src ~dst ~ethertype ?(bqi = 0) ?(bqi_hint = 0) payload =
-  { src; dst; ethertype; bqi; bqi_hint; payload }
+let make ~src ~dst ~ethertype ?(bqi = 0) ?(bqi_hint = 0) ?(gso_size = 0) payload =
+  { src; dst; ethertype; bqi; bqi_hint; gso_size; payload }
 
 let payload_length t = Mbuf.length t.payload
 

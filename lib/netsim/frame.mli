@@ -15,6 +15,12 @@ type t = {
       (** the "unused field in the AN1 link header" the registry servers
           use during connection setup to tell the remote side which BQI
           to stamp on this connection's data packets (paper §3.4) *)
+  gso_size : int;
+      (** segmentation-offload descriptor field: when non-zero, the
+          payload is one oversized IP/TCP packet the controller must cut
+          into wire frames of at most this many TCP payload bytes each
+          ({!Txq.split}); 0 — the normal case — means the payload goes
+          on the wire as-is.  Never appears on the wire itself. *)
   payload : Uln_buf.Mbuf.t;
 }
 
@@ -24,6 +30,7 @@ val make :
   ethertype:int ->
   ?bqi:int ->
   ?bqi_hint:int ->
+  ?gso_size:int ->
   Uln_buf.Mbuf.t ->
   t
 

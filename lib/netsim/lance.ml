@@ -50,6 +50,7 @@ let create (m : Machine.t) link ~mac ?(tx_buffers = 2) () =
               end
         end)
   in
+  let txq = Txq.create m.Machine.sched ~costs in
   let send frame =
     (* Wait for a board transmit buffer, then PIO the packet into it.
        The PIO bytes are moved by whichever CPU rang the doorbell. *)
@@ -62,9 +63,35 @@ let create (m : Machine.t) link ~mac ?(tx_buffers = 2) () =
     in
     Semaphore.wait tx_slots;
     let bytes = Frame.header_size + Frame.payload_length frame in
-    Cpu.use cpu
-      (Time.span_add costs.Costs.drv_tx (Time.ns (bytes * costs.Costs.pio_per_byte_ns)));
-    Link.transmit link station frame ~on_done:(fun () -> Semaphore.signal tx_slots)
+    let pio = Time.ns (bytes * costs.Costs.pio_per_byte_ns) in
+    if frame.Frame.gso_size > 0 then begin
+      (* Segmentation offload (board-side segmentation of one staged
+         super-packet): the host PIOs the oversized packet once —
+         headers once, not per frame — and pays the episode setup plus
+         a small per-frame descriptor cost while the board cuts wire
+         frames from its staging area. *)
+      let frames = Txq.split frame in
+      let n = List.length frames in
+      Txq.note_gso txq ~frames:n;
+      Cpu.use cpu
+        (Time.span_add costs.Costs.drv_tx
+           (Time.span_add costs.Costs.tx_gso_setup
+              (Time.span_add (Time.span_scale costs.Costs.tx_gso_frame n) pio)));
+      List.iteri
+        (fun i f ->
+          let on_done =
+            if i = n - 1 then fun () ->
+              Txq.complete txq ~cpu (fun () -> Semaphore.signal tx_slots)
+            else fun () -> ()
+          in
+          Link.transmit link station f ~on_done)
+        frames
+    end
+    else begin
+      Cpu.use cpu (Time.span_add costs.Costs.drv_tx pio);
+      Link.transmit link station frame ~on_done:(fun () ->
+          Txq.complete txq ~cpu (fun () -> Semaphore.signal tx_slots))
+    end
   in
   { Nic.name = Printf.sprintf "%s.lance" m.Machine.name;
     mac;
@@ -76,4 +103,6 @@ let create (m : Machine.t) link ~mac ?(tx_buffers = 2) () =
     bqi = None;
     rx_drops = (fun () -> !drops);
     set_napi = Napi.set napi;
-    napi_stats = (fun () -> Napi.stats napi) }
+    napi_stats = (fun () -> Napi.stats napi);
+    set_txc = Txq.set txq;
+    txq_stats = (fun () -> Txq.stats txq) }

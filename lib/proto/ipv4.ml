@@ -20,7 +20,7 @@ type t = {
   env : Proto_env.t;
   my_ip : Ip.t;
   mtu : int;
-  tx : dst:Ip.t -> Mbuf.t -> unit;
+  tx : ?gso_size:int -> dst:Ip.t -> Mbuf.t -> unit;
   handlers : (int, handler) Hashtbl.t;
   reassembly : (Ip.t * Ip.t * int * int, reasm) Hashtbl.t;
   mutable ident : int;
@@ -69,13 +69,22 @@ let encode_header t ~proto ~dst ~ttl ~payload_len ~ident ~flags ~frag_off =
   View.set_uint16 h 10 (Checksum.of_view h);
   h
 
-let output t ~proto ~dst ?(ttl = 64) payload =
+let output t ~proto ~dst ?(ttl = 64) ?(gso_size = 0) payload =
   Proto_env.charge t.env t.env.Proto_env.costs.Costs.ip_output;
   let len = Mbuf.length payload in
   let max_payload = t.mtu - header_size in
   t.ident <- (t.ident + 1) land 0xffff;
   let ident = t.ident in
-  if len <= max_payload then begin
+  if gso_size > 0 then begin
+    (* Segmentation offload: the oversized packet bypasses IP
+       fragmentation — the NIC cuts it into wire frames that are each a
+       complete, independently valid IP/TCP packet (never fragments),
+       so the descriptor's gso_size travels to the driver instead. *)
+    let hdr = encode_header t ~proto ~dst ~ttl ~payload_len:len ~ident ~flags:0 ~frag_off:0 in
+    t.packets_out <- t.packets_out + 1;
+    t.tx ~gso_size ~dst (Mbuf.prepend hdr payload)
+  end
+  else if len <= max_payload then begin
     let hdr = encode_header t ~proto ~dst ~ttl ~payload_len:len ~ident ~flags:0 ~frag_off:0 in
     t.packets_out <- t.packets_out + 1;
     t.tx ~dst (Mbuf.prepend hdr payload)

@@ -14,10 +14,13 @@ val create :
   Proto_env.t ->
   my_ip:Uln_addr.Ip.t ->
   mtu:int ->
-  tx:(dst:Uln_addr.Ip.t -> Uln_buf.Mbuf.t -> unit) ->
+  tx:(?gso_size:int -> dst:Uln_addr.Ip.t -> Uln_buf.Mbuf.t -> unit) ->
   t
 (** [mtu] is the link payload limit (1500 on both networks here); [tx]
-    receives complete IP packets for link resolution and transmission. *)
+    receives complete IP packets for link resolution and transmission.
+    A non-zero [gso_size] marks an oversized segmentation-offload
+    packet the NIC must cut into wire frames of at most that many TCP
+    payload bytes each ({!Uln_net.Txq.split}). *)
 
 val my_ip : t -> Uln_addr.Ip.t
 
@@ -29,8 +32,12 @@ val set_handler : t -> proto:int -> handler -> unit
     1 ICMP). *)
 
 val output :
-  t -> proto:int -> dst:Uln_addr.Ip.t -> ?ttl:int -> Uln_buf.Mbuf.t -> unit
-(** Emit a datagram, fragmenting when the payload exceeds [mtu - 20]. *)
+  t -> proto:int -> dst:Uln_addr.Ip.t -> ?ttl:int -> ?gso_size:int -> Uln_buf.Mbuf.t -> unit
+(** Emit a datagram, fragmenting when the payload exceeds [mtu - 20].
+    A positive [gso_size] instead emits the whole payload as one
+    segmentation-offload packet (no fragmentation): the NIC cuts it
+    into complete wire packets, so nothing oversized ever reaches the
+    wire. *)
 
 val input : t -> Uln_buf.Mbuf.t -> unit
 (** Process a received IP packet (starting at the IP header).  Invalid

@@ -21,9 +21,10 @@ type t = {
 let create env ~netif ~ip_addr ?(tcp_params = Tcp_params.default) () =
   let arp = Arp.create env ~my_ip:ip_addr ~my_mac:netif.mac ~tx:netif.tx in
   let rec t_ref = ref None
-  and ip_tx ~dst packet =
+  and ip_tx ?(gso_size = 0) ~dst packet =
     let send_to mac =
-      netif.tx (Frame.make ~src:netif.mac ~dst:mac ~ethertype:Frame.ethertype_ip packet)
+      netif.tx
+        (Frame.make ~src:netif.mac ~dst:mac ~ethertype:Frame.ethertype_ip ~gso_size packet)
     in
     if Ip.equal dst Ip.broadcast then send_to Mac.broadcast
     else

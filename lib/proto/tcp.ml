@@ -12,6 +12,12 @@ module Costs = Uln_host.Costs
 module Cpu = Uln_host.Cpu
 module State = Tcp_state
 
+(* Longest single advance of the pacing horizon (see the pacing note in
+   [output_once]): bounds the damage of a delayed-ACK-inflated srtt
+   sample while leaving real pacing gaps — fractions of an RTT per
+   episode — untouched. *)
+let pace_max_gap_us = 2000.
+
 exception Connection_error of string
 
 (* The send queue has two representations: the classic contiguous
@@ -42,7 +48,8 @@ let sendq_peek_sum sq ~off ~len =
       (Mbuf.of_view v, sum)
   | I i -> Iovec.peek_sum i ~off ~len
 
-let sendq_drop sq n = match sq with Q q -> Bytequeue.drop q n | I i -> Iovec.drop i n
+let sendq_drop ?sink sq n =
+  match sq with Q q -> Bytequeue.drop q n | I i -> Iovec.drop ?sink i n
 let sendq_clear = function Q q -> Bytequeue.clear q | I i -> Iovec.clear i
 
 type snapshot = {
@@ -116,6 +123,7 @@ type conn = {
   (* RTT estimation *)
   mutable srtt_us : float;
   mutable rttvar_us : float;
+  mutable rtt_min_us : float; (* smallest sample seen; 0 until the first *)
   mutable rto : Time.span;
   mutable backoff : int;
   mutable rtt_timing : (Tcp_seq.t * Time.t) option;
@@ -131,6 +139,9 @@ type conn = {
   mutable ka_probes : int;
   mutable unacked_segs : int;
   mutable ack_now : bool;
+  (* software pacing (Tcp_params.pacing) *)
+  mutable pace_next : Time.t; (* earliest instant the next data send may leave *)
+  mutable pacer : Timers.handle option;
   (* header-prediction accounting *)
   mutable fast_acks : int;
   mutable fast_data : int;
@@ -197,6 +208,14 @@ and t = {
   mutable gro_merged : int; (* segments absorbed beyond the first of a run *)
   mutable gro_flushes : int; (* merged runs handed to process_segment *)
   mutable acks_elided : int; (* ACKs burst_ack coalescing suppressed *)
+  (* transmit fast path (tx_gso / tx_complete_coalesce / pacing) *)
+  mutable gso_sends : int; (* oversized logical segments handed to the NIC *)
+  mutable gso_fallbacks : int; (* data sends that went per-segment with tx_gso on *)
+  mutable tx_release_batches : int; (* batched zero-copy release flushes *)
+  mutable tx_releases : int; (* release callbacks fired through those batches *)
+  mutable pacer_waits : int; (* data sends the pacer deferred *)
+  mutable pacer_wait_us : float; (* total deferral *)
+  pacer_hist : (int, int) Hashtbl.t; (* log2(deferral in us) -> count *)
 }
 
 let params t = t.prm
@@ -215,6 +234,17 @@ let unknown_options t = t.unknown_options
 let gro_merged t = t.gro_merged
 let gro_flushes t = t.gro_flushes
 let acks_elided t = t.acks_elided
+let gso_sends t = t.gso_sends
+let gso_fallbacks t = t.gso_fallbacks
+let tx_release_batches t = t.tx_release_batches
+let tx_releases t = t.tx_releases
+let pacer_waits t = t.pacer_waits
+let pacer_wait_us t = t.pacer_wait_us
+
+let pacer_hist t =
+  List.sort
+    (fun (a, _) (b, _) -> Stdlib.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.pacer_hist [])
 
 let state c = c.state
 let fsm c = c.fsm
@@ -311,7 +341,7 @@ let now_us c = Time.to_us_f (Time.diff (Proto_env.now c.engine.env) Time.zero)
 
 (* --- segment emission ----------------------------------------------- *)
 
-let emit ?payload_sum t ~src_ip ~dst_ip (seg : Tcp_wire.segment) =
+let emit ?payload_sum ?(gso_size = 0) t ~src_ip ~dst_ip (seg : Tcp_wire.segment) =
   let costs = t.env.Proto_env.costs in
   let payload_bytes = Mbuf.length seg.Tcp_wire.payload in
   Proto_env.charge t.env costs.Costs.tcp_output;
@@ -342,8 +372,9 @@ let emit ?payload_sum t ~src_ip ~dst_ip (seg : Tcp_wire.segment) =
     ~per_byte_ns:costs.Costs.checksum_per_byte_ns
     (Tcp_wire.header_size + if opt_len > 4 then opt_len else 0);
   t.segments_out <- t.segments_out + 1;
+  if gso_size > 0 then t.gso_sends <- t.gso_sends + 1;
   let m = Tcp_wire.encode ?payload_sum ~src_ip ~dst_ip seg in
-  Ipv4.output t.ip ~proto:6 ~dst:dst_ip m
+  Ipv4.output t.ip ~proto:6 ~dst:dst_ip ~gso_size m
 
 let send_rst_for t ~src ~(seg : Tcp_wire.segment) =
   if t.rst_on_unknown then begin
@@ -435,7 +466,7 @@ let negotiate_options c (peer : Tcp_wire.opts) =
 
 (* Send one segment of this connection.  [seq] is explicit so fast
    retransmit can resend at snd_una without disturbing snd_nxt. *)
-let send_segment ?payload_sum c ~seq ~flags ~payload ~with_mss =
+let send_segment ?payload_sum ?gso_size c ~seq ~flags ~payload ~with_mss =
   let t = c.engine in
   let wnd = rcv_window c in
   let scaled = c.rcv_scale > 0 && not flags.Tcp_wire.syn in
@@ -467,7 +498,7 @@ let send_segment ?payload_sum c ~seq ~flags ~payload ~with_mss =
       else { Tcp_wire.no_opts with Tcp_wire.sack; ts }
     end
   in
-  emit ?payload_sum t ~src_ip:(Ipv4.my_ip t.ip) ~dst_ip:c.remote_ip
+  emit ?payload_sum ?gso_size t ~src_ip:(Ipv4.my_ip t.ip) ~dst_ip:c.remote_ip
     { Tcp_wire.src_port = c.local_port;
       dst_port = c.remote_port;
       seq;
@@ -558,6 +589,7 @@ let destroy c reason =
   c.delack <- stop_timer c.delack;
   c.time_wait <- stop_timer c.time_wait;
   c.keepalive <- stop_timer c.keepalive;
+  c.pacer <- stop_timer c.pacer;
   if c.state <> State.Closed then begin
     (* Retire through the matching edge to the terminal state: clean
        teardown (no error) takes the close/expire/fin-acked edges, an
@@ -590,6 +622,12 @@ let finish_cleanly c =
 
 let update_rtt c sample_us =
   let prm = c.engine.prm in
+  (* The pacer's rate base: the smallest RTT ever observed.  The
+     smoothed estimate tracks queueing delay, and pacing from it is a
+     positive feedback loop — queues inflate srtt, the pacer slows
+     down, releases bunch behind the timer, queues grow.  The minimum
+     is the propagation floor the queue sits on. *)
+  if c.rtt_min_us = 0. || sample_us < c.rtt_min_us then c.rtt_min_us <- sample_us;
   if c.srtt_us = 0. then begin
     c.srtt_us <- sample_us;
     c.rttvar_us <- sample_us /. 2.
@@ -697,7 +735,32 @@ and output_once c =
     then Cong_control.on_idle c.cc;
     let wnd = snd_window c in
     let usable = Stdlib.max 0 (wnd - off) in
-    let len = Stdlib.min (Stdlib.min c.mss avail) usable in
+    (* Transmit segmentation offload: at the send frontier one
+       oversized logical segment covers as many whole MSS units as the
+       window allows; the NIC cuts the wire frames ({!Uln_net.Txq}).
+       Any sub-MSS tail is left for the next pass, so Nagle and FIN/PSH
+       placement behave exactly as on the per-segment path, and a
+       rewound snd_nxt (retransmission) always goes per-MSS. *)
+    let at_frontier = Tcp_seq.ge c.snd_nxt c.snd_max in
+    let seg_cap =
+      if prm.Tcp_params.tx_gso && at_frontier && usable >= 2 * c.mss then begin
+        (* The offload packet is still one IP datagram: its headers
+           bound the payload to the 16-bit total-length field.  It is
+           further sized to the peer's ACK cadence (one episode, one
+           ACK): frames past the cadence would sit in the peer's
+           delayed-ACK timer, stalling the window a full delack period
+           every round trip. *)
+        let cap =
+          Stdlib.min prm.Tcp_params.gso_max
+            (0xffff - Ipv4.header_size - Tcp_wire.header_size)
+        in
+        let cap = Stdlib.min cap (Stdlib.max 2 prm.Tcp_params.ack_every * c.mss) in
+        Stdlib.max c.mss (Stdlib.min cap usable / c.mss * c.mss)
+      end
+      else c.mss
+    in
+    let len = Stdlib.min (Stdlib.min seg_cap avail) usable in
+    let len = if len > c.mss then len / c.mss * c.mss else len in
     (* New data needs a send permit from the witness (Established or
        half-closed Close_wait); buffered data drains alongside a queued
        FIN regardless.  proto-check pins the permit row to
@@ -721,7 +784,36 @@ and output_once c =
       len > 0 && len < c.mss && off > 0 && prm.Tcp_params.nagle && not want_fin
       && avail - len = 0
     in
-    let send_data = len > 0 && not nagle_blocks in
+    (* Software pacing: frontier data may leave no earlier than
+       [pace_next] (advanced at the cwnd/srtt rate on each send).
+       Retransmissions and pure ACKs are never delayed.  When blocked,
+       one pacer shot on the timer wheel re-runs the output engine. *)
+    let pace_blocked =
+      len > 0 && not nagle_blocks && not want_fin && prm.Tcp_params.pacing
+      && at_frontier && c.rtt_min_us > 0.
+      && Time.( < ) (Proto_env.now c.engine.env) c.pace_next
+    in
+    if pace_blocked && c.pacer = None then begin
+      let t = c.engine in
+      Proto_env.charge t.env t.env.Proto_env.costs.Costs.pacer_sched;
+      let delay = Time.diff c.pace_next (Proto_env.now t.env) in
+      let us = Time.to_us_f delay in
+      t.pacer_waits <- t.pacer_waits + 1;
+      t.pacer_wait_us <- t.pacer_wait_us +. us;
+      let bucket =
+        let rec go b n = if n <= 1 then b else go (b + 1) (n lsr 1) in
+        go 0 (Stdlib.max 1 (int_of_float us))
+      in
+      Hashtbl.replace t.pacer_hist bucket
+        (1 + Option.value ~default:0 (Hashtbl.find_opt t.pacer_hist bucket));
+      c.pacer <-
+        Some
+          (Timers.arm t.env.Proto_env.timers delay (fun () ->
+               c.pacer <- None;
+               if c.state <> State.Closed && not c.detached then
+                 Proto_env.spawn_handler t.env ~name:"tcp.pacer" (fun () -> output c)))
+    end;
+    let send_data = len > 0 && not nagle_blocks && not pace_blocked in
     if send_data || want_fin || c.ack_now then begin
       let payload, payload_sum =
         if send_data then
@@ -761,7 +853,27 @@ and output_once c =
         | _ -> () (* FIN resend after a retransmit timeout: state already advanced *)
       end;
       if send_data || fin_now then arm_rexmt c;
-      send_segment ?payload_sum c ~seq ~flags ~payload ~with_mss:false;
+      let gso_size = if send_data && len > c.mss then c.mss else 0 in
+      if send_data && prm.Tcp_params.tx_gso && gso_size = 0 then
+        c.engine.gso_fallbacks <- c.engine.gso_fallbacks + 1;
+      send_segment ?payload_sum ~gso_size c ~seq ~flags ~payload ~with_mss:false;
+      (* Advance the pacing horizon by this send's serialization time
+         at twice the cwnd-per-minRTT rate.  The factor of two is the
+         usual slow-start headroom, so the pacer spreads bursts without
+         ever becoming the flow's rate limiter; the minimum RTT (never
+         the smoothed one, which tracks queueing delay and delayed-ACK
+         artifacts) keeps the feedback negative.  Each advance is still
+         capped — one early minimum taken through a delack wait could
+         otherwise stall the flow for tens of milliseconds. *)
+      if send_data && prm.Tcp_params.pacing && c.rtt_min_us > 0. then begin
+        let cw = Stdlib.max c.mss (Cong_control.cwnd c.cc) in
+        let gap_us =
+          Stdlib.min pace_max_gap_us
+            (float_of_int len *. c.rtt_min_us /. (2. *. float_of_int cw))
+        in
+        let now = Proto_env.now c.engine.env in
+        c.pace_next <- Time.add (Time.max now c.pace_next) (Time.of_us_f gap_us)
+      end;
       true
     end
     else begin
@@ -1047,7 +1159,22 @@ let process_ack c (seg : Tcp_wire.segment) =
       && acked > sendq_length c.snd_buf
     in
     let data_acked = Stdlib.min (acked - (if fin_acked then 1 else 0)) (sendq_length c.snd_buf) in
-    if data_acked > 0 then sendq_drop c.snd_buf data_acked;
+    (* Transmit completion coalescing, TCP side: the zero-copy releases
+       this ACK retires fire as one batch after the drop completes,
+       instead of interleaved slot-by-slot (each still exactly once). *)
+    if data_acked > 0 then begin
+      if c.engine.prm.Tcp_params.tx_complete_coalesce then begin
+        let batch = ref [] in
+        sendq_drop ~sink:(fun f -> batch := f :: !batch) c.snd_buf data_acked;
+        match !batch with
+        | [] -> ()
+        | fs ->
+            c.engine.tx_release_batches <- c.engine.tx_release_batches + 1;
+            c.engine.tx_releases <- c.engine.tx_releases + List.length fs;
+            List.iter (fun f -> f ()) (List.rev fs)
+      end
+      else sendq_drop c.snd_buf data_acked
+    end;
     c.snd_una <- ack;
     if Tcp_seq.gt c.snd_una c.snd_nxt then c.snd_nxt <- c.snd_una;
     Sack.forward c.sb ~una:c.snd_una;
@@ -1413,6 +1540,7 @@ let handle_syn_for_listener t l (seg : Tcp_wire.segment) ~src =
       last_emit = Proto_env.now t.env;
       srtt_us = 0.;
       rttvar_us = 0.;
+      rtt_min_us = 0.;
       rto = prm.Tcp_params.initial_rto;
       backoff = 0;
       rtt_timing = None;
@@ -1435,6 +1563,8 @@ let handle_syn_for_listener t l (seg : Tcp_wire.segment) ~src =
       detached = false;
       waiters = Queue.create ();
       closed_callbacks = [];
+      pace_next = Time.zero;
+      pacer = None;
       accept_box = Some l.backlog }
   in
   let our_mss = Ipv4.mtu t.ip - Ipv4.header_size - Tcp_wire.header_size in
@@ -1740,7 +1870,14 @@ let create env ip ?(params = Tcp_params.default) () =
       gro_segs = 1;
       gro_merged = 0;
       gro_flushes = 0;
-      acks_elided = 0 }
+      acks_elided = 0;
+      gso_sends = 0;
+      gso_fallbacks = 0;
+      tx_release_batches = 0;
+      tx_releases = 0;
+      pacer_waits = 0;
+      pacer_wait_us = 0.;
+      pacer_hist = Hashtbl.create 8 }
   in
   (* [in_burst] is only ever set when rx_coalesce is on; otherwise every
      frame takes [input] — the per-packet path, charge order included. *)
@@ -1794,6 +1931,7 @@ let fresh_conn t ~local_port ~remote_ip ~remote_port ~fsm ~iss =
     last_emit = Proto_env.now t.env;
     srtt_us = 0.;
     rttvar_us = 0.;
+    rtt_min_us = 0.;
     rto = t.prm.Tcp_params.initial_rto;
     backoff = 0;
     rtt_timing = None;
@@ -1816,6 +1954,8 @@ let fresh_conn t ~local_port ~remote_ip ~remote_port ~fsm ~iss =
     detached = false;
     waiters = Queue.create ();
     closed_callbacks = [];
+    pace_next = Time.zero;
+    pacer = None;
     accept_box = None }
 
 (* Active open, first half: create the control block in SYN_SENT without

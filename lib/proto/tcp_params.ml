@@ -35,6 +35,10 @@ type t = {
   burst_ack : bool;
   int_suppress : bool;
   gro_budget : int;
+  tx_gso : bool;
+  tx_complete_coalesce : bool;
+  pacing : bool;
+  gso_max : int;
 }
 
 let default =
@@ -71,7 +75,11 @@ let default =
     rx_coalesce = false;
     burst_ack = false;
     int_suppress = false;
-    gro_budget = 32 }
+    gro_budget = 32;
+    tx_gso = false;
+    tx_complete_coalesce = false;
+    pacing = false;
+    gso_max = 65535 }
 
 let fast =
   { default with
@@ -103,6 +111,29 @@ let wan =
    and input pass on the other). *)
 let coalesced =
   { fast with rx_coalesce = true; burst_ack = true; int_suppress = true; ack_every = 8 }
+
+(* The transmit-side fast path: one oversized logical segment per send
+   episode (the NIC cuts wire frames — tx_gso), moderated batch
+   reaping of finished transmit descriptors and loaned-buffer releases
+   (tx_complete_coalesce), and a cwnd/srtt software pacer that spreads
+   the resulting line-rate bursts (pacing).  Composed over the
+   zero-copy data path — the sender baseline whose remaining
+   per-segment costs GSO amortizes — and the [coalesced] receive path,
+   whose stretched ACKs open multi-MSS windows in one step: without
+   them transmission stays ACK-clocked in 1-2 MSS quanta and an
+   offload episode never has more than two frames to merge.  Buffers
+   are deepened to match (an offload episode can only be as large as
+   the send queue), and the timer wheel runs at 1 ms so pacer release
+   times are not quantized to the coarse RTO tick. *)
+let tx_fast =
+  { coalesced with
+    zero_copy = true;
+    snd_buf = 1 lsl 16;
+    rcv_buf = 1 lsl 16;
+    timer_granularity = Time.ms 1;
+    tx_gso = true;
+    tx_complete_coalesce = true;
+    pacing = true }
 
 (* --- the ablation-switch registry (proto-check switch lint) ----------- *)
 
@@ -166,7 +197,16 @@ let switches =
       sw_bench_row = "rpc/fanout" };
     { sw_field = "int_suppress";
       sw_oracle = "test/test_coalesce.ml:prop_int_suppress_differential";
-      sw_bench_row = "incast/overload" } ]
+      sw_bench_row = "incast/overload" };
+    { sw_field = "tx_gso";
+      sw_oracle = "test/test_txpath.ml:prop_gso_differential";
+      sw_bench_row = "tx bulk an1/+gso" };
+    { sw_field = "tx_complete_coalesce";
+      sw_oracle = "test/test_txpath.ml:prop_txc_release_exactly_once";
+      sw_bench_row = "tx bulk an1/+gso+txc" };
+    { sw_field = "pacing";
+      sw_oracle = "test/test_txpath.ml:prop_pacing_order_and_rate";
+      sw_bench_row = "tx incast/pacing" } ]
 
 let policy_fields =
   [ ("nagle", "congestion policy, not an implementation ablation: both settings are \

@@ -185,6 +185,39 @@ type t = {
   gro_budget : int;
       (** Most original segments one {!rx_coalesce} merge may absorb
           when {!burst_ack} lifts the ACK-cadence cap (default 32). *)
+  tx_gso : bool;
+      (** GSO-style segmentation offload: one send episode builds one
+          oversized logical segment (up to {!gso_max}, window- and
+          cwnd-clamped) and hands it to the NIC, which cuts it into
+          wire-MSS frames with replayed headers and fresh checksums
+          ({!Uln_net.Txq}) — so [tcp_output], header encode and driver
+          descriptor work run once per episode instead of once per MSS.
+          Retransmissions, SACK-hole fills and sub-MSS tails always
+          take the per-segment path.  The wire traffic is byte-identical
+          to the per-segment path (differentially tested); [false] (the
+          default) is the per-segment oracle. *)
+  tx_complete_coalesce : bool;
+      (** Moderated transmit completions: finished tx descriptors are
+          reaped in batches — one completion event per
+          {!Uln_core.Calibration.txc_budget} descriptors or
+          {!Uln_core.Calibration.txc_delay} settle window — and the
+          zero-copy send queue batches its release-on-ack buffer
+          returns per ACK-processing pass instead of firing one
+          callback per queued buffer.  Every release still fires
+          exactly once (differentially tested); [false] (the default)
+          completes and releases immediately, one at a time. *)
+  pacing : bool;
+      (** Software pacing: data transmission is spread at the
+          congestion-control rate cwnd/srtt (timer-wheel scheduled at
+          {!timer_granularity}) instead of being released in line-rate
+          bursts, so a GSO episode's frames do not arrive as one
+          incast-killing burst.  Pure ACKs, retransmissions and the
+          first flight (no RTT sample yet) are never delayed; data
+          order is unchanged.  [false] (the default) transmits as soon
+          as the window allows. *)
+  gso_max : int;
+      (** Largest logical segment one {!tx_gso} episode may build
+          (default 65535 — the IP total-length ceiling). *)
 }
 
 val default : t
@@ -202,6 +235,12 @@ val coalesced : t
 (** Small-message preset: [fast] with {!t.rx_coalesce}, {!t.burst_ack}
     and {!t.int_suppress} all on — the full coalescing fast path the
     rpc/incast benches compare against the per-packet baseline. *)
+
+val tx_fast : t
+(** Transmit-side preset: [fast] with {!t.zero_copy} plus {!t.tx_gso},
+    {!t.tx_complete_coalesce} and {!t.pacing} all on — the sender fast
+    path the [bench tx] ablation rows compare against the zero-copy
+    baseline. *)
 
 (** {2 Ablation-switch registry}
 

@@ -1,0 +1,4 @@
+(* Standalone validator executable — no public interface.  (The
+   explicit empty interface also keeps dune's builtin @check alias
+   working: the implicitly generated one for a (modules ...)-scoped
+   executable breaks its .cmi lookup.) *)
